@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark harness.
+
+The figure benchmarks (12-16) share two sweeps over the paper's (N, U)
+grid -- one analysis-only (Figures 12-13), one simulation-only (Figures
+14-16) -- computed once per session and reused.  Set the environment
+variable ``REPRO_BENCH_SYSTEMS`` to raise the per-configuration sample
+(paper: 1000; default here: 4, which already reproduces every shape) and
+``REPRO_BENCH_GRID=full`` to sweep all 35 configurations instead of the
+default 3x3 sub-grid.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.evaluation import DEFAULT_PROTOCOLS
+from repro.experiments.runner import sweep_grid
+from repro.workload.config import paper_grid
+
+OUT_DIR = Path(__file__).parent / "out"
+
+SYSTEMS = int(os.environ.get("REPRO_BENCH_SYSTEMS", "4"))
+
+if os.environ.get("REPRO_BENCH_GRID", "sub") == "full":
+    SUBTASK_COUNTS: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8)
+    UTILIZATIONS: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9)
+else:
+    SUBTASK_COUNTS = (2, 5, 8)
+    UTILIZATIONS = (0.5, 0.7, 0.9)
+
+
+def save_and_print(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/out/ and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def analysis_sweep():
+    """Analyses (SA/PM + SA/DS) over the grid; no simulations."""
+    configs = paper_grid(
+        subtask_counts=SUBTASK_COUNTS, utilizations=UTILIZATIONS
+    )
+    return sweep_grid(
+        configs,
+        SYSTEMS,
+        run_simulations=False,
+        sa_ds_max_iterations=80,
+    )
+
+
+@pytest.fixture(scope="session")
+def simulation_sweep():
+    """DS/PM/RG simulations over the grid; random phases, no analyses."""
+    configs = paper_grid(
+        subtask_counts=SUBTASK_COUNTS,
+        utilizations=UTILIZATIONS,
+        random_phases=True,
+    )
+    return sweep_grid(
+        configs,
+        SYSTEMS,
+        run_analyses=False,
+        protocols=DEFAULT_PROTOCOLS,
+        horizon_periods=10.0,
+    )

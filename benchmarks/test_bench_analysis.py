@@ -1,0 +1,69 @@
+"""Benchmark E4 + analysis micro-benchmarks.
+
+Pins the worked Section 4.3 numbers on Example 2 and measures the
+throughput of both schedulability analyses on paper-sized systems.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis.sa_ds import analyze_sa_ds, ieert_pass, initial_ieer_bounds
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.workload.config import WorkloadConfig
+from repro.workload.examples import example_two
+from repro.workload.generator import generate_system
+
+from conftest import save_and_print
+
+
+def test_sa_pm_example2_bounds(benchmark):
+    system = example_two()
+    result = benchmark(lambda: analyze_sa_pm(system))
+    assert result.task_bounds == pytest.approx((2.0, 7.0, 5.0))
+    save_and_print("sa_pm_example2", result.describe())
+
+
+def test_sa_ds_example2_bound(benchmark):
+    """Section 4.3's worked example.
+
+    The paper prints "7" for T3's SA/DS bound, but its own Figure 3
+    shows T3 responding in 8 time units, so a correct bound cannot be
+    below 8; Algorithm IEERT as printed yields exactly 8 (tight).  See
+    EXPERIMENTS.md for the discrepancy note.
+    """
+    system = example_two()
+    result = benchmark(lambda: analyze_sa_ds(system))
+    assert result.task_bounds[2] == pytest.approx(8.0)
+    assert not result.is_task_schedulable(2)  # paper's conclusion: 8 > 6
+    save_and_print("sa_ds_example2", result.describe())
+
+
+def test_sa_pm_throughput_paper_sized_system(benchmark):
+    """SA/PM over one 12-task, 4-processor, 5-stage system."""
+    system = generate_system(
+        WorkloadConfig(subtasks_per_task=5, utilization=0.7), seed=0
+    )
+    result = benchmark(lambda: analyze_sa_pm(system))
+    assert result.all_finite
+
+
+def test_sa_ds_throughput_paper_sized_system(benchmark):
+    """Full SA/DS fixed point over one converging (5,70) system."""
+    system = generate_system(
+        WorkloadConfig(subtasks_per_task=5, utilization=0.7), seed=0
+    )
+    result = benchmark.pedantic(
+        lambda: analyze_sa_ds(system), rounds=3, iterations=1
+    )
+    assert not result.failed
+
+
+def test_ieert_single_pass_throughput(benchmark):
+    """One IEERT pass (the inner loop of SA/DS) on a (8,80) system."""
+    system = generate_system(
+        WorkloadConfig(subtasks_per_task=8, utilization=0.8), seed=3
+    )
+    seeds = initial_ieer_bounds(system)
+    bounds = benchmark(lambda: ieert_pass(system, seeds))
+    assert all(bounds[sid] >= seeds[sid] - 1e-9 for sid in seeds)

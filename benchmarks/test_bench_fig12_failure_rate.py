@@ -1,0 +1,35 @@
+"""Benchmark E5: Figure 12 -- the DS failure-rate surface.
+
+Regenerates the paper's failure-rate plot: the fraction of systems per
+(N, U) configuration for which Algorithm SA/DS cannot produce finite
+EER bounds.  Expected shape (paper Section 5.2): mostly zero, rising
+sharply toward 1 as N approaches 8 and U approaches 90%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import failure_rate_surface
+
+from conftest import SUBTASK_COUNTS, UTILIZATIONS, save_and_print
+
+
+def test_fig12_failure_rate_surface(benchmark, analysis_sweep):
+    surface = benchmark.pedantic(
+        lambda: failure_rate_surface(analysis_sweep), rounds=1, iterations=1
+    )
+    low_corner = surface.value(min(SUBTASK_COUNTS), 50)
+    high_corner = surface.value(max(SUBTASK_COUNTS), 90)
+    # The paper's shape: near zero at the benign corner, near one at the
+    # (8, 90) corner.
+    assert low_corner == 0.0
+    assert high_corner >= 0.75
+    # Monotone along the main diagonal of the swept grid.
+    diagonal = [
+        surface.value(n, u)
+        for n, u in zip(
+            sorted(SUBTASK_COUNTS),
+            sorted(round(u * 100) for u in UTILIZATIONS),
+        )
+    ]
+    assert diagonal == sorted(diagonal)
+    save_and_print("fig12_failure_rate", surface.render(precision=2))

@@ -1,0 +1,39 @@
+"""Benchmark E6: Figure 13 -- the SA-DS/SA-PM bound-ratio surface.
+
+Per configuration, the mean over tasks (in systems with finite DS
+bounds) of the SA/DS EER bound divided by the SA/PM EER bound.
+Expected shape (paper Section 5.2): >= 1 everywhere, flat in N at low
+utilization, climbing steeply with N at high utilization; greater than
+2 for roughly a third of the grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.figures import bound_ratio_surface
+
+from conftest import SUBTASK_COUNTS, save_and_print
+
+
+def test_fig13_bound_ratio_surface(benchmark, analysis_sweep):
+    surface = benchmark.pedantic(
+        lambda: bound_ratio_surface(analysis_sweep), rounds=1, iterations=1
+    )
+    values = {
+        cell.key: cell.value
+        for cell in surface
+        if not math.isnan(cell.value)
+    }
+    assert all(v >= 1.0 - 1e-9 for v in values.values())
+    n_lo, n_hi = min(SUBTASK_COUNTS), max(SUBTASK_COUNTS)
+    # Ratio grows with chain length at fixed utilization.
+    for u in (50, 70):
+        assert values[(n_lo, u)] < values[(n_hi, u)]
+    # Ratio grows with utilization at a fixed long chain.
+    mid_n = sorted(SUBTASK_COUNTS)[len(SUBTASK_COUNTS) // 2]
+    assert values[(mid_n, 50)] < values[(mid_n, 70)]
+    # "Roughly one-third of configurations have ratios greater than 2."
+    above_two = sum(1 for v in values.values() if v > 2.0)
+    assert above_two >= max(1, len(values) // 5)
+    save_and_print("fig13_bound_ratio", surface.render(precision=2))

@@ -1,0 +1,39 @@
+"""Benchmark E7: Figure 14 -- the PM/DS average-EER-ratio surface.
+
+Per configuration, the mean over tasks and systems of (average EER time
+under PM) / (average EER time under DS).  Expected shape (paper Section
+5.3): always above 1; increases with the number of subtasks per task
+(>= 2 from 5 subtasks on, around 3-4 at 8); decreases slightly as
+utilization grows at fixed chain length.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import eer_ratio_surface
+
+from conftest import SUBTASK_COUNTS, save_and_print
+
+
+def test_fig14_pm_ds_surface(benchmark, simulation_sweep):
+    surface = benchmark.pedantic(
+        lambda: eer_ratio_surface(simulation_sweep, "PM", "DS"),
+        rounds=1,
+        iterations=1,
+    )
+    for cell in surface:
+        assert cell.value >= 1.0 - 1e-9
+    counts = sorted(SUBTASK_COUNTS)
+    # Grows with chain length at every utilization.
+    for u in surface.utilization_axis:
+        series = [surface.value(n, u) for n in counts]
+        assert series == sorted(series)
+    # Paper: >= 2 once chains have 5+ subtasks.
+    for n in (c for c in counts if c >= 5):
+        for u in surface.utilization_axis:
+            assert surface.value(n, u) >= 1.8
+    # Decreases (weakly) as utilization rises at fixed chain length.
+    for n in counts:
+        lo_u = surface.value(n, min(surface.utilization_axis))
+        hi_u = surface.value(n, max(surface.utilization_axis))
+        assert hi_u <= lo_u + 0.15
+    save_and_print("fig14_pm_ds_ratio", surface.render(precision=2))

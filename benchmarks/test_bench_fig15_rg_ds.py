@@ -1,0 +1,35 @@
+"""Benchmark E8: Figure 15 -- the RG/DS average-EER-ratio surface.
+
+Expected shape (paper Section 5.3): the ratio sits between 1 and 2
+across the grid, closest to 1 where processors have spare capacity
+(rule 2 fires at every idle point), and largest at 90% utilization,
+where idle points are rare and RG's releases become nearly periodic.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import eer_ratio_surface
+
+from conftest import save_and_print
+
+
+def test_fig15_rg_ds_surface(benchmark, simulation_sweep):
+    surface = benchmark.pedantic(
+        lambda: eer_ratio_surface(simulation_sweep, "RG", "DS"),
+        rounds=1,
+        iterations=1,
+    )
+    for cell in surface:
+        assert 1.0 - 1e-9 <= cell.value <= 2.0
+    # The 90%-utilization column dominates the 50% column: rule 2 fires
+    # less often when processors are busy.
+    lo_u = min(surface.utilization_axis)
+    hi_u = max(surface.utilization_axis)
+    lo_mean = sum(
+        surface.value(n, lo_u) for n in surface.subtask_axis
+    ) / len(surface.subtask_axis)
+    hi_mean = sum(
+        surface.value(n, hi_u) for n in surface.subtask_axis
+    ) / len(surface.subtask_axis)
+    assert hi_mean >= lo_mean
+    save_and_print("fig15_rg_ds_ratio", surface.render(precision=3))

@@ -1,0 +1,32 @@
+"""Benchmark E9: Figure 16 -- the PM/RG average-EER-ratio surface.
+
+Expected shape (paper Section 5.3): consistently above one -- RG's
+early releases always beat PM's fixed phases on average -- reaching 2-3
+for configurations with 6-8 subtasks per task.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import eer_ratio_surface
+
+from conftest import SUBTASK_COUNTS, save_and_print
+
+
+def test_fig16_pm_rg_surface(benchmark, simulation_sweep):
+    surface = benchmark.pedantic(
+        lambda: eer_ratio_surface(simulation_sweep, "PM", "RG"),
+        rounds=1,
+        iterations=1,
+    )
+    for cell in surface:
+        assert cell.value >= 1.0 - 1e-9
+    # Grows with chain length.
+    for u in surface.utilization_axis:
+        series = [surface.value(n, u) for n in sorted(SUBTASK_COUNTS)]
+        assert series == sorted(series)
+    # Paper: reaches 2-3 for 6+ subtasks per task.
+    longest = max(SUBTASK_COUNTS)
+    assert any(
+        surface.value(longest, u) >= 2.0 for u in surface.utilization_axis
+    )
+    save_and_print("fig16_pm_rg_ratio", surface.render(precision=2))

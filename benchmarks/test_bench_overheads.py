@@ -1,0 +1,52 @@
+"""Benchmark E10: the Section 3.3 cost comparison + kernel throughput.
+
+The static table is regenerated from the cost model; the dynamic part
+measures simulator throughput (events/second) under each protocol on a
+paper-sized system, which tracks each protocol's event overhead (DS and
+PM schedule one interrupt per instance; MPM and RG two).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_protocol
+from repro.core.protocols.costs import PROTOCOL_COSTS, overhead_per_instance
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+from conftest import save_and_print
+
+
+def test_section_3_3_cost_table(benchmark):
+    rows = benchmark(
+        lambda: [costs.describe() for costs in PROTOCOL_COSTS.values()]
+    )
+    table = "Section 3.3 -- implementation complexity and overhead:\n" + (
+        "\n".join("  " + row for row in rows)
+    )
+    # Spot checks from the paper's text.
+    assert PROTOCOL_COSTS["DS"].interrupts_per_instance == 1
+    assert PROTOCOL_COSTS["PM"].interrupts_per_instance == 1
+    assert PROTOCOL_COSTS["MPM"].interrupts_per_instance == 2
+    assert PROTOCOL_COSTS["RG"].interrupts_per_instance == 2
+    assert overhead_per_instance(
+        "RG", interrupt_cost=1.0, context_switch_cost=1.0
+    ) > overhead_per_instance(
+        "DS", interrupt_cost=1.0, context_switch_cost=1.0
+    )
+    save_and_print("section33_costs", table)
+
+
+@pytest.mark.parametrize("protocol", ["DS", "PM", "MPM", "RG"])
+def test_kernel_throughput(benchmark, protocol):
+    system = generate_system(
+        WorkloadConfig(subtasks_per_task=5, utilization=0.7), seed=1
+    )
+    result = benchmark.pedantic(
+        lambda: run_protocol(system, protocol, horizon_periods=5.0),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.events_processed > 0
+    assert result.metrics.precedence_violations == 0

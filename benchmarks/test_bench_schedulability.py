@@ -1,0 +1,39 @@
+"""Benchmark E17: certifiable schedulability per protocol family.
+
+Not one of the paper's plotted figures, but the number its conclusion
+turns on: with deadlines equal to periods, what fraction of tasks can
+each analysis certify as the grid hardens?  The SA/PM column is the
+PM/MPM/RG verdict; the SA/DS column is the DS verdict.  The paper's
+"DS is not a suitable choice [for] high processor utilization and ...
+long subtask chains" shows up as the widening gap.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import schedulability_surface
+
+from conftest import SUBTASK_COUNTS, save_and_print
+
+
+def test_schedulability_gap(benchmark, analysis_sweep):
+    def build():
+        return (
+            schedulability_surface(analysis_sweep, "SA/PM"),
+            schedulability_surface(analysis_sweep, "SA/DS"),
+        )
+
+    sa_pm, sa_ds = benchmark.pedantic(build, rounds=1, iterations=1)
+    # SA/DS never certifies more than SA/PM (its bounds dominate).
+    for cell in sa_pm:
+        assert sa_ds.value(*cell.key) <= cell.value + 1e-9
+    # The gap is material at the hard corner.
+    hard = (max(SUBTASK_COUNTS), 90)
+    assert sa_pm.value(*hard) >= sa_ds.value(*hard)
+    save_and_print(
+        "e17_schedulability",
+        sa_pm.render(precision=2)
+        + "\n\n"
+        + sa_ds.render(precision=2)
+        + "\n(The gap between the two tables is the schedulability cost "
+        "of choosing DS -- the paper's bottom-line advice.)",
+    )

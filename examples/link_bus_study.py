@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""How fast must the bus be?  A link-as-processor study.
+
+Section 2 of the paper argues that a shared, prioritized communication
+medium (it cites CAN) should be modelled as a *processor* carrying
+message subtasks.  This example uses that modelling to answer a real
+design question: given a set of end-to-end control chains, how slow may
+the shared bus get before the system stops being certifiably
+schedulable -- and does the answer depend on the synchronization
+protocol?
+
+For each candidate per-message transmission time, the script splices
+message stages onto a ``bus`` processor, re-assigns priorities
+(PD-monotonic, so short-slice messages win the bus -- CAN-style), and
+checks schedulability under SA/PM (the PM/MPM/RG verdict) and SA/DS
+(the DS verdict).
+
+Run:  python examples/link_bus_study.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import (
+    Subtask,
+    System,
+    Task,
+    analyze_sa_ds,
+    analyze_sa_pm,
+    proportional_deadline_monotonic,
+)
+from repro.model.links import insert_link_stages, uniform_link
+
+
+def build_chains() -> System:
+    """Three sensor->controller->actuator chains over three nodes."""
+
+    def loop(name: str, period: float, sense: float, control: float,
+             actuate: float) -> Task:
+        return Task(
+            period=period,
+            name=name,
+            subtasks=(
+                Subtask(sense, "sensor-node", name=f"{name}-sense"),
+                Subtask(control, "controller", name=f"{name}-control"),
+                Subtask(actuate, "actuator-node", name=f"{name}-act"),
+            ),
+        )
+
+    return System(
+        (
+            loop("fast-loop", 12.0, 1.5, 2.5, 1.0),
+            loop("mid-loop", 40.0, 4.0, 8.0, 3.0),
+            loop("slow-loop", 150.0, 12.0, 30.0, 10.0),
+        ),
+        name="control-plant",
+    )
+
+
+def main() -> None:
+    plant = build_chains()
+    print(plant.describe())
+    print()
+    print(f"{'msg time':>9}{'bus util':>10}{'SA/PM (PM/MPM/RG)':>20}"
+          f"{'SA/DS (DS)':>14}")
+    for transmission in (0.5, 1.0, 2.0, 2.5, 3.0, 4.0):
+        wired = proportional_deadline_monotonic(
+            insert_link_stages(plant, uniform_link("bus", transmission))
+        )
+        bus_utilization = wired.processor_utilization("bus")
+        sa_pm = analyze_sa_pm(wired)
+        sa_ds = analyze_sa_ds(wired)
+        pm_ok = sum(
+            sa_pm.is_task_schedulable(i) for i in range(len(wired.tasks))
+        )
+        ds_ok = sum(
+            sa_ds.is_task_schedulable(i) for i in range(len(wired.tasks))
+        )
+        print(
+            f"{transmission:>9.2f}{bus_utilization:>10.2%}"
+            f"{pm_ok:>14}/{len(wired.tasks)}"
+            f"{ds_ok:>11}/{len(wired.tasks)}"
+            + ("   <- DS analysis diverged" if sa_ds.failed else "")
+        )
+    print(
+        "\nEach message stage rides the bus at a PD-monotonic priority\n"
+        "(CAN-style: messages with tighter slices win arbitration).  The\n"
+        "release-shaping protocols keep their certification further into\n"
+        "the slow-bus regime than DS -- the same story as Figure 13, told\n"
+        "on a concrete design axis."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""A sensor-monitoring pipeline: the paper's Example 1, made concrete.
+
+The paper's introduction motivates end-to-end tasks with a monitor task
+that samples a remote sensor, ships the sample over a communication
+link, and displays it centrally.  This example builds a small plant
+around that idea:
+
+* three monitor chains (pressure, temperature, vibration) share a field
+  processor, a CAN-style "link" processor (message transmissions are
+  modelled as communication subtasks, per Section 2), and a central
+  display processor;
+* a local control task competes for the field processor.
+
+It then asks the questions a designer would: is the plant schedulable
+under each protocol, what latency and output jitter should the display
+expect, and how does signalling latency change the picture?
+
+Run:  python examples/monitor_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Subtask,
+    System,
+    Task,
+    analyze_sa_ds,
+    analyze_sa_pm,
+    compare_protocols,
+    proportional_deadline_monotonic,
+)
+from repro.sim.network import FixedLatency
+
+
+def build_plant() -> System:
+    """Three monitor chains plus a field-local control loop."""
+
+    def chain(name: str, period: float, sample: float, message: float,
+              display: float) -> Task:
+        return Task(
+            period=period,
+            name=name,
+            subtasks=(
+                Subtask(sample, "field", name=f"{name}-sample"),
+                Subtask(message, "link", name=f"{name}-msg"),
+                Subtask(display, "central", name=f"{name}-display"),
+            ),
+        )
+
+    pressure = chain("pressure", period=50.0, sample=4.0, message=6.0,
+                     display=5.0)
+    temperature = chain("temperature", period=100.0, sample=6.0,
+                        message=8.0, display=9.0)
+    vibration = chain("vibration", period=200.0, sample=20.0, message=24.0,
+                      display=18.0)
+    control = Task(
+        period=25.0,
+        name="control",
+        subtasks=(Subtask(5.0, "field", name="control-loop"),),
+    )
+    plant = System(
+        (pressure, temperature, vibration, control), name="monitor-plant"
+    )
+    # The paper's evaluation assigns subtask priorities with
+    # Proportional-Deadline-Monotonic; reuse it here.
+    return proportional_deadline_monotonic(plant)
+
+
+def main() -> None:
+    plant = build_plant()
+    print(plant.describe())
+    print()
+
+    print(analyze_sa_pm(plant).describe())
+    print()
+    print(analyze_sa_ds(plant).describe())
+    print()
+
+    results = compare_protocols(
+        plant, ("DS", "PM", "MPM", "RG"), horizon_periods=30.0
+    )
+    print("Simulated averages over ~30 hyperperiod-hints:")
+    header = f"{'task':<14}" + "".join(
+        f"{name + ' avg':>10}{name + ' jit':>10}" for name in results
+    )
+    print(header)
+    for i, task in enumerate(plant.tasks):
+        row = f"{task.name:<14}"
+        for result in results.values():
+            metrics = result.metrics.task(i)
+            row += f"{metrics.average_eer:>10.2f}{metrics.output_jitter:>10.2f}"
+        print(row)
+    print()
+    print(
+        "DS gives the freshest display updates; PM/MPM pin the jitter to\n"
+        "the display stage's response bound; RG sits in between, with\n"
+        "DS-like latency and analyzable worst cases.\n"
+    )
+
+    # ------------------------------------------------------------------
+    # Sensitivity: what if synchronization signals cost 1 time unit?
+    # ------------------------------------------------------------------
+    print("With a 1-unit signalling latency between processors (DS):")
+    base = results["DS"]
+    delayed = compare_protocols(
+        plant,
+        ("DS",),
+        horizon_periods=30.0,
+        latency_model=FixedLatency(1.0),
+    )["DS"]
+    for i, task in enumerate(plant.tasks):
+        before = base.metrics.task(i).average_eer
+        after = delayed.metrics.task(i).average_eer
+        print(
+            f"  {task.name:<14} avg EER {before:7.2f} -> {after:7.2f} "
+            f"(+{after - before:.2f})"
+        )
+    print(
+        "\nEach chain hop adds one signal, so a k-stage chain pays about\n"
+        "(k-1) latency units -- matching the paper's advice to model\n"
+        "loaded links as processors rather than ignore them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Example 2, end to end.
+
+Builds the two-processor, three-task system of Figure 2, runs both
+schedulability analyses, simulates all four synchronization protocols,
+and draws the schedules of Figures 3, 5 and 7.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import analyze_sa_ds, analyze_sa_pm, example_two, run_protocol
+from repro.viz import render_gantt
+
+
+def main() -> None:
+    system = example_two()
+    print(system.describe())
+    print()
+
+    # ------------------------------------------------------------------
+    # Schedulability analysis: SA/PM covers the PM, MPM and RG protocols
+    # (Theorem 1); SA/DS covers Direct Synchronization.
+    # ------------------------------------------------------------------
+    sa_pm = analyze_sa_pm(system)
+    sa_ds = analyze_sa_ds(system)
+    print(sa_pm.describe())
+    print()
+    print(sa_ds.describe())
+    print()
+    print(
+        "Under DS, T3's EER bound exceeds its deadline -- and the DS\n"
+        "schedule below indeed misses it.  Under PM/MPM/RG the bound is 5\n"
+        "and T3 always completes in time.\n"
+    )
+
+    # ------------------------------------------------------------------
+    # Simulate each protocol and draw the schedule.
+    # ------------------------------------------------------------------
+    for protocol in ("DS", "PM", "MPM", "RG"):
+        result = run_protocol(
+            system, protocol, horizon=24.0, record_segments=True
+        )
+        print(f"=== {protocol} ===")
+        print(render_gantt(result.trace, until=24.0))
+        eers = [
+            f"T{i + 1}: avg {metrics.average_eer:.2f} / max {metrics.max_eer:.2f}"
+            for i, metrics in enumerate(result.metrics.tasks)
+        ]
+        print("EER times -- " + ", ".join(eers))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Robustness study: which protocol survives which perturbation?
+
+The paper's conclusion (Section 6) flags execution-time variation and
+release jitter as open threats.  This example injects both into a
+synthetic system and tabulates, for every protocol, the number of
+precedence violations and the worst observed EER time against the
+analysis bound -- making the paper's qualitative robustness claims
+concrete:
+
+* all protocols tolerate execution times *below* the analyzed WCETs;
+* sporadic (late) first releases break PM, but not DS/MPM/RG;
+* WCET overruns break both timer-based protocols (PM and MPM), while
+  the completion-triggered ones (DS, RG) merely get slower.
+
+Run:  python examples/robustness_study.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import WorkloadConfig, analyze_sa_pm, generate_system, make_controller
+from repro.model.task import SubtaskId
+from repro.sim import simulate
+from repro.sim.variation import (
+    OverrunInjection,
+    UniformReleaseJitter,
+    UniformScaledExecution,
+)
+
+PROTOCOLS = ("DS", "PM", "MPM", "RG")
+
+
+def run_scenario(system, label, **kwargs) -> None:
+    bounds = analyze_sa_pm(system)
+    print(f"--- {label} ---")
+    print(f"{'protocol':<10}{'violations':>12}{'worst EER/bound':>18}")
+    for protocol in PROTOCOLS:
+        controller = make_controller(protocol, system)
+        result = simulate(
+            system, controller, horizon_periods=10.0, **kwargs
+        )
+        worst_ratio = 0.0
+        for i in range(len(system.tasks)):
+            observed = result.metrics.task(i).max_eer
+            bound = bounds.task_bounds[i]
+            if not math.isnan(observed) and math.isfinite(bound):
+                worst_ratio = max(worst_ratio, observed / bound)
+        flag = "  <-- broken" if result.metrics.precedence_violations else ""
+        print(
+            f"{protocol:<10}{result.metrics.precedence_violations:>12}"
+            f"{worst_ratio:>18.2f}{flag}"
+        )
+    print()
+
+
+def main() -> None:
+    config = WorkloadConfig(
+        subtasks_per_task=4, utilization=0.6, tasks=8, processors=4
+    )
+    system = generate_system(config, seed=11)
+    print(
+        f"System {config.label} seed=11 -- worst EER/bound uses the SA/PM "
+        f"bounds\n(valid for PM/MPM/RG under nominal conditions; ratios "
+        f"above 1 mean the\nanalysis no longer covers reality).\n"
+    )
+
+    run_scenario(system, "nominal (every instance at its WCET)")
+    run_scenario(
+        system,
+        "execution times 30-100% of WCET",
+        execution_model=UniformScaledExecution(0.3, 1.0, seed=1),
+    )
+    run_scenario(
+        system,
+        "sporadic first releases (late by up to one period)",
+        jitter_model=UniformReleaseJitter(
+            min(t.period for t in system.tasks), seed=2
+        ),
+    )
+    run_scenario(
+        system,
+        "every 3rd instance of T1's first stage overruns 4x",
+        execution_model=OverrunInjection(SubtaskId(0, 0), factor=4.0, every=3),
+    )
+    print(
+        "Summary: PM relies on synchronized clocks AND strict periodicity\n"
+        "AND correct WCETs; MPM drops the first two needs but not the\n"
+        "third; DS and RG never violate precedence because they only act\n"
+        "on actual completions (RG additionally keeps the SA/PM bounds\n"
+        "valid when WCETs hold)."
+    )
+
+
+if __name__ == "__main__":
+    main()

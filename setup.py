@@ -1,0 +1,13 @@
+"""Shim for environments without the `wheel` package.
+
+`pip install -e .` uses PEP 660 editable builds, which require `wheel`;
+offline machines without it can fall back to the classic
+
+    python setup.py develop
+
+which this shim enables.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

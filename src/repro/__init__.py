@@ -1,0 +1,105 @@
+"""repro -- synchronization protocols in distributed real-time systems.
+
+A production-quality reproduction of Jun Sun & Jane W.-S. Liu,
+"Synchronization Protocols in Distributed Real-Time Systems" (ICDCS
+1996): the DS, PM, MPM and RG synchronization protocols, the SA/PM and
+SA/DS schedulability analyses, a discrete-event simulator for
+fixed-priority end-to-end task chains, the paper's synthetic workload
+generator, and an experiment harness regenerating every figure of the
+evaluation.
+
+Quickstart::
+
+    from repro import example_two, run_protocol, analyze
+
+    system = example_two()
+    print(analyze(system, "DS").describe())      # SA/DS: T3 bound = 7 > 6
+    result = run_protocol(system, "RG")
+    print(result.average_eer(2))                  # T3 meets its deadline
+"""
+
+from repro.advisor import Recommendation, recommend_protocol
+from repro.api import analyze, compare_protocols, run_protocol
+from repro.core.analysis import (
+    FAILURE_FACTOR,
+    AnalysisResult,
+    analyze_sa_ds,
+    analyze_sa_pm,
+)
+from repro.core.protocols import (
+    PROTOCOL_COSTS,
+    PROTOCOL_NAMES,
+    DirectSynchronization,
+    ModifiedPhaseModification,
+    PhaseModification,
+    ReleaseGuard,
+    make_controller,
+)
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    ModelError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.model import (
+    Subtask,
+    SubtaskId,
+    System,
+    Task,
+    proportional_deadline_monotonic,
+    validate_system,
+)
+from repro.sim import SimulationResult, Trace, simulate
+from repro.workload import (
+    PAPER_GRID,
+    WorkloadConfig,
+    example_two,
+    generate_system,
+    monitor_task_example,
+    paper_grid,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisResult",
+    "ConfigurationError",
+    "DirectSynchronization",
+    "FAILURE_FACTOR",
+    "ModelError",
+    "ModifiedPhaseModification",
+    "PAPER_GRID",
+    "PROTOCOL_COSTS",
+    "PROTOCOL_NAMES",
+    "PhaseModification",
+    "Recommendation",
+    "ReleaseGuard",
+    "ReproError",
+    "recommend_protocol",
+    "SimulationError",
+    "SimulationResult",
+    "Subtask",
+    "SubtaskId",
+    "System",
+    "Task",
+    "Trace",
+    "WorkloadConfig",
+    "WorkloadError",
+    "analyze",
+    "analyze_sa_ds",
+    "analyze_sa_pm",
+    "compare_protocols",
+    "example_two",
+    "generate_system",
+    "make_controller",
+    "monitor_task_example",
+    "paper_grid",
+    "proportional_deadline_monotonic",
+    "run_protocol",
+    "simulate",
+    "validate_system",
+    "__version__",
+]

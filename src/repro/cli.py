@@ -1,0 +1,294 @@
+"""Command-line interface: ``repro-rts`` / ``python -m repro``.
+
+Subcommands
+-----------
+``example2``
+    The paper's Example 2 under one protocol: analysis bounds plus the
+    ASCII Gantt chart of Figures 3/5/7.
+``costs``
+    The Section 3.3 implementation-complexity comparison.
+``analyze``
+    Generate one synthetic system from a (N, U) configuration and print
+    both analyses.
+``suite``
+    The full evaluation sweep: Figures 12-16 as text surfaces.
+``figure``
+    One figure's surface only (12..16).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import json
+from pathlib import Path
+
+from repro.api import run_protocol
+from repro.core.analysis.sa_ds import analyze_sa_ds
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.core.protocols.costs import PROTOCOL_COSTS
+from repro.experiments.evaluation import DEFAULT_PROTOCOLS
+from repro.experiments.expectations import check_suite, render_report
+from repro.experiments.figures import (
+    bound_ratio_surface,
+    eer_ratio_surface,
+    failure_rate_surface,
+)
+from repro.experiments.runner import run_suite, sweep_grid
+from repro.io import (
+    analysis_result_to_dict,
+    load_system,
+    save_system,
+    surface_to_csv,
+)
+from repro.viz.gantt import render_gantt
+from repro.workload.config import WorkloadConfig, paper_grid
+from repro.workload.examples import example_two
+from repro.workload.generator import generate_system
+
+__all__ = ["main"]
+
+
+def _add_grid_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--systems", type=int, default=10,
+        help="systems per configuration (paper: 1000; default: 10)",
+    )
+    parser.add_argument(
+        "--subtasks", type=int, nargs="+", default=[2, 3, 4, 5, 6, 7, 8],
+        help="subtasks-per-task values (paper: 2..8)",
+    )
+    parser.add_argument(
+        "--utilizations", type=float, nargs="+",
+        default=[0.5, 0.6, 0.7, 0.8, 0.9],
+        help="per-processor utilizations (paper: 0.5..0.9)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--horizon-periods", type=float, default=10.0,
+        help="simulation horizon in multiples of the largest period",
+    )
+    parser.add_argument(
+        "--tasks", type=int, default=12, help="tasks per system (paper: 12)"
+    )
+    parser.add_argument(
+        "--processors", type=int, default=4,
+        help="processors per system (paper: 4)",
+    )
+    parser.add_argument(
+        "--ci", action="store_true", help="show 90%% confidence intervals"
+    )
+
+
+def _cmd_example2(args: argparse.Namespace) -> int:
+    system = example_two()
+    print(system.describe())
+    print()
+    print(analyze_sa_pm(system).describe())
+    print()
+    print(analyze_sa_ds(system).describe())
+    print()
+    result = run_protocol(
+        system, args.protocol, horizon=args.until, record_segments=True
+    )
+    print(f"schedule under {args.protocol} (first {args.until:g} time units):")
+    print(render_gantt(result.trace, until=args.until))
+    return 0
+
+
+def _cmd_costs(_args: argparse.Namespace) -> int:
+    print("Section 3.3 -- implementation complexity and run-time overhead:")
+    for costs in PROTOCOL_COSTS.values():
+        print("  " + costs.describe())
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.load is not None:
+        system = load_system(args.load)
+    else:
+        if args.n is None or args.u is None:
+            print("analyze: need --n and --u (or --load FILE)", file=sys.stderr)
+            return 2
+        config = WorkloadConfig(
+            subtasks_per_task=args.n,
+            utilization=args.u,
+            tasks=args.tasks,
+            processors=args.processors,
+        )
+        system = generate_system(config, args.seed)
+    if args.save is not None:
+        save_system(system, args.save)
+        print(f"saved system to {args.save}", file=sys.stderr)
+    print(system.describe())
+    print()
+    sa_pm = analyze_sa_pm(system)
+    sa_ds = analyze_sa_ds(system)
+    print(sa_pm.describe())
+    print()
+    print(sa_ds.describe())
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(
+                {
+                    "sa_pm": analysis_result_to_dict(sa_pm),
+                    "sa_ds": analysis_result_to_dict(sa_ds),
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote analysis JSON to {args.json}", file=sys.stderr)
+    return 0
+
+
+def _progress(line: str) -> None:
+    print(line, file=sys.stderr)
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    result = run_suite(
+        systems=args.systems,
+        subtask_counts=tuple(args.subtasks),
+        utilizations=tuple(args.utilizations),
+        base_seed=args.seed,
+        horizon_periods=args.horizon_periods,
+        progress=_progress,
+        grid_overrides={"tasks": args.tasks, "processors": args.processors},
+    )
+    print(result.render(show_ci=args.ci))
+    if args.check:
+        print()
+        print(render_report(check_suite(result)))
+    if args.save_evals is not None:
+        from repro.io import save_evaluations
+
+        save_evaluations(result.evaluations, args.save_evals)
+        print(f"saved evaluations to {args.save_evals}", file=sys.stderr)
+    if args.markdown is not None:
+        from repro.experiments.report import suite_report
+
+        Path(args.markdown).write_text(suite_report(result))
+        print(f"wrote markdown report to {args.markdown}", file=sys.stderr)
+    if args.csv_dir is not None:
+        out = Path(args.csv_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for label, surface in (
+            ("fig12_failure_rate", result.failure_rate),
+            ("fig13_bound_ratio", result.bound_ratio),
+            ("fig14_pm_ds", result.pm_ds_ratio),
+            ("fig15_rg_ds", result.rg_ds_ratio),
+            ("fig16_pm_rg", result.pm_rg_ratio),
+        ):
+            (out / f"{label}.csv").write_text(surface_to_csv(surface))
+        print(f"wrote CSV surfaces to {out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    analyses_only = args.number in (12, 13)
+    configs = paper_grid(
+        subtask_counts=tuple(args.subtasks),
+        utilizations=tuple(args.utilizations),
+        tasks=args.tasks,
+        processors=args.processors,
+        random_phases=not analyses_only,
+    )
+    evaluations = sweep_grid(
+        configs,
+        args.systems,
+        base_seed=args.seed,
+        progress=_progress,
+        protocols=() if analyses_only else DEFAULT_PROTOCOLS,
+        run_simulations=not analyses_only,
+        run_analyses=analyses_only,
+        horizon_periods=args.horizon_periods,
+    )
+    if args.number == 12:
+        surface = failure_rate_surface(evaluations)
+    elif args.number == 13:
+        surface = bound_ratio_surface(evaluations)
+    elif args.number == 14:
+        surface = eer_ratio_surface(evaluations, "PM", "DS")
+    elif args.number == 15:
+        surface = eer_ratio_surface(evaluations, "RG", "DS")
+    else:
+        surface = eer_ratio_surface(evaluations, "PM", "RG")
+    print(surface.render(show_ci=args.ci))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rts",
+        description=(
+            "Reproduction of Sun & Liu, 'Synchronization Protocols in "
+            "Distributed Real-Time Systems' (ICDCS 1996)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p = subparsers.add_parser(
+        "example2", help="Example 2 schedules and bounds (Figs. 3/5/7)"
+    )
+    p.add_argument(
+        "--protocol", choices=("DS", "PM", "MPM", "RG"), default="DS"
+    )
+    p.add_argument("--until", type=float, default=24.0)
+    p.set_defaults(handler=_cmd_example2)
+
+    p = subparsers.add_parser("costs", help="Section 3.3 cost comparison")
+    p.set_defaults(handler=_cmd_costs)
+
+    p = subparsers.add_parser(
+        "analyze", help="analyze one synthetic (N,U) or saved system"
+    )
+    p.add_argument("--n", type=int, default=None, help="subtasks per task")
+    p.add_argument("--u", type=float, default=None, help="utilization")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tasks", type=int, default=12)
+    p.add_argument("--processors", type=int, default=4)
+    p.add_argument("--load", default=None, help="analyze a saved system JSON")
+    p.add_argument("--save", default=None, help="save the system as JSON")
+    p.add_argument("--json", default=None, help="write analysis results JSON")
+    p.set_defaults(handler=_cmd_analyze)
+
+    p = subparsers.add_parser("suite", help="reproduce Figures 12-16")
+    _add_grid_options(p)
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the paper-shape expectations on the result",
+    )
+    p.add_argument(
+        "--csv-dir", default=None, help="also write each surface as CSV"
+    )
+    p.add_argument(
+        "--markdown", default=None, help="write a markdown report file"
+    )
+    p.add_argument(
+        "--save-evals",
+        default=None,
+        help="checkpoint the per-system evaluations as JSON",
+    )
+    p.set_defaults(handler=_cmd_suite)
+
+    p = subparsers.add_parser("figure", help="reproduce one figure")
+    p.add_argument("number", type=int, choices=(12, 13, 14, 15, 16))
+    _add_grid_options(p)
+    p.set_defaults(handler=_cmd_figure)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""The paper's contribution: synchronization protocols + their analyses."""
+
+from repro.core import analysis, protocols
+
+__all__ = ["analysis", "protocols"]

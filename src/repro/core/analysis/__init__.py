@@ -1,0 +1,44 @@
+"""Schedulability analyses: SA/PM (valid for PM, MPM, RG) and SA/DS."""
+
+from repro.core.analysis.busy_period import (
+    SubtaskBusyPeriod,
+    analyze_subtask,
+    interference_terms,
+)
+from repro.core.analysis.fixpoint import ceil_tolerant, solve_fixed_point
+from repro.core.analysis.local_deadline import analyze_local_deadline
+from repro.core.analysis.overheads import (
+    analyze_with_overhead,
+    inflate_for_overhead,
+)
+from repro.core.analysis.results import FAILURE_FACTOR, AnalysisResult
+from repro.core.analysis.sa_ds import (
+    analyze_sa_ds,
+    ieert_pass,
+    initial_ieer_bounds,
+)
+from repro.core.analysis.sa_pm import analyze_sa_pm, sa_pm_subtask_details
+from repro.core.analysis.sensitivity import (
+    breakdown_scaling,
+    scale_execution_times,
+)
+
+__all__ = [
+    "FAILURE_FACTOR",
+    "AnalysisResult",
+    "SubtaskBusyPeriod",
+    "analyze_local_deadline",
+    "analyze_sa_ds",
+    "analyze_sa_pm",
+    "analyze_subtask",
+    "analyze_with_overhead",
+    "breakdown_scaling",
+    "ceil_tolerant",
+    "inflate_for_overhead",
+    "scale_execution_times",
+    "ieert_pass",
+    "initial_ieer_bounds",
+    "interference_terms",
+    "sa_pm_subtask_details",
+    "solve_fixed_point",
+]

@@ -1,0 +1,78 @@
+"""Fixed-point iteration utilities shared by all analyses.
+
+Every bound in the paper is the least positive solution of an equation of
+the form ``t = W(t)`` where ``W`` is a non-decreasing, piecewise-constant
+*demand* function built from ceiling terms (Eqs. 1 and 3, and their
+jittered variants in Algorithm IEERT).  The classic iteration
+
+    t_0 = W(0+),  t_{k+1} = W(t_k)
+
+converges to the least fixed point from below whenever one exists; when
+the demand's long-run rate is >= 1 it diverges, which the caller detects
+with a cap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import AnalysisError
+
+__all__ = ["ceil_tolerant", "solve_fixed_point", "DEFAULT_MAX_ITERATIONS"]
+
+#: Relative tolerance swallowing float noise in ceiling arguments, so that
+#: e.g. ``ceil(5.000000000001)`` counts as 5, not 6.  Demands are built
+#: from sums/products of workload parameters, where errors are ~1e-15
+#: relative; 1e-9 is far above the noise and far below model granularity.
+_CEIL_SLACK = 1e-9
+
+#: Iteration budget; demand fixed points of realistic systems converge in
+#: well under a thousand steps, so hitting this indicates a degenerate
+#: input (e.g. utilization exactly 1 with incommensurate periods).
+DEFAULT_MAX_ITERATIONS = 100_000
+
+
+def ceil_tolerant(value: float) -> int:
+    """Ceiling with a small backward tolerance for float noise."""
+    return math.ceil(value - _CEIL_SLACK)
+
+
+def solve_fixed_point(
+    demand: Callable[[float], float],
+    start: float,
+    cap: float,
+    *,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> float | None:
+    """Least fixed point of ``demand`` at or above ``start``.
+
+    Returns ``None`` when the iterate exceeds ``cap`` (the caller treats
+    this as "effectively infinite" -- the paper's failure condition).
+
+    Raises
+    ------
+    AnalysisError
+        If the iteration neither converges nor passes the cap within
+        ``max_iterations`` steps -- possible only for pathological demand
+        functions (non-monotone, or creeping by denormal increments).
+    """
+    if start <= 0:
+        raise AnalysisError(f"fixed-point start must be > 0, got {start!r}")
+    current = start
+    for _ in range(max_iterations):
+        if current > cap:
+            return None
+        nxt = demand(current)
+        if nxt < current - 1e-9:
+            raise AnalysisError(
+                "demand function is not monotone: "
+                f"W({current:g}) = {nxt:g} < {current:g}"
+            )
+        if nxt - current <= 1e-9 * max(1.0, abs(current)):
+            return nxt
+        current = nxt
+    raise AnalysisError(
+        f"fixed-point iteration did not settle within {max_iterations} "
+        f"steps (last iterate {current:g}, cap {cap:g})"
+    )

@@ -1,0 +1,87 @@
+"""Overhead-aware analysis -- the Section 3.3 accounting, implemented.
+
+The paper notes that the interrupt and context-switch costs of each
+protocol "can be easily taken into account in the schedulability
+analysis"; the standard way is to inflate every subtask's execution
+time by the per-instance overhead before running the analysis.  This
+module does exactly that, so the cost model of
+:mod:`repro.core.protocols.costs` becomes quantitative: with the same
+platform costs, DS and PM charge one interrupt per instance, MPM and RG
+two, and everyone pays two context switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.analysis.results import AnalysisResult
+from repro.core.analysis.sa_ds import analyze_sa_ds
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.core.protocols.costs import overhead_per_instance
+from repro.errors import ConfigurationError
+from repro.model.system import System
+
+__all__ = ["inflate_for_overhead", "analyze_with_overhead"]
+
+
+def inflate_for_overhead(
+    system: System,
+    protocol: str,
+    *,
+    interrupt_cost: float,
+    context_switch_cost: float,
+) -> System:
+    """A copy of ``system`` with every execution time inflated by the
+    protocol's per-instance overhead.
+
+    Raises :class:`ConfigurationError` when the inflation pushes any
+    processor's utilization above 1 -- the platform cannot even pay for
+    the protocol's bookkeeping.
+    """
+    overhead = overhead_per_instance(
+        protocol,
+        interrupt_cost=interrupt_cost,
+        context_switch_cost=context_switch_cost,
+    )
+    inflated = system.with_tasks(
+        task.with_subtasks(
+            tuple(
+                replace(stage, execution_time=stage.execution_time + overhead)
+                for stage in task.subtasks
+            )
+        )
+        for task in system.tasks
+    )
+    for processor, utilization in inflated.utilizations().items():
+        if utilization > 1.0 + 1e-12:
+            raise ConfigurationError(
+                f"overhead of protocol {protocol!r} overloads processor "
+                f"{processor!r}: utilization {utilization:.4f} > 1"
+            )
+    return inflated
+
+
+def analyze_with_overhead(
+    system: System,
+    protocol: str,
+    *,
+    interrupt_cost: float,
+    context_switch_cost: float,
+    **analysis_kwargs,
+) -> AnalysisResult:
+    """Run the protocol's analysis on the overhead-inflated system.
+
+    DS uses Algorithm SA/DS; PM, MPM and RG use Algorithm SA/PM -- each
+    on a copy of the system whose execution times include the protocol's
+    per-instance interrupt and context-switch costs.
+    """
+    inflated = inflate_for_overhead(
+        system,
+        protocol,
+        interrupt_cost=interrupt_cost,
+        context_switch_cost=context_switch_cost,
+    )
+    canonical = protocol.upper()
+    if canonical == "DS":
+        return analyze_sa_ds(inflated, **analysis_kwargs)
+    return analyze_sa_pm(inflated, **analysis_kwargs)

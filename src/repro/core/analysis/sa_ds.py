@@ -1,0 +1,203 @@
+"""Algorithms IEERT and SA/DS -- schedulability analysis for DS.
+
+Under Direct Synchronization the releases of later subtasks inherit the
+response-time variability of their predecessors and can *clump*; plain
+busy-period analysis does not apply.  Algorithm IEERT (Fig. 10 of the
+paper) bounds the *intermediate end-to-end response* (IEER) time of every
+subtask -- completion of ``T_i,j(m)`` minus the release of ``T_i,1(m)`` --
+by treating each subtask's current IEER-bound-of-predecessor as release
+jitter in the interference terms:
+
+    D_i,j   = lfp { t = sum_{H ∪ self} ceil((t + R_u,v-1)/p_u) e_u,v }
+    M_i,j   = ceil((D_i,j + R_i,j-1) / p_i)
+    C_i,j(m)= lfp { t = m e_i,j + sum_H ceil((t + R_u,v-1)/p_u) e_u,v }
+    R'_i,j(m) = C_i,j(m) + R_i,j-1 - (m-1) p_i
+    R'_i,j  = max_m R'_i,j(m)
+
+Algorithm SA/DS (Fig. 11) iterates IEERT from the optimistic seed
+``R_i,j = sum_{k<=j} e_i,k`` until the bounds reach a fixed point
+(Theorem 2: any positive fixed point is a correct bound) -- or until some
+task's bound exceeds the paper's failure cutoff of 300 periods, in which
+case the bound is reported "for all practical purposes infinite".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.core.analysis.busy_period import analyze_subtask
+from repro.core.analysis.results import FAILURE_FACTOR, AnalysisResult
+from repro.errors import AnalysisError
+from repro.model.system import System
+from repro.model.task import SubtaskId
+
+__all__ = ["ieert_pass", "analyze_sa_ds", "initial_ieer_bounds"]
+
+#: Convergence tolerance of the outer fixed point, relative to the bound.
+_CONVERGENCE_RTOL = 1e-9
+
+
+def initial_ieer_bounds(system: System) -> dict[SubtaskId, float]:
+    """The SA/DS seed: cumulative execution times along each chain."""
+    return {
+        sid: system.tasks[sid.task_index].cumulative_execution_time(
+            sid.subtask_index
+        )
+        for sid in system.subtask_ids
+    }
+
+
+def _jitter_view(
+    system: System, bounds: Mapping[SubtaskId, float]
+) -> dict[SubtaskId, float]:
+    """Release jitter per subtask: its predecessor's IEER bound, 0 for
+    first subtasks (``R_u,0 = 0`` in the paper's notation)."""
+    view: dict[SubtaskId, float] = {}
+    for sid in system.subtask_ids:
+        predecessor = sid.predecessor
+        view[sid] = bounds[predecessor] if predecessor is not None else 0.0
+    return view
+
+
+def ieert_pass(
+    system: System,
+    bounds: Mapping[SubtaskId, float],
+    *,
+    failure_factor: float | None = FAILURE_FACTOR,
+) -> dict[SubtaskId, float]:
+    """One application of Algorithm IEERT: new bounds from old bounds.
+
+    Infinite *input* bounds are propagated: any subtask whose predecessor
+    or interference jitter is infinite gets an infinite output bound.
+    With ``failure_factor`` set, the per-instance loop aborts early once
+    an instance's bound exceeds ``failure_factor * p_i`` and reports the
+    subtask bound as infinite (sound, since the true maximum is at least
+    as large).
+    """
+    jitter = _jitter_view(system, bounds)
+    new_bounds: dict[SubtaskId, float] = {}
+    for sid in system.subtask_ids:
+        period = system.period_of(sid)
+        relevant = [jitter[sid]] + [
+            jitter[other] for other in system.interference_set(sid)
+        ]
+        if any(math.isinf(j) for j in relevant):
+            new_bounds[sid] = math.inf
+            continue
+        cutoff = (
+            failure_factor * period if failure_factor is not None else None
+        )
+        record = analyze_subtask(system, sid, jitter, abort_above=cutoff)
+        new_bounds[sid] = math.inf if record.bound is None else record.bound
+    return new_bounds
+
+
+def analyze_sa_ds(
+    system: System,
+    *,
+    failure_factor: float = FAILURE_FACTOR,
+    max_iterations: int = 300,
+) -> AnalysisResult:
+    """Run Algorithm SA/DS over a system.
+
+    Returns an :class:`AnalysisResult` whose ``subtask_bounds`` are IEER
+    bounds and whose ``task_bounds`` are the IEER bounds of last subtasks
+    (= the EER bounds).  ``result.failed`` is True when some task's bound
+    exceeded the failure cutoff (reported as infinity), reproducing the
+    paper's failure statistic for Figure 12.
+
+    Raises
+    ------
+    AnalysisError
+        Only if the iteration neither converges nor trips the cutoff
+        within ``max_iterations`` passes -- the monotone iteration makes
+        this practically unreachable; it guards against degenerate float
+        behaviour.
+    """
+    if max_iterations < 1:
+        raise AnalysisError(
+            f"max_iterations must be >= 1, got {max_iterations!r}"
+        )
+    bounds = initial_ieer_bounds(system)
+    notes: list[str] = []
+    iterations = 0
+    failed = False
+    while True:
+        iterations += 1
+        new_bounds = ieert_pass(
+            system, bounds, failure_factor=failure_factor
+        )
+        # The paper's failure cutoff, checked at task level: a task whose
+        # EER bound exceeds failure_factor periods is declared unbounded.
+        for task_index, task in enumerate(system.tasks):
+            last = SubtaskId(task_index, task.chain_length - 1)
+            if new_bounds[last] > failure_factor * task.period:
+                new_bounds[last] = math.inf
+        if any(math.isinf(value) for value in new_bounds.values()):
+            failed = True
+            bounds = new_bounds
+            notes.append(
+                f"failure cutoff ({failure_factor:g} periods) tripped after "
+                f"{iterations} IEERT pass(es)"
+            )
+            break
+        converged = all(
+            abs(new_bounds[sid] - bounds[sid])
+            <= _CONVERGENCE_RTOL * max(1.0, bounds[sid])
+            for sid in system.subtask_ids
+        )
+        bounds = new_bounds
+        if converged:
+            break
+        if iterations >= max_iterations:
+            # The monotone iteration is still growing after many passes:
+            # it is creeping toward the cutoff.  Declaring failure here
+            # matches the paper's practical reading of such bounds as
+            # infinite, at a tiny risk of misclassifying a very slowly
+            # converging system.
+            failed = True
+            for sid in system.subtask_ids:
+                if system.is_last(sid):
+                    bounds = dict(bounds)
+                    bounds[sid] = math.inf
+            notes.append(
+                f"no fixed point within {max_iterations} IEERT passes; "
+                f"bounds still growing -- declared failure"
+            )
+            break
+    task_bounds = []
+    for task_index, task in enumerate(system.tasks):
+        last = SubtaskId(task_index, task.chain_length - 1)
+        value = bounds[last]
+        # IEER bounds grow along a chain, so an infinite bound anywhere on
+        # the chain means the task's EER bound is infinite -- even when the
+        # iteration stopped before recomputing the last subtask.
+        chain_diverged = any(
+            math.isinf(bounds[SubtaskId(task_index, j)])
+            for j in range(task.chain_length)
+        )
+        task_bounds.append(
+            math.inf
+            if (
+                chain_diverged
+                or value > failure_factor * task.period
+            )
+            else value
+        )
+    if failed:
+        # Bounds of tasks that had not yet exceeded the cutoff when the
+        # iteration stopped are not converged; in a failed result only the
+        # infinities are meaningful.
+        notes.append(
+            "non-infinite bounds in a failed result are lower estimates "
+            "(iteration stopped at the failure cutoff)"
+        )
+    return AnalysisResult(
+        system=system,
+        algorithm="SA/DS",
+        subtask_bounds=bounds,
+        task_bounds=tuple(task_bounds),
+        iterations=iterations,
+        notes=tuple(notes),
+    )

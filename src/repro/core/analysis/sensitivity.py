@@ -1,0 +1,103 @@
+"""Sensitivity analysis: breakdown execution-time scaling.
+
+A classic summary of schedulability margin: the largest factor by which
+*all* execution times can be scaled before the system stops being
+certifiably schedulable.  A factor above 1 measures headroom; below 1,
+the relative overload.  Comparing the factor under SA/PM (the PM/MPM/RG
+verdict) against SA/DS (the DS verdict) prices the protocol choice in
+capacity terms -- by how much faster a processor must be before DS
+becomes certifiable -- turning the paper's Figure-13 bound ratios into
+an engineering number.
+
+The search is a bisection over the scaling factor; each probe scales
+every subtask's execution time and re-runs the chosen analysis.
+Monotonicity (larger executions never help) makes bisection exact up to
+the requested tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.analysis.sa_ds import analyze_sa_ds
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.errors import ConfigurationError
+from repro.model.system import System
+
+__all__ = ["scale_execution_times", "breakdown_scaling"]
+
+
+def scale_execution_times(system: System, factor: float) -> System:
+    """A copy of ``system`` with every execution time multiplied."""
+    if factor <= 0:
+        raise ConfigurationError(f"factor must be > 0, got {factor!r}")
+    return system.with_tasks(
+        task.with_subtasks(
+            tuple(
+                replace(stage, execution_time=stage.execution_time * factor)
+                for stage in task.subtasks
+            )
+        )
+        for task in system.tasks
+    )
+
+
+def _schedulable(system: System, analysis: str, sa_ds_max_iterations: int) -> bool:
+    if system.max_utilization >= 1.0 - 1e-12:
+        return False
+    if analysis == "SA/DS":
+        return analyze_sa_ds(
+            system, max_iterations=sa_ds_max_iterations
+        ).schedulable
+    return analyze_sa_pm(system).schedulable
+
+
+def breakdown_scaling(
+    system: System,
+    analysis: str = "SA/PM",
+    *,
+    tolerance: float = 1e-3,
+    max_factor: float = 16.0,
+    sa_ds_max_iterations: int = 60,
+) -> float:
+    """The largest execution-time scaling keeping the system certifiable.
+
+    Returns a factor in ``(0, max_factor]``; 0.0 when the system is
+    unschedulable at *any* positive scale the search can resolve (i.e.
+    below ``tolerance``).  ``analysis`` is ``"SA/PM"`` or ``"SA/DS"``.
+    """
+    if analysis not in ("SA/PM", "SA/DS"):
+        raise ConfigurationError(
+            f"analysis must be 'SA/PM' or 'SA/DS', got {analysis!r}"
+        )
+    if tolerance <= 0:
+        raise ConfigurationError(f"tolerance must be > 0, got {tolerance!r}")
+    if max_factor <= 0:
+        raise ConfigurationError(
+            f"max_factor must be > 0, got {max_factor!r}"
+        )
+
+    def ok(factor: float) -> bool:
+        return _schedulable(
+            scale_execution_times(system, factor),
+            analysis,
+            sa_ds_max_iterations,
+        )
+
+    if ok(max_factor):
+        return max_factor
+    low, high = 0.0, max_factor
+    # Seed the bracket with factor 1 to save probes in the common case.
+    if ok(1.0):
+        low = 1.0
+    else:
+        high = 1.0
+    while high - low > tolerance:
+        mid = (low + high) / 2
+        if mid <= 0:
+            break
+        if ok(mid):
+            low = mid
+        else:
+            high = mid
+    return low

@@ -1,0 +1,33 @@
+"""The paper's synchronization protocols: DS, PM, MPM and RG."""
+
+from repro.core.protocols.costs import (
+    PROTOCOL_COSTS,
+    ProtocolCosts,
+    overhead_per_instance,
+)
+from repro.core.protocols.direct import DirectSynchronization
+from repro.core.protocols.factory import (
+    PROTOCOL_NAMES,
+    make_controller,
+    pm_bounds_for,
+)
+from repro.core.protocols.modified_pm import ModifiedPhaseModification
+from repro.core.protocols.phase_modification import (
+    PhaseModification,
+    compute_modified_phases,
+)
+from repro.core.protocols.release_guard import ReleaseGuard
+
+__all__ = [
+    "PROTOCOL_COSTS",
+    "PROTOCOL_NAMES",
+    "DirectSynchronization",
+    "ModifiedPhaseModification",
+    "PhaseModification",
+    "ProtocolCosts",
+    "ReleaseGuard",
+    "compute_modified_phases",
+    "make_controller",
+    "overhead_per_instance",
+    "pm_bounds_for",
+]

@@ -1,0 +1,126 @@
+"""Implementation-complexity and run-time-overhead model -- Section 3.3.
+
+The paper compares the four protocols on static attributes: which
+interrupt support they need, how many state variables they keep per
+subtask, how many interrupts each subtask instance incurs, and whether
+they need global clock synchronization or global load information.  This
+module encodes that table so the comparison can be regenerated
+programmatically (benchmark E10) and so the overhead can be charged into
+analyses when desired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ProtocolCosts", "PROTOCOL_COSTS", "overhead_per_instance"]
+
+
+@dataclass(frozen=True)
+class ProtocolCosts:
+    """Static cost attributes of one synchronization protocol."""
+
+    protocol: str
+    needs_timer_interrupt: bool
+    needs_sync_interrupt: bool
+    variables_per_subtask: int
+    interrupts_per_instance: int
+    context_switches_per_instance: int
+    needs_clock_sync: bool
+    needs_global_load_info: bool
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        supports = []
+        if self.needs_timer_interrupt:
+            supports.append("timer")
+        if self.needs_sync_interrupt:
+            supports.append("sync")
+        return (
+            f"{self.protocol}: interrupts={'+'.join(supports) or 'none'}, "
+            f"vars/subtask={self.variables_per_subtask}, "
+            f"interrupts/instance={self.interrupts_per_instance}, "
+            f"ctx-switches/instance={self.context_switches_per_instance}, "
+            f"clock-sync={'yes' if self.needs_clock_sync else 'no'}, "
+            f"global-load-info={'yes' if self.needs_global_load_info else 'no'}"
+        )
+
+
+#: Section 3.3 verbatim: DS needs only the sync interrupt and no state;
+#: PM needs only the timer (and clock sync, and the R_i,j table -- global
+#: load information); MPM and RG need both interrupt kinds; PM/MPM store
+#: one response-time bound per subtask, RG stores one guard; every
+#: protocol pays two context switches per instance under fixed-priority
+#: scheduling.
+PROTOCOL_COSTS: Mapping[str, ProtocolCosts] = {
+    "DS": ProtocolCosts(
+        protocol="DS",
+        needs_timer_interrupt=False,
+        needs_sync_interrupt=True,
+        variables_per_subtask=0,
+        interrupts_per_instance=1,
+        context_switches_per_instance=2,
+        needs_clock_sync=False,
+        needs_global_load_info=False,
+    ),
+    "PM": ProtocolCosts(
+        protocol="PM",
+        needs_timer_interrupt=True,
+        needs_sync_interrupt=False,
+        variables_per_subtask=1,
+        interrupts_per_instance=1,
+        context_switches_per_instance=2,
+        needs_clock_sync=True,
+        needs_global_load_info=True,
+    ),
+    "MPM": ProtocolCosts(
+        protocol="MPM",
+        needs_timer_interrupt=True,
+        needs_sync_interrupt=True,
+        variables_per_subtask=1,
+        interrupts_per_instance=2,
+        context_switches_per_instance=2,
+        needs_clock_sync=False,
+        needs_global_load_info=True,
+    ),
+    "RG": ProtocolCosts(
+        protocol="RG",
+        needs_timer_interrupt=True,
+        needs_sync_interrupt=True,
+        variables_per_subtask=1,
+        interrupts_per_instance=2,
+        context_switches_per_instance=2,
+        needs_clock_sync=False,
+        needs_global_load_info=False,
+    ),
+}
+
+
+def overhead_per_instance(
+    protocol: str,
+    *,
+    interrupt_cost: float,
+    context_switch_cost: float,
+) -> float:
+    """Run-time overhead charged to each subtask instance.
+
+    The paper notes these costs "can easily be taken into account in the
+    schedulability analysis" by inflating execution times; this helper
+    computes the inflation for a given platform cost model.
+    """
+    if interrupt_cost < 0 or context_switch_cost < 0:
+        raise ConfigurationError("overhead costs must be >= 0")
+    try:
+        costs = PROTOCOL_COSTS[protocol]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOL_COSTS))
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; known: {known}"
+        ) from None
+    return (
+        costs.interrupts_per_instance * interrupt_cost
+        + costs.context_switches_per_instance * context_switch_cost
+    )

@@ -1,0 +1,32 @@
+"""The Direct Synchronization (DS) protocol -- Section 3 of the paper.
+
+When an instance of a subtask completes, the scheduler on its processor
+sends a synchronization signal to the scheduler of the processor where the
+immediate successor executes; the successor instance is released the
+moment the signal arrives.  DS is the cheapest protocol (one interrupt per
+instance, no per-subtask state) and yields the shortest average EER times,
+but releases of later subtasks can *clump*, which makes the worst-case
+analysis (Algorithm SA/DS) pessimistic and sometimes unbounded.
+"""
+
+from __future__ import annotations
+
+from repro.model.task import SubtaskId
+from repro.sim.interfaces import ReleaseController
+
+__all__ = ["DirectSynchronization"]
+
+
+class DirectSynchronization(ReleaseController):
+    """Release each successor the instant its predecessor completes."""
+
+    name = "DS"
+
+    def on_completion(self, sid: SubtaskId, instance: int, now: float) -> None:
+        assert self.kernel is not None and self.system is not None
+        successor = self.system.successor_of(sid)
+        if successor is not None:
+            self.kernel.send_signal(successor, instance)
+
+    # on_signal inherits the immediate-release default, which is exactly
+    # the DS behaviour.

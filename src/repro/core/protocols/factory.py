@@ -1,0 +1,74 @@
+"""Construct protocol controllers by name, wiring in analysis bounds.
+
+PM and MPM need per-subtask response-time bounds before they can run;
+when the caller does not supply them, this factory obtains them from
+Algorithm SA/PM -- exactly the dependency on schedulability analysis that
+Section 3.1 criticizes PM/MPM for (and that RG avoids).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.core.protocols.direct import DirectSynchronization
+from repro.core.protocols.modified_pm import ModifiedPhaseModification
+from repro.core.protocols.phase_modification import PhaseModification
+from repro.core.protocols.release_guard import ReleaseGuard
+from repro.errors import ConfigurationError
+from repro.model.system import System
+from repro.model.task import SubtaskId
+from repro.sim.interfaces import ReleaseController
+
+__all__ = ["PROTOCOL_NAMES", "make_controller", "pm_bounds_for"]
+
+#: Canonical protocol names, in the paper's order of introduction.
+PROTOCOL_NAMES = ("DS", "PM", "MPM", "RG")
+
+
+def pm_bounds_for(system: System) -> dict[SubtaskId, float]:
+    """Response-time bounds for PM/MPM, from Algorithm SA/PM.
+
+    Raises :class:`ConfigurationError` when any *non-last* subtask's
+    bound is infinite: PM/MPM cannot schedule releases without finite
+    bounds for the chain prefix.
+    """
+    result = analyze_sa_pm(system)
+    bounds = dict(result.subtask_bounds)
+    for task_index, task in enumerate(system.tasks):
+        for j in range(task.chain_length - 1):
+            sid = SubtaskId(task_index, j)
+            if math.isinf(bounds[sid]):
+                raise ConfigurationError(
+                    f"SA/PM bound of {sid} is infinite; the PM/MPM "
+                    f"protocols need finite bounds for all non-last "
+                    f"subtasks"
+                )
+    return bounds
+
+
+def make_controller(
+    name: str,
+    system: System,
+    *,
+    bounds: Mapping[SubtaskId, float] | None = None,
+) -> ReleaseController:
+    """Build the named protocol's controller for ``system``.
+
+    ``bounds`` (PM/MPM only) overrides the SA/PM-derived response-time
+    bounds -- useful for failure injection and what-if studies.
+    """
+    canonical = name.upper()
+    if canonical == "DS":
+        return DirectSynchronization()
+    if canonical == "RG":
+        return ReleaseGuard()
+    if canonical in ("PM", "MPM"):
+        effective = dict(bounds) if bounds is not None else pm_bounds_for(system)
+        if canonical == "PM":
+            return PhaseModification(effective)
+        return ModifiedPhaseModification(effective)
+    raise ConfigurationError(
+        f"unknown protocol {name!r}; known: {', '.join(PROTOCOL_NAMES)}"
+    )

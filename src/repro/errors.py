@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one type to handle any library
+failure.  The subclasses partition the failure domains:
+
+* :class:`ModelError` -- an ill-formed task set, subtask, or system
+  description (non-positive period, empty chain, unknown processor, ...).
+* :class:`ConfigurationError` -- an ill-formed experiment or workload
+  configuration (bad utilization, bad grid, ...).
+* :class:`AnalysisError` -- a schedulability analysis could not run, e.g.
+  the busy-period iteration was asked to analyse an overloaded processor.
+* :class:`SimulationError` -- the discrete-event simulation detected an
+  internal inconsistency (events out of order, precedence violation, ...).
+* :class:`WorkloadError` -- the synthetic workload generator could not
+  satisfy the requested constraints.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception deliberately raised by this library."""
+
+
+class ModelError(ReproError):
+    """An ill-formed task, subtask, processor, or system description."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid experiment, workload, or simulation configuration."""
+
+
+class AnalysisError(ReproError):
+    """A schedulability analysis could not be carried out.
+
+    Note that an *unschedulable* system is not an error: analyses report
+    unschedulability through their result objects.  This exception covers
+    cases where the analysis itself is inapplicable, e.g. a processor with
+    utilization above 1 handed to the busy-period iteration, or an
+    iteration cap exceeded.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """The synthetic workload generator could not satisfy its constraints."""

@@ -1,0 +1,50 @@
+"""Experiment harness regenerating the paper's evaluation (Figs. 12-16)."""
+
+from repro.experiments.evaluation import (
+    SystemEvaluation,
+    evaluate_config,
+    evaluate_system,
+)
+from repro.experiments.expectations import (
+    PAPER_EXPECTATIONS,
+    Expectation,
+    check_suite,
+    render_report,
+)
+from repro.experiments.figures import (
+    bound_ratio_surface,
+    eer_ratio_surface,
+    failure_rate_surface,
+)
+from repro.experiments.figures import schedulability_surface
+from repro.experiments.parallel import parallel_sweep_grid
+from repro.experiments.report import suite_report
+from repro.experiments.tightness import TightnessStudy, measure_tightness
+from repro.experiments.runner import SuiteResult, run_suite, sweep_grid
+from repro.experiments.stats import MeanWithCI, mean_with_ci
+from repro.experiments.surface import Cell, Surface
+
+__all__ = [
+    "Cell",
+    "Expectation",
+    "MeanWithCI",
+    "PAPER_EXPECTATIONS",
+    "TightnessStudy",
+    "check_suite",
+    "measure_tightness",
+    "parallel_sweep_grid",
+    "render_report",
+    "schedulability_surface",
+    "suite_report",
+    "SuiteResult",
+    "Surface",
+    "SystemEvaluation",
+    "bound_ratio_surface",
+    "eer_ratio_surface",
+    "evaluate_config",
+    "evaluate_system",
+    "failure_rate_surface",
+    "mean_with_ci",
+    "run_suite",
+    "sweep_grid",
+]

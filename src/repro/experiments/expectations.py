@@ -1,0 +1,195 @@
+"""Machine-checkable statements of the paper's figure shapes.
+
+Each expectation inspects a :class:`~repro.experiments.runner.SuiteResult`
+and reports whether one of the paper's qualitative claims holds on it.
+The benchmark harness asserts these; the CLI prints them; users running
+their own sweeps (different grids, sample sizes, period distributions)
+get an automatic "does this still reproduce the paper?" verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.runner import SuiteResult
+from repro.experiments.surface import Surface
+
+__all__ = ["Expectation", "PAPER_EXPECTATIONS", "check_suite"]
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One qualitative claim from the paper's evaluation."""
+
+    figure: str
+    claim: str
+    holds: Callable[[SuiteResult], bool]
+
+
+def _diagonal(surface: Surface) -> list[float]:
+    ns = surface.subtask_axis
+    us = surface.utilization_axis
+    steps = min(len(ns), len(us))
+    return [
+        surface.value(
+            ns[round(i * (len(ns) - 1) / max(1, steps - 1))],
+            us[round(i * (len(us) - 1) / max(1, steps - 1))],
+        )
+        for i in range(steps)
+    ]
+
+
+def _fig12_corner(result: SuiteResult) -> bool:
+    surface = result.failure_rate
+    benign = surface.value(
+        min(surface.subtask_axis), min(surface.utilization_axis)
+    )
+    extreme = surface.value(
+        max(surface.subtask_axis), max(surface.utilization_axis)
+    )
+    return benign <= 0.1 and extreme >= 0.5
+
+
+def _fig12_monotone(result: SuiteResult) -> bool:
+    diagonal = _diagonal(result.failure_rate)
+    return all(a <= b + 1e-9 for a, b in zip(diagonal, diagonal[1:]))
+
+
+def _fig13_at_least_one(result: SuiteResult) -> bool:
+    return all(
+        cell.value >= 1.0 - 1e-9
+        for cell in result.bound_ratio
+        if not math.isnan(cell.value)
+    )
+
+
+def _fig13_grows(result: SuiteResult) -> bool:
+    # The extreme corner may hold no finite-DS system at all (its cell is
+    # then empty), so compare the benign corner against the largest
+    # populated cell anywhere on the surface.
+    surface = result.bound_ratio
+    benign = surface.value(
+        min(surface.subtask_axis), min(surface.utilization_axis)
+    )
+    finite = [
+        cell.value for cell in surface if not math.isnan(cell.value)
+    ]
+    return (
+        not math.isnan(benign)
+        and len(finite) >= 2
+        and benign < max(finite)
+    )
+
+
+def _fig14_grows_with_n(result: SuiteResult) -> bool:
+    surface = result.pm_ds_ratio
+    return all(
+        [surface.value(n, u) for n in surface.subtask_axis]
+        == sorted(surface.value(n, u) for n in surface.subtask_axis)
+        for u in surface.utilization_axis
+    )
+
+
+def _fig14_two_from_five(result: SuiteResult) -> bool:
+    surface = result.pm_ds_ratio
+    relevant = [n for n in surface.subtask_axis if n >= 5]
+    if not relevant:
+        return True
+    return all(
+        surface.value(n, u) >= 1.8
+        for n in relevant
+        for u in surface.utilization_axis
+    )
+
+
+def _fig15_band(result: SuiteResult) -> bool:
+    return all(
+        1.0 - 1e-9 <= cell.value <= 2.0 for cell in result.rg_ds_ratio
+    )
+
+
+def _fig15_u_trend(result: SuiteResult) -> bool:
+    surface = result.rg_ds_ratio
+    lo = min(surface.utilization_axis)
+    hi = max(surface.utilization_axis)
+    lo_mean = sum(surface.value(n, lo) for n in surface.subtask_axis)
+    hi_mean = sum(surface.value(n, hi) for n in surface.subtask_axis)
+    return hi_mean >= lo_mean - 1e-9
+
+
+def _fig16_above_one(result: SuiteResult) -> bool:
+    return all(cell.value >= 1.0 - 1e-9 for cell in result.pm_rg_ratio)
+
+
+#: The paper's claims, one per checkable sentence of Section 5.
+PAPER_EXPECTATIONS: tuple[Expectation, ...] = (
+    Expectation(
+        "Figure 12",
+        "failure rate near 0 at the benign corner, >= 0.5 at (N_max, U_max)",
+        _fig12_corner,
+    ),
+    Expectation(
+        "Figure 12",
+        "failure rate monotone along the grid diagonal",
+        _fig12_monotone,
+    ),
+    Expectation(
+        "Figure 13",
+        "bound ratio >= 1 in every populated cell",
+        _fig13_at_least_one,
+    ),
+    Expectation(
+        "Figure 13",
+        "bound ratio grows along the grid diagonal",
+        _fig13_grows,
+    ),
+    Expectation(
+        "Figure 14",
+        "PM/DS ratio grows with the number of subtasks at every utilization",
+        _fig14_grows_with_n,
+    ),
+    Expectation(
+        "Figure 14",
+        "PM/DS ratio >= ~2 for configurations with 5+ subtasks",
+        _fig14_two_from_five,
+    ),
+    Expectation(
+        "Figure 15",
+        "RG/DS ratio stays within [1, 2]",
+        _fig15_band,
+    ),
+    Expectation(
+        "Figure 15",
+        "RG/DS ratio largest at the highest utilization",
+        _fig15_u_trend,
+    ),
+    Expectation(
+        "Figure 16",
+        "PM/RG ratio consistently above 1",
+        _fig16_above_one,
+    ),
+)
+
+
+def check_suite(
+    result: SuiteResult,
+    expectations: tuple[Expectation, ...] = PAPER_EXPECTATIONS,
+) -> list[tuple[Expectation, bool]]:
+    """Evaluate every expectation; returns (expectation, held) pairs."""
+    return [
+        (expectation, expectation.holds(result))
+        for expectation in expectations
+    ]
+
+
+def render_report(results: list[tuple[Expectation, bool]]) -> str:
+    """Human-readable pass/fail report of a :func:`check_suite` run."""
+    lines = ["Paper-shape expectations:"]
+    for expectation, held in results:
+        mark = "PASS" if held else "FAIL"
+        lines.append(f"  [{mark}] {expectation.figure}: {expectation.claim}")
+    passed = sum(1 for _e, held in results if held)
+    lines.append(f"{passed}/{len(results)} expectations hold")
+    return "\n".join(lines)

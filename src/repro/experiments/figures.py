@@ -1,0 +1,143 @@
+"""Figure drivers: turn per-system evaluations into the paper's surfaces.
+
+* Figure 12 -- DS failure rate: fraction of systems per configuration
+  for which Algorithm SA/DS could not produce finite EER bounds
+  (bound > 300 periods).
+* Figure 13 -- average bound ratio: mean over tasks (in systems whose DS
+  analysis is finite) of SA-DS bound / SA-PM bound.
+* Figure 14 -- PM/DS average-EER ratio.
+* Figure 15 -- RG/DS average-EER ratio.
+* Figure 16 -- PM/RG average-EER ratio.
+
+Every driver consumes a mapping ``config -> [SystemEvaluation]`` produced
+by :mod:`repro.experiments.evaluation`, so one sweep serves all five
+figures.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.evaluation import SystemEvaluation
+from repro.experiments.stats import mean_with_ci
+from repro.experiments.surface import Surface
+from repro.workload.config import WorkloadConfig
+
+__all__ = [
+    "failure_rate_surface",
+    "bound_ratio_surface",
+    "eer_ratio_surface",
+    "schedulability_surface",
+]
+
+Evaluations = Mapping[WorkloadConfig, Sequence[SystemEvaluation]]
+
+
+def _grid_key(config: WorkloadConfig) -> tuple[int, int]:
+    return (config.subtasks_per_task, round(config.utilization * 100))
+
+
+def failure_rate_surface(evaluations: Evaluations) -> Surface:
+    """Figure 12: per-configuration SA/DS failure rate in [0, 1]."""
+    surface = Surface("Figure 12 -- DS failure rate")
+    for config, records in evaluations.items():
+        if not records:
+            raise ConfigurationError(
+                f"no evaluations for configuration {config.label}"
+            )
+        failures = sum(1 for record in records if record.sa_ds_failed)
+        n, u = _grid_key(config)
+        surface.put(n, u, failures / len(records), sample_count=len(records))
+    return surface
+
+
+def bound_ratio_surface(evaluations: Evaluations) -> Surface:
+    """Figure 13: average SA-DS/SA-PM bound ratio over tasks.
+
+    Following the paper, only systems whose DS bounds are all finite
+    contribute; their per-task ratios are pooled per configuration.
+    """
+    surface = Surface("Figure 13 -- bound ratio (SA-DS / SA-PM)")
+    for config, records in evaluations.items():
+        ratios: list[float] = []
+        for record in records:
+            if record.sa_ds_failed:
+                continue
+            ratios.extend(record.bound_ratios())
+        n, u = _grid_key(config)
+        surface.put_mean(n, u, mean_with_ci(ratios))
+    return surface
+
+
+def schedulability_surface(
+    evaluations: Evaluations, analysis: str
+) -> Surface:
+    """Fraction of tasks certified schedulable, per configuration.
+
+    ``analysis`` is ``"SA/PM"`` (the PM/MPM/RG verdict) or ``"SA/DS"``
+    (the DS verdict).  Not one of the paper's plotted figures, but the
+    number its conclusion turns on: with deadlines equal to periods, how
+    much certifiable schedulability does each protocol family retain as
+    chains lengthen and load grows?
+    """
+    if analysis not in ("SA/PM", "SA/DS"):
+        raise ConfigurationError(
+            f"analysis must be 'SA/PM' or 'SA/DS', got {analysis!r}"
+        )
+    surface = Surface(f"Schedulable-task fraction under {analysis}")
+    for config, records in evaluations.items():
+        schedulable = 0
+        total = 0
+        for record in records:
+            bounds = (
+                record.sa_pm_task_bounds
+                if analysis == "SA/PM"
+                else record.sa_ds_task_bounds
+            )
+            if not record.task_deadlines:
+                raise ConfigurationError(
+                    "schedulability surface needs evaluations with "
+                    "run_analyses=True"
+                )
+            for bound, deadline in zip(bounds, record.task_deadlines):
+                total += 1
+                if bound <= deadline * (1 + 1e-9):
+                    schedulable += 1
+        n, u = _grid_key(config)
+        surface.put(
+            n,
+            u,
+            schedulable / total if total else float("nan"),
+            sample_count=len(records),
+        )
+    return surface
+
+
+def eer_ratio_surface(
+    evaluations: Evaluations, numerator: str, denominator: str
+) -> Surface:
+    """Figures 14-16: average per-task EER-time ratio between protocols.
+
+    ``numerator``/``denominator`` name simulated protocols ("PM", "DS",
+    "RG"); the per-task ratios of each system are pooled per
+    configuration, exactly as the paper averages its PM/DS, RG/DS and
+    PM/RG ratios.
+    """
+    figure_names = {
+        ("PM", "DS"): "Figure 14 -- PM/DS average EER ratio",
+        ("RG", "DS"): "Figure 15 -- RG/DS average EER ratio",
+        ("PM", "RG"): "Figure 16 -- PM/RG average EER ratio",
+    }
+    title = figure_names.get(
+        (numerator, denominator),
+        f"{numerator}/{denominator} average EER ratio",
+    )
+    surface = Surface(title)
+    for config, records in evaluations.items():
+        ratios: list[float] = []
+        for record in records:
+            ratios.extend(record.eer_ratios(numerator, denominator))
+        n, u = _grid_key(config)
+        surface.put_mean(n, u, mean_with_ci(ratios))
+    return surface

@@ -1,0 +1,85 @@
+"""Multiprocess evaluation sweeps for paper-scale replications.
+
+The paper evaluates 1000 systems per configuration; a single core needs
+hours for the full grid at that size.  Systems are evaluated
+independently, so the sweep parallelizes embarrassingly: this module
+fans the (configuration, seed) pairs over a process pool and reassembles
+results in deterministic order -- output is identical to the serial
+:func:`repro.experiments.runner.sweep_grid` for the same inputs, worker
+count notwithstanding.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.evaluation import SystemEvaluation, evaluate_system
+from repro.workload.config import WorkloadConfig
+
+__all__ = ["parallel_sweep_grid"]
+
+
+def _evaluate_one(
+    job: tuple[WorkloadConfig, int, dict]
+) -> tuple[WorkloadConfig, int, SystemEvaluation]:
+    config, seed, kwargs = job
+    return config, seed, evaluate_system(config, seed, **kwargs)
+
+
+def parallel_sweep_grid(
+    configs: Sequence[WorkloadConfig],
+    systems: int,
+    *,
+    base_seed: int = 0,
+    workers: int | None = None,
+    progress: Callable[[str], None] | None = None,
+    **evaluate_kwargs,
+) -> dict[WorkloadConfig, tuple[SystemEvaluation, ...]]:
+    """Evaluate every configuration over a process pool.
+
+    ``workers`` defaults to the CPU count.  Results are keyed and
+    ordered exactly like the serial sweep; all randomness remains bound
+    to explicit seeds inside each job, so parallelism cannot change any
+    number.
+    """
+    if not configs:
+        raise ConfigurationError("sweep needs at least one configuration")
+    if systems < 1:
+        raise ConfigurationError(f"systems must be >= 1, got {systems}")
+    worker_count = workers if workers is not None else (os.cpu_count() or 1)
+    if worker_count < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    jobs = [
+        (config, base_seed + offset, dict(evaluate_kwargs))
+        for config in configs
+        for offset in range(systems)
+    ]
+    results: dict[WorkloadConfig, dict[int, SystemEvaluation]] = {
+        config: {} for config in configs
+    }
+    completed = 0
+    if worker_count == 1:
+        iterator = map(_evaluate_one, jobs)
+        for config, seed, record in iterator:
+            results[config][seed] = record
+            completed += 1
+            if progress is not None and completed % systems == 0:
+                progress(f"{completed}/{len(jobs)} systems evaluated")
+    else:
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            for config, seed, record in pool.map(
+                _evaluate_one, jobs, chunksize=max(1, len(jobs) // (8 * worker_count))
+            ):
+                results[config][seed] = record
+                completed += 1
+                if progress is not None and completed % systems == 0:
+                    progress(f"{completed}/{len(jobs)} systems evaluated")
+    return {
+        config: tuple(
+            by_seed[base_seed + offset] for offset in range(systems)
+        )
+        for config, by_seed in results.items()
+    }

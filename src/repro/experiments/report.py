@@ -1,0 +1,128 @@
+"""One-call markdown report of a reproduction run.
+
+`suite_report` turns a :class:`~repro.experiments.runner.SuiteResult`
+into a self-contained markdown document: the run's parameters, each
+figure's surface as a table, and the paper-shape expectation verdicts.
+The CLI exposes it as ``repro-rts suite --markdown out.md``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.expectations import (
+    PAPER_EXPECTATIONS,
+    check_suite,
+)
+from repro.experiments.runner import SuiteResult
+from repro.experiments.surface import Surface
+
+__all__ = ["suite_report"]
+
+
+def _surface_markdown(surface: Surface, precision: int = 2) -> str:
+    """Render a surface as a markdown table (rows = N, columns = U%)."""
+    columns = surface.utilization_axis
+    lines = [
+        "| N \\ U | " + " | ".join(f"{u}%" for u in columns) + " |",
+        "|---" * (len(columns) + 1) + "|",
+    ]
+    for n in surface.subtask_axis:
+        cells = []
+        for u in columns:
+            cell = surface.cells.get((n, u))
+            if cell is None or math.isnan(cell.value):
+                cells.append("–")
+            else:
+                text = f"{cell.value:.{precision}f}"
+                if cell.ci_half_width > 0:
+                    text += f" ± {cell.ci_half_width:.{precision}f}"
+                cells.append(text)
+        lines.append(f"| {n} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def suite_report(result: SuiteResult, *, title: str | None = None) -> str:
+    """A complete markdown report of one suite run."""
+    sample = result.systems_per_config
+    some_config = next(iter(result.evaluations))
+    header = title or (
+        "Reproduction report — Sun & Liu, *Synchronization Protocols in "
+        "Distributed Real-Time Systems* (ICDCS 1996)"
+    )
+    parts = [
+        f"# {header}",
+        "",
+        f"- systems per configuration: **{sample}** (paper: 1000)",
+        f"- tasks per system: **{some_config.tasks}**, processors: "
+        f"**{some_config.processors}**",
+        f"- period range: [{some_config.period_min:g}, "
+        f"{some_config.period_max:g}], priority policy: "
+        f"{some_config.priority_policy}",
+        "",
+    ]
+    descriptions = {
+        "Figure 12": (
+            result.failure_rate,
+            "Fraction of systems whose SA/DS analysis found no finite "
+            "bounds (cutoff: 300 periods).",
+        ),
+        "Figure 13": (
+            result.bound_ratio,
+            "Mean SA-DS/SA-PM EER-bound ratio over tasks of systems with "
+            "finite DS bounds.",
+        ),
+        "Figure 14": (
+            result.pm_ds_ratio,
+            "Mean per-task ratio of simulated average EER times, PM over "
+            "DS.",
+        ),
+        "Figure 15": (
+            result.rg_ds_ratio,
+            "Mean per-task ratio of simulated average EER times, RG over "
+            "DS.",
+        ),
+        "Figure 16": (
+            result.pm_rg_ratio,
+            "Mean per-task ratio of simulated average EER times, PM over "
+            "RG.",
+        ),
+    }
+    for figure, (surface, description) in descriptions.items():
+        parts += [
+            f"## {figure}",
+            "",
+            description,
+            "",
+            _surface_markdown(surface),
+            "",
+        ]
+    try:
+        sa_pm_sched = result.schedulability("SA/PM")
+        sa_ds_sched = result.schedulability("SA/DS")
+    except Exception:  # evaluations without analyses
+        pass
+    else:
+        parts += [
+            "## Certifiable schedulability (derived)",
+            "",
+            "Fraction of tasks whose EER bound fits the deadline -- the "
+            "paper's bottom-line protocol comparison.",
+            "",
+            "Under SA/PM (the PM/MPM/RG verdict):",
+            "",
+            _surface_markdown(sa_pm_sched),
+            "",
+            "Under SA/DS (the DS verdict):",
+            "",
+            _surface_markdown(sa_ds_sched),
+            "",
+        ]
+    parts += ["## Paper-shape expectations", ""]
+    outcomes = check_suite(result, PAPER_EXPECTATIONS)
+    for expectation, held in outcomes:
+        mark = "✅" if held else "❌"
+        parts.append(f"- {mark} **{expectation.figure}** — {expectation.claim}")
+    passed = sum(1 for _e, held in outcomes if held)
+    parts += ["", f"**{passed}/{len(outcomes)} expectations hold.**", ""]
+    return "\n".join(parts)

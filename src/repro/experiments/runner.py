@@ -1,0 +1,159 @@
+"""The reproduction suite: sweep the grid once, emit every figure.
+
+:func:`run_suite` is what ``repro-rts suite`` and the benchmark harness
+call.  It evaluates ``systems`` seeds per configuration -- analyses and
+simulations both -- and derives the five surfaces of Section 5.  The
+paper used 1000 systems per configuration; the default here is sized for
+a laptop sweep and is fully seed-deterministic, so results are stable
+across runs and machines and sharpen as ``systems`` grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.evaluation import (
+    DEFAULT_PROTOCOLS,
+    SystemEvaluation,
+    evaluate_config,
+)
+from repro.experiments.figures import (
+    bound_ratio_surface,
+    eer_ratio_surface,
+    failure_rate_surface,
+    schedulability_surface,
+)
+from repro.experiments.surface import Surface
+from repro.workload.config import WorkloadConfig, paper_grid
+
+__all__ = [
+    "SuiteResult",
+    "run_suite",
+    "suite_from_evaluations",
+    "sweep_grid",
+]
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """All five figures plus the raw per-system evaluations."""
+
+    evaluations: Mapping[WorkloadConfig, tuple[SystemEvaluation, ...]]
+    failure_rate: Surface
+    bound_ratio: Surface
+    pm_ds_ratio: Surface
+    rg_ds_ratio: Surface
+    pm_rg_ratio: Surface
+
+    @property
+    def systems_per_config(self) -> int:
+        return max(len(records) for records in self.evaluations.values())
+
+    def schedulability(self, analysis: str) -> Surface:
+        """Schedulable-task fraction per configuration under one
+        analysis ("SA/PM" or "SA/DS") -- the bottom-line comparison the
+        paper's conclusion draws (benchmark E17)."""
+        return schedulability_surface(self.evaluations, analysis)
+
+    def render(self, *, show_ci: bool = False) -> str:
+        """All surfaces as text tables, in figure order."""
+        return "\n\n".join(
+            surface.render(show_ci=show_ci)
+            for surface in (
+                self.failure_rate,
+                self.bound_ratio,
+                self.pm_ds_ratio,
+                self.rg_ds_ratio,
+                self.pm_rg_ratio,
+            )
+        )
+
+
+def sweep_grid(
+    configs: Sequence[WorkloadConfig],
+    systems: int,
+    *,
+    base_seed: int = 0,
+    progress: Callable[[str], None] | None = None,
+    **evaluate_kwargs,
+) -> dict[WorkloadConfig, tuple[SystemEvaluation, ...]]:
+    """Evaluate every configuration in ``configs``.
+
+    ``progress`` (when given) receives one line per finished
+    configuration -- the CLI wires this to stderr.
+    """
+    if not configs:
+        raise ConfigurationError("sweep needs at least one configuration")
+    evaluations: dict[WorkloadConfig, tuple[SystemEvaluation, ...]] = {}
+    for index, config in enumerate(configs):
+        records = evaluate_config(
+            config, systems, base_seed=base_seed, **evaluate_kwargs
+        )
+        evaluations[config] = tuple(records)
+        if progress is not None:
+            failures = sum(1 for r in records if r.sa_ds_failed)
+            progress(
+                f"[{index + 1}/{len(configs)}] {config.label}: "
+                f"{len(records)} systems, {failures} DS failures"
+            )
+    return evaluations
+
+
+def suite_from_evaluations(
+    evaluations: Mapping[WorkloadConfig, tuple[SystemEvaluation, ...]],
+) -> SuiteResult:
+    """Derive every figure from an existing sweep.
+
+    Use with :func:`repro.io.load_evaluations` to rebuild a
+    :class:`SuiteResult` from a checkpointed run, or with
+    :func:`repro.experiments.parallel.parallel_sweep_grid`'s output.
+    """
+    return SuiteResult(
+        evaluations=evaluations,
+        failure_rate=failure_rate_surface(evaluations),
+        bound_ratio=bound_ratio_surface(evaluations),
+        pm_ds_ratio=eer_ratio_surface(evaluations, "PM", "DS"),
+        rg_ds_ratio=eer_ratio_surface(evaluations, "RG", "DS"),
+        pm_rg_ratio=eer_ratio_surface(evaluations, "PM", "RG"),
+    )
+
+
+def run_suite(
+    *,
+    systems: int = 10,
+    subtask_counts: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8),
+    utilizations: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9),
+    base_seed: int = 0,
+    horizon_periods: float = 10.0,
+    sa_ds_max_iterations: int = 100,
+    random_phases: bool = True,
+    progress: Callable[[str], None] | None = None,
+    grid_overrides: Mapping[str, object] | None = None,
+) -> SuiteResult:
+    """Reproduce Figures 12-16 over the (N, U) grid.
+
+    Parameters mirror the paper's experiment: ``systems`` per
+    configuration (1000 in the paper), random task phases for the
+    simulations, Algorithm SA/PM and SA/DS for the bounds.  Pass
+    ``grid_overrides`` (e.g. ``{"tasks": 6}``) to shrink the synthetic
+    systems themselves.
+    """
+    overrides = dict(grid_overrides or {})
+    overrides.setdefault("random_phases", random_phases)
+    configs = paper_grid(
+        subtask_counts=tuple(subtask_counts),
+        utilizations=tuple(utilizations),
+        **overrides,
+    )
+    evaluations = sweep_grid(
+        configs,
+        systems,
+        base_seed=base_seed,
+        progress=progress,
+        protocols=DEFAULT_PROTOCOLS,
+        horizon_periods=horizon_periods,
+        sa_ds_max_iterations=sa_ds_max_iterations,
+    )
+    return suite_from_evaluations(evaluations)

@@ -1,0 +1,63 @@
+"""Small statistics helpers for the experiment harness.
+
+The paper reports per-configuration averages with 90% confidence
+intervals ("negligibly small for most configurations"); these helpers
+compute exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+__all__ = ["MeanWithCI", "mean_with_ci", "finite"]
+
+#: Two-sided z value for a 90% normal confidence interval.
+_Z_90 = 1.6448536269514722
+
+
+@dataclass(frozen=True)
+class MeanWithCI:
+    """A sample mean with its 90% confidence half-width."""
+
+    mean: float
+    half_width: float
+    count: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        if self.count == 0:
+            return "n/a"
+        return f"{self.mean:.3g}±{self.half_width:.2g}"
+
+
+def finite(values: Iterable[float]) -> list[float]:
+    """Drop NaNs and infinities."""
+    return [v for v in values if math.isfinite(v)]
+
+
+def mean_with_ci(values: Sequence[float]) -> MeanWithCI:
+    """Sample mean and 90% normal-approximation confidence half-width.
+
+    Empty samples produce a NaN mean with count 0 (rendered "n/a");
+    singleton samples get a zero half-width.
+    """
+    clean = finite(values)
+    n = len(clean)
+    if n == 0:
+        return MeanWithCI(mean=float("nan"), half_width=float("nan"), count=0)
+    mean = sum(clean) / n
+    if n == 1:
+        return MeanWithCI(mean=mean, half_width=0.0, count=1)
+    variance = sum((v - mean) ** 2 for v in clean) / (n - 1)
+    half = _Z_90 * math.sqrt(variance / n)
+    return MeanWithCI(mean=mean, half_width=half, count=n)

@@ -1,0 +1,148 @@
+"""The (N, U) surface container used by every figure of Section 5.
+
+Figures 12-16 all plot one scalar per configuration over the same grid:
+subtasks-per-task N on one axis, per-processor utilization U on the
+other.  :class:`Surface` stores those cells, keeps the paper's axis
+order, and renders the grid as the text table the benchmarks print.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import ConfigurationError
+from repro.experiments.stats import MeanWithCI
+
+__all__ = ["Cell", "Surface"]
+
+#: Grid key: (subtasks per task, utilization percent).
+GridKey = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One configuration's value on a surface."""
+
+    key: GridKey
+    value: float
+    ci_half_width: float = 0.0
+    sample_count: int = 0
+
+    @property
+    def subtasks(self) -> int:
+        return self.key[0]
+
+    @property
+    def utilization_percent(self) -> int:
+        return self.key[1]
+
+
+@dataclass
+class Surface:
+    """A named scalar field over the (N, U) grid."""
+
+    name: str
+    cells: dict[GridKey, Cell] = field(default_factory=dict)
+
+    def put(
+        self,
+        subtasks: int,
+        utilization_percent: int,
+        value: float,
+        *,
+        ci_half_width: float = 0.0,
+        sample_count: int = 0,
+    ) -> None:
+        """Store one cell (overwrites an existing one)."""
+        key = (subtasks, utilization_percent)
+        self.cells[key] = Cell(
+            key=key,
+            value=value,
+            ci_half_width=ci_half_width,
+            sample_count=sample_count,
+        )
+
+    def put_mean(
+        self, subtasks: int, utilization_percent: int, mean: MeanWithCI
+    ) -> None:
+        """Store a :class:`MeanWithCI` as one cell."""
+        self.put(
+            subtasks,
+            utilization_percent,
+            mean.mean,
+            ci_half_width=mean.half_width,
+            sample_count=mean.count,
+        )
+
+    def value(self, subtasks: int, utilization_percent: int) -> float:
+        """The stored value; raises if the cell is missing."""
+        try:
+            return self.cells[(subtasks, utilization_percent)].value
+        except KeyError:
+            raise ConfigurationError(
+                f"surface {self.name!r} has no cell "
+                f"({subtasks},{utilization_percent})"
+            ) from None
+
+    @property
+    def subtask_axis(self) -> list[int]:
+        """Distinct N values, ascending."""
+        return sorted({key[0] for key in self.cells})
+
+    @property
+    def utilization_axis(self) -> list[int]:
+        """Distinct U values (percent), ascending."""
+        return sorted({key[1] for key in self.cells})
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self.cells[key] for key in sorted(self.cells))
+
+    def map_values(self, fn: Callable[[float], float], name: str) -> "Surface":
+        """A new surface with ``fn`` applied to every value."""
+        out = Surface(name)
+        for cell in self:
+            out.put(
+                cell.subtasks,
+                cell.utilization_percent,
+                fn(cell.value),
+                ci_half_width=cell.ci_half_width,
+                sample_count=cell.sample_count,
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, *, precision: int = 2, show_ci: bool = False) -> str:
+        """Text table: rows = N (subtasks), columns = U (%).
+
+        This is the harness's stand-in for the paper's 3-D surface plots;
+        the rows are the series a reader would trace on the figure.
+        """
+        columns = self.utilization_axis
+        rows = self.subtask_axis
+        header = ["N\\U%"] + [f"{u}%" for u in columns]
+        table = [header]
+        for n in rows:
+            line = [str(n)]
+            for u in columns:
+                cell = self.cells.get((n, u))
+                if cell is None or math.isnan(cell.value):
+                    line.append("-")
+                    continue
+                text = f"{cell.value:.{precision}f}"
+                if show_ci and cell.ci_half_width > 0:
+                    text += f"±{cell.ci_half_width:.{precision}f}"
+                line.append(text)
+            table.append(line)
+        widths = [
+            max(len(row[col]) for row in table) for col in range(len(header))
+        ]
+        lines = [f"== {self.name} =="]
+        for row in table:
+            lines.append(
+                "  ".join(text.rjust(width) for text, width in zip(row, widths))
+            )
+        return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Static task model: tasks, subtasks, systems, priorities, validation."""
+
+from repro.model.deadlines import (
+    DEADLINE_STRATEGIES,
+    deadline_map,
+    effective_deadline,
+    equal_slack_deadline,
+    ultimate_deadline,
+)
+from repro.model.links import insert_link_stages, uniform_link
+from repro.model.priority import (
+    POLICIES,
+    assign_by_key,
+    deadline_monotonic,
+    equal_flexibility,
+    get_policy,
+    proportional_deadline,
+    proportional_deadline_monotonic,
+    rate_monotonic,
+)
+from repro.model.system import System
+from repro.model.task import ProcessorId, Subtask, SubtaskId, Task
+from repro.model.validation import (
+    ValidationReport,
+    check_consecutive_placement,
+    require_feasible_utilization,
+    validate_system,
+)
+
+__all__ = [
+    "DEADLINE_STRATEGIES",
+    "deadline_map",
+    "effective_deadline",
+    "equal_slack_deadline",
+    "ultimate_deadline",
+    "insert_link_stages",
+    "uniform_link",
+    "ProcessorId",
+    "Subtask",
+    "SubtaskId",
+    "Task",
+    "System",
+    "POLICIES",
+    "assign_by_key",
+    "deadline_monotonic",
+    "equal_flexibility",
+    "get_policy",
+    "proportional_deadline",
+    "proportional_deadline_monotonic",
+    "rate_monotonic",
+    "ValidationReport",
+    "check_consecutive_placement",
+    "require_feasible_utilization",
+    "validate_system",
+]

@@ -1,0 +1,113 @@
+"""Local-deadline assignment strategies for end-to-end tasks.
+
+The paper's priority assignment divides each task's end-to-end deadline
+into per-subtask *proportional deadlines*; its reference [9] (Kao &
+Garcia-Molina) catalogues the design space of such divisions.  This
+module implements the classic strategies so they can be plugged into
+priority assignment (:func:`repro.model.priority.assign_by_key`),
+Audsley's OPA (:func:`repro.core.analysis.opa.audsley_assignment`) and
+the slicing analysis (:func:`repro.core.analysis.local_deadline`):
+
+* **UD** (ultimate deadline): every stage gets the full end-to-end
+  deadline -- the laissez-faire baseline.
+* **ED** (effective deadline): the end-to-end deadline minus the
+  downstream stages' execution times -- the latest completion that
+  still leaves the rest of the chain runnable back-to-back.
+* **PD** (proportional): the paper's choice; the deadline split in
+  proportion to execution times (already available as
+  :func:`repro.model.priority.proportional_deadline`).
+* **EQS** (equal slack): each stage gets its execution time plus an
+  equal share of the chain's total slack.
+* **EQF** (equal flexibility): each stage gets its execution time plus
+  a share of the slack proportional to its execution time -- stagewise
+  identical to PD when the whole chain is considered at once.
+
+All functions return the *relative* local deadline of a stage (time
+allowed from the stage's release to its completion).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import ModelError
+from repro.model.priority import proportional_deadline
+from repro.model.system import System
+from repro.model.task import SubtaskId
+
+__all__ = [
+    "ultimate_deadline",
+    "effective_deadline",
+    "equal_slack_deadline",
+    "equal_flexibility_deadline",
+    "deadline_map",
+    "DEADLINE_STRATEGIES",
+]
+
+#: A strategy maps (system, subtask id) to that subtask's local deadline.
+DeadlineStrategy = Callable[[System, SubtaskId], float]
+
+
+def ultimate_deadline(system: System, sid: SubtaskId) -> float:
+    """UD: the stage may use the entire end-to-end deadline."""
+    return system.task_of(sid).relative_deadline
+
+
+def effective_deadline(system: System, sid: SubtaskId) -> float:
+    """ED: end-to-end deadline minus the downstream execution demand."""
+    task = system.task_of(sid)
+    downstream = sum(
+        stage.execution_time
+        for stage in task.subtasks[sid.subtask_index + 1 :]
+    )
+    return task.relative_deadline - downstream
+
+
+def equal_slack_deadline(system: System, sid: SubtaskId) -> float:
+    """EQS: execution time plus an equal share of the chain's slack."""
+    task = system.task_of(sid)
+    slack = task.relative_deadline - task.total_execution_time
+    return (
+        system.subtask(sid).execution_time + slack / task.chain_length
+    )
+
+
+def equal_flexibility_deadline(system: System, sid: SubtaskId) -> float:
+    """EQF: execution time plus a slack share proportional to it.
+
+    With the whole chain considered at once this coincides with the
+    paper's proportional deadline:
+    ``e + (D - sum e) * e / sum e  ==  e * D / sum e``.
+    """
+    return proportional_deadline(system, sid)
+
+
+#: Registry of strategies by their Kao & Garcia-Molina names.
+DEADLINE_STRATEGIES: Mapping[str, DeadlineStrategy] = {
+    "ud": ultimate_deadline,
+    "ed": effective_deadline,
+    "pd": proportional_deadline,
+    "eqs": equal_slack_deadline,
+    "eqf": equal_flexibility_deadline,
+}
+
+
+def deadline_map(
+    system: System, strategy: str | DeadlineStrategy
+) -> dict[SubtaskId, float]:
+    """Local deadlines of every subtask under one strategy.
+
+    ``strategy`` is a registry name (``"ud"``, ``"ed"``, ``"pd"``,
+    ``"eqs"``, ``"eqf"``) or any callable with the strategy signature.
+    """
+    if isinstance(strategy, str):
+        try:
+            fn = DEADLINE_STRATEGIES[strategy]
+        except KeyError:
+            known = ", ".join(sorted(DEADLINE_STRATEGIES))
+            raise ModelError(
+                f"unknown deadline strategy {strategy!r}; known: {known}"
+            ) from None
+    else:
+        fn = strategy
+    return {sid: fn(system, sid) for sid in system.subtask_ids}

@@ -1,0 +1,104 @@
+"""Modelling communication as link-processor subtasks (Section 2).
+
+The paper's model charges zero cost for synchronization signals and
+offers two ways to account for real communication: model a shared,
+prioritized link (e.g. CAN) as a *processor* carrying message
+subtasks, or charge dedicated links as blocking terms
+(:func:`repro.core.analysis.busy_period.analyze_subtask`'s ``blocking``).
+
+This module automates the first option: given a system whose chains hop
+between processors, :func:`insert_link_stages` splices a message
+subtask onto a link processor between every pair of consecutive stages
+that cross a boundary -- turning an n-stage chain into an up-to
+(2n-1)-stage chain, exactly like the paper's Example 1 models the
+monitor task's transfer step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ModelError
+from repro.model.system import System
+from repro.model.task import ProcessorId, Subtask, Task
+
+__all__ = ["insert_link_stages", "uniform_link"]
+
+#: Maps (source processor, destination processor) to (link processor,
+#: transmission time); return None for free hops.
+LinkPlan = Callable[
+    [ProcessorId, ProcessorId], "tuple[ProcessorId, float] | None"
+]
+
+
+def uniform_link(
+    link: ProcessorId, transmission_time: float
+) -> LinkPlan:
+    """Every cross-processor hop uses one shared link (a bus/CAN model)."""
+    if transmission_time <= 0:
+        raise ModelError(
+            f"transmission_time must be > 0, got {transmission_time!r}"
+        )
+
+    def plan(
+        source: ProcessorId, destination: ProcessorId
+    ) -> tuple[ProcessorId, float] | None:
+        if source == destination:
+            return None
+        return (link, transmission_time)
+
+    return plan
+
+
+def insert_link_stages(
+    system: System,
+    plan: LinkPlan,
+    *,
+    message_priority: int = 0,
+    name_format: str = "{task}-msg{index}",
+) -> System:
+    """Splice message subtasks onto link processors between chain hops.
+
+    Every consecutive stage pair whose processors differ gets, when the
+    ``plan`` returns a link for that hop, a new subtask on the link
+    processor with the planned transmission time.  Message subtasks
+    receive ``message_priority`` (re-assign priorities afterwards, e.g.
+    with :func:`repro.model.priority.proportional_deadline_monotonic`,
+    to model a prioritized bus properly).
+
+    The returned system is a fresh description; analyses and simulation
+    treat message stages exactly like any other subtask, which is the
+    paper's point: once links are processors, the whole framework
+    applies unchanged.
+    """
+    new_tasks: list[Task] = []
+    for task in system.tasks:
+        chain: list[Subtask] = []
+        messages = 0
+        for j, stage in enumerate(task.subtasks):
+            chain.append(stage)
+            if j + 1 < task.chain_length:
+                nxt = task.subtasks[j + 1]
+                hop = plan(stage.processor, nxt.processor)
+                if hop is None:
+                    continue
+                link, transmission = hop
+                if transmission <= 0:
+                    raise ModelError(
+                        f"planned transmission time must be > 0, got "
+                        f"{transmission!r} for hop "
+                        f"{stage.processor!r}->{nxt.processor!r}"
+                    )
+                messages += 1
+                chain.append(
+                    Subtask(
+                        execution_time=transmission,
+                        processor=link,
+                        priority=message_priority,
+                        name=name_format.format(
+                            task=task.name or "task", index=messages
+                        ),
+                    )
+                )
+        new_tasks.append(task.with_subtasks(chain))
+    return System(tuple(new_tasks), name=f"{system.name}+links")

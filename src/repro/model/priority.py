@@ -1,0 +1,122 @@
+"""Priority-assignment policies for subtasks.
+
+The paper assumes priorities were assigned by "some priority assignment
+algorithm" and evaluates with **Proportional-Deadline-Monotonic** (PD-M):
+each subtask gets a proportional deadline
+
+    PD_i,j = (e_i,j / sum_k e_i,k) * D_i
+
+and, on each processor, a shorter proportional deadline means a higher
+priority.  This module implements PD-M plus the classic alternatives the
+paper cites as substitutable (rate-monotonic, deadline-monotonic, and the
+equal-flexibility style of Kao & Garcia-Molina where the slack
+``D_i - sum e`` is distributed in proportion to execution time).
+
+Every policy returns a fresh :class:`~repro.model.system.System` whose
+subtasks carry dense integer priorities **per processor**, 0 = highest.
+Ties in the underlying key are broken by the subtask id so that the
+assignment is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import ModelError
+from repro.model.system import System
+from repro.model.task import SubtaskId
+
+__all__ = [
+    "proportional_deadline",
+    "proportional_deadline_monotonic",
+    "rate_monotonic",
+    "deadline_monotonic",
+    "equal_flexibility",
+    "assign_by_key",
+    "POLICIES",
+]
+
+#: A policy maps (system, subtask id) to a sortable key; smaller key means
+#: higher priority.
+PriorityKey = Callable[[System, SubtaskId], float]
+
+
+def proportional_deadline(system: System, sid: SubtaskId) -> float:
+    """The paper's proportional deadline ``PD_i,j`` of one subtask."""
+    task = system.task_of(sid)
+    share = system.subtask(sid).execution_time / task.total_execution_time
+    return share * task.relative_deadline
+
+
+def _equal_flexibility_deadline(system: System, sid: SubtaskId) -> float:
+    """A local deadline in the style of Kao & Garcia-Molina's EQF.
+
+    The end-to-end slack ``D_i - sum_k e_i,k`` is split among the stages in
+    proportion to their execution times; the local deadline of a stage is
+    its execution time plus its slack share.  With deadline = period and no
+    slack this degenerates to the execution time itself.
+    """
+    task = system.task_of(sid)
+    total = task.total_execution_time
+    slack = max(0.0, task.relative_deadline - total)
+    exec_time = system.subtask(sid).execution_time
+    return exec_time + slack * (exec_time / total)
+
+
+def assign_by_key(system: System, key: PriorityKey) -> System:
+    """Assign dense per-processor priorities ordered by ``key``.
+
+    On each processor, subtasks are sorted by ``(key, subtask id)`` and
+    receive priorities ``0, 1, 2, ...`` in that order (0 = highest).
+    """
+    priorities: dict[SubtaskId, int] = {}
+    for processor in system.processors:
+        local = sorted(
+            system.subtasks_on(processor),
+            key=lambda sid: (key(system, sid), sid),
+        )
+        for rank, sid in enumerate(local):
+            priorities[sid] = rank
+    return system.with_priorities(priorities)
+
+
+def proportional_deadline_monotonic(system: System) -> System:
+    """The paper's PD-monotonic policy (Section 5.1)."""
+    return assign_by_key(system, proportional_deadline)
+
+
+def rate_monotonic(system: System) -> System:
+    """Subtasks of shorter-period parent tasks get higher priority."""
+    return assign_by_key(system, lambda s, sid: s.period_of(sid))
+
+
+def deadline_monotonic(system: System) -> System:
+    """Subtasks of shorter end-to-end-deadline tasks get higher priority."""
+    return assign_by_key(
+        system, lambda s, sid: s.task_of(sid).relative_deadline
+    )
+
+
+def equal_flexibility(system: System) -> System:
+    """Kao & Garcia-Molina style equal-flexibility local deadlines."""
+    return assign_by_key(system, _equal_flexibility_deadline)
+
+
+#: Registry used by the CLI and the workload generator configuration.
+POLICIES: Mapping[str, Callable[[System], System]] = {
+    "pd-monotonic": proportional_deadline_monotonic,
+    "rate-monotonic": rate_monotonic,
+    "deadline-monotonic": deadline_monotonic,
+    "equal-flexibility": equal_flexibility,
+}
+
+
+def get_policy(name: str) -> Callable[[System], System]:
+    """Look up a policy by registry name, raising ModelError if unknown."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ModelError(
+            f"unknown priority policy {name!r}; known policies: {known}"
+        ) from None

@@ -1,0 +1,128 @@
+"""Structural and schedulability-related sanity checks for systems.
+
+These checks live apart from the dataclass constructors because they
+express *policy* (what a particular analysis or protocol requires), not
+well-formedness.  Analyses call the checks they need; users can call
+:func:`validate_system` for a full report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.model.system import System
+from repro.model.task import SubtaskId
+
+__all__ = [
+    "ValidationReport",
+    "validate_system",
+    "require_feasible_utilization",
+    "check_consecutive_placement",
+]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_system`.
+
+    ``errors`` are conditions that make analyses or the simulator
+    unreliable; ``warnings`` flag properties that are legal but unusual
+    (e.g. co-located consecutive siblings, which the paper's generator
+    forbids).
+    """
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found (warnings allowed)."""
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`ModelError` summarizing errors, if any."""
+        if self.errors:
+            raise ModelError("; ".join(self.errors))
+
+
+def require_feasible_utilization(system: System) -> None:
+    """Raise unless every processor's utilization is <= 1.
+
+    Busy-period analysis diverges on an overloaded processor; both SA/PM
+    and SA/DS therefore require this precondition.
+    """
+    for processor, utilization in system.utilizations().items():
+        if utilization > 1.0 + 1e-12:
+            raise ModelError(
+                f"processor {processor!r} is overloaded: "
+                f"utilization {utilization:.4f} > 1"
+            )
+
+
+def check_consecutive_placement(system: System) -> list[SubtaskId]:
+    """Return subtask ids whose *immediate successor* shares its processor.
+
+    The paper's synthetic workloads never place two consecutive siblings on
+    one processor (a message between them would be pointless); this is a
+    lint, not an error, for hand-built systems.
+    """
+    offenders: list[SubtaskId] = []
+    for task_index, task in enumerate(system.tasks):
+        for j in range(task.chain_length - 1):
+            if task.subtasks[j].processor == task.subtasks[j + 1].processor:
+                offenders.append(SubtaskId(task_index, j))
+    return offenders
+
+
+def _duplicate_priorities(system: System) -> list[str]:
+    """Describe processors carrying duplicate subtask priorities."""
+    messages: list[str] = []
+    for processor in system.processors:
+        seen: dict[int, SubtaskId] = {}
+        for sid in system.subtasks_on(processor):
+            priority = system.subtask(sid).priority
+            if priority in seen:
+                messages.append(
+                    f"processor {processor!r}: subtasks {seen[priority]} and "
+                    f"{sid} share priority {priority} (ties are broken by "
+                    f"release order; analyses treat them as mutually "
+                    f"interfering)"
+                )
+            else:
+                seen[priority] = sid
+    return messages
+
+
+def validate_system(system: System) -> ValidationReport:
+    """Run all checks, returning a :class:`ValidationReport`.
+
+    Errors:
+      * any processor utilization > 1.
+
+    Warnings:
+      * consecutive siblings sharing a processor;
+      * duplicate priorities on one processor;
+      * a task whose end-to-end deadline is below its total execution time
+        (trivially unschedulable).
+    """
+    report = ValidationReport()
+    for processor, utilization in system.utilizations().items():
+        if utilization > 1.0 + 1e-12:
+            report.errors.append(
+                f"processor {processor!r} overloaded (U={utilization:.4f})"
+            )
+    for sid in check_consecutive_placement(system):
+        report.warnings.append(
+            f"consecutive subtasks {sid} and {sid.successor} share "
+            f"processor {system.subtask(sid).processor!r}"
+        )
+    report.warnings.extend(_duplicate_priorities(system))
+    for index, task in enumerate(system.tasks):
+        if task.total_execution_time > task.relative_deadline:
+            report.warnings.append(
+                f"task T{index + 1} cannot meet its deadline even alone: "
+                f"total execution {task.total_execution_time:g} > deadline "
+                f"{task.relative_deadline:g}"
+            )
+    return report

@@ -1,0 +1,67 @@
+"""Discrete-event simulation of distributed fixed-priority scheduling."""
+
+from repro.sim.engine import EventQueue, Kernel
+from repro.sim.interfaces import ReleaseController
+from repro.sim.metrics import (
+    TaskMetrics,
+    TraceMetrics,
+    compute_metrics,
+    output_jitter,
+)
+from repro.sim.network import (
+    FixedLatency,
+    SignalLatencyModel,
+    UniformLatency,
+    ZeroLatency,
+)
+from repro.sim.processor_stats import (
+    ProcessorStatistics,
+    processor_statistics,
+)
+from repro.sim.scheduler import ActiveInstance, ProcessorScheduler
+from repro.sim.simulator import SimulationResult, default_horizon, simulate
+from repro.sim.trace_validation import validate_trace
+from repro.sim.tracing import PrecedenceViolation, Segment, Trace
+from repro.sim.variation import (
+    DeterministicExecution,
+    ExecutionModel,
+    NoJitter,
+    OverrunInjection,
+    ReleaseJitterModel,
+    TruncatedNormalExecution,
+    UniformReleaseJitter,
+    UniformScaledExecution,
+)
+
+__all__ = [
+    "ActiveInstance",
+    "DeterministicExecution",
+    "EventQueue",
+    "ExecutionModel",
+    "FixedLatency",
+    "Kernel",
+    "NoJitter",
+    "OverrunInjection",
+    "PrecedenceViolation",
+    "ProcessorScheduler",
+    "ProcessorStatistics",
+    "processor_statistics",
+    "ReleaseController",
+    "ReleaseJitterModel",
+    "Segment",
+    "SignalLatencyModel",
+    "SimulationResult",
+    "TaskMetrics",
+    "Trace",
+    "TraceMetrics",
+    "TruncatedNormalExecution",
+    "UniformLatency",
+    "UniformReleaseJitter",
+    "UniformScaledExecution",
+    "ZeroLatency",
+    "compute_metrics",
+    "default_horizon",
+    "output_jitter",
+    "simulate",
+    "validate_trace",
+]

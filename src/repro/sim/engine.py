@@ -1,0 +1,379 @@
+"""Discrete-event simulation kernel.
+
+The kernel owns the event queue, one fixed-priority preemptive scheduler
+per processor (:mod:`repro.sim.scheduler`), the trace, and the plugged-in
+synchronization protocol (a :class:`repro.sim.interfaces.ReleaseController`).
+
+Event model
+-----------
+Only three things are time-triggered: environment releases of first
+subtasks, protocol timers (PM periodic releases, MPM/RG timer interrupts)
+and instance completions.  Everything else (signals under zero latency,
+guard checks, idle points) happens synchronously inside those events.
+Events at equal instants are ordered by a fixed class order --
+completions, then timers, then environment releases, then signals -- and
+FIFO within a class, making every run fully deterministic.
+
+Idle points
+-----------
+Definition 1 of the paper calls ``t`` an idle point on a processor when
+every instance released before ``t`` has completed by ``t`` -- even if new
+instances are released exactly at ``t``.  The kernel therefore performs
+idle-point notification *immediately after* finalizing a completion that
+empties the processor, before the protocol gets the chance to release new
+instances in reaction to that completion.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.model.system import System
+from repro.model.task import ProcessorId, SubtaskId
+from repro.sim.interfaces import ReleaseController
+from repro.sim.network import SignalLatencyModel, ZeroLatency
+from repro.sim.scheduler import ProcessorScheduler
+from repro.sim.tracing import PrecedenceViolation, Trace
+from repro.sim.variation import (
+    DeterministicExecution,
+    ExecutionModel,
+    NoJitter,
+    ReleaseJitterModel,
+)
+
+__all__ = ["Kernel", "EventQueue", "EVENT_COMPLETION", "EVENT_TIMER",
+           "EVENT_ENV", "EVENT_SIGNAL"]
+
+# Event class ordering at equal timestamps (smaller runs first).
+EVENT_COMPLETION = 0
+EVENT_TIMER = 1
+EVENT_ENV = 2
+EVENT_SIGNAL = 3
+
+#: An event handle; ``handle[-1]`` is the active flag used for lazy
+#: cancellation.
+EventHandle = list
+
+
+class EventQueue:
+    """A deterministic cancellable priority queue of timed callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[EventHandle] = []
+        self._counter = itertools.count()
+
+    def push(
+        self, time: float, order: int, callback: Callable[[float], None]
+    ) -> EventHandle:
+        """Schedule ``callback(time)``; returns a cancellable handle."""
+        handle: EventHandle = [time, order, next(self._counter), callback, True]
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    @staticmethod
+    def cancel(handle: EventHandle) -> None:
+        """Mark a scheduled event as dead; it will be skipped when popped."""
+        handle[-1] = False
+
+    def pop(self) -> EventHandle | None:
+        """Remove and return the earliest live event, or None when empty."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle[-1]:
+                return handle
+        return None
+
+    def peek_time(self) -> float | None:
+        """The timestamp of the earliest live event, or None when empty."""
+        while self._heap and not self._heap[0][-1]:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for handle in self._heap if handle[-1])
+
+
+class Kernel:
+    """Event-driven executor of one simulated system under one protocol.
+
+    Parameters
+    ----------
+    system:
+        The static system description.
+    controller:
+        The synchronization protocol runtime.  The kernel binds it and
+        drives its hooks; the controller calls back into
+        :meth:`release`, :meth:`schedule_timer` and :meth:`send_signal`.
+    horizon:
+        Simulation end time.  Events scheduled after the horizon are never
+        processed; instances in flight at the horizon remain incomplete
+        and are excluded from metrics.
+    execution_model / jitter_model / latency_model:
+        Variation plug-ins; the defaults reproduce the paper's setting
+        (exact WCETs, strictly periodic releases, instantaneous signals).
+    strict_precedence:
+        When True, a detected precedence violation raises
+        :class:`SimulationError` instead of only being recorded.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        controller: ReleaseController,
+        horizon: float,
+        *,
+        execution_model: ExecutionModel | None = None,
+        jitter_model: ReleaseJitterModel | None = None,
+        latency_model: SignalLatencyModel | None = None,
+        record_segments: bool = True,
+        record_idle_points: bool = False,
+        strict_precedence: bool = False,
+        max_events: int | None = None,
+    ) -> None:
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be > 0, got {horizon!r}")
+        self.system = system
+        self.controller = controller
+        self.horizon = horizon
+        self.execution_model = execution_model or DeterministicExecution()
+        self.jitter_model = jitter_model or NoJitter()
+        self.latency_model = latency_model or ZeroLatency()
+        self.strict_precedence = strict_precedence
+        self.max_events = max_events
+        self.now = 0.0
+        self.queue = EventQueue()
+        self.trace = Trace(
+            system,
+            horizon,
+            record_segments=record_segments,
+            record_idle_points=record_idle_points,
+        )
+        self.schedulers: dict[ProcessorId, ProcessorScheduler] = {
+            processor: ProcessorScheduler(processor, self)
+            for processor in system.processors
+        }
+        self._events_processed = 0
+        self._last_env_release: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Services used by controllers and schedulers
+    # ------------------------------------------------------------------
+    def schedule_timer(
+        self, time: float, callback: Callable[[float], None]
+    ) -> EventHandle:
+        """Run ``callback`` at ``time`` (timer event class)."""
+        if time < self.now - 1e-12:
+            raise SimulationError(
+                f"timer scheduled in the past: {time:g} < now {self.now:g}"
+            )
+        return self.queue.push(max(time, self.now), EVENT_TIMER, callback)
+
+    def schedule_completion(
+        self, time: float, callback: Callable[[float], None]
+    ) -> EventHandle:
+        """Internal: schedule a completion event (used by schedulers)."""
+        return self.queue.push(time, EVENT_COMPLETION, callback)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously scheduled event."""
+        EventQueue.cancel(handle)
+
+    def send_signal(self, sid: SubtaskId, instance: int) -> None:
+        """Deliver a synchronization signal for instance ``instance`` of
+        ``sid`` to the scheduler of ``sid``'s processor.
+
+        The signal is the paper's dotted arrow: the sending scheduler tells
+        the receiving scheduler that a predecessor instance completed (DS,
+        RG) or that its response-time budget elapsed (MPM).  Delivery takes
+        whatever the latency model says (zero by default) and invokes the
+        controller's :meth:`~repro.sim.interfaces.ReleaseController.on_signal`.
+        """
+        predecessor = sid.predecessor
+        source = (
+            self.system.subtask(predecessor).processor
+            if predecessor is not None
+            else self.system.subtask(sid).processor
+        )
+        destination = self.system.subtask(sid).processor
+        delay = self.latency_model.delay(source, destination)
+        if delay < 0:
+            raise SimulationError(f"negative signal latency {delay!r}")
+        if delay == 0.0:
+            self.controller.on_signal(sid, instance, self.now)
+        else:
+            self.queue.push(
+                self.now + delay,
+                EVENT_SIGNAL,
+                lambda now, s=sid, m=instance: self.controller.on_signal(
+                    s, m, now
+                ),
+            )
+
+    def release(self, sid: SubtaskId, instance: int) -> None:
+        """Release instance ``instance`` of subtask ``sid`` now.
+
+        Records the release, performs the precedence check of the paper's
+        model (instance ``m`` of ``T_i,j`` must not be released before
+        instance ``m`` of ``T_i,j-1`` completed), fires the controller's
+        ``on_release`` hook (RG rule 1, MPM timer installation), then hands
+        the instance to the processor's scheduler, which may preempt.
+        """
+        now = self.now
+        predecessor = sid.predecessor
+        if predecessor is not None:
+            completed = (predecessor, instance) in self.trace.completions
+            if not completed and self._completes_at_this_instant(
+                predecessor, instance, now
+            ):
+                # Float non-associativity can put a protocol timer a few
+                # ulps before the completion event it is synchronized to
+                # (e.g. PM's (phase+R)+m*p vs the completion's
+                # (phase+m*p)+R).  A predecessor finishing within float
+                # noise of `now` counts as complete.
+                completed = True
+            if not completed:
+                violation = PrecedenceViolation(
+                    sid=sid,
+                    instance=instance,
+                    release_time=now,
+                    predecessor=predecessor,
+                )
+                self.trace.note_violation(violation)
+                if self.strict_precedence:
+                    raise SimulationError(
+                        f"precedence violation: {sid}#{instance} released at "
+                        f"{now:g} before {predecessor}#{instance} completed"
+                    )
+        self.trace.note_release(sid, instance, now)
+        self.controller.on_release(sid, instance, now)
+        subtask = self.system.subtask(sid)
+        demand = self.execution_model.duration(
+            sid, instance, subtask.execution_time
+        )
+        if demand <= 0:
+            raise SimulationError(
+                f"execution model produced non-positive demand {demand!r} "
+                f"for {sid}#{instance}"
+            )
+        self.schedulers[subtask.processor].add(sid, instance, demand, now)
+
+    def is_idle(self, processor: ProcessorId) -> bool:
+        """True when ``processor`` has no released, uncompleted instance."""
+        return self.schedulers[processor].is_idle
+
+    def _completes_at_this_instant(
+        self, sid: SubtaskId, instance: int, now: float
+    ) -> bool:
+        """True when ``sid``'s instance is running with its completion due
+        within float noise of ``now``."""
+        scheduler = self.schedulers[self.system.subtask(sid).processor]
+        running = scheduler.running
+        if (
+            running is None
+            or running.sid != sid
+            or running.instance != instance
+        ):
+            return False
+        finish = scheduler.pending_completion_time()
+        assert finish is not None
+        return finish <= now + 1e-9 * max(1.0, abs(now))
+
+    # ------------------------------------------------------------------
+    # Completion plumbing (called by schedulers)
+    # ------------------------------------------------------------------
+    def instance_completed(
+        self, sid: SubtaskId, instance: int, now: float
+    ) -> None:
+        """Scheduler callback: an instance finished executing.
+
+        Order matters (see module docstring): record, then idle-point
+        notification, then the protocol's completion hook, then let the
+        scheduler dispatch the next ready instance.
+        """
+        self.trace.note_completion(sid, instance, now)
+        processor = self.system.subtask(sid).processor
+        scheduler = self.schedulers[processor]
+        if scheduler.is_idle:
+            self.trace.note_idle_point(processor, now)
+            self.controller.on_idle(processor, now)
+        self.controller.on_completion(sid, instance, now)
+        scheduler.dispatch_if_needed(now)
+
+    # ------------------------------------------------------------------
+    # Environment releases
+    # ------------------------------------------------------------------
+    def _schedule_env_release(self, task_index: int, instance: int) -> None:
+        task = self.system.tasks[task_index]
+        nominal = task.phase + instance * task.period
+        jitter = self.jitter_model.jitter(task_index, instance)
+        if jitter < 0:
+            raise SimulationError(f"negative release jitter {jitter!r}")
+        when = nominal + jitter
+        # The paper's periodic task model (Section 1) defines the period
+        # as a *minimum* inter-release time -- releases are "made at a
+        # fixed maximum rate".  A jittered release therefore never
+        # compresses the separation below the period; late releases push
+        # all later ones out (the sporadic ratchet).
+        previous = self._last_env_release.get(task_index)
+        if previous is not None:
+            when = max(when, previous + task.period)
+        if when > self.horizon:
+            return
+        self.queue.push(
+            when,
+            EVENT_ENV,
+            lambda now, i=task_index, m=instance: self._fire_env_release(
+                i, m, now
+            ),
+        )
+
+    def _fire_env_release(
+        self, task_index: int, instance: int, now: float
+    ) -> None:
+        first = SubtaskId(task_index, 0)
+        self._last_env_release[task_index] = now
+        self.trace.note_env_release(task_index, instance, now)
+        self.controller.on_env_release(first, instance, now)
+        self._schedule_env_release(task_index, instance + 1)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> Trace:
+        """Execute the simulation up to the horizon; returns the trace."""
+        self.controller.bind(self)
+        self.controller.start()
+        for task_index in range(len(self.system.tasks)):
+            self._schedule_env_release(task_index, 0)
+        while True:
+            handle = self.queue.pop()
+            if handle is None:
+                break
+            time, _order, _seq, callback, _live = handle
+            if time > self.horizon:
+                break
+            if time < self.now - 1e-9:
+                raise SimulationError(
+                    f"event queue went backwards: {time:g} < {self.now:g}"
+                )
+            self.now = time
+            callback(time)
+            self._events_processed += 1
+            if (
+                self.max_events is not None
+                and self._events_processed > self.max_events
+            ):
+                raise SimulationError(
+                    f"event budget exceeded ({self.max_events} events); "
+                    f"now={self.now:g}, horizon={self.horizon:g}"
+                )
+        self.now = self.horizon
+        return self.trace
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (diagnostics)."""
+        return self._events_processed

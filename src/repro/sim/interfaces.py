@@ -1,0 +1,96 @@
+"""Interface between the simulation kernel and synchronization protocols.
+
+A synchronization protocol is implemented as a :class:`ReleaseController`:
+the kernel notifies it of environment releases, subtask releases, instance
+completions and processor idle points; the controller decides when
+instances of successor subtasks are released, by calling back into the
+kernel (:meth:`repro.sim.engine.Kernel.release`,
+:meth:`~repro.sim.engine.Kernel.schedule_timer`,
+:meth:`~repro.sim.engine.Kernel.send_signal`).
+
+The concrete protocols of the paper live in :mod:`repro.core.protocols`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.model.system import System
+from repro.model.task import ProcessorId, SubtaskId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Kernel
+
+__all__ = ["ReleaseController"]
+
+
+class ReleaseController(abc.ABC):
+    """Base class of synchronization-protocol runtime behaviours.
+
+    Life cycle: the kernel constructs itself, then calls :meth:`bind` once,
+    then :meth:`start` at time 0, then the per-event hooks as simulation
+    time advances.  The default hook implementations realize the *Direct
+    Synchronization-free* skeleton: environment releases pass straight
+    through, signals release their target immediately, and nothing else
+    happens.  Subclasses override the hooks they care about.
+    """
+
+    #: Short protocol label used in reports ("DS", "PM", "MPM", "RG").
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.kernel: "Kernel | None" = None
+        self.system: System | None = None
+
+    # ------------------------------------------------------------------
+    # Life cycle
+    # ------------------------------------------------------------------
+    def bind(self, kernel: "Kernel") -> None:
+        """Attach this controller to a kernel before the run starts."""
+        self.kernel = kernel
+        self.system = kernel.system
+
+    def start(self) -> None:
+        """Called once at time 0, before any event is processed.
+
+        Protocols that schedule their own periodic releases (PM) install
+        their timers here.
+        """
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+    def on_env_release(self, sid: SubtaskId, instance: int, now: float) -> None:
+        """The environment released instance ``instance`` of a task.
+
+        ``sid`` is always the task's *first* subtask.  The default releases
+        it immediately -- every protocol in the paper does, since the
+        environment itself guarantees the minimum separation ``p_i``.
+        """
+        assert self.kernel is not None
+        self.kernel.release(sid, instance)
+
+    def on_release(self, sid: SubtaskId, instance: int, now: float) -> None:
+        """An instance of ``sid`` was just released (any cause)."""
+
+    def on_completion(self, sid: SubtaskId, instance: int, now: float) -> None:
+        """An instance of ``sid`` just completed execution."""
+
+    def on_signal(self, sid: SubtaskId, instance: int, now: float) -> None:
+        """A synchronization signal for ``sid`` arrived at its processor.
+
+        The default releases the instance immediately (DS semantics); the
+        Release Guard protocol overrides this with its guard check.
+        """
+        assert self.kernel is not None
+        self.kernel.release(sid, instance)
+
+    def on_idle(self, processor: ProcessorId, now: float) -> None:
+        """``now`` is an idle point on ``processor``.
+
+        Fired when a completion leaves the processor with no released,
+        uncompleted instances.  (Signal arrivals at an idle processor are
+        additionally treated as idle points by the Release Guard protocol
+        itself, per Definition 1.)
+        """

@@ -1,0 +1,141 @@
+"""Metrics computed over simulation traces.
+
+These realize the measurements of Section 5 of the paper: per-task average
+end-to-end response (EER) times (the basis of the PM/DS, RG/DS and PM/RG
+ratio figures), plus the output-jitter measure of Section 2 and the
+deadline-miss counts used in the worked examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.model.task import SubtaskId
+from repro.sim.tracing import Trace
+
+__all__ = ["TaskMetrics", "TraceMetrics", "compute_metrics", "output_jitter"]
+
+
+@dataclass(frozen=True)
+class TaskMetrics:
+    """Per-task summary of one simulation run."""
+
+    task_index: int
+    completed_instances: int
+    average_eer: float
+    max_eer: float
+    min_eer: float
+    output_jitter: float
+    deadline_misses: int
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of completed instances that missed the deadline."""
+        if self.completed_instances == 0:
+            return 0.0
+        return self.deadline_misses / self.completed_instances
+
+
+@dataclass(frozen=True)
+class TraceMetrics:
+    """Whole-run summary: one :class:`TaskMetrics` per task."""
+
+    tasks: tuple[TaskMetrics, ...]
+    precedence_violations: int
+
+    def task(self, task_index: int) -> TaskMetrics:
+        return self.tasks[task_index]
+
+    @property
+    def total_deadline_misses(self) -> int:
+        return sum(task.deadline_misses for task in self.tasks)
+
+    @property
+    def any_incomplete(self) -> bool:
+        """True if some task completed no instance within the horizon."""
+        return any(task.completed_instances == 0 for task in self.tasks)
+
+    def average_eer_vector(self) -> list[float]:
+        """Average EER time of every task, in task order."""
+        return [task.average_eer for task in self.tasks]
+
+
+def output_jitter(eer_times: list[float]) -> float:
+    """The paper's output jitter: the largest difference between the EER
+    times of two *consecutive* task instances.
+
+    Zero when fewer than two instances completed.
+    """
+    if len(eer_times) < 2:
+        return 0.0
+    return max(
+        abs(later - earlier)
+        for earlier, later in zip(eer_times, eer_times[1:])
+    )
+
+
+def compute_metrics(trace: Trace, *, warmup: float = 0.0) -> TraceMetrics:
+    """Summarize a trace into per-task metrics.
+
+    Parameters
+    ----------
+    trace:
+        A completed simulation trace.
+    warmup:
+        Instances whose environment release happened before ``warmup`` are
+        excluded, which removes the start-up transient when phases are
+        zero.  The paper randomizes phases instead; the default of 0
+        matches it.
+    """
+    if warmup < 0:
+        raise SimulationError(f"warmup must be >= 0, got {warmup!r}")
+    summaries = []
+    for task_index, task in enumerate(trace.system.tasks):
+        instances = [
+            m
+            for m in trace.completed_task_instances(task_index)
+            if trace.env_releases[(task_index, m)] >= warmup
+        ]
+        eer_times = [trace.eer_time(task_index, m) for m in instances]
+        deadline = task.relative_deadline
+        tolerance = 1e-9 * max(1.0, deadline)
+        misses = sum(1 for value in eer_times if value > deadline + tolerance)
+        if eer_times:
+            summaries.append(
+                TaskMetrics(
+                    task_index=task_index,
+                    completed_instances=len(eer_times),
+                    average_eer=sum(eer_times) / len(eer_times),
+                    max_eer=max(eer_times),
+                    min_eer=min(eer_times),
+                    output_jitter=output_jitter(eer_times),
+                    deadline_misses=misses,
+                )
+            )
+        else:
+            summaries.append(
+                TaskMetrics(
+                    task_index=task_index,
+                    completed_instances=0,
+                    average_eer=float("nan"),
+                    max_eer=float("nan"),
+                    min_eer=float("nan"),
+                    output_jitter=0.0,
+                    deadline_misses=0,
+                )
+            )
+    return TraceMetrics(
+        tasks=tuple(summaries),
+        precedence_violations=len(trace.violations),
+    )
+
+
+def max_observed_response_time(trace: Trace, sid: SubtaskId) -> float:
+    """Largest observed response time of one subtask (0 if none completed).
+
+    Useful for checking analysis bounds against simulation: a correct
+    bound dominates this for every subtask.
+    """
+    observed = trace.subtask_response_times(sid)
+    return max(observed) if observed else 0.0

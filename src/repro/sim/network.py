@@ -1,0 +1,80 @@
+"""Synchronization-signal delivery models.
+
+The paper assumes the cost of inter-processor synchronization signals is
+zero (Section 2) and argues the assumption away by modelling loaded links
+as "link" processors.  We honour that default with
+:class:`ZeroLatency`, and additionally provide latency models so that the
+sensitivity of each protocol to signalling delay can be studied (the
+MPM/RG timers are local, so a bounded signal delay simply adds to the
+release instant of the successor).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.model.task import ProcessorId
+
+__all__ = [
+    "SignalLatencyModel",
+    "ZeroLatency",
+    "FixedLatency",
+    "UniformLatency",
+]
+
+
+class SignalLatencyModel(abc.ABC):
+    """Maps a (source, destination) processor pair to a signal delay."""
+
+    @abc.abstractmethod
+    def delay(self, source: ProcessorId, destination: ProcessorId) -> float:
+        """Non-negative delivery delay of one synchronization signal."""
+
+
+class ZeroLatency(SignalLatencyModel):
+    """Signals arrive instantaneously (the paper's assumption)."""
+
+    def delay(self, source: ProcessorId, destination: ProcessorId) -> float:
+        return 0.0
+
+
+class FixedLatency(SignalLatencyModel):
+    """Every signal takes a constant delay.
+
+    Local deliveries (``source == destination``) are free: a scheduler
+    signalling itself involves no network.
+    """
+
+    def __init__(self, latency: float) -> None:
+        if latency < 0 or not math.isfinite(latency):
+            raise ConfigurationError(
+                f"latency must be finite and >= 0, got {latency!r}"
+            )
+        self.latency = latency
+
+    def delay(self, source: ProcessorId, destination: ProcessorId) -> float:
+        if source == destination:
+            return 0.0
+        return self.latency
+
+
+class UniformLatency(SignalLatencyModel):
+    """Signal delay drawn uniformly from ``[lo, hi]`` per delivery."""
+
+    def __init__(self, lo: float, hi: float, seed: int | None = None) -> None:
+        if not (0 <= lo <= hi) or not math.isfinite(hi):
+            raise ConfigurationError(
+                f"need 0 <= lo <= hi < inf, got lo={lo!r} hi={hi!r}"
+            )
+        self.lo = lo
+        self.hi = hi
+        self._rng = np.random.default_rng(seed)
+
+    def delay(self, source: ProcessorId, destination: ProcessorId) -> float:
+        if source == destination:
+            return 0.0
+        return float(self._rng.uniform(self.lo, self.hi))

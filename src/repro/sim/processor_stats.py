@@ -1,0 +1,90 @@
+"""Processor-level statistics derived from execution segments.
+
+These quantify the mechanism behind Figure 15's utilization trend: RG's
+rule 2 fires at idle points, so how closely RG tracks DS is governed by
+how often processors drain.  ``processor_statistics`` reports, per
+processor, the observed busy fraction, the number and lengths of its
+busy intervals, and the idle-point rate -- all computed from a trace
+recorded with ``record_segments=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.model.task import ProcessorId
+from repro.sim.tracing import Trace
+
+__all__ = ["ProcessorStatistics", "processor_statistics"]
+
+#: Gap below which two adjacent segments count as one busy interval
+#: (float noise from preemption bookkeeping).
+_GAP_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class ProcessorStatistics:
+    """Observed load shape of one processor over a simulation run."""
+
+    processor: ProcessorId
+    horizon: float
+    busy_time: float
+    busy_intervals: int
+    longest_busy_interval: float
+    mean_busy_interval: float
+
+    @property
+    def busy_fraction(self) -> float:
+        """Fraction of the horizon the processor executed something."""
+        return self.busy_time / self.horizon if self.horizon > 0 else 0.0
+
+    @property
+    def idle_points_per_time(self) -> float:
+        """Busy-interval completions per unit time.
+
+        Each busy interval ends in exactly one idle point (Definition 1),
+        so this is the rate at which RG's rule 2 gets a chance to fire.
+        """
+        return self.busy_intervals / self.horizon if self.horizon > 0 else 0.0
+
+
+def processor_statistics(
+    trace: Trace, processor: ProcessorId
+) -> ProcessorStatistics:
+    """Compute busy-interval statistics for one processor.
+
+    Requires a trace recorded with ``record_segments=True``; segments
+    separated by less than float noise are merged into one interval.
+    """
+    segments = trace.segments_on(processor)
+    if not trace.record_segments:
+        raise SimulationError(
+            "processor statistics need a trace recorded with "
+            "record_segments=True"
+        )
+    busy_time = 0.0
+    intervals: list[float] = []
+    current_start: float | None = None
+    current_end = 0.0
+    for segment in segments:
+        busy_time += segment.length
+        if current_start is None:
+            current_start, current_end = segment.start, segment.end
+        elif segment.start <= current_end + _GAP_TOLERANCE:
+            current_end = max(current_end, segment.end)
+        else:
+            intervals.append(current_end - current_start)
+            current_start, current_end = segment.start, segment.end
+    if current_start is not None:
+        intervals.append(current_end - current_start)
+    return ProcessorStatistics(
+        processor=processor,
+        horizon=trace.horizon,
+        busy_time=busy_time,
+        busy_intervals=len(intervals),
+        longest_busy_interval=max(intervals, default=0.0),
+        mean_busy_interval=(
+            sum(intervals) / len(intervals) if intervals else 0.0
+        ),
+    )

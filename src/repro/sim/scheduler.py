@@ -1,0 +1,185 @@
+"""Per-processor fixed-priority preemptive scheduler.
+
+Each processor runs the classic fixed-priority discipline of the paper: at
+every instant, the released-but-uncompleted instance with the highest
+priority executes; a newly released higher-priority instance preempts the
+running one immediately.  Equal priorities do not preempt each other and
+are served FIFO by release time (ties broken by a global sequence number,
+so runs are deterministic).
+
+The scheduler is event-driven: when an instance starts (or resumes), a
+completion event is scheduled at ``now + remaining``; preemption cancels
+it and accounts the elapsed slice.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.model.task import ProcessorId, SubtaskId
+from repro.sim.tracing import Segment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Kernel
+
+__all__ = ["ActiveInstance", "ProcessorScheduler"]
+
+_SEQUENCE = itertools.count()
+
+
+class ActiveInstance:
+    """A released, not-yet-completed subtask instance on one processor."""
+
+    __slots__ = ("sid", "instance", "priority", "remaining", "release_time", "seq")
+
+    def __init__(
+        self,
+        sid: SubtaskId,
+        instance: int,
+        priority: int,
+        demand: float,
+        release_time: float,
+    ) -> None:
+        self.sid = sid
+        self.instance = instance
+        self.priority = priority
+        self.remaining = demand
+        self.release_time = release_time
+        self.seq = next(_SEQUENCE)
+
+    def sort_key(self) -> tuple[int, float, int]:
+        """Heap key: priority (smaller = higher), then FIFO."""
+        return (self.priority, self.release_time, self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ActiveInstance({self.sid}#{self.instance}, prio={self.priority},"
+            f" remaining={self.remaining:g})"
+        )
+
+
+class ProcessorScheduler:
+    """Fixed-priority preemptive scheduler for one processor."""
+
+    def __init__(self, processor: ProcessorId, kernel: "Kernel") -> None:
+        self.processor = processor
+        self.kernel = kernel
+        self._ready: list[tuple[tuple[int, float, int], ActiveInstance]] = []
+        self._running: ActiveInstance | None = None
+        self._segment_start = 0.0
+        self._completion_handle: list | None = None
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    @property
+    def is_idle(self) -> bool:
+        """True when nothing is running and the ready queue is empty."""
+        return self._running is None and not self._ready
+
+    @property
+    def running(self) -> ActiveInstance | None:
+        """The instance currently holding the processor, if any."""
+        return self._running
+
+    @property
+    def backlog(self) -> int:
+        """Number of released, uncompleted instances on this processor."""
+        return len(self._ready) + (1 if self._running is not None else 0)
+
+    def pending_completion_time(self) -> float | None:
+        """When the currently running instance will finish if unpreempted,
+        or None when nothing is running."""
+        if self._running is None:
+            return None
+        return self._segment_start + self._running.remaining
+
+    # ------------------------------------------------------------------
+    # Releases and dispatch
+    # ------------------------------------------------------------------
+    def add(
+        self, sid: SubtaskId, instance: int, demand: float, now: float
+    ) -> None:
+        """Admit a newly released instance; preempt if it wins."""
+        priority = self.kernel.system.subtask(sid).priority
+        entry = ActiveInstance(sid, instance, priority, demand, now)
+        if self._running is not None and priority < self._running.priority:
+            # A running instance whose completion falls exactly at `now`
+            # (its completion event is queued at this same timestamp but
+            # has not fired yet) must not be preempted with zero remaining
+            # work: let the completion fire first, then dispatch.
+            residual = self._running.remaining - (now - self._segment_start)
+            if residual > 1e-12:
+                self._suspend_running(now)
+        heapq.heappush(self._ready, (entry.sort_key(), entry))
+        self.dispatch_if_needed(now)
+
+    def dispatch_if_needed(self, now: float) -> None:
+        """Put the highest-priority ready instance on the processor."""
+        if self._running is not None or not self._ready:
+            return
+        _key, entry = heapq.heappop(self._ready)
+        self._running = entry
+        self._segment_start = now
+        finish = now + entry.remaining
+        self._completion_handle = self.kernel.schedule_completion(
+            finish, self._on_completion_event
+        )
+
+    def _suspend_running(self, now: float) -> None:
+        """Preempt the running instance, accounting its elapsed slice."""
+        entry = self._running
+        if entry is None:  # pragma: no cover - guarded by caller
+            raise SimulationError("suspend called with no running instance")
+        if self._completion_handle is not None:
+            self.kernel.cancel(self._completion_handle)
+            self._completion_handle = None
+        elapsed = now - self._segment_start
+        if elapsed < -1e-9:
+            raise SimulationError(
+                f"negative execution slice on {self.processor}: {elapsed:g}"
+            )
+        if elapsed > 0:
+            self.kernel.trace.note_segment(
+                Segment(
+                    processor=self.processor,
+                    sid=entry.sid,
+                    instance=entry.instance,
+                    start=self._segment_start,
+                    end=now,
+                )
+            )
+        entry.remaining -= max(0.0, elapsed)
+        if entry.remaining <= 1e-12:
+            raise SimulationError(
+                f"{entry.sid}#{entry.instance} preempted with no remaining "
+                f"work; completion event should have fired first"
+            )
+        self._running = None
+        heapq.heappush(self._ready, (entry.sort_key(), entry))
+
+    def _on_completion_event(self, now: float) -> None:
+        """The running instance's remaining demand reached zero."""
+        entry = self._running
+        if entry is None:
+            raise SimulationError(
+                f"completion event on {self.processor} with nothing running"
+            )
+        self._completion_handle = None
+        self._running = None
+        self.kernel.trace.note_segment(
+            Segment(
+                processor=self.processor,
+                sid=entry.sid,
+                instance=entry.instance,
+                start=self._segment_start,
+                end=now,
+            )
+        )
+        entry.remaining = 0.0
+        # The kernel records the completion, handles idle points and the
+        # protocol hook, then calls back dispatch_if_needed.
+        self.kernel.instance_completed(entry.sid, entry.instance, now)

@@ -1,0 +1,163 @@
+"""Post-hoc validation of simulation traces.
+
+`validate_trace` re-derives the scheduling rules from a recorded trace
+and reports every violation it can find -- an independent check that the
+simulator (and any protocol plugged into it) actually produced a
+fixed-priority preemptive schedule satisfying the paper's model:
+
+* **exclusivity** -- execution segments on one processor never overlap;
+* **priority compliance** -- while an instance executes, no
+  higher-priority instance on the same processor is released and
+  incomplete (it would have preempted);
+* **conservation** -- a completed instance's segments sum to a positive
+  demand, at most its WCET unless overruns are declared possible;
+* **ordering** -- instances of one subtask are released and completed
+  in index order;
+* **precedence** -- no instance is released before its predecessor
+  instance completed (mirrors the kernel's online check).
+
+The validator needs a trace recorded with ``record_segments=True``.  It
+is deliberately independent of the scheduler implementation: it reads
+only the trace, so a bug in the scheduler cannot hide itself.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.tracing import Trace
+
+__all__ = ["validate_trace"]
+
+_TOL = 1e-9
+
+
+def validate_trace(
+    trace: Trace,
+    *,
+    allow_overruns: bool = False,
+    tolerance: float = _TOL,
+) -> list[str]:
+    """Return a list of human-readable invariant violations (empty = ok)."""
+    if not trace.record_segments:
+        raise SimulationError(
+            "trace validation needs a trace recorded with "
+            "record_segments=True"
+        )
+    issues: list[str] = []
+    system = trace.system
+
+    # ------------------------------------------------------------------
+    # Exclusivity and priority compliance, per processor.
+    # ------------------------------------------------------------------
+    for processor in system.processors:
+        segments = trace.segments_on(processor)
+        for earlier, later in zip(segments, segments[1:]):
+            if later.start < earlier.end - tolerance:
+                issues.append(
+                    f"{processor}: segments overlap -- "
+                    f"{earlier.sid}#{earlier.instance} until {earlier.end:g} "
+                    f"vs {later.sid}#{later.instance} from {later.start:g}"
+                )
+        local_instances = [
+            (sid, m)
+            for (sid, m) in trace.releases
+            if system.subtask(sid).processor == processor
+        ]
+        for segment in segments:
+            running_priority = system.subtask(segment.sid).priority
+            for sid, m in local_instances:
+                if (sid, m) == (segment.sid, segment.instance):
+                    continue
+                if system.subtask(sid).priority >= running_priority:
+                    continue  # equal or lower priority may wait
+                release = trace.releases[(sid, m)]
+                completion = trace.completions.get((sid, m), float("inf"))
+                overlap_start = max(release, segment.start)
+                overlap_end = min(completion, segment.end)
+                if overlap_end - overlap_start > tolerance:
+                    issues.append(
+                        f"{processor}: {segment.sid}#{segment.instance} ran "
+                        f"during ({overlap_start:g}, {overlap_end:g}) while "
+                        f"higher-priority {sid}#{m} was ready"
+                    )
+
+    # ------------------------------------------------------------------
+    # Conservation per completed instance.
+    # ------------------------------------------------------------------
+    executed: dict = {}
+    for segment in trace.segments:
+        key = (segment.sid, segment.instance)
+        if segment.end < segment.start - tolerance:
+            issues.append(f"segment of {segment.sid}#{segment.instance} "
+                          f"ends before it starts")
+        executed[key] = executed.get(key, 0.0) + segment.length
+    for key, completion in trace.completions.items():
+        sid, m = key
+        wcet = system.subtask(sid).execution_time
+        total = executed.get(key, 0.0)
+        if total <= tolerance:
+            issues.append(f"{sid}#{m} completed without executing")
+        elif total > wcet + tolerance and not allow_overruns:
+            issues.append(
+                f"{sid}#{m} executed {total:g} > WCET {wcet:g}"
+            )
+        release = trace.releases[key]
+        if completion < release - tolerance:
+            issues.append(f"{sid}#{m} completed before its release")
+
+    # ------------------------------------------------------------------
+    # Ordering per subtask.
+    # ------------------------------------------------------------------
+    by_subtask: dict = {}
+    for (sid, m), time in trace.releases.items():
+        by_subtask.setdefault(sid, []).append((m, time))
+    for sid, entries in by_subtask.items():
+        entries.sort()
+        for (m0, t0), (m1, t1) in zip(entries, entries[1:]):
+            if t1 < t0 - tolerance:
+                issues.append(
+                    f"{sid}: instance {m1} released at {t1:g} before "
+                    f"instance {m0} at {t0:g}"
+                )
+        completions = sorted(
+            (m, trace.completions[(sid, m)])
+            for (s, m) in trace.completions
+            if s == sid
+        )
+        for (m0, t0), (m1, t1) in zip(completions, completions[1:]):
+            if t1 < t0 - tolerance:
+                issues.append(
+                    f"{sid}: instance {m1} completed at {t1:g} before "
+                    f"instance {m0} at {t0:g}"
+                )
+
+    # ------------------------------------------------------------------
+    # Precedence along chains.
+    # ------------------------------------------------------------------
+    for (sid, m), release in trace.releases.items():
+        predecessor = sid.predecessor
+        if predecessor is None:
+            continue
+        completion = trace.completions.get((predecessor, m))
+        if completion is None:
+            if (predecessor, m) in trace.releases:
+                pending = trace.releases[(predecessor, m)]
+                if release > pending - tolerance:
+                    issues.append(
+                        f"{sid}#{m} released at {release:g} while "
+                        f"{predecessor}#{m} (released {pending:g}) had not "
+                        f"completed by the horizon"
+                    )
+            else:
+                issues.append(
+                    f"{sid}#{m} released at {release:g} but {predecessor}#{m} "
+                    f"was never released"
+                )
+        elif release < completion - max(
+            tolerance, 1e-9 * max(1.0, abs(completion))
+        ):
+            issues.append(
+                f"{sid}#{m} released at {release:g} before {predecessor}#{m} "
+                f"completed at {completion:g}"
+            )
+    return issues

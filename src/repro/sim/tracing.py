@@ -1,0 +1,197 @@
+"""Trace recording for simulations.
+
+A :class:`Trace` is the complete observable history of one simulation run:
+release and completion instants of every subtask instance, the execution
+segments laid onto each processor (optional, for Gantt rendering), idle
+points, and any precedence violations detected.
+
+Keys
+----
+Subtask instances are keyed by ``(SubtaskId, m)`` where ``m`` is the
+0-based instance index.  Instance ``m`` of every subtask on a chain
+corresponds to instance ``m`` of the parent task: synchronization signals
+carry the index along the chain, and periodic (PM) releases share it by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import SimulationError
+from repro.model.system import System
+from repro.model.task import ProcessorId, SubtaskId
+
+__all__ = ["Segment", "PrecedenceViolation", "Trace"]
+
+#: Key of one subtask instance.
+InstanceKey = tuple[SubtaskId, int]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal interval during which one instance ran uninterrupted."""
+
+    processor: ProcessorId
+    sid: SubtaskId
+    instance: int
+    start: float
+    end: float
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class PrecedenceViolation:
+    """An instance was released before its predecessor instance completed.
+
+    The paper's protocols never produce these under their stated
+    assumptions; the simulator records them so that failure-injection
+    tests (e.g. PM with understated response-time bounds, or release
+    jitter) can observe the breakage the paper warns about.
+    """
+
+    sid: SubtaskId
+    instance: int
+    release_time: float
+    predecessor: SubtaskId
+
+
+@dataclass
+class Trace:
+    """Observable history of one simulation run."""
+
+    system: System
+    horizon: float
+    record_segments: bool = True
+    record_idle_points: bool = False
+
+    releases: dict[InstanceKey, float] = field(default_factory=dict)
+    completions: dict[InstanceKey, float] = field(default_factory=dict)
+    #: Environment release times of each task instance -- the reference
+    #: points from which end-to-end response times are measured.
+    env_releases: dict[tuple[int, int], float] = field(default_factory=dict)
+    segments: list[Segment] = field(default_factory=list)
+    idle_points: dict[ProcessorId, list[float]] = field(default_factory=dict)
+    violations: list[PrecedenceViolation] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Recording (called by the kernel)
+    # ------------------------------------------------------------------
+    def note_env_release(self, task_index: int, instance: int, time: float) -> None:
+        self.env_releases[(task_index, instance)] = time
+
+    def note_release(self, sid: SubtaskId, instance: int, time: float) -> None:
+        key = (sid, instance)
+        if key in self.releases:
+            raise SimulationError(
+                f"instance {sid}#{instance} released twice "
+                f"(at {self.releases[key]:g} and {time:g})"
+            )
+        self.releases[key] = time
+
+    def note_completion(self, sid: SubtaskId, instance: int, time: float) -> None:
+        key = (sid, instance)
+        if key not in self.releases:
+            raise SimulationError(
+                f"instance {sid}#{instance} completed at {time:g} without a "
+                f"recorded release"
+            )
+        if key in self.completions:
+            raise SimulationError(f"instance {sid}#{instance} completed twice")
+        self.completions[key] = time
+
+    def note_segment(self, segment: Segment) -> None:
+        if self.record_segments:
+            self.segments.append(segment)
+
+    def note_idle_point(self, processor: ProcessorId, time: float) -> None:
+        if self.record_idle_points:
+            self.idle_points.setdefault(processor, []).append(time)
+
+    def note_violation(self, violation: PrecedenceViolation) -> None:
+        self.violations.append(violation)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def release_time(self, sid: SubtaskId, instance: int) -> float:
+        """Release instant of one subtask instance."""
+        return self.releases[(sid, instance)]
+
+    def completion_time(self, sid: SubtaskId, instance: int) -> float:
+        """Completion instant of one subtask instance."""
+        return self.completions[(sid, instance)]
+
+    def response_time(self, sid: SubtaskId, instance: int) -> float:
+        """Completion minus release of one subtask instance."""
+        key = (sid, instance)
+        return self.completions[key] - self.releases[key]
+
+    def instance_count(self, sid: SubtaskId) -> int:
+        """Number of *completed* instances recorded for a subtask."""
+        return sum(1 for (s, _m) in self.completions if s == sid)
+
+    def completed_task_instances(self, task_index: int) -> list[int]:
+        """Indices of task instances whose *last* subtask completed."""
+        task = self.system.tasks[task_index]
+        last = SubtaskId(task_index, task.chain_length - 1)
+        return sorted(m for (s, m) in self.completions if s == last)
+
+    def eer_time(self, task_index: int, instance: int) -> float:
+        """End-to-end response time of one task instance.
+
+        Measured, as in the paper, from the environment release of the
+        first subtask instance to the completion of the corresponding
+        instance of the last subtask.
+        """
+        task = self.system.tasks[task_index]
+        last = SubtaskId(task_index, task.chain_length - 1)
+        completion = self.completions[(last, instance)]
+        release = self.env_releases[(task_index, instance)]
+        return completion - release
+
+    def eer_times(self, task_index: int) -> list[float]:
+        """EER times of all completed instances of one task, in order."""
+        return [
+            self.eer_time(task_index, m)
+            for m in self.completed_task_instances(task_index)
+        ]
+
+    def intermediate_eer_time(
+        self, sid: SubtaskId, instance: int
+    ) -> float:
+        """The paper's IEER time: completion of ``T_i,j(m)`` minus the
+        environment release of ``T_i,1(m)``."""
+        completion = self.completions[(sid, instance)]
+        release = self.env_releases[(sid.task_index, instance)]
+        return completion - release
+
+    def subtask_response_times(self, sid: SubtaskId) -> list[float]:
+        """Response times of all completed instances of one subtask."""
+        instances = sorted(m for (s, m) in self.completions if s == sid)
+        return [self.response_time(sid, m) for m in instances]
+
+    def segments_on(self, processor: ProcessorId) -> list[Segment]:
+        """Execution segments recorded on one processor, by start time."""
+        return sorted(
+            (seg for seg in self.segments if seg.processor == processor),
+            key=lambda seg: seg.start,
+        )
+
+    def iter_instances(self) -> Iterator[InstanceKey]:
+        """All released instance keys, ordered by release time."""
+        return iter(sorted(self.releases, key=lambda key: self.releases[key]))
+
+    def deadline_misses(self, task_index: int) -> int:
+        """Completed instances of a task whose EER exceeded the deadline."""
+        deadline = self.system.tasks[task_index].relative_deadline
+        tolerance = 1e-9 * max(1.0, deadline)
+        return sum(
+            1
+            for value in self.eer_times(task_index)
+            if value > deadline + tolerance
+        )

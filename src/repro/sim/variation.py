@@ -1,0 +1,169 @@
+"""Execution-time and release-jitter variation models.
+
+The paper's simulation executes every instance for exactly its worst-case
+execution time and releases first subtasks with zero jitter; its
+conclusion, however, flags "wide variations in these parameters" as the
+open problem.  These models let users and the failure-injection tests
+explore exactly that: instances may run shorter than their WCET (normal
+operation), *longer* (overrun injection -- which invalidates PM/MPM's
+guarantees), and environment releases may be late by a bounded jitter
+(which breaks PM but not MPM/RG, as Section 3.1 argues).
+
+All models are deterministic functions of their own ``numpy`` generator,
+so simulations are reproducible from seeds.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.model.task import SubtaskId
+
+__all__ = [
+    "ExecutionModel",
+    "DeterministicExecution",
+    "UniformScaledExecution",
+    "TruncatedNormalExecution",
+    "OverrunInjection",
+    "ReleaseJitterModel",
+    "NoJitter",
+    "UniformReleaseJitter",
+]
+
+
+class ExecutionModel(abc.ABC):
+    """Maps an instance to its actual execution demand."""
+
+    @abc.abstractmethod
+    def duration(self, sid: SubtaskId, instance: int, wcet: float) -> float:
+        """Actual execution time of instance ``instance`` of ``sid``.
+
+        Must be positive; values above ``wcet`` model overruns.
+        """
+
+
+class DeterministicExecution(ExecutionModel):
+    """Every instance runs for exactly its WCET (the paper's setting)."""
+
+    def duration(self, sid: SubtaskId, instance: int, wcet: float) -> float:
+        return wcet
+
+
+class UniformScaledExecution(ExecutionModel):
+    """Each instance runs for ``wcet * u`` with ``u ~ Uniform[lo, hi]``.
+
+    ``hi <= 1`` keeps the WCET honest; ``hi > 1`` injects overruns.
+    """
+
+    def __init__(self, lo: float, hi: float, seed: int | None = None) -> None:
+        if not (0 < lo <= hi) or not math.isfinite(hi):
+            raise ConfigurationError(
+                f"need 0 < lo <= hi < inf, got lo={lo!r} hi={hi!r}"
+            )
+        self.lo = lo
+        self.hi = hi
+        self._rng = np.random.default_rng(seed)
+
+    def duration(self, sid: SubtaskId, instance: int, wcet: float) -> float:
+        return wcet * float(self._rng.uniform(self.lo, self.hi))
+
+
+class TruncatedNormalExecution(ExecutionModel):
+    """Gaussian around ``mean_fraction * wcet``, truncated to (eps, wcet].
+
+    A common empirical shape: most instances near the mean, rare ones near
+    the WCET.
+    """
+
+    def __init__(
+        self,
+        mean_fraction: float = 0.7,
+        std_fraction: float = 0.15,
+        seed: int | None = None,
+    ) -> None:
+        if not (0 < mean_fraction <= 1):
+            raise ConfigurationError(
+                f"mean_fraction must be in (0, 1], got {mean_fraction!r}"
+            )
+        if std_fraction < 0:
+            raise ConfigurationError(
+                f"std_fraction must be >= 0, got {std_fraction!r}"
+            )
+        self.mean_fraction = mean_fraction
+        self.std_fraction = std_fraction
+        self._rng = np.random.default_rng(seed)
+
+    def duration(self, sid: SubtaskId, instance: int, wcet: float) -> float:
+        draw = self._rng.normal(self.mean_fraction, self.std_fraction)
+        fraction = min(1.0, max(1e-6, float(draw)))
+        return wcet * fraction
+
+
+class OverrunInjection(ExecutionModel):
+    """Multiply the WCET of selected instances by an overrun factor.
+
+    Used by failure-injection tests to demonstrate that PM/MPM rely on the
+    correctness of the response-time bounds: one overrunning instance can
+    produce a precedence violation downstream.
+    """
+
+    def __init__(
+        self,
+        target: SubtaskId,
+        factor: float,
+        every: int = 1,
+    ) -> None:
+        if factor <= 0:
+            raise ConfigurationError(f"factor must be > 0, got {factor!r}")
+        if every < 1:
+            raise ConfigurationError(f"every must be >= 1, got {every!r}")
+        self.target = target
+        self.factor = factor
+        self.every = every
+
+    def duration(self, sid: SubtaskId, instance: int, wcet: float) -> float:
+        if sid == self.target and instance % self.every == 0:
+            return wcet * self.factor
+        return wcet
+
+
+class ReleaseJitterModel(abc.ABC):
+    """Maps a task instance to a non-negative environment release delay."""
+
+    @abc.abstractmethod
+    def jitter(self, task_index: int, instance: int) -> float:
+        """Delay added to the nominal release ``phase + m * period``."""
+
+
+class NoJitter(ReleaseJitterModel):
+    """Strictly periodic environment releases (the paper's setting)."""
+
+    def jitter(self, task_index: int, instance: int) -> float:
+        return 0.0
+
+
+class UniformReleaseJitter(ReleaseJitterModel):
+    """Release delay drawn uniformly from ``[0, bound]``.
+
+    Models the sporadic arrivals that break the PM protocol (Section 3.1):
+    the inter-release time of first subtasks may exceed the period.  The
+    kernel additionally enforces the periodic task model's *minimum*
+    separation (releases happen at a fixed maximum rate), so a small
+    jitter after a large one never compresses two releases closer than
+    one period.
+    """
+
+    def __init__(self, bound: float, seed: int | None = None) -> None:
+        if bound < 0 or not math.isfinite(bound):
+            raise ConfigurationError(
+                f"jitter bound must be finite and >= 0, got {bound!r}"
+            )
+        self.bound = bound
+        self._rng = np.random.default_rng(seed)
+
+    def jitter(self, task_index: int, instance: int) -> float:
+        return float(self._rng.uniform(0.0, self.bound))

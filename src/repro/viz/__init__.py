@@ -1,0 +1,5 @@
+"""Text rendering of traces and experiment surfaces."""
+
+from repro.viz.gantt import render_gantt
+
+__all__ = ["render_gantt"]

@@ -1,0 +1,18 @@
+"""Synthetic workloads (§5.1) and the paper's worked examples."""
+
+from repro.workload.config import PAPER_GRID, WorkloadConfig, paper_grid
+from repro.workload.distributions import split_utilization, truncated_exponential
+from repro.workload.examples import example_two, monitor_task_example
+from repro.workload.generator import generate_batch, generate_system
+
+__all__ = [
+    "PAPER_GRID",
+    "WorkloadConfig",
+    "example_two",
+    "generate_batch",
+    "generate_system",
+    "monitor_task_example",
+    "paper_grid",
+    "split_utilization",
+    "truncated_exponential",
+]

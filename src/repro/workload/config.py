@@ -1,0 +1,124 @@
+"""Configuration of the paper's synthetic workload generator (§5.1).
+
+A *configuration* is the paper's 2-tuple ``(N, U)``: the number of
+subtasks per task and the per-processor utilization.  Everything else --
+4 processors, 12 tasks, periods truncated-exponentially distributed in
+[100, 10000], PD-monotonic priorities -- is held fixed in the paper and
+parameterized here with those values as defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["WorkloadConfig", "PAPER_GRID", "paper_grid"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of one synthetic-system family.
+
+    Attributes
+    ----------
+    subtasks_per_task:
+        The paper's ``N`` (2..8 in the evaluation grid).
+    utilization:
+        The paper's ``U`` as a fraction (0.5..0.9 in the grid): the total
+        utilization of *every* processor.
+    processors / tasks:
+        Fixed at 4 and 12 in the paper.
+    period_min / period_max / period_scale:
+        Task periods are exponentially distributed, truncated to
+        ``[period_min, period_max]``.  The paper does not state the rate;
+        ``period_scale`` (the exponential's mean before truncation)
+        defaults to a third of the range, which yields the "more
+        variation than uniform" spread the paper asks for.
+    weight_min / weight_max:
+        The per-subtask random numbers used to split each processor's
+        utilization (0.001..1 in the paper).
+    random_phases:
+        When True, each task's phase is drawn uniformly from
+        ``[0, period)`` -- the paper does this for the average-EER
+        simulations.  Analyses are phase-independent.
+    """
+
+    subtasks_per_task: int
+    utilization: float
+    processors: int = 4
+    tasks: int = 12
+    period_min: float = 100.0
+    period_max: float = 10_000.0
+    period_scale: float = field(default=3300.0)
+    weight_min: float = 0.001
+    weight_max: float = 1.0
+    priority_policy: str = "pd-monotonic"
+    random_phases: bool = False
+
+    def __post_init__(self) -> None:
+        if self.subtasks_per_task < 1:
+            raise ConfigurationError(
+                f"subtasks_per_task must be >= 1, got {self.subtasks_per_task}"
+            )
+        if not 0 < self.utilization <= 1:
+            raise ConfigurationError(
+                f"utilization must be in (0, 1], got {self.utilization}"
+            )
+        if self.processors < 1:
+            raise ConfigurationError(
+                f"processors must be >= 1, got {self.processors}"
+            )
+        if self.subtasks_per_task > 1 and self.processors < 2:
+            raise ConfigurationError(
+                "chains need at least 2 processors so consecutive subtasks "
+                "can avoid sharing one"
+            )
+        if self.tasks < 1:
+            raise ConfigurationError(f"tasks must be >= 1, got {self.tasks}")
+        if not 0 < self.period_min <= self.period_max:
+            raise ConfigurationError(
+                f"need 0 < period_min <= period_max, got "
+                f"{self.period_min}..{self.period_max}"
+            )
+        if self.period_scale <= 0:
+            raise ConfigurationError(
+                f"period_scale must be > 0, got {self.period_scale}"
+            )
+        if not 0 < self.weight_min <= self.weight_max:
+            raise ConfigurationError(
+                f"need 0 < weight_min <= weight_max, got "
+                f"{self.weight_min}..{self.weight_max}"
+            )
+
+    @property
+    def label(self) -> str:
+        """The paper's ``(N, U)`` notation, e.g. ``"(5,60)"``."""
+        return f"({self.subtasks_per_task},{round(self.utilization * 100)})"
+
+    def with_random_phases(self, value: bool = True) -> "WorkloadConfig":
+        """Copy of this config with random phases toggled."""
+        return replace(self, random_phases=value)
+
+
+def paper_grid(
+    subtask_counts: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8),
+    utilizations: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9),
+    **overrides,
+) -> list[WorkloadConfig]:
+    """The paper's 35-configuration grid (or a sub-grid).
+
+    Keyword overrides are applied to every configuration -- e.g.
+    ``paper_grid(tasks=6)`` for a lighter sweep.
+    """
+    return [
+        WorkloadConfig(
+            subtasks_per_task=n, utilization=u, **overrides
+        )
+        for n in subtask_counts
+        for u in utilizations
+    ]
+
+
+#: The full evaluation grid of Section 5: N in 2..8, U in 50%..90%.
+PAPER_GRID: tuple[WorkloadConfig, ...] = tuple(paper_grid())

@@ -1,0 +1,75 @@
+"""Random distributions used by the synthetic workload generator.
+
+Kept separate from the generator so the statistical ingredients can be
+tested (and reused) in isolation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["truncated_exponential", "split_utilization"]
+
+
+def truncated_exponential(
+    rng: np.random.Generator,
+    low: float,
+    high: float,
+    scale: float,
+    size: int | None = None,
+) -> float | np.ndarray:
+    """Sample from an exponential distribution truncated to [low, high].
+
+    The paper draws task periods this way ("the probability density
+    function of task period is a truncated exponential function"), which
+    produces more variation than a uniform draw over the same range:
+    short periods are much more likely than long ones.
+
+    Sampling is by inverse CDF, exact for the truncated distribution --
+    no rejection loop, so the cost is deterministic.
+    """
+    if not 0 < low <= high:
+        raise ConfigurationError(f"need 0 < low <= high, got {low}..{high}")
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be > 0, got {scale}")
+    # CDF of Exp(scale) between the truncation points.
+    cdf_low = -math.expm1(-low / scale)
+    cdf_high = -math.expm1(-high / scale)
+    span = cdf_high - cdf_low
+    u = rng.uniform(0.0, 1.0, size=size)
+    # Inverse CDF: x = -scale * log(1 - (cdf_low + u * span)).
+    values = -scale * np.log1p(-(cdf_low + u * span))
+    # Guard the boundaries against float rounding.
+    values = np.clip(values, low, high)
+    if size is None:
+        return float(values)
+    return values
+
+
+def split_utilization(
+    rng: np.random.Generator,
+    total: float,
+    parts: int,
+    weight_min: float = 0.001,
+    weight_max: float = 1.0,
+) -> list[float]:
+    """Split ``total`` utilization among ``parts`` subtasks, paper-style.
+
+    Each part draws a weight uniformly from [weight_min, weight_max] and
+    receives ``total * weight / sum(weights)`` -- exactly the procedure
+    of Section 5.1.
+    """
+    if parts < 1:
+        raise ConfigurationError(f"parts must be >= 1, got {parts}")
+    if total < 0:
+        raise ConfigurationError(f"total must be >= 0, got {total}")
+    if not 0 < weight_min <= weight_max:
+        raise ConfigurationError(
+            f"need 0 < weight_min <= weight_max, got {weight_min}..{weight_max}"
+        )
+    weights = rng.uniform(weight_min, weight_max, size=parts)
+    return [total * float(w) / float(weights.sum()) for w in weights]

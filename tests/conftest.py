@@ -1,0 +1,73 @@
+"""Shared fixtures: canonical systems used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.system import System
+from repro.model.task import Subtask, Task
+from repro.workload.config import WorkloadConfig
+from repro.workload.examples import example_two, monitor_task_example
+from repro.workload.generator import generate_system
+
+
+@pytest.fixture
+def example2() -> System:
+    """The paper's Example 2 (Figs. 2, 3, 5, 7)."""
+    return example_two()
+
+
+@pytest.fixture
+def monitor() -> System:
+    """The paper's Example 1 (the monitor task of Fig. 1)."""
+    return monitor_task_example()
+
+
+@pytest.fixture
+def single_task_system() -> System:
+    """One single-subtask task on one processor."""
+    return System(
+        (
+            Task(
+                period=10.0,
+                subtasks=(Subtask(3.0, "P1", priority=0),),
+                name="solo",
+            ),
+        ),
+        name="single",
+    )
+
+
+@pytest.fixture
+def two_stage_pipeline() -> System:
+    """One two-stage chain across two processors, no interference."""
+    return System(
+        (
+            Task(
+                period=10.0,
+                subtasks=(
+                    Subtask(2.0, "P1", priority=0),
+                    Subtask(3.0, "P2", priority=0),
+                ),
+                name="pipe",
+            ),
+        ),
+        name="pipeline",
+    )
+
+
+@pytest.fixture
+def small_config() -> WorkloadConfig:
+    """A light synthetic configuration for fast generator-based tests."""
+    return WorkloadConfig(
+        subtasks_per_task=3,
+        utilization=0.6,
+        tasks=4,
+        processors=3,
+    )
+
+
+@pytest.fixture
+def small_system(small_config) -> System:
+    """One deterministic synthetic system from ``small_config``."""
+    return generate_system(small_config, seed=42)

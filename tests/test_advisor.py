@@ -1,0 +1,102 @@
+"""Unit tests for the protocol-selection advisor (Section 6 as code)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.advisor import recommend_protocol
+from repro.model.system import System
+from repro.model.task import Subtask, Task
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+
+@pytest.fixture(scope="module")
+def light_system() -> System:
+    """Short chains, light load: DS territory."""
+    t1 = Task(
+        period=20.0,
+        subtasks=(Subtask(1.0, "A", priority=0),
+                  Subtask(1.0, "B", priority=0)),
+    )
+    t2 = Task(period=30.0, subtasks=(Subtask(2.0, "A", priority=1),))
+    return System((t1, t2))
+
+
+@pytest.fixture(scope="module")
+def heavy_system() -> System:
+    """Long chains at high utilization: DS's bounds collapse."""
+    config = WorkloadConfig(subtasks_per_task=7, utilization=0.85)
+    return generate_system(config, seed=0)
+
+
+class TestDecisions:
+    def test_light_load_gets_ds(self, light_system):
+        rec = recommend_protocol(light_system)
+        assert rec.protocol == "DS"
+        assert rec.worst_bound_ratio <= 1.5
+        assert rec.sa_ds.schedulable
+
+    def test_heavy_load_gets_rg(self, heavy_system):
+        rec = recommend_protocol(heavy_system)
+        assert rec.protocol == "RG"
+        assert math.isinf(rec.worst_bound_ratio) or rec.worst_bound_ratio > 1.5
+
+    def test_jitter_sensitive_with_full_platform_gets_pm(self, light_system):
+        rec = recommend_protocol(
+            light_system,
+            jitter_sensitive=True,
+            clock_sync_available=True,
+            strictly_periodic_arrivals=True,
+        )
+        assert rec.protocol == "PM"
+
+    def test_jitter_sensitive_without_clock_sync_gets_mpm(self, light_system):
+        rec = recommend_protocol(light_system, jitter_sensitive=True)
+        assert rec.protocol == "MPM"
+
+    def test_untrusted_wcets_never_pm_or_mpm(self, light_system, heavy_system):
+        for system in (light_system, heavy_system):
+            rec = recommend_protocol(system, wcets_trusted=False)
+            assert rec.protocol in ("DS", "RG")
+
+    def test_untrusted_wcets_heavy_gets_rg(self, heavy_system):
+        rec = recommend_protocol(heavy_system, wcets_trusted=False)
+        assert rec.protocol == "RG"
+
+    def test_jitter_plus_untrusted_wcets_falls_back(self, light_system):
+        """Jitter sensitivity cannot save PM/MPM when WCETs are untrusted:
+        the timers would fire blind."""
+        rec = recommend_protocol(
+            light_system, jitter_sensitive=True, wcets_trusted=False
+        )
+        assert rec.protocol in ("DS", "RG")
+
+
+class TestEvidence:
+    def test_carries_both_analyses(self, light_system):
+        rec = recommend_protocol(light_system)
+        assert rec.sa_pm.algorithm == "SA/PM"
+        assert rec.sa_ds.algorithm == "SA/DS"
+
+    def test_ratio_matches_analyses(self, light_system):
+        rec = recommend_protocol(light_system)
+        expected = max(
+            ds / pm
+            for ds, pm in zip(rec.sa_ds.task_bounds, rec.sa_pm.task_bounds)
+        )
+        assert rec.worst_bound_ratio == pytest.approx(max(1.0, expected))
+
+    def test_describe_readable(self, heavy_system):
+        text = recommend_protocol(heavy_system).describe()
+        assert "recommended protocol: RG" in text
+        assert "rationale" in text
+
+    def test_example2_recommendation(self, example2):
+        # T2 is uncertifiable under every protocol; DS additionally
+        # blows T3's bound, so RG it is.
+        rec = recommend_protocol(example2)
+        assert rec.protocol == "RG"
+        assert rec.worst_bound_ratio == pytest.approx(8.0 / 5.0)

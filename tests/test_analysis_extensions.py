@@ -1,0 +1,167 @@
+"""Unit tests for the analysis extensions: blocking terms,
+overhead-aware analysis, and the local-deadline baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.analysis.busy_period import analyze_subtask
+from repro.core.analysis.local_deadline import analyze_local_deadline
+from repro.core.analysis.overheads import (
+    analyze_with_overhead,
+    inflate_for_overhead,
+)
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.errors import AnalysisError, ConfigurationError
+from repro.model.system import System
+from repro.model.task import Subtask, SubtaskId, Task
+
+
+class TestBlocking:
+    def _pair(self) -> System:
+        t1 = Task(period=4.0, subtasks=(Subtask(2.0, "P1", priority=0),))
+        t2 = Task(period=6.0, subtasks=(Subtask(2.0, "P1", priority=1),))
+        return System((t1, t2))
+
+    def test_blocking_adds_to_highest_priority_bound(self):
+        system = self._pair()
+        record = analyze_subtask(system, SubtaskId(0, 0), blocking=1.0)
+        # t = 2 + 1 = 3 with no interference: bound 3.
+        assert record.bound == pytest.approx(3.0)
+
+    def test_blocking_flows_through_interference(self):
+        system = self._pair()
+        plain = analyze_subtask(system, SubtaskId(1, 0))
+        blocked = analyze_subtask(system, SubtaskId(1, 0), blocking=1.0)
+        assert blocked.bound > plain.bound
+
+    def test_negative_blocking_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_subtask(self._pair(), SubtaskId(0, 0), blocking=-1.0)
+
+    def test_sa_pm_accepts_blocking_map(self, example2):
+        plain = analyze_sa_pm(example2)
+        blocked = analyze_sa_pm(
+            example2, blocking={SubtaskId(2, 0): 1.0}
+        )
+        assert blocked.task_bounds[2] > plain.task_bounds[2]
+        # Untouched tasks keep their bounds.
+        assert blocked.task_bounds[0] == plain.task_bounds[0]
+
+    def test_blocking_monotone(self):
+        system = self._pair()
+        bounds = [
+            analyze_subtask(system, SubtaskId(1, 0), blocking=b).bound
+            for b in (0.0, 0.5, 1.0, 1.9)
+        ]
+        assert bounds == sorted(bounds)
+
+
+class TestOverheadAwareAnalysis:
+    def test_inflation_adds_overhead_to_every_stage(self, example2):
+        inflated = inflate_for_overhead(
+            example2, "RG", interrupt_cost=0.05, context_switch_cost=0.05
+        )
+        # RG: 2 interrupts + 2 context switches = 0.2 per instance.
+        for sid in example2.subtask_ids:
+            assert inflated.subtask(sid).execution_time == pytest.approx(
+                example2.subtask(sid).execution_time + 0.2
+            )
+
+    def test_zero_cost_is_identity(self, example2):
+        inflated = inflate_for_overhead(
+            example2, "DS", interrupt_cost=0.0, context_switch_cost=0.0
+        )
+        assert inflated.tasks == example2.tasks
+
+    def test_overhead_can_overload(self, example2):
+        # Example 2's processors run at 5/6 utilization; large overheads
+        # push them past 1.
+        with pytest.raises(ConfigurationError, match="overloads"):
+            inflate_for_overhead(
+                example2, "RG", interrupt_cost=0.3, context_switch_cost=0.3
+            )
+
+    def test_overhead_raises_bounds(self, example2):
+        plain = analyze_sa_pm(example2)
+        costed = analyze_with_overhead(
+            example2, "RG", interrupt_cost=0.02, context_switch_cost=0.02
+        )
+        for i in range(len(example2.tasks)):
+            assert costed.task_bounds[i] > plain.task_bounds[i]
+
+    def test_ds_overhead_uses_sa_ds(self, example2):
+        result = analyze_with_overhead(
+            example2, "DS", interrupt_cost=0.01, context_switch_cost=0.01
+        )
+        assert result.algorithm == "SA/DS"
+
+    def test_cheaper_protocol_cheaper_bounds(self, example2):
+        """DS charges one interrupt per instance, RG two: with the same
+        platform costs the DS-inflated system carries less load."""
+        ds_system = inflate_for_overhead(
+            example2, "DS", interrupt_cost=0.1, context_switch_cost=0.0
+        )
+        rg_system = inflate_for_overhead(
+            example2, "RG", interrupt_cost=0.1, context_switch_cost=0.0
+        )
+        assert ds_system.max_utilization < rg_system.max_utilization
+
+
+class TestLocalDeadlineBaseline:
+    def test_verdict_on_example2(self, example2):
+        result = analyze_local_deadline(example2)
+        assert result.algorithm == "local-deadline"
+        # T1: single stage, PD = deadline = 4 >= response 2: holds.
+        assert result.is_task_schedulable(0)
+        # T2: PD_2,1 = 2/5*6 = 2.4 < response bound 4: slice fails.
+        assert math.isinf(result.task_bounds[1])
+
+    def test_sa_pm_at_least_as_precise(self):
+        """Whenever slicing accepts a task, SA/PM accepts it too -- and
+        SA/PM accepts chains the slicing method rejects."""
+        # A chain whose first stage overruns its slice but whose chain
+        # comfortably meets the end-to-end deadline.
+        hog = Task(period=10.0, subtasks=(Subtask(4.0, "A", priority=0),))
+        chain = Task(
+            period=20.0,
+            subtasks=(Subtask(2.0, "A", priority=1),
+                      Subtask(2.0, "B", priority=0)),
+        )
+        system = System((hog, chain))
+        sliced = analyze_local_deadline(system)
+        sa_pm = analyze_sa_pm(system)
+        # Slicing: PD_chain,1 = 10, response = 2+4(+4) = fits? response
+        # of chain stage 1 under hog: busy period gives 4+2=6 <= 10: ok;
+        # choose numbers so the point is the implication, checked below.
+        for i in range(len(system.tasks)):
+            if sliced.is_task_schedulable(i):
+                assert sa_pm.is_task_schedulable(i)
+
+    def test_slicing_rejects_what_sa_pm_accepts(self):
+        # Stage 1 is cheap (so its proportional slice is tiny: PD =
+        # 0.5/10 * 20 = 1) but suffers heavy interference (response
+        # bound 3.5): its slice fails.  The chain's EER bound 3.5 + 9.5
+        # = 13 still fits the end-to-end deadline 20 comfortably.
+        hog = Task(period=6.0, subtasks=(Subtask(3.0, "A", priority=0),))
+        chain = Task(
+            period=20.0,
+            subtasks=(Subtask(0.5, "A", priority=1),
+                      Subtask(9.5, "B", priority=0)),
+        )
+        system = System((hog, chain))
+        sliced = analyze_local_deadline(system)
+        sa_pm = analyze_sa_pm(system)
+        assert sa_pm.is_task_schedulable(1)
+        assert not sliced.is_task_schedulable(1)
+
+    def test_subtask_bounds_are_slices_when_holding(self, example2):
+        from repro.model.priority import proportional_deadline
+
+        result = analyze_local_deadline(example2)
+        sid = SubtaskId(0, 0)
+        assert result.subtask_bounds[sid] == pytest.approx(
+            proportional_deadline(example2, sid)
+        )

@@ -1,0 +1,69 @@
+"""Unit tests for the fixed-point iteration utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis.fixpoint import ceil_tolerant, solve_fixed_point
+from repro.errors import AnalysisError
+
+
+class TestCeilTolerant:
+    def test_plain_ceiling(self):
+        assert ceil_tolerant(2.3) == 3
+        assert ceil_tolerant(5.0) == 5
+
+    def test_swallows_upward_float_noise(self):
+        assert ceil_tolerant(5.0 + 1e-12) == 5
+
+    def test_keeps_real_excess(self):
+        assert ceil_tolerant(5.0 + 1e-6) == 6
+
+    def test_negative_values(self):
+        assert ceil_tolerant(-1.5) == -1
+
+
+class TestSolveFixedPoint:
+    def test_classic_response_time_equation(self):
+        # t = 2 + 2*ceil(t/4): the lfp is 4 (t=4: 2 + 2*1 = 4).
+        demand = lambda t: 2 + 2 * ceil_tolerant(t / 4)
+        assert solve_fixed_point(demand, 2.0, 100.0) == pytest.approx(4.0)
+
+    def test_response_time_equation_with_two_preemptions(self):
+        # t = 3 + 2*ceil(t/4): t=4 gives 3+4=7? no: 3+2*1=5; t=5 -> 3+4=7;
+        # t=7 -> 3+2*2=7: lfp is 7, reached after two preemptions.
+        demand = lambda t: 3 + 2 * ceil_tolerant(t / 4)
+        assert solve_fixed_point(demand, 3.0, 100.0) == pytest.approx(7.0)
+
+    def test_immediate_fixed_point(self):
+        demand = lambda t: 5.0
+        assert solve_fixed_point(demand, 5.0, 100.0) == pytest.approx(5.0)
+
+    def test_divergent_demand_hits_cap(self):
+        demand = lambda t: t + 1.0
+        assert solve_fixed_point(demand, 1.0, 50.0) is None
+
+    def test_start_must_be_positive(self):
+        with pytest.raises(AnalysisError):
+            solve_fixed_point(lambda t: t, 0.0, 10.0)
+
+    def test_non_monotone_demand_detected(self):
+        with pytest.raises(AnalysisError, match="not monotone"):
+            solve_fixed_point(lambda t: 10.0 - t, 8.0, 100.0)
+
+    def test_iteration_budget_enforced(self):
+        # Creeps upward by tiny steps forever below the cap.
+        demand = lambda t: t + 1e-6 + 2e-9 * t
+        with pytest.raises(AnalysisError, match="did not settle"):
+            solve_fixed_point(demand, 1.0, 1e12, max_iterations=50)
+
+    def test_converges_from_below_to_least_fixed_point(self):
+        # t = ceil(t/3) has fixed points at every multiple-ish value;
+        # starting at 1 must find the least one (t=0.5? no: W(1)=1).
+        demand = lambda t: float(ceil_tolerant(t / 3))
+        assert solve_fixed_point(demand, 1.0, 100.0) == pytest.approx(1.0)
+
+    def test_cap_is_exclusive_above(self):
+        demand = lambda t: 10.0
+        # lfp is 10, cap 10 allows it.
+        assert solve_fixed_point(demand, 1.0, 10.0) == pytest.approx(10.0)

@@ -1,0 +1,196 @@
+"""Unit tests for Algorithm IEERT and Algorithm SA/DS."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.analysis.results import FAILURE_FACTOR
+from repro.core.analysis.sa_ds import (
+    analyze_sa_ds,
+    ieert_pass,
+    initial_ieer_bounds,
+)
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.errors import AnalysisError
+from repro.model.system import System
+from repro.model.task import Subtask, SubtaskId, Task
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+
+class TestInitialBounds:
+    def test_cumulative_execution_seeds(self, example2):
+        seeds = initial_ieer_bounds(example2)
+        assert seeds[SubtaskId(1, 0)] == pytest.approx(2.0)
+        assert seeds[SubtaskId(1, 1)] == pytest.approx(5.0)
+
+    def test_seeds_below_any_fixed_point(self, example2):
+        seeds = initial_ieer_bounds(example2)
+        result = analyze_sa_ds(example2)
+        for sid, seed in seeds.items():
+            assert seed <= result.subtask_bounds[sid] + 1e-9
+
+
+class TestIeertPass:
+    def test_single_pass_monotone_from_seed(self, example2):
+        seeds = initial_ieer_bounds(example2)
+        once = ieert_pass(example2, seeds)
+        for sid in example2.subtask_ids:
+            assert once[sid] >= seeds[sid] - 1e-9
+
+    def test_pass_is_monotone_in_inputs(self, example2):
+        seeds = initial_ieer_bounds(example2)
+        bigger = {sid: value * 1.5 for sid, value in seeds.items()}
+        low = ieert_pass(example2, seeds)
+        high = ieert_pass(example2, bigger)
+        for sid in example2.subtask_ids:
+            assert high[sid] >= low[sid] - 1e-9
+
+    def test_infinite_input_propagates(self, example2):
+        seeds = initial_ieer_bounds(example2)
+        seeds[SubtaskId(1, 0)] = math.inf
+        out = ieert_pass(example2, seeds)
+        # T2,2's jitter (its predecessor's bound) is infinite.
+        assert math.isinf(out[SubtaskId(1, 1)])
+
+    def test_fixed_point_is_stable(self, example2):
+        result = analyze_sa_ds(example2)
+        again = ieert_pass(example2, dict(result.subtask_bounds))
+        for sid in example2.subtask_ids:
+            assert again[sid] == pytest.approx(
+                result.subtask_bounds[sid], rel=1e-9
+            )
+
+
+class TestExampleTwo:
+    """Worked numbers for Example 2.
+
+    Note on the paper's "7": Section 4.3 states the SA/DS bound on T3's
+    EER time is 7.  The paper's own Figure 3 schedule, however, shows
+    T3's first instance released at 4 and completing at 12 -- an EER
+    time of 8 -- so no *correct* upper bound can be 7.  Algorithm IEERT
+    as printed (Fig. 10) yields exactly 8, which is also tight; we pin 8
+    and document the discrepancy in EXPERIMENTS.md.
+    """
+
+    def test_t3_bound_is_eight_and_tight(self, example2):
+        result = analyze_sa_ds(example2)
+        assert result.task_bounds[2] == pytest.approx(8.0)
+
+    def test_t3_unschedulable_as_in_paper(self, example2):
+        # The paper's conclusion -- bound exceeds the deadline 6 -- holds.
+        result = analyze_sa_ds(example2)
+        assert not result.is_task_schedulable(2)
+
+    def test_simulation_attains_t3_bound(self, example2):
+        from repro.api import run_protocol
+
+        run = run_protocol(example2, "DS", horizon=600.0)
+        assert run.metrics.task(2).max_eer == pytest.approx(8.0)
+
+    def test_other_task_bounds(self, example2):
+        result = analyze_sa_ds(example2)
+        assert result.task_bounds[0] == pytest.approx(2.0)
+        assert result.task_bounds[1] == pytest.approx(7.0)
+
+    def test_converges_quickly(self, example2):
+        result = analyze_sa_ds(example2)
+        assert result.iterations <= 5
+        assert not result.failed
+
+
+class TestDominance:
+    """SA/DS bounds are never tighter than SA/PM bounds (Section 4.3)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sa_ds_at_least_sa_pm(self, seed):
+        config = WorkloadConfig(
+            subtasks_per_task=3, utilization=0.6, tasks=5, processors=3
+        )
+        system = generate_system(config, seed)
+        pm = analyze_sa_pm(system)
+        ds = analyze_sa_ds(system)
+        for task_index in range(len(system.tasks)):
+            assert (
+                ds.task_bounds[task_index]
+                >= pm.task_bounds[task_index] - 1e-6
+            )
+
+    def test_bounds_dominate_ds_simulation(self, example2):
+        from repro.api import run_protocol
+
+        result = analyze_sa_ds(example2)
+        run = run_protocol(example2, "DS", horizon=600.0)
+        for task_index in range(len(example2.tasks)):
+            assert (
+                run.metrics.task(task_index).max_eer
+                <= result.task_bounds[task_index] + 1e-9
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bounds_dominate_ds_simulation_generated(self, seed):
+        from repro.api import run_protocol
+
+        config = WorkloadConfig(
+            subtasks_per_task=3, utilization=0.5, tasks=5, processors=3
+        )
+        system = generate_system(config, seed)
+        result = analyze_sa_ds(system)
+        if result.failed:
+            pytest.skip("diverged seed")
+        run = run_protocol(system, "DS", horizon_periods=15.0)
+        for task_index in range(len(system.tasks)):
+            observed = run.metrics.task(task_index).max_eer
+            if math.isnan(observed):
+                continue
+            assert observed <= result.task_bounds[task_index] + 1e-6
+
+
+class TestFailureHandling:
+    def _heavy_system(self) -> System:
+        """A long-chain high-utilization system that diverges."""
+        config = WorkloadConfig(subtasks_per_task=8, utilization=0.9)
+        return generate_system(config, seed=0)
+
+    def test_failure_reported_with_infinite_bounds(self):
+        result = analyze_sa_ds(self._heavy_system(), max_iterations=60)
+        assert result.failed
+        assert any(math.isinf(bound) for bound in result.task_bounds)
+        assert result.notes  # explains what happened
+
+    def test_failure_factor_scales_cutoff(self, example2):
+        # With an absurdly tight cutoff even Example 2 "fails".
+        result = analyze_sa_ds(example2, failure_factor=1.0)
+        assert result.failed
+
+    def test_default_failure_factor_is_300(self):
+        assert FAILURE_FACTOR == 300.0
+
+    def test_max_iterations_must_be_positive(self, example2):
+        with pytest.raises(AnalysisError):
+            analyze_sa_ds(example2, max_iterations=0)
+
+    def test_iteration_exhaustion_declared_failure(self):
+        # A near-critical system creeping upward: with a 1-pass budget the
+        # analysis must declare failure rather than report unconverged
+        # bounds as finite truth.
+        result = analyze_sa_ds(self._heavy_system(), max_iterations=1)
+        assert result.failed
+
+    def test_infinite_mid_chain_bound_fails_whole_task(self):
+        # Construct divergence via an overloaded processor mid-chain:
+        # A carries 1.7/2 + 2/8 = 1.1 utilization.
+        t1 = Task(period=2.0, subtasks=(Subtask(1.7, "A", priority=0),))
+        t2 = Task(
+            period=8.0,
+            subtasks=(
+                Subtask(1.0, "B", priority=0),
+                Subtask(2.0, "A", priority=1),
+                Subtask(1.0, "C", priority=0),
+            ),
+        )
+        result = analyze_sa_ds(System((t1, t2)))
+        assert math.isinf(result.task_bounds[1])
+        assert result.failed

@@ -1,0 +1,106 @@
+"""Unit tests for Algorithm SA/PM."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.analysis.sa_pm import analyze_sa_pm, sa_pm_subtask_details
+from repro.model.system import System
+from repro.model.task import Subtask, SubtaskId, Task
+
+
+class TestExampleTwo:
+    """The paper's worked numbers for Example 2 (Sections 3-4)."""
+
+    def test_subtask_bounds(self, example2):
+        result = analyze_sa_pm(example2)
+        assert result.subtask_bounds[SubtaskId(0, 0)] == pytest.approx(2.0)
+        assert result.subtask_bounds[SubtaskId(1, 0)] == pytest.approx(4.0)
+        assert result.subtask_bounds[SubtaskId(1, 1)] == pytest.approx(3.0)
+        # "Task T3 would have a worst-case response time of 5 time units."
+        assert result.subtask_bounds[SubtaskId(2, 0)] == pytest.approx(5.0)
+
+    def test_task_bounds_sum_subtask_bounds(self, example2):
+        result = analyze_sa_pm(example2)
+        assert result.task_bounds == pytest.approx((2.0, 7.0, 5.0))
+
+    def test_t3_schedulable_t2_not(self, example2):
+        result = analyze_sa_pm(example2)
+        assert result.is_task_schedulable(0)
+        assert not result.is_task_schedulable(1)  # bound 7 > deadline 6
+        assert result.is_task_schedulable(2)
+        assert not result.schedulable
+
+    def test_not_failed(self, example2):
+        result = analyze_sa_pm(example2)
+        assert result.all_finite
+        assert not result.failed
+
+
+class TestStructure:
+    def test_algorithm_label(self, example2):
+        assert analyze_sa_pm(example2).algorithm == "SA/PM"
+
+    def test_details_cover_all_subtasks(self, example2):
+        details = sa_pm_subtask_details(example2)
+        assert set(details) == set(example2.subtask_ids)
+
+    def test_monitor_pipeline_bounds_are_exec_times(self, monitor):
+        # A single chain with no interference: every bound equals the
+        # stage execution time, and the EER bound is their sum.
+        result = analyze_sa_pm(monitor)
+        task = monitor.tasks[0]
+        for j, stage in enumerate(task.subtasks):
+            assert result.subtask_bounds[SubtaskId(0, j)] == pytest.approx(
+                stage.execution_time
+            )
+        assert result.task_bounds[0] == pytest.approx(
+            task.total_execution_time
+        )
+
+    def test_overloaded_processor_yields_infinite_bounds(self):
+        t1 = Task(period=2.0, subtasks=(Subtask(1.5, "A", priority=0),))
+        t2 = Task(
+            period=8.0,
+            subtasks=(Subtask(1.0, "B", priority=0),
+                      Subtask(2.0, "A", priority=1)),
+        )
+        result = analyze_sa_pm(System((t1, t2)))
+        assert math.isinf(result.subtask_bounds[SubtaskId(1, 1)])
+        assert math.isinf(result.task_bounds[1])
+        assert result.failed
+        # The unaffected task keeps its finite bound.
+        assert result.task_bounds[0] == pytest.approx(1.5)
+
+    def test_describe_mentions_verdicts(self, example2):
+        text = analyze_sa_pm(example2).describe()
+        assert "SA/PM" in text
+        assert "MISS" in text
+        assert "ok" in text
+
+
+class TestAgainstSimulation:
+    """SA/PM bounds must dominate every simulated response time."""
+
+    @pytest.mark.parametrize("protocol", ["PM", "MPM", "RG"])
+    def test_bounds_dominate_observed_eer(self, example2, protocol):
+        from repro.api import run_protocol
+
+        result = analyze_sa_pm(example2)
+        run = run_protocol(example2, protocol, horizon=600.0)
+        for task_index in range(len(example2.tasks)):
+            observed = run.metrics.task(task_index).max_eer
+            assert observed <= result.task_bounds[task_index] + 1e-9
+
+    def test_bounds_dominate_generated_system(self, small_system):
+        from repro.api import run_protocol
+
+        result = analyze_sa_pm(small_system)
+        run = run_protocol(small_system, "RG", horizon_periods=15.0)
+        for task_index in range(len(small_system.tasks)):
+            observed = run.metrics.task(task_index).max_eer
+            if math.isnan(observed):
+                continue
+            assert observed <= result.task_bounds[task_index] + 1e-9

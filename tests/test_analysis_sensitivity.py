@@ -1,0 +1,104 @@
+"""Unit tests for breakdown-scaling sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.core.analysis.sensitivity import (
+    breakdown_scaling,
+    scale_execution_times,
+)
+from repro.errors import ConfigurationError
+from repro.model.system import System
+from repro.model.task import Subtask, SubtaskId, Task
+
+
+class TestScaleExecutionTimes:
+    def test_scales_every_stage(self, example2):
+        scaled = scale_execution_times(example2, 0.5)
+        for sid in example2.subtask_ids:
+            assert scaled.subtask(sid).execution_time == pytest.approx(
+                example2.subtask(sid).execution_time * 0.5
+            )
+
+    def test_preserves_everything_else(self, example2):
+        scaled = scale_execution_times(example2, 2.0)
+        assert [t.period for t in scaled.tasks] == [
+            t.period for t in example2.tasks
+        ]
+        assert scaled.subtask(SubtaskId(1, 0)).priority == example2.subtask(
+            SubtaskId(1, 0)
+        ).priority
+
+    def test_bounds_scale_linearly(self, example2):
+        base = analyze_sa_pm(example2)
+        scaled = analyze_sa_pm(scale_execution_times(example2, 0.5))
+        for a, b in zip(scaled.task_bounds, base.task_bounds):
+            assert a == pytest.approx(b * 0.5)
+
+    def test_bad_factor(self, example2):
+        with pytest.raises(ConfigurationError):
+            scale_execution_times(example2, 0.0)
+
+
+class TestBreakdownScaling:
+    def test_example2_is_overloaded_for_certification(self, example2):
+        """T2's SA/PM bound (7) already exceeds its deadline (6): the
+        breakdown factor is below 1 but well above 0."""
+        factor = breakdown_scaling(example2, "SA/PM")
+        assert 0.5 < factor < 1.0
+        # At the found factor the system is certifiable...
+        assert analyze_sa_pm(
+            scale_execution_times(example2, factor)
+        ).schedulable
+        # ...and just above it, not.
+        assert not analyze_sa_pm(
+            scale_execution_times(example2, factor + 0.01)
+        ).schedulable
+
+    def test_sa_ds_needs_more_capacity_than_sa_pm(self, example2):
+        pm_factor = breakdown_scaling(example2, "SA/PM")
+        ds_factor = breakdown_scaling(example2, "SA/DS")
+        assert ds_factor <= pm_factor + 1e-9
+
+    def test_headroom_reported_above_one(self, monitor):
+        factor = breakdown_scaling(monitor, "SA/PM")
+        assert factor > 1.0
+
+    def test_max_factor_cap(self, monitor):
+        assert breakdown_scaling(monitor, "SA/PM", max_factor=2.0) == 2.0
+
+    def test_hopeless_system_returns_zero(self):
+        # Total execution beyond the deadline at every positive scale?
+        # Impossible -- scaling down always helps -- so "hopeless" means
+        # only: below the tolerance.  Use a tolerance coarser than the
+        # feasible region.
+        t1 = Task(period=1.0, subtasks=(Subtask(100.0, "A", priority=0),))
+        factor = breakdown_scaling(
+            System((t1,)), "SA/PM", tolerance=0.02
+        )
+        assert factor <= 0.01
+
+    def test_invalid_analysis_rejected(self, example2):
+        with pytest.raises(ConfigurationError):
+            breakdown_scaling(example2, "holistic")
+
+    def test_invalid_tolerance_rejected(self, example2):
+        with pytest.raises(ConfigurationError):
+            breakdown_scaling(example2, "SA/PM", tolerance=0.0)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_generated_systems_bracketed(self, seed):
+        from repro.workload.config import WorkloadConfig
+        from repro.workload.generator import generate_system
+
+        config = WorkloadConfig(
+            subtasks_per_task=3, utilization=0.6, tasks=4, processors=3
+        )
+        system = generate_system(config, seed)
+        factor = breakdown_scaling(system, "SA/PM", tolerance=5e-3)
+        if factor > 0:
+            assert analyze_sa_pm(
+                scale_execution_times(system, factor)
+            ).schedulable

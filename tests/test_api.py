@@ -1,0 +1,77 @@
+"""Unit tests for the top-level convenience API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.api import analyze, compare_protocols, run_protocol
+from repro.errors import ConfigurationError
+
+
+class TestRunProtocol:
+    def test_returns_simulation_result(self, example2):
+        result = run_protocol(example2, "DS", horizon=30.0)
+        assert result.protocol == "DS"
+        assert result.horizon == 30.0
+        assert result.events_processed > 0
+
+    def test_average_and_max_accessors(self, example2):
+        result = run_protocol(example2, "DS", horizon=60.0)
+        assert result.average_eer(0) == pytest.approx(2.0)
+        assert result.max_eer(2) == pytest.approx(8.0)
+
+    def test_default_horizon_scales_with_period(self, example2):
+        result = run_protocol(example2, "DS", horizon_periods=5.0)
+        # max phase 4 + 5 * max period 6 = 34.
+        assert result.horizon == pytest.approx(34.0)
+
+    def test_segments_off_by_default(self, example2):
+        result = run_protocol(example2, "DS", horizon=30.0)
+        assert result.trace.segments == []
+
+    def test_unknown_protocol(self, example2):
+        with pytest.raises(ConfigurationError):
+            run_protocol(example2, "LST", horizon=10.0)
+
+
+class TestAnalyze:
+    @pytest.mark.parametrize("protocol", ["PM", "MPM", "RG", "pm", "rg"])
+    def test_pm_family_uses_sa_pm(self, example2, protocol):
+        result = analyze(example2, protocol)
+        assert result.algorithm == "SA/PM"
+
+    def test_ds_uses_sa_ds(self, example2):
+        assert analyze(example2, "DS").algorithm == "SA/DS"
+
+    def test_unknown_protocol(self, example2):
+        with pytest.raises(ConfigurationError):
+            analyze(example2, "EDF")
+
+
+class TestCompareProtocols:
+    def test_default_trio(self, example2):
+        results = compare_protocols(example2, horizon=30.0)
+        assert set(results) == {"DS", "PM", "RG"}
+
+    def test_kwargs_forwarded(self, example2):
+        results = compare_protocols(
+            example2, ("DS",), horizon=30.0, record_segments=True
+        )
+        assert results["DS"].trace.segments
+
+
+class TestPublicSurface:
+    def test_version_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet_runs(self):
+        system = repro.example_two()
+        verdict = repro.analyze(system, "DS")
+        assert not verdict.is_task_schedulable(2)
+        result = repro.run_protocol(system, "RG", horizon=60.0)
+        assert result.metrics.task(2).deadline_misses == 0

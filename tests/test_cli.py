@@ -1,0 +1,158 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestExample2(object):
+    def test_default_ds(self, capsys):
+        assert main(["example2"]) == 0
+        out = capsys.readouterr().out
+        assert "SA/PM analysis" in out
+        assert "SA/DS analysis" in out
+        assert "schedule under DS" in out
+
+    @pytest.mark.parametrize("protocol", ["PM", "MPM", "RG"])
+    def test_other_protocols(self, capsys, protocol):
+        assert main(["example2", "--protocol", protocol]) == 0
+        assert f"schedule under {protocol}" in capsys.readouterr().out
+
+    def test_until_option(self, capsys):
+        assert main(["example2", "--until", "12"]) == 0
+        assert "12" in capsys.readouterr().out
+
+
+class TestCosts:
+    def test_lists_all_protocols(self, capsys):
+        assert main(["costs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("DS:", "PM:", "MPM:", "RG:"):
+            assert name in out
+
+
+class TestAnalyze:
+    def test_analyzes_synthetic_system(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "--n", "2",
+                "--u", "0.5",
+                "--tasks", "3",
+                "--processors", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SA/PM analysis" in out
+        assert "SA/DS analysis" in out
+
+    def test_requires_n_and_u_or_load(self, capsys):
+        assert main(["analyze", "--n", "2"]) == 2
+        assert "need --n and --u" in capsys.readouterr().err
+
+    def test_save_load_round_trip(self, tmp_path, capsys):
+        saved = tmp_path / "system.json"
+        assert (
+            main(
+                [
+                    "analyze",
+                    "--n", "2",
+                    "--u", "0.5",
+                    "--tasks", "3",
+                    "--processors", "2",
+                    "--save", str(saved),
+                ]
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert main(["analyze", "--load", str(saved)]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_json_export(self, tmp_path):
+        import json
+
+        out = tmp_path / "analysis.json"
+        assert (
+            main(
+                [
+                    "analyze",
+                    "--n", "2",
+                    "--u", "0.5",
+                    "--tasks", "3",
+                    "--processors", "2",
+                    "--json", str(out),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(out.read_text())
+        assert data["sa_pm"]["algorithm"] == "SA/PM"
+        assert data["sa_ds"]["algorithm"] == "SA/DS"
+
+
+class TestSuiteAndFigure:
+    COMMON = [
+        "--systems", "1",
+        "--subtasks", "2",
+        "--utilizations", "0.5",
+        "--tasks", "3",
+        "--processors", "2",
+        "--horizon-periods", "4",
+    ]
+
+    def test_suite_prints_all_figures(self, capsys):
+        assert main(["suite", *self.COMMON]) == 0
+        out = capsys.readouterr().out
+        for number in (12, 13, 14, 15, 16):
+            assert f"Figure {number}" in out
+
+    @pytest.mark.parametrize("number", ["12", "13", "14", "15", "16"])
+    def test_single_figure(self, capsys, number):
+        assert main(["figure", number, *self.COMMON]) == 0
+        assert f"Figure {number}" in capsys.readouterr().out
+
+    def test_figure_rejects_unknown_number(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "9", *self.COMMON])
+
+    def test_suite_with_ci(self, capsys):
+        assert main(["suite", *self.COMMON, "--ci"]) == 0
+
+    def test_suite_with_check(self, capsys):
+        assert main(["suite", *self.COMMON, "--check"]) == 0
+        assert "expectations hold" in capsys.readouterr().out
+
+    def test_suite_save_evals(self, tmp_path, capsys):
+        from repro.experiments.runner import suite_from_evaluations
+        from repro.io import load_evaluations
+
+        path = tmp_path / "evals.json"
+        assert (
+            main(["suite", *self.COMMON, "--save-evals", str(path)]) == 0
+        )
+        suite = suite_from_evaluations(load_evaluations(path))
+        assert "Figure 12" in suite.render()
+
+    def test_suite_csv_export(self, tmp_path, capsys):
+        out_dir = tmp_path / "csv"
+        assert (
+            main(["suite", *self.COMMON, "--csv-dir", str(out_dir)]) == 0
+        )
+        names = {path.name for path in out_dir.iterdir()}
+        assert "fig12_failure_rate.csv" in names
+        assert len(names) == 5

@@ -1,0 +1,79 @@
+"""Guards keeping the documentation honest."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def readme(self) -> str:
+        return (REPO / "README.md").read_text()
+
+    def test_quickstart_snippet_runs(self, readme):
+        """Execute the README's quickstart block verbatim."""
+        start = readme.index("```python") + len("```python")
+        end = readme.index("```", start)
+        snippet = readme[start:end]
+        namespace: dict = {}
+        exec(compile(snippet, "<README quickstart>", "exec"), namespace)
+
+    def test_mentions_every_example_script(self, readme):
+        for script in (REPO / "examples").glob("*.py"):
+            assert script.name in readme, f"{script.name} not in README"
+
+    def test_mentions_every_docs_page(self, readme):
+        for page in (REPO / "docs").glob("*.md"):
+            assert page.name in readme, f"{page.name} not in README"
+
+
+class TestDocsCrossReferences:
+    @pytest.mark.parametrize(
+        "page", ["protocols.md", "analysis.md", "simulator.md",
+                 "experiments.md", "tutorial.md"]
+    )
+    def test_pages_exist_and_are_substantial(self, page):
+        text = (REPO / "docs" / page).read_text()
+        assert len(text.splitlines()) > 40
+
+    def test_referenced_modules_exist(self):
+        """Every `repro.x.y` dotted path mentioned in docs imports."""
+        import importlib
+        import re
+
+        pattern = re.compile(r"`(repro(?:\.[a-z_]+)+)`")
+        for page in (REPO / "docs").glob("*.md"):
+            for match in pattern.finditer(page.read_text()):
+                dotted = match.group(1)
+                module = dotted
+                # Try as module; fall back to attribute of parent module.
+                try:
+                    importlib.import_module(module)
+                    continue
+                except ImportError:
+                    pass
+                parent, _, attr = dotted.rpartition(".")
+                mod = importlib.import_module(parent)
+                assert hasattr(mod, attr), f"{dotted} (in {page.name})"
+
+
+class TestProjectMetadata:
+    def test_design_doc_lists_every_experiment_bench(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for bench in (REPO / "benchmarks").glob("test_bench_fig*.py"):
+            assert bench.name in design, f"{bench.name} not indexed"
+
+    def test_experiments_doc_mentions_discrepancy(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        assert "Discrepancy" in text
+        assert "300" in text  # the failure cutoff
+
+    def test_version_consistent(self):
+        import repro
+
+        pyproject = (REPO / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in pyproject

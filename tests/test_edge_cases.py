@@ -1,0 +1,238 @@
+"""Edge-case tests filling branches the mainline suites do not touch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_protocol
+from repro.core.protocols import make_controller
+from repro.errors import ConfigurationError
+from repro.model.system import System
+from repro.model.task import Subtask, SubtaskId, Task
+from repro.sim.network import FixedLatency
+from repro.sim.simulator import default_horizon, simulate
+
+
+class TestDefaultHorizon:
+    def test_scales_from_largest_phase_and_period(self, example2):
+        assert default_horizon(example2, 10.0) == pytest.approx(4 + 60.0)
+
+    def test_rejects_nonpositive_periods(self, example2):
+        with pytest.raises(ConfigurationError):
+            default_horizon(example2, 0.0)
+
+
+class TestWarmup:
+    def test_warmup_forwarded_to_metrics(self, example2):
+        full = run_protocol(example2, "DS", horizon=60.0)
+        trimmed = run_protocol(example2, "DS", horizon=60.0, warmup=30.0)
+        assert (
+            trimmed.metrics.task(0).completed_instances
+            < full.metrics.task(0).completed_instances
+        )
+
+
+class TestMpmUnderLatency:
+    def test_mpm_successor_shifted_by_latency(self, two_stage_pipeline):
+        """MPM's relay signal pays the network latency; the successor's
+        release lands at release + R + latency."""
+        from repro.core.protocols.factory import pm_bounds_for
+
+        bounds = pm_bounds_for(two_stage_pipeline)
+        result = simulate(
+            two_stage_pipeline,
+            make_controller("MPM", two_stage_pipeline),
+            horizon=40.0,
+            latency_model=FixedLatency(0.5),
+        )
+        stage1, stage2 = SubtaskId(0, 0), SubtaskId(0, 1)
+        for m in range(3):
+            assert result.trace.release_time(stage2, m) == pytest.approx(
+                result.trace.release_time(stage1, m) + bounds[stage1] + 0.5
+            )
+        assert result.metrics.precedence_violations == 0
+
+    def test_pm_ignores_latency_so_schedules_diverge_from_mpm(
+        self, two_stage_pipeline
+    ):
+        """PM uses no signals at all, so under a signalling latency the
+        'identical schedules' property of PM vs MPM no longer holds."""
+        results = {}
+        for protocol in ("PM", "MPM"):
+            results[protocol] = simulate(
+                two_stage_pipeline,
+                make_controller(protocol, two_stage_pipeline),
+                horizon=40.0,
+                latency_model=FixedLatency(0.5),
+            )
+        stage2 = SubtaskId(0, 1)
+        assert results["PM"].trace.release_time(stage2, 0) != pytest.approx(
+            results["MPM"].trace.release_time(stage2, 0)
+        )
+
+
+class TestExhaustiveWithBounds:
+    def test_custom_bounds_forwarded_to_pm(self, two_stage_pipeline):
+        from repro.core.analysis.exhaustive import search_worst_case_eer
+
+        generous = {sid: 4.0 for sid in two_stage_pipeline.subtask_ids}
+        search = search_worst_case_eer(
+            two_stage_pipeline, "PM", steps=2, bounds=generous
+        )
+        # PM with a 4.0 first-stage bound: EER = 4 + 3 = 7 every time.
+        assert search.worst_eer[0] == pytest.approx(7.0)
+
+
+class TestDeadlineStrategiesWithExplicitDeadline:
+    def test_strategies_use_relative_deadline_not_period(self):
+        from repro.model.deadlines import deadline_map
+
+        task = Task(
+            period=20.0,
+            deadline=12.0,
+            subtasks=(Subtask(2.0, "A"), Subtask(4.0, "B")),
+        )
+        system = System((task,))
+        mapping = deadline_map(system, "pd")
+        assert sum(mapping.values()) == pytest.approx(12.0)
+        ed = deadline_map(system, "ed")
+        assert ed[SubtaskId(0, 0)] == pytest.approx(8.0)
+
+
+class TestOverheadInflationStructure:
+    def test_names_and_periods_preserved(self, example2):
+        from repro.core.analysis.overheads import inflate_for_overhead
+
+        inflated = inflate_for_overhead(
+            example2, "DS", interrupt_cost=0.01, context_switch_cost=0.01
+        )
+        assert [t.name for t in inflated.tasks] == [
+            t.name for t in example2.tasks
+        ]
+        assert [t.period for t in inflated.tasks] == [
+            t.period for t in example2.tasks
+        ]
+        assert inflated.subtask(SubtaskId(1, 0)).priority == example2.subtask(
+            SubtaskId(1, 0)
+        ).priority
+
+
+class TestGanttScaling:
+    def test_chars_per_unit_changes_width(self, example2):
+        from repro.viz.gantt import render_gantt
+
+        result = run_protocol(
+            example2, "DS", horizon=12.0, record_segments=True
+        )
+        narrow = render_gantt(result.trace, until=12.0, chars_per_unit=1.0)
+        wide = render_gantt(result.trace, until=12.0, chars_per_unit=4.0)
+        assert len(wide.splitlines()[1]) > len(narrow.splitlines()[1])
+
+    def test_violation_count_rendered(self, two_stage_pipeline):
+        from repro.core.protocols.factory import pm_bounds_for
+        from repro.core.protocols.phase_modification import PhaseModification
+        from repro.viz.gantt import render_gantt
+
+        # Understated bounds force precedence violations.
+        controller = PhaseModification(
+            {sid: 0.5 for sid in two_stage_pipeline.subtask_ids}
+        )
+        result = simulate(
+            two_stage_pipeline,
+            controller,
+            horizon=25.0,
+            record_segments=True,
+        )
+        assert result.metrics.precedence_violations > 0
+        text = render_gantt(result.trace)
+        assert "precedence violations" in text
+
+
+class TestParallelSweepWithSimulations:
+    def test_multiprocess_simulation_results_match_serial(self):
+        from repro.experiments.parallel import parallel_sweep_grid
+        from repro.experiments.runner import sweep_grid
+        from repro.workload.config import WorkloadConfig
+
+        config = WorkloadConfig(
+            subtasks_per_task=2,
+            utilization=0.5,
+            tasks=3,
+            processors=2,
+            random_phases=True,
+        )
+        serial = sweep_grid(
+            [config], 2, run_analyses=False, horizon_periods=4.0
+        )
+        parallel = parallel_sweep_grid(
+            [config],
+            2,
+            workers=2,
+            run_analyses=False,
+            horizon_periods=4.0,
+        )
+        for a, b in zip(serial[config], parallel[config]):
+            assert a.average_eer == b.average_eer
+
+
+class TestSimulateFacadePassthroughs:
+    def test_max_events_enforced_via_facade(self, example2):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="event budget"):
+            simulate(
+                example2,
+                make_controller("DS", example2),
+                horizon=1000.0,
+                max_events=5,
+            )
+
+    def test_record_idle_points_via_facade(self, single_task_system):
+        result = simulate(
+            single_task_system,
+            make_controller("DS", single_task_system),
+            horizon=25.0,
+            record_idle_points=True,
+        )
+        assert result.trace.idle_points["P1"] == [3.0, 13.0, 23.0]
+
+    def test_warmup_via_facade(self, example2):
+        result = simulate(
+            example2,
+            make_controller("DS", example2),
+            horizon=60.0,
+            warmup=30.0,
+        )
+        full = simulate(
+            example2, make_controller("DS", example2), horizon=60.0
+        )
+        assert (
+            result.metrics.task(0).completed_instances
+            < full.metrics.task(0).completed_instances
+        )
+
+
+class TestSurfaceNanMean:
+    def test_put_mean_with_empty_sample(self):
+        from repro.experiments.stats import mean_with_ci
+        from repro.experiments.surface import Surface
+
+        surface = Surface("demo")
+        surface.put_mean(2, 50, mean_with_ci([]))
+        rendered = surface.render()
+        assert "-" in rendered  # NaN cell renders as a dash
+
+
+class TestDescribeOutputs:
+    def test_analysis_describe_includes_notes(self, example2):
+        from repro.core.analysis.sa_ds import analyze_sa_ds
+
+        result = analyze_sa_ds(example2, failure_factor=1.0)
+        text = result.describe()
+        assert "note:" in text
+        assert "FAIL (unbounded)" in text
+
+    def test_system_describe_lists_all_subtasks(self, small_system):
+        text = small_system.describe()
+        for sid in small_system.subtask_ids:
+            assert small_system.display_name(sid) in text

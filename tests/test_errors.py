@@ -1,0 +1,73 @@
+"""Tests of the exception hierarchy and its usage discipline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    ModelError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subtype",
+        [
+            ModelError,
+            ConfigurationError,
+            AnalysisError,
+            SimulationError,
+            WorkloadError,
+        ],
+    )
+    def test_every_domain_error_is_a_repro_error(self, subtype):
+        assert issubclass(subtype, ReproError)
+        with pytest.raises(ReproError):
+            raise subtype("boom")
+
+    def test_one_catch_covers_library_failures(self, example2):
+        """A caller catching ReproError sees every deliberate failure."""
+        from repro.api import run_protocol
+        from repro.model.task import Subtask
+
+        with pytest.raises(ReproError):
+            Subtask(-1.0, "A")
+        with pytest.raises(ReproError):
+            run_protocol(example2, "nope", horizon=1.0)
+        with pytest.raises(ReproError):
+            example2.subtasks_on("Z")
+
+    def test_domains_are_distinct(self):
+        assert not issubclass(ModelError, SimulationError)
+        assert not issubclass(AnalysisError, ModelError)
+
+
+class TestPublicSurfaceImports:
+    def test_experiments_namespace_complete(self):
+        import repro.experiments as experiments
+
+        for name in experiments.__all__:
+            assert hasattr(experiments, name), name
+
+    def test_model_namespace_complete(self):
+        import repro.model as model
+
+        for name in model.__all__:
+            assert hasattr(model, name), name
+
+    def test_sim_namespace_complete(self):
+        import repro.sim as sim
+
+        for name in sim.__all__:
+            assert hasattr(sim, name), name
+
+    def test_analysis_namespace_complete(self):
+        import repro.core.analysis as analysis
+
+        for name in analysis.__all__:
+            assert hasattr(analysis, name), name

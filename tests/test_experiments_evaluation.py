@@ -1,0 +1,159 @@
+"""Unit tests for per-system evaluation and the figure aggregators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.evaluation import (
+    SystemEvaluation,
+    evaluate_config,
+    evaluate_system,
+)
+from repro.experiments.figures import (
+    bound_ratio_surface,
+    eer_ratio_surface,
+    failure_rate_surface,
+)
+from repro.workload.config import WorkloadConfig
+
+LIGHT = WorkloadConfig(
+    subtasks_per_task=2,
+    utilization=0.5,
+    tasks=4,
+    processors=3,
+    random_phases=True,
+)
+
+
+@pytest.fixture(scope="module")
+def evaluation() -> SystemEvaluation:
+    return evaluate_system(LIGHT, seed=0, horizon_periods=6.0)
+
+
+class TestEvaluateSystem:
+    def test_analyses_present(self, evaluation):
+        assert len(evaluation.sa_pm_task_bounds) == 4
+        assert len(evaluation.sa_ds_task_bounds) == 4
+        assert evaluation.sa_ds_iterations >= 1
+
+    def test_simulations_present(self, evaluation):
+        assert set(evaluation.average_eer) == {"DS", "PM", "RG"}
+        assert all(len(v) == 4 for v in evaluation.average_eer.values())
+
+    def test_no_violations_in_clean_run(self, evaluation):
+        assert all(
+            count == 0 for count in evaluation.precedence_violations.values()
+        )
+
+    def test_bound_ratios_at_least_one(self, evaluation):
+        ratios = evaluation.bound_ratios()
+        assert ratios
+        assert all(r >= 1.0 - 1e-9 for r in ratios)
+
+    def test_eer_ratios_defined(self, evaluation):
+        ratios = evaluation.eer_ratios("PM", "DS")
+        assert len(ratios) == 4
+        assert all(r >= 1.0 - 1e-9 for r in ratios)
+
+    def test_eer_ratio_unknown_protocol(self, evaluation):
+        with pytest.raises(ConfigurationError, match="not simulated"):
+            evaluation.eer_ratios("MPM", "DS")
+
+    def test_analyses_skippable(self):
+        record = evaluate_system(
+            LIGHT, seed=1, run_analyses=False, horizon_periods=4.0
+        )
+        assert record.sa_pm_task_bounds == ()
+        assert record.average_eer  # sims still ran
+
+    def test_simulations_skippable(self):
+        record = evaluate_system(LIGHT, seed=1, run_simulations=False)
+        assert record.average_eer == {}
+        assert record.sa_pm_task_bounds
+
+
+class TestEvaluateConfig:
+    def test_count_and_seeds(self):
+        records = evaluate_config(
+            LIGHT, 2, base_seed=10, run_simulations=False
+        )
+        assert [r.seed for r in records] == [10, 11]
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_config(LIGHT, 0)
+
+
+class TestSurfaces:
+    @pytest.fixture(scope="class")
+    def evaluations(self):
+        heavy = WorkloadConfig(
+            subtasks_per_task=3,
+            utilization=0.7,
+            tasks=4,
+            processors=3,
+            random_phases=True,
+        )
+        return {
+            LIGHT: tuple(
+                evaluate_config(LIGHT, 2, horizon_periods=5.0)
+            ),
+            heavy: tuple(
+                evaluate_config(heavy, 2, horizon_periods=5.0)
+            ),
+        }
+
+    def test_failure_rate_surface_shape(self, evaluations):
+        surface = failure_rate_surface(evaluations)
+        assert surface.value(2, 50) in (0.0, 0.5, 1.0)
+        assert surface.subtask_axis == [2, 3]
+
+    def test_bound_ratio_surface_at_least_one(self, evaluations):
+        surface = bound_ratio_surface(evaluations)
+        for cell in surface:
+            if not math.isnan(cell.value):
+                assert cell.value >= 1.0 - 1e-9
+
+    def test_eer_ratio_surface_titles(self, evaluations):
+        assert "Figure 14" in eer_ratio_surface(evaluations, "PM", "DS").name
+        assert "Figure 15" in eer_ratio_surface(evaluations, "RG", "DS").name
+        assert "Figure 16" in eer_ratio_surface(evaluations, "PM", "RG").name
+        assert "Figure" not in eer_ratio_surface(evaluations, "DS", "PM").name
+
+    def test_failure_rate_requires_records(self):
+        with pytest.raises(ConfigurationError, match="no evaluations"):
+            failure_rate_surface({LIGHT: ()})
+
+    def test_schedulability_surface_fraction(self, evaluations):
+        from repro.experiments.figures import schedulability_surface
+
+        sa_pm = schedulability_surface(evaluations, "SA/PM")
+        sa_ds = schedulability_surface(evaluations, "SA/DS")
+        for cell in sa_pm:
+            assert 0.0 <= cell.value <= 1.0
+            # SA/DS certifies at most what SA/PM certifies.
+            assert sa_ds.value(*cell.key) <= cell.value + 1e-9
+
+    def test_schedulability_surface_rejects_unknown_analysis(
+        self, evaluations
+    ):
+        from repro.experiments.figures import schedulability_surface
+
+        with pytest.raises(ConfigurationError):
+            schedulability_surface(evaluations, "holistic")
+
+    def test_schedulability_surface_needs_analyses(self):
+        from repro.experiments.figures import schedulability_surface
+
+        record = evaluate_system(
+            LIGHT, seed=3, run_analyses=False, horizon_periods=4.0
+        )
+        with pytest.raises(ConfigurationError, match="run_analyses"):
+            schedulability_surface({LIGHT: (record,)}, "SA/PM")
+
+    def test_deadlines_recorded_with_analyses(self, evaluation):
+        assert len(evaluation.task_deadlines) == 4
+        assert all(d > 0 for d in evaluation.task_deadlines)

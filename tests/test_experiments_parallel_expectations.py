@@ -1,0 +1,97 @@
+"""Unit tests for the parallel sweep and the expectation checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.expectations import (
+    PAPER_EXPECTATIONS,
+    check_suite,
+    render_report,
+)
+from repro.experiments.parallel import parallel_sweep_grid
+from repro.experiments.runner import run_suite, sweep_grid
+from repro.workload.config import WorkloadConfig
+
+LIGHT = WorkloadConfig(
+    subtasks_per_task=2, utilization=0.5, tasks=4, processors=3
+)
+
+
+class TestParallelSweep:
+    def test_matches_serial_sweep(self):
+        serial = sweep_grid(
+            [LIGHT], 3, run_simulations=False
+        )
+        parallel = parallel_sweep_grid(
+            [LIGHT], 3, workers=2, run_simulations=False
+        )
+        for config in serial:
+            for a, b in zip(serial[config], parallel[config]):
+                assert a.seed == b.seed
+                assert a.sa_pm_task_bounds == b.sa_pm_task_bounds
+                assert a.sa_ds_task_bounds == b.sa_ds_task_bounds
+
+    def test_single_worker_path(self):
+        records = parallel_sweep_grid(
+            [LIGHT], 2, workers=1, run_simulations=False
+        )
+        assert len(records[LIGHT]) == 2
+
+    def test_progress_reported(self):
+        lines: list[str] = []
+        parallel_sweep_grid(
+            [LIGHT],
+            2,
+            workers=1,
+            run_simulations=False,
+            progress=lines.append,
+        )
+        assert lines
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallel_sweep_grid([], 1)
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallel_sweep_grid([LIGHT], 1, workers=0)
+
+    def test_bad_system_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallel_sweep_grid([LIGHT], 0)
+
+
+class TestExpectations:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        # The Figure 14 magnitude claims are tied to the paper's 12-task
+        # workloads, so the suite keeps that parameter and scales down
+        # only the grid and the sample.
+        return run_suite(
+            systems=3,
+            subtask_counts=(2, 5, 8),
+            utilizations=(0.5, 0.9),
+            horizon_periods=6.0,
+        )
+
+    def test_paper_expectations_hold_on_scaled_suite(self, suite):
+        results = check_suite(suite)
+        failed = [e.claim for e, held in results if not held]
+        assert not failed, failed
+
+    def test_report_renders(self, suite):
+        text = render_report(check_suite(suite))
+        assert "PASS" in text
+        assert f"{len(PAPER_EXPECTATIONS)}/{len(PAPER_EXPECTATIONS)}" in text
+
+    def test_expectations_cover_all_five_figures(self):
+        figures = {e.figure for e in PAPER_EXPECTATIONS}
+        assert figures == {
+            "Figure 12",
+            "Figure 13",
+            "Figure 14",
+            "Figure 15",
+            "Figure 16",
+        }

@@ -1,0 +1,70 @@
+"""Unit tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.report import suite_report
+from repro.experiments.runner import run_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(
+        systems=2,
+        subtask_counts=(2, 3),
+        utilizations=(0.5,),
+        horizon_periods=4.0,
+        grid_overrides={"tasks": 4, "processors": 3},
+    )
+
+
+class TestSuiteReport:
+    def test_contains_all_figures(self, suite):
+        text = suite_report(suite)
+        for number in (12, 13, 14, 15, 16):
+            assert f"## Figure {number}" in text
+
+    def test_contains_run_parameters(self, suite):
+        text = suite_report(suite)
+        assert "systems per configuration: **2**" in text
+        assert "tasks per system: **4**" in text
+
+    def test_contains_expectation_verdicts(self, suite):
+        text = suite_report(suite)
+        assert "Paper-shape expectations" in text
+        assert "expectations hold" in text
+
+    def test_markdown_tables_well_formed(self, suite):
+        text = suite_report(suite)
+        table_lines = [l for l in text.splitlines() if l.startswith("|")]
+        assert table_lines
+        # Header separator rows: five figures + two schedulability tables.
+        assert sum(1 for l in table_lines if set(l) <= {"|", "-"}) == 7
+
+    def test_custom_title(self, suite):
+        text = suite_report(suite, title="My run")
+        assert text.startswith("# My run")
+
+    def test_schedulability_section_present(self, suite):
+        text = suite_report(suite)
+        assert "Certifiable schedulability" in text
+        assert "SA/DS (the DS verdict)" in text
+
+    def test_cli_markdown_flag(self, tmp_path):
+        out = tmp_path / "report.md"
+        code = main(
+            [
+                "suite",
+                "--systems", "1",
+                "--subtasks", "2",
+                "--utilizations", "0.5",
+                "--tasks", "3",
+                "--processors", "2",
+                "--horizon-periods", "4",
+                "--markdown", str(out),
+            ]
+        )
+        assert code == 0
+        assert "## Figure 12" in out.read_text()

@@ -1,0 +1,86 @@
+"""Integration tests for the suite runner (scaled-down grid)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_suite, sweep_grid
+from repro.workload.config import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """A tiny but complete suite run: 2x2 grid, small systems."""
+    return run_suite(
+        systems=2,
+        subtask_counts=(2, 3),
+        utilizations=(0.5, 0.7),
+        horizon_periods=5.0,
+        grid_overrides={"tasks": 4, "processors": 3},
+    )
+
+
+class TestRunSuite:
+    def test_all_surfaces_present(self, suite):
+        assert suite.failure_rate.subtask_axis == [2, 3]
+        assert suite.bound_ratio.utilization_axis == [50, 70]
+        assert suite.pm_ds_ratio.cells
+        assert suite.rg_ds_ratio.cells
+        assert suite.pm_rg_ratio.cells
+
+    def test_systems_per_config(self, suite):
+        assert suite.systems_per_config == 2
+
+    def test_pm_ds_ratio_at_least_one(self, suite):
+        for cell in suite.pm_ds_ratio:
+            assert cell.value >= 1.0 - 1e-9
+
+    def test_rg_between_ds_and_pm_on_average(self, suite):
+        for key, cell in suite.rg_ds_ratio.cells.items():
+            pm_ds = suite.pm_ds_ratio.cells[key].value
+            assert 1.0 - 1e-9 <= cell.value <= pm_ds + 1e-9
+
+    def test_pm_rg_consistent_with_other_ratios(self, suite):
+        # PM/RG > 1 wherever PM/DS > RG/DS on average (sanity coupling).
+        for cell in suite.pm_rg_ratio:
+            assert cell.value >= 1.0 - 1e-6
+
+    def test_render_contains_all_figures(self, suite):
+        text = suite.render()
+        for number in (12, 13, 14, 15, 16):
+            assert f"Figure {number}" in text
+
+    def test_evaluations_reusable(self, suite):
+        from repro.experiments.figures import failure_rate_surface
+
+        rebuilt = failure_rate_surface(suite.evaluations)
+        for cell in rebuilt:
+            assert cell.value == suite.failure_rate.cells[cell.key].value
+
+    def test_schedulability_accessor(self, suite):
+        sa_pm = suite.schedulability("SA/PM")
+        sa_ds = suite.schedulability("SA/DS")
+        for cell in sa_pm:
+            assert 0.0 <= cell.value <= 1.0
+            assert sa_ds.value(*cell.key) <= cell.value + 1e-9
+
+
+class TestSweepGrid:
+    def test_progress_callback_called(self):
+        lines: list[str] = []
+        config = WorkloadConfig(
+            subtasks_per_task=2, utilization=0.5, tasks=3, processors=2
+        )
+        sweep_grid(
+            [config],
+            1,
+            progress=lines.append,
+            run_simulations=False,
+        )
+        assert len(lines) == 1
+        assert "(2,50)" in lines[0]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_grid([], 1)

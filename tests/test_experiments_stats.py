@@ -1,0 +1,59 @@
+"""Unit tests for experiment statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.stats import finite, mean_with_ci
+
+
+class TestFinite:
+    def test_drops_nan_and_inf(self):
+        assert finite([1.0, math.nan, 2.0, math.inf, -math.inf]) == [1.0, 2.0]
+
+    def test_empty(self):
+        assert finite([]) == []
+
+
+class TestMeanWithCI:
+    def test_empty_sample(self):
+        result = mean_with_ci([])
+        assert result.count == 0
+        assert math.isnan(result.mean)
+        assert str(result) == "n/a"
+
+    def test_singleton_has_zero_half_width(self):
+        result = mean_with_ci([3.0])
+        assert result.mean == 3.0
+        assert result.half_width == 0.0
+        assert result.count == 1
+
+    def test_mean_and_interval(self):
+        result = mean_with_ci([1.0, 2.0, 3.0, 4.0])
+        assert result.mean == pytest.approx(2.5)
+        # s^2 = 5/3, half = 1.645 * sqrt(5/3/4).
+        assert result.half_width == pytest.approx(
+            1.6448536269514722 * math.sqrt((5 / 3) / 4)
+        )
+        assert result.low == pytest.approx(result.mean - result.half_width)
+        assert result.high == pytest.approx(result.mean + result.half_width)
+
+    def test_constant_sample_has_zero_width(self):
+        result = mean_with_ci([2.0] * 10)
+        assert result.half_width == 0.0
+
+    def test_nonfinite_values_ignored(self):
+        result = mean_with_ci([1.0, math.inf, 3.0, math.nan])
+        assert result.mean == pytest.approx(2.0)
+        assert result.count == 2
+
+    def test_interval_shrinks_with_sample_size(self):
+        small = mean_with_ci([1.0, 3.0] * 5)
+        large = mean_with_ci([1.0, 3.0] * 500)
+        assert large.half_width < small.half_width
+
+    def test_str_format(self):
+        text = str(mean_with_ci([1.0, 2.0, 3.0]))
+        assert "±" in text

@@ -1,0 +1,84 @@
+"""Unit tests for the (N, U) surface container and its rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.stats import mean_with_ci
+from repro.experiments.surface import Surface
+
+
+@pytest.fixture
+def surface() -> Surface:
+    s = Surface("demo")
+    s.put(2, 50, 1.0, sample_count=3)
+    s.put(2, 90, 2.0, ci_half_width=0.5, sample_count=3)
+    s.put(8, 50, 3.0, sample_count=3)
+    s.put(8, 90, 4.0, sample_count=3)
+    return s
+
+
+class TestStorage:
+    def test_value_lookup(self, surface):
+        assert surface.value(8, 90) == 4.0
+
+    def test_missing_cell_raises(self, surface):
+        with pytest.raises(ConfigurationError, match="no cell"):
+            surface.value(5, 50)
+
+    def test_axes_sorted(self, surface):
+        assert surface.subtask_axis == [2, 8]
+        assert surface.utilization_axis == [50, 90]
+
+    def test_put_overwrites(self, surface):
+        surface.put(2, 50, 9.0)
+        assert surface.value(2, 50) == 9.0
+
+    def test_put_mean(self, surface):
+        surface.put_mean(3, 70, mean_with_ci([1.0, 2.0, 3.0]))
+        cell = surface.cells[(3, 70)]
+        assert cell.value == pytest.approx(2.0)
+        assert cell.sample_count == 3
+
+    def test_iter_in_key_order(self, surface):
+        keys = [cell.key for cell in surface]
+        assert keys == sorted(keys)
+
+    def test_cell_accessors(self, surface):
+        cell = surface.cells[(2, 90)]
+        assert cell.subtasks == 2
+        assert cell.utilization_percent == 90
+
+    def test_map_values(self, surface):
+        doubled = surface.map_values(lambda v: v * 2, "doubled")
+        assert doubled.value(8, 90) == 8.0
+        assert surface.value(8, 90) == 4.0  # original untouched
+        assert doubled.name == "doubled"
+
+
+class TestRendering:
+    def test_render_contains_axes_and_values(self, surface):
+        text = surface.render()
+        assert "demo" in text
+        assert "50%" in text and "90%" in text
+        assert "4.00" in text
+
+    def test_render_missing_cells_dashed(self, surface):
+        surface.put(5, 50, 1.5)
+        text = surface.render()
+        assert "-" in text  # (5, 90) missing
+
+    def test_render_nan_dashed(self, surface):
+        surface.put(2, 50, math.nan)
+        assert "-" in surface.render()
+
+    def test_render_with_ci(self, surface):
+        text = surface.render(show_ci=True)
+        assert "±0.50" in text
+
+    def test_render_precision(self, surface):
+        text = surface.render(precision=1)
+        assert "4.0" in text

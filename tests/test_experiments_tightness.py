@@ -1,0 +1,70 @@
+"""Unit tests for the bound-tightness study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.tightness import measure_tightness
+from repro.workload.config import WorkloadConfig
+
+SMALL = WorkloadConfig(
+    subtasks_per_task=2, utilization=0.6, tasks=3, processors=2
+)
+
+
+class TestMeasureTightness:
+    @pytest.mark.parametrize("protocol", ["DS", "RG"])
+    def test_pessimism_at_least_one(self, protocol):
+        study = measure_tightness(
+            protocol, systems=2, config=SMALL, steps=3, horizon_periods=6.0
+        )
+        assert study.ratios
+        # The searched worst case never exceeds a correct bound.
+        assert all(ratio >= 1.0 - 1e-6 for ratio in study.ratios)
+
+    def test_paper_claim_bounds_are_pessimistic(self):
+        """Section 3.2: bounds typically exceed the actual worst case.
+
+        The gap widens with chain length and utilization -- it is the
+        slack RG's rule 2 exploits.  At (3, 80%) both analyses leave a
+        clearly visible gap on a small sample, SA/DS a much larger one
+        (the clumping model is coarse).
+        """
+        heavy = WorkloadConfig(
+            subtasks_per_task=3, utilization=0.8, tasks=4, processors=3
+        )
+        rg = measure_tightness(
+            "RG", systems=4, config=heavy, steps=4, horizon_periods=6.0
+        )
+        ds = measure_tightness(
+            "DS", systems=4, config=heavy, steps=4, horizon_periods=6.0
+        )
+        assert rg.worst > 1.1
+        assert ds.worst > 1.5
+        # SA/DS is the more pessimistic analysis (Section 4.3).
+        assert ds.summary.mean > rg.summary.mean
+
+    def test_algorithms_paired_correctly(self):
+        assert (
+            measure_tightness("DS", systems=1, config=SMALL, steps=2).algorithm
+            == "SA/DS"
+        )
+        assert (
+            measure_tightness("PM", systems=1, config=SMALL, steps=2).algorithm
+            == "SA/PM"
+        )
+
+    def test_describe_mentions_summary(self):
+        study = measure_tightness("DS", systems=1, config=SMALL, steps=2)
+        text = study.describe()
+        assert "SA/DS under DS" in text
+        assert "pessimism" in text
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_tightness("EDF", systems=1, config=SMALL)
+
+    def test_bad_system_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_tightness("DS", systems=0, config=SMALL)

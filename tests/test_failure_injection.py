@@ -1,0 +1,181 @@
+"""Failure-injection tests: the paper's robustness claims, exercised.
+
+Section 6 flags execution-time variation and release jitter as the open
+threats to these protocols.  These tests pin down exactly which protocol
+survives which perturbation:
+
+* execution times below WCET: every protocol stays precedence-correct
+  and every analysis bound still holds;
+* sporadic (late) first releases: DS, MPM and RG survive; PM violates
+  precedence (Section 3.1's documented limitation);
+* execution overruns beyond the analyzed WCET: completion-triggered
+  protocols (DS, RG) still never violate precedence; timer-triggered
+  ones (PM, MPM) do.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.api import run_protocol
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.core.protocols.factory import make_controller
+from repro.model.task import SubtaskId
+from repro.sim.simulator import simulate
+from repro.sim.variation import (
+    OverrunInjection,
+    TruncatedNormalExecution,
+    UniformReleaseJitter,
+    UniformScaledExecution,
+)
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+CONFIG = WorkloadConfig(
+    subtasks_per_task=3, utilization=0.6, tasks=4, processors=3
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return generate_system(CONFIG, seed=7)
+
+
+class TestExecutionVariationBelowWcet:
+    @pytest.mark.parametrize("protocol", ["DS", "PM", "MPM", "RG"])
+    def test_no_violations(self, system, protocol):
+        controller = make_controller(protocol, system)
+        result = simulate(
+            system,
+            controller,
+            horizon_periods=6.0,
+            execution_model=UniformScaledExecution(0.3, 1.0, seed=1),
+            strict_precedence=True,
+        )
+        assert result.metrics.precedence_violations == 0
+
+    @pytest.mark.parametrize("protocol", ["PM", "MPM", "RG"])
+    def test_sa_pm_bounds_still_hold(self, system, protocol):
+        bounds = analyze_sa_pm(system)
+        controller = make_controller(protocol, system)
+        result = simulate(
+            system,
+            controller,
+            horizon_periods=6.0,
+            execution_model=TruncatedNormalExecution(0.6, 0.2, seed=2),
+        )
+        for i in range(len(system.tasks)):
+            observed = result.metrics.task(i).max_eer
+            if not math.isnan(observed):
+                assert observed <= bounds.task_bounds[i] + 1e-6
+
+    def test_shorter_executions_shorten_average_eer_under_ds(self, system):
+        full = run_protocol(system, "DS", horizon_periods=6.0)
+        scaled = simulate(
+            system,
+            make_controller("DS", system),
+            horizon_periods=6.0,
+            execution_model=UniformScaledExecution(0.3, 0.6, seed=3),
+        )
+        for i in range(len(system.tasks)):
+            assert (
+                scaled.metrics.task(i).average_eer
+                < full.metrics.task(i).average_eer
+            )
+
+
+class TestSporadicReleases:
+    JITTER = UniformReleaseJitter
+
+    @pytest.mark.parametrize("protocol", ["DS", "MPM", "RG"])
+    def test_completion_or_relative_timer_protocols_survive(
+        self, system, protocol
+    ):
+        controller = make_controller(protocol, system)
+        result = simulate(
+            system,
+            controller,
+            horizon_periods=6.0,
+            jitter_model=self.JITTER(200.0, seed=4),
+            strict_precedence=True,
+        )
+        assert result.metrics.precedence_violations == 0
+
+    def test_pm_violates_precedence(self, system):
+        controller = make_controller("PM", system)
+        result = simulate(
+            system,
+            controller,
+            horizon_periods=6.0,
+            jitter_model=self.JITTER(200.0, seed=4),
+        )
+        assert result.metrics.precedence_violations > 0
+
+    def test_first_releases_keep_minimum_separation(self, system):
+        result = simulate(
+            system,
+            make_controller("DS", system),
+            horizon_periods=6.0,
+            jitter_model=self.JITTER(500.0, seed=5),
+        )
+        for task_index, task in enumerate(system.tasks):
+            times = [
+                time
+                for (idx, _m), time in sorted(result.trace.env_releases.items())
+                if idx == task_index
+            ]
+            for earlier, later in zip(times, times[1:]):
+                assert later - earlier >= task.period - 1e-9
+
+
+class TestOverruns:
+    def _overrun(self, system) -> OverrunInjection:
+        target = SubtaskId(0, 0)
+        return OverrunInjection(target, factor=4.0, every=2)
+
+    @pytest.mark.parametrize("protocol", ["DS", "RG"])
+    def test_completion_triggered_protocols_never_violate(
+        self, system, protocol
+    ):
+        controller = make_controller(protocol, system)
+        result = simulate(
+            system,
+            controller,
+            horizon_periods=6.0,
+            execution_model=self._overrun(system),
+            strict_precedence=True,
+        )
+        assert result.metrics.precedence_violations == 0
+
+    @pytest.mark.parametrize("protocol", ["PM", "MPM"])
+    def test_timer_triggered_protocols_violate(self, system, protocol):
+        controller = make_controller(protocol, system)
+        result = simulate(
+            system,
+            controller,
+            horizon_periods=6.0,
+            execution_model=self._overrun(system),
+        )
+        assert result.metrics.precedence_violations > 0
+
+    def test_overruns_can_break_analysis_bounds(self, system):
+        """Bounds are only as good as the WCETs: overruns can push
+        observed EER past the SA/PM bound (demonstrating why the paper
+        assumes execution-time variations are small)."""
+        bounds = analyze_sa_pm(system)
+        result = simulate(
+            system,
+            make_controller("RG", system),
+            horizon_periods=6.0,
+            execution_model=OverrunInjection(
+                SubtaskId(0, 0), factor=8.0, every=1
+            ),
+        )
+        exceeded = any(
+            not math.isnan(result.metrics.task(i).max_eer)
+            and result.metrics.task(i).max_eer > bounds.task_bounds[i] + 1e-9
+            for i in range(len(system.tasks))
+        )
+        assert exceeded

@@ -1,0 +1,207 @@
+"""Integration scenarios exercising protocol machinery end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_protocol
+from repro.core.protocols.release_guard import ReleaseGuard
+from repro.model.system import System
+from repro.model.task import Subtask, SubtaskId, Task
+from repro.sim.engine import Kernel
+from repro.sim.network import FixedLatency
+from repro.sim.simulator import simulate
+from repro.sim.variation import UniformReleaseJitter, UniformScaledExecution
+
+
+class TestRgHeldQueue:
+    """A backlogged predecessor clumps three completions; RG meters the
+    successor out one period apart, holding two releases at once."""
+
+    def _system(self) -> System:
+        blocker = Task(
+            period=50.0,
+            name="blocker",
+            subtasks=(Subtask(25.0, "A", priority=0),),
+        )
+        chain = Task(
+            period=10.0,
+            name="chain",
+            subtasks=(
+                Subtask(1.0, "A", priority=1),
+                Subtask(0.05, "B", priority=1),
+            ),
+        )
+        # The hog keeps B continuously busy over [10, 40], so no idle
+        # point can reset the successor's guard in the window of
+        # interest and the held releases must wait for their timers.
+        hog = Task(
+            period=50.0,
+            phase=10.0,
+            name="hog",
+            subtasks=(Subtask(30.0, "B", priority=0),),
+        )
+        return System((blocker, chain, hog))
+
+    def test_completions_clump_and_guard_meters(self):
+        system = self._system()
+        result = run_protocol(system, "RG", horizon=49.0)
+        stage1 = SubtaskId(1, 0)
+        stage2 = SubtaskId(1, 1)
+        # Blocker holds A for 25 units: chain stage 1 instances 0..2
+        # complete back-to-back at 26, 27, 28.
+        assert result.trace.completion_time(stage1, 0) == pytest.approx(26.0)
+        assert result.trace.completion_time(stage1, 1) == pytest.approx(27.0)
+        assert result.trace.completion_time(stage1, 2) == pytest.approx(28.0)
+        # RG releases the successor at 26 and holds the rest: instance 1
+        # goes at its guard timer (36; B still busy, so no rule 2), and
+        # instance 2 goes at the idle point reached once the hog ends
+        # and instances 0-1 drain (40.1) -- earlier than its guard (46).
+        assert result.trace.release_time(stage2, 0) == pytest.approx(26.0)
+        assert result.trace.release_time(stage2, 1) == pytest.approx(36.0)
+        assert result.trace.release_time(stage2, 2) == pytest.approx(40.1)
+
+    def test_two_releases_held_simultaneously(self):
+        system = self._system()
+        controller = ReleaseGuard()
+        kernel = Kernel(system, controller, 30.0)
+        kernel.run()
+        # At t=30: signals for instances 1 and 2 (27, 28) are both held
+        # behind the guard of stage 2 (36).
+        assert controller.held_count(SubtaskId(1, 1)) == 2
+
+    def test_ds_would_clump_instead(self):
+        system = self._system()
+        result = run_protocol(system, "DS", horizon=49.0)
+        stage2 = SubtaskId(1, 1)
+        releases = [result.trace.release_time(stage2, m) for m in range(3)]
+        assert releases == pytest.approx([26.0, 27.0, 28.0])
+
+
+class TestSingleStageDegeneracy:
+    """With no chains there is nothing to synchronize: all four
+    protocols must produce the *same* schedule (only first subtasks
+    exist, and those are environment-released everywhere)."""
+
+    def _system(self) -> System:
+        return System(
+            (
+                Task(period=5.0, subtasks=(Subtask(2.0, "A", priority=0),)),
+                Task(period=8.0, subtasks=(Subtask(3.0, "A", priority=1),)),
+                Task(period=6.0, subtasks=(Subtask(2.5, "B", priority=0),)),
+            )
+        )
+
+    @pytest.mark.parametrize("protocol", ["PM", "MPM", "RG"])
+    def test_identical_to_ds(self, protocol):
+        system = self._system()
+        ds = run_protocol(system, "DS", horizon=120.0)
+        other = run_protocol(system, protocol, horizon=120.0)
+        assert other.trace.releases == ds.trace.releases
+        assert other.trace.completions == ds.trace.completions
+
+    def test_analyses_agree_without_chains(self):
+        from repro.core.analysis.sa_ds import analyze_sa_ds
+        from repro.core.analysis.sa_pm import analyze_sa_pm
+
+        system = self._system()
+        sa_pm = analyze_sa_pm(system)
+        sa_ds = analyze_sa_ds(system)
+        for a, b in zip(sa_ds.task_bounds, sa_pm.task_bounds):
+            assert a == pytest.approx(b)
+
+
+class TestDeadlineBoundaryMetrics:
+    def test_eer_exactly_at_deadline_is_met(self):
+        """Completion exactly at the deadline counts as meeting it."""
+        task = Task(period=5.0, subtasks=(Subtask(5.0, "A", priority=0),))
+        result = run_protocol(System((task,)), "DS", horizon=20.0)
+        assert result.metrics.task(0).max_eer == pytest.approx(5.0)
+        assert result.metrics.task(0).deadline_misses == 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("protocol", ["DS", "PM", "MPM", "RG"])
+    def test_identical_runs_produce_identical_traces(
+        self, small_system, protocol
+    ):
+        first = run_protocol(small_system, protocol, horizon_periods=5.0)
+        second = run_protocol(small_system, protocol, horizon_periods=5.0)
+        assert first.trace.releases == second.trace.releases
+        assert first.trace.completions == second.trace.completions
+        assert first.events_processed == second.events_processed
+
+    def test_seeded_variation_is_reproducible(self, small_system):
+        def run():
+            return simulate(
+                small_system,
+                __import__(
+                    "repro.core.protocols", fromlist=["make_controller"]
+                ).make_controller("RG", small_system),
+                horizon_periods=5.0,
+                execution_model=UniformScaledExecution(0.4, 1.0, seed=5),
+                jitter_model=UniformReleaseJitter(50.0, seed=6),
+            )
+
+        assert run().trace.completions == run().trace.completions
+
+
+class TestCombinedPerturbations:
+    """Latency + execution variation + sporadic releases, all at once --
+    the completion-triggered protocols must still never violate
+    precedence, and the simulator must stay consistent."""
+
+    @pytest.mark.parametrize("protocol", ["DS", "RG"])
+    def test_kitchen_sink_stays_consistent(self, small_system, protocol):
+        from repro.core.protocols import make_controller
+
+        result = simulate(
+            small_system,
+            make_controller(protocol, small_system),
+            horizon_periods=6.0,
+            execution_model=UniformScaledExecution(0.3, 1.0, seed=7),
+            jitter_model=UniformReleaseJitter(100.0, seed=8),
+            latency_model=FixedLatency(1.0),
+            strict_precedence=True,
+            record_segments=True,
+        )
+        assert result.metrics.precedence_violations == 0
+        # Segment accounting still closes.
+        totals: dict = {}
+        for segment in result.trace.segments:
+            key = (segment.sid, segment.instance)
+            totals[key] = totals.get(key, 0.0) + segment.length
+        for key in result.trace.completions:
+            assert totals[key] > 0
+
+    def test_latency_delays_rg_guard_interactions(self, example2):
+        """With a signalling latency, RG's signal for T2,2#1 lands at 9
+        (not 8) -- exactly the idle point -- and the instance still goes
+        at 9."""
+        result = run_protocol(
+            example2,
+            "RG",
+            horizon=30.0,
+            latency_model=FixedLatency(1.0),
+        )
+        assert result.trace.release_time(SubtaskId(1, 1), 1) == pytest.approx(
+            9.0
+        )
+
+    def test_protocol_ranking_stable_under_variation(self, small_system):
+        from repro.core.protocols import make_controller
+
+        averages = {}
+        for protocol in ("DS", "PM", "RG"):
+            result = simulate(
+                small_system,
+                make_controller(protocol, small_system),
+                horizon_periods=8.0,
+                execution_model=UniformScaledExecution(0.5, 1.0, seed=3),
+            )
+            averages[protocol] = sum(
+                result.metrics.task(i).average_eer
+                for i in range(len(small_system.tasks))
+            )
+        assert averages["DS"] <= averages["RG"] + 1e-6
+        assert averages["RG"] <= averages["PM"] + 1e-6

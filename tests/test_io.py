@@ -1,0 +1,172 @@
+"""Unit tests for serialization (repro.io)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.analysis.sa_ds import analyze_sa_ds
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.errors import ConfigurationError
+from repro.experiments.surface import Surface
+from repro.io import (
+    analysis_result_to_dict,
+    load_system,
+    save_system,
+    surface_from_dict,
+    surface_to_csv,
+    surface_to_dict,
+    system_from_dict,
+    system_to_dict,
+)
+
+
+class TestSystemRoundTrip:
+    def test_example2_round_trips(self, example2):
+        rebuilt = system_from_dict(system_to_dict(example2))
+        assert rebuilt.tasks == example2.tasks
+        assert rebuilt.name == example2.name
+
+    def test_generated_system_round_trips(self, small_system):
+        rebuilt = system_from_dict(system_to_dict(small_system))
+        assert rebuilt.tasks == small_system.tasks
+
+    def test_round_trip_preserves_analysis(self, small_system):
+        rebuilt = system_from_dict(system_to_dict(small_system))
+        assert (
+            analyze_sa_pm(rebuilt).task_bounds
+            == analyze_sa_pm(small_system).task_bounds
+        )
+
+    def test_dict_is_json_serializable(self, example2):
+        text = json.dumps(system_to_dict(example2))
+        assert "example-2" in text
+
+    def test_explicit_deadline_preserved(self, example2):
+        with_deadline = example2.with_tasks(
+            [example2.tasks[0].__class__(**{
+                **example2.tasks[0].__dict__, "deadline": 3.5
+            })] + list(example2.tasks[1:])
+        )
+        rebuilt = system_from_dict(system_to_dict(with_deadline))
+        assert rebuilt.tasks[0].deadline == 3.5
+
+    def test_file_round_trip(self, example2, tmp_path):
+        path = tmp_path / "system.json"
+        save_system(example2, path)
+        assert load_system(path).tasks == example2.tasks
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ConfigurationError, match="format"):
+            system_from_dict({"format": "something-else", "tasks": []})
+
+
+class TestAnalysisExport:
+    def test_sa_pm_export(self, example2):
+        data = analysis_result_to_dict(analyze_sa_pm(example2))
+        assert data["algorithm"] == "SA/PM"
+        assert data["task_bounds"] == [2.0, 7.0, 5.0]
+        assert data["subtask_bounds"]["T2,1"] == 4.0
+        assert not data["failed"]
+
+    def test_infinite_bounds_encoded_as_string(self, example2):
+        result = analyze_sa_ds(example2, failure_factor=1.0)
+        data = analysis_result_to_dict(result)
+        assert "inf" in data["task_bounds"]
+        json.dumps(data)  # strict-JSON safe
+
+    def test_notes_preserved(self, example2):
+        result = analyze_sa_ds(example2, failure_factor=1.0)
+        data = analysis_result_to_dict(result)
+        assert data["notes"]
+
+
+class TestEvaluationPersistence:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.experiments.runner import sweep_grid
+        from repro.workload.config import WorkloadConfig
+
+        config = WorkloadConfig(
+            subtasks_per_task=2,
+            utilization=0.5,
+            tasks=3,
+            processors=2,
+            random_phases=True,
+        )
+        return sweep_grid([config], 2, horizon_periods=4.0)
+
+    def test_round_trip(self, sweep, tmp_path):
+        from repro.io import load_evaluations, save_evaluations
+
+        path = tmp_path / "evals.json"
+        save_evaluations(sweep, path)
+        loaded = load_evaluations(path)
+        assert set(loaded) == set(sweep)
+        for config in sweep:
+            for a, b in zip(sweep[config], loaded[config]):
+                assert a == b
+
+    def test_figures_identical_after_reload(self, sweep, tmp_path):
+        from repro.experiments.runner import suite_from_evaluations
+        from repro.io import load_evaluations, save_evaluations
+
+        path = tmp_path / "evals.json"
+        save_evaluations(sweep, path)
+        original = suite_from_evaluations(sweep)
+        reloaded = suite_from_evaluations(load_evaluations(path))
+        assert original.render() == reloaded.render()
+
+    def test_wrong_format_rejected(self, tmp_path):
+        import json as json_module
+
+        from repro.io import load_evaluations
+
+        path = tmp_path / "bad.json"
+        path.write_text(json_module.dumps({"format": "nope"}))
+        with pytest.raises(ConfigurationError, match="format"):
+            load_evaluations(path)
+
+    def test_config_round_trip(self):
+        from repro.io import config_from_dict, config_to_dict
+        from repro.workload.config import WorkloadConfig
+
+        config = WorkloadConfig(
+            subtasks_per_task=3, utilization=0.7, random_phases=True
+        )
+        assert config_from_dict(config_to_dict(config)) == config
+
+
+class TestSurfaceExport:
+    def _surface(self) -> Surface:
+        surface = Surface("demo")
+        surface.put(2, 50, 1.5, ci_half_width=0.1, sample_count=4)
+        surface.put(8, 90, float("nan"))
+        return surface
+
+    def test_round_trip(self):
+        surface = self._surface()
+        rebuilt = surface_from_dict(surface_to_dict(surface))
+        assert rebuilt.name == "demo"
+        assert rebuilt.value(2, 50) == 1.5
+        assert math.isnan(rebuilt.value(8, 90))
+        assert rebuilt.cells[(2, 50)].sample_count == 4
+
+    def test_nan_encoded_as_null(self):
+        data = surface_to_dict(self._surface())
+        json.dumps(data)
+        values = {
+            (c["subtasks"], c["utilization_percent"]): c["value"]
+            for c in data["cells"]
+        }
+        assert values[(8, 90)] is None
+
+    def test_csv_export(self):
+        text = surface_to_csv(self._surface())
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("subtasks,")
+        assert lines[1].startswith("2,50,1.5,")
+        # NaN cell exports an empty value field.
+        assert lines[2].startswith("8,90,,")

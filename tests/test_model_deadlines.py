@@ -1,0 +1,115 @@
+"""Unit tests for the local-deadline assignment strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.deadlines import (
+    DEADLINE_STRATEGIES,
+    deadline_map,
+    effective_deadline,
+    equal_flexibility_deadline,
+    equal_slack_deadline,
+    ultimate_deadline,
+)
+from repro.model.priority import proportional_deadline
+from repro.model.system import System
+from repro.model.task import Subtask, SubtaskId, Task
+
+
+@pytest.fixture
+def chain() -> System:
+    """One three-stage chain: e = (2, 3, 5), D = p = 20 (slack 10)."""
+    task = Task(
+        period=20.0,
+        subtasks=(
+            Subtask(2.0, "A"),
+            Subtask(3.0, "B"),
+            Subtask(5.0, "C"),
+        ),
+    )
+    return System((task,))
+
+
+class TestStrategies:
+    def test_ultimate_deadline(self, chain):
+        for j in range(3):
+            assert ultimate_deadline(chain, SubtaskId(0, j)) == 20.0
+
+    def test_effective_deadline(self, chain):
+        # D minus downstream execution: 20-8, 20-5, 20-0.
+        assert effective_deadline(chain, SubtaskId(0, 0)) == pytest.approx(12.0)
+        assert effective_deadline(chain, SubtaskId(0, 1)) == pytest.approx(15.0)
+        assert effective_deadline(chain, SubtaskId(0, 2)) == pytest.approx(20.0)
+
+    def test_equal_slack(self, chain):
+        # Slack 10 split into thirds: e + 10/3.
+        assert equal_slack_deadline(chain, SubtaskId(0, 0)) == pytest.approx(
+            2.0 + 10.0 / 3.0
+        )
+        assert equal_slack_deadline(chain, SubtaskId(0, 2)) == pytest.approx(
+            5.0 + 10.0 / 3.0
+        )
+
+    def test_equal_flexibility_equals_proportional(self, chain):
+        for j in range(3):
+            sid = SubtaskId(0, j)
+            assert equal_flexibility_deadline(chain, sid) == pytest.approx(
+                proportional_deadline(chain, sid)
+            )
+
+    def test_slices_sum_to_deadline_for_pd_eqs_eqf(self, chain):
+        for name in ("pd", "eqs", "eqf"):
+            total = sum(deadline_map(chain, name).values())
+            assert total == pytest.approx(20.0)
+
+    def test_every_strategy_allows_execution(self, chain):
+        for name in DEADLINE_STRATEGIES:
+            for sid, deadline in deadline_map(chain, name).items():
+                assert deadline >= chain.subtask(sid).execution_time - 1e-9
+
+    def test_single_stage_all_strategies_agree(self):
+        task = Task(period=10.0, subtasks=(Subtask(4.0, "A"),))
+        system = System((task,))
+        values = {
+            name: deadline_map(system, name)[SubtaskId(0, 0)]
+            for name in DEADLINE_STRATEGIES
+        }
+        assert all(v == pytest.approx(10.0) for v in values.values())
+
+
+class TestDeadlineMap:
+    def test_accepts_callable(self, chain):
+        mapping = deadline_map(chain, lambda s, sid: 7.0)
+        assert set(mapping.values()) == {7.0}
+
+    def test_unknown_name_rejected(self, chain):
+        with pytest.raises(ModelError, match="unknown deadline strategy"):
+            deadline_map(chain, "random")
+
+    def test_covers_all_subtasks(self, chain):
+        assert set(deadline_map(chain, "ud")) == set(chain.subtask_ids)
+
+
+class TestIntegration:
+    def test_slicing_analysis_with_eqs(self, example2):
+        from repro.core.analysis.local_deadline import analyze_local_deadline
+
+        result = analyze_local_deadline(example2, equal_slack_deadline)
+        # T1 single stage: slice = deadline 4 >= response 2.
+        assert result.is_task_schedulable(0)
+
+    def test_opa_with_effective_deadlines(self, example2):
+        from repro.core.analysis.opa import audsley_assignment
+
+        # ED slices are generous; an assignment exists.
+        assert audsley_assignment(example2, effective_deadline) is not None
+
+    def test_priority_assignment_by_strategy(self, chain):
+        from repro.model.priority import assign_by_key
+
+        assigned = assign_by_key(chain, equal_slack_deadline)
+        # Single chain -- each stage alone on its processor, priority 0.
+        for sid in assigned.subtask_ids:
+            assert assigned.subtask(sid).priority == 0

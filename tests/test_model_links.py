@@ -1,0 +1,121 @@
+"""Unit tests for link-processor insertion (Section 2 modelling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.links import insert_link_stages, uniform_link
+from repro.model.priority import proportional_deadline_monotonic
+from repro.model.system import System
+from repro.model.task import Subtask, Task
+
+
+@pytest.fixture
+def plant() -> System:
+    chain = Task(
+        period=30.0,
+        name="chain",
+        subtasks=(
+            Subtask(2.0, "A", name="produce"),
+            Subtask(3.0, "B", name="consume"),
+        ),
+    )
+    local = Task(
+        period=10.0,
+        name="local",
+        subtasks=(Subtask(1.0, "A", name="tick"),),
+    )
+    return System((chain, local), name="plant")
+
+
+class TestUniformLink:
+    def test_cross_processor_hop_mapped(self):
+        plan = uniform_link("bus", 0.5)
+        assert plan("A", "B") == ("bus", 0.5)
+
+    def test_local_hop_free(self):
+        plan = uniform_link("bus", 0.5)
+        assert plan("A", "A") is None
+
+    def test_bad_transmission_time(self):
+        with pytest.raises(ModelError):
+            uniform_link("bus", 0.0)
+
+
+class TestInsertLinkStages:
+    def test_message_stage_spliced_in(self, plant):
+        wired = insert_link_stages(plant, uniform_link("bus", 0.5))
+        chain = wired.tasks[0]
+        assert chain.chain_length == 3
+        assert chain.processors() == ("A", "bus", "B")
+        assert chain.subtasks[1].execution_time == 0.5
+        assert chain.subtasks[1].name == "chain-msg1"
+
+    def test_single_stage_task_untouched(self, plant):
+        wired = insert_link_stages(plant, uniform_link("bus", 0.5))
+        assert wired.tasks[1].chain_length == 1
+
+    def test_same_processor_hop_gets_no_message(self):
+        task = Task(
+            period=10.0,
+            subtasks=(Subtask(1.0, "A"), Subtask(1.0, "A")),
+        )
+        wired = insert_link_stages(
+            System((task,)), uniform_link("bus", 0.5)
+        )
+        assert wired.tasks[0].chain_length == 2
+
+    def test_link_utilization_accounted(self, plant):
+        wired = insert_link_stages(plant, uniform_link("bus", 0.6))
+        assert wired.processor_utilization("bus") == pytest.approx(0.6 / 30.0)
+
+    def test_periods_phases_deadlines_preserved(self, plant):
+        wired = insert_link_stages(plant, uniform_link("bus", 0.5))
+        for before, after in zip(plant.tasks, wired.tasks):
+            assert after.period == before.period
+            assert after.phase == before.phase
+            assert after.relative_deadline == before.relative_deadline
+
+    def test_custom_plan_with_per_hop_links(self):
+        task = Task(
+            period=20.0,
+            name="t",
+            subtasks=(Subtask(1.0, "A"), Subtask(1.0, "B"),
+                      Subtask(1.0, "C")),
+        )
+
+        def plan(src, dst):
+            return (f"link-{src}{dst}", 0.25)
+
+        wired = insert_link_stages(System((task,)), plan)
+        assert wired.tasks[0].processors() == (
+            "A", "link-AB", "B", "link-BC", "C"
+        )
+
+    def test_plan_returning_bad_time_rejected(self, plant):
+        with pytest.raises(ModelError, match="transmission time"):
+            insert_link_stages(plant, lambda s, d: ("bus", -1.0))
+
+    def test_wired_system_analyzable_end_to_end(self, plant):
+        from repro.core.analysis.sa_pm import analyze_sa_pm
+
+        wired = proportional_deadline_monotonic(
+            insert_link_stages(plant, uniform_link("bus", 0.5))
+        )
+        result = analyze_sa_pm(wired)
+        assert result.all_finite
+        # The message stage's latency is now part of the EER bound.
+        plain = analyze_sa_pm(proportional_deadline_monotonic(plant))
+        assert result.task_bounds[0] > plain.task_bounds[0]
+
+    def test_wired_system_simulates_under_every_protocol(self, plant):
+        from repro.api import run_protocol
+
+        wired = proportional_deadline_monotonic(
+            insert_link_stages(plant, uniform_link("bus", 0.5))
+        )
+        for protocol in ("DS", "PM", "MPM", "RG"):
+            result = run_protocol(wired, protocol, horizon=120.0)
+            assert result.metrics.precedence_violations == 0
+            assert result.metrics.task(0).completed_instances > 0

@@ -1,0 +1,127 @@
+"""Unit tests for priority-assignment policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.priority import (
+    POLICIES,
+    assign_by_key,
+    deadline_monotonic,
+    equal_flexibility,
+    get_policy,
+    proportional_deadline,
+    proportional_deadline_monotonic,
+    rate_monotonic,
+)
+from repro.model.system import System
+from repro.model.task import Subtask, SubtaskId, Task
+
+
+def _two_chain_system() -> System:
+    """Two 2-stage tasks crossing processors A and B."""
+    t1 = Task(
+        period=10.0,
+        subtasks=(Subtask(1.0, "A"), Subtask(4.0, "B")),
+        name="light-then-heavy",
+    )
+    t2 = Task(
+        period=20.0,
+        subtasks=(Subtask(6.0, "A"), Subtask(2.0, "B")),
+        name="heavy-then-light",
+    )
+    return System((t1, t2))
+
+
+class TestProportionalDeadline:
+    def test_shares_deadline_by_execution_time(self):
+        system = _two_chain_system()
+        # T1: total 5, deadline 10 -> PD of stage 1 = 1/5 * 10 = 2.
+        assert proportional_deadline(system, SubtaskId(0, 0)) == pytest.approx(2.0)
+        assert proportional_deadline(system, SubtaskId(0, 1)) == pytest.approx(8.0)
+
+    def test_pd_sums_to_deadline(self):
+        system = _two_chain_system()
+        for i, task in enumerate(system.tasks):
+            total = sum(
+                proportional_deadline(system, SubtaskId(i, j))
+                for j in range(task.chain_length)
+            )
+            assert total == pytest.approx(task.relative_deadline)
+
+    def test_pdm_orders_by_proportional_deadline(self):
+        system = proportional_deadline_monotonic(_two_chain_system())
+        # On A: PDs are 2.0 (T1,1) and 15.0 (T2,1): T1,1 wins.
+        assert system.subtask(SubtaskId(0, 0)).priority == 0
+        assert system.subtask(SubtaskId(1, 0)).priority == 1
+        # On B: PDs are 8.0 (T1,2) and 5.0 (T2,2): T2,2 wins.
+        assert system.subtask(SubtaskId(1, 1)).priority == 0
+        assert system.subtask(SubtaskId(0, 1)).priority == 1
+
+
+class TestClassicPolicies:
+    def test_rate_monotonic_prefers_short_period(self):
+        system = rate_monotonic(_two_chain_system())
+        assert system.subtask(SubtaskId(0, 0)).priority == 0
+        assert system.subtask(SubtaskId(0, 1)).priority == 0
+        assert system.subtask(SubtaskId(1, 0)).priority == 1
+
+    def test_deadline_monotonic_uses_explicit_deadline(self):
+        t1 = Task(period=10.0, deadline=9.0, subtasks=(Subtask(1.0, "A"),))
+        t2 = Task(period=10.0, deadline=3.0, subtasks=(Subtask(1.0, "A"),))
+        system = deadline_monotonic(System((t1, t2)))
+        assert system.subtask(SubtaskId(1, 0)).priority == 0
+        assert system.subtask(SubtaskId(0, 0)).priority == 1
+
+    def test_equal_flexibility_distributes_slack(self):
+        system = equal_flexibility(_two_chain_system())
+        # T1 stage A: e=1, slack share 5*(1/5)=1 -> local deadline 2.
+        # T2 stage A: e=6, slack 12*(6/8)=9 -> 15.  T1 wins on A.
+        assert system.subtask(SubtaskId(0, 0)).priority == 0
+        assert system.subtask(SubtaskId(1, 0)).priority == 1
+
+
+class TestAssignmentMechanics:
+    def test_priorities_dense_per_processor(self):
+        system = proportional_deadline_monotonic(_two_chain_system())
+        for processor in system.processors:
+            priorities = sorted(
+                system.subtask(sid).priority
+                for sid in system.subtasks_on(processor)
+            )
+            assert priorities == list(range(len(priorities)))
+
+    def test_ties_broken_deterministically_by_id(self):
+        t1 = Task(period=10.0, subtasks=(Subtask(2.0, "A"),))
+        t2 = Task(period=10.0, subtasks=(Subtask(2.0, "A"),))
+        system = assign_by_key(System((t1, t2)), lambda s, sid: 0.0)
+        assert system.subtask(SubtaskId(0, 0)).priority == 0
+        assert system.subtask(SubtaskId(1, 0)).priority == 1
+
+    def test_assignment_does_not_mutate_original(self):
+        system = _two_chain_system()
+        proportional_deadline_monotonic(system)
+        assert all(
+            system.subtask(sid).priority == 0 for sid in system.subtask_ids
+        )
+
+    def test_assignment_preserves_structure(self):
+        before = _two_chain_system()
+        after = rate_monotonic(before)
+        assert [t.period for t in after.tasks] == [t.period for t in before.tasks]
+        assert after.subtask(SubtaskId(1, 1)).execution_time == 2.0
+
+
+class TestRegistry:
+    def test_registry_contains_paper_policy(self):
+        assert "pd-monotonic" in POLICIES
+
+    def test_get_policy_returns_callable(self):
+        policy = get_policy("rate-monotonic")
+        system = policy(_two_chain_system())
+        assert system.subtask(SubtaskId(0, 0)).priority == 0
+
+    def test_get_policy_unknown_name(self):
+        with pytest.raises(ModelError, match="unknown priority policy"):
+            get_policy("coin-flip")

@@ -1,0 +1,189 @@
+"""Unit tests for the System container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.system import System
+from repro.model.task import Subtask, SubtaskId, Task
+
+
+def _system() -> System:
+    t1 = Task(
+        period=4.0,
+        subtasks=(Subtask(1.0, "A", priority=0),),
+        name="first",
+    )
+    t2 = Task(
+        period=8.0,
+        subtasks=(
+            Subtask(2.0, "A", priority=1),
+            Subtask(1.0, "B", priority=0),
+        ),
+        name="second",
+    )
+    return System((t1, t2), name="demo")
+
+
+class TestStructure:
+    def test_empty_system_rejected(self):
+        with pytest.raises(ModelError):
+            System(())
+
+    def test_non_task_rejected(self):
+        with pytest.raises(ModelError):
+            System(("nope",))  # type: ignore[arg-type]
+
+    def test_tasks_coerced_to_tuple(self):
+        system = System([_system().tasks[0]])
+        assert isinstance(system.tasks, tuple)
+
+    def test_processors_sorted_and_deduplicated(self):
+        assert _system().processors == ("A", "B")
+
+    def test_subtask_ids_in_task_order(self):
+        assert _system().subtask_ids == (
+            SubtaskId(0, 0),
+            SubtaskId(1, 0),
+            SubtaskId(1, 1),
+        )
+
+    def test_len_and_iter(self):
+        system = _system()
+        assert len(system) == 2
+        assert [t.name for t in system] == ["first", "second"]
+
+    def test_subtask_count(self):
+        assert _system().subtask_count == 3
+
+
+class TestLookups:
+    def test_task_of(self):
+        system = _system()
+        assert system.task_of(SubtaskId(1, 0)).name == "second"
+
+    def test_subtask_lookup(self):
+        system = _system()
+        assert system.subtask(SubtaskId(1, 1)).processor == "B"
+
+    def test_period_of_subtask_is_parent_period(self):
+        system = _system()
+        assert system.period_of(SubtaskId(1, 1)) == 8.0
+
+    def test_unknown_task_index_raises(self):
+        with pytest.raises(ModelError):
+            _system().subtask(SubtaskId(5, 0))
+
+    def test_unknown_subtask_index_raises(self):
+        with pytest.raises(ModelError):
+            _system().subtask(SubtaskId(0, 1))
+
+    def test_is_last(self):
+        system = _system()
+        assert system.is_last(SubtaskId(0, 0))
+        assert not system.is_last(SubtaskId(1, 0))
+        assert system.is_last(SubtaskId(1, 1))
+
+    def test_successor_of(self):
+        system = _system()
+        assert system.successor_of(SubtaskId(1, 0)) == SubtaskId(1, 1)
+        assert system.successor_of(SubtaskId(1, 1)) is None
+
+    def test_subtasks_on_processor(self):
+        system = _system()
+        assert system.subtasks_on("A") == (SubtaskId(0, 0), SubtaskId(1, 0))
+
+    def test_subtasks_on_unknown_processor_raises(self):
+        with pytest.raises(ModelError):
+            _system().subtasks_on("Z")
+
+
+class TestInterferenceSet:
+    def test_higher_priority_included(self):
+        system = _system()
+        # On A: first (prio 0) interferes with second's stage (prio 1).
+        assert system.interference_set(SubtaskId(1, 0)) == (SubtaskId(0, 0),)
+
+    def test_lower_priority_excluded(self):
+        system = _system()
+        assert system.interference_set(SubtaskId(0, 0)) == ()
+
+    def test_equal_priority_included(self):
+        t1 = Task(period=4.0, subtasks=(Subtask(1.0, "A", priority=0),))
+        t2 = Task(period=6.0, subtasks=(Subtask(1.0, "A", priority=0),))
+        system = System((t1, t2))
+        assert system.interference_set(SubtaskId(0, 0)) == (SubtaskId(1, 0),)
+        assert system.interference_set(SubtaskId(1, 0)) == (SubtaskId(0, 0),)
+
+    def test_self_excluded(self):
+        system = _system()
+        for sid in system.subtask_ids:
+            assert sid not in system.interference_set(sid)
+
+
+class TestAggregates:
+    def test_processor_utilization(self):
+        system = _system()
+        # A: 1/4 + 2/8 = 0.5; B: 1/8.
+        assert system.processor_utilization("A") == pytest.approx(0.5)
+        assert system.processor_utilization("B") == pytest.approx(0.125)
+
+    def test_utilizations_maps_all_processors(self):
+        assert set(_system().utilizations()) == {"A", "B"}
+
+    def test_max_utilization(self):
+        assert _system().max_utilization == pytest.approx(0.5)
+
+    def test_hyperperiod_hint(self):
+        assert _system().hyperperiod_hint == pytest.approx(8.0)
+
+
+class TestFunctionalUpdates:
+    def test_with_priorities_replaces_all(self):
+        system = _system()
+        flipped = system.with_priorities(
+            {
+                SubtaskId(0, 0): 1,
+                SubtaskId(1, 0): 0,
+                SubtaskId(1, 1): 0,
+            }
+        )
+        assert flipped.subtask(SubtaskId(0, 0)).priority == 1
+        assert flipped.subtask(SubtaskId(1, 0)).priority == 0
+        # Original untouched.
+        assert system.subtask(SubtaskId(0, 0)).priority == 0
+
+    def test_with_priorities_requires_full_coverage(self):
+        with pytest.raises(ModelError):
+            _system().with_priorities({SubtaskId(0, 0): 1})
+
+    def test_with_phases(self):
+        shifted = _system().with_phases([1.0, 2.0])
+        assert [t.phase for t in shifted.tasks] == [1.0, 2.0]
+
+    def test_with_phases_wrong_length(self):
+        with pytest.raises(ModelError):
+            _system().with_phases([1.0])
+
+    def test_with_tasks(self):
+        system = _system()
+        reduced = system.with_tasks(system.tasks[:1])
+        assert len(reduced) == 1
+        assert reduced.name == system.name
+
+
+class TestDisplay:
+    def test_display_name_prefers_subtask_name(self, example2):
+        assert example2.display_name(SubtaskId(1, 0)) == "T2,1"
+
+    def test_display_name_falls_back_to_positional(self):
+        system = _system()
+        # Subtasks in _system() have empty names.
+        assert system.display_name(SubtaskId(1, 1)) == "T2,2"
+
+    def test_describe_mentions_tasks_and_processors(self):
+        text = _system().describe()
+        assert "demo" in text
+        assert "first" in text
+        assert "U=" in text

@@ -1,0 +1,116 @@
+"""Unit tests for system validation checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.system import System
+from repro.model.task import Subtask, SubtaskId, Task
+from repro.model.validation import (
+    check_consecutive_placement,
+    require_feasible_utilization,
+    validate_system,
+)
+
+
+def _overloaded() -> System:
+    return System(
+        (
+            Task(period=4.0, subtasks=(Subtask(3.0, "A", priority=0),)),
+            Task(period=4.0, subtasks=(Subtask(3.0, "A", priority=1),)),
+        )
+    )
+
+
+class TestUtilizationCheck:
+    def test_feasible_passes(self, example2):
+        require_feasible_utilization(example2)
+
+    def test_overloaded_raises(self):
+        with pytest.raises(ModelError, match="overloaded"):
+            require_feasible_utilization(_overloaded())
+
+    def test_exactly_one_allowed(self):
+        system = System(
+            (Task(period=4.0, subtasks=(Subtask(4.0, "A"),)),)
+        )
+        require_feasible_utilization(system)
+
+
+class TestConsecutivePlacement:
+    def test_clean_chain(self, monitor):
+        assert check_consecutive_placement(monitor) == []
+
+    def test_flags_colocated_consecutive_stages(self):
+        task = Task(
+            period=10.0,
+            subtasks=(
+                Subtask(1.0, "A"),
+                Subtask(1.0, "A"),
+                Subtask(1.0, "B"),
+            ),
+        )
+        offenders = check_consecutive_placement(System((task,)))
+        assert offenders == [SubtaskId(0, 0)]
+
+    def test_nonconsecutive_revisit_allowed(self):
+        task = Task(
+            period=10.0,
+            subtasks=(
+                Subtask(1.0, "A"),
+                Subtask(1.0, "B"),
+                Subtask(1.0, "A"),
+            ),
+        )
+        assert check_consecutive_placement(System((task,))) == []
+
+
+class TestValidateSystem:
+    def test_clean_system_ok(self, example2):
+        report = validate_system(example2)
+        assert report.ok
+        assert report.warnings == []
+        report.raise_if_failed()
+
+    def test_overload_is_error(self):
+        report = validate_system(_overloaded())
+        assert not report.ok
+        with pytest.raises(ModelError):
+            report.raise_if_failed()
+
+    def test_duplicate_priorities_warned(self):
+        system = System(
+            (
+                Task(period=8.0, subtasks=(Subtask(1.0, "A", priority=0),)),
+                Task(period=8.0, subtasks=(Subtask(1.0, "A", priority=0),)),
+            )
+        )
+        report = validate_system(system)
+        assert report.ok
+        assert any("share priority" in w for w in report.warnings)
+
+    def test_colocated_consecutive_warned(self):
+        task = Task(
+            period=10.0,
+            subtasks=(Subtask(1.0, "A", priority=0),
+                      Subtask(1.0, "A", priority=1)),
+        )
+        report = validate_system(System((task,)))
+        assert any("share processor" in w for w in report.warnings)
+
+    def test_impossible_deadline_warned(self):
+        task = Task(
+            period=10.0,
+            deadline=2.0,
+            subtasks=(Subtask(1.5, "A"), Subtask(1.5, "B")),
+        )
+        report = validate_system(System((task,)))
+        assert any("cannot meet its deadline" in w for w in report.warnings)
+
+    def test_generated_systems_validate(self, small_system):
+        report = validate_system(small_system)
+        assert report.ok
+        # Generator forbids consecutive co-location and duplicates.
+        assert not any("share processor" in w for w in report.warnings)
+        assert not any("share priority" in w for w in report.warnings)

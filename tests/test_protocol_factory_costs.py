@@ -1,0 +1,141 @@
+"""Unit tests for the protocol factory and the Section 3.3 cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocols.costs import (
+    PROTOCOL_COSTS,
+    overhead_per_instance,
+)
+from repro.core.protocols.direct import DirectSynchronization
+from repro.core.protocols.factory import (
+    PROTOCOL_NAMES,
+    make_controller,
+    pm_bounds_for,
+)
+from repro.core.protocols.modified_pm import ModifiedPhaseModification
+from repro.core.protocols.phase_modification import PhaseModification
+from repro.core.protocols.release_guard import ReleaseGuard
+from repro.errors import ConfigurationError
+from repro.model.system import System
+from repro.model.task import Subtask, SubtaskId, Task
+
+
+class TestFactory:
+    def test_names_in_paper_order(self):
+        assert PROTOCOL_NAMES == ("DS", "PM", "MPM", "RG")
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("DS", DirectSynchronization),
+            ("PM", PhaseModification),
+            ("MPM", ModifiedPhaseModification),
+            ("RG", ReleaseGuard),
+        ],
+    )
+    def test_builds_right_controller(self, example2, name, cls):
+        controller = make_controller(name, example2)
+        assert isinstance(controller, cls)
+        assert controller.name == name
+
+    def test_case_insensitive(self, example2):
+        assert isinstance(make_controller("rg", example2), ReleaseGuard)
+
+    def test_unknown_protocol(self, example2):
+        with pytest.raises(ConfigurationError, match="unknown protocol"):
+            make_controller("EDF", example2)
+
+    def test_pm_gets_sa_pm_bounds_by_default(self, example2):
+        controller = make_controller("PM", example2)
+        assert controller.bounds[SubtaskId(1, 0)] == pytest.approx(4.0)
+
+    def test_explicit_bounds_override(self, example2):
+        bounds = {sid: 1.0 for sid in example2.subtask_ids}
+        controller = make_controller("MPM", example2, bounds=bounds)
+        assert controller.bounds[SubtaskId(1, 0)] == 1.0
+
+    def test_pm_bounds_reject_unbounded_prefix(self):
+        # Overload the first stage's processor -> infinite prefix bound.
+        hog = Task(period=2.0, subtasks=(Subtask(1.8, "A", priority=0),))
+        chain = Task(
+            period=8.0,
+            subtasks=(Subtask(1.0, "A", priority=1),
+                      Subtask(1.0, "B", priority=0)),
+        )
+        with pytest.raises(ConfigurationError, match="infinite"):
+            pm_bounds_for(System((hog, chain)))
+
+    def test_infinite_last_stage_bound_tolerated(self):
+        # An unbounded LAST stage does not stop PM from scheduling.
+        hog = Task(period=2.0, subtasks=(Subtask(1.8, "B", priority=0),))
+        chain = Task(
+            period=8.0,
+            subtasks=(Subtask(1.0, "A", priority=0),
+                      Subtask(1.0, "B", priority=1)),
+        )
+        bounds = pm_bounds_for(System((hog, chain)))
+        assert bounds[SubtaskId(1, 0)] == pytest.approx(1.0)
+
+
+class TestCosts:
+    def test_all_protocols_covered(self):
+        assert set(PROTOCOL_COSTS) == {"DS", "PM", "MPM", "RG"}
+
+    def test_ds_is_cheapest(self):
+        ds = PROTOCOL_COSTS["DS"]
+        assert ds.variables_per_subtask == 0
+        assert ds.interrupts_per_instance == 1
+        assert not ds.needs_timer_interrupt
+        assert not ds.needs_clock_sync
+        assert not ds.needs_global_load_info
+
+    def test_pm_needs_clock_sync_and_load_info(self):
+        pm = PROTOCOL_COSTS["PM"]
+        assert pm.needs_clock_sync
+        assert pm.needs_global_load_info
+        assert pm.needs_timer_interrupt
+        assert not pm.needs_sync_interrupt
+
+    def test_mpm_drops_clock_sync_keeps_load_info(self):
+        mpm = PROTOCOL_COSTS["MPM"]
+        assert not mpm.needs_clock_sync
+        assert mpm.needs_global_load_info
+        assert mpm.interrupts_per_instance == 2
+
+    def test_rg_needs_neither_clock_nor_load_info(self):
+        rg = PROTOCOL_COSTS["RG"]
+        assert not rg.needs_clock_sync
+        assert not rg.needs_global_load_info
+        assert rg.variables_per_subtask == 1
+        assert rg.interrupts_per_instance == 2
+
+    def test_all_pay_two_context_switches(self):
+        assert all(
+            costs.context_switches_per_instance == 2
+            for costs in PROTOCOL_COSTS.values()
+        )
+
+    def test_overhead_per_instance(self):
+        # RG: 2 interrupts + 2 context switches.
+        assert overhead_per_instance(
+            "RG", interrupt_cost=0.01, context_switch_cost=0.02
+        ) == pytest.approx(0.06)
+        # DS: 1 interrupt + 2 context switches.
+        assert overhead_per_instance(
+            "DS", interrupt_cost=0.01, context_switch_cost=0.02
+        ) == pytest.approx(0.05)
+
+    def test_overhead_rejects_negative_costs(self):
+        with pytest.raises(ConfigurationError):
+            overhead_per_instance("DS", interrupt_cost=-1, context_switch_cost=0)
+
+    def test_overhead_rejects_unknown_protocol(self):
+        with pytest.raises(ConfigurationError):
+            overhead_per_instance("XX", interrupt_cost=0, context_switch_cost=0)
+
+    def test_describe_readable(self):
+        text = PROTOCOL_COSTS["MPM"].describe()
+        assert "timer+sync" in text
+        assert "clock-sync=no" in text

@@ -1,0 +1,116 @@
+"""Unit tests for the Modified Phase Modification protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import compare_protocols, run_protocol
+from repro.core.protocols.factory import pm_bounds_for
+from repro.core.protocols.modified_pm import ModifiedPhaseModification
+from repro.errors import ConfigurationError
+from repro.model.task import SubtaskId
+from repro.sim.simulator import simulate
+from repro.sim.variation import OverrunInjection, UniformReleaseJitter
+
+
+class TestIdenticalToPm:
+    """Under ideal conditions MPM and PM produce identical schedules
+    (Section 3.1)."""
+
+    def test_example2_schedules_match(self, example2):
+        results = compare_protocols(example2, ("PM", "MPM"), horizon=60.0)
+        assert (
+            results["PM"].trace.releases == results["MPM"].trace.releases
+        )
+        assert (
+            results["PM"].trace.completions
+            == results["MPM"].trace.completions
+        )
+
+    def test_generated_system_schedules_match(self, small_system):
+        results = compare_protocols(
+            small_system, ("PM", "MPM"), horizon_periods=6.0
+        )
+        pm = results["PM"].trace.completions
+        mpm = results["MPM"].trace.completions
+        assert pm.keys() == mpm.keys()
+        # PM sums bounds into absolute phases once; MPM re-adds the bound
+        # at every release, so the two accumulate float error differently.
+        for key, value in pm.items():
+            assert mpm[key] == pytest.approx(value, abs=1e-6)
+
+
+class TestTimerRelay:
+    def test_successor_release_is_predecessor_release_plus_bound(
+        self, example2
+    ):
+        bounds = pm_bounds_for(example2)
+        result = run_protocol(example2, "MPM", horizon=60.0)
+        for m in range(5):
+            r1 = result.trace.release_time(SubtaskId(1, 0), m)
+            r2 = result.trace.release_time(SubtaskId(1, 1), m)
+            assert r2 == pytest.approx(r1 + bounds[SubtaskId(1, 0)])
+
+    def test_signal_waits_even_for_early_completion(self, monitor):
+        """The dashed-arrow delay of Figure 6: completion before the timer
+        does not release the successor early."""
+        bounds = {sid: 5.0 for sid in monitor.subtask_ids}
+        result = run_protocol(monitor, "MPM", bounds=bounds, horizon=39.0)
+        # Stage 1 completes at 2, but stage 2 waits for the timer at 5.
+        assert result.trace.completion_time(SubtaskId(0, 0), 0) == pytest.approx(2.0)
+        assert result.trace.release_time(SubtaskId(0, 1), 0) == pytest.approx(5.0)
+
+    def test_missing_bound_rejected(self, monitor):
+        controller = ModifiedPhaseModification({})
+        with pytest.raises(ConfigurationError, match="needs a response-time"):
+            simulate(monitor, controller, horizon=10.0)
+
+
+class TestRobustnessToJitter:
+    """MPM's selling point: it survives sporadic first releases."""
+
+    def test_no_violations_under_release_jitter(self, example2):
+        controller = ModifiedPhaseModification(pm_bounds_for(example2))
+        result = simulate(
+            example2,
+            controller,
+            horizon=240.0,
+            jitter_model=UniformReleaseJitter(5.0, seed=9),
+        )
+        assert result.metrics.precedence_violations == 0
+
+    def test_chain_shifts_with_jittered_release(self, two_stage_pipeline):
+        bounds = pm_bounds_for(two_stage_pipeline)
+        controller = ModifiedPhaseModification(bounds)
+        result = simulate(
+            two_stage_pipeline,
+            controller,
+            horizon=100.0,
+            jitter_model=UniformReleaseJitter(3.0, seed=4),
+        )
+        stage1, stage2 = SubtaskId(0, 0), SubtaskId(0, 1)
+        for m in range(5):
+            r1 = result.trace.release_time(stage1, m)
+            r2 = result.trace.release_time(stage2, m)
+            assert r2 == pytest.approx(r1 + bounds[stage1])
+
+
+class TestOverrunDetection:
+    def test_overruns_counted_and_cause_violations(self, two_stage_pipeline):
+        bounds = pm_bounds_for(two_stage_pipeline)
+        controller = ModifiedPhaseModification(bounds)
+        result = simulate(
+            two_stage_pipeline,
+            controller,
+            horizon=100.0,
+            execution_model=OverrunInjection(
+                SubtaskId(0, 0), factor=3.0, every=2
+            ),
+        )
+        assert len(controller.overruns) > 0
+        assert result.metrics.precedence_violations > 0
+
+    def test_no_overruns_in_clean_run(self, example2):
+        controller = ModifiedPhaseModification(pm_bounds_for(example2))
+        simulate(example2, controller, horizon=120.0)
+        assert controller.overruns == []

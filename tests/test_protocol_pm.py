@@ -1,0 +1,139 @@
+"""Unit tests for the Phase Modification protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_protocol
+from repro.core.protocols.factory import pm_bounds_for
+from repro.core.protocols.phase_modification import (
+    PhaseModification,
+    compute_modified_phases,
+)
+from repro.errors import ConfigurationError
+from repro.model.task import SubtaskId
+from repro.sim.simulator import simulate
+from repro.sim.variation import UniformReleaseJitter
+
+
+class TestPhaseComputation:
+    def test_phases_accumulate_bounds(self, example2):
+        bounds = pm_bounds_for(example2)
+        phases = compute_modified_phases(example2, bounds)
+        assert phases[SubtaskId(1, 0)] == pytest.approx(0.0)
+        # f_2,2 = f_2 + R_2,1 = 0 + 4 (Figure 5).
+        assert phases[SubtaskId(1, 1)] == pytest.approx(4.0)
+
+    def test_first_subtask_phase_is_task_phase(self, example2):
+        phases = compute_modified_phases(example2, pm_bounds_for(example2))
+        assert phases[SubtaskId(2, 0)] == pytest.approx(4.0)  # T3's phase
+
+    def test_monitor_chain_phases(self, monitor):
+        bounds = pm_bounds_for(monitor)
+        phases = compute_modified_phases(monitor, bounds)
+        task = monitor.tasks[0]
+        # No interference: R_1,j = e_1,j, so phases are partial sums.
+        assert phases[SubtaskId(0, 1)] == pytest.approx(
+            task.subtasks[0].execution_time
+        )
+        assert phases[SubtaskId(0, 2)] == pytest.approx(
+            task.subtasks[0].execution_time + task.subtasks[1].execution_time
+        )
+
+    def test_missing_bound_rejected(self, example2):
+        with pytest.raises(ConfigurationError, match="needs a response-time"):
+            compute_modified_phases(example2, {})
+
+    def test_infinite_bound_rejected(self, example2):
+        bounds = dict(pm_bounds_for(example2))
+        bounds[SubtaskId(1, 0)] = float("inf")
+        with pytest.raises(ConfigurationError, match="finite"):
+            compute_modified_phases(example2, bounds)
+
+
+class TestFigureFive:
+    """The PM schedule of Example 2 (Figure 5)."""
+
+    def test_t22_released_strictly_periodically(self, example2):
+        result = run_protocol(example2, "PM", horizon=30.0)
+        t22 = SubtaskId(1, 1)
+        releases = [result.trace.release_time(t22, m) for m in range(4)]
+        assert releases == [4.0, 10.0, 16.0, 22.0]
+
+    def test_t3_meets_deadline(self, example2):
+        result = run_protocol(example2, "PM", horizon=30.0)
+        assert result.metrics.task(2).deadline_misses == 0
+        # First instance completes by 9 at the latest (bound 5).
+        assert result.trace.eer_time(2, 0) <= 5.0 + 1e-9
+
+    def test_no_precedence_violations(self, example2):
+        result = run_protocol(example2, "PM", horizon=60.0)
+        assert result.metrics.precedence_violations == 0
+
+
+class TestPeriodicityInvariant:
+    def test_every_subtask_release_is_periodic(self, small_system):
+        result = run_protocol(small_system, "PM", horizon_periods=8.0)
+        for sid in small_system.subtask_ids:
+            period = small_system.period_of(sid)
+            releases = sorted(
+                time
+                for (s, _m), time in result.trace.releases.items()
+                if s == sid
+            )
+            for earlier, later in zip(releases, releases[1:]):
+                assert later - earlier == pytest.approx(period)
+
+
+class TestEerEnvelope:
+    def test_eer_between_paper_bounds(self, example2):
+        """Paper: PM's EER is between sum(R) - R_last + e_last and sum(R)."""
+        bounds = pm_bounds_for(example2)
+        result = run_protocol(example2, "PM", horizon=120.0)
+        task_index = 1  # T2 is the only multi-stage task
+        task = example2.tasks[task_index]
+        upper = sum(
+            bounds[SubtaskId(task_index, j)] for j in range(task.chain_length)
+        )
+        lower = (
+            sum(
+                bounds[SubtaskId(task_index, j)]
+                for j in range(task.chain_length - 1)
+            )
+            + task.subtasks[-1].execution_time
+        )
+        for m in result.trace.completed_task_instances(task_index):
+            eer = result.trace.eer_time(task_index, m)
+            assert lower - 1e-9 <= eer <= upper + 1e-9
+
+    def test_output_jitter_bounded_by_last_stage_bound(self, example2):
+        bounds = pm_bounds_for(example2)
+        result = run_protocol(example2, "PM", horizon=120.0)
+        for task_index, task in enumerate(example2.tasks):
+            last = SubtaskId(task_index, task.chain_length - 1)
+            jitter = result.metrics.task(task_index).output_jitter
+            assert jitter <= bounds[last] + 1e-9
+
+
+class TestDocumentedLimitations:
+    def test_release_jitter_breaks_pm(self, example2):
+        """Section 3.1: if first releases are not strictly periodic, PM can
+        violate precedence -- the timer fires although the predecessor has
+        not completed."""
+        controller = PhaseModification(pm_bounds_for(example2))
+        result = simulate(
+            example2,
+            controller,
+            horizon=240.0,
+            jitter_model=UniformReleaseJitter(5.0, seed=9),
+        )
+        assert result.metrics.precedence_violations > 0
+
+    def test_understated_bounds_break_pm(self, example2):
+        """Feeding PM bounds below the true response times produces
+        precedence violations."""
+        bounds = {sid: 0.5 for sid in example2.subtask_ids}
+        result = run_protocol(
+            example2, "PM", bounds=bounds, horizon=60.0
+        )
+        assert result.metrics.precedence_violations > 0

@@ -1,0 +1,201 @@
+"""Unit tests for the event queue and simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocols.direct import DirectSynchronization
+from repro.errors import SimulationError
+from repro.model.system import System
+from repro.model.task import Subtask, SubtaskId, Task
+from repro.sim.engine import (
+    EVENT_COMPLETION,
+    EVENT_ENV,
+    EVENT_TIMER,
+    EventQueue,
+    Kernel,
+)
+from repro.sim.interfaces import ReleaseController
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(2.0, EVENT_TIMER, lambda t: seen.append("b"))
+        queue.push(1.0, EVENT_TIMER, lambda t: seen.append("a"))
+        queue.push(3.0, EVENT_TIMER, lambda t: seen.append("c"))
+        while (handle := queue.pop()) is not None:
+            handle[3](handle[0])
+        assert seen == ["a", "b", "c"]
+
+    def test_equal_times_ordered_by_event_class(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(1.0, EVENT_ENV, lambda t: seen.append("env"))
+        queue.push(1.0, EVENT_COMPLETION, lambda t: seen.append("done"))
+        queue.push(1.0, EVENT_TIMER, lambda t: seen.append("timer"))
+        while (handle := queue.pop()) is not None:
+            handle[3](handle[0])
+        assert seen == ["done", "timer", "env"]
+
+    def test_fifo_within_class(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(1.0, EVENT_TIMER, lambda t: seen.append(1))
+        queue.push(1.0, EVENT_TIMER, lambda t: seen.append(2))
+        while (handle := queue.pop()) is not None:
+            handle[3](handle[0])
+        assert seen == [1, 2]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        seen = []
+        handle = queue.push(1.0, EVENT_TIMER, lambda t: seen.append("dead"))
+        queue.push(2.0, EVENT_TIMER, lambda t: seen.append("alive"))
+        EventQueue.cancel(handle)
+        while (popped := queue.pop()) is not None:
+            popped[3](popped[0])
+        assert seen == ["alive"]
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, EVENT_TIMER, lambda t: None)
+        queue.push(5.0, EVENT_TIMER, lambda t: None)
+        EventQueue.cancel(handle)
+        assert queue.peek_time() == 5.0
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, EVENT_TIMER, lambda t: None)
+        queue.push(2.0, EVENT_TIMER, lambda t: None)
+        assert len(queue) == 2
+        EventQueue.cancel(handle)
+        assert len(queue) == 1
+
+    def test_empty_queue_pops_none(self):
+        assert EventQueue().pop() is None
+        assert EventQueue().peek_time() is None
+
+
+class TestKernelBasics:
+    def test_horizon_must_be_positive(self, example2):
+        with pytest.raises(SimulationError):
+            Kernel(example2, DirectSynchronization(), 0.0)
+
+    def test_env_releases_follow_phase_and_period(self, example2):
+        kernel = Kernel(example2, DirectSynchronization(), 20.0)
+        trace = kernel.run()
+        t3_releases = [
+            trace.env_releases[(2, m)] for m in range(3)
+        ]
+        assert t3_releases == [4.0, 10.0, 16.0]
+
+    def test_events_not_processed_past_horizon(self, example2):
+        kernel = Kernel(example2, DirectSynchronization(), 5.0)
+        trace = kernel.run()
+        assert all(time <= 5.0 for time in trace.releases.values())
+        assert all(time <= 5.0 for time in trace.completions.values())
+
+    def test_timer_in_past_rejected(self, example2):
+        kernel = Kernel(example2, DirectSynchronization(), 10.0)
+        kernel.now = 5.0
+        with pytest.raises(SimulationError):
+            kernel.schedule_timer(1.0, lambda t: None)
+
+    def test_event_budget_enforced(self, example2):
+        kernel = Kernel(
+            example2, DirectSynchronization(), 1000.0, max_events=10
+        )
+        with pytest.raises(SimulationError, match="event budget"):
+            kernel.run()
+
+    def test_is_idle_before_any_release(self, example2):
+        kernel = Kernel(example2, DirectSynchronization(), 10.0)
+        assert kernel.is_idle("P1")
+        assert kernel.is_idle("P2")
+
+
+class TestPrecedence:
+    def test_ds_run_has_no_violations(self, example2):
+        kernel = Kernel(example2, DirectSynchronization(), 100.0)
+        trace = kernel.run()
+        assert trace.violations == []
+
+    def test_violation_recorded_for_premature_release(self):
+        """A controller that releases stage 2 without waiting."""
+
+        class Broken(ReleaseController):
+            name = "broken"
+
+            def on_env_release(self, sid, instance, now):
+                self.kernel.release(sid, instance)
+                # Release the successor immediately -- before stage 1 ran.
+                successor = self.system.successor_of(sid)
+                if successor is not None:
+                    self.kernel.release(successor, instance)
+
+        task = Task(
+            period=10.0,
+            subtasks=(Subtask(2.0, "A", priority=0),
+                      Subtask(2.0, "B", priority=0)),
+        )
+        kernel = Kernel(System((task,)), Broken(), 9.0)
+        trace = kernel.run()
+        assert len(trace.violations) == 1
+        violation = trace.violations[0]
+        assert violation.sid == SubtaskId(0, 1)
+        assert violation.predecessor == SubtaskId(0, 0)
+
+    def test_strict_mode_raises_on_violation(self):
+        class Broken(ReleaseController):
+            name = "broken"
+
+            def on_env_release(self, sid, instance, now):
+                self.kernel.release(sid, instance)
+                successor = self.system.successor_of(sid)
+                if successor is not None:
+                    self.kernel.release(successor, instance)
+
+        task = Task(
+            period=10.0,
+            subtasks=(Subtask(2.0, "A", priority=0),
+                      Subtask(2.0, "B", priority=0)),
+        )
+        kernel = Kernel(
+            System((task,)), Broken(), 9.0, strict_precedence=True
+        )
+        with pytest.raises(SimulationError, match="precedence violation"):
+            kernel.run()
+
+
+class TestIdlePoints:
+    def test_idle_points_recorded_at_completions(self, single_task_system):
+        kernel = Kernel(
+            single_task_system,
+            DirectSynchronization(),
+            25.0,
+            record_idle_points=True,
+        )
+        trace = kernel.run()
+        # The solo task (period 10, exec 3) finishes at 3, 13, 23.
+        assert trace.idle_points["P1"] == [3.0, 13.0, 23.0]
+
+    def test_idle_points_not_recorded_by_default(self, single_task_system):
+        kernel = Kernel(single_task_system, DirectSynchronization(), 25.0)
+        trace = kernel.run()
+        assert trace.idle_points == {}
+
+    def test_no_idle_point_while_backlogged(self):
+        # Two tasks saturating one processor: the first idle point comes
+        # only when both complete.
+        t1 = Task(period=10.0, subtasks=(Subtask(4.0, "A", priority=0),))
+        t2 = Task(period=10.0, subtasks=(Subtask(4.0, "A", priority=1),))
+        kernel = Kernel(
+            System((t1, t2)),
+            DirectSynchronization(),
+            9.0,
+            record_idle_points=True,
+        )
+        trace = kernel.run()
+        assert trace.idle_points["A"] == [8.0]

@@ -1,0 +1,99 @@
+"""Unit tests for trace metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.api import run_protocol
+from repro.errors import SimulationError
+from repro.model.task import SubtaskId
+from repro.sim.metrics import compute_metrics, max_observed_response_time, output_jitter
+from repro.sim.tracing import Trace
+
+
+class TestOutputJitter:
+    def test_empty_and_singleton_are_zero(self):
+        assert output_jitter([]) == 0.0
+        assert output_jitter([5.0]) == 0.0
+
+    def test_max_consecutive_difference(self):
+        assert output_jitter([5.0, 7.0, 6.5]) == pytest.approx(2.0)
+
+    def test_absolute_difference(self):
+        assert output_jitter([7.0, 3.0, 4.0]) == pytest.approx(4.0)
+
+    def test_non_adjacent_differences_ignored(self):
+        # 1 -> 2 -> 3: consecutive deltas are 1, total spread 2.
+        assert output_jitter([1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+
+class TestComputeMetrics:
+    def test_example2_ds_metrics(self, example2):
+        result = run_protocol(example2, "DS", horizon=60.0)
+        metrics = result.metrics
+        # T1 is the highest-priority single subtask: EER always 2.
+        assert metrics.task(0).average_eer == pytest.approx(2.0)
+        assert metrics.task(0).max_eer == pytest.approx(2.0)
+        assert metrics.task(0).min_eer == pytest.approx(2.0)
+        assert metrics.task(0).output_jitter == 0.0
+        assert metrics.task(0).deadline_misses == 0
+
+    def test_t3_misses_under_ds(self, example2):
+        result = run_protocol(example2, "DS", horizon=60.0)
+        t3 = result.metrics.task(2)
+        assert t3.deadline_misses > 0
+        assert t3.miss_ratio > 0
+        assert t3.max_eer == pytest.approx(8.0)
+
+    def test_total_deadline_misses(self, example2):
+        result = run_protocol(example2, "DS", horizon=60.0)
+        assert result.metrics.total_deadline_misses == sum(
+            task.deadline_misses for task in result.metrics.tasks
+        )
+
+    def test_no_completions_yields_nan(self, example2):
+        trace = Trace(example2, horizon=1.0)
+        metrics = compute_metrics(trace)
+        assert math.isnan(metrics.task(0).average_eer)
+        assert metrics.task(0).completed_instances == 0
+        assert metrics.any_incomplete
+
+    def test_warmup_excludes_early_instances(self, example2):
+        result = run_protocol(example2, "DS", horizon=60.0)
+        full = compute_metrics(result.trace, warmup=0.0)
+        late = compute_metrics(result.trace, warmup=30.0)
+        assert late.task(0).completed_instances < full.task(0).completed_instances
+
+    def test_negative_warmup_rejected(self, example2):
+        trace = Trace(example2, horizon=1.0)
+        with pytest.raises(SimulationError):
+            compute_metrics(trace, warmup=-1.0)
+
+    def test_violations_counted(self, example2):
+        result = run_protocol(example2, "RG", horizon=60.0)
+        assert result.metrics.precedence_violations == 0
+
+    def test_average_eer_vector_order(self, example2):
+        result = run_protocol(example2, "DS", horizon=60.0)
+        vector = result.metrics.average_eer_vector()
+        assert len(vector) == 3
+        assert vector[0] == pytest.approx(2.0)
+
+    def test_miss_ratio_zero_when_no_instances(self, example2):
+        trace = Trace(example2, horizon=1.0)
+        metrics = compute_metrics(trace)
+        assert metrics.task(0).miss_ratio == 0.0
+
+
+class TestMaxObservedResponseTime:
+    def test_zero_when_never_completed(self, example2):
+        trace = Trace(example2, horizon=1.0)
+        assert max_observed_response_time(trace, SubtaskId(0, 0)) == 0.0
+
+    def test_reports_worst_instance(self, example2):
+        result = run_protocol(example2, "DS", horizon=60.0)
+        worst = max_observed_response_time(result.trace, SubtaskId(2, 0))
+        # T3's worst response under DS is 8 (Fig. 3).
+        assert worst == pytest.approx(8.0)

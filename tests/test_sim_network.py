@@ -1,0 +1,74 @@
+"""Unit tests for signal-latency models and their effect on simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_protocol
+from repro.errors import ConfigurationError
+from repro.model.task import SubtaskId
+from repro.sim.network import FixedLatency, UniformLatency, ZeroLatency
+
+
+class TestModels:
+    def test_zero_latency(self):
+        assert ZeroLatency().delay("P1", "P2") == 0.0
+
+    def test_fixed_latency_between_processors(self):
+        assert FixedLatency(0.5).delay("P1", "P2") == 0.5
+
+    def test_fixed_latency_local_delivery_free(self):
+        assert FixedLatency(0.5).delay("P1", "P1") == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedLatency(-0.1)
+
+    def test_uniform_latency_bounded(self):
+        model = UniformLatency(0.1, 0.4, seed=2)
+        values = [model.delay("P1", "P2") for _ in range(100)]
+        assert all(0.1 <= v <= 0.4 for v in values)
+
+    def test_uniform_latency_local_free(self):
+        assert UniformLatency(0.1, 0.4, seed=2).delay("P1", "P1") == 0.0
+
+    def test_uniform_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(0.4, 0.1)
+
+
+class TestLatencyInSimulation:
+    def test_ds_successor_release_shifted_by_latency(self, two_stage_pipeline):
+        prompt = run_protocol(
+            two_stage_pipeline, "DS", horizon=9.0
+        )
+        delayed = run_protocol(
+            two_stage_pipeline,
+            "DS",
+            horizon=9.0,
+            latency_model=FixedLatency(0.5),
+        )
+        stage2 = SubtaskId(0, 1)
+        assert prompt.trace.release_time(stage2, 0) == pytest.approx(2.0)
+        assert delayed.trace.release_time(stage2, 0) == pytest.approx(2.5)
+
+    def test_latency_adds_to_eer(self, two_stage_pipeline):
+        base = run_protocol(two_stage_pipeline, "DS", horizon=9.0)
+        delayed = run_protocol(
+            two_stage_pipeline,
+            "DS",
+            horizon=9.0,
+            latency_model=FixedLatency(0.5),
+        )
+        assert delayed.metrics.task(0).average_eer == pytest.approx(
+            base.metrics.task(0).average_eer + 0.5
+        )
+
+    def test_precedence_still_holds_under_latency(self, example2):
+        result = run_protocol(
+            example2,
+            "DS",
+            horizon=60.0,
+            latency_model=FixedLatency(0.25),
+        )
+        assert result.metrics.precedence_violations == 0

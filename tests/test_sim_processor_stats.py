@@ -1,0 +1,80 @@
+"""Unit tests for processor-level statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_protocol
+from repro.errors import SimulationError
+from repro.model.system import System
+from repro.model.task import Subtask, Task
+from repro.sim.processor_stats import processor_statistics
+from repro.sim.tracing import Trace
+
+
+class TestProcessorStatistics:
+    def test_single_task_busy_fraction(self):
+        system = System(
+            (Task(period=10.0, subtasks=(Subtask(3.0, "A", priority=0),)),)
+        )
+        result = run_protocol(
+            system, "DS", horizon=30.0, record_segments=True
+        )
+        stats = processor_statistics(result.trace, "A")
+        assert stats.busy_time == pytest.approx(9.0)
+        assert stats.busy_fraction == pytest.approx(0.3)
+        assert stats.busy_intervals == 3
+        assert stats.longest_busy_interval == pytest.approx(3.0)
+        assert stats.mean_busy_interval == pytest.approx(3.0)
+
+    def test_preempted_segments_merge_into_one_interval(self):
+        low = Task(period=30.0, subtasks=(Subtask(6.0, "A", priority=1),))
+        high = Task(
+            period=30.0, phase=2.0, subtasks=(Subtask(2.0, "A", priority=0),)
+        )
+        result = run_protocol(
+            System((low, high)), "DS", horizon=29.0, record_segments=True
+        )
+        stats = processor_statistics(result.trace, "A")
+        # Segments 0-2, 2-4, 4-8 form one contiguous busy interval.
+        assert stats.busy_intervals == 1
+        assert stats.longest_busy_interval == pytest.approx(8.0)
+
+    def test_idle_point_rate_decreases_with_utilization(self):
+        """The Figure 15 mechanism: busier processors drain less often."""
+        from repro.workload.config import WorkloadConfig
+        from repro.workload.generator import generate_system
+
+        rates = {}
+        for utilization in (0.5, 0.9):
+            config = WorkloadConfig(
+                subtasks_per_task=3,
+                utilization=utilization,
+                tasks=6,
+                processors=3,
+            )
+            system = generate_system(config, seed=1)
+            result = run_protocol(
+                system, "RG", horizon_periods=6.0, record_segments=True
+            )
+            rates[utilization] = sum(
+                processor_statistics(result.trace, p).idle_points_per_time
+                for p in system.processors
+            )
+        assert rates[0.9] < rates[0.5]
+
+    def test_requires_segments(self, example2):
+        trace = Trace(example2, horizon=10.0, record_segments=False)
+        with pytest.raises(SimulationError, match="record_segments"):
+            processor_statistics(trace, "P1")
+
+    def test_empty_processor(self, example2):
+        result = run_protocol(
+            example2, "DS", horizon=1.0, record_segments=True
+        )
+        # P2 sees no execution in the first time unit.
+        stats = processor_statistics(result.trace, "P2")
+        assert stats.busy_time == 0.0
+        assert stats.busy_intervals == 0
+        assert stats.mean_busy_interval == 0.0
+        assert stats.busy_fraction == 0.0

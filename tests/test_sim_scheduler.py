@@ -1,0 +1,129 @@
+"""Unit tests for the fixed-priority preemptive scheduler.
+
+These exercise single-processor scheduling semantics through the kernel
+with the DS protocol (which adds no release shaping on one-stage tasks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocols.direct import DirectSynchronization
+from repro.model.system import System
+from repro.model.task import Subtask, SubtaskId, Task
+from repro.sim.engine import Kernel
+
+
+def _run(system: System, horizon: float):
+    kernel = Kernel(
+        system, DirectSynchronization(), horizon, record_segments=True
+    )
+    return kernel.run()
+
+
+class TestPreemption:
+    def test_high_priority_preempts_immediately(self):
+        low = Task(period=20.0, subtasks=(Subtask(6.0, "A", priority=1),))
+        high = Task(
+            period=20.0, phase=2.0, subtasks=(Subtask(2.0, "A", priority=0),)
+        )
+        trace = _run(System((low, high)), 19.0)
+        # Low runs 0-2, preempted, high runs 2-4, low resumes 4-8.
+        assert trace.completion_time(SubtaskId(1, 0), 0) == pytest.approx(4.0)
+        assert trace.completion_time(SubtaskId(0, 0), 0) == pytest.approx(8.0)
+        segments = trace.segments_on("A")
+        assert [(s.start, s.end) for s in segments] == [
+            (0.0, 2.0),
+            (2.0, 4.0),
+            (4.0, 8.0),
+        ]
+
+    def test_equal_priority_does_not_preempt(self):
+        first = Task(period=20.0, subtasks=(Subtask(5.0, "A", priority=0),))
+        second = Task(
+            period=20.0, phase=1.0, subtasks=(Subtask(2.0, "A", priority=0),)
+        )
+        trace = _run(System((first, second)), 19.0)
+        assert trace.completion_time(SubtaskId(0, 0), 0) == pytest.approx(5.0)
+        assert trace.completion_time(SubtaskId(1, 0), 0) == pytest.approx(7.0)
+
+    def test_lower_priority_waits(self):
+        high = Task(period=10.0, subtasks=(Subtask(3.0, "A", priority=0),))
+        low = Task(period=10.0, subtasks=(Subtask(2.0, "A", priority=1),))
+        trace = _run(System((high, low)), 9.0)
+        assert trace.completion_time(SubtaskId(1, 0), 0) == pytest.approx(5.0)
+
+    def test_preemption_resumes_with_remaining_time(self):
+        low = Task(period=30.0, subtasks=(Subtask(10.0, "A", priority=2),))
+        mid = Task(
+            period=30.0, phase=3.0, subtasks=(Subtask(4.0, "A", priority=1),)
+        )
+        high = Task(
+            period=30.0, phase=5.0, subtasks=(Subtask(1.0, "A", priority=0),)
+        )
+        trace = _run(System((low, mid, high)), 29.0)
+        # low 0-3, mid 3-5, high 5-6, mid 6-8, low 8-15.
+        assert trace.completion_time(SubtaskId(2, 0), 0) == pytest.approx(6.0)
+        assert trace.completion_time(SubtaskId(1, 0), 0) == pytest.approx(8.0)
+        assert trace.completion_time(SubtaskId(0, 0), 0) == pytest.approx(15.0)
+
+    def test_release_at_exact_completion_instant_no_preemption_glitch(self):
+        # Running instance completes exactly when a higher-priority one is
+        # released: the completion must win, no zero-length preemption.
+        low = Task(period=20.0, subtasks=(Subtask(4.0, "A", priority=1),))
+        high = Task(
+            period=20.0, phase=4.0, subtasks=(Subtask(2.0, "A", priority=0),)
+        )
+        trace = _run(System((low, high)), 19.0)
+        assert trace.completion_time(SubtaskId(0, 0), 0) == pytest.approx(4.0)
+        assert trace.completion_time(SubtaskId(1, 0), 0) == pytest.approx(6.0)
+        assert trace.violations == []
+
+
+class TestFifoWithinPriority:
+    def test_same_subtask_instances_run_in_release_order(self):
+        # Backlogged task: two releases queue up; they must finish in order.
+        task = Task(period=3.0, subtasks=(Subtask(2.0, "A", priority=1),))
+        blocker = Task(
+            period=100.0, subtasks=(Subtask(5.0, "A", priority=0),)
+        )
+        trace = _run(System((task, blocker)), 20.0)
+        c0 = trace.completion_time(SubtaskId(0, 0), 0)
+        c1 = trace.completion_time(SubtaskId(0, 0), 1)
+        assert c0 < c1
+        # blocker runs 0-5, then the two queued instances: 5-7 and 7-9.
+        assert c0 == pytest.approx(7.0)
+        assert c1 == pytest.approx(9.0)
+
+
+class TestSegments:
+    def test_segments_cover_execution_time(self):
+        low = Task(period=30.0, subtasks=(Subtask(10.0, "A", priority=1),))
+        high = Task(
+            period=7.0, phase=1.0, subtasks=(Subtask(2.0, "A", priority=0),)
+        )
+        trace = _run(System((low, high)), 29.0)
+        total = sum(
+            seg.length
+            for seg in trace.segments
+            if seg.sid == SubtaskId(0, 0) and seg.instance == 0
+        )
+        assert total == pytest.approx(10.0)
+
+    def test_segments_never_overlap_on_processor(self, example2):
+        from repro.api import run_protocol
+
+        result = run_protocol(example2, "DS", horizon=60.0, record_segments=True)
+        for processor in example2.processors:
+            segments = result.trace.segments_on(processor)
+            for earlier, later in zip(segments, segments[1:]):
+                assert earlier.end <= later.start + 1e-9
+
+    def test_busy_processor_has_no_gaps_while_backlogged(self):
+        t1 = Task(period=10.0, subtasks=(Subtask(5.0, "A", priority=0),))
+        t2 = Task(period=10.0, subtasks=(Subtask(3.0, "A", priority=1),))
+        trace = _run(System((t1, t2)), 9.0)
+        segments = trace.segments_on("A")
+        assert segments[0].start == 0.0
+        for earlier, later in zip(segments, segments[1:]):
+            assert later.start == pytest.approx(earlier.end)

@@ -1,0 +1,127 @@
+"""Unit tests for the independent trace validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_protocol
+from repro.core.protocols import make_controller
+from repro.errors import SimulationError
+from repro.model.task import SubtaskId
+from repro.sim.simulator import simulate
+from repro.sim.tracing import Segment, Trace
+from repro.sim.trace_validation import validate_trace
+from repro.sim.variation import OverrunInjection, UniformScaledExecution
+
+
+class TestCleanTraces:
+    @pytest.mark.parametrize("protocol", ["DS", "PM", "MPM", "RG"])
+    def test_example2_traces_validate(self, example2, protocol):
+        result = run_protocol(
+            example2, protocol, horizon=60.0, record_segments=True
+        )
+        assert validate_trace(result.trace) == []
+
+    def test_generated_system_traces_validate(self, small_system):
+        result = run_protocol(
+            small_system, "RG", horizon_periods=6.0, record_segments=True
+        )
+        assert validate_trace(result.trace) == []
+
+    def test_variation_below_wcet_validates(self, small_system):
+        result = simulate(
+            small_system,
+            make_controller("DS", small_system),
+            horizon_periods=5.0,
+            execution_model=UniformScaledExecution(0.4, 1.0, seed=2),
+            record_segments=True,
+        )
+        assert validate_trace(result.trace) == []
+
+
+class TestDetections:
+    def _base_trace(self, example2) -> Trace:
+        trace = Trace(example2, horizon=100.0)
+        return trace
+
+    def test_requires_segments(self, example2):
+        trace = Trace(example2, horizon=10.0, record_segments=False)
+        with pytest.raises(SimulationError):
+            validate_trace(trace)
+
+    def test_detects_overlapping_segments(self, example2):
+        trace = self._base_trace(example2)
+        sid = SubtaskId(0, 0)
+        trace.note_release(sid, 0, 0.0)
+        trace.note_release(sid, 1, 4.0)
+        trace.note_segment(Segment("P1", sid, 0, 0.0, 2.0))
+        trace.note_segment(Segment("P1", sid, 1, 1.0, 3.0))
+        trace.note_completion(sid, 0, 2.0)
+        trace.note_completion(sid, 1, 3.0)
+        assert any("overlap" in issue for issue in validate_trace(trace))
+
+    def test_detects_priority_inversion(self, example2):
+        trace = self._base_trace(example2)
+        high = SubtaskId(0, 0)   # T1, priority 0 on P1
+        low = SubtaskId(1, 0)    # T2,1, priority 1 on P1
+        trace.note_release(high, 0, 0.0)
+        trace.note_release(low, 0, 0.0)
+        # The low-priority instance runs while the high one is ready.
+        trace.note_segment(Segment("P1", low, 0, 0.0, 2.0))
+        trace.note_completion(low, 0, 2.0)
+        trace.note_segment(Segment("P1", high, 0, 2.0, 4.0))
+        trace.note_completion(high, 0, 4.0)
+        assert any(
+            "higher-priority" in issue for issue in validate_trace(trace)
+        )
+
+    def test_detects_overrun_unless_allowed(self, small_system):
+        result = simulate(
+            small_system,
+            make_controller("DS", small_system),
+            horizon_periods=5.0,
+            execution_model=OverrunInjection(
+                small_system.subtask_ids[0], factor=2.0
+            ),
+            record_segments=True,
+        )
+        issues = validate_trace(result.trace)
+        assert any("WCET" in issue for issue in issues)
+        assert validate_trace(result.trace, allow_overruns=True) == []
+
+    def test_detects_completion_without_execution(self, example2):
+        trace = self._base_trace(example2)
+        sid = SubtaskId(0, 0)
+        trace.note_release(sid, 0, 0.0)
+        trace.note_completion(sid, 0, 2.0)
+        # Add an unrelated segment so the segments requirement is met.
+        other = SubtaskId(2, 0)
+        trace.note_release(other, 0, 0.0)
+        trace.note_segment(Segment("P2", other, 0, 0.0, 2.0))
+        trace.note_completion(other, 0, 2.0)
+        assert any(
+            "without executing" in issue for issue in validate_trace(trace)
+        )
+
+    def test_detects_precedence_violation(self, example2):
+        trace = self._base_trace(example2)
+        first = SubtaskId(1, 0)
+        second = SubtaskId(1, 1)
+        trace.note_release(first, 0, 0.0)
+        trace.note_segment(Segment("P1", first, 0, 0.0, 2.0))
+        trace.note_completion(first, 0, 2.0)
+        # Successor released before the predecessor completed.
+        trace.note_release(second, 0, 1.0)
+        trace.note_segment(Segment("P2", second, 0, 1.0, 4.0))
+        trace.note_completion(second, 0, 4.0)
+        assert any("before" in issue for issue in validate_trace(trace))
+
+    def test_detects_missing_predecessor(self, example2):
+        trace = self._base_trace(example2)
+        second = SubtaskId(1, 1)
+        trace.note_release(second, 0, 1.0)
+        trace.note_segment(Segment("P2", second, 0, 1.0, 4.0))
+        trace.note_completion(second, 0, 4.0)
+        assert any(
+            "never released" in issue for issue in validate_trace(trace)
+        )

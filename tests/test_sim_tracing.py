@@ -1,0 +1,109 @@
+"""Unit tests for trace recording and queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.model.task import SubtaskId
+from repro.sim.tracing import Segment, Trace
+
+
+@pytest.fixture
+def trace(example2) -> Trace:
+    return Trace(example2, horizon=100.0)
+
+
+class TestRecording:
+    def test_release_then_completion(self, trace):
+        sid = SubtaskId(0, 0)
+        trace.note_release(sid, 0, 1.0)
+        trace.note_completion(sid, 0, 3.5)
+        assert trace.release_time(sid, 0) == 1.0
+        assert trace.completion_time(sid, 0) == 3.5
+        assert trace.response_time(sid, 0) == pytest.approx(2.5)
+
+    def test_double_release_rejected(self, trace):
+        sid = SubtaskId(0, 0)
+        trace.note_release(sid, 0, 1.0)
+        with pytest.raises(SimulationError, match="released twice"):
+            trace.note_release(sid, 0, 2.0)
+
+    def test_completion_without_release_rejected(self, trace):
+        with pytest.raises(SimulationError, match="without a recorded release"):
+            trace.note_completion(SubtaskId(0, 0), 0, 2.0)
+
+    def test_double_completion_rejected(self, trace):
+        sid = SubtaskId(0, 0)
+        trace.note_release(sid, 0, 1.0)
+        trace.note_completion(sid, 0, 2.0)
+        with pytest.raises(SimulationError, match="completed twice"):
+            trace.note_completion(sid, 0, 3.0)
+
+    def test_segments_skipped_when_disabled(self, example2):
+        trace = Trace(example2, horizon=10.0, record_segments=False)
+        trace.note_segment(Segment("P1", SubtaskId(0, 0), 0, 0.0, 1.0))
+        assert trace.segments == []
+
+
+class TestQueries:
+    def _populate_chain(self, trace):
+        """One full instance of T2 = (T2,1 -> T2,2)."""
+        trace.note_env_release(1, 0, 0.0)
+        trace.note_release(SubtaskId(1, 0), 0, 0.0)
+        trace.note_completion(SubtaskId(1, 0), 0, 4.0)
+        trace.note_release(SubtaskId(1, 1), 0, 4.0)
+        trace.note_completion(SubtaskId(1, 1), 0, 7.0)
+
+    def test_eer_measured_from_env_release(self, trace):
+        self._populate_chain(trace)
+        assert trace.eer_time(1, 0) == pytest.approx(7.0)
+
+    def test_intermediate_eer(self, trace):
+        self._populate_chain(trace)
+        assert trace.intermediate_eer_time(SubtaskId(1, 0), 0) == pytest.approx(4.0)
+        assert trace.intermediate_eer_time(SubtaskId(1, 1), 0) == pytest.approx(7.0)
+
+    def test_completed_task_instances_requires_last_subtask(self, trace):
+        trace.note_env_release(1, 0, 0.0)
+        trace.note_release(SubtaskId(1, 0), 0, 0.0)
+        trace.note_completion(SubtaskId(1, 0), 0, 4.0)
+        # Stage 2 still running: instance not complete.
+        assert trace.completed_task_instances(1) == []
+        trace.note_release(SubtaskId(1, 1), 0, 4.0)
+        trace.note_completion(SubtaskId(1, 1), 0, 7.0)
+        assert trace.completed_task_instances(1) == [0]
+
+    def test_instance_count(self, trace):
+        self._populate_chain(trace)
+        assert trace.instance_count(SubtaskId(1, 0)) == 1
+        assert trace.instance_count(SubtaskId(2, 0)) == 0
+
+    def test_subtask_response_times_in_instance_order(self, trace):
+        sid = SubtaskId(0, 0)
+        trace.note_release(sid, 0, 0.0)
+        trace.note_completion(sid, 0, 2.0)
+        trace.note_release(sid, 1, 4.0)
+        trace.note_completion(sid, 1, 7.0)
+        assert trace.subtask_response_times(sid) == [2.0, 3.0]
+
+    def test_iter_instances_by_release_time(self, trace):
+        trace.note_release(SubtaskId(0, 0), 0, 5.0)
+        trace.note_release(SubtaskId(2, 0), 0, 1.0)
+        keys = list(trace.iter_instances())
+        assert keys[0] == (SubtaskId(2, 0), 0)
+
+    def test_deadline_misses(self, trace):
+        # T2's deadline is 6; an EER of 7 misses it.
+        self._populate_chain(trace)
+        assert trace.deadline_misses(1) == 1
+
+    def test_segments_on_sorted(self, trace):
+        trace.note_segment(Segment("P1", SubtaskId(0, 0), 0, 5.0, 6.0))
+        trace.note_segment(Segment("P1", SubtaskId(0, 0), 1, 1.0, 2.0))
+        trace.note_segment(Segment("P2", SubtaskId(1, 1), 0, 0.0, 3.0))
+        on_p1 = trace.segments_on("P1")
+        assert [seg.start for seg in on_p1] == [1.0, 5.0]
+
+    def test_segment_length(self):
+        assert Segment("P1", SubtaskId(0, 0), 0, 1.0, 3.5).length == 2.5

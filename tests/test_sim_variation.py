@@ -1,0 +1,107 @@
+"""Unit tests for execution-time and release-jitter models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.task import SubtaskId
+from repro.sim.variation import (
+    DeterministicExecution,
+    NoJitter,
+    OverrunInjection,
+    TruncatedNormalExecution,
+    UniformReleaseJitter,
+    UniformScaledExecution,
+)
+
+SID = SubtaskId(0, 0)
+OTHER = SubtaskId(1, 0)
+
+
+class TestDeterministic:
+    def test_returns_wcet(self):
+        assert DeterministicExecution().duration(SID, 3, 4.2) == 4.2
+
+
+class TestUniformScaled:
+    def test_stays_in_bounds(self):
+        model = UniformScaledExecution(0.4, 0.9, seed=7)
+        for instance in range(200):
+            duration = model.duration(SID, instance, 10.0)
+            assert 4.0 <= duration <= 9.0
+
+    def test_reproducible_from_seed(self):
+        a = UniformScaledExecution(0.5, 1.0, seed=3)
+        b = UniformScaledExecution(0.5, 1.0, seed=3)
+        assert [a.duration(SID, i, 5.0) for i in range(10)] == [
+            b.duration(SID, i, 5.0) for i in range(10)
+        ]
+
+    def test_overrun_range_allowed(self):
+        model = UniformScaledExecution(1.0, 1.5, seed=1)
+        assert model.duration(SID, 0, 2.0) >= 2.0
+
+    @pytest.mark.parametrize("lo,hi", [(0.0, 1.0), (-1.0, 1.0), (0.9, 0.5)])
+    def test_bad_bounds_rejected(self, lo, hi):
+        with pytest.raises(ConfigurationError):
+            UniformScaledExecution(lo, hi)
+
+
+class TestTruncatedNormal:
+    def test_never_exceeds_wcet(self):
+        model = TruncatedNormalExecution(0.9, 0.5, seed=11)
+        assert all(
+            model.duration(SID, i, 7.0) <= 7.0 for i in range(500)
+        )
+
+    def test_always_positive(self):
+        model = TruncatedNormalExecution(0.1, 0.5, seed=11)
+        assert all(model.duration(SID, i, 7.0) > 0 for i in range(500))
+
+    def test_bad_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedNormalExecution(mean_fraction=0.0)
+
+    def test_bad_std_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedNormalExecution(std_fraction=-0.1)
+
+
+class TestOverrunInjection:
+    def test_targets_only_selected_subtask(self):
+        model = OverrunInjection(SID, factor=2.0)
+        assert model.duration(SID, 0, 3.0) == 6.0
+        assert model.duration(OTHER, 0, 3.0) == 3.0
+
+    def test_every_k_instances(self):
+        model = OverrunInjection(SID, factor=2.0, every=3)
+        durations = [model.duration(SID, i, 1.0) for i in range(6)]
+        assert durations == [2.0, 1.0, 1.0, 2.0, 1.0, 1.0]
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OverrunInjection(SID, factor=0.0)
+
+    def test_bad_every_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OverrunInjection(SID, factor=2.0, every=0)
+
+
+class TestReleaseJitter:
+    def test_no_jitter_is_zero(self):
+        assert NoJitter().jitter(0, 5) == 0.0
+
+    def test_uniform_jitter_bounded(self):
+        model = UniformReleaseJitter(3.0, seed=5)
+        values = [model.jitter(0, i) for i in range(200)]
+        assert all(0.0 <= v <= 3.0 for v in values)
+        assert max(values) > 1.0  # actually varies
+
+    def test_zero_bound_degenerates(self):
+        model = UniformReleaseJitter(0.0, seed=5)
+        assert model.jitter(0, 0) == 0.0
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformReleaseJitter(-1.0)

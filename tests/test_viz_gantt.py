@@ -1,0 +1,70 @@
+"""Unit tests for ASCII Gantt rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_protocol
+from repro.errors import ConfigurationError
+from repro.viz.gantt import render_gantt
+
+
+class TestRenderGantt:
+    def _trace(self, example2, protocol="DS", horizon=24.0):
+        return run_protocol(
+            example2, protocol, horizon=horizon, record_segments=True
+        ).trace
+
+    def test_contains_processor_headers(self, example2):
+        text = render_gantt(self._trace(example2))
+        assert "-- P1" in text
+        assert "-- P2" in text
+
+    def test_contains_subtask_labels(self, example2):
+        text = render_gantt(self._trace(example2))
+        for label in ("T1", "T2,1", "T2,2", "T3"):
+            assert label in text
+
+    def test_deadline_misses_reported_for_ds(self, example2):
+        text = render_gantt(self._trace(example2, "DS"))
+        assert "deadline misses" in text
+        assert "T3" in text
+
+    def test_no_miss_line_for_rg_t3(self, example2):
+        text = render_gantt(self._trace(example2, "RG", horizon=12.0))
+        # T2 misses under every protocol; T3 must not be listed under RG.
+        miss_line = [
+            line for line in text.splitlines() if "deadline misses" in line
+        ]
+        if miss_line:
+            assert "T3" not in miss_line[0]
+
+    def test_execution_blocks_present(self, example2):
+        text = render_gantt(self._trace(example2))
+        assert "#" in text
+
+    def test_release_markers_present(self, example2):
+        text = render_gantt(self._trace(example2))
+        assert "^" in text
+
+    def test_release_markers_suppressible(self, example2):
+        text = render_gantt(self._trace(example2), show_releases=False)
+        assert "^" not in text
+
+    def test_axis_ticks(self, example2):
+        text = render_gantt(self._trace(example2), until=12.0)
+        assert "0" in text and "10" in text
+
+    def test_until_truncates(self, example2):
+        short = render_gantt(self._trace(example2), until=8.0)
+        long = render_gantt(self._trace(example2), until=20.0)
+        assert len(short.splitlines()[1]) < len(long.splitlines()[1])
+
+    def test_requires_segments(self, example2):
+        result = run_protocol(example2, "DS", horizon=12.0)
+        with pytest.raises(ConfigurationError, match="no recorded segments"):
+            render_gantt(result.trace)
+
+    def test_bad_until(self, example2):
+        with pytest.raises(ConfigurationError):
+            render_gantt(self._trace(example2), until=0.0)

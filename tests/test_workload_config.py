@@ -1,0 +1,86 @@
+"""Unit tests for workload configurations and the paper grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.config import PAPER_GRID, WorkloadConfig, paper_grid
+
+
+class TestWorkloadConfig:
+    def test_defaults_match_paper(self):
+        config = WorkloadConfig(subtasks_per_task=5, utilization=0.6)
+        assert config.processors == 4
+        assert config.tasks == 12
+        assert config.period_min == 100.0
+        assert config.period_max == 10_000.0
+        assert config.priority_policy == "pd-monotonic"
+        assert not config.random_phases
+
+    def test_label_uses_paper_notation(self):
+        config = WorkloadConfig(subtasks_per_task=5, utilization=0.6)
+        assert config.label == "(5,60)"
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_bad_subtask_count(self, bad):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(subtasks_per_task=bad, utilization=0.5)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_bad_utilization(self, bad):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(subtasks_per_task=2, utilization=bad)
+
+    def test_chains_need_two_processors(self):
+        with pytest.raises(ConfigurationError, match="at least 2 processors"):
+            WorkloadConfig(subtasks_per_task=3, utilization=0.5, processors=1)
+
+    def test_single_stage_single_processor_allowed(self):
+        config = WorkloadConfig(
+            subtasks_per_task=1, utilization=0.5, processors=1
+        )
+        assert config.processors == 1
+
+    def test_bad_period_range(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(
+                subtasks_per_task=2,
+                utilization=0.5,
+                period_min=100.0,
+                period_max=50.0,
+            )
+
+    def test_bad_weight_range(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(
+                subtasks_per_task=2,
+                utilization=0.5,
+                weight_min=0.0,
+            )
+
+    def test_with_random_phases(self):
+        config = WorkloadConfig(subtasks_per_task=2, utilization=0.5)
+        flipped = config.with_random_phases()
+        assert flipped.random_phases
+        assert not config.random_phases
+        assert flipped.subtasks_per_task == 2
+
+
+class TestPaperGrid:
+    def test_full_grid_has_35_configurations(self):
+        assert len(PAPER_GRID) == 35
+
+    def test_grid_axes(self):
+        ns = sorted({c.subtasks_per_task for c in PAPER_GRID})
+        us = sorted({round(c.utilization * 100) for c in PAPER_GRID})
+        assert ns == [2, 3, 4, 5, 6, 7, 8]
+        assert us == [50, 60, 70, 80, 90]
+
+    def test_subgrid(self):
+        grid = paper_grid(subtask_counts=(2, 4), utilizations=(0.5,))
+        assert len(grid) == 2
+
+    def test_overrides_apply_to_all(self):
+        grid = paper_grid(subtask_counts=(2,), utilizations=(0.5,), tasks=6)
+        assert grid[0].tasks == 6

@@ -1,0 +1,91 @@
+"""Unit tests for the generator's statistical ingredients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.distributions import split_utilization, truncated_exponential
+
+
+class TestTruncatedExponential:
+    def test_values_within_range(self):
+        rng = np.random.default_rng(0)
+        values = truncated_exponential(rng, 100.0, 10_000.0, 3300.0, size=5000)
+        assert values.min() >= 100.0
+        assert values.max() <= 10_000.0
+
+    def test_scalar_when_size_omitted(self):
+        rng = np.random.default_rng(0)
+        value = truncated_exponential(rng, 100.0, 10_000.0, 3300.0)
+        assert isinstance(value, float)
+        assert 100.0 <= value <= 10_000.0
+
+    def test_skews_toward_short_periods(self):
+        """The paper wants 'more variation than uniform': the exponential
+        puts well over half its mass below the range midpoint."""
+        rng = np.random.default_rng(1)
+        values = truncated_exponential(rng, 100.0, 10_000.0, 3300.0, size=5000)
+        assert np.mean(values < 5050.0) > 0.65
+
+    def test_larger_scale_flattens(self):
+        rng = np.random.default_rng(2)
+        peaked = truncated_exponential(rng, 100.0, 10_000.0, 500.0, size=4000)
+        rng = np.random.default_rng(2)
+        flat = truncated_exponential(rng, 100.0, 10_000.0, 1e9, size=4000)
+        assert peaked.mean() < flat.mean()
+        # Near-infinite scale degenerates to uniform: mean near midpoint.
+        assert flat.mean() == pytest.approx(5050.0, rel=0.05)
+
+    def test_reproducible(self):
+        a = truncated_exponential(
+            np.random.default_rng(9), 100.0, 10_000.0, 3300.0, size=10
+        )
+        b = truncated_exponential(
+            np.random.default_rng(9), 100.0, 10_000.0, 3300.0, size=10
+        )
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "low,high,scale",
+        [(0.0, 10.0, 1.0), (10.0, 5.0, 1.0), (1.0, 2.0, 0.0)],
+    )
+    def test_bad_parameters(self, low, high, scale):
+        with pytest.raises(ConfigurationError):
+            truncated_exponential(np.random.default_rng(0), low, high, scale)
+
+
+class TestSplitUtilization:
+    def test_shares_sum_to_total(self):
+        rng = np.random.default_rng(3)
+        shares = split_utilization(rng, 0.8, 7)
+        assert sum(shares) == pytest.approx(0.8)
+
+    def test_all_shares_positive(self):
+        rng = np.random.default_rng(3)
+        assert all(s > 0 for s in split_utilization(rng, 0.5, 20))
+
+    def test_single_part_gets_everything(self):
+        rng = np.random.default_rng(3)
+        assert split_utilization(rng, 0.6, 1) == [pytest.approx(0.6)]
+
+    def test_zero_total_allowed(self):
+        rng = np.random.default_rng(3)
+        assert split_utilization(rng, 0.0, 3) == [0.0, 0.0, 0.0]
+
+    def test_weight_bounds_cap_imbalance(self):
+        """With weights in [0.001, 1] a single subtask can dominate by at
+        most a factor of 1000 over another."""
+        rng = np.random.default_rng(4)
+        shares = split_utilization(rng, 1.0, 50, 0.001, 1.0)
+        assert max(shares) / min(shares) <= 1000.0 + 1e-6
+
+    @pytest.mark.parametrize("parts", [0, -2])
+    def test_bad_parts(self, parts):
+        with pytest.raises(ConfigurationError):
+            split_utilization(np.random.default_rng(0), 0.5, parts)
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_utilization(np.random.default_rng(0), -0.5, 3)

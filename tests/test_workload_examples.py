@@ -1,0 +1,69 @@
+"""Unit tests for the paper's worked examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.task import SubtaskId
+from repro.workload.examples import example_two, monitor_task_example
+
+
+class TestExampleTwo:
+    def test_matches_figure_two(self):
+        system = example_two()
+        t1, t2, t3 = system.tasks
+        assert (t1.period, t1.subtasks[0].execution_time) == (4.0, 2.0)
+        assert (t2.period, t2.subtasks[0].execution_time) == (6.0, 2.0)
+        assert t2.subtasks[1].execution_time == 3.0
+        assert (t3.period, t3.subtasks[0].execution_time) == (6.0, 2.0)
+        assert t3.phase == 4.0
+
+    def test_priorities_match_figure_two(self):
+        system = example_two()
+        # On P1: T1 above T2,1; on P2: T2,2 above T3.
+        assert system.subtask(SubtaskId(0, 0)).priority < system.subtask(
+            SubtaskId(1, 0)
+        ).priority
+        assert system.subtask(SubtaskId(1, 1)).priority < system.subtask(
+            SubtaskId(2, 0)
+        ).priority
+
+    def test_placement(self):
+        system = example_two()
+        assert system.subtasks_on("P1") == (SubtaskId(0, 0), SubtaskId(1, 0))
+        assert system.subtasks_on("P2") == (SubtaskId(1, 1), SubtaskId(2, 0))
+
+    def test_deadlines_equal_periods(self):
+        for task in example_two().tasks:
+            assert task.relative_deadline == task.period
+
+
+class TestMonitorExample:
+    def test_three_stages_three_processors(self):
+        system = monitor_task_example()
+        task = system.tasks[0]
+        assert task.chain_length == 3
+        assert task.processors() == ("field", "link", "central")
+
+    def test_stage_names_from_figure_one(self):
+        system = monitor_task_example()
+        names = [stage.name for stage in system.tasks[0].subtasks]
+        assert names == ["sample", "transfer", "display"]
+
+    def test_custom_timings(self):
+        system = monitor_task_example(
+            period=50.0, sample_time=1.0, transfer_time=2.0, display_time=3.0
+        )
+        task = system.tasks[0]
+        assert task.period == 50.0
+        assert task.total_execution_time == pytest.approx(6.0)
+
+    def test_schedulable_under_every_protocol(self):
+        from repro.api import compare_protocols
+
+        results = compare_protocols(
+            monitor_task_example(), ("DS", "PM", "MPM", "RG"), horizon=200.0
+        )
+        for result in results.values():
+            assert result.metrics.task(0).deadline_misses == 0
+            assert result.metrics.precedence_violations == 0

@@ -1,0 +1,138 @@
+"""Unit tests for the Section 5.1 synthetic workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.model.validation import check_consecutive_placement
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_batch, generate_system
+
+
+@pytest.fixture
+def config() -> WorkloadConfig:
+    return WorkloadConfig(subtasks_per_task=4, utilization=0.7)
+
+
+class TestStructure:
+    def test_task_and_chain_counts(self, config):
+        system = generate_system(config, seed=0)
+        assert len(system.tasks) == 12
+        assert all(t.chain_length == 4 for t in system.tasks)
+
+    def test_processor_count(self, config):
+        system = generate_system(config, seed=0)
+        assert len(system.processors) == 4
+
+    def test_no_consecutive_colocation(self, config):
+        for seed in range(10):
+            system = generate_system(config, seed=seed)
+            assert check_consecutive_placement(system) == []
+
+    def test_periods_within_paper_range(self, config):
+        system = generate_system(config, seed=1)
+        for task in system.tasks:
+            assert 100.0 <= task.period <= 10_000.0
+
+    def test_every_processor_hits_target_utilization(self, config):
+        system = generate_system(config, seed=2)
+        for utilization in system.utilizations().values():
+            assert utilization == pytest.approx(0.7)
+
+    def test_phases_zero_without_random_phases(self, config):
+        system = generate_system(config, seed=3)
+        assert all(t.phase == 0.0 for t in system.tasks)
+
+    def test_random_phases_within_period(self):
+        config = WorkloadConfig(
+            subtasks_per_task=3, utilization=0.5, random_phases=True
+        )
+        system = generate_system(config, seed=3)
+        assert any(t.phase > 0 for t in system.tasks)
+        for task in system.tasks:
+            assert 0.0 <= task.phase < task.period
+
+    def test_priorities_are_pd_monotonic(self, config):
+        from repro.model.priority import proportional_deadline
+
+        system = generate_system(config, seed=4)
+        for processor in system.processors:
+            local = system.subtasks_on(processor)
+            ordered = sorted(local, key=lambda sid: system.subtask(sid).priority)
+            deadlines = [proportional_deadline(system, sid) for sid in ordered]
+            assert deadlines == sorted(deadlines)
+
+    def test_alternative_policy_honoured(self):
+        config = WorkloadConfig(
+            subtasks_per_task=2,
+            utilization=0.5,
+            priority_policy="rate-monotonic",
+        )
+        system = generate_system(config, seed=0)
+        for processor in system.processors:
+            local = sorted(
+                system.subtasks_on(processor),
+                key=lambda sid: system.subtask(sid).priority,
+            )
+            periods = [system.period_of(sid) for sid in local]
+            assert periods == sorted(periods)
+
+
+class TestDeterminism:
+    def test_same_seed_same_system(self, config):
+        a = generate_system(config, seed=11)
+        b = generate_system(config, seed=11)
+        assert a.tasks == b.tasks
+
+    def test_different_seed_different_system(self, config):
+        a = generate_system(config, seed=11)
+        b = generate_system(config, seed=12)
+        assert a.tasks != b.tasks
+
+    def test_batch_uses_consecutive_seeds(self, config):
+        batch = generate_batch(config, 3, base_seed=5)
+        singles = [generate_system(config, seed=5 + k) for k in range(3)]
+        assert [s.tasks for s in batch] == [s.tasks for s in singles]
+
+    def test_negative_count_rejected(self, config):
+        with pytest.raises(WorkloadError):
+            generate_batch(config, -1)
+
+    def test_empty_batch(self, config):
+        assert generate_batch(config, 0) == []
+
+
+class TestEdgeCases:
+    def test_single_stage_tasks(self):
+        config = WorkloadConfig(subtasks_per_task=1, utilization=0.5)
+        system = generate_system(config, seed=0)
+        assert all(t.chain_length == 1 for t in system.tasks)
+
+    def test_two_processors_alternate(self):
+        config = WorkloadConfig(
+            subtasks_per_task=5, utilization=0.5, processors=2, tasks=3
+        )
+        system = generate_system(config, seed=0)
+        for task in system.tasks:
+            processors = task.processors()
+            assert all(
+                a != b for a, b in zip(processors, processors[1:])
+            )
+
+    def test_impossible_coverage_raises(self):
+        # One single-stage task cannot cover four processors.
+        config = WorkloadConfig(
+            subtasks_per_task=1, utilization=0.5, tasks=1, processors=4
+        )
+        with pytest.raises(WorkloadError, match="could not place"):
+            generate_system(config, seed=0)
+
+    def test_name_override(self, config):
+        system = generate_system(config, seed=0, name="bespoke")
+        assert system.name == "bespoke"
+
+    def test_default_name_mentions_config_and_seed(self, config):
+        system = generate_system(config, seed=7)
+        assert "(4,70)" in system.name
+        assert "seed7" in system.name
