@@ -19,7 +19,13 @@ Quickstart::
 """
 
 from repro.advisor import Recommendation, recommend_protocol
-from repro.api import analyze, compare_protocols, run_protocol
+from repro.api import (
+    admit,
+    admit_many,
+    analyze,
+    compare_protocols,
+    run_protocol,
+)
 from repro.core.analysis import (
     FAILURE_FACTOR,
     AnalysisResult,
@@ -51,6 +57,13 @@ from repro.model import (
     proportional_deadline_monotonic,
     validate_system,
 )
+from repro.service import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionRequest,
+    DecisionCache,
+    ServiceMetrics,
+)
 from repro.sim import SimulationResult, Trace, simulate
 from repro.workload import (
     PAPER_GRID,
@@ -64,9 +77,13 @@ from repro.workload import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionRequest",
     "AnalysisError",
     "AnalysisResult",
     "ConfigurationError",
+    "DecisionCache",
     "DirectSynchronization",
     "FAILURE_FACTOR",
     "ModelError",
@@ -79,6 +96,7 @@ __all__ = [
     "ReleaseGuard",
     "ReproError",
     "recommend_protocol",
+    "ServiceMetrics",
     "SimulationError",
     "SimulationResult",
     "Subtask",
@@ -88,6 +106,8 @@ __all__ = [
     "Trace",
     "WorkloadConfig",
     "WorkloadError",
+    "admit",
+    "admit_many",
     "analyze",
     "analyze_sa_ds",
     "analyze_sa_pm",

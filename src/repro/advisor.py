@@ -66,6 +66,8 @@ def recommend_protocol(
     wcets_trusted: bool = True,
     clock_sync_available: bool = False,
     strictly_periodic_arrivals: bool = False,
+    sa_pm: AnalysisResult | None = None,
+    sa_ds: AnalysisResult | None = None,
 ) -> Recommendation:
     """Choose a synchronization protocol for ``system``, paper-style.
 
@@ -74,9 +76,16 @@ def recommend_protocol(
     latency, can the WCETs be trusted (PM/MPM's timers act on them
     blindly), and does the platform offer synchronized clocks and
     strictly periodic arrivals (PM's extra requirements)?
+
+    Callers that already hold the analyses (e.g. the admission-control
+    engine, which needs them for its own verdict) may pass them as
+    ``sa_pm`` / ``sa_ds`` to avoid recomputing; both must describe
+    ``system`` itself.
     """
-    sa_pm = analyze_sa_pm(system)
-    sa_ds = analyze_sa_ds(system)
+    if sa_pm is None:
+        sa_pm = analyze_sa_pm(system)
+    if sa_ds is None:
+        sa_ds = analyze_sa_ds(system)
     ratio = _worst_ratio(sa_pm, sa_ds)
 
     if jitter_sensitive and wcets_trusted:

@@ -7,7 +7,7 @@ underlying pieces (:mod:`repro.core`, :mod:`repro.sim`,
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.analysis.results import AnalysisResult
 from repro.core.analysis.sa_ds import analyze_sa_ds
@@ -20,7 +20,13 @@ from repro.sim.network import SignalLatencyModel
 from repro.sim.simulator import SimulationResult, simulate
 from repro.sim.variation import ExecutionModel, ReleaseJitterModel
 
-__all__ = ["run_protocol", "analyze", "compare_protocols"]
+__all__ = [
+    "run_protocol",
+    "analyze",
+    "compare_protocols",
+    "admit",
+    "admit_many",
+]
 
 
 def run_protocol(
@@ -88,3 +94,43 @@ def compare_protocols(
         protocol: run_protocol(system, protocol, **simulate_kwargs)
         for protocol in protocols
     }
+
+
+def admit(system: System, **options):
+    """Admission-control verdict for one system, in one call.
+
+    Options are :class:`~repro.service.requests.AdmissionRequest`
+    fields (``protocols``, ``jitter_sensitive``, ...).  This computes
+    from scratch every time; sustained traffic should hold a
+    :class:`~repro.service.engine.AdmissionController`, which memoizes
+    decisions through a content-hash cache.  Returns an
+    :class:`~repro.service.requests.AdmissionDecision`.
+    """
+    # Imported lazily: repro.service pulls in repro.io, whose
+    # experiment-surface types import this module right back.
+    from repro.service.engine import compute_decision
+    from repro.service.requests import AdmissionRequest
+
+    return compute_decision(AdmissionRequest(system=system, **options))
+
+
+def admit_many(
+    systems: Sequence[System] | Iterable[System],
+    *,
+    workers: int | None = None,
+    cache=None,
+    **options,
+) -> list:
+    """Batch admission over a process pool; decisions in input order.
+
+    ``options`` apply to every system; pass a
+    :class:`~repro.service.cache.DecisionCache` to reuse decisions
+    across calls (and across duplicate systems within one call).
+    """
+    from repro.service.batch import admit_batch
+    from repro.service.requests import AdmissionRequest
+
+    requests = [
+        AdmissionRequest(system=system, **options) for system in systems
+    ]
+    return admit_batch(requests, cache=cache, workers=workers)

@@ -14,6 +14,12 @@ Subcommands
     The full evaluation sweep: Figures 12-16 as text surfaces.
 ``figure``
     One figure's surface only (12..16).
+``admit``
+    Admission control: decide one saved system, or a JSONL batch of
+    requests, with caching, persistence and a process pool.
+``admit-bench``
+    Self-benchmark of the admission service: cold vs warm cache
+    throughput on a synthetic batch.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from repro.api import run_protocol
 from repro.core.analysis.sa_ds import analyze_sa_ds
 from repro.core.analysis.sa_pm import analyze_sa_pm
 from repro.core.protocols.costs import PROTOCOL_COSTS
+from repro.errors import ConfigurationError
 from repro.experiments.evaluation import DEFAULT_PROTOCOLS
 from repro.experiments.expectations import check_suite, render_report
 from repro.experiments.figures import (
@@ -42,6 +49,13 @@ from repro.io import (
     load_system,
     save_system,
     surface_to_csv,
+)
+from repro.service import (
+    AdmissionController,
+    AdmissionRequest,
+    DecisionCache,
+    request_from_dict,
+    save_decisions_jsonl,
 )
 from repro.viz.gantt import render_gantt
 from repro.workload.config import WorkloadConfig, paper_grid
@@ -157,6 +171,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         horizon_periods=args.horizon_periods,
         progress=_progress,
         grid_overrides={"tasks": args.tasks, "processors": args.processors},
+        workers=args.workers,
     )
     print(result.render(show_ci=args.ci))
     if args.check:
@@ -220,6 +235,195 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_admission_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--protocols",
+        nargs="+",
+        choices=("DS", "PM", "MPM", "RG"),
+        default=["DS", "PM", "MPM", "RG"],
+        help="candidate protocols (default: all four)",
+    )
+    parser.add_argument(
+        "--jitter-sensitive", action="store_true",
+        help="output jitter matters more than average latency",
+    )
+    parser.add_argument(
+        "--untrusted-wcets", action="store_true",
+        help="WCETs may be exceeded (rules out the timer protocols)",
+    )
+    parser.add_argument(
+        "--clock-sync", action="store_true",
+        help="the platform offers synchronized clocks",
+    )
+    parser.add_argument(
+        "--periodic-arrivals", action="store_true",
+        help="arrivals are strictly periodic",
+    )
+    parser.add_argument(
+        "--sa-ds-max-iterations", type=int, default=300,
+        help="SA/DS fixed-point iteration budget (paper: 300)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width for batch misses (default: CPU count)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="LRU decision-cache capacity (default: 4096)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="recompute every decision"
+    )
+    parser.add_argument(
+        "--cache-file", default=None,
+        help="warm-start the cache from this JSONL file and persist back",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print service metrics and cache stats to stderr",
+    )
+
+
+def _admission_options(args: argparse.Namespace) -> dict:
+    return {
+        "protocols": tuple(args.protocols),
+        "jitter_sensitive": args.jitter_sensitive,
+        "wcets_trusted": not args.untrusted_wcets,
+        "clock_sync_available": args.clock_sync,
+        "strictly_periodic_arrivals": args.periodic_arrivals,
+        "sa_ds_max_iterations": args.sa_ds_max_iterations,
+    }
+
+
+def _make_controller(args: argparse.Namespace) -> AdmissionController:
+    if args.no_cache:
+        return AdmissionController(enable_cache=False)
+    cache = DecisionCache(capacity=args.cache_size, path=args.cache_file)
+    return AdmissionController(cache=cache)
+
+
+def _load_admit_requests(
+    path: str, options: dict
+) -> list[AdmissionRequest]:
+    """One request per JSONL line.
+
+    Bare ``repro-system-v1`` lines take the command-line options; full
+    ``repro-admission-request-v1`` lines carry their own.
+    """
+    from repro.io import system_from_dict
+
+    requests = []
+    for number, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            document = json.loads(line)
+            if document.get("format") == "repro-system-v1":
+                requests.append(
+                    AdmissionRequest(
+                        system=system_from_dict(document),
+                        request_id=str(number),
+                        **options,
+                    )
+                )
+            else:
+                requests.append(request_from_dict(document))
+        except ConfigurationError:
+            raise
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"{path}:{number}: bad request line: {exc}"
+            ) from exc
+    return requests
+
+
+def _cmd_admit(args: argparse.Namespace) -> int:
+    if (args.load is None) == (args.jsonl is None):
+        print(
+            "admit: need exactly one of --load FILE or --jsonl FILE",
+            file=sys.stderr,
+        )
+        return 2
+    options = _admission_options(args)
+    controller = _make_controller(args)
+    if args.load is not None:
+        requests = [
+            AdmissionRequest(system=load_system(args.load), **options)
+        ]
+    else:
+        requests = _load_admit_requests(args.jsonl, options)
+    decisions = controller.admit_batch(
+        requests,
+        workers=args.workers,
+        progress=_progress if args.jsonl is not None else None,
+    )
+    if args.out is not None:
+        save_decisions_jsonl(decisions, args.out)
+        print(
+            f"wrote {len(decisions)} decisions to {args.out}",
+            file=sys.stderr,
+        )
+    for decision in decisions:
+        print(decision.describe())
+    if controller.cache is not None and args.cache_file is not None:
+        controller.cache.save()
+        print(f"persisted cache to {args.cache_file}", file=sys.stderr)
+    if args.stats:
+        print(controller.describe(), file=sys.stderr)
+    return 0
+
+
+def _cmd_admit_bench(args: argparse.Namespace) -> int:
+    import time
+
+    config = WorkloadConfig(
+        subtasks_per_task=args.n,
+        utilization=args.u,
+        tasks=args.tasks,
+        processors=args.processors,
+    )
+    options = _admission_options(args)
+    requests = [
+        AdmissionRequest(
+            system=generate_system(config, args.seed + offset),
+            request_id=str(offset),
+            **options,
+        )
+        for offset in range(args.systems)
+    ]
+    controller = _make_controller(args)
+    started = time.perf_counter()
+    cold = controller.admit_batch(requests, workers=args.workers)
+    cold_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    warm = controller.admit_batch(requests, workers=args.workers)
+    warm_seconds = time.perf_counter() - started
+    if [d.protocol for d in cold] != [d.protocol for d in warm]:
+        print("admit-bench: warm decisions diverged!", file=sys.stderr)
+        return 1
+    admitted = sum(1 for d in cold if d.admitted)
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    print(
+        f"admission throughput ({args.systems} systems, "
+        f"{config.label}, workers={args.workers or 'auto'}):"
+    )
+    print(
+        f"  cold cache: {cold_seconds:.3f} s "
+        f"({args.systems / cold_seconds:.1f} admissions/s)"
+    )
+    print(
+        f"  warm cache: {warm_seconds:.3f} s "
+        f"({args.systems / warm_seconds:.1f} admissions/s)"
+    )
+    print(f"  speedup: {speedup:.1f}x")
+    print(f"  admitted: {admitted}/{args.systems}")
+    if args.stats:
+        print(controller.describe(), file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-rts",
@@ -258,6 +462,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = subparsers.add_parser("suite", help="reproduce Figures 12-16")
     _add_grid_options(p)
     p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "evaluate over N worker processes (same numbers, any N); "
+            "default: serial"
+        ),
+    )
+    p.add_argument(
         "--check",
         action="store_true",
         help="verify the paper-shape expectations on the result",
@@ -279,6 +492,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("number", type=int, choices=(12, 13, 14, 15, 16))
     _add_grid_options(p)
     p.set_defaults(handler=_cmd_figure)
+
+    p = subparsers.add_parser(
+        "admit", help="admission-control a saved system or a JSONL batch"
+    )
+    p.add_argument(
+        "--load", default=None, help="decide one saved system JSON"
+    )
+    p.add_argument(
+        "--jsonl",
+        default=None,
+        help=(
+            "decide a batch: one JSON document per line, each either a "
+            "saved system or a full admission request"
+        ),
+    )
+    p.add_argument(
+        "--out", default=None, help="write decisions as JSONL to this file"
+    )
+    _add_admission_options(p)
+    p.set_defaults(handler=_cmd_admit)
+
+    p = subparsers.add_parser(
+        "admit-bench",
+        help="cold vs warm cache admission throughput self-benchmark",
+    )
+    p.add_argument(
+        "--systems", type=int, default=100, help="batch size (default: 100)"
+    )
+    p.add_argument("--n", type=int, default=3, help="subtasks per task")
+    p.add_argument("--u", type=float, default=0.6, help="utilization")
+    p.add_argument("--tasks", type=int, default=8)
+    p.add_argument("--processors", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0, help="base seed")
+    _add_admission_options(p)
+    p.set_defaults(handler=_cmd_admit_bench)
 
     return parser
 

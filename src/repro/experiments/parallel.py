@@ -43,7 +43,7 @@ def parallel_sweep_grid(
     ``workers`` defaults to the CPU count.  Results are keyed and
     ordered exactly like the serial sweep; all randomness remains bound
     to explicit seeds inside each job, so parallelism cannot change any
-    number.
+    number.  ``progress`` fires once per completed system evaluation.
     """
     if not configs:
         raise ConfigurationError("sweep needs at least one configuration")
@@ -66,7 +66,7 @@ def parallel_sweep_grid(
         for config, seed, record in iterator:
             results[config][seed] = record
             completed += 1
-            if progress is not None and completed % systems == 0:
+            if progress is not None:
                 progress(f"{completed}/{len(jobs)} systems evaluated")
     else:
         with ProcessPoolExecutor(max_workers=worker_count) as pool:
@@ -75,7 +75,7 @@ def parallel_sweep_grid(
             ):
                 results[config][seed] = record
                 completed += 1
-                if progress is not None and completed % systems == 0:
+                if progress is not None:
                     progress(f"{completed}/{len(jobs)} systems evaluated")
     return {
         config: tuple(

@@ -131,6 +131,7 @@ def run_suite(
     random_phases: bool = True,
     progress: Callable[[str], None] | None = None,
     grid_overrides: Mapping[str, object] | None = None,
+    workers: int | None = None,
 ) -> SuiteResult:
     """Reproduce Figures 12-16 over the (N, U) grid.
 
@@ -138,7 +139,9 @@ def run_suite(
     configuration (1000 in the paper), random task phases for the
     simulations, Algorithm SA/PM and SA/DS for the bounds.  Pass
     ``grid_overrides`` (e.g. ``{"tasks": 6}``) to shrink the synthetic
-    systems themselves.
+    systems themselves.  ``workers`` (when not 1) routes the sweep
+    through :func:`repro.experiments.parallel.parallel_sweep_grid`;
+    every number is identical to the serial sweep regardless.
     """
     overrides = dict(grid_overrides or {})
     overrides.setdefault("random_phases", random_phases)
@@ -147,13 +150,19 @@ def run_suite(
         utilizations=tuple(utilizations),
         **overrides,
     )
-    evaluations = sweep_grid(
-        configs,
-        systems,
+    sweep_kwargs = dict(
         base_seed=base_seed,
         progress=progress,
         protocols=DEFAULT_PROTOCOLS,
         horizon_periods=horizon_periods,
         sa_ds_max_iterations=sa_ds_max_iterations,
     )
+    if workers is None or workers == 1:
+        evaluations = sweep_grid(configs, systems, **sweep_kwargs)
+    else:
+        from repro.experiments.parallel import parallel_sweep_grid
+
+        evaluations = parallel_sweep_grid(
+            configs, systems, workers=workers, **sweep_kwargs
+        )
     return suite_from_evaluations(evaluations)

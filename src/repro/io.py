@@ -20,6 +20,8 @@ from repro.model.system import System
 from repro.model.task import Subtask, Task
 
 __all__ = [
+    "encode_bound",
+    "decode_bound",
     "system_to_dict",
     "system_from_dict",
     "save_system",
@@ -37,12 +39,19 @@ __all__ = [
 _FORMAT = "repro-system-v1"
 
 
-def _encode_bound(value: float) -> float | str:
+def encode_bound(value: float) -> float | str:
+    """A bound as a JSON-safe value (infinity becomes ``"inf"``)."""
     return "inf" if math.isinf(value) else value
 
 
-def _decode_bound(value: float | str) -> float:
+def decode_bound(value: float | str) -> float:
+    """Inverse of :func:`encode_bound`."""
     return math.inf if value == "inf" else float(value)
+
+
+# Backwards-compatible internal aliases.
+_encode_bound = encode_bound
+_decode_bound = decode_bound
 
 
 # ---------------------------------------------------------------------------

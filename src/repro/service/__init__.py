@@ -1,0 +1,67 @@
+"""Admission control: schedulability analysis served as a decision API.
+
+The paper's analyses decide *offline* whether a distributed task set is
+schedulable under DS/PM/MPM/RG; an online admission controller answers
+exactly that query, at scale.  This package productizes the decision
+procedure:
+
+* :mod:`repro.service.requests` -- request/decision dataclasses with
+  JSON(L) codecs;
+* :mod:`repro.service.hashing` -- canonical, process-stable content
+  keys (SHA-256 over canonical JSON);
+* :mod:`repro.service.cache` -- a thread-safe LRU decision cache with
+  stats and JSONL persistence for warm restarts;
+* :mod:`repro.service.engine` -- the :class:`AdmissionController`
+  (analyses + Section 6 advisor behind the cache);
+* :mod:`repro.service.batch` -- batch admission over a process pool
+  with deterministic output order;
+* :mod:`repro.service.metrics` -- counters and latency percentiles.
+
+Quickstart::
+
+    from repro.service import AdmissionController, AdmissionRequest
+
+    controller = AdmissionController()
+    decision = controller.admit(AdmissionRequest(system=my_system))
+    if decision.admitted:
+        deploy(my_system, protocol=decision.protocol)
+"""
+
+from repro.service.batch import admit_batch
+from repro.service.cache import CacheStats, DecisionCache
+from repro.service.engine import AdmissionController, compute_decision
+from repro.service.hashing import request_key, system_key
+from repro.service.metrics import ServiceMetrics
+from repro.service.requests import (
+    ALL_PROTOCOLS,
+    AdmissionDecision,
+    AdmissionRequest,
+    decision_from_dict,
+    decision_to_dict,
+    load_decisions_jsonl,
+    load_requests_jsonl,
+    request_from_dict,
+    request_to_dict,
+    save_decisions_jsonl,
+)
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionRequest",
+    "CacheStats",
+    "DecisionCache",
+    "ServiceMetrics",
+    "admit_batch",
+    "compute_decision",
+    "decision_from_dict",
+    "decision_to_dict",
+    "load_decisions_jsonl",
+    "load_requests_jsonl",
+    "request_from_dict",
+    "request_key",
+    "request_to_dict",
+    "save_decisions_jsonl",
+    "system_key",
+]

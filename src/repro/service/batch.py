@@ -1,0 +1,131 @@
+"""Batch admission: fan cache misses over a process pool.
+
+Mirrors the idiom of :mod:`repro.experiments.parallel`: jobs are pure
+functions of picklable inputs, ``ProcessPoolExecutor.map`` preserves
+submission order, and all randomness-free computation makes the result
+independent of the worker count.  On top of that, the batch layer
+
+* serves every request already in the cache without touching the pool,
+* deduplicates identical content *within* the batch (each distinct key
+  is computed exactly once, however often it recurs), and
+* reassembles decisions in request order, so output is deterministic
+  with caching on, off, or warm-started from disk.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.service.cache import DecisionCache
+from repro.service.engine import compute_decision
+from repro.service.hashing import request_key
+from repro.service.metrics import ServiceMetrics
+from repro.service.requests import AdmissionDecision, AdmissionRequest
+
+__all__ = ["admit_batch"]
+
+
+def _compute_job(
+    job: tuple[str, AdmissionRequest]
+) -> tuple[str, AdmissionDecision, float]:
+    """Worker body: (key, request) -> (key, decision, seconds spent)."""
+    key, request = job
+    started = time.perf_counter()
+    decision = compute_decision(request, key=key)
+    return key, decision, time.perf_counter() - started
+
+
+def admit_batch(
+    requests: Sequence[AdmissionRequest] | Iterable[AdmissionRequest],
+    *,
+    cache: DecisionCache | None = None,
+    metrics: ServiceMetrics | None = None,
+    workers: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[AdmissionDecision]:
+    """Decide a batch of requests; returns decisions in request order.
+
+    ``workers`` defaults to the CPU count; ``workers=1`` computes in
+    process (no pool), which is fastest for small batches.  Duplicate
+    request content inside the batch is computed once and accounted as
+    cache hits for the duplicates.  ``progress`` (when given) receives
+    one line per computed (non-cached) decision.
+    """
+    request_list = list(requests)
+    worker_count = workers if workers is not None else (os.cpu_count() or 1)
+    if worker_count < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if not request_list:
+        return []
+
+    decisions: list[AdmissionDecision | None] = [None] * len(request_list)
+    # key -> indices still needing a decision, in first-appearance order.
+    pending: dict[str, list[int]] = {}
+    for index, request in enumerate(request_list):
+        started = time.perf_counter()
+        key = request_key(request)
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            decisions[index] = replace(
+                cached, request_id=request.request_id
+            )
+            if metrics is not None:
+                metrics.record(
+                    admitted=cached.admitted,
+                    cache_hit=True,
+                    latency=time.perf_counter() - started,
+                )
+        else:
+            pending.setdefault(key, []).append(index)
+
+    jobs = [
+        (key, request_list[indices[0]]) for key, indices in pending.items()
+    ]
+    if worker_count == 1 or len(jobs) == 1:
+        outcomes = map(_compute_job, jobs)
+    else:
+        pool = ProcessPoolExecutor(max_workers=worker_count)
+        outcomes = pool.map(
+            _compute_job,
+            jobs,
+            chunksize=max(1, len(jobs) // (8 * worker_count)),
+        )
+
+    computed = 0
+    try:
+        for key, decision, elapsed in outcomes:
+            if cache is not None:
+                cache.put(key, decision)
+            for position, index in enumerate(pending[key]):
+                decisions[index] = replace(
+                    decision, request_id=request_list[index].request_id
+                )
+                if metrics is not None:
+                    # The first occurrence paid the computation; batch
+                    # duplicates ride along as (in-flight) hits.
+                    metrics.record(
+                        admitted=decision.admitted,
+                        cache_hit=position > 0,
+                        latency=elapsed if position == 0 else 0.0,
+                    )
+            computed += 1
+            if progress is not None:
+                progress(
+                    f"{computed}/{len(jobs)} admission decisions computed"
+                )
+    finally:
+        if worker_count > 1 and len(jobs) > 1:
+            pool.shutdown()
+
+    missing = [i for i, d in enumerate(decisions) if d is None]
+    if missing:  # pragma: no cover - guards the reassembly invariant
+        raise ConfigurationError(
+            f"batch admission lost {len(missing)} decision(s), "
+            f"first index {missing[0]}"
+        )
+    return decisions  # type: ignore[return-value]

@@ -1,0 +1,210 @@
+"""A thread-safe LRU cache of admission decisions.
+
+The cache is the service's scaling lever: admission traffic is heavily
+repetitive (the same task set is re-submitted on every reconfiguration
+attempt, rolling restart, or what-if probe), and a decision is a pure
+function of the request content, so a hit replaces a full SA/PM +
+SA/DS run with a dictionary lookup.
+
+Keys are the canonical content hashes of :mod:`repro.service.hashing`.
+Eviction is least-recently-used over a fixed capacity.  Hit, miss and
+eviction counters are kept for capacity planning.  The cache can
+persist itself to a JSONL file (one ``{"key": ..., "decision": ...}``
+object per line) and warm-start from it, so a restarted service reaches
+its steady-state hit rate immediately.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.service.requests import (
+    AdmissionDecision,
+    decision_from_dict,
+    decision_to_dict,
+)
+
+__all__ = ["CacheStats", "DecisionCache"]
+
+_PERSIST_FORMAT = "repro-admission-cache-v1"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of the cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups; 0.0 before the first lookup."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"cache: {self.size}/{self.capacity} entries, "
+            f"{self.hits} hits / {self.misses} misses "
+            f"(rate {self.hit_rate:.1%}), {self.evictions} evictions"
+        )
+
+
+class DecisionCache:
+    """LRU-bounded, thread-safe map from content key to decision.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of decisions retained; the least recently *used*
+        (looked up or stored) entry is evicted first.
+    path:
+        Optional persistence file.  When given and present, the cache
+        warm-starts from it on construction; :meth:`save` rewrites it.
+    """
+
+    def __init__(
+        self, capacity: int = 4096, *, path: str | Path | None = None
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self._capacity = capacity
+        self._entries: OrderedDict[str, AdmissionDecision] = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._path = None if path is None else Path(path)
+        if self._path is not None and self._path.exists():
+            self.load(self._path)
+
+    # ------------------------------------------------------------------
+    # Core map operations
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> AdmissionDecision | None:
+        """The cached decision for ``key``, or None; counts hit/miss."""
+        with self._lock:
+            decision = self._entries.get(key)
+            if decision is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return decision
+
+    def put(self, key: str, decision: AdmissionDecision) -> None:
+        """Store (or refresh) a decision, evicting LRU entries if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = decision
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        """Membership without touching recency or the counters."""
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> tuple[str, ...]:
+        """Current keys, least recently used first."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self._capacity,
+            )
+
+    # ------------------------------------------------------------------
+    # Persistence (warm restarts)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write every entry as JSONL, LRU first (so a smaller-capacity
+        reload keeps the hottest entries).  Returns the path written."""
+        target = Path(path) if path is not None else self._path
+        if target is None:
+            raise ConfigurationError(
+                "no persistence path: pass one to save() or the constructor"
+            )
+        with self._lock:
+            lines = [
+                json.dumps(
+                    {
+                        "format": _PERSIST_FORMAT,
+                        "key": key,
+                        "decision": decision_to_dict(decision),
+                    },
+                    sort_keys=True,
+                )
+                for key, decision in self._entries.items()
+            ]
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return target
+
+    def load(self, path: str | Path) -> int:
+        """Merge entries from a :meth:`save` file; returns the count.
+
+        Lines are applied in file order, so the file's most recently
+        used entries end up most recently used here too.  Unknown or
+        corrupt lines raise :class:`ConfigurationError` -- a cache that
+        silently drops entries would hide real persistence bugs.
+        """
+        loaded = 0
+        for number, line in enumerate(
+            Path(path).read_text().splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                if entry.get("format") != _PERSIST_FORMAT:
+                    raise ConfigurationError(
+                        f"not a {_PERSIST_FORMAT} line "
+                        f"(format={entry.get('format')!r})"
+                    )
+                self.put(entry["key"], decision_from_dict(entry["decision"]))
+            except ConfigurationError:
+                raise
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise ConfigurationError(
+                    f"{path}:{number}: bad cache line: {exc}"
+                ) from exc
+            loaded += 1
+        return loaded

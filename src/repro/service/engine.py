@@ -1,0 +1,197 @@
+"""The admission controller: analyses + advisor behind a cache.
+
+:func:`compute_decision` is the pure decision procedure -- one SA/PM
+run, one SA/DS run, the Section 6 advisor on top -- and
+:class:`AdmissionController` wraps it with content-hash memoization
+(:mod:`repro.service.cache`) and observability
+(:mod:`repro.service.metrics`).  The controller is what a long-running
+service instantiates once and feeds every incoming request.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Iterable, Sequence
+
+from repro.advisor import recommend_protocol
+from repro.core.analysis.sa_ds import analyze_sa_ds
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.model.system import System
+from repro.service.cache import CacheStats, DecisionCache
+from repro.service.hashing import request_key
+from repro.service.metrics import ServiceMetrics
+from repro.service.requests import AdmissionDecision, AdmissionRequest
+
+__all__ = ["AdmissionController", "compute_decision"]
+
+#: Fallback preference when the advisor's pick is unavailable: Theorem 1
+#: gives RG and MPM SA/PM-grade bounds with the fewest platform
+#: assumptions; DS last because its certification is the weakest.
+_FALLBACK_ORDER: tuple[str, ...] = ("RG", "MPM", "PM", "DS")
+
+
+def compute_decision(
+    request: AdmissionRequest, *, key: str | None = None
+) -> AdmissionDecision:
+    """Decide one request from scratch (no cache involved).
+
+    Deterministic: equal request content always produces an equal
+    decision, which is what makes the content-hash cache sound.
+    """
+    system = request.system
+    sa_pm = analyze_sa_pm(system)
+    sa_ds = analyze_sa_ds(
+        system, max_iterations=request.sa_ds_max_iterations
+    )
+    per_analysis = {"SA/PM": sa_pm, "SA/DS": sa_ds}
+    schedulable = {
+        protocol: (
+            sa_ds.schedulable if protocol == "DS" else sa_pm.schedulable
+        )
+        for protocol in request.protocols
+    }
+    recommendation = recommend_protocol(
+        system,
+        jitter_sensitive=request.jitter_sensitive,
+        wcets_trusted=request.wcets_trusted,
+        clock_sync_available=request.clock_sync_available,
+        strictly_periodic_arrivals=request.strictly_periodic_arrivals,
+        sa_pm=sa_pm,
+        sa_ds=sa_ds,
+    )
+    certified = [p for p in request.protocols if schedulable[p]]
+    if not certified:
+        protocol = None
+        rationale = (
+            "no requested protocol certifies every deadline "
+            f"(requested: {', '.join(request.protocols)})"
+        )
+    elif recommendation.protocol in certified:
+        protocol = recommendation.protocol
+        rationale = recommendation.rationale
+    else:
+        protocol = next(p for p in _FALLBACK_ORDER if p in certified)
+        reason = (
+            "is not among the requested protocols"
+            if recommendation.protocol not in request.protocols
+            else "does not certify every deadline here"
+        )
+        rationale = (
+            f"advisor preferred {recommendation.protocol} but it "
+            f"{reason}; falling back to {protocol}, the strongest "
+            "certified requested protocol"
+        )
+    return AdmissionDecision(
+        admitted=bool(certified),
+        protocol=protocol,
+        rationale=rationale,
+        schedulable=schedulable,
+        task_bounds={
+            name: tuple(result.task_bounds)
+            for name, result in per_analysis.items()
+        },
+        worst_bound_ratio=recommendation.worst_bound_ratio,
+        key=key if key is not None else request_key(request),
+        system_name=system.name,
+        request_id=request.request_id,
+    )
+
+
+class AdmissionController:
+    """Schedulability-as-a-service: decide, memoize, observe.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`DecisionCache` to memoize through.  Omit for a fresh
+        default-capacity cache; pass ``enable_cache=False`` to always
+        recompute (the decisions are identical either way).
+    metrics:
+        A :class:`ServiceMetrics` to account into; a fresh one is made
+        when omitted.
+    """
+
+    def __init__(
+        self,
+        cache: DecisionCache | None = None,
+        *,
+        metrics: ServiceMetrics | None = None,
+        enable_cache: bool = True,
+    ) -> None:
+        if cache is None and enable_cache:
+            cache = DecisionCache()
+        self.cache = cache if enable_cache else None
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+
+    # ------------------------------------------------------------------
+    # Single admissions
+    # ------------------------------------------------------------------
+    def admit(self, request: AdmissionRequest) -> AdmissionDecision:
+        """Decide one request, through the cache."""
+        started = time.perf_counter()
+        key = request_key(request)
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                decision = replace(cached, request_id=request.request_id)
+                self.metrics.record(
+                    admitted=decision.admitted,
+                    cache_hit=True,
+                    latency=time.perf_counter() - started,
+                )
+                return decision
+        decision = compute_decision(request, key=key)
+        if self.cache is not None:
+            self.cache.put(key, decision)
+        self.metrics.record(
+            admitted=decision.admitted,
+            cache_hit=False,
+            latency=time.perf_counter() - started,
+        )
+        return decision
+
+    def admit_system(self, system: System, **options) -> AdmissionDecision:
+        """Decide a bare system with request options as keywords."""
+        return self.admit(AdmissionRequest(system=system, **options))
+
+    # ------------------------------------------------------------------
+    # Batch admissions
+    # ------------------------------------------------------------------
+    def admit_batch(
+        self,
+        requests: Sequence[AdmissionRequest] | Iterable[AdmissionRequest],
+        *,
+        workers: int | None = None,
+        progress=None,
+    ) -> list[AdmissionDecision]:
+        """Decide many requests, fanning misses over a process pool.
+
+        See :func:`repro.service.batch.admit_batch`; this controller's
+        cache and metrics are shared with the batch.
+        """
+        from repro.service.batch import admit_batch
+
+        return admit_batch(
+            requests,
+            cache=self.cache,
+            metrics=self.metrics,
+            workers=workers,
+            progress=progress,
+        )
+
+    # ------------------------------------------------------------------
+    # Observability passthroughs
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> CacheStats | None:
+        """The cache's counters, or None when caching is disabled."""
+        return None if self.cache is None else self.cache.stats()
+
+    def describe(self) -> str:
+        """Metrics plus cache stats, for CLI ``--stats`` output."""
+        lines = [self.metrics.describe()]
+        stats = self.cache_stats()
+        lines.append(
+            stats.describe() if stats is not None else "cache: disabled"
+        )
+        return "\n".join(lines)

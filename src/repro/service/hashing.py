@@ -1,0 +1,67 @@
+"""Canonical content hashing of admission requests.
+
+The decision cache must key on request *content*: the same system and
+options must map to the same key in every process, on every run, on
+every machine.  Python's built-in ``hash()`` offers none of that (it is
+salted per process for strings and identity-ish for many objects), so
+keys here are SHA-256 digests of a canonical JSON encoding:
+
+* systems serialize through :func:`repro.io.system_to_dict`, which is
+  lossless and positional (task order is significant in the model, so
+  it is significant in the key);
+* the option fields are emitted under fixed names;
+* ``json.dumps`` runs with sorted keys and fixed separators, and floats
+  serialize via ``repr``, which is exact for IEEE doubles -- two equal
+  systems built independently hash equally, two systems differing in
+  any execution time, period, phase, priority, placement or name do
+  not.
+
+``request_id`` is deliberately excluded: it is correlation metadata,
+not content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.io import system_to_dict
+from repro.model.system import System
+from repro.service.requests import AdmissionRequest
+
+__all__ = ["KEY_FORMAT", "canonical_payload", "request_key", "system_key"]
+
+#: Version tag baked into every key; bump when the payload shape changes
+#: so stale persisted caches miss instead of serving wrong answers.
+KEY_FORMAT = "repro-admission-key-v1"
+
+
+def canonical_payload(request: AdmissionRequest) -> dict[str, Any]:
+    """The exact dictionary that gets hashed (useful for debugging)."""
+    return {
+        "format": KEY_FORMAT,
+        "system": system_to_dict(request.system),
+        "protocols": list(request.protocols),
+        "jitter_sensitive": request.jitter_sensitive,
+        "wcets_trusted": request.wcets_trusted,
+        "clock_sync_available": request.clock_sync_available,
+        "strictly_periodic_arrivals": request.strictly_periodic_arrivals,
+        "sa_ds_max_iterations": request.sa_ds_max_iterations,
+    }
+
+
+def request_key(request: AdmissionRequest) -> str:
+    """The SHA-256 hex digest identifying a request's content."""
+    encoded = json.dumps(
+        canonical_payload(request),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def system_key(system: System, **options) -> str:
+    """Shorthand: the key of ``AdmissionRequest(system, **options)``."""
+    return request_key(AdmissionRequest(system=system, **options))

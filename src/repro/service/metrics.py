@@ -1,0 +1,128 @@
+"""Service-side observability: counters and latency percentiles.
+
+:class:`ServiceMetrics` is deliberately dependency-free (no numpy): it
+sits on the hot path of every admission, so recording must stay O(1)
+and allocation-light.  Latencies go into a bounded reservoir; the
+percentile estimator sorts on demand (reads are rare, writes are hot).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Sequence
+
+__all__ = ["ServiceMetrics", "percentile"]
+
+#: Default bound on retained latency samples.  Beyond it the reservoir
+#: degrades to keep-every-k-th sampling, which preserves the shape of
+#: the distribution without unbounded growth.
+_DEFAULT_RESERVOIR = 65536
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``samples`` (nearest-rank).
+
+    ``fraction`` is in [0, 1].  Returns ``0.0`` for an empty sequence
+    so dashboards render before the first request.
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency reservoir for one controller."""
+
+    def __init__(self, reservoir: int = _DEFAULT_RESERVOIR) -> None:
+        if reservoir < 1:
+            raise ValueError(f"reservoir must be >= 1, got {reservoir}")
+        self._lock = threading.Lock()
+        self._reservoir = reservoir
+        self._latencies: list[float] = []
+        self._seen = 0
+        self._requests = 0
+        self._hits = 0
+        self._misses = 0
+        self._admitted = 0
+        self._rejected = 0
+
+    # ------------------------------------------------------------------
+    # Recording (hot path)
+    # ------------------------------------------------------------------
+    def record(
+        self, *, admitted: bool, cache_hit: bool, latency: float
+    ) -> None:
+        """Account one served admission."""
+        with self._lock:
+            self._requests += 1
+            if cache_hit:
+                self._hits += 1
+            else:
+                self._misses += 1
+            if admitted:
+                self._admitted += 1
+            else:
+                self._rejected += 1
+            self._seen += 1
+            if len(self._latencies) < self._reservoir:
+                self._latencies.append(latency)
+            else:
+                # Deterministic decimation: keep every k-th overflow
+                # sample by overwriting round-robin.
+                self._latencies[self._seen % self._reservoir] = latency
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """All counters plus p50/p90/p99/max/mean latency, in seconds."""
+        with self._lock:
+            latencies = list(self._latencies)
+            counters = {
+                "requests": self._requests,
+                "cache_hits": self._hits,
+                "cache_misses": self._misses,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+            }
+        counters["hit_rate"] = (
+            counters["cache_hits"] / counters["requests"]
+            if counters["requests"]
+            else 0.0
+        )
+        counters["latency_p50"] = percentile(latencies, 0.50)
+        counters["latency_p90"] = percentile(latencies, 0.90)
+        counters["latency_p99"] = percentile(latencies, 0.99)
+        counters["latency_max"] = max(latencies) if latencies else 0.0
+        counters["latency_mean"] = (
+            sum(latencies) / len(latencies) if latencies else 0.0
+        )
+        return counters
+
+    def describe(self) -> str:
+        """A compact multi-line report for CLI ``--stats`` output."""
+        snap = self.snapshot()
+        return "\n".join(
+            [
+                (
+                    f"admissions: {snap['requests']} requests, "
+                    f"{snap['admitted']} admitted, "
+                    f"{snap['rejected']} rejected"
+                ),
+                (
+                    f"cache: {snap['cache_hits']} hits, "
+                    f"{snap['cache_misses']} misses "
+                    f"(rate {snap['hit_rate']:.1%})"
+                ),
+                (
+                    f"latency: p50 {snap['latency_p50'] * 1e3:.3f} ms, "
+                    f"p90 {snap['latency_p90'] * 1e3:.3f} ms, "
+                    f"p99 {snap['latency_p99'] * 1e3:.3f} ms, "
+                    f"max {snap['latency_max'] * 1e3:.3f} ms"
+                ),
+            ]
+        )

@@ -39,7 +39,7 @@ class TestParallelSweep:
         )
         assert len(records[LIGHT]) == 2
 
-    def test_progress_reported(self):
+    def test_progress_reported_on_every_completion(self):
         lines: list[str] = []
         parallel_sweep_grid(
             [LIGHT],
@@ -48,7 +48,24 @@ class TestParallelSweep:
             run_simulations=False,
             progress=lines.append,
         )
-        assert lines
+        assert lines == [
+            "1/2 systems evaluated",
+            "2/2 systems evaluated",
+        ]
+
+    def test_progress_not_gated_by_system_count(self):
+        # Regression: with many systems per config the callback used to
+        # fire only every `systems` completions -- i.e. once per config.
+        lines: list[str] = []
+        parallel_sweep_grid(
+            [LIGHT],
+            5,
+            workers=2,
+            run_simulations=False,
+            progress=lines.append,
+        )
+        assert len(lines) == 5
+        assert lines[0] == "1/5 systems evaluated"
 
     def test_empty_grid_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,177 @@
+"""Unit tests for the LRU decision cache (eviction order, persistence)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.cache import DecisionCache
+from repro.service.requests import AdmissionDecision
+
+
+def _decision(tag: str, admitted: bool = True) -> AdmissionDecision:
+    return AdmissionDecision(
+        admitted=admitted,
+        protocol="RG" if admitted else None,
+        rationale=f"decision {tag}",
+        schedulable={"DS": False, "RG": admitted},
+        task_bounds={
+            "SA/PM": (1.0, 2.5),
+            "SA/DS": (1.0, float("inf")),
+        },
+        worst_bound_ratio=float("inf"),
+        key=f"key-{tag}",
+        system_name=f"system-{tag}",
+    )
+
+
+class TestLru:
+    def test_get_put_round_trip(self):
+        cache = DecisionCache(capacity=4)
+        cache.put("a", _decision("a"))
+        assert cache.get("a") == _decision("a")
+        assert cache.get("missing") is None
+
+    def test_eviction_is_least_recently_used(self):
+        cache = DecisionCache(capacity=2)
+        cache.put("a", _decision("a"))
+        cache.put("b", _decision("b"))
+        assert cache.get("a") is not None  # refresh "a"; "b" is now LRU
+        cache.put("c", _decision("c"))
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats().evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = DecisionCache(capacity=2)
+        cache.put("a", _decision("a"))
+        cache.put("b", _decision("b"))
+        cache.put("a", _decision("a"))  # re-store refreshes "a"
+        cache.put("c", _decision("c"))
+        assert cache.keys() == ("a", "c")
+
+    def test_eviction_order_across_many(self):
+        cache = DecisionCache(capacity=3)
+        for tag in "abcde":
+            cache.put(tag, _decision(tag))
+        assert cache.keys() == ("c", "d", "e")
+        assert cache.stats().evictions == 2
+
+    def test_contains_does_not_touch_stats_or_recency(self):
+        cache = DecisionCache(capacity=2)
+        cache.put("a", _decision("a"))
+        cache.put("b", _decision("b"))
+        assert "a" in cache  # not a use
+        cache.put("c", _decision("c"))
+        assert "a" not in cache  # "a" was still LRU
+        assert cache.stats().lookups == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            DecisionCache(capacity=0)
+
+    def test_clear_keeps_counters(self):
+        cache = DecisionCache(capacity=2)
+        cache.put("a", _decision("a"))
+        cache.get("a")
+        cache.get("b")
+        cache.clear()
+        stats = cache.stats()
+        assert len(cache) == 0
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_stats_hit_rate(self):
+        cache = DecisionCache(capacity=2)
+        assert cache.stats().hit_rate == 0.0
+        cache.put("a", _decision("a"))
+        cache.get("a")
+        cache.get("a")
+        cache.get("nope")
+        stats = cache.stats()
+        assert stats.hit_rate == pytest.approx(2 / 3)
+        assert "rate" in stats.describe()
+
+
+class TestPersistence:
+    def test_disk_round_trip(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = DecisionCache(capacity=8)
+        for tag in "abc":
+            cache.put(tag, _decision(tag, admitted=(tag != "b")))
+        cache.save(path)
+
+        reloaded = DecisionCache(capacity=8, path=path)
+        assert len(reloaded) == 3
+        for tag in "abc":
+            assert reloaded.get(tag) == cache.get(tag)
+
+    def test_round_trip_preserves_recency_order(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = DecisionCache(capacity=8)
+        for tag in "abc":
+            cache.put(tag, _decision(tag))
+        cache.get("a")  # now order is b, c, a
+        cache.save(path)
+        reloaded = DecisionCache(capacity=8, path=path)
+        assert reloaded.keys() == ("b", "c", "a")
+
+    def test_smaller_reload_keeps_hottest(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = DecisionCache(capacity=8)
+        for tag in "abcd":
+            cache.put(tag, _decision(tag))
+        cache.save(path)
+        small = DecisionCache(capacity=2, path=path)
+        assert small.keys() == ("c", "d")
+
+    def test_infinite_bounds_survive_round_trip(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = DecisionCache()
+        cache.put("a", _decision("a", admitted=False))
+        cache.save(path)
+        loaded = DecisionCache(path=path).get("a")
+        assert loaded.task_bounds["SA/DS"][1] == float("inf")
+        assert loaded.worst_bound_ratio == float("inf")
+
+    def test_missing_file_starts_empty(self, tmp_path):
+        cache = DecisionCache(path=tmp_path / "absent.jsonl")
+        assert len(cache) == 0
+
+    def test_save_without_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DecisionCache().save()
+
+    def test_corrupt_line_rejected(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ConfigurationError):
+            DecisionCache(path=path)
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_use(self):
+        cache = DecisionCache(capacity=32)
+        errors: list[BaseException] = []
+
+        def worker(offset: int) -> None:
+            try:
+                for i in range(200):
+                    tag = str((offset * 7 + i) % 48)
+                    cache.put(tag, _decision(tag))
+                    cache.get(str(i % 48))
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 32
+        stats = cache.stats()
+        assert stats.lookups == 4 * 200

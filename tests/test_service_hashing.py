@@ -1,0 +1,114 @@
+"""Unit tests for canonical admission-request hashing."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.model.system import System
+from repro.model.task import Subtask, Task
+from repro.service.hashing import canonical_payload, request_key, system_key
+from repro.service.requests import AdmissionRequest
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+
+def _pipeline(name: str = "pipeline") -> System:
+    return System(
+        (
+            Task(
+                period=10.0,
+                subtasks=(
+                    Subtask(2.0, "P1", priority=0),
+                    Subtask(3.0, "P2", priority=0),
+                ),
+                name="pipe",
+            ),
+        ),
+        name=name,
+    )
+
+
+class TestRequestKey:
+    def test_equal_content_equal_key(self):
+        a = AdmissionRequest(system=_pipeline())
+        b = AdmissionRequest(system=_pipeline())
+        assert a.system is not b.system
+        assert request_key(a) == request_key(b)
+
+    def test_key_is_hex_sha256(self):
+        key = request_key(AdmissionRequest(system=_pipeline()))
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_request_id_excluded(self):
+        a = AdmissionRequest(system=_pipeline(), request_id="alpha")
+        b = AdmissionRequest(system=_pipeline(), request_id="beta")
+        assert request_key(a) == request_key(b)
+
+    def test_execution_time_changes_key(self):
+        base = _pipeline()
+        tweaked = System(
+            (
+                base.tasks[0].with_subtasks(
+                    (
+                        Subtask(2.0, "P1", priority=0),
+                        Subtask(3.0000001, "P2", priority=0),
+                    )
+                ),
+            ),
+            name=base.name,
+        )
+        assert system_key(base) != system_key(tweaked)
+
+    def test_options_change_key(self):
+        system = _pipeline()
+        assert system_key(system) != system_key(system, jitter_sensitive=True)
+        assert system_key(system) != system_key(system, protocols=("DS",))
+        assert system_key(system) != system_key(
+            system, sa_ds_max_iterations=10
+        )
+
+    def test_protocol_order_is_canonicalized(self):
+        system = _pipeline()
+        assert system_key(system, protocols=("RG", "DS")) == system_key(
+            system, protocols=("DS", "RG")
+        )
+
+    def test_name_is_content(self):
+        assert system_key(_pipeline("a")) != system_key(_pipeline("b"))
+
+    def test_payload_has_no_request_id(self):
+        payload = canonical_payload(
+            AdmissionRequest(system=_pipeline(), request_id="x")
+        )
+        assert "request_id" not in payload
+
+    def test_stable_across_processes(self):
+        """sha256 over canonical JSON must not depend on hash salting."""
+        config = WorkloadConfig(
+            subtasks_per_task=3, utilization=0.6, tasks=4, processors=3
+        )
+        here = system_key(generate_system(config, seed=7))
+        script = (
+            "from repro.service.hashing import system_key\n"
+            "from repro.workload.config import WorkloadConfig\n"
+            "from repro.workload.generator import generate_system\n"
+            "config = WorkloadConfig(subtasks_per_task=3, utilization=0.6,"
+            " tasks=4, processors=3)\n"
+            "print(system_key(generate_system(config, seed=7)))\n"
+        )
+        src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "12345"
+        there = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout.strip()
+        assert there == here

@@ -1,0 +1,97 @@
+"""Unit tests for service metrics (counters, percentiles)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.metrics import ServiceMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([3.0], 0.5) == 3.0
+        assert percentile([3.0], 0.99) == 3.0
+
+    def test_nearest_rank(self):
+        samples = [float(i) for i in range(1, 101)]  # 1..100
+        assert percentile(samples, 0.50) == 50.0
+        assert percentile(samples, 0.90) == 90.0
+        assert percentile(samples, 0.99) == 99.0
+        assert percentile(samples, 1.00) == 100.0
+
+    def test_unsorted_input(self):
+        assert percentile([5.0, 1.0, 3.0], 0.5) == 3.0
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestServiceMetrics:
+    def test_counters(self):
+        metrics = ServiceMetrics()
+        metrics.record(admitted=True, cache_hit=False, latency=0.5)
+        metrics.record(admitted=False, cache_hit=True, latency=0.1)
+        snap = metrics.snapshot()
+        assert snap["requests"] == 2
+        assert snap["admitted"] == 1
+        assert snap["rejected"] == 1
+        assert snap["cache_hits"] == 1
+        assert snap["cache_misses"] == 1
+        assert snap["hit_rate"] == pytest.approx(0.5)
+
+    def test_latency_stats(self):
+        metrics = ServiceMetrics()
+        for ms in (1.0, 2.0, 3.0, 4.0):
+            metrics.record(admitted=True, cache_hit=False, latency=ms)
+        snap = metrics.snapshot()
+        assert snap["latency_p50"] == 2.0
+        assert snap["latency_max"] == 4.0
+        assert snap["latency_mean"] == pytest.approx(2.5)
+
+    def test_empty_snapshot_renders(self):
+        snap = ServiceMetrics().snapshot()
+        assert snap["requests"] == 0
+        assert snap["hit_rate"] == 0.0
+        assert snap["latency_p99"] == 0.0
+        assert "admissions: 0 requests" in ServiceMetrics().describe()
+
+    def test_reservoir_is_bounded(self):
+        metrics = ServiceMetrics(reservoir=8)
+        for i in range(100):
+            metrics.record(
+                admitted=True, cache_hit=False, latency=float(i)
+            )
+        snap = metrics.snapshot()
+        assert snap["requests"] == 100
+        assert snap["latency_max"] <= 99.0
+
+    def test_reservoir_validation(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics(reservoir=0)
+
+    def test_thread_safe_recording(self):
+        metrics = ServiceMetrics()
+
+        def worker() -> None:
+            for _ in range(500):
+                metrics.record(
+                    admitted=True, cache_hit=True, latency=0.001
+                )
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.snapshot()["requests"] == 2000
+
+    def test_describe_mentions_latency_units(self):
+        metrics = ServiceMetrics()
+        metrics.record(admitted=True, cache_hit=False, latency=0.002)
+        assert "ms" in metrics.describe()
