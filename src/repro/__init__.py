@@ -24,6 +24,7 @@ from repro.api import (
     admit_many,
     analyze,
     compare_protocols,
+    fuzz_once,
     run_protocol,
 )
 from repro.core.analysis import (
@@ -113,6 +114,7 @@ __all__ = [
     "analyze_sa_pm",
     "compare_protocols",
     "example_two",
+    "fuzz_once",
     "generate_system",
     "make_controller",
     "monitor_task_example",

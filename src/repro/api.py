@@ -26,6 +26,7 @@ __all__ = [
     "compare_protocols",
     "admit",
     "admit_many",
+    "fuzz_once",
 ]
 
 
@@ -134,3 +135,29 @@ def admit_many(
         AdmissionRequest(system=system, **options) for system in systems
     ]
     return admit_batch(requests, cache=cache, workers=workers)
+
+
+def fuzz_once(
+    seed: int,
+    *,
+    config=None,
+    horizon_periods: float = 5.0,
+    oracles: tuple[str, ...] | None = None,
+):
+    """One differential-fuzzing case, in one call.
+
+    Generates the seeded system (``config`` defaults to the fuzzer's
+    first default-profile configuration), simulates all four protocols,
+    and judges every applicable oracle.  Returns a
+    :class:`~repro.fuzz.campaign.CaseOutcome`; ``outcome.failed`` means
+    some paper-derived cross-check was violated.  Sustained fuzzing
+    should use :func:`repro.fuzz.run_campaign`, which adds budgets,
+    process-pool parallelism, shrinking and corpus persistence.
+    """
+    # Imported lazily to keep the fuzz subsystem optional at import time.
+    from repro.fuzz.campaign import PROFILES, fuzz_one
+
+    effective = config if config is not None else PROFILES["default"][0]
+    return fuzz_one(
+        effective, seed, horizon_periods=horizon_periods, oracles=oracles
+    )

@@ -20,6 +20,12 @@ Subcommands
 ``admit-bench``
     Self-benchmark of the admission service: cold vs warm cache
     throughput on a synthetic batch.
+``fuzz``
+    Differential conformance fuzzing: seeded random systems through all
+    four protocols, judged by the paper-derived oracle registry, with
+    counterexample shrinking and corpus persistence.
+``fuzz-replay``
+    Replay the counterexample corpus as a regression check.
 """
 
 from __future__ import annotations
@@ -424,6 +430,56 @@ def _cmd_admit_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz.campaign import run_campaign
+
+    runs = args.runs
+    if runs is None and args.seconds is None:
+        runs = 100  # a budget is mandatory; default to a quick sweep
+    report = run_campaign(
+        runs=runs,
+        seconds=args.seconds,
+        profile=args.profile,
+        base_seed=args.seed,
+        workers=args.workers,
+        horizon_periods=args.horizon_periods,
+        oracles=tuple(args.oracles) if args.oracles else None,
+        shrink=not args.no_shrink,
+        corpus_path=args.corpus,
+        fail_fast=args.fail_fast,
+        progress=_progress if args.verbose else None,
+    )
+    if args.stats or not report.ok:
+        print(report.describe())
+    else:
+        print(
+            f"fuzz campaign: {report.runs} run(s), 0 failure(s), "
+            f"{report.elapsed:.1f} s"
+        )
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from repro.fuzz.corpus import load_corpus, replay_corpus
+
+    records = load_corpus(args.corpus)
+    if not records:
+        print(f"fuzz-replay: no corpus entries under {args.corpus}")
+        return 0
+    outcomes = replay_corpus(
+        records, horizon_periods=args.horizon_periods
+    )
+    failing = [outcome for outcome in outcomes if not outcome.passed]
+    for outcome in outcomes:
+        if args.stats or not outcome.passed:
+            print(outcome.describe())
+    print(
+        f"fuzz-replay: {len(outcomes)} entr(y/ies), "
+        f"{len(failing)} still failing"
+    )
+    return 0 if not failing else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-rts",
@@ -527,6 +583,75 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="base seed")
     _add_admission_options(p)
     p.set_defaults(handler=_cmd_admit_bench)
+
+    p = subparsers.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing with paper-derived oracles",
+    )
+    p.add_argument(
+        "--runs", type=int, default=None,
+        help="case budget (default: 100 when --seconds is not given)",
+    )
+    p.add_argument(
+        "--seconds", type=float, default=None,
+        help="wall-clock budget; combines with --runs (first exhausted wins)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width (default: CPU count)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="base seed")
+    p.add_argument(
+        "--profile", default="default",
+        help="workload rotation: default, tiny, or paper",
+    )
+    p.add_argument(
+        "--horizon-periods", type=float, default=5.0,
+        help="simulation horizon in multiples of the largest period",
+    )
+    p.add_argument(
+        "--oracles", nargs="+", default=None,
+        help="check only these oracles (default: all)",
+    )
+    p.add_argument(
+        "--corpus", default=None,
+        help="append shrunk counterexamples to this JSONL file/directory",
+    )
+    p.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging of failures",
+    )
+    p.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop scheduling new cases after the first failure",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print the full campaign summary even on success",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="one progress line per case to stderr",
+    )
+    p.set_defaults(handler=_cmd_fuzz)
+
+    p = subparsers.add_parser(
+        "fuzz-replay",
+        help="replay the counterexample corpus against the current code",
+    )
+    p.add_argument(
+        "--corpus", default="tests/corpus",
+        help="corpus JSONL file or directory (default: tests/corpus)",
+    )
+    p.add_argument(
+        "--horizon-periods", type=float, default=5.0,
+        help="simulation horizon in multiples of the largest period",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print one line per corpus entry, not only failures",
+    )
+    p.set_defaults(handler=_cmd_fuzz_replay)
 
     return parser
 

@@ -1,0 +1,55 @@
+"""Differential conformance fuzzing: simulator vs. analysis oracles.
+
+The fuzzer generates seeded random systems with the paper's workload
+generator, runs all four protocols through the simulator, and checks a
+registry of paper-derived oracles on every run -- trace invariants,
+analysis soundness, PM==MPM schedule identity, Release Guard
+conformance, and exhaustive-search cross-checks on small systems.  Any
+failure is delta-debugged to a minimal counterexample and persisted to
+a JSONL corpus that the test suite replays forever after.
+
+Entry points: :func:`~repro.fuzz.campaign.run_campaign` (budgeted
+campaigns, process-pool parallel), :func:`~repro.fuzz.campaign.fuzz_one`
+(one seeded case), and the ``repro-rts fuzz`` / ``fuzz-replay`` CLI
+subcommands.
+"""
+
+from repro.fuzz.campaign import (
+    PROFILES,
+    CampaignReport,
+    CaseOutcome,
+    fuzz_one,
+    run_campaign,
+)
+from repro.fuzz.corpus import (
+    Counterexample,
+    ReplayOutcome,
+    append_counterexample,
+    load_corpus,
+    replay_corpus,
+)
+from repro.fuzz.oracles import ORACLES, Oracle, check_case, oracle_names
+from repro.fuzz.runner import CheckedReleaseGuard, FuzzCase, build_case
+from repro.fuzz.shrink import ShrinkResult, shrink_system
+
+__all__ = [
+    "ORACLES",
+    "PROFILES",
+    "CampaignReport",
+    "CaseOutcome",
+    "CheckedReleaseGuard",
+    "Counterexample",
+    "FuzzCase",
+    "Oracle",
+    "ReplayOutcome",
+    "ShrinkResult",
+    "append_counterexample",
+    "build_case",
+    "check_case",
+    "fuzz_one",
+    "load_corpus",
+    "oracle_names",
+    "replay_corpus",
+    "run_campaign",
+    "shrink_system",
+]

@@ -1,0 +1,384 @@
+"""Budgeted differential-fuzzing campaigns over a process pool.
+
+A campaign is a deterministic stream of cases: case ``k`` draws
+configuration ``PROFILES[name][k % len]`` and seed ``base_seed + k``,
+so any failure is reproducible from ``(profile, base_seed, k)`` alone
+and a re-run with a different worker count examines the identical
+systems.  The budget is either a case count (``runs``), a wall-clock
+allowance (``seconds``), or both (whichever ends first).
+
+Workers follow the repo's process-pool idiom
+(:mod:`repro.experiments.parallel`): jobs are pure functions of
+picklable inputs, and each worker returns a compact
+:class:`CaseOutcome`.  Failures are shrunk *in the parent* -- the
+failing system is regenerated from its (config, seed) coordinates, so
+workers never ship systems back.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.fuzz.corpus import Counterexample, append_counterexample
+from repro.fuzz.oracles import check_case, oracle_names
+from repro.fuzz.runner import build_case
+from repro.fuzz.shrink import shrink_system
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+__all__ = [
+    "PROFILES",
+    "CaseOutcome",
+    "CampaignReport",
+    "fuzz_one",
+    "run_campaign",
+]
+
+#: Narrowed period spread for most fuzz configurations: the paper's
+#: 100x ratio makes horizons (multiples of the largest period) cover
+#: hundreds of instances of the fastest task, which buys event volume,
+#: not oracle coverage.  One ``default`` entry keeps the paper spread.
+_FAST_PERIODS = {"period_min": 100.0, "period_max": 1000.0,
+                 "period_scale": 300.0}
+
+#: Configuration rotations, by profile name.  ``default`` mixes tiny
+#: systems (so the exhaustive oracle gets exercised) with mid-sized and
+#: loaded ones (so PM/MPM skip paths and SA/DS divergence occur too).
+PROFILES: Mapping[str, tuple[WorkloadConfig, ...]] = {
+    "default": (
+        WorkloadConfig(
+            subtasks_per_task=2, utilization=0.5, tasks=2, processors=2,
+            **_FAST_PERIODS,
+        ),
+        WorkloadConfig(
+            subtasks_per_task=2,
+            utilization=0.6,
+            tasks=3,
+            processors=2,
+            random_phases=True,
+            **_FAST_PERIODS,
+        ),
+        WorkloadConfig(
+            subtasks_per_task=3, utilization=0.6, tasks=4, processors=3
+        ),
+        WorkloadConfig(
+            subtasks_per_task=3,
+            utilization=0.7,
+            tasks=4,
+            processors=2,
+            random_phases=True,
+            **_FAST_PERIODS,
+        ),
+        WorkloadConfig(
+            subtasks_per_task=4, utilization=0.75, tasks=5, processors=3,
+            **_FAST_PERIODS,
+        ),
+        WorkloadConfig(
+            subtasks_per_task=2,
+            utilization=0.85,
+            tasks=5,
+            processors=2,
+            random_phases=True,
+            **_FAST_PERIODS,
+        ),
+    ),
+    "tiny": (
+        WorkloadConfig(
+            subtasks_per_task=2, utilization=0.5, tasks=2, processors=2,
+            **_FAST_PERIODS,
+        ),
+        WorkloadConfig(
+            subtasks_per_task=3,
+            utilization=0.6,
+            tasks=2,
+            processors=2,
+            random_phases=True,
+            **_FAST_PERIODS,
+        ),
+    ),
+    "paper": (
+        WorkloadConfig(subtasks_per_task=3, utilization=0.6),
+        WorkloadConfig(
+            subtasks_per_task=5, utilization=0.7, random_phases=True
+        ),
+        WorkloadConfig(subtasks_per_task=8, utilization=0.9),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CaseOutcome:
+    """Picklable result of one fuzz case."""
+
+    index: int
+    seed: int
+    config: WorkloadConfig
+    failures: dict[str, list[str]]
+    checked: tuple[str, ...]
+    skipped: dict[str, str]
+    duration: float
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.failures)
+
+
+def fuzz_one(
+    config: WorkloadConfig,
+    seed: int,
+    *,
+    index: int = 0,
+    horizon_periods: float = 5.0,
+    oracles: tuple[str, ...] | None = None,
+) -> CaseOutcome:
+    """Generate, simulate and judge one case; the campaign's unit of work."""
+    started = time.perf_counter()
+    system = generate_system(config, seed)
+    case = build_case(
+        system, seed=seed, config=config, horizon_periods=horizon_periods
+    )
+    failures, checked = check_case(case, oracles)
+    return CaseOutcome(
+        index=index,
+        seed=seed,
+        config=config,
+        failures=failures,
+        checked=checked,
+        skipped=dict(case.skipped),
+        duration=time.perf_counter() - started,
+    )
+
+
+def _job(args: tuple) -> CaseOutcome:
+    """Top-level pool target (must be importable by workers)."""
+    index, config, seed, horizon_periods, oracles = args
+    return fuzz_one(
+        config,
+        seed,
+        index=index,
+        horizon_periods=horizon_periods,
+        oracles=oracles,
+    )
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate of one campaign: counters, failures, counterexamples."""
+
+    runs: int = 0
+    elapsed: float = 0.0
+    checks: dict[str, int] = field(default_factory=dict)
+    skips: dict[str, int] = field(default_factory=dict)
+    failed_outcomes: list[CaseOutcome] = field(default_factory=list)
+    counterexamples: list[Counterexample] = field(default_factory=list)
+    corpus_file: str | None = None
+
+    @property
+    def failure_count(self) -> int:
+        return len(self.failed_outcomes)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure_count == 0
+
+    def describe(self) -> str:
+        rate = self.runs / self.elapsed if self.elapsed > 0 else 0.0
+        lines = [
+            f"fuzz campaign: {self.runs} run(s), "
+            f"{self.failure_count} failure(s), "
+            f"{self.elapsed:.1f} s ({rate:.1f} runs/s)"
+        ]
+        if self.checks:
+            counts = " ".join(
+                f"{name}={self.checks[name]}"
+                for name in oracle_names()
+                if name in self.checks
+            )
+            lines.append(f"  oracle checks: {counts}")
+        for protocol, count in sorted(self.skips.items()):
+            lines.append(
+                f"  {protocol} skipped on {count} run(s) "
+                f"(infeasible analysis bounds)"
+            )
+        for outcome in self.failed_outcomes:
+            first_oracle = next(iter(outcome.failures))
+            lines.append(
+                f"  FAIL seed={outcome.seed} {outcome.config.label}: "
+                f"[{first_oracle}] "
+                f"{outcome.failures[first_oracle][0]}"
+            )
+        for record in self.counterexamples:
+            lines.append(f"  shrunk: {record.describe()}")
+        if self.corpus_file is not None:
+            lines.append(f"  corpus: {self.corpus_file}")
+        return "\n".join(lines)
+
+
+def _shrink_outcome(
+    outcome: CaseOutcome,
+    *,
+    horizon_periods: float,
+    max_attempts: int,
+) -> Counterexample:
+    """Regenerate the failing system and delta-debug it per oracle."""
+    oracle = next(iter(outcome.failures))
+    system = generate_system(outcome.config, outcome.seed)
+
+    def still_fails(candidate) -> bool:
+        case = build_case(candidate, horizon_periods=horizon_periods)
+        failures, _checked = check_case(case, (oracle,))
+        return bool(failures)
+
+    shrunk = shrink_system(system, still_fails, max_attempts=max_attempts)
+    final_case = build_case(shrunk.system, horizon_periods=horizon_periods)
+    failures, _checked = check_case(final_case, (oracle,))
+    violations = tuple(failures.get(oracle, outcome.failures[oracle]))
+    return Counterexample(
+        oracle=oracle,
+        system=shrunk.system,
+        violations=violations,
+        seed=outcome.seed,
+        config=outcome.config,
+        original_task_count=shrunk.original_task_count,
+        shrink_attempts=shrunk.attempts,
+    )
+
+
+def _case_stream(
+    configs: Sequence[WorkloadConfig],
+    runs: int | None,
+    base_seed: int,
+    horizon_periods: float,
+    oracles: tuple[str, ...] | None,
+) -> Iterator[tuple]:
+    index = 0
+    while runs is None or index < runs:
+        yield (
+            index,
+            configs[index % len(configs)],
+            base_seed + index,
+            horizon_periods,
+            oracles,
+        )
+        index += 1
+
+
+def run_campaign(
+    *,
+    runs: int | None = None,
+    seconds: float | None = None,
+    profile: str = "default",
+    configs: Sequence[WorkloadConfig] | None = None,
+    base_seed: int = 0,
+    workers: int | None = None,
+    horizon_periods: float = 5.0,
+    oracles: tuple[str, ...] | None = None,
+    shrink: bool = True,
+    shrink_attempts: int = 300,
+    corpus_path: str | None = None,
+    fail_fast: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignReport:
+    """Run a fuzzing campaign and return its report.
+
+    Exactly one of ``runs``/``seconds`` must be positive (both may be:
+    the campaign stops at whichever budget runs out first).  ``configs``
+    overrides the named ``profile``.  With ``corpus_path`` set, every
+    shrunk counterexample is appended there as JSONL.
+    """
+    if runs is None and seconds is None:
+        raise ConfigurationError("campaign needs --runs and/or --seconds")
+    if runs is not None and runs < 1:
+        raise ConfigurationError(f"runs must be >= 1, got {runs}")
+    if seconds is not None and seconds <= 0:
+        raise ConfigurationError(f"seconds must be > 0, got {seconds}")
+    if configs is None:
+        try:
+            configs = PROFILES[profile]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown fuzz profile {profile!r}; "
+                f"known: {', '.join(PROFILES)}"
+            ) from None
+    if not configs:
+        raise ConfigurationError("campaign needs at least one configuration")
+    worker_count = workers if workers is not None else (os.cpu_count() or 1)
+    if worker_count < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+
+    report = CampaignReport()
+    started = time.perf_counter()
+    deadline = None if seconds is None else started + seconds
+    jobs = _case_stream(configs, runs, base_seed, horizon_periods, oracles)
+
+    def out_of_time() -> bool:
+        return deadline is not None and time.perf_counter() >= deadline
+
+    def absorb(outcome: CaseOutcome) -> None:
+        report.runs += 1
+        for name in outcome.checked:
+            report.checks[name] = report.checks.get(name, 0) + 1
+        for protocol in outcome.skipped:
+            report.skips[protocol] = report.skips.get(protocol, 0) + 1
+        if outcome.failed:
+            report.failed_outcomes.append(outcome)
+        if progress is not None:
+            verdict = "FAIL" if outcome.failed else "ok"
+            progress(
+                f"run {report.runs}: seed={outcome.seed} "
+                f"{outcome.config.label} {verdict}"
+            )
+
+    stop = False
+    if worker_count == 1:
+        for job in jobs:
+            if stop or out_of_time():
+                break
+            absorb(_job(job))
+            if fail_fast and report.failed_outcomes:
+                stop = True
+    else:
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            in_flight = set()
+            for job in jobs:
+                if stop or out_of_time():
+                    break
+                in_flight.add(pool.submit(_job, job))
+                while len(in_flight) >= 2 * worker_count:
+                    done, in_flight = wait(
+                        in_flight, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        absorb(future.result())
+                    if fail_fast and report.failed_outcomes:
+                        stop = True
+                        break
+            for future in in_flight:
+                absorb(future.result())
+
+    # Failures are ordered by case index so the report (and corpus) is
+    # independent of pool completion order.
+    report.failed_outcomes.sort(key=lambda outcome: outcome.index)
+
+    if shrink:
+        for outcome in report.failed_outcomes:
+            record = _shrink_outcome(
+                outcome,
+                horizon_periods=horizon_periods,
+                max_attempts=shrink_attempts,
+            )
+            report.counterexamples.append(record)
+            if corpus_path is not None:
+                report.corpus_file = str(
+                    append_counterexample(record, corpus_path)
+                )
+            if progress is not None:
+                progress(f"shrunk: {record.describe()}")
+
+    report.elapsed = time.perf_counter() - started
+    return report

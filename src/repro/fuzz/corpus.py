@@ -1,0 +1,217 @@
+"""Counterexample corpus: JSONL persistence and regression replay.
+
+Every counterexample the fuzzer finds is persisted as one JSON line --
+the shrunk system, the failing oracle, the generator coordinates
+``(config, seed)`` that produced the original, and the violation
+messages observed.  The corpus lives under ``tests/corpus/`` and is
+replayed by the test suite and by ``repro-rts fuzz-replay``: after the
+underlying bug is fixed, each entry must pass its oracle forever after.
+
+Format (``repro-fuzz-counterexample-v1``), one document per line::
+
+    {"format": "...", "oracle": "rg-separation", "seed": 17,
+     "config": {...} | null, "system": {repro-system-v1},
+     "violations": [...], "original_task_count": 5, ...}
+
+Lines starting with ``#`` and blank lines are ignored, so corpus files
+can carry comments.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import ConfigurationError
+from repro.fuzz.oracles import check_case, oracle_names
+from repro.fuzz.runner import build_case
+from repro.io import (
+    config_from_dict,
+    config_to_dict,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.model.system import System
+from repro.workload.config import WorkloadConfig
+
+__all__ = [
+    "Counterexample",
+    "ReplayOutcome",
+    "append_counterexample",
+    "load_corpus",
+    "replay_corpus",
+]
+
+_FORMAT = "repro-fuzz-counterexample-v1"
+#: Default corpus file name inside a corpus directory.
+DEFAULT_FILENAME = "counterexamples.jsonl"
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """One persisted (usually shrunk) oracle failure."""
+
+    oracle: str
+    system: System
+    violations: tuple[str, ...]
+    seed: int | None = None
+    config: WorkloadConfig | None = None
+    original_task_count: int | None = None
+    shrink_attempts: int | None = None
+    note: str = ""
+
+    def describe(self) -> str:
+        origin = f"seed {self.seed}" if self.seed is not None else "ad hoc"
+        return (
+            f"[{self.oracle}] {self.system.name}: "
+            f"{len(self.system.tasks)} task(s), "
+            f"{self.system.subtask_count} subtask(s) ({origin}); "
+            f"first violation: "
+            f"{self.violations[0] if self.violations else 'n/a'}"
+        )
+
+
+def counterexample_to_dict(record: Counterexample) -> dict[str, Any]:
+    """JSON-ready form of one counterexample."""
+    return {
+        "format": _FORMAT,
+        "oracle": record.oracle,
+        "seed": record.seed,
+        "config": (
+            None if record.config is None else config_to_dict(record.config)
+        ),
+        "system": system_to_dict(record.system),
+        "violations": list(record.violations),
+        "original_task_count": record.original_task_count,
+        "shrink_attempts": record.shrink_attempts,
+        "note": record.note,
+    }
+
+
+def counterexample_from_dict(data: dict[str, Any]) -> Counterexample:
+    """Rebuild a counterexample from :func:`counterexample_to_dict`."""
+    if data.get("format") != _FORMAT:
+        raise ConfigurationError(
+            f"not a {_FORMAT} document (format={data.get('format')!r})"
+        )
+    if data["oracle"] not in oracle_names():
+        raise ConfigurationError(
+            f"corpus entry names unknown oracle {data['oracle']!r}"
+        )
+    return Counterexample(
+        oracle=data["oracle"],
+        system=system_from_dict(data["system"]),
+        violations=tuple(data.get("violations", ())),
+        seed=data.get("seed"),
+        config=(
+            None
+            if data.get("config") is None
+            else config_from_dict(data["config"])
+        ),
+        original_task_count=data.get("original_task_count"),
+        shrink_attempts=data.get("shrink_attempts"),
+        note=data.get("note", ""),
+    )
+
+
+def _corpus_file(path: str | Path) -> Path:
+    """Resolve a corpus argument: a file, or a directory's default file."""
+    target = Path(path)
+    if target.is_dir() or target.suffix == "":
+        return target / DEFAULT_FILENAME
+    return target
+
+
+def append_counterexample(
+    record: Counterexample, path: str | Path
+) -> Path:
+    """Append one counterexample to a corpus file (creating it, and its
+    parent directory, as needed).  Returns the file written."""
+    target = _corpus_file(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a") as handle:
+        handle.write(json.dumps(counterexample_to_dict(record)) + "\n")
+    return target
+
+
+def load_corpus(path: str | Path) -> list[Counterexample]:
+    """Load every counterexample under ``path``.
+
+    ``path`` may be one ``.jsonl`` file or a directory, in which case
+    every ``*.jsonl`` file in it is read (sorted by name).  A missing
+    path yields an empty corpus.
+    """
+    target = Path(path)
+    if target.is_dir():
+        files: Iterable[Path] = sorted(target.glob("*.jsonl"))
+    elif target.exists():
+        files = [target]
+    else:
+        return []
+    records = []
+    for file in files:
+        for number, line in enumerate(
+            file.read_text().splitlines(), start=1
+        ):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                records.append(
+                    counterexample_from_dict(json.loads(stripped))
+                )
+            except ConfigurationError:
+                raise
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ConfigurationError(
+                    f"{file}:{number}: bad corpus line: {exc}"
+                ) from exc
+    return records
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """Result of replaying one corpus entry against the current code."""
+
+    record: Counterexample
+    failures: dict[str, list[str]]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        verdict = "ok" if self.passed else "STILL FAILING"
+        summary = self.record.describe()
+        if self.passed:
+            return f"{verdict}: {summary}"
+        details = "; ".join(
+            issue for issues in self.failures.values() for issue in issues
+        )
+        return f"{verdict}: {summary} -- {details}"
+
+
+def replay_corpus(
+    records: Iterable[Counterexample],
+    *,
+    horizon_periods: float = 5.0,
+) -> list[ReplayOutcome]:
+    """Re-run each entry's oracle on its system with the current code.
+
+    A healthy corpus replays clean: entries document *fixed* bugs.  Any
+    outcome with failures means a regression (or an entry added for a
+    bug not yet fixed).
+    """
+    outcomes = []
+    for record in records:
+        case = build_case(
+            record.system,
+            seed=record.seed,
+            config=record.config,
+            horizon_periods=horizon_periods,
+        )
+        failures, _checked = check_case(case, (record.oracle,))
+        outcomes.append(ReplayOutcome(record=record, failures=failures))
+    return outcomes

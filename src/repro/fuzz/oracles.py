@@ -1,0 +1,439 @@
+"""The oracle registry: paper-derived cross-checks over one fuzz case.
+
+Each :class:`Oracle` states one relational claim of Sun & Liu (ICDCS
+1996) -- simulator vs. analysis, protocol vs. protocol, or trace vs.
+model -- and checks it on a :class:`~repro.fuzz.runner.FuzzCase`.  An
+oracle returns human-readable violation strings; an empty list means the
+claim held.  Oracles that do not apply to a case (protocol skipped,
+analysis diverged, system too large for exhaustive search) report
+*nothing* rather than failing: only a claim that was checkable and false
+is a counterexample.
+
+The catalog (paper references in each oracle's ``reference``):
+
+``trace-invariants``
+    Every recorded trace satisfies fixed-priority preemptive scheduling
+    semantics (re-derived independently by
+    :func:`repro.sim.trace_validation.validate_trace`).
+``precedence``
+    No protocol releases a successor before its predecessor instance
+    completed (Section 2's precedence constraint).
+``sa-pm-soundness``
+    Simulated response times under PM, MPM and RG never exceed the
+    SA/PM bounds (Section 4.2; validity for RG is Theorem 1).
+``sa-ds-soundness``
+    Simulated (intermediate) end-to-end response times under DS never
+    exceed the SA/DS bounds (Section 4.3); checked only when Algorithm
+    SA/DS accepted the system (a failed run leaves under-converged,
+    unsound bounds).
+``analysis-dominance``
+    SA/DS task bounds dominate SA/PM task bounds (Section 4.3: DS
+    admits more interference per busy period).
+``pm-mpm-identity``
+    PM and MPM produce identical schedules under ideal conditions
+    (Section 3.1/3.3).
+``rg-guard``
+    RG never releases an instance before its release guard (Section
+    3.2, release rule).
+``rg-separation``
+    Consecutive RG releases of one subtask are at least a period apart
+    unless an idle point of its processor intervened (Theorem 1's
+    premise: rule 1 spaces releases, only rule 2 may shorten).
+``exhaustive-vs-bounds``
+    On small systems, the exhaustively searched worst-case EER (a
+    certified lower bound on the true worst case, Section 2) never
+    exceeds the matching analysis bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.fuzz.runner import CheckedReleaseGuard, FuzzCase
+from repro.model.task import SubtaskId
+from repro.sim.trace_validation import validate_trace
+
+__all__ = ["Oracle", "ORACLES", "check_case", "oracle_names"]
+
+_TOL = 1e-6
+
+#: Size gate for the exhaustive-search oracle: ``steps ** tasks``
+#: simulations per protocol are affordable only on tiny systems.
+EXHAUSTIVE_MAX_TASKS = 2
+EXHAUSTIVE_STEPS = 3
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One relational claim, checkable against a fuzz case."""
+
+    name: str
+    reference: str
+    description: str
+    check: Callable[[FuzzCase], list[str]]
+    applies: Callable[[FuzzCase], bool]
+
+
+# ---------------------------------------------------------------------------
+# Trace-level oracles
+# ---------------------------------------------------------------------------
+
+
+def _check_trace_invariants(case: FuzzCase) -> list[str]:
+    issues = []
+    for protocol, result in case.results.items():
+        for issue in validate_trace(result.trace):
+            issues.append(f"{protocol}: {issue}")
+    return issues
+
+
+def _check_precedence(case: FuzzCase) -> list[str]:
+    issues = []
+    for protocol, result in case.results.items():
+        for violation in result.trace.violations:
+            issues.append(
+                f"{protocol}: {violation.sid}#{violation.instance} released "
+                f"at {violation.release_time:g} before predecessor "
+                f"{violation.predecessor} completed"
+            )
+    return issues
+
+
+# ---------------------------------------------------------------------------
+# Analysis-soundness oracles
+# ---------------------------------------------------------------------------
+
+
+def _soundness_issues(
+    case: FuzzCase,
+    protocol: str,
+    task_bounds: tuple[float, ...],
+    subtask_bounds: Mapping[SubtaskId, float] | None,
+    algorithm: str,
+) -> list[str]:
+    """Observed task EERs (and optionally per-subtask figures) vs bounds."""
+    issues = []
+    result = case.results[protocol]
+    for i in range(len(case.system.tasks)):
+        bound = task_bounds[i]
+        observed = result.metrics.task(i).max_eer
+        if math.isinf(bound) or math.isnan(observed):
+            continue
+        if observed > bound + _TOL * max(1.0, bound):
+            issues.append(
+                f"{protocol}: task T{i + 1} simulated EER {observed:g} "
+                f"exceeds {algorithm} bound {bound:g}"
+            )
+    if subtask_bounds is None:
+        return issues
+    trace = result.trace
+    for sid in case.system.subtask_ids:
+        bound = subtask_bounds[sid]
+        if math.isinf(bound):
+            continue
+        if protocol == "DS":
+            observed_values = [
+                trace.intermediate_eer_time(sid, m)
+                for (s, m) in trace.completions
+                if s == sid
+            ]
+            kind = "IEER"
+        else:
+            observed_values = trace.subtask_response_times(sid)
+            kind = "response time"
+        for value in observed_values:
+            if value > bound + _TOL * max(1.0, bound):
+                issues.append(
+                    f"{protocol}: {sid} simulated {kind} {value:g} exceeds "
+                    f"{algorithm} bound {bound:g}"
+                )
+                break
+    return issues
+
+
+def _check_sa_pm_soundness(case: FuzzCase) -> list[str]:
+    issues = []
+    for protocol in ("PM", "MPM", "RG"):
+        if protocol in case.results:
+            issues.extend(
+                _soundness_issues(
+                    case,
+                    protocol,
+                    case.sa_pm.task_bounds,
+                    case.sa_pm.subtask_bounds,
+                    "SA/PM",
+                )
+            )
+    return issues
+
+
+def _check_sa_ds_soundness(case: FuzzCase) -> list[str]:
+    return _soundness_issues(
+        case, "DS", case.sa_ds.task_bounds, case.sa_ds.subtask_bounds, "SA/DS"
+    )
+
+
+def _check_analysis_dominance(case: FuzzCase) -> list[str]:
+    issues = []
+    for i in range(len(case.system.tasks)):
+        pm = case.sa_pm.task_bounds[i]
+        ds = case.sa_ds.task_bounds[i]
+        if math.isinf(ds):
+            continue  # DS failed where PM may not have -- that is dominance
+        if ds < pm - _TOL * max(1.0, pm):
+            issues.append(
+                f"task T{i + 1}: SA/DS bound {ds:g} below SA/PM bound "
+                f"{pm:g} (SA/DS must dominate)"
+            )
+    return issues
+
+
+# ---------------------------------------------------------------------------
+# Protocol-relational oracles
+# ---------------------------------------------------------------------------
+
+
+def _check_pm_mpm_identity(case: FuzzCase) -> list[str]:
+    pm = case.results["PM"].trace
+    mpm = case.results["MPM"].trace
+    issues = []
+    horizon = case.results["PM"].horizon
+    boundary = _TOL * max(1.0, horizon)
+    for label, ours, theirs in (
+        ("released by PM but not MPM", pm.releases, mpm.releases),
+        ("released by MPM but not PM", mpm.releases, pm.releases),
+    ):
+        for key, time in ours.items():
+            if key not in theirs and horizon - time > boundary:
+                issues.append(
+                    f"{key[0]}#{key[1]} {label} (at {time:g})"
+                )
+    for key, pm_time in pm.releases.items():
+        mpm_time = mpm.releases.get(key)
+        if mpm_time is None:
+            continue
+        if abs(pm_time - mpm_time) > _TOL * max(1.0, pm_time):
+            issues.append(
+                f"{key[0]}#{key[1]} released at {pm_time:g} under PM but "
+                f"{mpm_time:g} under MPM"
+            )
+    for key, pm_time in pm.completions.items():
+        mpm_time = mpm.completions.get(key)
+        if mpm_time is None:
+            continue
+        if abs(pm_time - mpm_time) > _TOL * max(1.0, pm_time):
+            issues.append(
+                f"{key[0]}#{key[1]} completed at {pm_time:g} under PM but "
+                f"{mpm_time:g} under MPM"
+            )
+    return issues
+
+
+def _check_rg_guard(case: FuzzCase) -> list[str]:
+    controller = case.controllers.get("RG")
+    if not isinstance(controller, CheckedReleaseGuard):
+        return []
+    return [
+        f"RG: {sid}#{instance} released at {now:g} before its guard "
+        f"{guard:g}"
+        for sid, instance, now, guard in controller.early_releases
+    ]
+
+
+def _check_rg_separation(case: FuzzCase) -> list[str]:
+    trace = case.results["RG"].trace
+    system = case.system
+    issues = []
+    by_subtask: dict[SubtaskId, list[tuple[int, float]]] = {}
+    for (sid, m), time in trace.releases.items():
+        by_subtask.setdefault(sid, []).append((m, time))
+    for sid, entries in by_subtask.items():
+        if sid.subtask_index == 0:
+            continue  # first subtasks are environment-released
+        period = system.period_of(sid)
+        idle_points = trace.idle_points.get(
+            system.subtask(sid).processor, []
+        )
+        entries.sort()
+        for (_m0, t0), (m1, t1) in zip(entries, entries[1:]):
+            if t1 - t0 < period - 1e-9 * max(1.0, period) and not any(
+                t0 < point <= t1 + 1e-9 for point in idle_points
+            ):
+                issues.append(
+                    f"RG: {sid}#{m1} released {t1 - t0:g} < period "
+                    f"{period:g} after the previous release with no idle "
+                    f"point in between"
+                )
+    return issues
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive search vs analysis (small systems only)
+# ---------------------------------------------------------------------------
+
+
+def _exhaustive_applies(case: FuzzCase) -> bool:
+    return (
+        len(case.system.tasks) <= EXHAUSTIVE_MAX_TASKS
+        and "DS" in case.results
+    )
+
+
+def _check_exhaustive(case: FuzzCase) -> list[str]:
+    from repro.core.analysis.exhaustive import search_worst_case_eer
+
+    issues = []
+    pairs = [("DS", case.sa_ds)]
+    if "PM" in case.results:
+        pairs.append(("PM", case.sa_pm))
+    for protocol, analysis in pairs:
+        if analysis.failed:
+            continue
+        try:
+            search = search_worst_case_eer(
+                case.system,
+                protocol,
+                steps=EXHAUSTIVE_STEPS,
+                horizon_periods=case.horizon_periods,
+            )
+        except ConfigurationError:
+            continue  # combination cap -- treat as not applicable
+        for i in range(len(case.system.tasks)):
+            bound = analysis.task_bounds[i]
+            observed = search.worst_eer[i]
+            if observed > bound + _TOL * max(1.0, bound):
+                issues.append(
+                    f"{protocol}: exhaustive search found task T{i + 1} "
+                    f"EER {observed:g} above the "
+                    f"{analysis.algorithm} bound {bound:g} "
+                    f"(witness phases {search.witness_phases[i]})"
+                )
+    return issues
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def _always(_case: FuzzCase) -> bool:
+    return True
+
+
+def _needs(*protocols: str) -> Callable[[FuzzCase], bool]:
+    return lambda case: all(p in case.results for p in protocols)
+
+
+ORACLES: dict[str, Oracle] = {
+    oracle.name: oracle
+    for oracle in (
+        Oracle(
+            "trace-invariants",
+            "Section 2 (task model), Section 3 (protocols)",
+            "every trace satisfies fixed-priority preemptive semantics",
+            _check_trace_invariants,
+            _always,
+        ),
+        Oracle(
+            "precedence",
+            "Section 2 (precedence constraints)",
+            "no successor released before its predecessor completed",
+            _check_precedence,
+            _always,
+        ),
+        Oracle(
+            "sa-pm-soundness",
+            "Section 4.2, Theorem 1",
+            "PM/MPM/RG simulated responses never exceed SA/PM bounds",
+            _check_sa_pm_soundness,
+            lambda case: any(
+                p in case.results for p in ("PM", "MPM", "RG")
+            ),
+        ),
+        Oracle(
+            "sa-ds-soundness",
+            "Section 4.3",
+            "DS simulated (I)EER times never exceed SA/DS bounds",
+            _check_sa_ds_soundness,
+            # Applies only when Algorithm SA/DS *accepted*: on failure
+            # the fixed-point iteration stops early, leaving bounds that
+            # are under-converged (monotone from below), hence unsound.
+            lambda case: "DS" in case.results and not case.sa_ds.failed,
+        ),
+        Oracle(
+            "analysis-dominance",
+            "Section 4.3 (SA/DS pessimism)",
+            "SA/DS task bounds dominate SA/PM task bounds",
+            _check_analysis_dominance,
+            _always,
+        ),
+        Oracle(
+            "pm-mpm-identity",
+            "Section 3.1/3.3",
+            "PM and MPM schedules are identical under ideal conditions",
+            _check_pm_mpm_identity,
+            _needs("PM", "MPM"),
+        ),
+        Oracle(
+            "rg-guard",
+            "Section 3.2 (release rule)",
+            "RG never releases before the governing guard",
+            _check_rg_guard,
+            _needs("RG"),
+        ),
+        Oracle(
+            "rg-separation",
+            "Theorem 1 (premise)",
+            "consecutive RG releases a period apart unless an idle point "
+            "intervened",
+            _check_rg_separation,
+            _needs("RG"),
+        ),
+        Oracle(
+            "exhaustive-vs-bounds",
+            "Section 2 (exhaustive search), Section 5",
+            "searched worst-case EER stays below the analysis bound on "
+            "small systems",
+            _check_exhaustive,
+            _exhaustive_applies,
+        ),
+    )
+}
+
+
+def oracle_names() -> tuple[str, ...]:
+    """All registered oracle names, in registry order."""
+    return tuple(ORACLES)
+
+
+def check_case(
+    case: FuzzCase, names: tuple[str, ...] | None = None
+) -> tuple[dict[str, list[str]], tuple[str, ...]]:
+    """Run oracles over a case.
+
+    Returns ``(failures, checked)``: violations keyed by oracle name
+    (only oracles that found any), and the names of the oracles that
+    applied to this case.  Unknown names raise
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    selected = names if names is not None else oracle_names()
+    unknown = [name for name in selected if name not in ORACLES]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown oracle(s) {', '.join(unknown)}; "
+            f"known: {', '.join(ORACLES)}"
+        )
+    failures: dict[str, list[str]] = {}
+    checked: list[str] = []
+    for name in selected:
+        oracle = ORACLES[name]
+        if not oracle.applies(case):
+            continue
+        checked.append(name)
+        issues = oracle.check(case)
+        if issues:
+            failures[name] = issues
+    return failures, tuple(checked)

@@ -1,0 +1,155 @@
+"""Build one fuzz *case*: every protocol simulated, both analyses run.
+
+A :class:`FuzzCase` is the shared evidence the oracle registry
+(:mod:`repro.fuzz.oracles`) judges: the four protocol traces (recorded
+with segments, so :func:`repro.sim.trace_validation.validate_trace` can
+re-derive the scheduling rules), the SA/PM and SA/DS analysis results,
+and per-protocol run metadata.  Protocols that cannot run on a given
+system -- PM/MPM need finite SA/PM bounds for every non-last subtask --
+are *skipped* with a recorded reason rather than failed: an infeasible
+system is not a counterexample.
+
+The RG run uses :class:`CheckedReleaseGuard`, a Release Guard that also
+records any release happening before the guard that governed it, and is
+simulated with idle-point recording on so that Theorem 1's release-
+separation argument is checkable from the trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.analysis.results import AnalysisResult
+from repro.core.analysis.sa_ds import analyze_sa_ds
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.core.protocols.direct import DirectSynchronization
+from repro.core.protocols.modified_pm import ModifiedPhaseModification
+from repro.core.protocols.phase_modification import PhaseModification
+from repro.core.protocols.release_guard import ReleaseGuard
+from repro.model.system import System
+from repro.model.task import SubtaskId
+from repro.sim.interfaces import ReleaseController
+from repro.sim.simulator import SimulationResult, simulate
+from repro.workload.config import WorkloadConfig
+
+__all__ = ["CheckedReleaseGuard", "FuzzCase", "build_case"]
+
+#: Protocols a case tries to run, in the paper's order.
+CASE_PROTOCOLS = ("DS", "PM", "MPM", "RG")
+
+
+class CheckedReleaseGuard(ReleaseGuard):
+    """Release Guard that records releases arriving before their guard.
+
+    The kernel invokes :meth:`on_release` at the instant an instance is
+    released, *before* rule 1 raises the guard -- so ``self.guards[sid]``
+    still holds the guard that governed this release.  A correct RG
+    implementation never releases early; anything recorded here is a
+    protocol-conformance violation (Section 3.2, release rule).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (sid, instance, release time, governing guard) per early release.
+        self.early_releases: list[tuple[SubtaskId, int, float, float]] = []
+
+    def on_release(self, sid: SubtaskId, instance: int, now: float) -> None:
+        guard = self.guards.get(sid, 0.0)
+        if now < guard - 1e-9 * max(1.0, abs(guard)):
+            self.early_releases.append((sid, instance, now, guard))
+        super().on_release(sid, instance, now)
+
+
+@dataclass
+class FuzzCase:
+    """Everything the oracles need to judge one system."""
+
+    system: System
+    sa_pm: AnalysisResult
+    sa_ds: AnalysisResult
+    horizon_periods: float
+    seed: int | None = None
+    config: WorkloadConfig | None = None
+    #: Protocol name -> simulation result (only protocols that ran).
+    results: dict[str, SimulationResult] = field(default_factory=dict)
+    #: Protocol name -> reason it was skipped.
+    skipped: dict[str, str] = field(default_factory=dict)
+    #: Controller objects, for oracle introspection (e.g. the RG guard log).
+    controllers: dict[str, ReleaseController] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        parts = [self.system.name]
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        if self.config is not None:
+            parts.append(self.config.label)
+        return " ".join(parts)
+
+
+def _pm_bounds_ok(result: AnalysisResult, system: System) -> bool:
+    """PM/MPM can run iff every non-last subtask has a finite bound."""
+    for task_index, task in enumerate(system.tasks):
+        for j in range(task.chain_length - 1):
+            if math.isinf(result.subtask_bounds[SubtaskId(task_index, j)]):
+                return False
+    return True
+
+
+def build_case(
+    system: System,
+    *,
+    seed: int | None = None,
+    config: WorkloadConfig | None = None,
+    horizon_periods: float = 5.0,
+    sa_ds_max_iterations: int = 120,
+) -> FuzzCase:
+    """Run all four protocols and both analyses over ``system``.
+
+    Every simulation records segments (for the trace validator); the RG
+    run additionally records idle points (for the release-separation
+    oracle).  The result is deterministic: the simulator is a pure
+    function of the system, and no randomness enters after generation.
+    """
+    sa_pm = analyze_sa_pm(system)
+    sa_ds = analyze_sa_ds(system, max_iterations=sa_ds_max_iterations)
+    case = FuzzCase(
+        system=system,
+        sa_pm=sa_pm,
+        sa_ds=sa_ds,
+        horizon_periods=horizon_periods,
+        seed=seed,
+        config=config,
+    )
+
+    pm_runnable = _pm_bounds_ok(sa_pm, system)
+    for protocol in CASE_PROTOCOLS:
+        record_idle = False
+        if protocol == "DS":
+            controller: ReleaseController = DirectSynchronization()
+        elif protocol == "RG":
+            controller = CheckedReleaseGuard()
+            record_idle = True
+        else:  # PM / MPM
+            if not pm_runnable:
+                case.skipped[protocol] = (
+                    "SA/PM bound infinite for a non-last subtask; "
+                    "the timer protocols cannot place releases"
+                )
+                continue
+            bounds = dict(sa_pm.subtask_bounds)
+            controller = (
+                PhaseModification(bounds)
+                if protocol == "PM"
+                else ModifiedPhaseModification(bounds)
+            )
+        case.controllers[protocol] = controller
+        case.results[protocol] = simulate(
+            system,
+            controller,
+            horizon_periods=horizon_periods,
+            record_segments=True,
+            record_idle_points=record_idle,
+        )
+    return case

@@ -1,0 +1,217 @@
+"""Counterexample shrinking: delta-debug a failing system to a minimum.
+
+Given a system on which some oracle fails and a predicate "does it still
+fail", the shrinker greedily applies three reduction passes, re-checking
+the predicate after every candidate edit:
+
+1. **drop tasks** -- remove whole tasks, one at a time, restarting the
+   scan after every success (classic ddmin with granularity 1: small
+   systems make quadratic rescans affordable);
+2. **drop subtasks** -- shorten chains by removing individual stages
+   (precedence re-links across the gap; priorities are left as they
+   are, which the model permits);
+3. **round parameters** -- replace phases with 0, and periods, phases
+   and execution times with coarser values, so the surviving
+   counterexample has human-readable numbers.
+
+Every simulation downstream of generation is deterministic, so the
+predicate is stable and the shrink result reproducible.  The predicate
+is evaluated at most ``max_attempts`` times; the budget bounds shrink
+cost on pathological cases (each evaluation re-simulates the system
+under every protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.model.system import System
+from repro.model.task import Subtask, Task
+
+__all__ = ["ShrinkResult", "shrink_system"]
+
+Predicate = Callable[[System], bool]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    system: System
+    attempts: int
+    original_task_count: int
+    original_subtask_count: int
+
+    @property
+    def task_count(self) -> int:
+        return len(self.system.tasks)
+
+    @property
+    def subtask_count(self) -> int:
+        return self.system.subtask_count
+
+
+class _Budget:
+    """Counts predicate evaluations, absorbing model/analysis errors."""
+
+    def __init__(self, predicate: Predicate, max_attempts: int) -> None:
+        self.predicate = predicate
+        self.max_attempts = max_attempts
+        self.attempts = 0
+
+    def still_fails(self, candidate: System) -> bool:
+        if self.attempts >= self.max_attempts:
+            return False
+        self.attempts += 1
+        try:
+            return self.predicate(candidate)
+        except ReproError:
+            # An edit produced a system the pipeline rejects (e.g. all
+            # bounds diverged); it is not a smaller counterexample.
+            return False
+
+
+def _without_task(system: System, index: int) -> System:
+    tasks = tuple(
+        task for i, task in enumerate(system.tasks) if i != index
+    )
+    return System(tasks, name=system.name)
+
+
+def _without_subtask(system: System, task_index: int, j: int) -> System:
+    task = system.tasks[task_index]
+    chain = tuple(
+        stage for k, stage in enumerate(task.subtasks) if k != j
+    )
+    tasks = list(system.tasks)
+    tasks[task_index] = task.with_subtasks(chain)
+    return System(tuple(tasks), name=system.name)
+
+
+def _drop_tasks(system: System, budget: _Budget) -> System:
+    changed = True
+    while changed and len(system.tasks) > 1:
+        changed = False
+        for index in range(len(system.tasks)):
+            candidate = _without_task(system, index)
+            if budget.still_fails(candidate):
+                system = candidate
+                changed = True
+                break
+    return system
+
+
+def _drop_subtasks(system: System, budget: _Budget) -> System:
+    changed = True
+    while changed:
+        changed = False
+        for task_index, task in enumerate(system.tasks):
+            if task.chain_length <= 1:
+                continue
+            for j in range(task.chain_length - 1, -1, -1):
+                candidate = _without_subtask(system, task_index, j)
+                if budget.still_fails(candidate):
+                    system = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+    return system
+
+
+def _rounded_candidates(value: float, *, minimum: float) -> list[float]:
+    """Coarser stand-ins for one parameter, most aggressive first."""
+    candidates = []
+    for rounded in (float(round(value)), float(round(value, 1))):
+        if rounded > minimum and rounded != value:
+            candidates.append(rounded)
+    return candidates
+
+
+def _replace_task(system: System, index: int, task: Task) -> System:
+    tasks = list(system.tasks)
+    tasks[index] = task
+    return System(tuple(tasks), name=system.name)
+
+
+def _round_parameters(system: System, budget: _Budget) -> System:
+    for index in range(len(system.tasks)):
+        task = system.tasks[index]
+        # Phase: zero is the simplest possible value; then coarser floats.
+        if task.phase != 0.0:
+            for phase in [0.0] + _rounded_candidates(task.phase, minimum=-1.0):
+                if phase < 0:
+                    continue
+                candidate = _replace_task(
+                    system, index, task.with_phase(phase)
+                )
+                if budget.still_fails(candidate):
+                    system = candidate
+                    task = system.tasks[index]
+                    break
+        for period in _rounded_candidates(task.period, minimum=0.0):
+            try:
+                candidate = _replace_task(
+                    system,
+                    index,
+                    Task(
+                        period=period,
+                        subtasks=task.subtasks,
+                        phase=task.phase,
+                        deadline=task.deadline,
+                        name=task.name,
+                    ),
+                )
+            except ReproError:
+                continue
+            if budget.still_fails(candidate):
+                system = candidate
+                task = system.tasks[index]
+                break
+        for j, stage in enumerate(task.subtasks):
+            for execution in _rounded_candidates(
+                stage.execution_time, minimum=0.0
+            ):
+                chain = list(task.subtasks)
+                chain[j] = Subtask(
+                    execution_time=execution,
+                    processor=stage.processor,
+                    priority=stage.priority,
+                    name=stage.name,
+                )
+                candidate = _replace_task(
+                    system, index, task.with_subtasks(tuple(chain))
+                )
+                if budget.still_fails(candidate):
+                    system = candidate
+                    task = system.tasks[index]
+                    break
+    return system
+
+
+def shrink_system(
+    system: System,
+    predicate: Predicate,
+    *,
+    max_attempts: int = 300,
+) -> ShrinkResult:
+    """Reduce ``system`` while ``predicate`` (still-failing) stays true.
+
+    ``predicate`` must be true for ``system`` itself; if it is not (a
+    flaky failure, which the deterministic pipeline should never
+    produce), the system is returned unshrunk.
+    """
+    original_tasks = len(system.tasks)
+    original_subtasks = system.subtask_count
+    budget = _Budget(predicate, max_attempts)
+    if not budget.still_fails(system):
+        return ShrinkResult(system, budget.attempts, original_tasks,
+                            original_subtasks)
+    system = _drop_tasks(system, budget)
+    system = _drop_subtasks(system, budget)
+    system = _round_parameters(system, budget)
+    return ShrinkResult(
+        system, budget.attempts, original_tasks, original_subtasks
+    )

@@ -1,14 +1,49 @@
-"""Shared fixtures: canonical systems used across the test suite."""
+"""Shared fixtures, hypothesis profiles and the ``slow`` marker gate."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.model.system import System
 from repro.model.task import Subtask, Task
 from repro.workload.config import WorkloadConfig
 from repro.workload.examples import example_two, monitor_task_example
 from repro.workload.generator import generate_system
+
+# Property tests draw whole systems, so example generation dominates
+# runtime; the "ci" profile additionally derandomizes so every CI run
+# executes the identical example stream and failures print a replayable
+# blob.  Select with HYPOTHESIS_PROFILE=ci (default: "default").
+settings.register_profile("default", deadline=None)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (fuzz campaigns, exhaustive search)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

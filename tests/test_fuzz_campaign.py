@@ -1,0 +1,153 @@
+"""Tests for campaign orchestration and the fuzz CLI subcommands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import fuzz_once
+from repro.cli import main
+from repro.core.protocols.release_guard import ReleaseGuard
+from repro.errors import ConfigurationError
+from repro.fuzz import PROFILES, load_corpus, replay_corpus, run_campaign
+
+
+class TestBudgets:
+    def test_some_budget_is_mandatory(self):
+        with pytest.raises(ConfigurationError, match="--runs"):
+            run_campaign()
+
+    def test_run_budget_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="runs"):
+            run_campaign(runs=0)
+
+    def test_seconds_budget_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="seconds"):
+            run_campaign(seconds=0.0)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError, match="profile"):
+            run_campaign(runs=1, profile="nope")
+
+    def test_seconds_budget_terminates(self):
+        report = run_campaign(
+            seconds=0.05, profile="tiny", workers=1, shrink=False
+        )
+        assert report.ok
+
+
+class TestCampaign:
+    def test_serial_campaign_is_clean_and_counts_checks(self):
+        report = run_campaign(runs=4, profile="tiny", workers=1)
+        assert report.ok
+        assert report.runs == 4
+        assert report.checks["trace-invariants"] == 4
+        assert report.failure_count == 0
+        assert "0 failure(s)" in report.describe()
+
+    def test_worker_count_does_not_change_what_is_checked(self):
+        serial = run_campaign(runs=6, profile="tiny", workers=1)
+        pooled = run_campaign(runs=6, profile="tiny", workers=2)
+        assert serial.checks == pooled.checks
+        assert serial.skips == pooled.skips
+        assert serial.ok and pooled.ok
+
+    def test_fuzz_once_wraps_one_case(self):
+        outcome = fuzz_once(0, config=PROFILES["tiny"][0])
+        assert not outcome.failed
+        assert outcome.seed == 0
+        assert "trace-invariants" in outcome.checked
+
+
+class TestInjectedBugEndToEnd:
+    """Break RG rule 1, run an in-process campaign, and follow the
+    counterexample all the way through the corpus and replay."""
+
+    @pytest.fixture()
+    def broken_rule_one(self, monkeypatch):
+        def buggy_on_release(self, sid, instance, now):
+            self.guards[sid] = now
+
+        monkeypatch.setattr(ReleaseGuard, "on_release", buggy_on_release)
+
+    def test_fail_fast_stops_after_first_failure(self, broken_rule_one):
+        report = run_campaign(
+            runs=40,
+            configs=(PROFILES["default"][2],),
+            base_seed=8,
+            workers=1,
+            shrink=False,
+            fail_fast=True,
+        )
+        assert report.failure_count == 1
+        assert report.runs == 1
+
+    @pytest.mark.slow
+    def test_counterexample_reaches_corpus_and_replays_clean(
+        self, tmp_path, monkeypatch
+    ):
+        def buggy_on_release(self, sid, instance, now):
+            self.guards[sid] = now
+
+        with pytest.MonkeyPatch.context() as patched:
+            patched.setattr(
+                ReleaseGuard, "on_release", buggy_on_release
+            )
+            report = run_campaign(
+                runs=1,
+                configs=(PROFILES["default"][2],),
+                base_seed=8,
+                workers=1,
+                corpus_path=tmp_path,
+            )
+            assert report.failure_count == 1
+            record = report.counterexamples[0]
+            assert record.oracle == "rg-separation"
+            assert len(record.system.tasks) <= 3
+        # The patch is gone: with a correct Release Guard, the shrunk
+        # counterexample must now pass its oracle.
+        records = load_corpus(tmp_path)
+        assert len(records) == 1
+        outcomes = replay_corpus(records)
+        assert all(outcome.passed for outcome in outcomes)
+
+
+class TestCli:
+    def test_fuzz_subcommand_clean_run(self, capsys):
+        code = main(
+            ["fuzz", "--runs", "4", "--workers", "1", "--profile", "tiny"]
+        )
+        assert code == 0
+        assert "0 failure(s)" in capsys.readouterr().out
+
+    def test_fuzz_subcommand_stats(self, capsys):
+        code = main(
+            ["fuzz", "--runs", "2", "--workers", "1", "--profile", "tiny",
+             "--stats"]
+        )
+        assert code == 0
+        assert "oracle checks" in capsys.readouterr().out
+
+    def test_fuzz_oracle_selection(self, capsys):
+        code = main(
+            ["fuzz", "--runs", "2", "--workers", "1", "--profile", "tiny",
+             "--oracles", "trace-invariants", "precedence", "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace-invariants=2" in out
+        assert "sa-pm-soundness" not in out
+
+    def test_fuzz_replay_empty_corpus(self, tmp_path, capsys):
+        code = main(["fuzz-replay", "--corpus", str(tmp_path / "none")])
+        assert code == 0
+        assert "no corpus entries" in capsys.readouterr().out
+
+    def test_fuzz_replay_committed_corpus(self, capsys):
+        import tests.test_fuzz_corpus as corpus_test
+
+        code = main(
+            ["fuzz-replay", "--corpus", str(corpus_test.CORPUS_DIR),
+             "--stats"]
+        )
+        assert code == 0
+        assert "0 still failing" in capsys.readouterr().out

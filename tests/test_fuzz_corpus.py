@@ -1,0 +1,107 @@
+"""Tests for corpus persistence and the committed regression corpus."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fuzz import (
+    Counterexample,
+    append_counterexample,
+    load_corpus,
+    replay_corpus,
+)
+from repro.fuzz.corpus import (
+    counterexample_from_dict,
+    counterexample_to_dict,
+)
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+def _record(seed: int = 3) -> Counterexample:
+    config = WorkloadConfig(
+        subtasks_per_task=2, utilization=0.5, tasks=2, processors=2
+    )
+    return Counterexample(
+        oracle="rg-separation",
+        system=generate_system(config, seed),
+        violations=("RG: example violation",),
+        seed=seed,
+        config=config,
+        original_task_count=4,
+        shrink_attempts=17,
+        note="unit-test record",
+    )
+
+
+class TestSerialization:
+    def test_round_trip_preserves_every_field(self):
+        record = _record()
+        rebuilt = counterexample_from_dict(counterexample_to_dict(record))
+        assert rebuilt == record
+
+    def test_wrong_format_rejected(self):
+        data = counterexample_to_dict(_record())
+        data["format"] = "something-else"
+        with pytest.raises(ConfigurationError, match="format"):
+            counterexample_from_dict(data)
+
+    def test_unknown_oracle_rejected(self):
+        data = counterexample_to_dict(_record())
+        data["oracle"] = "no-such-oracle"
+        with pytest.raises(ConfigurationError, match="unknown oracle"):
+            counterexample_from_dict(data)
+
+
+class TestPersistence:
+    def test_append_then_load(self, tmp_path):
+        target = tmp_path / "corpus" / "found.jsonl"
+        append_counterexample(_record(1), target)
+        append_counterexample(_record(2), target)
+        records = load_corpus(target)
+        assert [record.seed for record in records] == [1, 2]
+
+    def test_directory_argument_uses_default_file_and_globs(self, tmp_path):
+        file = append_counterexample(_record(5), tmp_path)
+        assert file.name == "counterexamples.jsonl"
+        assert [r.seed for r in load_corpus(tmp_path)] == [5]
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        file = append_counterexample(_record(7), tmp_path / "c.jsonl")
+        text = file.read_text()
+        file.write_text("# a comment line\n\n" + text)
+        assert len(load_corpus(file)) == 1
+
+    def test_missing_path_is_an_empty_corpus(self, tmp_path):
+        assert load_corpus(tmp_path / "nowhere") == []
+
+    def test_corrupt_line_reports_file_and_number(self, tmp_path):
+        file = tmp_path / "bad.jsonl"
+        file.write_text("{not json\n")
+        with pytest.raises(ConfigurationError, match="bad.jsonl:1"):
+            load_corpus(file)
+
+
+class TestCommittedCorpus:
+    """The corpus under ``tests/corpus/`` documents *fixed* bugs; every
+    entry must replay clean against the current code, forever."""
+
+    def test_seeded_corpus_is_nonempty(self):
+        assert load_corpus(CORPUS_DIR)
+
+    def test_every_entry_replays_clean(self):
+        outcomes = replay_corpus(load_corpus(CORPUS_DIR))
+        failing = [o.describe() for o in outcomes if not o.passed]
+        assert failing == []
+
+    def test_entries_are_shrunk_and_attributed(self):
+        for record in load_corpus(CORPUS_DIR):
+            assert len(record.system.tasks) <= 3
+            assert record.seed is not None
+            assert record.violations
+            assert record.note

@@ -1,0 +1,107 @@
+"""Unit tests for the fuzz oracle registry and case builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fuzz import (
+    ORACLES,
+    CheckedReleaseGuard,
+    build_case,
+    check_case,
+    oracle_names,
+)
+from repro.fuzz.runner import CASE_PROTOCOLS
+from repro.model.system import System
+from repro.model.task import Subtask, Task
+
+
+class TestRegistry:
+    def test_every_oracle_documents_its_paper_claim(self):
+        for oracle in ORACLES.values():
+            assert oracle.reference
+            assert oracle.description
+            assert oracle.name == oracle.name.lower()
+
+    def test_registry_order_is_stable(self):
+        assert oracle_names() == tuple(ORACLES)
+        assert "trace-invariants" in oracle_names()
+        assert "exhaustive-vs-bounds" in oracle_names()
+
+    def test_unknown_oracle_name_raises(self, example2):
+        case = build_case(example2, horizon_periods=3.0)
+        with pytest.raises(ConfigurationError, match="unknown oracle"):
+            check_case(case, ("no-such-oracle",))
+
+
+class TestBuildCase:
+    def test_example2_runs_all_four_protocols(self, example2):
+        case = build_case(example2, horizon_periods=3.0)
+        assert set(case.results) == set(CASE_PROTOCOLS)
+        assert case.skipped == {}
+        assert isinstance(case.controllers["RG"], CheckedReleaseGuard)
+        for result in case.results.values():
+            assert result.trace.record_segments
+
+    def test_example2_passes_every_applicable_oracle(self, example2):
+        case = build_case(example2, horizon_periods=3.0)
+        failures, checked = check_case(case)
+        assert failures == {}
+        # Example 2 has three tasks, so the exhaustive oracle is gated
+        # out, but all protocol-relational oracles apply.
+        assert "exhaustive-vs-bounds" not in checked
+        for name in ("trace-invariants", "sa-pm-soundness",
+                     "sa-ds-soundness", "pm-mpm-identity", "rg-guard",
+                     "rg-separation", "analysis-dominance"):
+            assert name in checked
+
+    def test_exhaustive_oracle_applies_to_tiny_systems(
+        self, two_stage_pipeline
+    ):
+        case = build_case(two_stage_pipeline, horizon_periods=3.0)
+        failures, checked = check_case(case)
+        assert failures == {}
+        assert "exhaustive-vs-bounds" in checked
+
+    def test_overloaded_system_skips_timer_protocols(self):
+        # P1 is at 120% utilization: the SA/PM busy period diverges for
+        # the non-last subtasks, so PM/MPM cannot place releases.  That
+        # must surface as a *skip* with a reason, never as a failure.
+        system = System(
+            (
+                Task(
+                    period=10.0,
+                    subtasks=(
+                        Subtask(6.0, "P1", priority=0),
+                        Subtask(1.0, "P2", priority=0),
+                    ),
+                    name="A",
+                ),
+                Task(
+                    period=10.0,
+                    subtasks=(
+                        Subtask(6.0, "P1", priority=1),
+                        Subtask(1.0, "P2", priority=1),
+                    ),
+                    name="B",
+                ),
+            ),
+            name="overloaded",
+        )
+        case = build_case(system, horizon_periods=3.0)
+        assert "PM" in case.skipped and "MPM" in case.skipped
+        assert "DS" in case.results and "RG" in case.results
+        failures, checked = check_case(case)
+        assert failures == {}
+        assert "pm-mpm-identity" not in checked
+        # SA/DS diverged on the overloaded processor, so its bounds are
+        # under-converged and the soundness oracle must not apply.
+        assert case.sa_ds.failed
+        assert "sa-ds-soundness" not in checked
+
+    def test_restricting_oracles_restricts_checks(self, example2):
+        case = build_case(example2, horizon_periods=3.0)
+        failures, checked = check_case(case, ("rg-separation",))
+        assert failures == {}
+        assert checked == ("rg-separation",)

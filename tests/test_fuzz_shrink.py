@@ -1,0 +1,112 @@
+"""Tests for counterexample shrinking, including the end-to-end
+injected-bug exercise: a deliberately broken Release Guard must be
+caught by an oracle and delta-debugged to a tiny system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocols.release_guard import ReleaseGuard
+from repro.errors import ReproError
+from repro.fuzz import PROFILES, fuzz_one, shrink_system
+from repro.fuzz.campaign import _shrink_outcome
+from repro.model.system import System
+from repro.model.task import Subtask, Task
+
+
+def _system(periods: tuple[float, ...]) -> System:
+    return System(
+        tuple(
+            Task(
+                period=period,
+                subtasks=(Subtask(1.0, "P1", priority=i),),
+                name=f"T{i + 1}",
+            )
+            for i, period in enumerate(periods)
+        ),
+        name="shrinkable",
+    )
+
+
+class TestShrinkSystem:
+    def test_drops_tasks_irrelevant_to_the_predicate(self):
+        system = _system((100.0, 123.456, 700.5))
+
+        def has_slow_task(candidate: System) -> bool:
+            return any(task.period > 500 for task in candidate.tasks)
+
+        result = shrink_system(system, has_slow_task)
+        assert result.task_count == 1
+        assert result.system.tasks[0].period > 500
+        assert result.original_task_count == 3
+
+    def test_rounds_parameters_to_readable_values(self):
+        system = _system((700.5,))
+        result = shrink_system(
+            system, lambda candidate: candidate.tasks[0].period > 500
+        )
+        assert result.system.tasks[0].period == 700.0
+
+    def test_flaky_predicate_returns_system_unshrunk(self):
+        system = _system((100.0, 200.0))
+        result = shrink_system(system, lambda _candidate: False)
+        assert result.system is system
+        assert result.attempts == 1
+
+    def test_predicate_errors_count_as_not_failing(self):
+        system = _system((100.0, 200.0, 300.0))
+
+        def brittle(candidate: System) -> bool:
+            if len(candidate.tasks) < 3:
+                raise ReproError("cannot evaluate the smaller system")
+            return True
+
+        result = shrink_system(system, brittle)
+        assert result.task_count == 3
+
+    def test_attempt_budget_is_respected(self):
+        system = _system((100.0, 200.0, 300.0, 400.0))
+        calls = []
+
+        def predicate(candidate: System) -> bool:
+            calls.append(len(candidate.tasks))
+            return True
+
+        # Budget 2 = the initial confirmation plus one drop; the shrink
+        # must stop there even though every candidate "still fails".
+        result = shrink_system(system, predicate, max_attempts=2)
+        assert len(calls) == 2
+        assert result.task_count == 3
+
+
+class TestInjectedBug:
+    """Acceptance exercise: break RG rule 1, fuzz, catch, shrink."""
+
+    def _break_rule_one(self, monkeypatch):
+        # Rule 1 (Section 3.2) raises the guard to now + period on every
+        # release; this "bug" leaves it at now, degenerating RG into DS.
+        def buggy_on_release(self, sid, instance, now):
+            self.guards[sid] = now
+
+        monkeypatch.setattr(ReleaseGuard, "on_release", buggy_on_release)
+
+    def test_bug_is_caught_by_the_separation_oracle(self, monkeypatch):
+        self._break_rule_one(monkeypatch)
+        outcome = fuzz_one(PROFILES["default"][2], 8, index=8)
+        assert outcome.failed
+        assert "rg-separation" in outcome.failures
+
+    def test_bug_shrinks_to_at_most_three_tasks(self, monkeypatch):
+        self._break_rule_one(monkeypatch)
+        outcome = fuzz_one(PROFILES["default"][2], 8, index=8)
+        record = _shrink_outcome(
+            outcome, horizon_periods=5.0, max_attempts=300
+        )
+        assert record.oracle == "rg-separation"
+        assert len(record.system.tasks) <= 3
+        assert record.original_task_count == 4
+        assert record.violations
+
+    def test_clean_release_guard_passes_the_same_case(self):
+        outcome = fuzz_one(PROFILES["default"][2], 8, index=8)
+        assert not outcome.failed

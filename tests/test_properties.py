@@ -393,6 +393,42 @@ def test_link_insertion_preserves_model_invariants(config, seed, transmission):
         assert tuple(kept) == before.subtasks
 
 
+@pytest.mark.slow
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=seeds)
+def test_searched_worst_case_never_exceeds_analysis_bounds(seed):
+    """The exhaustive phase search yields a certified lower bound on the
+    true worst-case EER time (Section 2), so it can never exceed a sound
+    analysis bound: searched-PM <= SA/PM and searched-DS <= SA/DS."""
+    from repro.core.analysis.exhaustive import search_worst_case_eer
+
+    config = WorkloadConfig(
+        subtasks_per_task=2,
+        utilization=0.6,
+        tasks=2,
+        processors=2,
+        period_min=100.0,
+        period_max=1000.0,
+        period_scale=300.0,
+    )
+    system = generate_system(config, seed % 200)
+    sa_ds = analyze_sa_ds(system, max_iterations=60)
+    searched_ds = search_worst_case_eer(
+        system, "DS", steps=3, horizon_periods=5.0
+    )
+    for observed, bound in zip(searched_ds.worst_eer, sa_ds.task_bounds):
+        if math.isfinite(bound):
+            assert observed <= bound + 1e-6
+    sa_pm = analyze_sa_pm(system)
+    if not sa_pm.failed:
+        searched_pm = search_worst_case_eer(
+            system, "PM", steps=3, horizon_periods=5.0
+        )
+        for observed, bound in zip(searched_pm.worst_eer, sa_pm.task_bounds):
+            assert observed <= bound + 1e-6
+
+
 @FAST_SETTINGS
 @given(
     jitter=st.floats(0.0, 100.0),

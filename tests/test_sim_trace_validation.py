@@ -125,3 +125,80 @@ class TestDetections:
         assert any(
             "never released" in issue for issue in validate_trace(trace)
         )
+
+    def test_detects_out_of_order_releases(self, example2):
+        trace = self._base_trace(example2)
+        sid = SubtaskId(0, 0)
+        # Instance 1 released before instance 0: the period is fixed,
+        # so index order must follow time order.
+        trace.note_release(sid, 0, 5.0)
+        trace.note_release(sid, 1, 2.0)
+        trace.note_segment(Segment("P1", sid, 1, 2.0, 4.0))
+        trace.note_segment(Segment("P1", sid, 0, 5.0, 7.0))
+        trace.note_completion(sid, 1, 4.0)
+        trace.note_completion(sid, 0, 7.0)
+        assert any(
+            "released at 2 before" in issue for issue in validate_trace(trace)
+        )
+
+    def test_detects_out_of_order_completions(self, example2):
+        trace = self._base_trace(example2)
+        sid = SubtaskId(0, 0)
+        trace.note_release(sid, 0, 0.0)
+        trace.note_release(sid, 1, 4.0)
+        trace.note_segment(Segment("P1", sid, 0, 0.0, 2.0))
+        trace.note_segment(Segment("P1", sid, 1, 4.0, 6.0))
+        # Completions swapped: instance 1 finishes before instance 0.
+        trace.note_completion(sid, 0, 6.0)
+        trace.note_completion(sid, 1, 5.0)
+        assert any(
+            "completed at 5 before" in issue
+            for issue in validate_trace(trace)
+        )
+
+
+class TestToleranceBoundary:
+    """Violations inside ``tolerance`` pass; just outside, they fail."""
+
+    TOL = 1e-3
+
+    def _overlap_trace(self, example2, overlap: float) -> Trace:
+        trace = Trace(example2, horizon=100.0)
+        sid = SubtaskId(0, 0)
+        trace.note_release(sid, 0, 0.0)
+        trace.note_release(sid, 1, 4.0)
+        trace.note_segment(Segment("P1", sid, 0, 0.0, 2.0))
+        trace.note_segment(Segment("P1", sid, 1, 2.0 - overlap, 4.0 - overlap))
+        trace.note_completion(sid, 0, 2.0)
+        trace.note_completion(sid, 1, 4.0 - overlap)
+        return trace
+
+    def test_overlap_within_tolerance_passes(self, example2):
+        trace = self._overlap_trace(example2, overlap=self.TOL / 2)
+        assert validate_trace(trace, tolerance=self.TOL) == []
+
+    def test_overlap_beyond_tolerance_fails(self, example2):
+        trace = self._overlap_trace(example2, overlap=2 * self.TOL)
+        issues = validate_trace(trace, tolerance=self.TOL)
+        assert any("overlap" in issue for issue in issues)
+
+    def _precedence_trace(self, example2, early: float) -> Trace:
+        trace = Trace(example2, horizon=100.0)
+        first = SubtaskId(1, 0)
+        second = SubtaskId(1, 1)
+        trace.note_release(first, 0, 0.0)
+        trace.note_segment(Segment("P1", first, 0, 0.0, 2.0))
+        trace.note_completion(first, 0, 2.0)
+        trace.note_release(second, 0, 2.0 - early)
+        trace.note_segment(Segment("P2", second, 0, 2.0, 5.0))
+        trace.note_completion(second, 0, 5.0)
+        return trace
+
+    def test_precedence_within_tolerance_passes(self, example2):
+        trace = self._precedence_trace(example2, early=self.TOL / 2)
+        assert validate_trace(trace, tolerance=self.TOL) == []
+
+    def test_precedence_beyond_tolerance_fails(self, example2):
+        trace = self._precedence_trace(example2, early=2 * self.TOL)
+        issues = validate_trace(trace, tolerance=self.TOL)
+        assert any("before" in issue for issue in issues)
