@@ -143,6 +143,7 @@ def fuzz_once(
     config=None,
     horizon_periods: float = 5.0,
     oracles: tuple[str, ...] | None = None,
+    timebase: str = "float",
 ):
     """One differential-fuzzing case, in one call.
 
@@ -150,14 +151,20 @@ def fuzz_once(
     first default-profile configuration), simulates all four protocols,
     and judges every applicable oracle.  Returns a
     :class:`~repro.fuzz.campaign.CaseOutcome`; ``outcome.failed`` means
-    some paper-derived cross-check was violated.  Sustained fuzzing
-    should use :func:`repro.fuzz.run_campaign`, which adds budgets,
-    process-pool parallelism, shrinking and corpus persistence.
+    some paper-derived cross-check was violated.  With
+    ``timebase="exact"`` the oracles run tolerance-free and the case is
+    differentially cross-checked against the float backend.  Sustained
+    fuzzing should use :func:`repro.fuzz.run_campaign`, which adds
+    budgets, process-pool parallelism, shrinking and corpus persistence.
     """
     # Imported lazily to keep the fuzz subsystem optional at import time.
     from repro.fuzz.campaign import PROFILES, fuzz_one
 
     effective = config if config is not None else PROFILES["default"][0]
     return fuzz_one(
-        effective, seed, horizon_periods=horizon_periods, oracles=oracles
+        effective,
+        seed,
+        horizon_periods=horizon_periods,
+        oracles=oracles,
+        timebase=timebase,
     )

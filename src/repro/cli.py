@@ -448,6 +448,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         corpus_path=args.corpus,
         fail_fast=args.fail_fast,
         progress=_progress if args.verbose else None,
+        timebase=args.timebase,
     )
     if args.stats or not report.ok:
         print(report.describe())
@@ -612,6 +613,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--oracles", nargs="+", default=None,
         help="check only these oracles (default: all)",
+    )
+    p.add_argument(
+        "--timebase", choices=("float", "exact"), default="float",
+        help="arithmetic backend; 'exact' judges with zero tolerance and "
+        "cross-checks every case against the float backend",
     )
     p.add_argument(
         "--corpus", default=None,

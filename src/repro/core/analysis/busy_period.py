@@ -29,13 +29,16 @@ the paper's 300-period failure cutoff.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Mapping, Sequence
 
-from repro.core.analysis.fixpoint import ceil_tolerant, solve_fixed_point
+from repro.core.analysis.fixpoint import solve_fixed_point
 from repro.errors import AnalysisError
 from repro.model.system import System
 from repro.model.task import SubtaskId
+from repro.timebase import ABS_EPS, FLOAT, Timebase
 
 __all__ = ["SubtaskBusyPeriod", "analyze_subtask", "interference_terms"]
 
@@ -84,18 +87,74 @@ def _demand(
     terms: Sequence[Term],
     jitter: Mapping[SubtaskId, float],
     base: float,
+    timebase: Timebase,
 ) -> "callable":
     """Build ``W(t) = base + sum ceil((t + J)/p) e`` over ``terms``."""
 
-    packed = [(e, p, jitter.get(other, 0.0)) for (e, p, other) in terms]
+    packed = [(e, p, jitter.get(other, 0)) for (e, p, other) in terms]
+
+    if timebase.exact:
+        # Floor division works on ints and Fractions alike and skips the
+        # normalized-Fraction construction a true division would pay for;
+        # ``-(-a // b)`` is exact ceiling division for positive periods.
+        def demand(t: float) -> float:
+            total = base
+            for e, p, j in packed:
+                total += -(-(t + j) // p) * e
+            return total
+
+        return demand
+
+    ceil = timebase.ceil
 
     def demand(t: float) -> float:
         total = base
         for e, p, j in packed:
-            total += ceil_tolerant((t + j) / p) * e
+            total += ceil((t + j) / p) * e
         return total
 
     return demand
+
+
+def _rescale_inputs(
+    period, blocking, jitter, terms, own_term, abort_above
+):
+    """Scale every (rational) input by the LCM of the denominators.
+
+    Converted floats are dyadic rationals (``n / 2**k``), so the LCM is
+    just the largest denominator and every scaled value is an exact
+    machine integer.  Returns ``None`` when a non-rational value (an
+    infinity sentinel) is present, in which case the caller keeps the
+    generic Fraction arithmetic.
+    """
+    values = [period, blocking, own_term[0]]
+    values.extend(v for (e, p, _sid) in terms for v in (e, p))
+    values.extend(jitter.values())
+    if abort_above is not None:
+        values.append(abort_above)
+    if not all(isinstance(v, (int, Fraction)) for v in values):
+        return None
+    scale = 1
+    for value in values:
+        if isinstance(value, Fraction):
+            d = value.denominator
+            scale = scale * d // math.gcd(scale, d)
+
+    def up(value):
+        if isinstance(value, Fraction):
+            return value.numerator * (scale // value.denominator)
+        return value * scale
+
+    period_s = up(period)
+    return (
+        period_s,
+        up(blocking),
+        {other: up(v) for other, v in jitter.items()},
+        [(up(e), up(p), other) for (e, p, other) in terms],
+        (up(own_term[0]), period_s, own_term[2]),
+        up(abort_above) if abort_above is not None else None,
+        scale,
+    )
 
 
 def analyze_subtask(
@@ -105,6 +164,7 @@ def analyze_subtask(
     *,
     abort_above: float | None = None,
     blocking: float = 0.0,
+    timebase: Timebase = FLOAT,
 ) -> SubtaskBusyPeriod:
     """Run Steps 1-5 for one subtask under the given jitter assignment.
 
@@ -127,21 +187,65 @@ def analyze_subtask(
         contention as the open extension).  Under priority-ceiling-style
         resource protocols one lower-priority critical section can block
         each busy period.
+    timebase:
+        Arithmetic backend: the default float backend reproduces the
+        historical tolerant iteration; the exact backend converts every
+        parameter to scaled-integer/rational form and solves the fixed
+        points with exact ceilings and ``==`` convergence.
     """
     jitter = jitter or {}
     subtask = system.subtask(sid)
-    period = system.period_of(sid)
-    own_jitter = jitter.get(sid, 0.0)
-    if own_jitter < 0:
-        raise AnalysisError(f"negative jitter for {sid}: {own_jitter!r}")
+    period = timebase.convert(system.period_of(sid))
+    own_jitter_raw = jitter.get(sid, 0)
+    if own_jitter_raw < 0:
+        raise AnalysisError(f"negative jitter for {sid}: {own_jitter_raw!r}")
     if blocking < 0:
         raise AnalysisError(f"negative blocking for {sid}: {blocking!r}")
-    terms = interference_terms(system, sid)
-    own_term: Term = (subtask.execution_time, period, sid)
+    blocking = timebase.convert(blocking)
+    jitter = {
+        other: timebase.convert(value) for other, value in jitter.items()
+    }
+    own_jitter = jitter.get(sid, 0)
+    terms = [
+        (timebase.convert(e), timebase.convert(p), other)
+        for (e, p, other) in interference_terms(system, sid)
+    ]
+    own_term: Term = (timebase.convert(subtask.execution_time), period, sid)
+    if abort_above is not None:
+        abort_above = timebase.convert(abort_above)
+
+    # Exact fast path: rescale the whole analysis by the LCM of every
+    # denominator in play, so the fixpoint iterations below run on plain
+    # machine integers (ceiling division, int compares) instead of
+    # normalized Fractions paying a gcd per operation.  Results are
+    # descaled on the way out; the arithmetic is identical.
+    descale = None
+    if timebase.exact:
+        scaled = _rescale_inputs(
+            period, blocking, jitter, terms, own_term, abort_above
+        )
+        if scaled is not None:
+            period, blocking, jitter, terms, own_term, abort_above, scale = (
+                scaled
+            )
+            own_jitter = jitter.get(sid, 0)
+            if scale > 1:
+                descale = lambda v: timebase.convert(Fraction(v, scale))
+
+    # Ratios (utilizations, caps) must stay exact under the exact
+    # backend even when the operands are (scaled) ints.
+    ratio = Fraction if timebase.exact else (lambda a, b: a / b)
 
     # Divergence pre-check: the long-run demand rate of H ∪ {self}.
-    level_utilization = sum(e / p for (e, p, _sid) in terms + [own_term])
-    if level_utilization >= 1.0 - 1e-12:
+    level_utilization = sum(
+        ratio(e, p) for (e, p, _sid) in terms + [own_term]
+    )
+    diverged = (
+        level_utilization >= 1
+        if timebase.exact
+        else level_utilization >= 1.0 - ABS_EPS
+    )
+    if diverged:
         return SubtaskBusyPeriod(
             sid=sid,
             busy_period=None,
@@ -154,23 +258,25 @@ def analyze_subtask(
     # W(t) <= base + U' t + sum (J/p + 1) e with U' the terms' utilization,
     # so its least fixed point is at most (base + sum (J/p + 1) e)/(1 - U').
     # Doubling gives a safety net that a correct iteration can never hit.
-    slack = 1.0 - level_utilization
+    slack = 1 - level_utilization
     jitter_load_all = sum(
-        (jitter.get(other, 0.0) / p + 1.0) * e
+        (ratio(jitter.get(other, 0), p) + 1) * e
         for (e, p, other) in terms + [own_term]
     )
-    cap_busy = 2.0 * (jitter_load_all + blocking) / slack + period
+    cap_busy = 2 * ratio(jitter_load_all + blocking, slack) + period
 
-    interference_utilization = sum(e / p for (e, p, _sid) in terms)
-    interference_slack = 1.0 - interference_utilization
+    interference_utilization = sum(ratio(e, p) for (e, p, _sid) in terms)
+    interference_slack = 1 - interference_utilization
     jitter_load_interference = sum(
-        (jitter.get(other, 0.0) / p + 1.0) * e for (e, p, other) in terms
+        (ratio(jitter.get(other, 0), p) + 1) * e for (e, p, other) in terms
     )
 
     # Step 1: busy-period length D_i,j (self term included).
-    all_demand = _demand(terms + [own_term], jitter, blocking)
+    all_demand = _demand(terms + [own_term], jitter, blocking, timebase)
     start = sum(e for (e, _p, _sid) in terms + [own_term]) + blocking
-    busy_period = solve_fixed_point(all_demand, start, cap_busy)
+    busy_period = solve_fixed_point(
+        all_demand, start, cap_busy, timebase=timebase
+    )
     if busy_period is None:  # pragma: no cover - cap is analytic, see above
         return SubtaskBusyPeriod(
             sid=sid,
@@ -181,36 +287,39 @@ def analyze_subtask(
         )
 
     # Step 2: number of instances in the busy period.
-    instance_count = max(
-        1, ceil_tolerant((busy_period + own_jitter) / period)
-    )
+    if timebase.exact:
+        instance_count = max(1, -(-(busy_period + own_jitter) // period))
+    else:
+        instance_count = max(
+            1, timebase.ceil((busy_period + own_jitter) / period)
+        )
 
     # Steps 3-5: completion bound per instance, response/IEER bound, max.
-    interference = _demand(terms, jitter, 0.0)
+    out = descale if descale is not None else (lambda v: v)
+    execution_time = own_term[0]
+    interference = _demand(terms, jitter, timebase.zero, timebase)
     per_instance: list[float] = []
-    previous_completion = 0.0
+    previous_completion = timebase.zero
     for m in range(1, instance_count + 1):
-        base = m * subtask.execution_time + blocking
+        base = m * execution_time + blocking
 
         def completion_demand(t: float, _base: float = base) -> float:
             return _base + interference(t)
 
         cap_completion = (
-            2.0
-            * (base + jitter_load_interference)
-            / interference_slack
+            2 * ratio(base + jitter_load_interference, interference_slack)
             + period
         )
-        warm_start = max(base, previous_completion + subtask.execution_time)
+        warm_start = max(base, previous_completion + execution_time)
         completion = solve_fixed_point(
-            completion_demand, warm_start, cap_completion
+            completion_demand, warm_start, cap_completion, timebase=timebase
         )
         if completion is None:  # pragma: no cover - analytic cap
             return SubtaskBusyPeriod(
                 sid=sid,
-                busy_period=busy_period,
+                busy_period=out(busy_period),
                 instance_count=instance_count,
-                per_instance_bounds=tuple(per_instance),
+                per_instance_bounds=tuple(out(v) for v in per_instance),
                 bound=None,
             )
         previous_completion = completion
@@ -219,17 +328,17 @@ def analyze_subtask(
         if abort_above is not None and instance_bound > abort_above:
             return SubtaskBusyPeriod(
                 sid=sid,
-                busy_period=busy_period,
+                busy_period=out(busy_period),
                 instance_count=instance_count,
-                per_instance_bounds=tuple(per_instance),
+                per_instance_bounds=tuple(out(v) for v in per_instance),
                 bound=None,
                 aborted=True,
             )
 
     return SubtaskBusyPeriod(
         sid=sid,
-        busy_period=busy_period,
+        busy_period=out(busy_period),
         instance_count=instance_count,
-        per_instance_bounds=tuple(per_instance),
-        bound=max(per_instance),
+        per_instance_bounds=tuple(out(v) for v in per_instance),
+        bound=out(max(per_instance)),
     )

@@ -18,14 +18,17 @@ import math
 from typing import Callable
 
 from repro.errors import AnalysisError
+from repro.timebase import FLOAT, REL_EPS, Timebase, fmt
 
 __all__ = ["ceil_tolerant", "solve_fixed_point", "DEFAULT_MAX_ITERATIONS"]
 
 #: Relative tolerance swallowing float noise in ceiling arguments, so that
 #: e.g. ``ceil(5.000000000001)`` counts as 5, not 6.  Demands are built
 #: from sums/products of workload parameters, where errors are ~1e-15
-#: relative; 1e-9 is far above the noise and far below model granularity.
-_CEIL_SLACK = 1e-9
+#: relative; the shared guard is far above the noise and far below model
+#: granularity.  The exact timebase needs no slack: its ceilings are
+#: plain ``math.ceil`` over rationals.
+_CEIL_SLACK = REL_EPS
 
 #: Iteration budget; demand fixed points of realistic systems converge in
 #: well under a thousand steps, so hitting this indicates a degenerate
@@ -44,11 +47,17 @@ def solve_fixed_point(
     cap: float,
     *,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    timebase: Timebase = FLOAT,
 ) -> float | None:
     """Least fixed point of ``demand`` at or above ``start``.
 
     Returns ``None`` when the iterate exceeds ``cap`` (the caller treats
     this as "effectively infinite" -- the paper's failure condition).
+
+    Under the float timebase, convergence means the iterate grew by less
+    than the shared relative guard; under the exact timebase it means
+    ``W(t) == t`` -- the demand is piecewise constant over rationals, so
+    the iteration lands on the least fixed point exactly.
 
     Raises
     ------
@@ -64,15 +73,24 @@ def solve_fixed_point(
         if current > cap:
             return None
         nxt = demand(current)
-        if nxt < current - 1e-9:
-            raise AnalysisError(
-                "demand function is not monotone: "
-                f"W({current:g}) = {nxt:g} < {current:g}"
-            )
-        if nxt - current <= 1e-9 * max(1.0, abs(current)):
-            return nxt
+        if timebase.exact:
+            if nxt < current:
+                raise AnalysisError(
+                    "demand function is not monotone: "
+                    f"W({fmt(current)}) = {fmt(nxt)} < {fmt(current)}"
+                )
+            if nxt == current:
+                return nxt
+        else:
+            if nxt < current - REL_EPS:
+                raise AnalysisError(
+                    "demand function is not monotone: "
+                    f"W({current:g}) = {nxt:g} < {current:g}"
+                )
+            if nxt - current <= REL_EPS * max(1.0, abs(current)):
+                return nxt
         current = nxt
     raise AnalysisError(
         f"fixed-point iteration did not settle within {max_iterations} "
-        f"steps (last iterate {current:g}, cap {cap:g})"
+        f"steps (last iterate {fmt(current)}, cap {fmt(cap)})"
     )

@@ -27,6 +27,7 @@ from repro.core.analysis.sa_pm import sa_pm_subtask_details
 from repro.model.priority import proportional_deadline
 from repro.model.system import System
 from repro.model.task import SubtaskId
+from repro.timebase import REL_EPS
 
 __all__ = ["analyze_local_deadline"]
 
@@ -63,7 +64,8 @@ def analyze_local_deadline(
             response = details[sid].bound
             holds = (
                 response is not None
-                and response <= slice_deadline + 1e-9 * max(1.0, slice_deadline)
+                and response
+                <= slice_deadline + REL_EPS * max(1.0, slice_deadline)
             )
             subtask_bounds[sid] = slice_deadline if holds else math.inf
             all_hold = all_hold and holds

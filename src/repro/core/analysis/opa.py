@@ -34,6 +34,7 @@ from repro.core.analysis.busy_period import analyze_subtask
 from repro.model.priority import proportional_deadline
 from repro.model.system import System
 from repro.model.task import SubtaskId
+from repro.timebase import REL_EPS
 
 __all__ = ["audsley_assignment"]
 
@@ -58,8 +59,8 @@ def _fits(
             probe_priorities[other] = 2
     probe = system.with_priorities(probe_priorities)
     record = analyze_subtask(probe, sid)
-    return record.bound is not None and record.bound <= deadline + 1e-9 * max(
-        1.0, deadline
+    return record.bound is not None and record.bound <= deadline + (
+        REL_EPS * max(1.0, deadline)
     )
 
 

@@ -19,6 +19,7 @@ from repro.core.analysis.sa_ds import analyze_sa_ds
 from repro.core.analysis.sa_pm import analyze_sa_pm
 from repro.core.protocols.costs import overhead_per_instance
 from repro.errors import ConfigurationError
+from repro.timebase import ABS_EPS
 from repro.model.system import System
 
 __all__ = ["inflate_for_overhead", "analyze_with_overhead"]
@@ -53,7 +54,7 @@ def inflate_for_overhead(
         for task in system.tasks
     )
     for processor, utilization in inflated.utilizations().items():
-        if utilization > 1.0 + 1e-12:
+        if utilization > 1.0 + ABS_EPS:
             raise ConfigurationError(
                 f"overhead of protocol {protocol!r} overloads processor "
                 f"{processor!r}: utilization {utilization:.4f} > 1"

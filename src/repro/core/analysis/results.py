@@ -15,6 +15,7 @@ from typing import Mapping
 
 from repro.model.system import System
 from repro.model.task import SubtaskId
+from repro.timebase import REL_EPS
 
 __all__ = ["AnalysisResult", "FAILURE_FACTOR"]
 
@@ -73,10 +74,18 @@ class AnalysisResult:
         return self.subtask_bounds[sid]
 
     def is_task_schedulable(self, task_index: int) -> bool:
-        """EER bound no greater than the task's relative deadline."""
+        """EER bound no greater than the task's relative deadline.
+
+        Bounds from an exact-timebase analysis (ints/Fractions) are
+        compared with a plain ``<=``; float bounds keep the historical
+        relative guard.  Python compares rationals against the float
+        deadline exactly, so no conversion is needed here.
+        """
         deadline = self.system.tasks[task_index].relative_deadline
         bound = self.task_bounds[task_index]
-        return bound <= deadline + 1e-9 * max(1.0, deadline)
+        if not isinstance(bound, float):
+            return bound <= deadline
+        return bound <= deadline + REL_EPS * max(1.0, deadline)
 
     @property
     def schedulable(self) -> bool:

@@ -31,15 +31,33 @@ from repro.core.analysis.results import FAILURE_FACTOR, AnalysisResult
 from repro.errors import AnalysisError
 from repro.model.system import System
 from repro.model.task import SubtaskId
+from repro.timebase import FLOAT, REL_EPS, Timebase, get_timebase
 
 __all__ = ["ieert_pass", "analyze_sa_ds", "initial_ieer_bounds"]
 
-#: Convergence tolerance of the outer fixed point, relative to the bound.
-_CONVERGENCE_RTOL = 1e-9
+#: Convergence tolerance of the outer fixed point, relative to the bound
+#: (float timebase only; the exact timebase converges on equality).
+_CONVERGENCE_RTOL = REL_EPS
 
 
-def initial_ieer_bounds(system: System) -> dict[SubtaskId, float]:
+def initial_ieer_bounds(
+    system: System, *, timebase: Timebase | str = FLOAT
+) -> dict[SubtaskId, float]:
     """The SA/DS seed: cumulative execution times along each chain."""
+    timebase = get_timebase(timebase)
+    if timebase.exact:
+        # Accumulate in exact arithmetic (the float cumulative sums would
+        # seed the iteration with representation noise).
+        bounds: dict[SubtaskId, float] = {}
+        for task_index, task in enumerate(system.tasks):
+            total = timebase.zero
+            for j in range(task.chain_length):
+                sid = SubtaskId(task_index, j)
+                total += timebase.convert(
+                    system.subtask(sid).execution_time
+                )
+                bounds[sid] = total
+        return bounds
     return {
         sid: system.tasks[sid.task_index].cumulative_execution_time(
             sid.subtask_index
@@ -56,7 +74,7 @@ def _jitter_view(
     view: dict[SubtaskId, float] = {}
     for sid in system.subtask_ids:
         predecessor = sid.predecessor
-        view[sid] = bounds[predecessor] if predecessor is not None else 0.0
+        view[sid] = bounds[predecessor] if predecessor is not None else 0
     return view
 
 
@@ -65,6 +83,7 @@ def ieert_pass(
     bounds: Mapping[SubtaskId, float],
     *,
     failure_factor: float | None = FAILURE_FACTOR,
+    timebase: Timebase | str = FLOAT,
 ) -> dict[SubtaskId, float]:
     """One application of Algorithm IEERT: new bounds from old bounds.
 
@@ -75,10 +94,11 @@ def ieert_pass(
     subtask bound as infinite (sound, since the true maximum is at least
     as large).
     """
+    timebase = get_timebase(timebase)
     jitter = _jitter_view(system, bounds)
     new_bounds: dict[SubtaskId, float] = {}
     for sid in system.subtask_ids:
-        period = system.period_of(sid)
+        period = timebase.convert(system.period_of(sid))
         relevant = [jitter[sid]] + [
             jitter[other] for other in system.interference_set(sid)
         ]
@@ -86,9 +106,13 @@ def ieert_pass(
             new_bounds[sid] = math.inf
             continue
         cutoff = (
-            failure_factor * period if failure_factor is not None else None
+            timebase.convert(failure_factor) * period
+            if failure_factor is not None
+            else None
         )
-        record = analyze_subtask(system, sid, jitter, abort_above=cutoff)
+        record = analyze_subtask(
+            system, sid, jitter, abort_above=cutoff, timebase=timebase
+        )
         new_bounds[sid] = math.inf if record.bound is None else record.bound
     return new_bounds
 
@@ -98,6 +122,7 @@ def analyze_sa_ds(
     *,
     failure_factor: float = FAILURE_FACTOR,
     max_iterations: int = 300,
+    timebase: Timebase | str = FLOAT,
 ) -> AnalysisResult:
     """Run Algorithm SA/DS over a system.
 
@@ -119,20 +144,26 @@ def analyze_sa_ds(
         raise AnalysisError(
             f"max_iterations must be >= 1, got {max_iterations!r}"
         )
-    bounds = initial_ieer_bounds(system)
+    timebase = get_timebase(timebase)
+    bounds = initial_ieer_bounds(system, timebase=timebase)
+    cutoff_factor = timebase.convert(failure_factor)
+    periods = {
+        task_index: timebase.convert(task.period)
+        for task_index, task in enumerate(system.tasks)
+    }
     notes: list[str] = []
     iterations = 0
     failed = False
     while True:
         iterations += 1
         new_bounds = ieert_pass(
-            system, bounds, failure_factor=failure_factor
+            system, bounds, failure_factor=failure_factor, timebase=timebase
         )
         # The paper's failure cutoff, checked at task level: a task whose
         # EER bound exceeds failure_factor periods is declared unbounded.
         for task_index, task in enumerate(system.tasks):
             last = SubtaskId(task_index, task.chain_length - 1)
-            if new_bounds[last] > failure_factor * task.period:
+            if new_bounds[last] > cutoff_factor * periods[task_index]:
                 new_bounds[last] = math.inf
         if any(math.isinf(value) for value in new_bounds.values()):
             failed = True
@@ -142,11 +173,14 @@ def analyze_sa_ds(
                 f"{iterations} IEERT pass(es)"
             )
             break
-        converged = all(
-            abs(new_bounds[sid] - bounds[sid])
-            <= _CONVERGENCE_RTOL * max(1.0, bounds[sid])
-            for sid in system.subtask_ids
-        )
+        if timebase.exact:
+            converged = new_bounds == bounds
+        else:
+            converged = all(
+                abs(new_bounds[sid] - bounds[sid])
+                <= _CONVERGENCE_RTOL * max(1.0, bounds[sid])
+                for sid in system.subtask_ids
+            )
         bounds = new_bounds
         if converged:
             break
@@ -181,7 +215,7 @@ def analyze_sa_ds(
             math.inf
             if (
                 chain_diverged
-                or value > failure_factor * task.period
+                or value > cutoff_factor * periods[task_index]
             )
             else value
         )

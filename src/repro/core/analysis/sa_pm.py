@@ -21,6 +21,7 @@ from repro.core.analysis.busy_period import SubtaskBusyPeriod, analyze_subtask
 from repro.core.analysis.results import AnalysisResult
 from repro.model.system import System
 from repro.model.task import SubtaskId
+from repro.timebase import FLOAT, Timebase, get_timebase
 
 __all__ = ["analyze_sa_pm", "sa_pm_subtask_details"]
 
@@ -28,11 +29,16 @@ __all__ = ["analyze_sa_pm", "sa_pm_subtask_details"]
 def sa_pm_subtask_details(
     system: System,
     blocking: Mapping[SubtaskId, float] | None = None,
+    *,
+    timebase: Timebase | str = FLOAT,
 ) -> dict[SubtaskId, SubtaskBusyPeriod]:
     """Steps 1-4 for every subtask: full busy-period records, zero jitter."""
     blocking = blocking or {}
+    timebase = get_timebase(timebase)
     return {
-        sid: analyze_subtask(system, sid, blocking=blocking.get(sid, 0.0))
+        sid: analyze_subtask(
+            system, sid, blocking=blocking.get(sid, 0.0), timebase=timebase
+        )
         for sid in system.subtask_ids
     }
 
@@ -41,6 +47,7 @@ def analyze_sa_pm(
     system: System,
     *,
     blocking: Mapping[SubtaskId, float] | None = None,
+    timebase: Timebase | str = FLOAT,
 ) -> AnalysisResult:
     """Run Algorithm SA/PM over a system.
 
@@ -52,16 +59,19 @@ def analyze_sa_pm(
 
     ``blocking`` optionally charges a per-subtask blocking term ``B_i,j``
     into every demand equation (non-preemptive sections, dedicated
-    communication resources -- the Section 6 extension).
+    communication resources -- the Section 6 extension).  Under the
+    exact ``timebase`` the bounds come out as scaled integers/rationals
+    and the EER sums are exact.
     """
-    details = sa_pm_subtask_details(system, blocking)
+    timebase = get_timebase(timebase)
+    details = sa_pm_subtask_details(system, blocking, timebase=timebase)
     subtask_bounds = {
         sid: (math.inf if record.bound is None else record.bound)
         for sid, record in details.items()
     }
     task_bounds = []
     for task_index, task in enumerate(system.tasks):
-        total = 0.0
+        total = timebase.zero
         for j in range(task.chain_length):
             total += subtask_bounds[SubtaskId(task_index, j)]
         task_bounds.append(total)

@@ -23,6 +23,7 @@ from repro.core.analysis.sa_ds import analyze_sa_ds
 from repro.core.analysis.sa_pm import analyze_sa_pm
 from repro.errors import ConfigurationError
 from repro.model.system import System
+from repro.timebase import ABS_EPS
 
 __all__ = ["scale_execution_times", "breakdown_scaling"]
 
@@ -43,7 +44,7 @@ def scale_execution_times(system: System, factor: float) -> System:
 
 
 def _schedulable(system: System, analysis: str, sa_ds_max_iterations: int) -> bool:
-    if system.max_utilization >= 1.0 - 1e-12:
+    if system.max_utilization >= 1.0 - ABS_EPS:
         return False
     if analysis == "SA/DS":
         return analyze_sa_ds(

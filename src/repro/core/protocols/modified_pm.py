@@ -61,7 +61,10 @@ class ModifiedPhaseModification(ReleaseController):
                 f"MPM protocol needs a positive finite bound for {sid}, "
                 f"got {bound!r}"
             )
-        return bound
+        assert self.kernel is not None
+        # Converted into the kernel's timebase so `now + bound` matches
+        # PM's phase-table arithmetic exactly under the exact backend.
+        return self.kernel.timebase.convert(bound)
 
     def on_release(self, sid: SubtaskId, instance: int, now: float) -> None:
         assert self.kernel is not None and self.system is not None

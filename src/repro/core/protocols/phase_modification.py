@@ -24,22 +24,28 @@ from repro.errors import ConfigurationError
 from repro.model.system import System
 from repro.model.task import SubtaskId
 from repro.sim.interfaces import ReleaseController
+from repro.timebase import FLOAT, Timebase
 
 __all__ = ["PhaseModification", "compute_modified_phases"]
 
 
 def compute_modified_phases(
-    system: System, bounds: Mapping[SubtaskId, float]
+    system: System,
+    bounds: Mapping[SubtaskId, float],
+    *,
+    timebase: Timebase = FLOAT,
 ) -> dict[SubtaskId, float]:
     """The PM phases ``f_i,j = f_i + sum_{k<j} R_i,k`` for every subtask.
 
     ``bounds`` must contain a finite response-time bound for every
     non-last subtask (bounds of last subtasks are not needed to place any
-    phase, but are accepted).
+    phase, but are accepted).  Phases are accumulated in ``timebase``
+    arithmetic, so under the exact backend the identity between PM's
+    phase table and MPM's relative timers holds with ``==``.
     """
     phases: dict[SubtaskId, float] = {}
     for task_index, task in enumerate(system.tasks):
-        offset = task.phase
+        offset = timebase.convert(task.phase)
         for j in range(task.chain_length):
             sid = SubtaskId(task_index, j)
             phases[sid] = offset
@@ -55,7 +61,7 @@ def compute_modified_phases(
                         f"PM protocol needs a positive finite bound for "
                         f"{sid}, got {bound!r}"
                     )
-                offset += bound
+                offset += timebase.convert(bound)
     return phases
 
 
@@ -79,7 +85,9 @@ class PhaseModification(ReleaseController):
 
     def start(self) -> None:
         assert self.kernel is not None and self.system is not None
-        self.phases = compute_modified_phases(self.system, self.bounds)
+        self.phases = compute_modified_phases(
+            self.system, self.bounds, timebase=self.kernel.timebase
+        )
         for task_index, task in enumerate(self.system.tasks):
             # j = 0 is released by the environment (which, absent jitter,
             # fires at exactly f_i + m * p_i -- the same schedule PM wants).
@@ -89,7 +97,7 @@ class PhaseModification(ReleaseController):
 
     def _schedule_release(self, sid: SubtaskId, instance: int) -> None:
         assert self.kernel is not None and self.system is not None
-        period = self.system.period_of(sid)
+        period = self.kernel.timebase.convert(self.system.period_of(sid))
         when = self.phases[sid] + instance * period
         if when > self.kernel.horizon:
             return

@@ -38,11 +38,14 @@ from repro.sim.interfaces import ReleaseController
 
 __all__ = ["ReleaseGuard"]
 
-_TOLERANCE = 1e-9
-
 
 class ReleaseGuard(ReleaseController):
-    """Guarded releases with the paper's two update rules."""
+    """Guarded releases with the paper's two update rules.
+
+    Guard comparisons go through the kernel's timebase: tolerant under
+    the float backend (a signal arriving within float noise of the guard
+    counts as on time), exact under the exact backend.
+    """
 
     name = "RG"
 
@@ -53,11 +56,20 @@ class ReleaseGuard(ReleaseController):
         #: Held releases per subtask: FIFO of instance indices whose
         #: signal arrived before the guard was due.
         self.pending: dict[SubtaskId, deque[int]] = {}
+        #: Subtask periods, converted into the kernel's timebase once.
+        self._periods: dict[SubtaskId, float] = {}
 
     def start(self) -> None:
-        assert self.system is not None
-        self.guards = {sid: 0.0 for sid in self.system.subtask_ids}
+        assert self.kernel is not None and self.system is not None
+        timebase = self.kernel.timebase
+        self.guards = {
+            sid: timebase.zero for sid in self.system.subtask_ids
+        }
         self.pending = {sid: deque() for sid in self.system.subtask_ids}
+        self._periods = {
+            sid: timebase.convert(self.system.period_of(sid))
+            for sid in self.system.subtask_ids
+        }
 
     # ------------------------------------------------------------------
     # Guard rules
@@ -66,7 +78,7 @@ class ReleaseGuard(ReleaseController):
         # Rule 1: next release of this subtask no earlier than one period
         # from now.
         assert self.system is not None
-        self.guards[sid] = now + self.system.period_of(sid)
+        self.guards[sid] = now + self._periods[sid]
 
     def on_idle(self, processor: ProcessorId, now: float) -> None:
         self._apply_rule_two(processor, now)
@@ -103,7 +115,9 @@ class ReleaseGuard(ReleaseController):
             # at an idle point, so rule 2 applies before the guard check.
             self.kernel.trace.note_idle_point(processor, now)
             self._apply_rule_two(processor, now)
-        if not self.pending[sid] and now >= self.guards[sid] - _TOLERANCE:
+        if not self.pending[sid] and self.kernel.timebase.geq(
+            now, self.guards[sid]
+        ):
             self.kernel.release(sid, instance)
         else:
             self.pending[sid].append(instance)
@@ -134,7 +148,10 @@ class ReleaseGuard(ReleaseController):
         )
 
     def _guard_timer_fired(self, sid: SubtaskId, now: float) -> None:
-        if self.pending[sid] and now >= self.guards[sid] - _TOLERANCE:
+        assert self.kernel is not None
+        if self.pending[sid] and self.kernel.timebase.geq(
+            now, self.guards[sid]
+        ):
             self._release_head(sid, now)
 
     # ------------------------------------------------------------------

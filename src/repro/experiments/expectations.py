@@ -15,6 +15,7 @@ from typing import Callable
 
 from repro.experiments.runner import SuiteResult
 from repro.experiments.surface import Surface
+from repro.timebase import REL_EPS
 
 __all__ = ["Expectation", "PAPER_EXPECTATIONS", "check_suite"]
 
@@ -54,12 +55,12 @@ def _fig12_corner(result: SuiteResult) -> bool:
 
 def _fig12_monotone(result: SuiteResult) -> bool:
     diagonal = _diagonal(result.failure_rate)
-    return all(a <= b + 1e-9 for a, b in zip(diagonal, diagonal[1:]))
+    return all(a <= b + REL_EPS for a, b in zip(diagonal, diagonal[1:]))
 
 
 def _fig13_at_least_one(result: SuiteResult) -> bool:
     return all(
-        cell.value >= 1.0 - 1e-9
+        cell.value >= 1.0 - REL_EPS
         for cell in result.bound_ratio
         if not math.isnan(cell.value)
     )
@@ -106,7 +107,7 @@ def _fig14_two_from_five(result: SuiteResult) -> bool:
 
 def _fig15_band(result: SuiteResult) -> bool:
     return all(
-        1.0 - 1e-9 <= cell.value <= 2.0 for cell in result.rg_ds_ratio
+        1.0 - REL_EPS <= cell.value <= 2.0 for cell in result.rg_ds_ratio
     )
 
 
@@ -116,11 +117,11 @@ def _fig15_u_trend(result: SuiteResult) -> bool:
     hi = max(surface.utilization_axis)
     lo_mean = sum(surface.value(n, lo) for n in surface.subtask_axis)
     hi_mean = sum(surface.value(n, hi) for n in surface.subtask_axis)
-    return hi_mean >= lo_mean - 1e-9
+    return hi_mean >= lo_mean - REL_EPS
 
 
 def _fig16_above_one(result: SuiteResult) -> bool:
-    return all(cell.value >= 1.0 - 1e-9 for cell in result.pm_rg_ratio)
+    return all(cell.value >= 1.0 - REL_EPS for cell in result.pm_rg_ratio)
 
 
 #: The paper's claims, one per checkable sentence of Section 5.

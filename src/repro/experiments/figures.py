@@ -22,6 +22,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.evaluation import SystemEvaluation
 from repro.experiments.stats import mean_with_ci
 from repro.experiments.surface import Surface
+from repro.timebase import REL_EPS
 from repro.workload.config import WorkloadConfig
 
 __all__ = [
@@ -102,7 +103,7 @@ def schedulability_surface(
                 )
             for bound, deadline in zip(bounds, record.task_deadlines):
                 total += 1
-                if bound <= deadline * (1 + 1e-9):
+                if bound <= deadline * (1 + REL_EPS):
                     schedulable += 1
         n, u = _grid_key(config)
         surface.put(

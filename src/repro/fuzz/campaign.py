@@ -25,9 +25,11 @@ from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.fuzz.corpus import Counterexample, append_counterexample
+from repro.fuzz.differential import DIFFERENTIAL_ORACLE, compare_backends
 from repro.fuzz.oracles import check_case, oracle_names
 from repro.fuzz.runner import build_case
 from repro.fuzz.shrink import shrink_system
+from repro.timebase import get_timebase
 from repro.workload.config import WorkloadConfig
 from repro.workload.generator import generate_system
 
@@ -135,14 +137,38 @@ def fuzz_one(
     index: int = 0,
     horizon_periods: float = 5.0,
     oracles: tuple[str, ...] | None = None,
+    timebase: str = "float",
 ) -> CaseOutcome:
-    """Generate, simulate and judge one case; the campaign's unit of work."""
+    """Generate, simulate and judge one case; the campaign's unit of work.
+
+    With ``timebase="exact"`` the case is built and judged under exact
+    arithmetic (tolerance-free oracles), *and* a second case is built
+    under the float backend so the two can be cross-checked; any
+    observable disagreement is reported under the ``float-vs-exact``
+    pseudo-oracle.
+    """
     started = time.perf_counter()
     system = generate_system(config, seed)
     case = build_case(
-        system, seed=seed, config=config, horizon_periods=horizon_periods
+        system,
+        seed=seed,
+        config=config,
+        horizon_periods=horizon_periods,
+        timebase=timebase,
     )
     failures, checked = check_case(case, oracles)
+    if case.timebase.exact:
+        float_case = build_case(
+            system,
+            seed=seed,
+            config=config,
+            horizon_periods=horizon_periods,
+            timebase="float",
+        )
+        checked = checked + (DIFFERENTIAL_ORACLE,)
+        disagreements = compare_backends(float_case, case)
+        if disagreements:
+            failures[DIFFERENTIAL_ORACLE] = disagreements
     return CaseOutcome(
         index=index,
         seed=seed,
@@ -156,13 +182,14 @@ def fuzz_one(
 
 def _job(args: tuple) -> CaseOutcome:
     """Top-level pool target (must be importable by workers)."""
-    index, config, seed, horizon_periods, oracles = args
+    index, config, seed, horizon_periods, oracles, timebase = args
     return fuzz_one(
         config,
         seed,
         index=index,
         horizon_periods=horizon_periods,
         oracles=oracles,
+        timebase=timebase,
     )
 
 
@@ -196,7 +223,7 @@ class CampaignReport:
         if self.checks:
             counts = " ".join(
                 f"{name}={self.checks[name]}"
-                for name in oracle_names()
+                for name in (*oracle_names(), DIFFERENTIAL_ORACLE)
                 if name in self.checks
             )
             lines.append(f"  oracle checks: {counts}")
@@ -224,20 +251,30 @@ def _shrink_outcome(
     *,
     horizon_periods: float,
     max_attempts: int,
+    timebase: str = "float",
 ) -> Counterexample:
     """Regenerate the failing system and delta-debug it per oracle."""
     oracle = next(iter(outcome.failures))
     system = generate_system(outcome.config, outcome.seed)
 
-    def still_fails(candidate) -> bool:
-        case = build_case(candidate, horizon_periods=horizon_periods)
+    def judge(candidate) -> list[str]:
+        case = build_case(
+            candidate, horizon_periods=horizon_periods, timebase=timebase
+        )
+        if oracle == DIFFERENTIAL_ORACLE:
+            float_case = build_case(
+                candidate, horizon_periods=horizon_periods, timebase="float"
+            )
+            return compare_backends(float_case, case)
         failures, _checked = check_case(case, (oracle,))
-        return bool(failures)
+        return failures.get(oracle, [])
+
+    def still_fails(candidate) -> bool:
+        return bool(judge(candidate))
 
     shrunk = shrink_system(system, still_fails, max_attempts=max_attempts)
-    final_case = build_case(shrunk.system, horizon_periods=horizon_periods)
-    failures, _checked = check_case(final_case, (oracle,))
-    violations = tuple(failures.get(oracle, outcome.failures[oracle]))
+    final_violations = judge(shrunk.system)
+    violations = tuple(final_violations or outcome.failures[oracle])
     return Counterexample(
         oracle=oracle,
         system=shrunk.system,
@@ -255,6 +292,7 @@ def _case_stream(
     base_seed: int,
     horizon_periods: float,
     oracles: tuple[str, ...] | None,
+    timebase: str,
 ) -> Iterator[tuple]:
     index = 0
     while runs is None or index < runs:
@@ -264,6 +302,7 @@ def _case_stream(
             base_seed + index,
             horizon_periods,
             oracles,
+            timebase,
         )
         index += 1
 
@@ -283,14 +322,19 @@ def run_campaign(
     corpus_path: str | None = None,
     fail_fast: bool = False,
     progress: Callable[[str], None] | None = None,
+    timebase: str = "float",
 ) -> CampaignReport:
     """Run a fuzzing campaign and return its report.
 
     Exactly one of ``runs``/``seconds`` must be positive (both may be:
     the campaign stops at whichever budget runs out first).  ``configs``
     overrides the named ``profile``.  With ``corpus_path`` set, every
-    shrunk counterexample is appended there as JSONL.
+    shrunk counterexample is appended there as JSONL.  With
+    ``timebase="exact"`` every case runs under exact arithmetic with
+    tolerance-free oracles and is differentially cross-checked against
+    the float backend (the ``float-vs-exact`` pseudo-oracle).
     """
+    get_timebase(timebase)  # validate early, before spawning workers
     if runs is None and seconds is None:
         raise ConfigurationError("campaign needs --runs and/or --seconds")
     if runs is not None and runs < 1:
@@ -314,7 +358,9 @@ def run_campaign(
     report = CampaignReport()
     started = time.perf_counter()
     deadline = None if seconds is None else started + seconds
-    jobs = _case_stream(configs, runs, base_seed, horizon_periods, oracles)
+    jobs = _case_stream(
+        configs, runs, base_seed, horizon_periods, oracles, timebase
+    )
 
     def out_of_time() -> bool:
         return deadline is not None and time.perf_counter() >= deadline
@@ -371,6 +417,7 @@ def run_campaign(
                 outcome,
                 horizon_periods=horizon_periods,
                 max_attempts=shrink_attempts,
+                timebase=timebase,
             )
             report.counterexamples.append(record)
             if corpus_path is not None:

@@ -1,0 +1,147 @@
+"""Differential backend checking: float vs exact timebase.
+
+The exact timebase is the reference semantics -- scaled-integer /
+rational arithmetic with no tolerance anywhere.  The float backend is
+the fast default, *believed* to agree with it everywhere the epsilon
+guards were tuned correctly.  This module turns that belief into a
+fuzzable claim: build the same case under both backends and flag any
+observable disagreement.
+
+``compare_backends`` checks, in order of severity:
+
+* **analysis verdicts** -- SA/PM and SA/DS schedulability and failure
+  flags must match (a flip here means an epsilon guard changed a
+  certification decision);
+* **skipped protocols** -- the same protocols must have been runnable;
+* **release/completion sets** -- the same instances must be released
+  and completed;
+* **completion times** -- per instance, the float completion must match
+  the exact completion to within a relative ``_TIME_RTOL`` (float
+  arithmetic accumulates ulp-level error over a simulation, so exact
+  equality is not expected -- but anything beyond ~1e-6 relative means
+  an epsilon guard steered the *schedule*, not just the arithmetic).
+
+Events inside a ``_TIME_RTOL`` band at the simulation horizon are
+excluded from the set comparisons: the horizon itself is a float-
+computed quantity (``default_horizon`` evaluates ``phase + k * period``
+in float), so whether an event lands exactly *on* it is decided by the
+last ulp of float rounding -- the two backends legitimately disagree
+there, and the band keeps boundary noise from masquerading as a
+schedule divergence.
+
+The campaign exposes this as the pseudo-oracle ``float-vs-exact``.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.runner import FuzzCase
+from repro.timebase import fmt
+
+__all__ = ["DIFFERENTIAL_ORACLE", "compare_backends"]
+
+#: Name the campaign reports differential findings under.
+DIFFERENTIAL_ORACLE = "float-vs-exact"
+
+#: Relative agreement demanded of float completion times against the
+#: exact reference.  Far above accumulated ulp noise over a simulation,
+#: far below model granularity.
+_TIME_RTOL = 1e-6
+
+#: Cap on per-case reported disagreements (one real divergence tends to
+#: cascade through every later event; the first few localize it).
+_MAX_REPORTS = 10
+
+
+def _verdict_issues(float_case: FuzzCase, exact_case: FuzzCase) -> list[str]:
+    issues = []
+    for name, f_res, e_res in (
+        ("SA/PM", float_case.sa_pm, exact_case.sa_pm),
+        ("SA/DS", float_case.sa_ds, exact_case.sa_ds),
+    ):
+        if f_res.schedulable != e_res.schedulable:
+            issues.append(
+                f"{name} schedulability flips: float says "
+                f"{f_res.schedulable}, exact says {e_res.schedulable}"
+            )
+        if f_res.failed != e_res.failed:
+            issues.append(
+                f"{name} failure flag flips: float says {f_res.failed}, "
+                f"exact says {e_res.failed}"
+            )
+    return issues
+
+
+def compare_backends(
+    float_case: FuzzCase, exact_case: FuzzCase
+) -> list[str]:
+    """All observable disagreements between the two backends' cases.
+
+    Both cases must have been built from the same system with the same
+    horizon; an empty list means the backends agree.
+    """
+    issues = _verdict_issues(float_case, exact_case)
+
+    float_skipped = set(float_case.skipped)
+    exact_skipped = set(exact_case.skipped)
+    if float_skipped != exact_skipped:
+        issues.append(
+            f"skipped protocols differ: float skipped "
+            f"{sorted(float_skipped) or 'none'}, exact skipped "
+            f"{sorted(exact_skipped) or 'none'}"
+        )
+
+    for protocol in sorted(
+        set(float_case.results) & set(exact_case.results)
+    ):
+        f_run = float_case.results[protocol]
+        e_run = exact_case.results[protocol]
+        f_trace, e_trace = f_run.trace, e_run.trace
+        # Horizon-boundary band: events this close to the horizon may
+        # exist under one backend only (see module docstring).
+        cut = f_run.horizon - _TIME_RTOL * max(1.0, f_run.horizon)
+
+        def core(mapping) -> set:
+            return {key for key, time in mapping.items() if time < cut}
+
+        for kind, f_map, e_map in (
+            ("releases", f_trace.releases, e_trace.releases),
+            ("completions", f_trace.completions, e_trace.completions),
+        ):
+            only_float = sorted(core(f_map) - core(e_map))
+            only_exact = sorted(core(e_map) - core(f_map))
+            if only_float:
+                issues.append(
+                    f"{protocol}: {len(only_float)} {kind} only under "
+                    f"float, first {only_float[0]}"
+                )
+            if only_exact:
+                issues.append(
+                    f"{protocol}: {len(only_exact)} {kind} only under "
+                    f"exact, first {only_exact[0]}"
+                )
+        reported = 0
+        for key in sorted(
+            core(f_trace.completions) & core(e_trace.completions)
+        ):
+            f_time = f_trace.completions[key]
+            e_time = float(e_trace.completions[key])
+            if abs(f_time - e_time) > _TIME_RTOL * max(1.0, abs(e_time)):
+                issues.append(
+                    f"{protocol}: {key[0]}#{key[1]} completes at "
+                    f"{fmt(f_time)} under float but {fmt(e_time)} under "
+                    f"exact"
+                )
+                reported += 1
+                if reported >= _MAX_REPORTS:
+                    issues.append(
+                        f"{protocol}: further completion-time "
+                        f"disagreements suppressed"
+                    )
+                    break
+
+    if len(issues) > _MAX_REPORTS:
+        issues = issues[:_MAX_REPORTS] + [
+            f"... {len(issues) - _MAX_REPORTS} further disagreement(s) "
+            f"suppressed"
+        ]
+    return issues

@@ -55,10 +55,21 @@ from repro.errors import ConfigurationError
 from repro.fuzz.runner import CheckedReleaseGuard, FuzzCase
 from repro.model.task import SubtaskId
 from repro.sim.trace_validation import validate_trace
+from repro.timebase import REL_EPS, fmt
 
 __all__ = ["Oracle", "ORACLES", "check_case", "oracle_names"]
 
 _TOL = 1e-6
+
+
+def _tol(case: "FuzzCase") -> float:
+    """Per-case comparison tolerance: the float guard, or exactly 0.
+
+    Under the exact timebase there is no representation noise to
+    forgive -- every relational claim of the paper is checked with
+    plain ``==``/``<=``.
+    """
+    return 0 if case.timebase.exact else _TOL
 
 #: Size gate for the exhaustive-search oracle: ``steps ** tasks``
 #: simulations per protocol are affordable only on tiny systems.
@@ -96,7 +107,7 @@ def _check_precedence(case: FuzzCase) -> list[str]:
         for violation in result.trace.violations:
             issues.append(
                 f"{protocol}: {violation.sid}#{violation.instance} released "
-                f"at {violation.release_time:g} before predecessor "
+                f"at {fmt(violation.release_time)} before predecessor "
                 f"{violation.predecessor} completed"
             )
     return issues
@@ -116,16 +127,17 @@ def _soundness_issues(
 ) -> list[str]:
     """Observed task EERs (and optionally per-subtask figures) vs bounds."""
     issues = []
+    tol = _tol(case)
     result = case.results[protocol]
     for i in range(len(case.system.tasks)):
         bound = task_bounds[i]
         observed = result.metrics.task(i).max_eer
         if math.isinf(bound) or math.isnan(observed):
             continue
-        if observed > bound + _TOL * max(1.0, bound):
+        if observed > bound + tol * max(1.0, bound):
             issues.append(
-                f"{protocol}: task T{i + 1} simulated EER {observed:g} "
-                f"exceeds {algorithm} bound {bound:g}"
+                f"{protocol}: task T{i + 1} simulated EER {fmt(observed)} "
+                f"exceeds {algorithm} bound {fmt(bound)}"
             )
     if subtask_bounds is None:
         return issues
@@ -145,10 +157,10 @@ def _soundness_issues(
             observed_values = trace.subtask_response_times(sid)
             kind = "response time"
         for value in observed_values:
-            if value > bound + _TOL * max(1.0, bound):
+            if value > bound + tol * max(1.0, bound):
                 issues.append(
-                    f"{protocol}: {sid} simulated {kind} {value:g} exceeds "
-                    f"{algorithm} bound {bound:g}"
+                    f"{protocol}: {sid} simulated {kind} {fmt(value)} exceeds "
+                    f"{algorithm} bound {fmt(bound)}"
                 )
                 break
     return issues
@@ -178,15 +190,16 @@ def _check_sa_ds_soundness(case: FuzzCase) -> list[str]:
 
 def _check_analysis_dominance(case: FuzzCase) -> list[str]:
     issues = []
+    tol = _tol(case)
     for i in range(len(case.system.tasks)):
         pm = case.sa_pm.task_bounds[i]
         ds = case.sa_ds.task_bounds[i]
         if math.isinf(ds):
             continue  # DS failed where PM may not have -- that is dominance
-        if ds < pm - _TOL * max(1.0, pm):
+        if ds < pm - tol * max(1.0, pm):
             issues.append(
-                f"task T{i + 1}: SA/DS bound {ds:g} below SA/PM bound "
-                f"{pm:g} (SA/DS must dominate)"
+                f"task T{i + 1}: SA/DS bound {fmt(ds)} below SA/PM bound "
+                f"{fmt(pm)} (SA/DS must dominate)"
             )
     return issues
 
@@ -200,8 +213,9 @@ def _check_pm_mpm_identity(case: FuzzCase) -> list[str]:
     pm = case.results["PM"].trace
     mpm = case.results["MPM"].trace
     issues = []
+    tol = _tol(case)
     horizon = case.results["PM"].horizon
-    boundary = _TOL * max(1.0, horizon)
+    boundary = tol * max(1.0, horizon)
     for label, ours, theirs in (
         ("released by PM but not MPM", pm.releases, mpm.releases),
         ("released by MPM but not PM", mpm.releases, pm.releases),
@@ -209,25 +223,25 @@ def _check_pm_mpm_identity(case: FuzzCase) -> list[str]:
         for key, time in ours.items():
             if key not in theirs and horizon - time > boundary:
                 issues.append(
-                    f"{key[0]}#{key[1]} {label} (at {time:g})"
+                    f"{key[0]}#{key[1]} {label} (at {fmt(time)})"
                 )
     for key, pm_time in pm.releases.items():
         mpm_time = mpm.releases.get(key)
         if mpm_time is None:
             continue
-        if abs(pm_time - mpm_time) > _TOL * max(1.0, pm_time):
+        if abs(pm_time - mpm_time) > tol * max(1.0, pm_time):
             issues.append(
-                f"{key[0]}#{key[1]} released at {pm_time:g} under PM but "
-                f"{mpm_time:g} under MPM"
+                f"{key[0]}#{key[1]} released at {fmt(pm_time)} under PM but "
+                f"{fmt(mpm_time)} under MPM"
             )
     for key, pm_time in pm.completions.items():
         mpm_time = mpm.completions.get(key)
         if mpm_time is None:
             continue
-        if abs(pm_time - mpm_time) > _TOL * max(1.0, pm_time):
+        if abs(pm_time - mpm_time) > tol * max(1.0, pm_time):
             issues.append(
-                f"{key[0]}#{key[1]} completed at {pm_time:g} under PM but "
-                f"{mpm_time:g} under MPM"
+                f"{key[0]}#{key[1]} completed at {fmt(pm_time)} under PM but "
+                f"{fmt(mpm_time)} under MPM"
             )
     return issues
 
@@ -237,8 +251,8 @@ def _check_rg_guard(case: FuzzCase) -> list[str]:
     if not isinstance(controller, CheckedReleaseGuard):
         return []
     return [
-        f"RG: {sid}#{instance} released at {now:g} before its guard "
-        f"{guard:g}"
+        f"RG: {sid}#{instance} released at {fmt(now)} before its guard "
+        f"{fmt(guard)}"
         for sid, instance, now, guard in controller.early_releases
     ]
 
@@ -246,6 +260,7 @@ def _check_rg_guard(case: FuzzCase) -> list[str]:
 def _check_rg_separation(case: FuzzCase) -> list[str]:
     trace = case.results["RG"].trace
     system = case.system
+    exact = case.timebase.exact
     issues = []
     by_subtask: dict[SubtaskId, list[tuple[int, float]]] = {}
     for (sid, m), time in trace.releases.items():
@@ -258,13 +273,15 @@ def _check_rg_separation(case: FuzzCase) -> list[str]:
             system.subtask(sid).processor, []
         )
         entries.sort()
+        sep_slack = 0 if exact else REL_EPS * max(1.0, period)
+        idle_slack = 0 if exact else REL_EPS
         for (_m0, t0), (m1, t1) in zip(entries, entries[1:]):
-            if t1 - t0 < period - 1e-9 * max(1.0, period) and not any(
-                t0 < point <= t1 + 1e-9 for point in idle_points
+            if t1 - t0 < period - sep_slack and not any(
+                t0 < point <= t1 + idle_slack for point in idle_points
             ):
                 issues.append(
-                    f"RG: {sid}#{m1} released {t1 - t0:g} < period "
-                    f"{period:g} after the previous release with no idle "
+                    f"RG: {sid}#{m1} released {fmt(t1 - t0)} < period "
+                    f"{fmt(period)} after the previous release with no idle "
                     f"point in between"
                 )
     return issues
@@ -307,8 +324,8 @@ def _check_exhaustive(case: FuzzCase) -> list[str]:
             if observed > bound + _TOL * max(1.0, bound):
                 issues.append(
                     f"{protocol}: exhaustive search found task T{i + 1} "
-                    f"EER {observed:g} above the "
-                    f"{analysis.algorithm} bound {bound:g} "
+                    f"EER {fmt(observed)} above the "
+                    f"{analysis.algorithm} bound {fmt(bound)} "
                     f"(witness phases {search.witness_phases[i]})"
                 )
     return issues

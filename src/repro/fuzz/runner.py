@@ -31,6 +31,7 @@ from repro.model.system import System
 from repro.model.task import SubtaskId
 from repro.sim.interfaces import ReleaseController
 from repro.sim.simulator import SimulationResult, simulate
+from repro.timebase import FLOAT, Timebase, get_timebase
 from repro.workload.config import WorkloadConfig
 
 __all__ = ["CheckedReleaseGuard", "FuzzCase", "build_case"]
@@ -55,8 +56,9 @@ class CheckedReleaseGuard(ReleaseGuard):
         self.early_releases: list[tuple[SubtaskId, int, float, float]] = []
 
     def on_release(self, sid: SubtaskId, instance: int, now: float) -> None:
-        guard = self.guards.get(sid, 0.0)
-        if now < guard - 1e-9 * max(1.0, abs(guard)):
+        assert self.kernel is not None
+        guard = self.guards.get(sid, self.kernel.timebase.zero)
+        if self.kernel.timebase.lt(now, guard):
             self.early_releases.append((sid, instance, now, guard))
         super().on_release(sid, instance, now)
 
@@ -71,6 +73,8 @@ class FuzzCase:
     horizon_periods: float
     seed: int | None = None
     config: WorkloadConfig | None = None
+    #: Arithmetic backend the case was built under.
+    timebase: Timebase = FLOAT
     #: Protocol name -> simulation result (only protocols that ran).
     results: dict[str, SimulationResult] = field(default_factory=dict)
     #: Protocol name -> reason it was skipped.
@@ -104,6 +108,7 @@ def build_case(
     config: WorkloadConfig | None = None,
     horizon_periods: float = 5.0,
     sa_ds_max_iterations: int = 120,
+    timebase: Timebase | str = "float",
 ) -> FuzzCase:
     """Run all four protocols and both analyses over ``system``.
 
@@ -111,9 +116,15 @@ def build_case(
     run additionally records idle points (for the release-separation
     oracle).  The result is deterministic: the simulator is a pure
     function of the system, and no randomness enters after generation.
+    ``timebase`` selects the arithmetic backend for both the analyses
+    and the simulations; under ``"exact"`` the oracles judge with zero
+    tolerance.
     """
-    sa_pm = analyze_sa_pm(system)
-    sa_ds = analyze_sa_ds(system, max_iterations=sa_ds_max_iterations)
+    tb = get_timebase(timebase)
+    sa_pm = analyze_sa_pm(system, timebase=tb)
+    sa_ds = analyze_sa_ds(
+        system, max_iterations=sa_ds_max_iterations, timebase=tb
+    )
     case = FuzzCase(
         system=system,
         sa_pm=sa_pm,
@@ -121,6 +132,7 @@ def build_case(
         horizon_periods=horizon_periods,
         seed=seed,
         config=config,
+        timebase=tb,
     )
 
     pm_runnable = _pm_bounds_ok(sa_pm, system)
@@ -151,5 +163,6 @@ def build_case(
             horizon_periods=horizon_periods,
             record_segments=True,
             record_idle_points=record_idle,
+            timebase=tb,
         )
     return case

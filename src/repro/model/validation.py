@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.errors import ModelError
 from repro.model.system import System
 from repro.model.task import SubtaskId
+from repro.timebase import ABS_EPS
 
 __all__ = [
     "ValidationReport",
@@ -53,7 +54,7 @@ def require_feasible_utilization(system: System) -> None:
     and SA/DS therefore require this precondition.
     """
     for processor, utilization in system.utilizations().items():
-        if utilization > 1.0 + 1e-12:
+        if utilization > 1.0 + ABS_EPS:
             raise ModelError(
                 f"processor {processor!r} is overloaded: "
                 f"utilization {utilization:.4f} > 1"
@@ -108,7 +109,7 @@ def validate_system(system: System) -> ValidationReport:
     """
     report = ValidationReport()
     for processor, utilization in system.utilizations().items():
-        if utilization > 1.0 + 1e-12:
+        if utilization > 1.0 + ABS_EPS:
             report.errors.append(
                 f"processor {processor!r} overloaded (U={utilization:.4f})"
             )

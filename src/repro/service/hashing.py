@@ -14,7 +14,13 @@ keys here are SHA-256 digests of a canonical JSON encoding:
   serialize via ``repr``, which is exact for IEEE doubles -- two equal
   systems built independently hash equally, two systems differing in
   any execution time, period, phase, priority, placement or name do
-  not.
+  not;
+* exact-timebase values (``fractions.Fraction``) canonicalize through
+  :func:`repro.timebase.canonical_number` -- gcd-reduced ``"num/den"``
+  strings, integral rationals collapsing to ints -- so a system touched
+  by exact arithmetic keys stably too.  Plain floats never reach that
+  path (``default=`` fires only for non-JSON types), keeping every
+  historical float key byte-identical.
 
 ``request_id`` is deliberately excluded: it is correlation metadata,
 not content.
@@ -29,6 +35,7 @@ from typing import Any
 from repro.io import system_to_dict
 from repro.model.system import System
 from repro.service.requests import AdmissionRequest
+from repro.timebase import canonical_number
 
 __all__ = ["KEY_FORMAT", "canonical_payload", "request_key", "system_key"]
 
@@ -51,6 +58,16 @@ def canonical_payload(request: AdmissionRequest) -> dict[str, Any]:
     }
 
 
+def _canonical_default(value: Any) -> Any:
+    """Serialize non-JSON scalars (exact-timebase rationals) stably."""
+    canonical = canonical_number(value)
+    if canonical is value:  # not a rational -- genuinely unserializable
+        raise TypeError(
+            f"cannot canonicalize {type(value).__name__!r} for hashing"
+        )
+    return canonical
+
+
 def request_key(request: AdmissionRequest) -> str:
     """The SHA-256 hex digest identifying a request's content."""
     encoded = json.dumps(
@@ -58,6 +75,7 @@ def request_key(request: AdmissionRequest) -> str:
         sort_keys=True,
         separators=(",", ":"),
         allow_nan=False,
+        default=_canonical_default,
     )
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 

@@ -6,13 +6,23 @@ synchronization protocol (a :class:`repro.sim.interfaces.ReleaseController`).
 
 Event model
 -----------
-Only three things are time-triggered: environment releases of first
-subtasks, protocol timers (PM periodic releases, MPM/RG timer interrupts)
-and instance completions.  Everything else (signals under zero latency,
-guard checks, idle points) happens synchronously inside those events.
-Events at equal instants are ordered by a fixed class order --
-completions, then timers, then environment releases, then signals -- and
-FIFO within a class, making every run fully deterministic.
+Four things are queued: environment releases of first subtasks, protocol
+timers (PM periodic releases, MPM/RG timer interrupts), instance
+completions, and synchronization signals (zero-latency signals are
+enqueued at the current instant rather than delivered synchronously, so
+the class order below governs them too).  Everything else (guard checks,
+idle points) happens synchronously inside those events.  Events at equal
+instants are ordered by a fixed class order -- completions, then timers,
+then environment releases, then signals -- and FIFO within a class,
+making every run fully deterministic.
+
+Time model
+----------
+All timestamps flow through a pluggable :class:`repro.timebase.Timebase`.
+The default ``float`` backend keeps the historical IEEE-double arithmetic
+and owns the only tolerances in play; the ``exact`` backend does rational
+arithmetic, under which every comparison below is exact and timestamp
+clamping is impossible (a genuinely past timer raises).
 
 Idle points
 -----------
@@ -43,6 +53,7 @@ from repro.sim.variation import (
     NoJitter,
     ReleaseJitterModel,
 )
+from repro.timebase import Timebase, fmt, get_timebase
 
 __all__ = ["Kernel", "EventQueue", "EVENT_COMPLETION", "EVENT_TIMER",
            "EVENT_ENV", "EVENT_SIGNAL"]
@@ -117,6 +128,9 @@ class Kernel:
     strict_precedence:
         When True, a detected precedence violation raises
         :class:`SimulationError` instead of only being recorded.
+    timebase:
+        Arithmetic backend for all timestamps (name or
+        :class:`~repro.timebase.Timebase` instance; default ``"float"``).
     """
 
     def __init__(
@@ -132,24 +146,27 @@ class Kernel:
         record_idle_points: bool = False,
         strict_precedence: bool = False,
         max_events: int | None = None,
+        timebase: Timebase | str = "float",
     ) -> None:
         if horizon <= 0:
             raise SimulationError(f"horizon must be > 0, got {horizon!r}")
+        self.timebase = get_timebase(timebase)
         self.system = system
         self.controller = controller
-        self.horizon = horizon
+        self.horizon = self.timebase.convert(horizon)
         self.execution_model = execution_model or DeterministicExecution()
         self.jitter_model = jitter_model or NoJitter()
         self.latency_model = latency_model or ZeroLatency()
         self.strict_precedence = strict_precedence
         self.max_events = max_events
-        self.now = 0.0
+        self.now = self.timebase.zero
         self.queue = EventQueue()
         self.trace = Trace(
             system,
-            horizon,
+            self.horizon,
             record_segments=record_segments,
             record_idle_points=record_idle_points,
+            timebase=self.timebase,
         )
         self.schedulers: dict[ProcessorId, ProcessorScheduler] = {
             processor: ProcessorScheduler(processor, self)
@@ -157,6 +174,14 @@ class Kernel:
         }
         self._events_processed = 0
         self._last_env_release: dict[int, float] = {}
+        # Task parameters, converted once into the timebase so the event
+        # arithmetic below never mixes representations.
+        self._task_periods = [
+            self.timebase.convert(task.period) for task in system.tasks
+        ]
+        self._task_phases = [
+            self.timebase.convert(task.phase) for task in system.tasks
+        ]
 
     # ------------------------------------------------------------------
     # Services used by controllers and schedulers
@@ -164,12 +189,24 @@ class Kernel:
     def schedule_timer(
         self, time: float, callback: Callable[[float], None]
     ) -> EventHandle:
-        """Run ``callback`` at ``time`` (timer event class)."""
-        if time < self.now - 1e-12:
+        """Run ``callback`` at ``time`` (timer event class).
+
+        A timer genuinely in the past (before ``now`` in the timebase's
+        comparison semantics) raises.  Under the float backend a timer
+        inside the tolerance window below ``now`` is clamped to ``now``
+        -- observably: the clamp is recorded on the trace.  Under the
+        exact backend that window is empty, so any ``time < now`` raises.
+        """
+        time = self.timebase.convert(time)
+        if self.timebase.lt(time, self.now):
             raise SimulationError(
-                f"timer scheduled in the past: {time:g} < now {self.now:g}"
+                f"timer scheduled in the past: {fmt(time)} < now "
+                f"{fmt(self.now)}"
             )
-        return self.queue.push(max(time, self.now), EVENT_TIMER, callback)
+        if time < self.now:
+            self.trace.note_timer_clamp(time, self.now)
+            time = self.now
+        return self.queue.push(time, EVENT_TIMER, callback)
 
     def schedule_completion(
         self, time: float, callback: Callable[[float], None]
@@ -190,6 +227,11 @@ class Kernel:
         RG) or that its response-time budget elapsed (MPM).  Delivery takes
         whatever the latency model says (zero by default) and invokes the
         controller's :meth:`~repro.sim.interfaces.ReleaseController.on_signal`.
+
+        Zero-latency signals are enqueued at the current instant rather
+        than delivered synchronously mid-event, so the deterministic
+        class order at equal instants (completions, timers, environment
+        releases, then signals) governs them like any other event.
         """
         predecessor = sid.predecessor
         source = (
@@ -201,16 +243,13 @@ class Kernel:
         delay = self.latency_model.delay(source, destination)
         if delay < 0:
             raise SimulationError(f"negative signal latency {delay!r}")
-        if delay == 0.0:
-            self.controller.on_signal(sid, instance, self.now)
-        else:
-            self.queue.push(
-                self.now + delay,
-                EVENT_SIGNAL,
-                lambda now, s=sid, m=instance: self.controller.on_signal(
-                    s, m, now
-                ),
-            )
+        self.queue.push(
+            self.now + self.timebase.convert(delay),
+            EVENT_SIGNAL,
+            lambda now, s=sid, m=instance: self.controller.on_signal(
+                s, m, now
+            ),
+        )
 
     def release(self, sid: SubtaskId, instance: int) -> None:
         """Release instance ``instance`` of subtask ``sid`` now.
@@ -245,7 +284,7 @@ class Kernel:
                 if self.strict_precedence:
                     raise SimulationError(
                         f"precedence violation: {sid}#{instance} released at "
-                        f"{now:g} before {predecessor}#{instance} completed"
+                        f"{fmt(now)} before {predecessor}#{instance} completed"
                     )
         self.trace.note_release(sid, instance, now)
         self.controller.on_release(sid, instance, now)
@@ -258,7 +297,9 @@ class Kernel:
                 f"execution model produced non-positive demand {demand!r} "
                 f"for {sid}#{instance}"
             )
-        self.schedulers[subtask.processor].add(sid, instance, demand, now)
+        self.schedulers[subtask.processor].add(
+            sid, instance, self.timebase.convert(demand), now
+        )
 
     def is_idle(self, processor: ProcessorId) -> bool:
         """True when ``processor`` has no released, uncompleted instance."""
@@ -268,7 +309,9 @@ class Kernel:
         self, sid: SubtaskId, instance: int, now: float
     ) -> bool:
         """True when ``sid``'s instance is running with its completion due
-        within float noise of ``now``."""
+        at ``now`` (within tolerance under the float backend; exactly
+        under the exact backend, where a same-instant completion event --
+        class 0 -- pops before the release that asks)."""
         scheduler = self.schedulers[self.system.subtask(sid).processor]
         running = scheduler.running
         if (
@@ -279,7 +322,7 @@ class Kernel:
             return False
         finish = scheduler.pending_completion_time()
         assert finish is not None
-        return finish <= now + 1e-9 * max(1.0, abs(now))
+        return self.timebase.leq(finish, now)
 
     # ------------------------------------------------------------------
     # Completion plumbing (called by schedulers)
@@ -306,12 +349,12 @@ class Kernel:
     # Environment releases
     # ------------------------------------------------------------------
     def _schedule_env_release(self, task_index: int, instance: int) -> None:
-        task = self.system.tasks[task_index]
-        nominal = task.phase + instance * task.period
+        period = self._task_periods[task_index]
+        nominal = self._task_phases[task_index] + instance * period
         jitter = self.jitter_model.jitter(task_index, instance)
         if jitter < 0:
             raise SimulationError(f"negative release jitter {jitter!r}")
-        when = nominal + jitter
+        when = nominal + self.timebase.convert(jitter)
         # The paper's periodic task model (Section 1) defines the period
         # as a *minimum* inter-release time -- releases are "made at a
         # fixed maximum rate".  A jittered release therefore never
@@ -319,7 +362,7 @@ class Kernel:
         # all later ones out (the sporadic ratchet).
         previous = self._last_env_release.get(task_index)
         if previous is not None:
-            when = max(when, previous + task.period)
+            when = max(when, previous + period)
         if when > self.horizon:
             return
         self.queue.push(
@@ -355,9 +398,10 @@ class Kernel:
             time, _order, _seq, callback, _live = handle
             if time > self.horizon:
                 break
-            if time < self.now - 1e-9:
+            if self.timebase.lt(time, self.now):
                 raise SimulationError(
-                    f"event queue went backwards: {time:g} < {self.now:g}"
+                    f"event queue went backwards: {fmt(time)} < "
+                    f"{fmt(self.now)}"
                 )
             self.now = time
             callback(time)
@@ -368,7 +412,7 @@ class Kernel:
             ):
                 raise SimulationError(
                     f"event budget exceeded ({self.max_events} events); "
-                    f"now={self.now:g}, horizon={self.horizon:g}"
+                    f"now={fmt(self.now)}, horizon={fmt(self.horizon)}"
                 )
         self.now = self.horizon
         return self.trace

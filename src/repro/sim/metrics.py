@@ -98,9 +98,10 @@ def compute_metrics(trace: Trace, *, warmup: float = 0.0) -> TraceMetrics:
             if trace.env_releases[(task_index, m)] >= warmup
         ]
         eer_times = [trace.eer_time(task_index, m) for m in instances]
-        deadline = task.relative_deadline
-        tolerance = 1e-9 * max(1.0, deadline)
-        misses = sum(1 for value in eer_times if value > deadline + tolerance)
+        deadline = trace.timebase.convert(task.relative_deadline)
+        misses = sum(
+            1 for value in eer_times if trace.timebase.gt(value, deadline)
+        )
         if eer_times:
             summaries.append(
                 TaskMetrics(

@@ -15,12 +15,13 @@ from dataclasses import dataclass
 from repro.errors import SimulationError
 from repro.model.task import ProcessorId
 from repro.sim.tracing import Trace
+from repro.timebase import REL_EPS
 
 __all__ = ["ProcessorStatistics", "processor_statistics"]
 
 #: Gap below which two adjacent segments count as one busy interval
 #: (float noise from preemption bookkeeping).
-_GAP_TOLERANCE = 1e-9
+_GAP_TOLERANCE = REL_EPS
 
 
 @dataclass(frozen=True)

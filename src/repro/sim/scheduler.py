@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 from repro.errors import SimulationError
 from repro.model.task import ProcessorId, SubtaskId
 from repro.sim.tracing import Segment
+from repro.timebase import fmt
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Kernel
@@ -57,7 +58,7 @@ class ActiveInstance:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ActiveInstance({self.sid}#{self.instance}, prio={self.priority},"
-            f" remaining={self.remaining:g})"
+            f" remaining={fmt(self.remaining)})"
         )
 
 
@@ -112,7 +113,7 @@ class ProcessorScheduler:
             # has not fired yet) must not be preempted with zero remaining
             # work: let the completion fire first, then dispatch.
             residual = self._running.remaining - (now - self._segment_start)
-            if residual > 1e-12:
+            if self.kernel.timebase.is_positive(residual):
                 self._suspend_running(now)
         heapq.heappush(self._ready, (entry.sort_key(), entry))
         self.dispatch_if_needed(now)
@@ -138,9 +139,10 @@ class ProcessorScheduler:
             self.kernel.cancel(self._completion_handle)
             self._completion_handle = None
         elapsed = now - self._segment_start
-        if elapsed < -1e-9:
+        if self.kernel.timebase.is_negative(elapsed):
             raise SimulationError(
-                f"negative execution slice on {self.processor}: {elapsed:g}"
+                f"negative execution slice on {self.processor}: "
+                f"{fmt(elapsed)}"
             )
         if elapsed > 0:
             self.kernel.trace.note_segment(
@@ -152,8 +154,8 @@ class ProcessorScheduler:
                     end=now,
                 )
             )
-        entry.remaining -= max(0.0, elapsed)
-        if entry.remaining <= 1e-12:
+            entry.remaining -= elapsed
+        if not self.kernel.timebase.is_positive(entry.remaining):
             raise SimulationError(
                 f"{entry.sid}#{entry.instance} preempted with no remaining "
                 f"work; completion event should have fired first"

@@ -17,6 +17,7 @@ from repro.sim.metrics import TraceMetrics, compute_metrics
 from repro.sim.network import SignalLatencyModel
 from repro.sim.tracing import Trace
 from repro.sim.variation import ExecutionModel, ReleaseJitterModel
+from repro.timebase import Timebase
 
 __all__ = ["SimulationResult", "simulate", "default_horizon"]
 
@@ -69,6 +70,7 @@ def simulate(
     strict_precedence: bool = False,
     warmup: float = 0.0,
     max_events: int | None = None,
+    timebase: Timebase | str = "float",
 ) -> SimulationResult:
     """Simulate ``system`` under ``controller`` and summarize the run.
 
@@ -76,7 +78,8 @@ def simulate(
     defaults to :func:`default_horizon` with ``horizon_periods``.
     ``record_segments`` defaults to False here (unlike the raw kernel)
     because sweep experiments only need the metrics; turn it on to render
-    Gantt charts from ``result.trace``.
+    Gantt charts from ``result.trace``.  ``timebase`` selects the
+    arithmetic backend (``"float"`` or ``"exact"``).
     """
     effective_horizon = (
         horizon if horizon is not None else default_horizon(system, horizon_periods)
@@ -92,6 +95,7 @@ def simulate(
         record_idle_points=record_idle_points,
         strict_precedence=strict_precedence,
         max_events=max_events,
+        timebase=timebase,
     )
     trace = kernel.run()
     metrics = compute_metrics(trace, warmup=warmup)

@@ -25,24 +25,34 @@ from __future__ import annotations
 
 from repro.errors import SimulationError
 from repro.sim.tracing import Trace
+from repro.timebase import REL_EPS, fmt
 
 __all__ = ["validate_trace"]
 
-_TOL = 1e-9
+_TOL = REL_EPS
 
 
 def validate_trace(
     trace: Trace,
     *,
     allow_overruns: bool = False,
-    tolerance: float = _TOL,
+    tolerance: float | None = None,
 ) -> list[str]:
-    """Return a list of human-readable invariant violations (empty = ok)."""
+    """Return a list of human-readable invariant violations (empty = ok).
+
+    ``tolerance`` defaults per the trace's timebase: the shared relative
+    guard for float traces, exactly 0 for exact traces -- an exact-mode
+    trace has no representation noise to forgive, so any slack would only
+    mask real scheduler bugs.
+    """
     if not trace.record_segments:
         raise SimulationError(
             "trace validation needs a trace recorded with "
             "record_segments=True"
         )
+    if tolerance is None:
+        tolerance = 0 if trace.timebase.exact else _TOL
+    exact = trace.timebase.exact
     issues: list[str] = []
     system = trace.system
 
@@ -55,8 +65,8 @@ def validate_trace(
             if later.start < earlier.end - tolerance:
                 issues.append(
                     f"{processor}: segments overlap -- "
-                    f"{earlier.sid}#{earlier.instance} until {earlier.end:g} "
-                    f"vs {later.sid}#{later.instance} from {later.start:g}"
+                    f"{earlier.sid}#{earlier.instance} until {fmt(earlier.end)} "
+                    f"vs {later.sid}#{later.instance} from {fmt(later.start)}"
                 )
         local_instances = [
             (sid, m)
@@ -77,7 +87,7 @@ def validate_trace(
                 if overlap_end - overlap_start > tolerance:
                     issues.append(
                         f"{processor}: {segment.sid}#{segment.instance} ran "
-                        f"during ({overlap_start:g}, {overlap_end:g}) while "
+                        f"during ({fmt(overlap_start)}, {fmt(overlap_end)}) while "
                         f"higher-priority {sid}#{m} was ready"
                     )
 
@@ -90,16 +100,18 @@ def validate_trace(
         if segment.end < segment.start - tolerance:
             issues.append(f"segment of {segment.sid}#{segment.instance} "
                           f"ends before it starts")
-        executed[key] = executed.get(key, 0.0) + segment.length
+        # Seed with int 0, not 0.0: a float seed would contaminate the
+        # exact (Fraction) segment sums and fabricate 1-ulp WCET overruns.
+        executed[key] = executed.get(key, 0) + segment.length
     for key, completion in trace.completions.items():
         sid, m = key
-        wcet = system.subtask(sid).execution_time
-        total = executed.get(key, 0.0)
+        wcet = trace.timebase.convert(system.subtask(sid).execution_time)
+        total = executed.get(key, 0)
         if total <= tolerance:
             issues.append(f"{sid}#{m} completed without executing")
         elif total > wcet + tolerance and not allow_overruns:
             issues.append(
-                f"{sid}#{m} executed {total:g} > WCET {wcet:g}"
+                f"{sid}#{m} executed {fmt(total)} > WCET {fmt(wcet)}"
             )
         release = trace.releases[key]
         if completion < release - tolerance:
@@ -116,8 +128,8 @@ def validate_trace(
         for (m0, t0), (m1, t1) in zip(entries, entries[1:]):
             if t1 < t0 - tolerance:
                 issues.append(
-                    f"{sid}: instance {m1} released at {t1:g} before "
-                    f"instance {m0} at {t0:g}"
+                    f"{sid}: instance {m1} released at {fmt(t1)} before "
+                    f"instance {m0} at {fmt(t0)}"
                 )
         completions = sorted(
             (m, trace.completions[(sid, m)])
@@ -127,8 +139,8 @@ def validate_trace(
         for (m0, t0), (m1, t1) in zip(completions, completions[1:]):
             if t1 < t0 - tolerance:
                 issues.append(
-                    f"{sid}: instance {m1} completed at {t1:g} before "
-                    f"instance {m0} at {t0:g}"
+                    f"{sid}: instance {m1} completed at {fmt(t1)} before "
+                    f"instance {m0} at {fmt(t0)}"
                 )
 
     # ------------------------------------------------------------------
@@ -144,20 +156,22 @@ def validate_trace(
                 pending = trace.releases[(predecessor, m)]
                 if release > pending - tolerance:
                     issues.append(
-                        f"{sid}#{m} released at {release:g} while "
-                        f"{predecessor}#{m} (released {pending:g}) had not "
+                        f"{sid}#{m} released at {fmt(release)} while "
+                        f"{predecessor}#{m} (released {fmt(pending)}) had not "
                         f"completed by the horizon"
                     )
             else:
                 issues.append(
-                    f"{sid}#{m} released at {release:g} but {predecessor}#{m} "
+                    f"{sid}#{m} released at {fmt(release)} but {predecessor}#{m} "
                     f"was never released"
                 )
-        elif release < completion - max(
-            tolerance, 1e-9 * max(1.0, abs(completion))
+        elif release < completion - (
+            tolerance
+            if exact
+            else max(tolerance, _TOL * max(1.0, abs(completion)))
         ):
             issues.append(
-                f"{sid}#{m} released at {release:g} before {predecessor}#{m} "
-                f"completed at {completion:g}"
+                f"{sid}#{m} released at {fmt(release)} before {predecessor}#{m} "
+                f"completed at {fmt(completion)}"
             )
     return issues

@@ -22,6 +22,7 @@ from typing import Iterator
 from repro.errors import SimulationError
 from repro.model.system import System
 from repro.model.task import ProcessorId, SubtaskId
+from repro.timebase import FLOAT, Timebase, fmt
 
 __all__ = ["Segment", "PrecedenceViolation", "Trace"]
 
@@ -68,6 +69,9 @@ class Trace:
     horizon: float
     record_segments: bool = True
     record_idle_points: bool = False
+    #: Arithmetic backend the recording kernel ran under; consumers
+    #: (metrics, validation) take their comparison semantics from it.
+    timebase: Timebase = FLOAT
 
     releases: dict[InstanceKey, float] = field(default_factory=dict)
     completions: dict[InstanceKey, float] = field(default_factory=dict)
@@ -77,6 +81,11 @@ class Trace:
     segments: list[Segment] = field(default_factory=list)
     idle_points: dict[ProcessorId, list[float]] = field(default_factory=dict)
     violations: list[PrecedenceViolation] = field(default_factory=list)
+    #: ``(requested, clamped_to)`` per timer the kernel pulled forward to
+    #: ``now`` inside the float-tolerance window.  Always recorded: a
+    #: silently rewritten timestamp is a debugging dead end, and under
+    #: the exact timebase the kernel raises instead of clamping.
+    timer_clamps: list[tuple[float, float]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Recording (called by the kernel)
@@ -89,7 +98,7 @@ class Trace:
         if key in self.releases:
             raise SimulationError(
                 f"instance {sid}#{instance} released twice "
-                f"(at {self.releases[key]:g} and {time:g})"
+                f"(at {fmt(self.releases[key])} and {fmt(time)})"
             )
         self.releases[key] = time
 
@@ -97,8 +106,8 @@ class Trace:
         key = (sid, instance)
         if key not in self.releases:
             raise SimulationError(
-                f"instance {sid}#{instance} completed at {time:g} without a "
-                f"recorded release"
+                f"instance {sid}#{instance} completed at {fmt(time)} without "
+                f"a recorded release"
             )
         if key in self.completions:
             raise SimulationError(f"instance {sid}#{instance} completed twice")
@@ -114,6 +123,9 @@ class Trace:
 
     def note_violation(self, violation: PrecedenceViolation) -> None:
         self.violations.append(violation)
+
+    def note_timer_clamp(self, requested: float, clamped_to: float) -> None:
+        self.timer_clamps.append((requested, clamped_to))
 
     # ------------------------------------------------------------------
     # Queries
@@ -189,9 +201,8 @@ class Trace:
     def deadline_misses(self, task_index: int) -> int:
         """Completed instances of a task whose EER exceeded the deadline."""
         deadline = self.system.tasks[task_index].relative_deadline
-        tolerance = 1e-9 * max(1.0, deadline)
         return sum(
             1
             for value in self.eer_times(task_index)
-            if value > deadline + tolerance
+            if self.timebase.gt(value, deadline)
         )

@@ -1,0 +1,195 @@
+"""Unit tests for the pluggable arithmetic timebase layer."""
+
+from __future__ import annotations
+
+import math
+import re
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.timebase import (
+    ABS_EPS,
+    EXACT,
+    FLOAT,
+    REL_EPS,
+    ExactTimebase,
+    FloatTimebase,
+    canonical_number,
+    fmt,
+    get_timebase,
+)
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_timebase("float") is FLOAT
+        assert get_timebase("exact") is EXACT
+
+    def test_none_means_float(self):
+        assert get_timebase(None) is FLOAT
+
+    def test_instance_passthrough(self):
+        assert get_timebase(EXACT) is EXACT
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown timebase"):
+            get_timebase("decimal")
+
+    def test_flags(self):
+        assert not FLOAT.exact and FLOAT.name == "float"
+        assert EXACT.exact and EXACT.name == "exact"
+
+
+class TestFloatBackend:
+    def test_convert_is_float(self):
+        assert FloatTimebase().convert(3) == 3.0
+        assert isinstance(FLOAT.convert(Fraction(1, 2)), float)
+
+    def test_comparisons_have_relative_guard(self):
+        t = 1000.0
+        assert FLOAT.eq(t, t + REL_EPS * t / 2)
+        assert not FLOAT.lt(t, t + REL_EPS * t / 2)
+        assert FLOAT.lt(t, t + 3 * REL_EPS * t)
+        assert FLOAT.leq(t + REL_EPS * t / 2, t)
+
+    def test_sign_guards(self):
+        assert not FLOAT.is_positive(ABS_EPS / 2)
+        assert FLOAT.is_positive(2 * ABS_EPS)
+        assert not FLOAT.is_negative(-REL_EPS / 2)
+        assert FLOAT.is_negative(-2 * REL_EPS)
+
+    def test_ceil_forgives_upward_noise(self):
+        assert FLOAT.ceil(5.0000000000004) == 5
+        assert FLOAT.ceil(5.1) == 6
+
+
+class TestExactBackend:
+    def test_integral_floats_become_ints(self):
+        assert ExactTimebase().convert(5.0) == 5
+        assert isinstance(EXACT.convert(5.0), int)
+        assert isinstance(EXACT.convert(7), int)
+
+    def test_non_integral_floats_become_exact_fractions(self):
+        value = EXACT.convert(0.1)
+        assert isinstance(value, Fraction)
+        # as_integer_ratio is lossless: converting back is the identity.
+        assert float(value) == 0.1
+        assert value == Fraction(*(0.1).as_integer_ratio())
+
+    def test_integral_fraction_collapses(self):
+        assert EXACT.convert(Fraction(10, 2)) == 5
+        assert isinstance(EXACT.convert(Fraction(10, 2)), int)
+
+    def test_sentinels_pass_through(self):
+        assert EXACT.convert(math.inf) == math.inf
+        assert math.isnan(EXACT.convert(math.nan))
+
+    def test_comparisons_are_exact(self):
+        t = EXACT.convert(1000.0)
+        assert not EXACT.eq(t, t + Fraction(1, 10**12))
+        assert EXACT.lt(t, t + Fraction(1, 10**12))
+        assert EXACT.eq(t, 1000)
+
+    def test_no_noise_floor(self):
+        assert EXACT.is_positive(Fraction(1, 10**18))
+        assert EXACT.is_negative(Fraction(-1, 10**18))
+
+    def test_ceil_is_plain(self):
+        assert EXACT.ceil(Fraction(21, 10)) == 3
+        assert EXACT.ceil(2) == 2
+
+    def test_associativity_of_converted_arithmetic(self):
+        # The PM-vs-completion identity: (phase + R) + m*p must equal
+        # (phase + m*p) + R -- false for floats, true for rationals.
+        phase, bound, period = 0.1, 0.2, 0.3
+        assert (phase + bound) + period != phase + (bound + period)  # floats
+        ea = (EXACT.convert(phase) + EXACT.convert(bound)) + EXACT.convert(period)
+        eb = EXACT.convert(phase) + (EXACT.convert(bound) + EXACT.convert(period))
+        assert ea == eb
+
+
+class TestFormattingAndCanonical:
+    def test_fmt_handles_all_value_kinds(self):
+        assert fmt(2.5) == "2.5"
+        assert fmt(Fraction(5, 2)) == "2.5"
+        assert fmt(3) == "3"
+        assert fmt(Fraction(10**400, 3))  # beyond float range, no raise
+
+    def test_canonical_number(self):
+        assert canonical_number(Fraction(1, 3)) == "1/3"
+        assert canonical_number(Fraction(6, 3)) == 2
+        assert canonical_number(2.5) == 2.5
+        assert canonical_number(7) == 7
+
+    def test_canonical_is_stable_across_equal_values(self):
+        assert canonical_number(Fraction(2, 6)) == canonical_number(
+            Fraction(1, 3)
+        )
+
+
+class TestEpsilonLint:
+    def test_no_bare_epsilon_literals_outside_timebase(self):
+        """Mirror of the CI grep lint: the shared tolerances are imported
+        from repro.timebase, never re-spelled as literals."""
+        pattern = re.compile(r"1e-0?9|1e-12")
+        offenders = []
+        for path in SRC_ROOT.rglob("*.py"):
+            if path.is_relative_to(SRC_ROOT / "timebase"):
+                continue
+            for number, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if pattern.search(line):
+                    offenders.append(f"{path}:{number}: {line.strip()}")
+        assert not offenders, (
+            "bare epsilon literal(s) outside repro/timebase -- import "
+            "ABS_EPS/REL_EPS instead:\n" + "\n".join(offenders)
+        )
+
+
+class TestHashingCanonicalization:
+    def test_fraction_parameters_hash_stably(self):
+        from repro.model.system import System
+        from repro.model.task import Subtask, Task
+        from repro.service.hashing import system_key
+
+        def build(period):
+            return System(
+                (
+                    Task(
+                        period=period,
+                        subtasks=(Subtask(Fraction(1, 3), "P1", priority=0),),
+                        name="t",
+                    ),
+                ),
+                name="exact-ish",
+            )
+
+        key_a = system_key(build(Fraction(21, 2)))
+        key_b = system_key(build(Fraction(42, 4)))  # equal after reduction
+        assert key_a == key_b
+
+    def test_integral_fraction_matches_int(self):
+        # Fraction(10) canonicalizes to the int 10 -- but float 10.0 keys
+        # differently (floats keep their historical byte-exact encoding).
+        from repro.model.system import System
+        from repro.model.task import Subtask, Task
+        from repro.service.hashing import system_key
+
+        def build(period):
+            return System(
+                (
+                    Task(
+                        period=period,
+                        subtasks=(Subtask(1.0, "P1", priority=0),),
+                        name="t",
+                    ),
+                ),
+                name="s",
+            )
+
+        assert system_key(build(Fraction(10, 1))) == system_key(build(10))

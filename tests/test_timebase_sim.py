@@ -1,0 +1,225 @@
+"""Timebase behaviour through the simulator and the fuzz differential.
+
+Covers the satellite regressions of the exact-timebase change:
+
+* the unified past-timer guard (raise beyond the float window, clamp
+  with a trace note inside it, no window at all under exact);
+* the deterministic class order at one instant -- completions, timers,
+  environment releases, then signals -- including zero-latency signals,
+  which now always travel through the queue;
+* the float-vs-exact differential checker;
+* a Hypothesis property: both backends agree on every observable, and
+  under exact arithmetic PM and MPM coincide *identically*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocols.direct import DirectSynchronization
+from repro.errors import SimulationError
+from repro.fuzz.campaign import PROFILES
+from repro.fuzz.differential import compare_backends
+from repro.fuzz.runner import build_case
+from repro.model.system import System
+from repro.model.task import Subtask, SubtaskId, Task
+from repro.sim.engine import (
+    EVENT_COMPLETION,
+    EVENT_ENV,
+    EVENT_SIGNAL,
+    EVENT_TIMER,
+    EventQueue,
+    Kernel,
+)
+from repro.timebase import REL_EPS
+from repro.workload.generator import generate_system
+
+_TINY = PROFILES["tiny"][0]
+
+
+def _kernel(timebase):
+    system = System(
+        (Task(period=10.0, subtasks=(Subtask(3.0, "P1"),), name="T1"),)
+    )
+    return Kernel(system, DirectSynchronization(), 2000.0, timebase=timebase)
+
+
+class TestTimerBoundary:
+    """Satellites 1 and 3: one guard, observable clamping."""
+
+    def test_float_timer_far_in_past_raises(self):
+        kernel = _kernel("float")
+        kernel.now = 1000.0
+        with pytest.raises(SimulationError, match="timer scheduled in the past"):
+            kernel.schedule_timer(1000.0 - 1e-3, lambda now: None)
+
+    def test_float_timer_inside_window_clamps_and_notes(self):
+        kernel = _kernel("float")
+        kernel.now = 1000.0
+        requested = 1000.0 - REL_EPS * 100  # inside the 1e-6 guard window
+        handle = kernel.schedule_timer(requested, lambda now: None)
+        assert handle[0] == 1000.0  # clamped to now
+        assert kernel.trace.timer_clamps == [(requested, 1000.0)]
+
+    def test_float_timer_at_now_is_clean(self):
+        kernel = _kernel("float")
+        kernel.now = 1000.0
+        kernel.schedule_timer(1000.0, lambda now: None)
+        assert kernel.trace.timer_clamps == []
+
+    def test_exact_backend_has_no_window(self):
+        kernel = _kernel("exact")
+        kernel.now = 1000
+        # One part in 10^9 below now: the float backend would clamp this;
+        # exact arithmetic has no tolerance window, so it is simply past.
+        with pytest.raises(SimulationError, match="timer scheduled in the past"):
+            kernel.schedule_timer(1000 - Fraction(1, 10**9), lambda now: None)
+        kernel.schedule_timer(1000, lambda now: None)
+        assert kernel.trace.timer_clamps == []
+
+
+class TestSameInstantClassOrder:
+    """Satellite 2: one total order at a shared instant, queued signals."""
+
+    def test_queue_orders_by_class_then_fifo(self):
+        queue = EventQueue()
+        order = []
+        queue.push(5.0, EVENT_SIGNAL, lambda now: order.append("signal"))
+        queue.push(5.0, EVENT_ENV, lambda now: order.append("env"))
+        queue.push(5.0, EVENT_TIMER, lambda now: order.append("timer-a"))
+        queue.push(5.0, EVENT_COMPLETION, lambda now: order.append("done"))
+        queue.push(5.0, EVENT_TIMER, lambda now: order.append("timer-b"))
+        while (handle := queue.pop()) is not None:
+            handle[3](handle[0])
+        assert order == ["done", "timer-a", "timer-b", "env", "signal"]
+
+    @pytest.mark.parametrize("timebase", ["float", "exact"])
+    def test_kernel_interleaves_classes_at_one_instant(self, timebase):
+        # Stage 1 of T1 completes at t=2; T2's phase puts an environment
+        # release at t=2; the controller arms a timer at t=2; and the
+        # completion's zero-latency signal is due at t=2.  All four event
+        # classes collide at one instant and must run in class order.
+        system = System(
+            (
+                Task(
+                    period=10.0,
+                    subtasks=(Subtask(2.0, "P1"), Subtask(3.0, "P2")),
+                    name="T1",
+                ),
+                Task(
+                    period=10.0,
+                    phase=2.0,
+                    subtasks=(Subtask(1.0, "P2", priority=1),),
+                    name="T2",
+                ),
+            )
+        )
+        log = []
+
+        class Recording(DirectSynchronization):
+            def start(self):
+                self.kernel.schedule_timer(
+                    2.0, lambda now: log.append(("timer", now))
+                )
+
+            def on_completion(self, sid, instance, now):
+                log.append(("completion", now))
+                super().on_completion(sid, instance, now)
+                if sid == SubtaskId(0, 0):
+                    # Queued, not synchronous: the successor must not be
+                    # released while the completion event is still running.
+                    released = (SubtaskId(0, 1), 0) in self.kernel.trace.releases
+                    log.append(("successor-released-inside-hook", released))
+
+            def on_env_release(self, sid, instance, now):
+                log.append(("env", now))
+                super().on_env_release(sid, instance, now)
+
+            def on_signal(self, sid, instance, now):
+                log.append(("signal", now))
+                super().on_signal(sid, instance, now)
+
+        kernel = Kernel(system, Recording(), 10.0, timebase=timebase)
+        trace = kernel.run()
+
+        assert ("successor-released-inside-hook", False) in log
+        at_two = [kind for kind, value in log if value == 2.0 or value == 2]
+        assert at_two == ["completion", "timer", "env", "signal"]
+        # The signal still lands at the same simulated instant.
+        assert trace.releases[(SubtaskId(0, 1), 0)] == 2.0
+
+
+class TestDifferentialChecker:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_backends_agree_on_generated_systems(self, seed):
+        system = generate_system(_TINY, seed)
+        float_case = build_case(system, seed=seed, config=_TINY)
+        exact_case = build_case(
+            system, seed=seed, config=_TINY, timebase="exact"
+        )
+        assert compare_backends(float_case, exact_case) == []
+
+    def test_verdict_flip_is_reported(self):
+        system = generate_system(_TINY, 0)
+        float_case = build_case(system, seed=0, config=_TINY)
+        exact_case = build_case(system, seed=0, config=_TINY, timebase="exact")
+        # Force every SA/PM bound to infinity on one side only: both the
+        # schedulability and the failure verdict now flip.
+        doctored = dataclasses.replace(
+            exact_case,
+            sa_pm=dataclasses.replace(
+                exact_case.sa_pm,
+                task_bounds=tuple(
+                    math.inf for _ in exact_case.sa_pm.task_bounds
+                ),
+            ),
+        )
+        issues = compare_backends(float_case, doctored)
+        assert any("SA/PM schedulability flips" in issue for issue in issues)
+        assert any("SA/PM failure flag flips" in issue for issue in issues)
+
+    def test_exact_pm_and_mpm_are_identical(self):
+        # Under rational arithmetic the PM/MPM identity is exact: same
+        # releases, same completions, compared with ==, no tolerance.
+        found = False
+        for seed in range(6):
+            system = generate_system(_TINY, seed)
+            case = build_case(system, seed=seed, config=_TINY, timebase="exact")
+            if "PM" not in case.results or "MPM" not in case.results:
+                continue
+            found = True
+            pm, mpm = case.results["PM"].trace, case.results["MPM"].trace
+            assert pm.releases == mpm.releases
+            assert pm.completions == mpm.completions
+        assert found, "no seed in range produced both PM and MPM runs"
+
+
+@given(seed=st.integers(min_value=0, max_value=2**20))
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_property_float_and_exact_agree(seed):
+    """Satellite 4: on any generated system, the two backends agree on
+    analysis verdicts and on every (non-horizon-band) simulated event,
+    and exact PM == exact MPM with no tolerance at all."""
+    system = generate_system(_TINY, seed)
+    float_case = build_case(system, seed=seed, config=_TINY)
+    exact_case = build_case(system, seed=seed, config=_TINY, timebase="exact")
+
+    assert compare_backends(float_case, exact_case) == []
+    assert float_case.sa_pm.schedulable == exact_case.sa_pm.schedulable
+    assert float_case.sa_ds.schedulable == exact_case.sa_ds.schedulable
+    assert set(float_case.results) == set(exact_case.results)
+
+    if "PM" in exact_case.results and "MPM" in exact_case.results:
+        pm = exact_case.results["PM"].trace
+        mpm = exact_case.results["MPM"].trace
+        assert pm.completions == mpm.completions
