@@ -1,0 +1,91 @@
+"""Clock-subsystem micro-benchmarks: the price of imperfect clocks.
+
+The clock layer sits on the simulator's hot path (every timer arm and
+every event timestamp passes through a clock conversion), so its cost
+must stay negligible.  Two contracts are pinned here:
+
+* a :class:`PerfectClock` run stays within 1.5x of a bare run -- the
+  identity path is a pair of attribute lookups, not arithmetic;
+* a :class:`ResyncClock` run (the most expensive model: piecewise
+  segments plus a first-crossing inverse) stays within 5x of bare.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import run_protocol
+from repro.clocks import ClockConfig, ClockMap
+from repro.core.analysis.skew import analyze_sa_pm_skewed
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+from conftest import save_and_print
+
+_CONFIG = WorkloadConfig(
+    subtasks_per_task=3,
+    utilization=0.6,
+    tasks=4,
+    processors=3,
+    period_min=100.0,
+    period_max=1000.0,
+    period_scale=300.0,
+)
+
+_RESYNC = ClockConfig(
+    kind="resync", precision=2.0, interval=100.0, rate=1e-5, seed=0
+)
+
+
+def _system():
+    return generate_system(_CONFIG, seed=1)
+
+
+def test_simulate_with_resync_clocks(benchmark):
+    """MPM under the most expensive clock model."""
+    system = _system()
+    result = benchmark(
+        lambda: run_protocol(
+            system, "MPM", horizon_periods=3.0, clocks=_RESYNC
+        )
+    )
+    assert result.metrics.task(0).completed_instances > 0
+
+
+def test_skewed_analysis_throughput(benchmark):
+    """The skew-aware SA/PM pass, paper-sized system."""
+    system = _system()
+    result = benchmark(
+        lambda: analyze_sa_pm_skewed(system, clocks=_RESYNC)
+    )
+    assert result.algorithm == "SA/PM-skew"
+
+
+def _best_of(repetitions, thunk):
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_clock_overhead_bounded():
+    """Acceptance: perfect clocks <= 1.5x bare, resync <= 5x, best-of-5."""
+    system = _system()
+
+    def run(clocks):
+        return run_protocol(system, "MPM", horizon_periods=3.0, clocks=clocks)
+
+    bare = _best_of(5, lambda: run(None))
+    perfect = _best_of(5, lambda: run(ClockMap.perfect()))
+    resync = _best_of(5, lambda: run(_RESYNC))
+    lines = [
+        "clocks          time      vs bare",
+        f"{'bare':<12} {bare * 1e3:7.2f}ms    1.00x",
+        f"{'perfect':<12} {perfect * 1e3:7.2f}ms {perfect / bare:7.2f}x",
+        f"{'resync':<12} {resync * 1e3:7.2f}ms {resync / bare:7.2f}x",
+    ]
+    assert perfect / bare < 1.5, f"perfect clocks cost {perfect / bare:.2f}x"
+    assert resync / bare < 5.0, f"resync clocks cost {resync / bare:.2f}x"
+    save_and_print("clock_overhead", "\n".join(lines))

@@ -66,6 +66,7 @@ def recommend_protocol(
     wcets_trusted: bool = True,
     clock_sync_available: bool = False,
     strictly_periodic_arrivals: bool = False,
+    synchronized_clocks: bool | None = None,
     sa_pm: AnalysisResult | None = None,
     sa_ds: AnalysisResult | None = None,
 ) -> Recommendation:
@@ -77,11 +78,21 @@ def recommend_protocol(
     blindly), and does the platform offer synchronized clocks and
     strictly periodic arrivals (PM's extra requirements)?
 
+    ``synchronized_clocks`` is the canonical name for the clock
+    question (``clock_sync_available`` remains as an alias; an explicit
+    ``synchronized_clocks`` wins).  When False, PM is *never*
+    recommended: its phase table is an absolute local-time schedule, and
+    the clock study (``repro-rts clock-study``) shows it missing
+    deadlines and violating precedence under clocks that are merely
+    offset -- conditions MPM and RG absorb by construction.
+
     Callers that already hold the analyses (e.g. the admission-control
     engine, which needs them for its own verdict) may pass them as
     ``sa_pm`` / ``sa_ds`` to avoid recomputing; both must describe
     ``system`` itself.
     """
+    if synchronized_clocks is None:
+        synchronized_clocks = clock_sync_available
     if sa_pm is None:
         sa_pm = analyze_sa_pm(system)
     if sa_ds is None:
@@ -89,7 +100,7 @@ def recommend_protocol(
     ratio = _worst_ratio(sa_pm, sa_ds)
 
     if jitter_sensitive and wcets_trusted:
-        if clock_sync_available and strictly_periodic_arrivals:
+        if synchronized_clocks and strictly_periodic_arrivals:
             return Recommendation(
                 protocol="PM",
                 rationale=(

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+from repro.clocks.config import ClockConfig
+from repro.clocks.models import ClockMap
 from repro.core.analysis.results import AnalysisResult
 from repro.core.analysis.sa_ds import analyze_sa_ds
 from repro.core.analysis.sa_pm import analyze_sa_pm
@@ -43,13 +45,20 @@ def run_protocol(
     record_segments: bool = False,
     strict_precedence: bool = False,
     warmup: float = 0.0,
+    clocks: ClockMap | ClockConfig | None = None,
+    timebase: str = "float",
 ) -> SimulationResult:
     """Simulate ``system`` under the named protocol (DS/PM/MPM/RG).
 
     PM and MPM derive their response-time bounds from Algorithm SA/PM
-    unless ``bounds`` is given.  See :func:`repro.sim.simulate` for the
-    remaining knobs.
+    unless ``bounds`` is given.  ``clocks`` assigns per-processor local
+    clocks: either a ready :class:`~repro.clocks.ClockMap` or a
+    :class:`~repro.clocks.ClockConfig` (instantiated over the system's
+    processors).  See :func:`repro.sim.simulate` for the remaining
+    knobs.
     """
+    if isinstance(clocks, ClockConfig):
+        clocks = clocks.build(system.processors)
     controller = make_controller(protocol, system, bounds=bounds)
     return simulate(
         system,
@@ -62,6 +71,8 @@ def run_protocol(
         record_segments=record_segments,
         strict_precedence=strict_precedence,
         warmup=warmup,
+        clocks=clocks,
+        timebase=timebase,
     )
 
 

@@ -23,9 +23,15 @@ Subcommands
 ``fuzz``
     Differential conformance fuzzing: seeded random systems through all
     four protocols, judged by the paper-derived oracle registry, with
-    counterexample shrinking and corpus persistence.
+    counterexample shrinking and corpus persistence.  ``--clocks skew``
+    adds imperfect per-processor clocks to the rotation; ``--latencies``
+    adds cross-processor signal delays.
 ``fuzz-replay``
     Replay the counterexample corpus as a regression check.
+``clock-study``
+    The PM-vs-MPM/RG separation study: sweep clock-resynchronization
+    precision and measure per-protocol deadline misses, precedence
+    violations and skew-bound exceedances.
 """
 
 from __future__ import annotations
@@ -266,6 +272,20 @@ def _add_admission_options(parser: argparse.ArgumentParser) -> None:
         help="arrivals are strictly periodic",
     )
     parser.add_argument(
+        "--unsynchronized-clocks", action="store_true",
+        help="the platform's clocks are not synchronized (excludes PM)",
+    )
+    parser.add_argument(
+        "--clock-rate-bound", type=float, default=0.0,
+        help="max clock drift rate rho; nonzero certifies MPM/RG via the "
+        "skew-inflated analysis and excludes PM",
+    )
+    parser.add_argument(
+        "--clock-jump-bound", type=float, default=0.0,
+        help="max clock resynchronization step; same effect as "
+        "--clock-rate-bound",
+    )
+    parser.add_argument(
         "--sa-ds-max-iterations", type=int, default=300,
         help="SA/DS fixed-point iteration budget (paper: 300)",
     )
@@ -297,6 +317,9 @@ def _admission_options(args: argparse.Namespace) -> dict:
         "wcets_trusted": not args.untrusted_wcets,
         "clock_sync_available": args.clock_sync,
         "strictly_periodic_arrivals": args.periodic_arrivals,
+        "synchronized_clocks": not args.unsynchronized_clocks,
+        "clock_rate_bound": args.clock_rate_bound,
+        "clock_jump_bound": args.clock_jump_bound,
         "sa_ds_max_iterations": args.sa_ds_max_iterations,
     }
 
@@ -449,6 +472,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         fail_fast=args.fail_fast,
         progress=_progress if args.verbose else None,
         timebase=args.timebase,
+        clocks=args.clocks,
+        latencies=tuple(args.latencies),
     )
     if args.stats or not report.ok:
         print(report.describe())
@@ -458,6 +483,39 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             f"{report.elapsed:.1f} s"
         )
     return 0 if report.ok else 1
+
+
+def _cmd_clock_study(args: argparse.Namespace) -> int:
+    from repro.experiments.clock_study import run_clock_study
+
+    config = None
+    if args.n is not None or args.u is not None:
+        if args.n is None or args.u is None:
+            print(
+                "clock-study: --n and --u must be given together",
+                file=sys.stderr,
+            )
+            return 2
+        config = WorkloadConfig(
+            subtasks_per_task=args.n,
+            utilization=args.u,
+            tasks=args.tasks,
+            processors=args.processors,
+        )
+    result = run_clock_study(
+        precisions=tuple(args.precisions),
+        interval=args.interval,
+        config=config,
+        systems=args.systems,
+        base_seed=args.seed,
+        horizon_periods=args.horizon_periods,
+        drift_rate=args.drift_rate,
+        timebase=args.timebase,
+    )
+    print(result.render())
+    if args.require_separation and not result.separation_demonstrated:
+        return 1
+    return 0
 
 
 def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
@@ -620,6 +678,16 @@ def build_parser() -> argparse.ArgumentParser:
         "cross-checks every case against the float backend",
     )
     p.add_argument(
+        "--clocks", choices=("none", "skew"), default="none",
+        help="clock rotation: 'skew' cycles imperfect per-processor "
+        "clocks (offset, drift, resync) through the cases",
+    )
+    p.add_argument(
+        "--latencies", type=float, nargs="+", default=[0.0],
+        help="cross-processor signal latencies to rotate through "
+        "(default: 0 only)",
+    )
+    p.add_argument(
         "--corpus", default=None,
         help="append shrunk counterexamples to this JSONL file/directory",
     )
@@ -658,6 +726,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="print one line per corpus entry, not only failures",
     )
     p.set_defaults(handler=_cmd_fuzz_replay)
+
+    p = subparsers.add_parser(
+        "clock-study",
+        help="PM-vs-MPM/RG separation under resynchronized clocks",
+    )
+    p.add_argument(
+        "--precisions", type=float, nargs="+",
+        default=[0.0, 1.0, 5.0, 10.0, 20.0],
+        help="resync precisions (epsilon) to sweep; 0 = perfect clocks",
+    )
+    p.add_argument(
+        "--interval", type=float, default=100.0,
+        help="resynchronization interval (default: 100)",
+    )
+    p.add_argument(
+        "--drift-rate", type=float, default=1e-5,
+        help="clock drift rate between resynchronizations",
+    )
+    p.add_argument(
+        "--systems", type=int, default=5,
+        help="SA/PM-schedulable systems to sample (default: 5)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="base seed")
+    p.add_argument(
+        "--n", type=int, default=None,
+        help="subtasks per task (with --u; default: the study's workload)",
+    )
+    p.add_argument("--u", type=float, default=None, help="utilization")
+    p.add_argument("--tasks", type=int, default=4)
+    p.add_argument("--processors", type=int, default=3)
+    p.add_argument(
+        "--horizon-periods", type=float, default=5.0,
+        help="simulation horizon in multiples of the largest period",
+    )
+    p.add_argument(
+        "--timebase", choices=("float", "exact"), default="float",
+        help="arithmetic backend",
+    )
+    p.add_argument(
+        "--require-separation", action="store_true",
+        help="exit 1 unless the separation is demonstrated on this sample",
+    )
+    p.set_defaults(handler=_cmd_clock_study)
 
     return parser
 

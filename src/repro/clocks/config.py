@@ -1,0 +1,196 @@
+"""Serializable clock configurations: one spec -> one per-processor map.
+
+A :class:`ClockConfig` is the *description* of a clock assignment --
+JSON-friendly, hashable, picklable -- that the CLI, the fuzz campaign and
+the admission service pass around.  :meth:`ClockConfig.build` turns it
+into the concrete :class:`~repro.clocks.models.ClockMap` for a given
+processor set.
+
+To make clock error *relative* (the interesting regime -- identical
+clocks on every processor would still skew PM against the true-time
+environment, but hide inter-processor effects), the builder alternates
+the sign of offsets and rates across processors in sorted order and
+derives a distinct seed per processor for resync offsets.  Everything is
+deterministic: the same config over the same processors always builds
+the same map.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.clocks.models import (
+    BoundedDrift,
+    ClockMap,
+    ClockModel,
+    FixedOffset,
+    PerfectClock,
+    ResyncClock,
+)
+from repro.errors import ConfigurationError
+from repro.model.task import ProcessorId
+
+__all__ = ["CLOCK_KINDS", "ClockConfig", "clock_config_from_dict",
+           "clock_config_to_dict"]
+
+#: Recognized model kinds, in teaching order.
+CLOCK_KINDS: tuple[str, ...] = ("perfect", "offset", "drift", "resync")
+
+_FORMAT = "repro-clock-config-v1"
+
+
+@dataclass(frozen=True)
+class ClockConfig:
+    """One clock-model spec applied (sign-alternated) to every processor.
+
+    Attributes
+    ----------
+    kind:
+        ``"perfect"``, ``"offset"``, ``"drift"`` or ``"resync"``.
+    offset:
+        Clock offset magnitude (``offset``/``drift`` kinds).
+    rate:
+        Drift-rate magnitude rho (``drift``/``resync`` kinds).
+    precision:
+        Resynchronization precision eps (``resync`` kind).
+    interval:
+        Resynchronization interval (``resync`` kind).
+    seed:
+        Base seed for the per-interval resync offsets; processor ``i``
+        (in sorted order) uses ``seed + i``.
+    """
+
+    kind: str = "perfect"
+    offset: float = 0.0
+    rate: float = 0.0
+    precision: float = 0.0
+    interval: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CLOCK_KINDS:
+            raise ConfigurationError(
+                f"unknown clock kind {self.kind!r}; "
+                f"known: {', '.join(CLOCK_KINDS)}"
+            )
+        for name in ("offset", "rate", "precision", "interval"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ConfigurationError(
+                    f"clock config {name} must be finite, got {value!r}"
+                )
+        if self.kind == "resync":
+            if self.interval <= 0:
+                raise ConfigurationError(
+                    f"resync clock config needs interval > 0, "
+                    f"got {self.interval!r}"
+                )
+            # Build one throwaway model so the model-level validation
+            # (precision vs interval, rate envelope) fires at config time.
+            ResyncClock(
+                self.precision, self.interval, rate=self.rate, seed=self.seed
+            )
+        elif self.kind == "drift":
+            BoundedDrift(self.rate, self.offset)
+        elif self.kind == "offset":
+            FixedOffset(self.offset)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _model_for(self, position: int) -> ClockModel:
+        """The model of the ``position``-th processor (sorted order)."""
+        sign = 1.0 if position % 2 == 0 else -1.0
+        if self.kind == "perfect":
+            return PerfectClock()
+        if self.kind == "offset":
+            return FixedOffset(sign * self.offset)
+        if self.kind == "drift":
+            return BoundedDrift(sign * self.rate, sign * self.offset)
+        return ResyncClock(
+            self.precision,
+            self.interval,
+            rate=sign * self.rate,
+            seed=self.seed + position,
+        )
+
+    def build(self, processors: Sequence[ProcessorId]) -> ClockMap:
+        """The concrete per-processor map for ``processors``."""
+        ordered = sorted(set(processors))
+        return ClockMap(
+            {
+                processor: self._model_for(position)
+                for position, processor in enumerate(ordered)
+            }
+        )
+
+    @property
+    def is_perfect(self) -> bool:
+        """True when the built map is the identity everywhere."""
+        if self.kind == "perfect":
+            return True
+        if self.kind == "offset":
+            return self.offset == 0.0
+        if self.kind == "drift":
+            return self.rate == 0.0 and self.offset == 0.0
+        return self.precision == 0.0 and self.rate == 0.0
+
+    # ------------------------------------------------------------------
+    # Error envelopes (feed the skew-aware analysis without building)
+    # ------------------------------------------------------------------
+    def rate_bound(self) -> float:
+        """Drift envelope rho of every built model."""
+        return abs(self.rate) if self.kind in ("drift", "resync") else 0.0
+
+    def jump_bound(self) -> float:
+        """Largest clock step of every built model."""
+        if self.kind != "resync":
+            return 0.0
+        return 2 * self.precision + abs(self.rate) * self.interval
+
+    @property
+    def label(self) -> str:
+        """Compact label for reports and campaign output."""
+        if self.kind == "perfect":
+            return "clocks=perfect"
+        if self.kind == "offset":
+            return f"clocks=offset({self.offset:g})"
+        if self.kind == "drift":
+            if self.offset:
+                return f"clocks=drift({self.rate:g},{self.offset:g})"
+            return f"clocks=drift({self.rate:g})"
+        return (
+            f"clocks=resync(eps={self.precision:g},"
+            f"P={self.interval:g},rho={self.rate:g})"
+        )
+
+
+def clock_config_to_dict(config: ClockConfig) -> dict[str, Any]:
+    """A JSON-ready description of a clock config (lossless)."""
+    return {
+        "format": _FORMAT,
+        "kind": config.kind,
+        "offset": config.offset,
+        "rate": config.rate,
+        "precision": config.precision,
+        "interval": config.interval,
+        "seed": config.seed,
+    }
+
+
+def clock_config_from_dict(data: Mapping[str, Any]) -> ClockConfig:
+    """Rebuild a config from :func:`clock_config_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise ConfigurationError(
+            f"not a {_FORMAT} document (format={data.get('format')!r})"
+        )
+    return ClockConfig(
+        kind=str(data.get("kind", "perfect")),
+        offset=float(data.get("offset", 0.0)),
+        rate=float(data.get("rate", 0.0)),
+        precision=float(data.get("precision", 0.0)),
+        interval=float(data.get("interval", 0.0)),
+        seed=int(data.get("seed", 0)),
+    )

@@ -1,0 +1,407 @@
+"""Per-processor clock models: local wall clocks over simulated true time.
+
+The paper's headline argument for MPM and RG is that PM "requires
+synchronized clocks and strictly periodic first releases" (Section 3)
+while MPM timers and RG guards only need *local* timers.  To make that
+claim testable, every processor carries a :class:`ClockModel` mapping the
+kernel's true simulated time ``t`` to the processor's local wall-clock
+reading ``L(t)``, and back.
+
+Semantics the kernel realizes with these models (see
+:mod:`repro.sim.engine`):
+
+* **PM** computes its phase table in local wall-clock values and arms
+  timers *at local instants* -- a clock offset or drift skews the phased
+  releases relative to the true-time environment releases.
+* **MPM timers and RG guards** measure *durations* on the local clock --
+  a pure offset cancels exactly (only the rate error and resynchronization
+  jumps accrue), which is precisely why the paper prefers them.
+
+Model zoo:
+
+``PerfectClock``
+    The identity.  The kernel short-circuits every conversion for perfect
+    clocks, so runs with perfect clocks are *byte-identical* to runs with
+    no clock map at all (property-tested).
+``FixedOffset``
+    ``L(t) = t + offset``: a synchronized-but-misaligned clock.  Durations
+    are unaffected, so MPM and RG behave exactly as under perfect clocks
+    while PM's phases shift bodily by the offset.
+``BoundedDrift``
+    ``L(t) = offset + (1 + rate) * t``: the classic linear rate envelope
+    with ``|rate| <= rho``.  Local durations map to true durations scaled
+    by ``1 / (1 + rate)``.
+``ResyncClock``
+    NTP-style periodic resynchronization: every ``interval`` of true time
+    the clock is stepped to within ``precision`` (eps) of true time and
+    then drifts at ``rate`` until the next resync.  Offsets per interval
+    are drawn from a seeded generator, so the model is deterministic and
+    reproducible across processes.
+
+All conversions go through the run's :class:`repro.timebase.Timebase`, so
+under the exact backend local<->true round trips are lossless rationals
+and under the float backend they are plain IEEE arithmetic.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from fractions import Fraction
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.model.task import ProcessorId
+from repro.timebase import Timebase, TimeValue
+
+__all__ = [
+    "ClockModel",
+    "PerfectClock",
+    "FixedOffset",
+    "BoundedDrift",
+    "ResyncClock",
+    "ClockMap",
+]
+
+
+def _exact_ratio(numerator: TimeValue, denominator: TimeValue,
+                 timebase: Timebase) -> TimeValue:
+    """``numerator / denominator`` without silently falling back to float.
+
+    Under the exact backend an ``int / int`` division would produce a
+    float; wrapping the denominator in :class:`~fractions.Fraction` keeps
+    the quotient rational.
+    """
+    if timebase.exact:
+        denominator = Fraction(denominator)
+    return numerator / denominator
+
+
+class ClockModel(abc.ABC):
+    """One processor's wall clock as a function of true simulated time.
+
+    ``local_from_true`` / ``true_from_local`` must be inverse in the
+    first-crossing sense: ``true_from_local(L)`` is the earliest true
+    time ``t >= 0`` at which the local clock reads at least ``L`` (for
+    strictly increasing clocks this is the exact inverse; resync steps
+    can make the clock jump past ``L``, in which case the step instant is
+    returned -- exactly when a timer armed for local instant ``L`` would
+    fire).
+
+    The error-envelope accessors feed the skew-aware analysis
+    (:mod:`repro.core.analysis.skew`): ``rate_bound`` is the drift
+    envelope rho (``|dL/dt - 1| <= rho``), ``jump_bound`` the largest
+    step discontinuity, and ``offset_bound`` the largest ``|L(t) - t|``.
+    """
+
+    #: True only for :class:`PerfectClock`; the kernel short-circuits all
+    #: conversions for perfect clocks so they stay byte-identical.
+    is_perfect: bool = False
+
+    @abc.abstractmethod
+    def local_from_true(self, t: TimeValue, timebase: Timebase) -> TimeValue:
+        """The local wall-clock reading at true time ``t >= 0``."""
+
+    @abc.abstractmethod
+    def true_from_local(self, local: TimeValue,
+                        timebase: Timebase) -> TimeValue:
+        """Earliest true time ``t >= 0`` with ``local_from_true(t) >= local``."""
+
+    def rate_bound(self) -> float:
+        """Drift envelope rho: ``|dL/dt - 1| <= rho`` between steps."""
+        return 0.0
+
+    def jump_bound(self) -> float:
+        """Largest step discontinuity of the local clock (resync steps)."""
+        return 0.0
+
+    def offset_bound(self) -> float:
+        """A bound on ``|L(t) - t|`` valid for all ``t`` of interest, or
+        ``inf`` when the deviation grows without bound (pure drift)."""
+        return 0.0
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Compact human-readable label."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class PerfectClock(ClockModel):
+    """The identity clock: local time *is* true time.
+
+    Both conversions return their argument unchanged (not even a
+    ``convert`` round trip), which is what makes perfect-clock runs
+    byte-identical to clock-free runs under either timebase.
+    """
+
+    is_perfect = True
+
+    def local_from_true(self, t: TimeValue, timebase: Timebase) -> TimeValue:
+        return t
+
+    def true_from_local(self, local: TimeValue,
+                        timebase: Timebase) -> TimeValue:
+        return local
+
+    def describe(self) -> str:
+        return "perfect"
+
+
+class FixedOffset(ClockModel):
+    """``L(t) = t + offset``: synchronized rate, misaligned origin."""
+
+    def __init__(self, offset: float) -> None:
+        if not math.isfinite(offset):
+            raise ConfigurationError(
+                f"clock offset must be finite, got {offset!r}"
+            )
+        self.offset = offset
+
+    def local_from_true(self, t: TimeValue, timebase: Timebase) -> TimeValue:
+        return t + timebase.convert(self.offset)
+
+    def true_from_local(self, local: TimeValue,
+                        timebase: Timebase) -> TimeValue:
+        t = local - timebase.convert(self.offset)
+        return t if t > timebase.zero else timebase.zero
+
+    def offset_bound(self) -> float:
+        return abs(self.offset)
+
+    def describe(self) -> str:
+        return f"offset={self.offset:g}"
+
+
+class BoundedDrift(ClockModel):
+    """``L(t) = offset + (1 + rate) * t``: a linear rate envelope.
+
+    ``rate`` is the per-unit drift (positive: the local clock runs fast);
+    it must satisfy ``-1 < rate`` so the clock keeps moving forward.  A
+    local *duration* ``d`` corresponds to the true duration
+    ``d / (1 + rate)`` -- the only error MPM timers and RG guards accrue.
+    """
+
+    def __init__(self, rate: float, offset: float = 0.0) -> None:
+        if not math.isfinite(rate) or rate <= -1.0:
+            raise ConfigurationError(
+                f"clock rate must be finite and > -1, got {rate!r}"
+            )
+        if not math.isfinite(offset):
+            raise ConfigurationError(
+                f"clock offset must be finite, got {offset!r}"
+            )
+        self.rate = rate
+        self.offset = offset
+
+    def local_from_true(self, t: TimeValue, timebase: Timebase) -> TimeValue:
+        offset = timebase.convert(self.offset)
+        if self.rate == 0.0:
+            return t + offset
+        return offset + (1 + timebase.convert(self.rate)) * t
+
+    def true_from_local(self, local: TimeValue,
+                        timebase: Timebase) -> TimeValue:
+        shifted = local - timebase.convert(self.offset)
+        if self.rate == 0.0:
+            t = shifted
+        else:
+            t = _exact_ratio(
+                shifted, 1 + timebase.convert(self.rate), timebase
+            )
+        return t if t > timebase.zero else timebase.zero
+
+    def rate_bound(self) -> float:
+        return abs(self.rate)
+
+    def offset_bound(self) -> float:
+        if self.rate == 0.0:
+            return abs(self.offset)
+        return math.inf  # deviation grows linearly without resync
+
+    def describe(self) -> str:
+        return f"drift rate={self.rate:g} offset={self.offset:g}"
+
+
+class ResyncClock(ClockModel):
+    """Periodically resynchronized drifting clock (NTP-style).
+
+    At every true instant ``k * interval`` the clock is stepped to within
+    ``precision`` of true time -- the post-step offset ``o_k`` is drawn
+    uniformly from ``[-precision, +precision]`` by a seeded generator --
+    and then advances at rate ``1 + rate`` until the next resync:
+
+        ``L(t) = t + o_k + rate * (t - k * interval)``
+        for ``t`` in ``[k * interval, (k+1) * interval)``.
+
+    Validation keeps the model invertible-by-search: ``precision`` must
+    stay below ``interval / 4`` and ``|rate| <= 0.1``, so the crossing of
+    any local instant lies within one interval of the naive estimate.
+    """
+
+    def __init__(
+        self,
+        precision: float,
+        interval: float,
+        *,
+        rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not (precision >= 0 and math.isfinite(precision)):
+            raise ConfigurationError(
+                f"clock precision must be finite and >= 0, "
+                f"got {precision!r}"
+            )
+        if not (interval > 0 and math.isfinite(interval)):
+            raise ConfigurationError(
+                f"resync interval must be finite and > 0, got {interval!r}"
+            )
+        if precision >= interval / 4:
+            raise ConfigurationError(
+                f"clock precision {precision!r} must stay below a quarter "
+                f"of the resync interval {interval!r}"
+            )
+        if abs(rate) > 0.1 or not math.isfinite(rate):
+            raise ConfigurationError(
+                f"resync clock rate must satisfy |rate| <= 0.1, got {rate!r}"
+            )
+        self.precision = precision
+        self.interval = interval
+        self.rate = rate
+        self.seed = seed
+        self._offsets: dict[int, float] = {}
+
+    def _offset(self, k: int) -> float:
+        """The post-resync offset of interval ``k`` (seeded, cached)."""
+        cached = self._offsets.get(k)
+        if cached is None:
+            if self.precision == 0.0:
+                cached = 0.0
+            else:
+                rng = np.random.default_rng((self.seed, k))
+                cached = float(
+                    rng.uniform(-self.precision, self.precision)
+                )
+            self._offsets[k] = cached
+        return cached
+
+    def _interval_index(self, t: TimeValue) -> int:
+        return max(0, math.floor(float(t) / self.interval))
+
+    def local_from_true(self, t: TimeValue, timebase: Timebase) -> TimeValue:
+        k = self._interval_index(t)
+        start = k * timebase.convert(self.interval)
+        if t < start:  # float(t) rounding put us one interval high
+            k -= 1
+            start = k * timebase.convert(self.interval)
+        local = t + timebase.convert(self._offset(k))
+        if self.rate != 0.0:
+            local += timebase.convert(self.rate) * (t - start)
+        return local
+
+    def true_from_local(self, local: TimeValue,
+                        timebase: Timebase) -> TimeValue:
+        """First-crossing inverse: scan the few candidate intervals."""
+        interval = timebase.convert(self.interval)
+        k_estimate = self._interval_index(local)
+        for k in range(max(0, k_estimate - 2), k_estimate + 3):
+            start = k * interval
+            if local <= self.local_from_true(start, timebase):
+                # The resync step at `start` carried the clock past
+                # `local`: the step instant is the first crossing.
+                return start if start > timebase.zero else timebase.zero
+            shifted = local - start - timebase.convert(self._offset(k))
+            if self.rate == 0.0:
+                t = start + shifted
+            else:
+                t = start + _exact_ratio(
+                    shifted, 1 + timebase.convert(self.rate), timebase
+                )
+            if t < start + interval:
+                return t if t > timebase.zero else timebase.zero
+        raise ConfigurationError(  # pragma: no cover - excluded by validation
+            f"resync clock could not invert local instant {local!r}"
+        )
+
+    def rate_bound(self) -> float:
+        return abs(self.rate)
+
+    def jump_bound(self) -> float:
+        # Worst step: from one extreme offset plus a full interval of
+        # drift to the opposite extreme offset.
+        return 2 * self.precision + abs(self.rate) * self.interval
+
+    def offset_bound(self) -> float:
+        return self.precision + abs(self.rate) * self.interval
+
+    def describe(self) -> str:
+        parts = [f"resync eps={self.precision:g} interval={self.interval:g}"]
+        if self.rate:
+            parts.append(f"rate={self.rate:g}")
+        if self.seed:
+            parts.append(f"seed={self.seed}")
+        return " ".join(parts)
+
+
+class ClockMap:
+    """Per-processor clock assignment with a perfect-clock default.
+
+    The kernel consults this once per local-time conversion; processors
+    without an explicit entry run the shared :class:`PerfectClock`.
+    """
+
+    def __init__(
+        self,
+        clocks: Mapping[ProcessorId, ClockModel] | None = None,
+    ) -> None:
+        self._clocks: dict[ProcessorId, ClockModel] = dict(clocks or {})
+        self._default = PerfectClock()
+
+    @classmethod
+    def perfect(cls) -> "ClockMap":
+        """A map where every processor runs a perfect clock."""
+        return cls()
+
+    def for_processor(self, processor: ProcessorId) -> ClockModel:
+        """The clock of ``processor`` (perfect when unassigned)."""
+        return self._clocks.get(processor, self._default)
+
+    @property
+    def is_perfect(self) -> bool:
+        """True when every assigned clock is the identity."""
+        return all(clock.is_perfect for clock in self._clocks.values())
+
+    def max_rate(self) -> float:
+        """The largest drift envelope rho over all processors."""
+        return max(
+            (clock.rate_bound() for clock in self._clocks.values()),
+            default=0.0,
+        )
+
+    def max_jump(self) -> float:
+        """The largest step discontinuity over all processors."""
+        return max(
+            (clock.jump_bound() for clock in self._clocks.values()),
+            default=0.0,
+        )
+
+    def max_offset(self) -> float:
+        """The largest ``|L(t) - t|`` envelope over all processors."""
+        return max(
+            (clock.offset_bound() for clock in self._clocks.values()),
+            default=0.0,
+        )
+
+    def describe(self) -> str:
+        if not self._clocks or self.is_perfect:
+            return "all clocks perfect"
+        return ", ".join(
+            f"P{processor}: {clock.describe()}"
+            for processor, clock in sorted(self._clocks.items())
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClockMap {self.describe()}>"

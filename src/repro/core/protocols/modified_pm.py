@@ -71,8 +71,15 @@ class ModifiedPhaseModification(ReleaseController):
         successor = self.system.successor_of(sid)
         if successor is None:
             return
+        # The relay timer measures a *duration* on the releasing
+        # processor's local clock (Section 3.1: MPM needs no global
+        # clock).  A pure clock offset cancels here -- only drift and
+        # resync-jump error accrue; with a perfect clock this is exactly
+        # ``now + bound`` as before.
         self.kernel.schedule_timer(
-            now + self._bound(sid),
+            self.kernel.true_time_after_local_duration(
+                self.system.subtask(sid).processor, self._bound(sid)
+            ),
             lambda fire_time, s=sid, m=instance: self._timer_fired(
                 s, m, fire_time
             ),

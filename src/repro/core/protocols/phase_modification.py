@@ -98,7 +98,15 @@ class PhaseModification(ReleaseController):
     def _schedule_release(self, sid: SubtaskId, instance: int) -> None:
         assert self.kernel is not None and self.system is not None
         period = self.kernel.timebase.convert(self.system.period_of(sid))
-        when = self.phases[sid] + instance * period
+        # The phase table is a *local wall-clock* schedule: PM's timers
+        # fire when the subtask's own processor clock reads f_i,j + m*p_i
+        # (Section 3.1 -- this is exactly why PM needs synchronized
+        # clocks; an offset or drift skews these releases against the
+        # true-time environment releases of the first subtasks).
+        local_when = self.phases[sid] + instance * period
+        when = self.kernel.true_time_of_local(
+            self.system.subtask(sid).processor, local_when
+        )
         if when > self.kernel.horizon:
             return
         self.kernel.schedule_timer(

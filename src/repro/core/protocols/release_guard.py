@@ -27,6 +27,13 @@ processor as an idle point before consulting the guard.
 RG needs no global clock, no global load information, and no
 schedulability-analysis output at run time -- one guard variable per
 subtask and one timer per held release.
+
+Guards are *local wall-clock* values: rule 1 adds one period to the
+processor's local reading and rule 2 resets to the local reading, so all
+guard arithmetic measures durations on the local clock.  With perfect
+clocks (the default) every conversion is the identity; under skewed
+clocks a pure offset cancels entirely and only drift-proportional error
+accrues -- the paper's argument for RG needing no clock synchronization.
 """
 
 from __future__ import annotations
@@ -62,8 +69,14 @@ class ReleaseGuard(ReleaseController):
     def start(self) -> None:
         assert self.kernel is not None and self.system is not None
         timebase = self.kernel.timebase
+        # The initial guard value ("0" in the paper) means *no constraint
+        # yet*: on a local clock it is the clock's reading at boot, not
+        # the literal zero -- otherwise a clock booting behind true time
+        # would hold early releases against a guard that is artificially
+        # in its future.  With perfect clocks this is exactly zero.
         self.guards = {
-            sid: timebase.zero for sid in self.system.subtask_ids
+            sid: self.kernel.local_time(self.system.subtask(sid).processor)
+            for sid in self.system.subtask_ids
         }
         self.pending = {sid: deque() for sid in self.system.subtask_ids}
         self._periods = {
@@ -74,22 +87,30 @@ class ReleaseGuard(ReleaseController):
     # ------------------------------------------------------------------
     # Guard rules
     # ------------------------------------------------------------------
+    def _local_now(self, processor: ProcessorId) -> float:
+        """The processor's local wall-clock reading (now, with perfect
+        clocks)."""
+        assert self.kernel is not None
+        return self.kernel.local_time(processor)
+
     def on_release(self, sid: SubtaskId, instance: int, now: float) -> None:
         # Rule 1: next release of this subtask no earlier than one period
-        # from now.
+        # from now, measured on the subtask's own processor clock.
         assert self.system is not None
-        self.guards[sid] = now + self._periods[sid]
+        processor = self.system.subtask(sid).processor
+        self.guards[sid] = self._local_now(processor) + self._periods[sid]
 
     def on_idle(self, processor: ProcessorId, now: float) -> None:
         self._apply_rule_two(processor, now)
 
     def _apply_rule_two(self, processor: ProcessorId, now: float) -> None:
-        """Reset every guard on ``processor`` to ``now`` and let held
-        releases go."""
+        """Reset every guard on ``processor`` to its local *now* and let
+        held releases go."""
         assert self.system is not None
         local = self.system.subtasks_on(processor)
+        local_now = self._local_now(processor)
         for sid in local:
-            self.guards[sid] = now
+            self.guards[sid] = local_now
         # Release the head of every non-empty hold queue: all of them are
         # entitled to go at this instant.  Each release re-raises that
         # subtask's guard via rule 1, so deeper queue entries wait for the
@@ -116,7 +137,7 @@ class ReleaseGuard(ReleaseController):
             self.kernel.trace.note_idle_point(processor, now)
             self._apply_rule_two(processor, now)
         if not self.pending[sid] and self.kernel.timebase.geq(
-            now, self.guards[sid]
+            self._local_now(processor), self.guards[sid]
         ):
             self.kernel.release(sid, instance)
         else:
@@ -139,18 +160,21 @@ class ReleaseGuard(ReleaseController):
         Timers are checked lazily when they fire: rule 2 may already have
         released the held instance, or rule 1 may have pushed the guard
         further out (in which case a fresh timer exists).  Stale timers
-        are no-ops.
+        are no-ops.  The guard is a local wall-clock instant, so the
+        wake-up is scheduled at its true-time crossing.
         """
-        assert self.kernel is not None
+        assert self.kernel is not None and self.system is not None
+        processor = self.system.subtask(sid).processor
         self.kernel.schedule_timer(
-            self.guards[sid],
+            self.kernel.true_time_of_local(processor, self.guards[sid]),
             lambda now, s=sid: self._guard_timer_fired(s, now),
         )
 
     def _guard_timer_fired(self, sid: SubtaskId, now: float) -> None:
-        assert self.kernel is not None
+        assert self.kernel is not None and self.system is not None
+        processor = self.system.subtask(sid).processor
         if self.pending[sid] and self.kernel.timebase.geq(
-            now, self.guards[sid]
+            self._local_now(processor), self.guards[sid]
         ):
             self._release_head(sid, now)
 

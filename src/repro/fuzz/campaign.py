@@ -23,6 +23,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Mapping, Sequence
 
+from repro.clocks.config import ClockConfig
 from repro.errors import ConfigurationError
 from repro.fuzz.corpus import Counterexample, append_counterexample
 from repro.fuzz.differential import DIFFERENTIAL_ORACLE, compare_backends
@@ -35,6 +36,7 @@ from repro.workload.generator import generate_system
 
 __all__ = [
     "PROFILES",
+    "CLOCK_ROTATIONS",
     "CaseOutcome",
     "CampaignReport",
     "fuzz_one",
@@ -112,6 +114,24 @@ PROFILES: Mapping[str, tuple[WorkloadConfig, ...]] = {
     ),
 }
 
+#: Clock-configuration rotations, keyed by the ``--clocks`` CLI name.
+#: ``None`` entries build cases with no clock plumbing at all; the
+#: explicit perfect entry exercises the ``clock-perfect-identity``
+#: oracle.  Magnitudes are scaled to the ``_FAST_PERIODS`` band
+#: (periods 100..1000): offsets of tens of units visibly shear PM, a
+#: drift of 5e-5 accrues ~0.05 per slow-task period, and the resync
+#: clock keeps its steps below its precision 0.5 every interval 100.
+CLOCK_ROTATIONS: Mapping[str, tuple[ClockConfig | None, ...]] = {
+    "none": (None,),
+    "skew": (
+        None,
+        ClockConfig(),
+        ClockConfig(kind="offset", offset=40.0),
+        ClockConfig(kind="drift", rate=5e-5),
+        ClockConfig(kind="resync", precision=0.5, interval=100.0, rate=1e-5),
+    ),
+}
+
 
 @dataclass(frozen=True)
 class CaseOutcome:
@@ -124,10 +144,22 @@ class CaseOutcome:
     checked: tuple[str, ...]
     skipped: dict[str, str]
     duration: float
+    clocks: ClockConfig | None = None
+    latency: float = 0.0
 
     @property
     def failed(self) -> bool:
         return bool(self.failures)
+
+    @property
+    def environment_label(self) -> str:
+        """Clock/latency coordinates of this case, "" when ideal."""
+        parts = []
+        if self.clocks is not None:
+            parts.append(self.clocks.label)
+        if self.latency:
+            parts.append(f"latency={self.latency}")
+        return " ".join(parts)
 
 
 def fuzz_one(
@@ -137,15 +169,19 @@ def fuzz_one(
     index: int = 0,
     horizon_periods: float = 5.0,
     oracles: tuple[str, ...] | None = None,
+    clocks: ClockConfig | None = None,
+    latency: float = 0.0,
     timebase: str = "float",
 ) -> CaseOutcome:
     """Generate, simulate and judge one case; the campaign's unit of work.
 
-    With ``timebase="exact"`` the case is built and judged under exact
-    arithmetic (tolerance-free oracles), *and* a second case is built
-    under the float backend so the two can be cross-checked; any
-    observable disagreement is reported under the ``float-vs-exact``
-    pseudo-oracle.
+    ``clocks``/``latency`` set the case's environment (skewed local
+    clocks, cross-processor signal delay); the oracle registry gates
+    itself on them.  With ``timebase="exact"`` the case is built and
+    judged under exact arithmetic (tolerance-free oracles), *and* a
+    second case is built under the float backend -- same environment --
+    so the two can be cross-checked; any observable disagreement is
+    reported under the ``float-vs-exact`` pseudo-oracle.
     """
     started = time.perf_counter()
     system = generate_system(config, seed)
@@ -154,6 +190,8 @@ def fuzz_one(
         seed=seed,
         config=config,
         horizon_periods=horizon_periods,
+        clocks=clocks,
+        latency=latency,
         timebase=timebase,
     )
     failures, checked = check_case(case, oracles)
@@ -163,6 +201,8 @@ def fuzz_one(
             seed=seed,
             config=config,
             horizon_periods=horizon_periods,
+            clocks=clocks,
+            latency=latency,
             timebase="float",
         )
         checked = checked + (DIFFERENTIAL_ORACLE,)
@@ -177,18 +217,31 @@ def fuzz_one(
         checked=checked,
         skipped=dict(case.skipped),
         duration=time.perf_counter() - started,
+        clocks=clocks,
+        latency=latency,
     )
 
 
 def _job(args: tuple) -> CaseOutcome:
     """Top-level pool target (must be importable by workers)."""
-    index, config, seed, horizon_periods, oracles, timebase = args
+    (
+        index,
+        config,
+        seed,
+        horizon_periods,
+        oracles,
+        timebase,
+        clocks,
+        latency,
+    ) = args
     return fuzz_one(
         config,
         seed,
         index=index,
         horizon_periods=horizon_periods,
         oracles=oracles,
+        clocks=clocks,
+        latency=latency,
         timebase=timebase,
     )
 
@@ -234,8 +287,10 @@ class CampaignReport:
             )
         for outcome in self.failed_outcomes:
             first_oracle = next(iter(outcome.failures))
+            environment = outcome.environment_label
             lines.append(
-                f"  FAIL seed={outcome.seed} {outcome.config.label}: "
+                f"  FAIL seed={outcome.seed} {outcome.config.label}"
+                f"{' ' + environment if environment else ''}: "
                 f"[{first_oracle}] "
                 f"{outcome.failures[first_oracle][0]}"
             )
@@ -253,17 +308,30 @@ def _shrink_outcome(
     max_attempts: int,
     timebase: str = "float",
 ) -> Counterexample:
-    """Regenerate the failing system and delta-debug it per oracle."""
+    """Regenerate the failing system and delta-debug it per oracle.
+
+    The shrink re-judges every candidate in the *same environment*
+    (clocks, latency) the failure was observed in -- a skew-induced
+    counterexample usually vanishes under perfect clocks.
+    """
     oracle = next(iter(outcome.failures))
     system = generate_system(outcome.config, outcome.seed)
 
     def judge(candidate) -> list[str]:
         case = build_case(
-            candidate, horizon_periods=horizon_periods, timebase=timebase
+            candidate,
+            horizon_periods=horizon_periods,
+            clocks=outcome.clocks,
+            latency=outcome.latency,
+            timebase=timebase,
         )
         if oracle == DIFFERENTIAL_ORACLE:
             float_case = build_case(
-                candidate, horizon_periods=horizon_periods, timebase="float"
+                candidate,
+                horizon_periods=horizon_periods,
+                clocks=outcome.clocks,
+                latency=outcome.latency,
+                timebase="float",
             )
             return compare_backends(float_case, case)
         failures, _checked = check_case(case, (oracle,))
@@ -283,6 +351,7 @@ def _shrink_outcome(
         config=outcome.config,
         original_task_count=shrunk.original_task_count,
         shrink_attempts=shrunk.attempts,
+        note=outcome.environment_label,
     )
 
 
@@ -293,7 +362,12 @@ def _case_stream(
     horizon_periods: float,
     oracles: tuple[str, ...] | None,
     timebase: str,
+    clock_configs: Sequence[ClockConfig | None],
+    latencies: Sequence[float],
 ) -> Iterator[tuple]:
+    # Clock and latency rotations advance at different strides so a long
+    # campaign covers their full cross product, while short ones still
+    # see every clock configuration early.
     index = 0
     while runs is None or index < runs:
         yield (
@@ -303,6 +377,8 @@ def _case_stream(
             horizon_periods,
             oracles,
             timebase,
+            clock_configs[index % len(clock_configs)],
+            latencies[(index // len(clock_configs)) % len(latencies)],
         )
         index += 1
 
@@ -322,19 +398,50 @@ def run_campaign(
     corpus_path: str | None = None,
     fail_fast: bool = False,
     progress: Callable[[str], None] | None = None,
+    clocks: str | Sequence[ClockConfig | None] = "none",
+    latencies: Sequence[float] = (0.0,),
     timebase: str = "float",
 ) -> CampaignReport:
     """Run a fuzzing campaign and return its report.
 
     Exactly one of ``runs``/``seconds`` must be positive (both may be:
     the campaign stops at whichever budget runs out first).  ``configs``
-    overrides the named ``profile``.  With ``corpus_path`` set, every
-    shrunk counterexample is appended there as JSONL.  With
-    ``timebase="exact"`` every case runs under exact arithmetic with
-    tolerance-free oracles and is differentially cross-checked against
-    the float backend (the ``float-vs-exact`` pseudo-oracle).
+    overrides the named ``profile``.  ``clocks`` is a
+    :data:`CLOCK_ROTATIONS` name or an explicit rotation of clock
+    configurations (``None`` entries mean no clock plumbing);
+    ``latencies`` rotates cross-processor signal delays.  Oracles gate
+    themselves on the environment each case ran in.  With
+    ``corpus_path`` set, every shrunk counterexample is appended there
+    as JSONL.  With ``timebase="exact"`` every case runs under exact
+    arithmetic with tolerance-free oracles and is differentially
+    cross-checked against the float backend (the ``float-vs-exact``
+    pseudo-oracle).
     """
     get_timebase(timebase)  # validate early, before spawning workers
+    if isinstance(clocks, str):
+        try:
+            clock_configs: Sequence[ClockConfig | None] = (
+                CLOCK_ROTATIONS[clocks]
+            )
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown clock rotation {clocks!r}; "
+                f"known: {', '.join(CLOCK_ROTATIONS)}"
+            ) from None
+    else:
+        clock_configs = tuple(clocks)
+    if not clock_configs:
+        raise ConfigurationError(
+            "campaign needs at least one clock configuration"
+        )
+    latencies = tuple(latencies)
+    if not latencies:
+        raise ConfigurationError("campaign needs at least one latency")
+    for value in latencies:
+        if value < 0:
+            raise ConfigurationError(
+                f"latencies must be >= 0, got {value!r}"
+            )
     if runs is None and seconds is None:
         raise ConfigurationError("campaign needs --runs and/or --seconds")
     if runs is not None and runs < 1:
@@ -359,7 +466,14 @@ def run_campaign(
     started = time.perf_counter()
     deadline = None if seconds is None else started + seconds
     jobs = _case_stream(
-        configs, runs, base_seed, horizon_periods, oracles, timebase
+        configs,
+        runs,
+        base_seed,
+        horizon_periods,
+        oracles,
+        timebase,
+        clock_configs,
+        latencies,
     )
 
     def out_of_time() -> bool:
@@ -375,9 +489,11 @@ def run_campaign(
             report.failed_outcomes.append(outcome)
         if progress is not None:
             verdict = "FAIL" if outcome.failed else "ok"
+            environment = outcome.environment_label
             progress(
                 f"run {report.runs}: seed={outcome.seed} "
-                f"{outcome.config.label} {verdict}"
+                f"{outcome.config.label}"
+                f"{' ' + environment if environment else ''} {verdict}"
             )
 
     stop = False

@@ -43,6 +43,26 @@ The catalog (paper references in each oracle's ``reference``):
     On small systems, the exhaustively searched worst-case EER (a
     certified lower bound on the true worst case, Section 2) never
     exceeds the matching analysis bound.
+``clock-perfect-identity``
+    A case built with an explicitly *perfect* clock configuration is
+    byte-identical to the same case built with no clock plumbing at all
+    (the clock subsystem must be a strict no-op when every clock is
+    ideal).
+``sa-pm-skew-soundness``
+    Under imperfect-but-bounded clocks, simulated MPM and RG response
+    times never exceed the skew-inflated SA/PM bounds
+    (:func:`repro.core.analysis.skew.analyze_sa_pm_skewed`).  PM is
+    deliberately absent: its phase table breaks under unsynchronized
+    clocks (Section 3.1), which is the separation the clock study
+    demonstrates.
+
+Oracle *applicability* encodes the paper's stated assumptions: the
+identity and plain-soundness oracles demand ideal conditions (perfect
+clocks, zero latency); SA/DS soundness tolerates imperfect clocks (DS
+uses no timers) but not latency; the precedence oracle drops PM and MPM
+under imperfect clocks, where timer-based releases may legitimately
+outrun their predecessors -- that is a finding for the skew study, not
+a simulator bug.
 """
 
 from __future__ import annotations
@@ -96,7 +116,14 @@ class Oracle:
 def _check_trace_invariants(case: FuzzCase) -> list[str]:
     issues = []
     for protocol, result in case.results.items():
-        for issue in validate_trace(result.trace):
+        # PM/MPM on skewed clocks legitimately release ahead of their
+        # predecessors (the clock study's finding); the scheduling
+        # invariants still apply, the precedence section does not --
+        # mirroring the precedence oracle's own gating.
+        precedence = case.clocks_perfect or protocol not in ("PM", "MPM")
+        for issue in validate_trace(
+            result.trace, check_precedence=precedence
+        ):
             issues.append(f"{protocol}: {issue}")
     return issues
 
@@ -104,6 +131,11 @@ def _check_trace_invariants(case: FuzzCase) -> list[str]:
 def _check_precedence(case: FuzzCase) -> list[str]:
     issues = []
     for protocol, result in case.results.items():
+        if protocol in ("PM", "MPM") and not case.clocks_perfect:
+            # Timer-based releases legitimately outrun predecessors when
+            # the timers run on skewed clocks -- that is the clock
+            # study's finding, not a conformance violation.
+            continue
         for violation in result.trace.violations:
             issues.append(
                 f"{protocol}: {violation.sid}#{violation.instance} released "
@@ -288,6 +320,65 @@ def _check_rg_separation(case: FuzzCase) -> list[str]:
 
 
 # ---------------------------------------------------------------------------
+# Clock-subsystem oracles
+# ---------------------------------------------------------------------------
+
+
+def _check_clock_perfect_identity(case: FuzzCase) -> list[str]:
+    """A perfect clock configuration must be a strict no-op.
+
+    Rebuilds the case with *no* clock plumbing (``clocks=None``) and
+    demands byte-identical release and completion maps -- no tolerance,
+    under either timebase.  Any drift here means the perfect-clock fast
+    paths leak arithmetic into the schedule.
+    """
+    from repro.fuzz.runner import build_case
+
+    reference = build_case(
+        case.system,
+        horizon_periods=case.horizon_periods,
+        latency=case.latency,
+        timebase=case.timebase,
+    )
+    issues = []
+    if set(reference.results) != set(case.results):
+        issues.append(
+            f"protocols ran differ: {sorted(case.results)} with perfect "
+            f"clocks vs {sorted(reference.results)} without clock plumbing"
+        )
+    for protocol in sorted(set(reference.results) & set(case.results)):
+        ours = case.results[protocol].trace
+        theirs = reference.results[protocol].trace
+        for kind in ("releases", "completions"):
+            if getattr(ours, kind) != getattr(theirs, kind):
+                issues.append(
+                    f"{protocol}: {kind} under an explicit perfect clock "
+                    f"configuration differ from the clockless build"
+                )
+    return issues
+
+
+def _check_sa_pm_skew_soundness(case: FuzzCase) -> list[str]:
+    assert case.sa_pm_skew is not None
+    issues = []
+    # PM is excluded by design: under unsynchronized clocks its phase
+    # table is broken (Section 3.1) and no duration-based inflation
+    # covers it.
+    for protocol in ("MPM", "RG"):
+        if protocol in case.results:
+            issues.extend(
+                _soundness_issues(
+                    case,
+                    protocol,
+                    case.sa_pm_skew.task_bounds,
+                    case.sa_pm_skew.subtask_bounds,
+                    "SA/PM-skew",
+                )
+            )
+    return issues
+
+
+# ---------------------------------------------------------------------------
 # Exhaustive search vs analysis (small systems only)
 # ---------------------------------------------------------------------------
 
@@ -296,6 +387,9 @@ def _exhaustive_applies(case: FuzzCase) -> bool:
     return (
         len(case.system.tasks) <= EXHAUSTIVE_MAX_TASKS
         and "DS" in case.results
+        # The exhaustive search re-simulates under ideal conditions, so
+        # its witnesses only bound the ideal-condition worst case.
+        and case.ideal
     )
 
 
@@ -366,9 +460,10 @@ ORACLES: dict[str, Oracle] = {
             "Section 4.2, Theorem 1",
             "PM/MPM/RG simulated responses never exceed SA/PM bounds",
             _check_sa_pm_soundness,
-            lambda case: any(
-                p in case.results for p in ("PM", "MPM", "RG")
-            ),
+            # The plain bounds are stated under ideal conditions; with
+            # skewed clocks or latency the skew-aware oracle takes over.
+            lambda case: case.ideal
+            and any(p in case.results for p in ("PM", "MPM", "RG")),
         ),
         Oracle(
             "sa-ds-soundness",
@@ -378,7 +473,11 @@ ORACLES: dict[str, Oracle] = {
             # Applies only when Algorithm SA/DS *accepted*: on failure
             # the fixed-point iteration stops early, leaving bounds that
             # are under-converged (monotone from below), hence unsound.
-            lambda case: "DS" in case.results and not case.sa_ds.failed,
+            # Clock skew is irrelevant (DS arms no timers), but signal
+            # latency adds unmodeled delay, so zero latency is required.
+            lambda case: "DS" in case.results
+            and not case.sa_ds.failed
+            and case.latency == 0,
         ),
         Oracle(
             "analysis-dominance",
@@ -392,7 +491,10 @@ ORACLES: dict[str, Oracle] = {
             "Section 3.1/3.3",
             "PM and MPM schedules are identical under ideal conditions",
             _check_pm_mpm_identity,
-            _needs("PM", "MPM"),
+            # "Ideal conditions" is part of the claim: skewed clocks (or
+            # latency on MPM's relay signals) split the two schedules.
+            lambda case: case.ideal
+            and all(p in case.results for p in ("PM", "MPM")),
         ),
         Oracle(
             "rg-guard",
@@ -407,7 +509,29 @@ ORACLES: dict[str, Oracle] = {
             "consecutive RG releases a period apart unless an idle point "
             "intervened",
             _check_rg_separation,
-            _needs("RG"),
+            # Trace times are *true* time; guards space releases on the
+            # local clock, so the full-period claim needs perfect clocks
+            # (drift compresses true-time separation by O(rho * p)).
+            lambda case: "RG" in case.results and case.clocks_perfect,
+        ),
+        Oracle(
+            "clock-perfect-identity",
+            "clock subsystem contract (docs/simulator.md)",
+            "an explicitly perfect clock configuration is byte-identical "
+            "to no clock plumbing",
+            _check_clock_perfect_identity,
+            lambda case: case.clocks is not None
+            and case.clocks.is_perfect,
+        ),
+        Oracle(
+            "sa-pm-skew-soundness",
+            "Section 4.2 + clock-skew envelope (docs/analysis.md)",
+            "MPM/RG simulated responses never exceed skew-inflated SA/PM "
+            "bounds under bounded-skew clocks",
+            _check_sa_pm_skew_soundness,
+            lambda case: case.sa_pm_skew is not None
+            and case.latency == 0
+            and any(p in case.results for p in ("MPM", "RG")),
         ),
         Oracle(
             "exhaustive-vs-bounds",

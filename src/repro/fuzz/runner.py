@@ -20,16 +20,20 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.clocks.config import ClockConfig
 from repro.core.analysis.results import AnalysisResult
 from repro.core.analysis.sa_ds import analyze_sa_ds
 from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.core.analysis.skew import analyze_sa_pm_skewed
 from repro.core.protocols.direct import DirectSynchronization
 from repro.core.protocols.modified_pm import ModifiedPhaseModification
 from repro.core.protocols.phase_modification import PhaseModification
 from repro.core.protocols.release_guard import ReleaseGuard
+from repro.errors import ConfigurationError
 from repro.model.system import System
 from repro.model.task import SubtaskId
 from repro.sim.interfaces import ReleaseController
+from repro.sim.network import FixedLatency
 from repro.sim.simulator import SimulationResult, simulate
 from repro.timebase import FLOAT, Timebase, get_timebase
 from repro.workload.config import WorkloadConfig
@@ -52,14 +56,27 @@ class CheckedReleaseGuard(ReleaseGuard):
 
     def __init__(self) -> None:
         super().__init__()
-        #: (sid, instance, release time, governing guard) per early release.
+        #: (sid, instance, local release time, governing guard) per early
+        #: release.
         self.early_releases: list[tuple[SubtaskId, int, float, float]] = []
 
     def on_release(self, sid: SubtaskId, instance: int, now: float) -> None:
-        assert self.kernel is not None
-        guard = self.guards.get(sid, self.kernel.timebase.zero)
-        if self.kernel.timebase.lt(now, guard):
-            self.early_releases.append((sid, instance, now, guard))
+        assert self.kernel is not None and self.system is not None
+        # Only successor subtasks are *governed* by their guard: first
+        # subtasks are environment-released (true-time periodic) and
+        # never receive signals, so their guard is bookkeeping nobody
+        # consults -- on a drifting clock it can lag the environment's
+        # period without any protocol rule being broken.  The check reads
+        # the same local clock the protocol does: comparing true-time
+        # `now` against a local guard would spuriously flag every
+        # release on a clock running behind.
+        if sid.subtask_index > 0:
+            local_now = self._local_now(self.system.subtask(sid).processor)
+            guard = self.guards.get(sid, local_now)
+            if self.kernel.timebase.lt(local_now, guard):
+                self.early_releases.append(
+                    (sid, instance, local_now, guard)
+                )
         super().on_release(sid, instance, now)
 
 
@@ -75,6 +92,12 @@ class FuzzCase:
     config: WorkloadConfig | None = None
     #: Arithmetic backend the case was built under.
     timebase: Timebase = FLOAT
+    #: Per-processor clock configuration; None means all perfect.
+    clocks: ClockConfig | None = None
+    #: Cross-processor signal latency every simulation ran with.
+    latency: float = 0.0
+    #: Skew-inflated SA/PM bounds; present iff the clocks are imperfect.
+    sa_pm_skew: AnalysisResult | None = None
     #: Protocol name -> simulation result (only protocols that ran).
     results: dict[str, SimulationResult] = field(default_factory=dict)
     #: Protocol name -> reason it was skipped.
@@ -83,12 +106,28 @@ class FuzzCase:
     controllers: dict[str, ReleaseController] = field(default_factory=dict)
 
     @property
+    def clocks_perfect(self) -> bool:
+        """True when every processor clock is ideal."""
+        return self.clocks is None or self.clocks.is_perfect
+
+    @property
+    def ideal(self) -> bool:
+        """Perfect clocks *and* zero signal latency -- the Section 3
+        assumptions the strictest oracles (PM/MPM identity, plain SA/PM
+        soundness, exhaustive search) are stated under."""
+        return self.clocks_perfect and self.latency == 0
+
+    @property
     def label(self) -> str:
         parts = [self.system.name]
         if self.seed is not None:
             parts.append(f"seed={self.seed}")
         if self.config is not None:
             parts.append(self.config.label)
+        if self.clocks is not None and not self.clocks.is_perfect:
+            parts.append(self.clocks.label)
+        if self.latency:
+            parts.append(f"latency={self.latency}")
         return " ".join(parts)
 
 
@@ -108,6 +147,8 @@ def build_case(
     config: WorkloadConfig | None = None,
     horizon_periods: float = 5.0,
     sa_ds_max_iterations: int = 120,
+    clocks: ClockConfig | None = None,
+    latency: float = 0.0,
     timebase: Timebase | str = "float",
 ) -> FuzzCase:
     """Run all four protocols and both analyses over ``system``.
@@ -115,16 +156,27 @@ def build_case(
     Every simulation records segments (for the trace validator); the RG
     run additionally records idle points (for the release-separation
     oracle).  The result is deterministic: the simulator is a pure
-    function of the system, and no randomness enters after generation.
-    ``timebase`` selects the arithmetic backend for both the analyses
-    and the simulations; under ``"exact"`` the oracles judge with zero
-    tolerance.
+    function of the system, clock configuration and latency -- no
+    randomness enters after generation (:class:`ResyncClock` offsets are
+    derived from the config's seed).  ``clocks`` assigns per-processor
+    local clocks (imperfect clocks additionally produce the
+    skew-inflated SA/PM result on ``case.sa_pm_skew``); ``latency`` is a
+    uniform cross-processor signal delay.  ``timebase`` selects the
+    arithmetic backend for both the analyses and the simulations; under
+    ``"exact"`` the oracles judge with zero tolerance.
     """
     tb = get_timebase(timebase)
+    if latency < 0 or not math.isfinite(latency):
+        raise ConfigurationError(
+            f"latency must be finite and >= 0, got {latency!r}"
+        )
     sa_pm = analyze_sa_pm(system, timebase=tb)
     sa_ds = analyze_sa_ds(
         system, max_iterations=sa_ds_max_iterations, timebase=tb
     )
+    sa_pm_skew = None
+    if clocks is not None and not clocks.is_perfect:
+        sa_pm_skew = analyze_sa_pm_skewed(system, clocks=clocks, timebase=tb)
     case = FuzzCase(
         system=system,
         sa_pm=sa_pm,
@@ -133,7 +185,12 @@ def build_case(
         seed=seed,
         config=config,
         timebase=tb,
+        clocks=clocks,
+        latency=latency,
+        sa_pm_skew=sa_pm_skew,
     )
+    clock_map = None if clocks is None else clocks.build(system.processors)
+    latency_model = FixedLatency(latency) if latency > 0 else None
 
     pm_runnable = _pm_bounds_ok(sa_pm, system)
     for protocol in CASE_PROTOCOLS:
@@ -163,6 +220,8 @@ def build_case(
             horizon_periods=horizon_periods,
             record_segments=True,
             record_idle_points=record_idle,
+            latency_model=latency_model,
+            clocks=clock_map,
             timebase=tb,
         )
     return case

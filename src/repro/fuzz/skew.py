@@ -1,0 +1,169 @@
+"""The PM-miss-under-skew finder: a targeted separation search.
+
+The clock subsystem's headline claim (Section 3.1 vs 3.2) is a
+*separation*: under clocks that are merely offset -- not even drifting
+-- PM breaks while MPM and RG do not.  PM's phase table is an absolute
+local-time schedule, so a processor whose clock runs behind releases
+every downstream subtask late (deadline misses) and one running ahead
+releases them early (precedence violations); MPM and RG only measure
+durations, which an offset leaves untouched.
+
+:func:`find_pm_miss_under_skew` searches seeds for a witness case where
+all three hold at once:
+
+* PM under the skewed clocks misbehaves -- deadline misses or
+  precedence violations;
+* PM under perfect clocks is clean (the skew, not the workload, is the
+  cause);
+* MPM and RG under the *same* skewed clocks stay within the
+  skew-inflated SA/PM bounds and keep precedence (their clock-freedom
+  is real, not luck).
+
+The default clock configuration is a slow offset of about half the
+smallest period: large enough to push PM's tail subtasks past their
+deadlines at moderate utilization, while provably invisible to the
+duration-measuring protocols.  The finder is deterministic -- a
+``(config, clocks, seed)`` triple fully reproduces its witness -- and
+doubles as the end-to-end evidence required by the clock study (the
+``clock-study`` experiment sweeps the same separation over resync
+precision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clocks.config import ClockConfig
+from repro.fuzz.oracles import check_case
+from repro.fuzz.runner import FuzzCase, build_case
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+__all__ = ["SkewWitness", "find_pm_miss_under_skew", "DEFAULT_SKEW_CONFIG"]
+
+#: Workload the finder searches by default: utilization low enough that
+#: Algorithm SA/PM regularly *accepts* the system -- the separation is
+#: only evidence when PM was guaranteed to work under perfect clocks.
+DEFAULT_SKEW_CONFIG = WorkloadConfig(
+    subtasks_per_task=3,
+    utilization=0.6,
+    tasks=4,
+    processors=3,
+    period_min=100.0,
+    period_max=1000.0,
+    period_scale=300.0,
+)
+
+#: Clock configuration the finder uses by default: a pure offset on the
+#: order of the faster periods.  Sign alternates per processor (see
+#: :meth:`ClockConfig.build`), so the witness usually shows both
+#: failure modes: late releases (deadline misses) on the slow
+#: processors and early releases (precedence violations) on the fast
+#: ones.
+DEFAULT_SKEW_CLOCKS = ClockConfig(kind="offset", offset=150.0)
+
+
+@dataclass(frozen=True)
+class SkewWitness:
+    """One seed separating PM from MPM/RG under skewed clocks."""
+
+    seed: int
+    clocks: ClockConfig
+    config: WorkloadConfig
+    pm_misses: int
+    pm_violations: int
+    skewed_case: FuzzCase
+    perfect_case: FuzzCase
+
+    def describe(self) -> str:
+        return (
+            f"seed={self.seed} {self.clocks.label}: PM suffers "
+            f"{self.pm_misses} deadline miss(es) and "
+            f"{self.pm_violations} precedence violation(s) while MPM/RG "
+            f"meet the skew-inflated SA/PM bounds"
+        )
+
+
+def _pm_clean(case: FuzzCase) -> bool:
+    """PM ran, missed nothing, violated nothing."""
+    result = case.results.get("PM")
+    if result is None:
+        return False
+    return (
+        result.metrics.total_deadline_misses == 0
+        and not result.trace.violations
+    )
+
+
+def _mpm_rg_within_bounds(case: FuzzCase) -> bool:
+    """MPM and RG ran, kept precedence, and met the skewed bounds."""
+    for protocol in ("MPM", "RG"):
+        result = case.results.get(protocol)
+        if result is None or result.trace.violations:
+            return False
+    failures, checked = check_case(case, ("sa-pm-skew-soundness",))
+    return "sa-pm-skew-soundness" in checked and not failures
+
+
+def find_pm_miss_under_skew(
+    *,
+    config: WorkloadConfig = DEFAULT_SKEW_CONFIG,
+    clocks: ClockConfig = DEFAULT_SKEW_CLOCKS,
+    base_seed: int = 0,
+    max_seeds: int = 50,
+    horizon_periods: float = 5.0,
+    require_misses: bool = True,
+    timebase: str = "float",
+) -> SkewWitness | None:
+    """Search seeds for a PM-vs-MPM/RG separation witness.
+
+    Returns the first witness found, or ``None`` after ``max_seeds``
+    seeds.  Seeds whose system Algorithm SA/PM does not accept are
+    skipped outright: an overloaded workload missing deadlines says
+    nothing about clocks.  With ``require_misses`` (the default) the
+    witness must show actual PM *deadline misses*; without it,
+    precedence violations alone qualify (those appear at much smaller
+    offsets).
+    """
+    for seed in range(base_seed, base_seed + max_seeds):
+        system = generate_system(config, seed)
+        skewed = build_case(
+            system,
+            seed=seed,
+            config=config,
+            horizon_periods=horizon_periods,
+            clocks=clocks,
+            timebase=timebase,
+        )
+        if not skewed.sa_pm.schedulable:
+            continue
+        pm_result = skewed.results.get("PM")
+        if pm_result is None:
+            continue
+        misses = pm_result.metrics.total_deadline_misses
+        violations = len(pm_result.trace.violations)
+        if require_misses and misses == 0:
+            continue
+        if misses == 0 and violations == 0:
+            continue
+        if not _mpm_rg_within_bounds(skewed):
+            continue
+        perfect = build_case(
+            system,
+            seed=seed,
+            config=config,
+            horizon_periods=horizon_periods,
+            timebase=timebase,
+        )
+        if not _pm_clean(perfect):
+            continue
+        return SkewWitness(
+            seed=seed,
+            clocks=clocks,
+            config=config,
+            pm_misses=misses,
+            pm_violations=violations,
+            skewed_case=skewed,
+            perfect_case=perfect,
+        )
+    return None

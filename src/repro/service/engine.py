@@ -1,7 +1,8 @@
 """The admission controller: analyses + advisor behind a cache.
 
 :func:`compute_decision` is the pure decision procedure -- one SA/PM
-run, one SA/DS run, the Section 6 advisor on top -- and
+run, one SA/DS run, a skew-inflated SA/PM run when the request declares
+a clock-quality envelope, the Section 6 advisor on top -- and
 :class:`AdmissionController` wraps it with content-hash memoization
 (:mod:`repro.service.cache`) and observability
 (:mod:`repro.service.metrics`).  The controller is what a long-running
@@ -17,6 +18,7 @@ from typing import Iterable, Sequence
 from repro.advisor import recommend_protocol
 from repro.core.analysis.sa_ds import analyze_sa_ds
 from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.core.analysis.skew import analyze_sa_pm_skewed
 from repro.model.system import System
 from repro.service.cache import CacheStats, DecisionCache
 from repro.service.hashing import request_key
@@ -45,11 +47,41 @@ def compute_decision(
         system, max_iterations=request.sa_ds_max_iterations
     )
     per_analysis = {"SA/PM": sa_pm, "SA/DS": sa_ds}
-    schedulable = {
-        protocol: (
-            sa_ds.schedulable if protocol == "DS" else sa_pm.schedulable
+    skewed_clocks = bool(
+        request.clock_rate_bound or request.clock_jump_bound
+    )
+    sa_pm_skew = None
+    if skewed_clocks:
+        sa_pm_skew = analyze_sa_pm_skewed(
+            system,
+            rate=request.clock_rate_bound,
+            jump=request.clock_jump_bound,
         )
-        for protocol in request.protocols
+        per_analysis["SA/PM-skew"] = sa_pm_skew
+
+    def _certifies(protocol: str) -> bool:
+        if protocol == "DS":
+            # DS has no timers at all; clock quality is irrelevant.
+            return sa_ds.schedulable
+        if protocol == "PM":
+            # PM's phase table is an absolute local-time schedule:
+            # unsynchronized clocks break it outright, and even a
+            # bounded skew envelope has no covering analysis (the
+            # clock study shows offset clocks inducing misses and
+            # precedence violations).
+            return (
+                sa_pm.schedulable
+                and request.synchronized_clocks
+                and not skewed_clocks
+            )
+        # MPM / RG measure durations: under a declared skew envelope
+        # the skew-inflated bounds certify them.
+        if sa_pm_skew is not None:
+            return sa_pm_skew.schedulable
+        return sa_pm.schedulable
+
+    schedulable = {
+        protocol: _certifies(protocol) for protocol in request.protocols
     }
     recommendation = recommend_protocol(
         system,
@@ -57,6 +89,14 @@ def compute_decision(
         wcets_trusted=request.wcets_trusted,
         clock_sync_available=request.clock_sync_available,
         strictly_periodic_arrivals=request.strictly_periodic_arrivals,
+        # The advisor treats this as a veto: clocks must be claimed
+        # available *and* actually synchronized (no declared skew)
+        # before PM is ever recommended.
+        synchronized_clocks=(
+            request.clock_sync_available
+            and request.synchronized_clocks
+            and not skewed_clocks
+        ),
         sa_pm=sa_pm,
         sa_ds=sa_ds,
     )

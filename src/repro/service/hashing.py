@@ -41,7 +41,9 @@ __all__ = ["KEY_FORMAT", "canonical_payload", "request_key", "system_key"]
 
 #: Version tag baked into every key; bump when the payload shape changes
 #: so stale persisted caches miss instead of serving wrong answers.
-KEY_FORMAT = "repro-admission-key-v1"
+#: v2: clock-quality fields (synchronized_clocks, clock_rate_bound,
+#: clock_jump_bound) joined the decision content.
+KEY_FORMAT = "repro-admission-key-v2"
 
 
 def canonical_payload(request: AdmissionRequest) -> dict[str, Any]:
@@ -54,6 +56,9 @@ def canonical_payload(request: AdmissionRequest) -> dict[str, Any]:
         "wcets_trusted": request.wcets_trusted,
         "clock_sync_available": request.clock_sync_available,
         "strictly_periodic_arrivals": request.strictly_periodic_arrivals,
+        "synchronized_clocks": request.synchronized_clocks,
+        "clock_rate_bound": request.clock_rate_bound,
+        "clock_jump_bound": request.clock_jump_bound,
         "sa_ds_max_iterations": request.sa_ds_max_iterations,
     }
 

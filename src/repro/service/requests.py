@@ -20,6 +20,7 @@ helpers for batch traffic.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Iterable, Mapping
@@ -70,6 +71,18 @@ class AdmissionRequest:
     strictly_periodic_arrivals:
         The advisor's deployment questions, passed straight to
         :func:`repro.advisor.recommend_protocol`.
+    synchronized_clocks:
+        Whether the platform's clocks are synchronized at all.  When
+        False, PM is excluded from certification outright -- its phase
+        table is an absolute local-time schedule and no analysis covers
+        it under unsynchronized clocks (see the clock study).
+    clock_rate_bound / clock_jump_bound:
+        Declared clock-quality envelope: maximum drift rate ``rho``
+        (|dL/dt - 1|) and maximum resynchronization step.  When either
+        is nonzero, MPM/RG certification uses the skew-inflated SA/PM
+        analysis (:func:`repro.core.analysis.skew.analyze_sa_pm_skewed`)
+        and PM is excluded (epsilon-synchronized is not synchronized
+        enough for an absolute phase table).
     sa_ds_max_iterations:
         Iteration budget of the SA/DS fixed point (the paper's 300).
     request_id:
@@ -83,6 +96,9 @@ class AdmissionRequest:
     wcets_trusted: bool = True
     clock_sync_available: bool = False
     strictly_periodic_arrivals: bool = False
+    synchronized_clocks: bool = True
+    clock_rate_bound: float = 0.0
+    clock_jump_bound: float = 0.0
     sa_ds_max_iterations: int = 300
     request_id: str = ""
 
@@ -109,6 +125,20 @@ class AdmissionRequest:
             raise ConfigurationError(
                 f"sa_ds_max_iterations must be >= 1, "
                 f"got {self.sa_ds_max_iterations}"
+            )
+        if not (0 <= self.clock_rate_bound < 1) or not math.isfinite(
+            self.clock_rate_bound
+        ):
+            raise ConfigurationError(
+                f"clock_rate_bound must be in [0, 1), "
+                f"got {self.clock_rate_bound!r}"
+            )
+        if self.clock_jump_bound < 0 or not math.isfinite(
+            self.clock_jump_bound
+        ):
+            raise ConfigurationError(
+                f"clock_jump_bound must be finite and >= 0, "
+                f"got {self.clock_jump_bound!r}"
             )
 
     def with_request_id(self, request_id: str) -> "AdmissionRequest":
@@ -187,6 +217,9 @@ def request_to_dict(request: AdmissionRequest) -> dict[str, Any]:
         "wcets_trusted": request.wcets_trusted,
         "clock_sync_available": request.clock_sync_available,
         "strictly_periodic_arrivals": request.strictly_periodic_arrivals,
+        "synchronized_clocks": request.synchronized_clocks,
+        "clock_rate_bound": request.clock_rate_bound,
+        "clock_jump_bound": request.clock_jump_bound,
         "sa_ds_max_iterations": request.sa_ds_max_iterations,
         "request_id": request.request_id,
     }
@@ -215,6 +248,9 @@ def request_from_dict(data: Mapping[str, Any]) -> AdmissionRequest:
         strictly_periodic_arrivals=bool(
             data.get("strictly_periodic_arrivals", False)
         ),
+        synchronized_clocks=bool(data.get("synchronized_clocks", True)),
+        clock_rate_bound=float(data.get("clock_rate_bound", 0.0)),
+        clock_jump_bound=float(data.get("clock_jump_bound", 0.0)),
         sa_ds_max_iterations=int(data.get("sa_ds_max_iterations", 300)),
         request_id=str(data.get("request_id", "")),
     )

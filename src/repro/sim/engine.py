@@ -24,6 +24,19 @@ and owns the only tolerances in play; the ``exact`` backend does rational
 arithmetic, under which every comparison below is exact and timestamp
 clamping is impossible (a genuinely past timer raises).
 
+Local clocks
+------------
+The event queue and every timestamp above live in *true* time, but each
+processor may carry a :class:`repro.clocks.ClockModel` describing its
+local wall clock.  Protocol controllers never convert themselves; they
+use three kernel services: :meth:`Kernel.local_time` (the local reading
+of *now*), :meth:`Kernel.true_time_of_local` (when a timer armed for a
+local instant fires -- PM phases, RG guard wake-ups), and
+:meth:`Kernel.true_time_after_local_duration` (when a timer armed for a
+local duration fires -- MPM relay timers).  For perfect clocks all three
+are exact pass-throughs, so runs with perfect clocks are byte-identical
+to runs without a clock map.
+
 Idle points
 -----------
 Definition 1 of the paper calls ``t`` an idle point on a processor when
@@ -40,6 +53,7 @@ import heapq
 import itertools
 from typing import Callable
 
+from repro.clocks.models import ClockMap, ClockModel
 from repro.errors import SimulationError
 from repro.model.system import System
 from repro.model.task import ProcessorId, SubtaskId
@@ -128,6 +142,9 @@ class Kernel:
     strict_precedence:
         When True, a detected precedence violation raises
         :class:`SimulationError` instead of only being recorded.
+    clocks:
+        Per-processor local clock models (default: every clock perfect).
+        See the module docstring's "Local clocks" section.
     timebase:
         Arithmetic backend for all timestamps (name or
         :class:`~repro.timebase.Timebase` instance; default ``"float"``).
@@ -146,11 +163,13 @@ class Kernel:
         record_idle_points: bool = False,
         strict_precedence: bool = False,
         max_events: int | None = None,
+        clocks: ClockMap | None = None,
         timebase: Timebase | str = "float",
     ) -> None:
         if horizon <= 0:
             raise SimulationError(f"horizon must be > 0, got {horizon!r}")
         self.timebase = get_timebase(timebase)
+        self.clocks = clocks if clocks is not None else ClockMap.perfect()
         self.system = system
         self.controller = controller
         self.horizon = self.timebase.convert(horizon)
@@ -208,6 +227,60 @@ class Kernel:
             time = self.now
         return self.queue.push(time, EVENT_TIMER, callback)
 
+    # ------------------------------------------------------------------
+    # Local-clock services (see the module docstring)
+    # ------------------------------------------------------------------
+    def clock_of(self, processor: ProcessorId) -> ClockModel:
+        """The local clock model of ``processor``."""
+        return self.clocks.for_processor(processor)
+
+    def local_time(self, processor: ProcessorId) -> float:
+        """What ``processor``'s wall clock reads right now.
+
+        For a perfect clock this returns ``self.now`` unchanged.
+        """
+        clock = self.clocks.for_processor(processor)
+        if clock.is_perfect:
+            return self.now
+        return clock.local_from_true(self.now, self.timebase)
+
+    def true_time_of_local(
+        self, processor: ProcessorId, local_when: float
+    ) -> float:
+        """The true instant a timer armed for local instant ``local_when``
+        on ``processor`` fires: the first time the local clock reads at
+        least ``local_when``, never before *now*.
+
+        For a perfect clock this returns ``local_when`` unchanged (so the
+        historical clamping/raising semantics of :meth:`schedule_timer`
+        stay byte-identical); for imperfect clocks a target the local
+        clock already passed fires immediately.
+        """
+        clock = self.clocks.for_processor(processor)
+        if clock.is_perfect:
+            return local_when
+        when = clock.true_from_local(local_when, self.timebase)
+        return when if when > self.now else self.now
+
+    def true_time_after_local_duration(
+        self, processor: ProcessorId, duration: float
+    ) -> float:
+        """The true instant a timer armed for a local *duration* fires:
+        the first time ``processor``'s clock has advanced by ``duration``
+        past its current reading.
+
+        For a perfect clock this is exactly ``self.now + duration``,
+        which is what keeps MPM byte-identical to its pre-clock
+        behaviour; a pure offset cancels here (the paper's argument for
+        local timers), leaving only drift and resync-jump error.
+        """
+        clock = self.clocks.for_processor(processor)
+        if clock.is_perfect:
+            return self.now + duration
+        target = clock.local_from_true(self.now, self.timebase) + duration
+        when = clock.true_from_local(target, self.timebase)
+        return when if when > self.now else self.now
+
     def schedule_completion(
         self, time: float, callback: Callable[[float], None]
     ) -> EventHandle:
@@ -240,11 +313,11 @@ class Kernel:
             else self.system.subtask(sid).processor
         )
         destination = self.system.subtask(sid).processor
-        delay = self.latency_model.delay(source, destination)
+        delay = self.latency_model.delay_in(source, destination, self.timebase)
         if delay < 0:
             raise SimulationError(f"negative signal latency {delay!r}")
         self.queue.push(
-            self.now + self.timebase.convert(delay),
+            self.now + delay,
             EVENT_SIGNAL,
             lambda now, s=sid, m=instance: self.controller.on_signal(
                 s, m, now

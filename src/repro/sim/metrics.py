@@ -92,10 +92,16 @@ def compute_metrics(trace: Trace, *, warmup: float = 0.0) -> TraceMetrics:
         raise SimulationError(f"warmup must be >= 0, got {warmup!r}")
     summaries = []
     for task_index, task in enumerate(trace.system.tasks):
+        # A completed instance can lack an environment release: PM on a
+        # fast local clock releases downstream subtasks of instance m
+        # before the environment released the head of instance m (the
+        # precedence violation is recorded on the trace).  No release
+        # time means no EER, so such instances are excluded here.
         instances = [
             m
             for m in trace.completed_task_instances(task_index)
-            if trace.env_releases[(task_index, m)] >= warmup
+            if (task_index, m) in trace.env_releases
+            and trace.env_releases[(task_index, m)] >= warmup
         ]
         eer_times = [trace.eer_time(task_index, m) for m in instances]
         deadline = trace.timebase.convert(task.relative_deadline)

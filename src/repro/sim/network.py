@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.model.task import ProcessorId
+from repro.timebase import Timebase, TimeValue
 
 __all__ = [
     "SignalLatencyModel",
@@ -34,12 +35,37 @@ class SignalLatencyModel(abc.ABC):
     def delay(self, source: ProcessorId, destination: ProcessorId) -> float:
         """Non-negative delivery delay of one synchronization signal."""
 
+    def delay_in(
+        self,
+        source: ProcessorId,
+        destination: ProcessorId,
+        timebase: Timebase,
+    ) -> TimeValue:
+        """The delay already converted into ``timebase``.
+
+        This is the boundary where latency enters the kernel's time
+        arithmetic: under the exact backend the returned value is a
+        scaled integer/rational, never a raw float, so exact-timebase
+        runs stay exact regardless of the concrete model.  The default
+        wraps :meth:`delay`; models that can convert their parameters
+        once override it.
+        """
+        return timebase.convert(self.delay(source, destination))
+
 
 class ZeroLatency(SignalLatencyModel):
     """Signals arrive instantaneously (the paper's assumption)."""
 
     def delay(self, source: ProcessorId, destination: ProcessorId) -> float:
         return 0.0
+
+    def delay_in(
+        self,
+        source: ProcessorId,
+        destination: ProcessorId,
+        timebase: Timebase,
+    ) -> TimeValue:
+        return timebase.zero
 
 
 class FixedLatency(SignalLatencyModel):
@@ -55,11 +81,28 @@ class FixedLatency(SignalLatencyModel):
                 f"latency must be finite and >= 0, got {latency!r}"
             )
         self.latency = latency
+        #: Converted latency per timebase name (conversion is lossless,
+        #: so caching by name is sound and saves a call per signal).
+        self._converted: dict[str, TimeValue] = {}
 
     def delay(self, source: ProcessorId, destination: ProcessorId) -> float:
         if source == destination:
             return 0.0
         return self.latency
+
+    def delay_in(
+        self,
+        source: ProcessorId,
+        destination: ProcessorId,
+        timebase: Timebase,
+    ) -> TimeValue:
+        if source == destination:
+            return timebase.zero
+        cached = self._converted.get(timebase.name)
+        if cached is None:
+            cached = timebase.convert(self.latency)
+            self._converted[timebase.name] = cached
+        return cached
 
 
 class UniformLatency(SignalLatencyModel):

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.clocks.models import ClockMap
 from repro.errors import ConfigurationError
 from repro.model.system import System
 from repro.sim.engine import Kernel
@@ -70,6 +71,7 @@ def simulate(
     strict_precedence: bool = False,
     warmup: float = 0.0,
     max_events: int | None = None,
+    clocks: ClockMap | None = None,
     timebase: Timebase | str = "float",
 ) -> SimulationResult:
     """Simulate ``system`` under ``controller`` and summarize the run.
@@ -79,7 +81,8 @@ def simulate(
     ``record_segments`` defaults to False here (unlike the raw kernel)
     because sweep experiments only need the metrics; turn it on to render
     Gantt charts from ``result.trace``.  ``timebase`` selects the
-    arithmetic backend (``"float"`` or ``"exact"``).
+    arithmetic backend (``"float"`` or ``"exact"``); ``clocks`` assigns
+    per-processor local clock models (default: all perfect).
     """
     effective_horizon = (
         horizon if horizon is not None else default_horizon(system, horizon_periods)
@@ -95,6 +98,7 @@ def simulate(
         record_idle_points=record_idle_points,
         strict_precedence=strict_precedence,
         max_events=max_events,
+        clocks=clocks,
         timebase=timebase,
     )
     trace = kernel.run()

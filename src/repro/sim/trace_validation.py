@@ -37,13 +37,18 @@ def validate_trace(
     *,
     allow_overruns: bool = False,
     tolerance: float | None = None,
+    check_precedence: bool = True,
 ) -> list[str]:
     """Return a list of human-readable invariant violations (empty = ok).
 
     ``tolerance`` defaults per the trace's timebase: the shared relative
     guard for float traces, exactly 0 for exact traces -- an exact-mode
     trace has no representation noise to forgive, so any slack would only
-    mask real scheduler bugs.
+    mask real scheduler bugs.  ``check_precedence=False`` drops the
+    chain-precedence section only: callers validating a *deliberately*
+    precedence-breaking run (PM or MPM on skewed local clocks, where
+    timer releases legitimately outrun predecessors) still get the
+    scheduling invariants, which hold under any clock assignment.
     """
     if not trace.record_segments:
         raise SimulationError(
@@ -146,6 +151,8 @@ def validate_trace(
     # ------------------------------------------------------------------
     # Precedence along chains.
     # ------------------------------------------------------------------
+    if not check_precedence:
+        return issues
     for (sid, m), release in trace.releases.items():
         predecessor = sid.predecessor
         if predecessor is None:

@@ -100,3 +100,45 @@ class TestEvidence:
         rec = recommend_protocol(example2)
         assert rec.protocol == "RG"
         assert rec.worst_bound_ratio == pytest.approx(8.0 / 5.0)
+
+
+class TestSynchronizedClocks:
+    """The `synchronized_clocks` veto vs its `clock_sync_available` alias."""
+
+    def test_explicit_false_vetoes_pm(self, light_system):
+        # Even a full PM platform cannot deploy PM when the clocks are
+        # declared out of sync: the phase table is absolute local time.
+        rec = recommend_protocol(
+            light_system,
+            jitter_sensitive=True,
+            clock_sync_available=True,
+            strictly_periodic_arrivals=True,
+            synchronized_clocks=False,
+        )
+        assert rec.protocol == "MPM"
+
+    def test_explicit_true_enables_pm_alone(self, light_system):
+        # `synchronized_clocks=True` is the canonical input; the legacy
+        # `clock_sync_available` flag need not also be set.
+        rec = recommend_protocol(
+            light_system,
+            jitter_sensitive=True,
+            strictly_periodic_arrivals=True,
+            synchronized_clocks=True,
+        )
+        assert rec.protocol == "PM"
+
+    def test_none_falls_back_to_the_alias(self, light_system):
+        with_alias = recommend_protocol(
+            light_system,
+            jitter_sensitive=True,
+            clock_sync_available=True,
+            strictly_periodic_arrivals=True,
+        )
+        without = recommend_protocol(
+            light_system,
+            jitter_sensitive=True,
+            strictly_periodic_arrivals=True,
+        )
+        assert with_alias.protocol == "PM"
+        assert without.protocol == "MPM"

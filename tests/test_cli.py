@@ -156,3 +156,37 @@ class TestSuiteAndFigure:
         names = {path.name for path in out_dir.iterdir()}
         assert "fig12_failure_rate.csv" in names
         assert len(names) == 5
+
+
+class TestClockStudy:
+    COMMON = ["--systems", "1", "--precisions", "0", "10"]
+
+    def test_prints_the_sweep_table(self, capsys):
+        assert main(["clock-study", *self.COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "clock study" in out
+        assert "separation demonstrated:" in out
+
+    def test_require_separation_exit_code(self, capsys):
+        # One system at these precisions may or may not separate; the
+        # exit code must agree with the verdict the table printed.
+        code = main(["clock-study", *self.COMMON, "--require-separation"])
+        out = capsys.readouterr().out
+        if "separation demonstrated: yes" in out:
+            assert code == 0
+        else:
+            assert code == 1
+
+    def test_custom_workload(self, capsys):
+        assert main(
+            [
+                "clock-study",
+                "--systems", "1",
+                "--precisions", "0",
+                "--n", "2",
+                "--u", "0.4",
+                "--tasks", "3",
+                "--processors", "2",
+            ]
+        ) == 0
+        assert "1 system(s)" in capsys.readouterr().out

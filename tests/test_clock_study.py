@@ -1,0 +1,90 @@
+"""Tests for the clock-study experiment (`repro.experiments.clock_study`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.clock_study import (
+    STUDY_PROTOCOLS,
+    run_clock_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    # Two systems, two sweep points: small enough for tier-1, large
+    # enough to exercise the perfect baseline and one skewed column.
+    return run_clock_study(systems=2, precisions=(0.0, 10.0))
+
+
+class TestSweepShape:
+    def test_cells_cover_the_full_grid(self, study):
+        assert study.precisions == (0.0, 10.0)
+        assert set(study.cells) == {
+            (protocol, precision)
+            for protocol in STUDY_PROTOCOLS
+            for precision in study.precisions
+        }
+        assert study.sampled_systems == 2
+
+    def test_every_cell_saw_work(self, study):
+        for cell in study.cells.values():
+            assert cell.completed_instances > 0
+            assert cell.systems == 2
+
+    def test_only_schedulable_systems_are_sampled(self, study):
+        # The scanner skips SA/PM-rejected seeds; the default family at
+        # utilization 0.6 rejects some, so the counter must be honest.
+        assert study.skipped_systems >= 0
+
+
+class TestBaseline:
+    def test_perfect_clocks_are_clean_for_all_protocols(self, study):
+        # Precision 0 is the identity baseline over SA/PM-accepted
+        # systems: nothing may miss or violate.
+        for protocol in STUDY_PROTOCOLS:
+            cell = study.cell(protocol, 0.0)
+            assert cell.deadline_misses == 0
+            assert cell.precedence_violations == 0
+            assert cell.bound_exceedances == 0
+            assert cell.miss_ratio == 0.0
+
+    def test_mpm_rg_stay_within_skewed_bounds(self, study):
+        for protocol in ("MPM", "RG"):
+            assert study.cell(protocol, 10.0).bound_exceedances == 0
+
+
+class TestRendering:
+    def test_render_mentions_the_separation_verdict(self, study):
+        text = study.render()
+        assert "separation demonstrated:" in text
+        for protocol in STUDY_PROTOCOLS:
+            assert protocol in text
+
+    def test_miss_ratio_of_empty_cell_is_zero(self):
+        from repro.experiments.clock_study import ClockStudyCell
+
+        cell = ClockStudyCell(
+            protocol="PM",
+            precision=1.0,
+            completed_instances=0,
+            deadline_misses=0,
+            precedence_violations=0,
+            systems=1,
+        )
+        assert cell.miss_ratio == 0.0
+
+
+class TestValidation:
+    def test_systems_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            run_clock_study(systems=0)
+
+    def test_precisions_must_be_nonempty(self):
+        with pytest.raises(ConfigurationError):
+            run_clock_study(precisions=())
+
+    def test_precisions_must_be_nonnegative(self):
+        with pytest.raises(ConfigurationError):
+            run_clock_study(precisions=(0.0, -1.0))

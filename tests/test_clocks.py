@@ -1,0 +1,239 @@
+"""Unit tests for the per-processor clock models and configurations."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.clocks import (
+    BoundedDrift,
+    ClockConfig,
+    ClockMap,
+    FixedOffset,
+    PerfectClock,
+    ResyncClock,
+    clock_config_from_dict,
+    clock_config_to_dict,
+)
+from repro.errors import ConfigurationError
+from repro.timebase import get_timebase
+
+FLOAT = get_timebase("float")
+EXACT = get_timebase("exact")
+
+
+class TestPerfectClock:
+    def test_identity_returns_argument(self):
+        clock = PerfectClock()
+        for tb in (FLOAT, EXACT):
+            value = tb.convert(12.5)
+            assert clock.local_from_true(value, tb) is value
+            assert clock.true_from_local(value, tb) is value
+
+    def test_envelopes_are_zero(self):
+        clock = PerfectClock()
+        assert clock.is_perfect
+        assert clock.rate_bound() == 0.0
+        assert clock.jump_bound() == 0.0
+        assert clock.offset_bound() == 0.0
+
+
+class TestFixedOffset:
+    def test_round_trip(self):
+        clock = FixedOffset(7.25)
+        for tb in (FLOAT, EXACT):
+            t = tb.convert(100.0)
+            local = clock.local_from_true(t, tb)
+            assert float(local) == pytest.approx(107.25)
+            assert clock.true_from_local(local, tb) == t
+
+    def test_inverse_clamps_at_zero(self):
+        clock = FixedOffset(50.0)
+        assert clock.true_from_local(FLOAT.convert(10.0), FLOAT) == FLOAT.zero
+
+    def test_offset_bound_and_validation(self):
+        assert FixedOffset(-3.0).offset_bound() == 3.0
+        with pytest.raises(ConfigurationError):
+            FixedOffset(math.inf)
+
+
+class TestBoundedDrift:
+    def test_round_trip_exact_is_lossless(self):
+        clock = BoundedDrift(1e-4, offset=5.0)
+        t = EXACT.convert(300.0)
+        local = clock.local_from_true(t, EXACT)
+        back = clock.true_from_local(local, EXACT)
+        assert back == t  # rational arithmetic: exact inverse
+
+    def test_round_trip_float_within_tolerance(self):
+        clock = BoundedDrift(1e-4, offset=5.0)
+        t = 300.0
+        back = clock.true_from_local(clock.local_from_true(t, FLOAT), FLOAT)
+        assert back == pytest.approx(t)
+
+    def test_fast_clock_reads_ahead(self):
+        clock = BoundedDrift(0.01)
+        assert clock.local_from_true(100.0, FLOAT) == pytest.approx(101.0)
+
+    def test_envelopes(self):
+        clock = BoundedDrift(-0.001, offset=2.0)
+        assert clock.rate_bound() == 0.001
+        assert math.isinf(clock.offset_bound())  # grows without resync
+        assert BoundedDrift(0.0, offset=2.0).offset_bound() == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BoundedDrift(-1.0)
+        with pytest.raises(ConfigurationError):
+            BoundedDrift(0.01, offset=math.nan)
+
+
+class TestResyncClock:
+    def test_deterministic_per_seed(self):
+        a = ResyncClock(1.0, 100.0, seed=7)
+        b = ResyncClock(1.0, 100.0, seed=7)
+        c = ResyncClock(1.0, 100.0, seed=8)
+        times = [0.0, 50.0, 150.0, 950.0]
+        readings_a = [a.local_from_true(t, FLOAT) for t in times]
+        readings_b = [b.local_from_true(t, FLOAT) for t in times]
+        readings_c = [c.local_from_true(t, FLOAT) for t in times]
+        assert readings_a == readings_b
+        assert readings_a != readings_c
+
+    def test_stays_within_offset_bound(self):
+        clock = ResyncClock(2.0, 100.0, rate=1e-3, seed=3)
+        for t in (0.0, 10.0, 99.0, 100.0, 450.0, 999.0):
+            deviation = abs(clock.local_from_true(t, FLOAT) - t)
+            assert deviation <= clock.offset_bound() + 1e-6
+
+    def test_first_crossing_inverse(self):
+        clock = ResyncClock(5.0, 100.0, rate=1e-3, seed=11)
+        for local in (1.0, 42.0, 99.0, 101.0, 640.0):
+            t = clock.true_from_local(local, FLOAT)
+            assert t >= 0.0
+            assert clock.local_from_true(t, FLOAT) >= local - 1e-6
+            # No earlier instant crosses: a slightly earlier true time
+            # must still read below `local` (unless clamped to zero).
+            if t > 1e-3:
+                assert clock.local_from_true(t - 1e-3, FLOAT) < local + 1e-6
+
+    def test_jump_bound_formula(self):
+        clock = ResyncClock(2.0, 100.0, rate=1e-3)
+        assert clock.jump_bound() == pytest.approx(2 * 2.0 + 1e-3 * 100.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResyncClock(25.0, 100.0)  # precision must stay < interval/4
+        with pytest.raises(ConfigurationError):
+            ResyncClock(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            ResyncClock(1.0, 100.0, rate=0.2)
+
+
+class TestClockMap:
+    def test_default_is_perfect(self):
+        clocks = ClockMap.perfect()
+        assert clocks.is_perfect
+        assert clocks.for_processor("P1").is_perfect
+        assert clocks.max_rate() == 0.0
+        assert clocks.max_jump() == 0.0
+        assert clocks.describe() == "all clocks perfect"
+
+    def test_envelopes_take_the_max(self):
+        clocks = ClockMap(
+            {
+                "P1": BoundedDrift(1e-3),
+                "P2": ResyncClock(2.0, 100.0, rate=1e-4),
+                "P3": PerfectClock(),
+            }
+        )
+        assert not clocks.is_perfect
+        assert clocks.max_rate() == 1e-3
+        assert clocks.max_jump() == pytest.approx(4.0 + 1e-4 * 100.0)
+        assert "P1" in clocks.describe()
+
+
+class TestClockConfig:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClockConfig(kind="sundial")
+
+    def test_invalid_parameters_rejected_at_config_time(self):
+        with pytest.raises(ConfigurationError):
+            ClockConfig(kind="resync", precision=30.0, interval=100.0)
+        with pytest.raises(ConfigurationError):
+            ClockConfig(kind="drift", rate=math.inf)
+
+    def test_is_perfect(self):
+        assert ClockConfig().is_perfect
+        assert ClockConfig(kind="offset", offset=0.0).is_perfect
+        assert not ClockConfig(kind="offset", offset=1.0).is_perfect
+        assert ClockConfig(kind="drift").is_perfect
+        assert not ClockConfig(kind="drift", rate=1e-5).is_perfect
+        assert ClockConfig(
+            kind="resync", precision=0.0, interval=100.0
+        ).is_perfect
+
+    def test_build_alternates_sign_across_processors(self):
+        config = ClockConfig(kind="offset", offset=10.0)
+        clocks = config.build(["P1", "P2", "P3"])
+        assert clocks.for_processor("P1").offset == 10.0
+        assert clocks.for_processor("P2").offset == -10.0
+        assert clocks.for_processor("P3").offset == 10.0
+
+    def test_build_is_deterministic(self):
+        config = ClockConfig(
+            kind="resync", precision=1.0, interval=100.0, seed=5
+        )
+        a = config.build(["P1", "P2"])
+        b = config.build(["P2", "P1"])  # order of the argument is moot
+        for processor in ("P1", "P2"):
+            assert a.for_processor(processor).seed == b.for_processor(
+                processor
+            ).seed
+
+    def test_envelope_accessors(self):
+        resync = ClockConfig(
+            kind="resync", precision=2.0, interval=100.0, rate=1e-4
+        )
+        assert resync.rate_bound() == 1e-4
+        assert resync.jump_bound() == pytest.approx(4.0 + 1e-4 * 100.0)
+        assert ClockConfig(kind="offset", offset=9.0).jump_bound() == 0.0
+
+    def test_dict_round_trip(self):
+        config = ClockConfig(
+            kind="resync", precision=1.5, interval=80.0, rate=1e-5, seed=3
+        )
+        assert clock_config_from_dict(clock_config_to_dict(config)) == config
+
+    def test_from_dict_rejects_wrong_format(self):
+        with pytest.raises(ConfigurationError):
+            clock_config_from_dict({"format": "something-else"})
+
+    def test_labels(self):
+        assert ClockConfig().label == "clocks=perfect"
+        assert "offset" in ClockConfig(kind="offset", offset=4.0).label
+        assert "resync" in ClockConfig(
+            kind="resync", precision=1.0, interval=50.0
+        ).label
+
+
+class TestExactArithmeticStaysExact:
+    """No conversion may silently fall back to float under `exact`."""
+
+    @pytest.mark.parametrize(
+        "clock",
+        [
+            FixedOffset(40.0),
+            BoundedDrift(1e-4, offset=3.0),
+            ResyncClock(2.0, 100.0, rate=1e-3, seed=1),
+        ],
+    )
+    def test_conversions_stay_rational(self, clock):
+        t = EXACT.convert(123.456)
+        local = clock.local_from_true(t, EXACT)
+        back = clock.true_from_local(local, EXACT)
+        for value in (local, back):
+            assert isinstance(value, (int, Fraction)), type(value)

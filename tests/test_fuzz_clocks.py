@@ -1,0 +1,112 @@
+"""Tests for the fuzzer's clock/latency environment dimension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks import ClockConfig
+from repro.errors import ConfigurationError
+from repro.fuzz.campaign import CLOCK_ROTATIONS, run_campaign
+from repro.fuzz.oracles import check_case
+from repro.fuzz.runner import build_case
+from repro.fuzz.skew import (
+    DEFAULT_SKEW_CONFIG,
+    find_pm_miss_under_skew,
+)
+from repro.workload.generator import generate_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return generate_system(DEFAULT_SKEW_CONFIG, seed=1)
+
+
+class TestBuildCaseEnvironment:
+    def test_perfect_clock_config_case(self, system):
+        case = build_case(system, clocks=ClockConfig())
+        assert case.clocks_perfect
+        assert case.ideal
+        assert case.sa_pm_skew is None  # perfect clocks: no skewed result
+        failures, checked = check_case(case)
+        assert not failures
+        assert "clock-perfect-identity" in checked
+
+    def test_offset_clocks_produce_skewed_analysis(self, system):
+        case = build_case(
+            system, clocks=ClockConfig(kind="offset", offset=40.0)
+        )
+        assert not case.clocks_perfect
+        assert not case.ideal
+        assert case.sa_pm_skew is not None
+        assert case.sa_pm_skew.algorithm == "SA/PM-skew"
+        failures, checked = check_case(case)
+        assert not failures
+        assert "sa-pm-skew-soundness" in checked
+        # The strict Section-3 identity oracles must have gated out.
+        assert "clock-perfect-identity" not in checked
+
+    def test_label_carries_the_environment(self, system):
+        case = build_case(
+            system,
+            clocks=ClockConfig(kind="offset", offset=40.0),
+            latency=0.5,
+        )
+        assert "offset" in case.label
+        assert "latency=0.5" in case.label
+
+    def test_negative_latency_rejected(self, system):
+        with pytest.raises(ConfigurationError):
+            build_case(system, latency=-1.0)
+
+
+class TestCampaignRotation:
+    def test_skew_rotation_runs_clean(self):
+        report = run_campaign(
+            runs=5,
+            base_seed=0,
+            workers=1,
+            clocks="skew",
+            shrink=False,
+        )
+        assert report.ok
+        assert report.runs == 5
+
+    def test_unknown_rotation_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(runs=1, workers=1, clocks="no-such-rotation")
+
+    def test_empty_rotation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(runs=1, workers=1, clocks=())
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(runs=1, workers=1, latencies=(-0.5,))
+
+    def test_skew_rotation_contents(self):
+        rotation = CLOCK_ROTATIONS["skew"]
+        # The rotation must include a no-plumbing case, an explicitly
+        # perfect config (the identity oracle's food) and at least one
+        # genuinely imperfect clock.
+        assert None in rotation
+        assert any(c is not None and c.is_perfect for c in rotation)
+        assert any(c is not None and not c.is_perfect for c in rotation)
+
+
+class TestSkewFinder:
+    def test_finds_a_witness(self):
+        witness = find_pm_miss_under_skew(max_seeds=5)
+        assert witness is not None
+        assert witness.seed == 1  # deterministic: same config, same seed
+        assert witness.pm_misses > 0
+        # Under perfect clocks the same system ran PM cleanly.
+        perfect_pm = witness.perfect_case.results["PM"]
+        assert perfect_pm.metrics.total_deadline_misses == 0
+        assert not perfect_pm.trace.violations
+
+    def test_describe_reads_like_a_finding(self):
+        witness = find_pm_miss_under_skew(max_seeds=5)
+        text = witness.describe()
+        assert "seed=1" in text
+        assert "deadline miss" in text
+        assert "MPM/RG" in text

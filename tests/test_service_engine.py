@@ -68,6 +68,48 @@ class TestComputeDecision:
         request = AdmissionRequest(system=small_system)
         assert compute_decision(request) == compute_decision(request)
 
+    def test_unsynchronized_clocks_exclude_pm(self, two_stage_pipeline):
+        decision = compute_decision(
+            AdmissionRequest(
+                system=two_stage_pipeline, synchronized_clocks=False
+            )
+        )
+        assert decision.admitted
+        assert decision.schedulable["PM"] is False
+        # The duration-measuring protocols are untouched by the veto.
+        assert decision.schedulable["MPM"] is True
+        assert decision.schedulable["RG"] is True
+        assert decision.schedulable["DS"] is True
+
+    def test_skew_envelope_certifies_via_skewed_bounds(
+        self, two_stage_pipeline
+    ):
+        decision = compute_decision(
+            AdmissionRequest(
+                system=two_stage_pipeline,
+                clock_rate_bound=1e-4,
+                clock_jump_bound=0.1,
+            )
+        )
+        # ε-synchronized is not synchronized enough for PM's absolute
+        # phases; MPM/RG re-certify against the inflated bounds, and DS
+        # (no timers) is unaffected.
+        assert decision.schedulable["PM"] is False
+        assert decision.schedulable["MPM"] is True
+        assert decision.schedulable["RG"] is True
+        assert decision.schedulable["DS"] is True
+        assert "SA/PM-skew" in decision.task_bounds
+        skewed = decision.task_bounds["SA/PM-skew"]
+        plain = decision.task_bounds["SA/PM"]
+        assert all(s >= p for s, p in zip(skewed, plain))
+
+    def test_no_envelope_means_no_skewed_bounds(self, two_stage_pipeline):
+        decision = compute_decision(
+            AdmissionRequest(system=two_stage_pipeline)
+        )
+        assert "SA/PM-skew" not in decision.task_bounds
+        assert decision.schedulable["PM"] is True
+
     def test_unknown_protocol_rejected(self, two_stage_pipeline):
         with pytest.raises(ConfigurationError):
             AdmissionRequest(system=two_stage_pipeline, protocols=("XX",))

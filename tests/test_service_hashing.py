@@ -80,6 +80,24 @@ class TestRequestKey:
     def test_name_is_content(self):
         assert system_key(_pipeline("a")) != system_key(_pipeline("b"))
 
+    def test_clock_fields_change_key(self):
+        base = AdmissionRequest(system=_pipeline())
+        variants = (
+            AdmissionRequest(system=_pipeline(), synchronized_clocks=False),
+            AdmissionRequest(system=_pipeline(), clock_rate_bound=1e-4),
+            AdmissionRequest(system=_pipeline(), clock_jump_bound=1.0),
+        )
+        keys = {request_key(base)} | {request_key(v) for v in variants}
+        assert len(keys) == 4  # all distinct
+
+    def test_payload_version_tag_is_v2(self):
+        # v2 added the clock fields; stale persisted v1 caches must miss.
+        payload = canonical_payload(AdmissionRequest(system=_pipeline()))
+        assert payload["format"] == "repro-admission-key-v2"
+        assert "synchronized_clocks" in payload
+        assert "clock_rate_bound" in payload
+        assert "clock_jump_bound" in payload
+
     def test_payload_has_no_request_id(self):
         payload = canonical_payload(
             AdmissionRequest(system=_pipeline(), request_id="x")

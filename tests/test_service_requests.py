@@ -113,6 +113,42 @@ class TestJsonl:
         assert load_decisions_jsonl(path) == []
 
 
+class TestClockFields:
+    def test_round_trip_with_clock_fields(self, small_system):
+        request = AdmissionRequest(
+            system=small_system,
+            synchronized_clocks=False,
+            clock_rate_bound=1e-4,
+            clock_jump_bound=2.5,
+        )
+        assert request_from_dict(request_to_dict(request)) == request
+
+    def test_old_format_defaults_to_synchronized(self, small_system):
+        # A pre-clock request document carries none of the three fields;
+        # decoding must behave exactly as the old service did.
+        document = request_to_dict(AdmissionRequest(system=small_system))
+        for field in (
+            "synchronized_clocks",
+            "clock_rate_bound",
+            "clock_jump_bound",
+        ):
+            document.pop(field, None)
+        request = request_from_dict(document)
+        assert request.synchronized_clocks is True
+        assert request.clock_rate_bound == 0.0
+        assert request.clock_jump_bound == 0.0
+
+    def test_rate_bound_validated(self, small_system):
+        for bad in (1.0, -0.1, math.inf, math.nan):
+            with pytest.raises(ConfigurationError):
+                AdmissionRequest(system=small_system, clock_rate_bound=bad)
+
+    def test_jump_bound_validated(self, small_system):
+        for bad in (-1.0, math.inf, math.nan):
+            with pytest.raises(ConfigurationError):
+                AdmissionRequest(system=small_system, clock_jump_bound=bad)
+
+
 class TestValidation:
     def test_sa_ds_iteration_budget_validated(self, small_system):
         with pytest.raises(ConfigurationError):

@@ -72,3 +72,31 @@ class TestLatencyInSimulation:
             latency_model=FixedLatency(0.25),
         )
         assert result.metrics.precedence_violations == 0
+
+
+class TestExactTimebase:
+    """Latency must not leak raw floats into exact-timebase runs."""
+
+    def test_fixed_latency_keeps_exact_runs_exact(self, example2):
+        result = run_protocol(
+            example2,
+            "DS",
+            horizon=60.0,
+            latency_model=FixedLatency(0.25),
+            timebase="exact",
+        )
+        for when in result.trace.releases.values():
+            assert not isinstance(when, float), type(when)
+        for when in result.trace.completions.values():
+            assert not isinstance(when, float), type(when)
+
+    def test_delay_in_converts_per_timebase(self):
+        from repro.timebase import get_timebase
+
+        model = FixedLatency(0.25)
+        exact = get_timebase("exact")
+        converted = model.delay_in("P1", "P2", exact)
+        assert not isinstance(converted, float)
+        # Cached: the same object comes back on the next signal.
+        assert model.delay_in("P1", "P2", exact) is converted
+        assert model.delay_in("P1", "P1", exact) == exact.zero
