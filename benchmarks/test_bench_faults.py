@@ -1,0 +1,74 @@
+"""Fault-plane overhead benchmarks.
+
+The plane's contract is "pay only for what you inject": a zero-rate
+fault configuration arms no rng streams, wraps the latency model in a
+pass-through, and must reproduce the fault-free trace byte-for-byte
+(the ``fault-free-identity`` oracle).  These benchmarks pin the price
+of that armed-but-null plumbing on the simulator hot path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.protocols.factory import make_controller
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.faults import FaultConfig
+from repro.sim.simulator import simulate
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+from conftest import save_and_print
+
+_CONFIG = WorkloadConfig(
+    subtasks_per_task=4, utilization=0.6, tasks=4, processors=3
+)
+_HORIZON = 20.0
+
+
+def _build():
+    system = generate_system(_CONFIG, seed=0)
+    bounds = analyze_sa_pm(system).subtask_bounds
+    return system, bounds
+
+
+def _run(system, bounds, faults):
+    return simulate(
+        system,
+        make_controller("RG", system, bounds=bounds),
+        horizon_periods=_HORIZON,
+        faults=faults,
+    )
+
+
+def _best_of(repetitions, thunk):
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_simulate_with_null_plane_throughput(benchmark):
+    """RG simulation with a zero-rate plane armed."""
+    system, bounds = _build()
+    result = benchmark(lambda: _run(system, bounds, FaultConfig()))
+    assert result.trace.faults is not None
+
+
+def test_null_plane_overhead_under_10_percent():
+    """The acceptance bound: a zero-rate plane costs < 10%, best-of-7."""
+    system, bounds = _build()
+    bare_best = _best_of(7, lambda: _run(system, bounds, None))
+    null_best = _best_of(7, lambda: _run(system, bounds, FaultConfig()))
+    ratio = null_best / bare_best
+    save_and_print(
+        "fault_plane_overhead",
+        f"bare {bare_best * 1e3:.2f}ms  null-plane {null_best * 1e3:.2f}ms"
+        f"  ratio {ratio:.3f}x",
+    )
+    assert ratio < 1.10, (
+        f"zero-rate fault plane costs {ratio:.2f}x the bare simulator "
+        "(limit 1.10x)"
+    )

@@ -16,6 +16,7 @@ from repro.core.analysis.sa_ds import analyze_sa_ds
 from repro.core.analysis.sa_pm import analyze_sa_pm
 from repro.core.protocols.factory import make_controller
 from repro.errors import ConfigurationError
+from repro.faults import FaultConfig
 from repro.model.system import System
 from repro.model.task import SubtaskId
 from repro.sim.network import SignalLatencyModel
@@ -47,6 +48,7 @@ def run_protocol(
     warmup: float = 0.0,
     clocks: ClockMap | ClockConfig | None = None,
     timebase: str = "float",
+    faults: FaultConfig | None = None,
 ) -> SimulationResult:
     """Simulate ``system`` under the named protocol (DS/PM/MPM/RG).
 
@@ -54,8 +56,11 @@ def run_protocol(
     unless ``bounds`` is given.  ``clocks`` assigns per-processor local
     clocks: either a ready :class:`~repro.clocks.ClockMap` or a
     :class:`~repro.clocks.ClockConfig` (instantiated over the system's
-    processors).  See :func:`repro.sim.simulate` for the remaining
-    knobs.
+    processors).  ``faults`` arms the fault-injection plane
+    (:class:`~repro.faults.FaultConfig`); the run's fault log lands on
+    ``result.trace.faults`` and its summary on
+    ``result.metrics.faults``.  See :func:`repro.sim.simulate` for the
+    remaining knobs.
     """
     if isinstance(clocks, ClockConfig):
         clocks = clocks.build(system.processors)
@@ -73,6 +78,7 @@ def run_protocol(
         warmup=warmup,
         clocks=clocks,
         timebase=timebase,
+        faults=faults,
     )
 
 

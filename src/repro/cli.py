@@ -32,6 +32,12 @@ Subcommands
     The PM-vs-MPM/RG separation study: sweep clock-resynchronization
     precision and measure per-protocol deadline misses, precedence
     violations and skew-bound exceedances.
+``chaos``
+    The fault-injection campaign: sweep fault scenarios (signal drop /
+    duplication / reordering, timer loss, crash-restart, WCET overrun)
+    over every protocol with and without the recovery layer, and gate
+    on the survival separation (RG + recovery stays clean under signal
+    faults; DS without recovery does not; PM/MPM lose timer chains).
 """
 
 from __future__ import annotations
@@ -294,6 +300,16 @@ def _add_admission_options(parser: argparse.ArgumentParser) -> None:
         help="process-pool width for batch misses (default: CPU count)",
     )
     parser.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="wall-clock seconds per pooled decision; overruns are "
+        "retried, then degraded to a REJECT (default: unlimited)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="resubmissions per failed/timed-out decision before it "
+        "degrades (default: 2)",
+    )
+    parser.add_argument(
         "--cache-size", type=int, default=4096,
         help="LRU decision-cache capacity (default: 4096)",
     )
@@ -387,6 +403,8 @@ def _cmd_admit(args: argparse.Namespace) -> int:
         requests,
         workers=args.workers,
         progress=_progress if args.jsonl is not None else None,
+        job_timeout=args.job_timeout,
+        max_retries=args.max_retries,
     )
     if args.out is not None:
         save_decisions_jsonl(decisions, args.out)
@@ -474,6 +492,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         timebase=args.timebase,
         clocks=args.clocks,
         latencies=tuple(args.latencies),
+        faults=args.faults,
     )
     if args.stats or not report.ok:
         print(report.describe())
@@ -514,6 +533,22 @@ def _cmd_clock_study(args: argparse.Namespace) -> int:
     )
     print(result.render())
     if args.require_separation and not result.separation_demonstrated:
+        return 1
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos_study import run_chaos_study
+
+    result = run_chaos_study(
+        systems=args.systems,
+        base_seed=args.seed,
+        horizon_periods=args.horizon_periods,
+        timebase=args.timebase,
+        scenarios=tuple(args.scenarios) if args.scenarios else None,
+    )
+    print(result.render())
+    if args.require_gate and not result.gate_passed:
         return 1
     return 0
 
@@ -688,6 +723,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 0 only)",
     )
     p.add_argument(
+        "--faults", choices=("none", "chaos"), default="none",
+        help="fault rotation: 'chaos' cycles signal drop/duplicate/"
+        "reorder and timer-loss environments through the cases",
+    )
+    p.add_argument(
         "--corpus", default=None,
         help="append shrunk counterexamples to this JSONL file/directory",
     )
@@ -769,6 +809,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 unless the separation is demonstrated on this sample",
     )
     p.set_defaults(handler=_cmd_clock_study)
+
+    p = subparsers.add_parser(
+        "chaos",
+        help="fault-injection campaign over every protocol and scenario",
+    )
+    p.add_argument(
+        "--systems", type=int, default=4,
+        help="SA/PM-schedulable systems to sample (default: 4)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="base seed")
+    p.add_argument(
+        "--horizon-periods", type=float, default=4.0,
+        help="simulation horizon in multiples of the largest period",
+    )
+    p.add_argument(
+        "--timebase", choices=("float", "exact"), default="float",
+        help="arithmetic backend",
+    )
+    p.add_argument(
+        "--scenarios", nargs="+", default=None,
+        help="subset of scenario names to run (default: all)",
+    )
+    p.add_argument(
+        "--require-gate", action="store_true",
+        help="exit 1 unless the survival separation and the fault-free "
+        "identity both hold on this sample",
+    )
+    p.set_defaults(handler=_cmd_chaos)
 
     return parser
 

@@ -7,6 +7,13 @@ moment the signal arrives.  DS is the cheapest protocol (one interrupt per
 instance, no per-subtask state) and yields the shortest average EER times,
 but releases of later subtasks can *clump*, which makes the worst-case
 analysis (Algorithm SA/DS) pessimistic and sometimes unbounded.
+
+Under fault injection (:mod:`repro.faults`) DS is the most exposed
+protocol: it keeps no per-subtask state, so a dropped signal silences
+the rest of the chain for that instance (only the kernel's retransmit
+watchdog can save it), and a duplicated signal double-releases the
+successor unless the kernel's duplicate-release suppression absorbs it
+-- DS has no guard to make delivery idempotent, unlike RG.
 """
 
 from __future__ import annotations

@@ -75,14 +75,21 @@ class ModifiedPhaseModification(ReleaseController):
         # processor's local clock (Section 3.1: MPM needs no global
         # clock).  A pure clock offset cancels here -- only drift and
         # resync-jump error accrue; with a perfect clock this is exactly
-        # ``now + bound`` as before.
+        # ``now + bound`` as before.  It lives on the releasing
+        # processor: under fault injection it may be lost (the successor
+        # instance is then never released) and it dies with that
+        # processor's crash window.
+        processor = self.system.subtask(sid).processor
         self.kernel.schedule_timer(
             self.kernel.true_time_after_local_duration(
-                self.system.subtask(sid).processor, self._bound(sid)
+                processor, self._bound(sid)
             ),
             lambda fire_time, s=sid, m=instance: self._timer_fired(
                 s, m, fire_time
             ),
+            processor=processor,
+            sid=sid,
+            instance=instance,
         )
 
     def _timer_fired(self, sid: SubtaskId, instance: int, now: float) -> None:

@@ -104,14 +104,20 @@ class PhaseModification(ReleaseController):
         # clocks; an offset or drift skews these releases against the
         # true-time environment releases of the first subtasks).
         local_when = self.phases[sid] + instance * period
-        when = self.kernel.true_time_of_local(
-            self.system.subtask(sid).processor, local_when
-        )
+        processor = self.system.subtask(sid).processor
+        when = self.kernel.true_time_of_local(processor, local_when)
         if when > self.kernel.horizon:
             return
+        # The release timer lives on the subtask's own processor: under
+        # fault injection it may be lost (killing every later release of
+        # this subtask too, since rescheduling happens in the fired
+        # callback) and it dies with the processor's crash window.
         self.kernel.schedule_timer(
             when,
             lambda now, s=sid, m=instance: self._fire_release(s, m, now),
+            processor=processor,
+            sid=sid,
+            instance=instance,
         )
 
     def _fire_release(self, sid: SubtaskId, instance: int, now: float) -> None:

@@ -131,9 +131,16 @@ class ReleaseGuard(ReleaseController):
     def on_signal(self, sid: SubtaskId, instance: int, now: float) -> None:
         assert self.kernel is not None and self.system is not None
         processor = self.system.subtask(sid).processor
-        if self.kernel.is_idle(processor):
+        if not self.kernel.idle_points_lost and self.kernel.is_idle(
+            processor
+        ):
             # Definition 1: a signal arriving at an idle processor arrives
             # at an idle point, so rule 2 applies before the guard check.
+            # When the fault plane breaks idle-point detection the check
+            # is skipped and RG degrades gracefully to rule-1-only
+            # operation: guards are only ever raised, never reset, so
+            # held releases wait for their guard timers -- correct
+            # (Theorem 1 only needs rule 1), merely less responsive.
             self.kernel.trace.note_idle_point(processor, now)
             self._apply_rule_two(processor, now)
         if not self.pending[sid] and self.kernel.timebase.geq(
@@ -162,12 +169,28 @@ class ReleaseGuard(ReleaseController):
         further out (in which case a fresh timer exists).  Stale timers
         are no-ops.  The guard is a local wall-clock instant, so the
         wake-up is scheduled at its true-time crossing.
+
+        The wake-up lives on the subtask's processor, so under fault
+        injection it may be lost or die with a crash window.  RG
+        partially self-heals: the next signal or idle point on the
+        processor re-arms or releases the held instance.
         """
         assert self.kernel is not None and self.system is not None
         processor = self.system.subtask(sid).processor
+        head = self.pending[sid][0] if self.pending[sid] else None
+        due = self.kernel.true_time_of_local(processor, self.guards[sid])
+        if due < self.kernel.now:
+            # Self-heal: a lost guard timer can leave the head pending
+            # past its guard; the next signal re-arms here, and the
+            # guard instant is already behind us.  Wake up immediately
+            # -- the guard check in the fired callback still governs.
+            due = self.kernel.now
         self.kernel.schedule_timer(
-            self.kernel.true_time_of_local(processor, self.guards[sid]),
+            due,
             lambda now, s=sid: self._guard_timer_fired(s, now),
+            processor=processor,
+            sid=sid,
+            instance=head,
         )
 
     def _guard_timer_fired(self, sid: SubtaskId, now: float) -> None:

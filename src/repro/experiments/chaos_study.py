@@ -1,0 +1,362 @@
+"""The chaos study: protocol survival under injected faults.
+
+Sections 3.1/3.2 of the paper argue for the protocols from their
+*mechanisms*: DS trusts the network (one signal per instance, no state),
+PM and MPM trust timers, RG holds releases behind an idempotent guard.
+This study stresses exactly those trust assumptions with the fault plane
+(:mod:`repro.faults`) and measures which protocol survives which fault:
+
+* **channel faults** (drop / duplicate / reorder) hit DS, MPM and RG --
+  every protocol that ships synchronization signals between processors.
+  PM ships none (releases come from its phase table), so it is immune.
+* **timer loss** hits PM hardest (its release timers reschedule
+  themselves from the fired callback, so one lost timer silences the
+  subtask for the rest of the run), MPM per-instance (one lost relay
+  loses one successor release), and RG mildly (a lost guard wake-up is
+  healed by the next signal or idle point).
+* **crash-restart** hits everyone on the crashed processor.
+* **WCET overruns** hit everyone equally; only policing contains them.
+
+Each fault scenario runs twice per protocol -- with and without the
+recovery layer (``FaultConfig.with_recovery``) -- over several sampled
+SA/PM-schedulable systems.  The headline gate
+(:attr:`ChaosStudyResult.separation_demonstrated`):
+
+* RG *with* recovery ends every signal-fault case with **zero**
+  unrecovered precedence violations (the guard makes retransmitted and
+  duplicated deliveries idempotent);
+* DS *without* recovery records lost guarantees under the same signal
+  faults (dropped signals silence chains, duplicates double-release);
+* PM and MPM *without* recovery record lost guarantees under timer
+  loss.
+
+The study also re-checks the ``fault-free-identity`` invariant on its
+sample -- a zero-rate fault plane reproduces the fault-free trace
+byte-for-byte under both arithmetic backends -- so a chaos run cannot
+silently perturb the healthy path.
+
+Run it from the CLI (``repro-rts chaos``) or call
+:func:`run_chaos_study` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.core.protocols.factory import make_controller
+from repro.errors import ConfigurationError
+from repro.faults import FaultConfig
+from repro.sim.simulator import simulate
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+__all__ = [
+    "CHAOS_SCENARIOS",
+    "ChaosCell",
+    "ChaosStudyResult",
+    "run_chaos_study",
+]
+
+#: Protocols the study compares, in the paper's order.
+STUDY_PROTOCOLS = ("DS", "PM", "MPM", "RG")
+
+#: The fault scenarios, in teaching order.  Rates are per decision;
+#: durations are in workload time units (periods 100..1000 below).
+CHAOS_SCENARIOS: tuple[tuple[str, FaultConfig], ...] = (
+    ("drop-low", FaultConfig(drop_rate=0.1)),
+    ("drop-high", FaultConfig(drop_rate=0.3)),
+    ("duplicate", FaultConfig(duplicate_rate=0.2)),
+    ("drop+dup", FaultConfig(drop_rate=0.15, duplicate_rate=0.15)),
+    ("reorder", FaultConfig(reorder_rate=0.2, reorder_delay=5.0)),
+    ("timer-loss", FaultConfig(timer_loss_rate=0.1)),
+    ("crash", FaultConfig(crash_start=150.0, crash_duration=50.0)),
+    ("overrun", FaultConfig(overrun_rate=0.2, overrun_factor=1.5)),
+)
+
+#: Default workload: the clock study's family -- moderate utilization so
+#: Algorithm SA/PM accepts most seeds, subtasks spread over processors
+#: so synchronization signals actually cross the faulty channel.
+DEFAULT_CONFIG = WorkloadConfig(
+    subtasks_per_task=3,
+    utilization=0.6,
+    tasks=4,
+    processors=3,
+    period_min=100.0,
+    period_max=1000.0,
+    period_scale=300.0,
+)
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One (protocol, scenario, recovery arm) aggregate."""
+
+    protocol: str
+    scenario: str
+    recovery: bool
+    cases: int
+    injected_total: int
+    recovered: int
+    unrecovered_violations: int
+    #: Precedence violations the kernel's online check recorded.
+    precedence_violations: int
+    #: Duplicate releases that stood (no suppression).
+    unrecovered_duplicate_releases: int
+
+    @property
+    def unrecovered_precedence(self) -> int:
+        """Lost precedence guarantees: releases that outran (or doubled)
+        their predecessor.  Exhausted retransmits are *losses*, not
+        precedence breaks, so they are deliberately not in here."""
+        return self.precedence_violations + self.unrecovered_duplicate_releases
+
+
+@dataclass(frozen=True)
+class ChaosStudyResult:
+    """The full campaign: cells over protocols x scenarios x recovery."""
+
+    scenarios: tuple[str, ...]
+    config: WorkloadConfig
+    cells: dict[tuple[str, str, bool], ChaosCell]
+    sampled_systems: int
+    skipped_systems: int
+    cases: int
+    #: True when a zero-rate fault plane reproduced the fault-free trace
+    #: exactly, per protocol, under both arithmetic backends.
+    fault_free_identity: bool
+
+    def cell(
+        self, protocol: str, scenario: str, *, recovery: bool
+    ) -> ChaosCell:
+        return self.cells[(protocol, scenario, recovery)]
+
+    # ------------------------------------------------------------------
+    # Gates
+    # ------------------------------------------------------------------
+    @property
+    def signal_scenarios(self) -> tuple[str, ...]:
+        """Scenario names exercising only the channel faults."""
+        return tuple(
+            name
+            for name, faults in CHAOS_SCENARIOS
+            if name in self.scenarios and faults.signal_faults_only
+        )
+
+    @property
+    def separation_demonstrated(self) -> bool:
+        """The study's headline, on this sample.
+
+        RG with the recovery layer survives every signal-fault scenario
+        with zero unrecovered precedence violations, while DS without
+        recovery loses guarantees under the same faults and PM/MPM lose
+        guarantees under timer loss.
+        """
+        signal = self.signal_scenarios
+        rg_clean = all(
+            self.cell("RG", name, recovery=True).unrecovered_precedence == 0
+            for name in signal
+        )
+        ds_hurt = (
+            sum(
+                self.cell("DS", name, recovery=False).unrecovered_violations
+                for name in signal
+            )
+            > 0
+        )
+        timer_hurt = all(
+            self.cell(
+                protocol, "timer-loss", recovery=False
+            ).unrecovered_violations
+            > 0
+            for protocol in ("PM", "MPM")
+            if "timer-loss" in self.scenarios
+        )
+        return rg_clean and ds_hurt and timer_hurt
+
+    @property
+    def gate_passed(self) -> bool:
+        """Everything CI cares about in one flag."""
+        return self.separation_demonstrated and self.fault_free_identity
+
+    def render(self) -> str:
+        """Text table: per scenario and protocol, unrecovered violation
+        counts without and with the recovery layer."""
+        header = "scenario     " + "".join(
+            f"{p:>16}" for p in STUDY_PROTOCOLS
+        )
+        lines = [
+            f"chaos study: {self.cases} case(s) over "
+            f"{self.sampled_systems} system(s) "
+            f"({self.skipped_systems} unschedulable skipped); "
+            f"cells show unrecovered violations raw -> recovered",
+            header,
+        ]
+        for scenario in self.scenarios:
+            row = f"{scenario:<13}"
+            for protocol in STUDY_PROTOCOLS:
+                raw = self.cell(protocol, scenario, recovery=False)
+                rec = self.cell(protocol, scenario, recovery=True)
+                row += (
+                    f"{raw.unrecovered_violations:>9}"
+                    f" ->{rec.unrecovered_violations:>4}"
+                )
+            lines.append(row)
+        lines.append(
+            "fault-free identity (both timebases): "
+            + ("ok" if self.fault_free_identity else "BROKEN")
+        )
+        lines.append(
+            "separation demonstrated: "
+            + ("yes" if self.separation_demonstrated else "no")
+        )
+        return "\n".join(lines)
+
+
+def _controllers_bounds(system):
+    analysis = analyze_sa_pm(system)
+    return analysis
+
+
+def run_chaos_study(
+    *,
+    config: WorkloadConfig | None = None,
+    systems: int = 4,
+    base_seed: int = 0,
+    horizon_periods: float = 4.0,
+    timebase: str = "float",
+    scenarios: tuple[str, ...] | None = None,
+) -> ChaosStudyResult:
+    """Sweep fault scenarios x protocols x recovery arms.
+
+    Samples ``systems`` SA/PM-schedulable systems (seeds advance until
+    enough accepted ones are found), then simulates every protocol under
+    every scenario twice: once raw and once with
+    :meth:`FaultConfig.with_recovery`.  One simulation run is one case;
+    the default parameters produce ``8 * 4 * 2 * systems`` cases (256 at
+    ``systems=4``).
+    """
+    if systems < 1:
+        raise ConfigurationError(f"systems must be >= 1, got {systems}")
+    config = config or DEFAULT_CONFIG
+    chosen = CHAOS_SCENARIOS
+    if scenarios is not None:
+        known = {name for name, _faults in CHAOS_SCENARIOS}
+        unknown = set(scenarios) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown chaos scenario(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        chosen = tuple(
+            (name, faults)
+            for name, faults in CHAOS_SCENARIOS
+            if name in scenarios
+        )
+    if not chosen:
+        raise ConfigurationError("need at least one chaos scenario")
+
+    sampled = []
+    skipped = 0
+    seed = base_seed
+    scan_limit = base_seed + 50 * systems
+    while len(sampled) < systems and seed < scan_limit:
+        system = generate_system(config, seed)
+        analysis = analyze_sa_pm(system)
+        if analysis.schedulable:
+            sampled.append((system, analysis))
+        else:
+            skipped += 1
+        seed += 1
+    if len(sampled) < systems:
+        raise ConfigurationError(
+            f"found only {len(sampled)} SA/PM-schedulable system(s) in "
+            f"{scan_limit - base_seed} seed(s); lower the utilization"
+        )
+
+    cells: dict[tuple[str, str, bool], ChaosCell] = {}
+    cases = 0
+    case_seed = base_seed
+    for scenario_name, base_faults in chosen:
+        for protocol in STUDY_PROTOCOLS:
+            for recovery in (False, True):
+                tally = [0, 0, 0, 0, 0]  # injected, recovered,
+                # unrecovered, precedence, duplicate releases
+                for system, analysis in sampled:
+                    case_seed += 1
+                    faults = replace(
+                        base_faults.with_recovery(recovery),
+                        seed=case_seed,
+                    )
+                    controller = make_controller(
+                        protocol, system, bounds=analysis.subtask_bounds
+                    )
+                    result = simulate(
+                        system,
+                        controller,
+                        horizon_periods=horizon_periods,
+                        faults=faults,
+                        timebase=timebase,
+                    )
+                    cases += 1
+                    log = result.trace.faults
+                    tally[0] += len(log.events)
+                    tally[1] += log.recovered_count()
+                    tally[2] += log.unrecovered_violations()
+                    tally[3] += len(result.trace.violations)
+                    tally[4] += sum(
+                        1
+                        for event in log.events_of("duplicate-release")
+                        if not event.recovered
+                    )
+                cells[(protocol, scenario_name, recovery)] = ChaosCell(
+                    protocol=protocol,
+                    scenario=scenario_name,
+                    recovery=recovery,
+                    cases=len(sampled),
+                    injected_total=tally[0],
+                    recovered=tally[1],
+                    unrecovered_violations=tally[2],
+                    precedence_violations=tally[3],
+                    unrecovered_duplicate_releases=tally[4],
+                )
+
+    # Fault-free identity on the first sampled system, every protocol,
+    # both backends: a zero-rate plane must not perturb anything.
+    identity = True
+    system, analysis = sampled[0]
+    for backend in ("float", "exact"):
+        for protocol in STUDY_PROTOCOLS:
+            baseline = simulate(
+                system,
+                make_controller(
+                    protocol, system, bounds=analysis.subtask_bounds
+                ),
+                horizon_periods=horizon_periods,
+                timebase=backend,
+            )
+            nulled = simulate(
+                system,
+                make_controller(
+                    protocol, system, bounds=analysis.subtask_bounds
+                ),
+                horizon_periods=horizon_periods,
+                timebase=backend,
+                faults=FaultConfig(seed=base_seed),
+            )
+            if (
+                baseline.trace.releases != nulled.trace.releases
+                or baseline.trace.completions != nulled.trace.completions
+                or baseline.trace.env_releases != nulled.trace.env_releases
+            ):
+                identity = False
+
+    return ChaosStudyResult(
+        scenarios=tuple(name for name, _faults in chosen),
+        config=config,
+        cells=cells,
+        sampled_systems=len(sampled),
+        skipped_systems=skipped,
+        cases=cases,
+        fault_free_identity=identity,
+    )

@@ -1,0 +1,68 @@
+"""A faulty channel wrapping any signal-latency model.
+
+:class:`FaultyChannel` decorates a
+:class:`~repro.sim.network.SignalLatencyModel` with the signal-level
+faults of a :class:`~repro.faults.plane.FaultPlane`: per cross-processor
+delivery it may drop the signal, deliver it twice, or delay it past
+later traffic.  Local (same-processor) deliveries pass through
+untouched -- a scheduler signalling itself involves no network.
+
+The channel only *decides*; it returns a
+:class:`~repro.sim.network.DeliveryPlan` and leaves recording (which
+needs the send instant and the signal's identity) and recovery (the
+retransmit watchdog) to the kernel.  Decisions draw from the plane's
+per-category streams in send order, so they are reproducible and a
+category at rate zero costs nothing.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plane import FaultPlane
+from repro.model.task import ProcessorId
+from repro.sim.network import DeliveryPlan, SignalLatencyModel
+from repro.timebase import Timebase, TimeValue
+
+__all__ = ["FaultyChannel"]
+
+
+class FaultyChannel(SignalLatencyModel):
+    """Drop, duplicate or reorder signals on top of any latency model."""
+
+    def __init__(self, inner: SignalLatencyModel, plane: FaultPlane) -> None:
+        self.inner = inner
+        self.plane = plane
+
+    def delay(self, source: ProcessorId, destination: ProcessorId) -> float:
+        return self.inner.delay(source, destination)
+
+    def delay_in(
+        self,
+        source: ProcessorId,
+        destination: ProcessorId,
+        timebase: Timebase,
+    ) -> TimeValue:
+        return self.inner.delay_in(source, destination, timebase)
+
+    def plan_in(
+        self,
+        source: ProcessorId,
+        destination: ProcessorId,
+        timebase: Timebase,
+    ) -> DeliveryPlan:
+        base = self.inner.delay_in(source, destination, timebase)
+        if source == destination:
+            return DeliveryPlan((base,))
+        plane = self.plane
+        if plane.drop_signal():
+            return DeliveryPlan((), dropped=True)
+        if plane.duplicate_signal():
+            # Both copies take the channel's nominal delay; FIFO order
+            # within the signal event class keeps the run deterministic.
+            return DeliveryPlan((base, base), duplicated=True)
+        if plane.reorder_signal():
+            # Delivered late enough for traffic sent after it to arrive
+            # first -- the observable essence of reordering.
+            return DeliveryPlan(
+                (base + plane.reorder_delay,), reordered=True
+            )
+        return DeliveryPlan((base,))

@@ -1,0 +1,340 @@
+"""Serializable fault-injection and recovery configurations.
+
+A :class:`FaultConfig` is the *description* of a fault environment --
+JSON-friendly, hashable, picklable -- that the CLI, the fuzz campaign
+and the chaos study pass around, exactly like
+:class:`repro.clocks.ClockConfig` describes a clock environment.  The
+simulation kernel turns it into a concrete, stateful
+:class:`repro.faults.plane.FaultPlane` per run.
+
+Injection knobs and recovery knobs live in one config on purpose: which
+faults a run survives depends on both, and the chaos campaign sweeps
+them together (the same drop rate with and without the watchdog is the
+experiment).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FAULT_KINDS",
+    "OVERRUN_POLICIES",
+    "FaultConfig",
+    "fault_config_from_dict",
+    "fault_config_to_dict",
+]
+
+#: Injected fault categories, in teaching order.
+FAULT_KINDS: tuple[str, ...] = (
+    "drop",
+    "duplicate",
+    "reorder",
+    "timer-loss",
+    "crash",
+    "overrun",
+)
+
+#: What the kernel does when an instance exhausts its WCET budget.
+OVERRUN_POLICIES: tuple[str, ...] = ("off", "throttle", "abort")
+
+_FORMAT = "repro-fault-config-v1"
+
+_RATE_FIELDS = (
+    "drop_rate",
+    "duplicate_rate",
+    "reorder_rate",
+    "timer_loss_rate",
+    "overrun_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """One fault environment: what breaks, and what fights back.
+
+    Injection attributes
+    --------------------
+    drop_rate / duplicate_rate / reorder_rate:
+        Per-signal probabilities that a cross-processor synchronization
+        signal is lost, delivered twice, or delayed past later traffic
+        (by ``reorder_delay``).  Local (same-processor) deliveries are
+        never faulted: they involve no network.
+    reorder_delay:
+        Extra delay added to a reordered signal's delivery.
+    timer_loss_rate:
+        Per-timer probability that a protocol timer (PM phase release,
+        MPM relay, RG guard wake-up) silently fails to fire.
+    crash_start / crash_duration / crash_every / crash_processor:
+        Crash-restart windows: the ``crash_processor``-th processor (in
+        sorted order, modulo the processor count) goes dark during
+        ``[crash_start, crash_start + crash_duration)``, repeating every
+        ``crash_every`` time units when that is positive.  A negative
+        ``crash_start`` means no crashes.  While dark: in-flight
+        instances and pending timers on the processor are lost, and
+        releases/signals targeting it queue until restart.
+    overrun_rate / overrun_factor:
+        Per-instance probability that the actual demand is the WCET
+        times ``overrun_factor`` (generalizes
+        :class:`repro.sim.variation.OverrunInjection` to a seeded,
+        policed stream).
+
+    Recovery attributes
+    -------------------
+    watchdog / ack_timeout / max_retransmits:
+        Ack/retransmit watchdog for synchronization signals: when every
+        copy of a signal is lost in transit, the sender retransmits
+        after ``ack_timeout``, up to ``max_retransmits`` times.  Safe
+        under RG -- the guard makes delivery idempotent -- while DS
+        double-releases on a duplicate unless suppression is on too.
+    suppress_duplicates:
+        Kernel-level duplicate-release suppression: a release of an
+        already-released instance is absorbed (and recorded as
+        recovered) instead of standing as an unrecovered double release.
+    overrun_policy:
+        ``"off"`` (overruns run to completion, recorded as unrecovered),
+        ``"throttle"`` (demand capped at the WCET budget; the instance
+        completes on budget) or ``"abort"`` (the instance is killed at
+        budget exhaustion: no completion, no signal downstream).
+    lose_idle_points:
+        Disable idle-point detection, degrading RG to rule-1-only
+        operation (guards still enforce the period separation; held
+        releases go only when the guard timer fires).
+
+    seed:
+        Base seed of the per-category decision streams.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_delay: float = 1.0
+    timer_loss_rate: float = 0.0
+    crash_start: float = -1.0
+    crash_duration: float = 0.0
+    crash_every: float = 0.0
+    crash_processor: int = 0
+    overrun_rate: float = 0.0
+    overrun_factor: float = 2.0
+    watchdog: bool = False
+    ack_timeout: float = 1.0
+    max_retransmits: int = 3
+    suppress_duplicates: bool = False
+    overrun_policy: str = "off"
+    lose_idle_points: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0) or not math.isfinite(value):
+                raise ConfigurationError(
+                    f"fault config {name} must be in [0, 1], got {value!r}"
+                )
+        for name in ("reorder_delay", "ack_timeout"):
+            value = getattr(self, name)
+            if value <= 0 or not math.isfinite(value):
+                raise ConfigurationError(
+                    f"fault config {name} must be finite and > 0, "
+                    f"got {value!r}"
+                )
+        if not math.isfinite(self.crash_start):
+            raise ConfigurationError(
+                f"crash_start must be finite, got {self.crash_start!r}"
+            )
+        if self.crash_duration < 0 or not math.isfinite(self.crash_duration):
+            raise ConfigurationError(
+                f"crash_duration must be finite and >= 0, "
+                f"got {self.crash_duration!r}"
+            )
+        if self.crash_every < 0 or not math.isfinite(self.crash_every):
+            raise ConfigurationError(
+                f"crash_every must be finite and >= 0, "
+                f"got {self.crash_every!r}"
+            )
+        if self.crashes and self.crash_duration == 0:
+            raise ConfigurationError(
+                "crash windows need crash_duration > 0"
+            )
+        if self.crashes and self.crash_every:
+            if self.crash_every <= self.crash_duration:
+                raise ConfigurationError(
+                    f"crash_every ({self.crash_every!r}) must exceed "
+                    f"crash_duration ({self.crash_duration!r}): the "
+                    f"processor must come back up between crashes"
+                )
+        if self.crash_processor < 0:
+            raise ConfigurationError(
+                f"crash_processor must be >= 0, got {self.crash_processor!r}"
+            )
+        if self.overrun_factor <= 1.0 or not math.isfinite(
+            self.overrun_factor
+        ):
+            raise ConfigurationError(
+                f"overrun_factor must be finite and > 1, "
+                f"got {self.overrun_factor!r} (a factor <= 1 is not an "
+                f"overrun)"
+            )
+        if self.max_retransmits < 0:
+            raise ConfigurationError(
+                f"max_retransmits must be >= 0, "
+                f"got {self.max_retransmits!r}"
+            )
+        if self.overrun_policy not in OVERRUN_POLICIES:
+            raise ConfigurationError(
+                f"unknown overrun_policy {self.overrun_policy!r}; "
+                f"known: {', '.join(OVERRUN_POLICIES)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def crashes(self) -> bool:
+        """True when the config schedules at least one crash window."""
+        return self.crash_start >= 0
+
+    @property
+    def is_null(self) -> bool:
+        """True when the config injects nothing.
+
+        Recovery knobs do not affect nullness: they only ever react to
+        injected faults (overrun policing additionally reacts to
+        overruns from a user-supplied execution model; under the default
+        deterministic execution a null config leaves every run
+        byte-identical to a run without a fault plane).
+        """
+        return (
+            all(getattr(self, name) == 0.0 for name in _RATE_FIELDS)
+            and not self.crashes
+            and not self.lose_idle_points
+        )
+
+    @property
+    def signal_faults_only(self) -> bool:
+        """True when only the channel faults (drop/duplicate/reorder)
+        are active -- the regime the watchdog + suppression recovery
+        pair fully covers, and the ``rg-recovery-soundness`` oracle's
+        applicability condition."""
+        return (
+            (self.drop_rate > 0 or self.duplicate_rate > 0
+             or self.reorder_rate > 0)
+            and self.timer_loss_rate == 0.0
+            and self.overrun_rate == 0.0
+            and not self.crashes
+            and not self.lose_idle_points
+        )
+
+    @property
+    def full_signal_recovery(self) -> bool:
+        """True when both signal-recovery mechanisms are armed."""
+        return self.watchdog and self.suppress_duplicates
+
+    def with_recovery(self, enabled: bool = True) -> "FaultConfig":
+        """Copy with every recovery mechanism switched on or off.
+
+        The chaos study sweeps exactly this toggle: same faults, with
+        and without the recovery layer.
+        """
+        return replace(
+            self,
+            watchdog=enabled,
+            suppress_duplicates=enabled,
+            overrun_policy="throttle" if enabled else "off",
+        )
+
+    @property
+    def label(self) -> str:
+        """Compact label for reports and campaign output."""
+        if self.is_null:
+            parts = ["null"]
+        else:
+            parts = []
+            if self.drop_rate:
+                parts.append(f"drop({self.drop_rate:g})")
+            if self.duplicate_rate:
+                parts.append(f"dup({self.duplicate_rate:g})")
+            if self.reorder_rate:
+                parts.append(
+                    f"reorder({self.reorder_rate:g},{self.reorder_delay:g})"
+                )
+            if self.timer_loss_rate:
+                parts.append(f"timerloss({self.timer_loss_rate:g})")
+            if self.crashes:
+                parts.append(
+                    f"crash(@{self.crash_start:g},{self.crash_duration:g}"
+                    + (f",every={self.crash_every:g})" if self.crash_every
+                       else ")")
+                )
+            if self.overrun_rate:
+                parts.append(
+                    f"overrun({self.overrun_rate:g}x{self.overrun_factor:g})"
+                )
+            if self.lose_idle_points:
+                parts.append("idleloss")
+        recovery = []
+        if self.watchdog:
+            recovery.append("wd")
+        if self.suppress_duplicates:
+            recovery.append("dedup")
+        if self.overrun_policy != "off":
+            recovery.append(self.overrun_policy)
+        suffix = f"+{'+'.join(recovery)}" if recovery else ""
+        return f"faults={'+'.join(parts)}{suffix}"
+
+
+def fault_config_to_dict(config: FaultConfig) -> dict[str, Any]:
+    """A JSON-ready description of a fault config (lossless)."""
+    return {
+        "format": _FORMAT,
+        "drop_rate": config.drop_rate,
+        "duplicate_rate": config.duplicate_rate,
+        "reorder_rate": config.reorder_rate,
+        "reorder_delay": config.reorder_delay,
+        "timer_loss_rate": config.timer_loss_rate,
+        "crash_start": config.crash_start,
+        "crash_duration": config.crash_duration,
+        "crash_every": config.crash_every,
+        "crash_processor": config.crash_processor,
+        "overrun_rate": config.overrun_rate,
+        "overrun_factor": config.overrun_factor,
+        "watchdog": config.watchdog,
+        "ack_timeout": config.ack_timeout,
+        "max_retransmits": config.max_retransmits,
+        "suppress_duplicates": config.suppress_duplicates,
+        "overrun_policy": config.overrun_policy,
+        "lose_idle_points": config.lose_idle_points,
+        "seed": config.seed,
+    }
+
+
+def fault_config_from_dict(data: Mapping[str, Any]) -> FaultConfig:
+    """Rebuild a config from :func:`fault_config_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise ConfigurationError(
+            f"not a {_FORMAT} document (format={data.get('format')!r})"
+        )
+    return FaultConfig(
+        drop_rate=float(data.get("drop_rate", 0.0)),
+        duplicate_rate=float(data.get("duplicate_rate", 0.0)),
+        reorder_rate=float(data.get("reorder_rate", 0.0)),
+        reorder_delay=float(data.get("reorder_delay", 1.0)),
+        timer_loss_rate=float(data.get("timer_loss_rate", 0.0)),
+        crash_start=float(data.get("crash_start", -1.0)),
+        crash_duration=float(data.get("crash_duration", 0.0)),
+        crash_every=float(data.get("crash_every", 0.0)),
+        crash_processor=int(data.get("crash_processor", 0)),
+        overrun_rate=float(data.get("overrun_rate", 0.0)),
+        overrun_factor=float(data.get("overrun_factor", 2.0)),
+        watchdog=bool(data.get("watchdog", False)),
+        ack_timeout=float(data.get("ack_timeout", 1.0)),
+        max_retransmits=int(data.get("max_retransmits", 3)),
+        suppress_duplicates=bool(data.get("suppress_duplicates", False)),
+        overrun_policy=str(data.get("overrun_policy", "off")),
+        lose_idle_points=bool(data.get("lose_idle_points", False)),
+        seed=int(data.get("seed", 0)),
+    )

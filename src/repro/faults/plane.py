@@ -1,0 +1,386 @@
+"""The stateful fault plane: seeded decisions plus the fault log.
+
+One :class:`FaultPlane` serves one simulation run.  It owns an
+independent ``numpy`` generator per fault category -- spawned
+deterministically from the config seed, consumed in kernel event order
+-- so the same config over the same workload reproduces the same faults,
+and enabling one category never perturbs the draws of another.  A
+category at rate zero makes *no* draws at all, which is what keeps a
+null-rate plane byte-identical to no plane (the ``fault-free-identity``
+oracle) and essentially free (the fault-overhead benchmark's gate).
+
+Every injected fault and every recovery action is recorded as a
+:class:`FaultEvent` on the plane's :class:`FaultLog`.  The log is the
+single source of truth for the observability layer: per-kind counters
+and recovery latencies feed :mod:`repro.sim.metrics`, and the exclusion
+sets feed the fault-aware :mod:`repro.sim.trace_validation` so that a
+*documented* dropped signal or crash window is not reported as a
+spurious missing-release error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.faults.config import FaultConfig
+from repro.model.task import ProcessorId, SubtaskId
+from repro.sim.variation import ExecutionModel
+from repro.timebase import Timebase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.tracing import InstanceKey
+
+__all__ = ["VIOLATION_KINDS", "FaultEvent", "FaultLog", "FaultPlane"]
+
+#: Event kinds that stand for a lost guarantee when unrecovered.  The
+#: others ("signal-duplicate", "signal-reorder", "signal-retransmit",
+#: "crash", "restart", "idle-loss") are context: they describe pressure
+#: on the protocol, not a broken promise by themselves.
+VIOLATION_KINDS: frozenset[str] = frozenset(
+    {
+        "signal-drop",
+        "timer-loss",
+        "crash-loss",
+        "crash-timer-loss",
+        "crash-defer",
+        "duplicate-release",
+        "overrun",
+        "overrun-abort",
+    }
+)
+
+# Per-category stream indices; spawning `default_rng([seed, index])`
+# gives independent, reproducible streams per category.
+_STREAM_DROP = 1
+_STREAM_DUPLICATE = 2
+_STREAM_REORDER = 3
+_STREAM_TIMER = 4
+_STREAM_OVERRUN = 5
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault or recovery action.
+
+    ``recovered`` flips to True when a recovery mechanism absorbed the
+    fault (a retransmitted copy delivered, a duplicate suppressed, a
+    deferred release performed at restart, an overrun policed);
+    ``recovery_time`` then holds the instant recovery completed.
+    """
+
+    kind: str
+    time: float
+    sid: SubtaskId | None = None
+    instance: int | None = None
+    processor: ProcessorId | None = None
+    detail: str = ""
+    recovered: bool = False
+    recovery_time: float | None = None
+
+    @property
+    def recovery_latency(self) -> float | None:
+        """Time from injection to recovery, None while unrecovered."""
+        if not self.recovered or self.recovery_time is None:
+            return None
+        return self.recovery_time - self.time
+
+    @property
+    def counts_as_violation(self) -> bool:
+        """True when this event stands as a lost guarantee."""
+        return self.kind in VIOLATION_KINDS and not self.recovered
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        where = ""
+        if self.sid is not None:
+            where = f" {self.sid}#{self.instance}"
+        elif self.processor is not None:
+            where = f" {self.processor}"
+        status = "recovered" if self.recovered else "unrecovered"
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"[{self.time}] {self.kind}{where}: {status}{detail}"
+
+
+@dataclass
+class FaultLog:
+    """Everything the fault plane did during one run."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def note(
+        self,
+        kind: str,
+        time: float,
+        *,
+        sid: SubtaskId | None = None,
+        instance: int | None = None,
+        processor: ProcessorId | None = None,
+        detail: str = "",
+        recovered: bool = False,
+        recovery_time: float | None = None,
+    ) -> FaultEvent:
+        """Append and return one event."""
+        event = FaultEvent(
+            kind=kind,
+            time=time,
+            sid=sid,
+            instance=instance,
+            processor=processor,
+            detail=detail,
+            recovered=recovered,
+            recovery_time=recovery_time,
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Summaries (feed sim.metrics)
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Number of events per kind."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def events_of(self, *kinds: str) -> list[FaultEvent]:
+        """Events of the given kinds, in record order."""
+        wanted = set(kinds)
+        return [event for event in self.events if event.kind in wanted]
+
+    def recovered_count(self) -> int:
+        """Events a recovery mechanism absorbed."""
+        return sum(1 for event in self.events if event.recovered)
+
+    def unrecovered_violations(self) -> int:
+        """Unrecovered events that stand for a lost guarantee."""
+        return sum(1 for event in self.events if event.counts_as_violation)
+
+    def recovery_latencies(self) -> list[float]:
+        """Injection-to-recovery latencies of every recovered event."""
+        return [
+            latency
+            for event in self.events
+            if (latency := event.recovery_latency) is not None
+        ]
+
+    # ------------------------------------------------------------------
+    # Exclusion sets (feed the fault-aware trace validator)
+    # ------------------------------------------------------------------
+    def lost_instances(self) -> "set[InstanceKey]":
+        """Instances that were released but legitimately never complete:
+        wiped by a crash or killed by the abort policy."""
+        return {
+            (event.sid, event.instance)
+            for event in self.events
+            if event.kind in ("crash-loss", "overrun-abort")
+            and event.sid is not None
+        }
+
+    def lost_release_chains(self) -> dict[SubtaskId, int]:
+        """Per subtask, the smallest instance index from which releases
+        may legitimately be missing because a timer that would have
+        produced them was lost (randomly or to a crash).
+
+        PM's release timers reschedule themselves from within the fired
+        callback, so one lost timer for ``(sid, m)`` kills every release
+        of ``sid`` from instance ``m`` on.
+        """
+        chains: dict[SubtaskId, int] = {}
+        for event in self.events:
+            if event.kind not in ("timer-loss", "crash-timer-loss"):
+                continue
+            if event.sid is None or event.instance is None:
+                continue
+            known = chains.get(event.sid)
+            if known is None or event.instance < known:
+                chains[event.sid] = event.instance
+        return chains
+
+    def lost_instance_times(self) -> "dict[InstanceKey, float]":
+        """When each released-but-doomed instance stopped existing.
+
+        The fault-aware validator treats these instants as effective
+        completions: a crashed or aborted instance stops competing for
+        its processor, so segments running after its death are not
+        priority violations.
+        """
+        out: "dict[InstanceKey, float]" = {}
+        for event in self.events:
+            if event.kind in ("crash-loss", "overrun-abort") and (
+                event.sid is not None and event.instance is not None
+            ):
+                key = (event.sid, event.instance)
+                if key not in out or event.time < out[key]:
+                    out[key] = event.time
+        return out
+
+    def overrun_instances(self) -> "set[InstanceKey]":
+        """Instances whose demand was deliberately inflated past the
+        WCET (conservation-check excuse when the policy is ``"off"``)."""
+        return {
+            (event.sid, event.instance)
+            for event in self.events
+            if event.kind == "overrun" and event.sid is not None
+        }
+
+    def describe(self) -> str:
+        """Multi-line summary for CLI output."""
+        if not self.events:
+            return "no faults injected"
+        lines = [
+            f"{len(self.events)} fault events, "
+            f"{self.recovered_count()} recovered, "
+            f"{self.unrecovered_violations()} unrecovered violations"
+        ]
+        for kind, count in sorted(self.counts().items()):
+            lines.append(f"  {kind}: {count}")
+        return "\n".join(lines)
+
+
+class FaultPlane:
+    """Seeded fault decisions for one simulation run.
+
+    The kernel consults the plane at each decision point (one per signal
+    transmission, timer installation, instance release); decisions come
+    from per-category streams, so runs are reproducible and categories
+    are independent.  A category at rate zero short-circuits without
+    drawing.
+    """
+
+    def __init__(self, config: FaultConfig, *, timebase: Timebase) -> None:
+        self.config = config
+        self.timebase = timebase
+        self.log = FaultLog()
+        seed = config.seed
+        self._drop_rng = (
+            np.random.default_rng([seed, _STREAM_DROP])
+            if config.drop_rate > 0
+            else None
+        )
+        self._duplicate_rng = (
+            np.random.default_rng([seed, _STREAM_DUPLICATE])
+            if config.duplicate_rate > 0
+            else None
+        )
+        self._reorder_rng = (
+            np.random.default_rng([seed, _STREAM_REORDER])
+            if config.reorder_rate > 0
+            else None
+        )
+        self._timer_rng = (
+            np.random.default_rng([seed, _STREAM_TIMER])
+            if config.timer_loss_rate > 0
+            else None
+        )
+        self._overrun_rng = (
+            np.random.default_rng([seed, _STREAM_OVERRUN])
+            if config.overrun_rate > 0
+            else None
+        )
+        #: Config durations converted once into the kernel's timebase.
+        self.reorder_delay = timebase.convert(config.reorder_delay)
+        self.ack_timeout = timebase.convert(config.ack_timeout)
+
+    # ------------------------------------------------------------------
+    # Channel decisions (consumed by FaultyChannel, in send order)
+    # ------------------------------------------------------------------
+    def drop_signal(self) -> bool:
+        if self._drop_rng is None:
+            return False
+        return bool(self._drop_rng.random() < self.config.drop_rate)
+
+    def duplicate_signal(self) -> bool:
+        if self._duplicate_rng is None:
+            return False
+        return bool(
+            self._duplicate_rng.random() < self.config.duplicate_rate
+        )
+
+    def reorder_signal(self) -> bool:
+        if self._reorder_rng is None:
+            return False
+        return bool(self._reorder_rng.random() < self.config.reorder_rate)
+
+    # ------------------------------------------------------------------
+    # Kernel decisions
+    # ------------------------------------------------------------------
+    def lose_timer(self) -> bool:
+        if self._timer_rng is None:
+            return False
+        return bool(self._timer_rng.random() < self.config.timer_loss_rate)
+
+    def overrun_instance(self) -> bool:
+        if self._overrun_rng is None:
+            return False
+        return bool(self._overrun_rng.random() < self.config.overrun_rate)
+
+    @property
+    def has_crashes(self) -> bool:
+        return self.config.crashes
+
+    def crash_windows(
+        self, processors: Sequence[ProcessorId], horizon: float
+    ) -> list[tuple[ProcessorId, float, float]]:
+        """Concrete ``(processor, start, end)`` crash windows within the
+        horizon, in start order, already in the kernel's timebase."""
+        config = self.config
+        if not config.crashes or not processors:
+            return []
+        ordered = sorted(processors)
+        target = ordered[config.crash_processor % len(ordered)]
+        convert = self.timebase.convert
+        start = convert(config.crash_start)
+        duration = convert(config.crash_duration)
+        step = convert(config.crash_every) if config.crash_every else None
+        windows: list[tuple[ProcessorId, float, float]] = []
+        while start < horizon:
+            windows.append((target, start, start + duration))
+            if step is None:
+                break
+            start = start + step
+        return windows
+
+    # ------------------------------------------------------------------
+    # Execution-model wrapping (overrun injection)
+    # ------------------------------------------------------------------
+    def wrap_execution(self, model: ExecutionModel) -> ExecutionModel:
+        """The model with this plane's overrun stream layered on top.
+
+        Returns ``model`` unchanged at rate zero, keeping the zero-rate
+        path free of indirection.
+        """
+        if self._overrun_rng is None:
+            return model
+        return _OverrunStream(model, self)
+
+
+class _OverrunStream(ExecutionModel):
+    """Inflate randomly selected instances' demand past their WCET.
+
+    Works in raw (pre-timebase) float arithmetic like every execution
+    model; the kernel converts the result and polices it against the
+    converted budget.
+    """
+
+    def __init__(self, inner: ExecutionModel, plane: FaultPlane) -> None:
+        self.inner = inner
+        self.plane = plane
+
+    def duration(self, sid: SubtaskId, instance: int, wcet: float) -> float:
+        base = self.inner.duration(sid, instance, wcet)
+        if self.plane.overrun_instance():
+            return base * self.plane.config.overrun_factor
+        return base
+
+
+def merge_counts(logs: Iterable[FaultLog]) -> dict[str, int]:
+    """Aggregate per-kind counts over several runs' logs."""
+    totals: dict[str, int] = {}
+    for log in logs:
+        for kind, count in log.counts().items():
+            totals[kind] = totals.get(kind, 0) + count
+    return totals

@@ -17,6 +17,7 @@ workers never ship systems back.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -25,6 +26,7 @@ from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.clocks.config import ClockConfig
 from repro.errors import ConfigurationError
+from repro.faults import FaultConfig
 from repro.fuzz.corpus import Counterexample, append_counterexample
 from repro.fuzz.differential import DIFFERENTIAL_ORACLE, compare_backends
 from repro.fuzz.oracles import check_case, oracle_names
@@ -37,6 +39,7 @@ from repro.workload.generator import generate_system
 __all__ = [
     "PROFILES",
     "CLOCK_ROTATIONS",
+    "FAULT_ROTATIONS",
     "CaseOutcome",
     "CampaignReport",
     "fuzz_one",
@@ -132,6 +135,35 @@ CLOCK_ROTATIONS: Mapping[str, tuple[ClockConfig | None, ...]] = {
     ),
 }
 
+#: Fault-environment rotations, keyed by the ``--faults`` CLI name.
+#: ``None`` entries build cases with no fault plumbing; the explicit
+#: zero-rate entry exercises the ``fault-free-identity`` oracle, and the
+#: recovered signal-fault entries exercise ``rg-recovery-soundness``.
+#: Each case substitutes its own seed into the rotated config, so fault
+#: decisions vary across cases yet stay reproducible from the case
+#: coordinates.  Delays are scaled to the ``_FAST_PERIODS`` band.
+FAULT_ROTATIONS: Mapping[str, tuple[FaultConfig | None, ...]] = {
+    "none": (None,),
+    "chaos": (
+        None,
+        FaultConfig(),
+        FaultConfig(
+            drop_rate=0.15,
+            duplicate_rate=0.1,
+            watchdog=True,
+            suppress_duplicates=True,
+        ),
+        FaultConfig(
+            drop_rate=0.2,
+            reorder_rate=0.1,
+            reorder_delay=5.0,
+            watchdog=True,
+            suppress_duplicates=True,
+        ),
+        FaultConfig(timer_loss_rate=0.1),
+    ),
+}
+
 
 @dataclass(frozen=True)
 class CaseOutcome:
@@ -146,6 +178,7 @@ class CaseOutcome:
     duration: float
     clocks: ClockConfig | None = None
     latency: float = 0.0
+    faults: FaultConfig | None = None
 
     @property
     def failed(self) -> bool:
@@ -153,12 +186,14 @@ class CaseOutcome:
 
     @property
     def environment_label(self) -> str:
-        """Clock/latency coordinates of this case, "" when ideal."""
+        """Clock/latency/fault coordinates of this case, "" when ideal."""
         parts = []
         if self.clocks is not None:
             parts.append(self.clocks.label)
         if self.latency:
             parts.append(f"latency={self.latency}")
+        if self.faults is not None:
+            parts.append(self.faults.label)
         return " ".join(parts)
 
 
@@ -171,19 +206,25 @@ def fuzz_one(
     oracles: tuple[str, ...] | None = None,
     clocks: ClockConfig | None = None,
     latency: float = 0.0,
+    faults: FaultConfig | None = None,
     timebase: str = "float",
 ) -> CaseOutcome:
     """Generate, simulate and judge one case; the campaign's unit of work.
 
-    ``clocks``/``latency`` set the case's environment (skewed local
-    clocks, cross-processor signal delay); the oracle registry gates
-    itself on them.  With ``timebase="exact"`` the case is built and
-    judged under exact arithmetic (tolerance-free oracles), *and* a
-    second case is built under the float backend -- same environment --
-    so the two can be cross-checked; any observable disagreement is
-    reported under the ``float-vs-exact`` pseudo-oracle.
+    ``clocks``/``latency``/``faults`` set the case's environment (skewed
+    local clocks, cross-processor signal delay, injected faults); the
+    oracle registry gates itself on them.  A fault config gets the
+    case's seed substituted in, so fault decisions vary across cases
+    while staying reproducible from ``(config, seed)``.  With
+    ``timebase="exact"`` the case is built and judged under exact
+    arithmetic (tolerance-free oracles), *and* a second case is built
+    under the float backend -- same environment -- so the two can be
+    cross-checked; any observable disagreement is reported under the
+    ``float-vs-exact`` pseudo-oracle.
     """
     started = time.perf_counter()
+    if faults is not None:
+        faults = dataclasses.replace(faults, seed=seed)
     system = generate_system(config, seed)
     case = build_case(
         system,
@@ -192,6 +233,7 @@ def fuzz_one(
         horizon_periods=horizon_periods,
         clocks=clocks,
         latency=latency,
+        faults=faults,
         timebase=timebase,
     )
     failures, checked = check_case(case, oracles)
@@ -203,6 +245,7 @@ def fuzz_one(
             horizon_periods=horizon_periods,
             clocks=clocks,
             latency=latency,
+            faults=faults,
             timebase="float",
         )
         checked = checked + (DIFFERENTIAL_ORACLE,)
@@ -219,6 +262,7 @@ def fuzz_one(
         duration=time.perf_counter() - started,
         clocks=clocks,
         latency=latency,
+        faults=faults,
     )
 
 
@@ -233,6 +277,7 @@ def _job(args: tuple) -> CaseOutcome:
         timebase,
         clocks,
         latency,
+        faults,
     ) = args
     return fuzz_one(
         config,
@@ -242,6 +287,7 @@ def _job(args: tuple) -> CaseOutcome:
         oracles=oracles,
         clocks=clocks,
         latency=latency,
+        faults=faults,
         timebase=timebase,
     )
 
@@ -316,6 +362,9 @@ def _shrink_outcome(
     """
     oracle = next(iter(outcome.failures))
     system = generate_system(outcome.config, outcome.seed)
+    faults = outcome.faults
+    if faults is not None:
+        faults = dataclasses.replace(faults, seed=outcome.seed)
 
     def judge(candidate) -> list[str]:
         case = build_case(
@@ -323,6 +372,7 @@ def _shrink_outcome(
             horizon_periods=horizon_periods,
             clocks=outcome.clocks,
             latency=outcome.latency,
+            faults=faults,
             timebase=timebase,
         )
         if oracle == DIFFERENTIAL_ORACLE:
@@ -331,6 +381,7 @@ def _shrink_outcome(
                 horizon_periods=horizon_periods,
                 clocks=outcome.clocks,
                 latency=outcome.latency,
+                faults=faults,
                 timebase="float",
             )
             return compare_backends(float_case, case)
@@ -364,11 +415,13 @@ def _case_stream(
     timebase: str,
     clock_configs: Sequence[ClockConfig | None],
     latencies: Sequence[float],
+    fault_configs: Sequence[FaultConfig | None],
 ) -> Iterator[tuple]:
-    # Clock and latency rotations advance at different strides so a long
-    # campaign covers their full cross product, while short ones still
-    # see every clock configuration early.
+    # Clock, latency and fault rotations advance at different strides so
+    # a long campaign covers their full cross product, while short ones
+    # still see every clock configuration early.
     index = 0
+    fault_stride = len(clock_configs) * len(latencies)
     while runs is None or index < runs:
         yield (
             index,
@@ -379,6 +432,7 @@ def _case_stream(
             timebase,
             clock_configs[index % len(clock_configs)],
             latencies[(index // len(clock_configs)) % len(latencies)],
+            fault_configs[(index // fault_stride) % len(fault_configs)],
         )
         index += 1
 
@@ -400,6 +454,7 @@ def run_campaign(
     progress: Callable[[str], None] | None = None,
     clocks: str | Sequence[ClockConfig | None] = "none",
     latencies: Sequence[float] = (0.0,),
+    faults: str | Sequence[FaultConfig | None] = "none",
     timebase: str = "float",
 ) -> CampaignReport:
     """Run a fuzzing campaign and return its report.
@@ -409,7 +464,9 @@ def run_campaign(
     overrides the named ``profile``.  ``clocks`` is a
     :data:`CLOCK_ROTATIONS` name or an explicit rotation of clock
     configurations (``None`` entries mean no clock plumbing);
-    ``latencies`` rotates cross-processor signal delays.  Oracles gate
+    ``latencies`` rotates cross-processor signal delays; ``faults`` is a
+    :data:`FAULT_ROTATIONS` name or an explicit rotation of fault
+    configurations (each case substitutes its own seed).  Oracles gate
     themselves on the environment each case ran in.  With
     ``corpus_path`` set, every shrunk counterexample is appended there
     as JSONL.  With ``timebase="exact"`` every case runs under exact
@@ -437,6 +494,22 @@ def run_campaign(
     latencies = tuple(latencies)
     if not latencies:
         raise ConfigurationError("campaign needs at least one latency")
+    if isinstance(faults, str):
+        try:
+            fault_configs: Sequence[FaultConfig | None] = (
+                FAULT_ROTATIONS[faults]
+            )
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown fault rotation {faults!r}; "
+                f"known: {', '.join(FAULT_ROTATIONS)}"
+            ) from None
+    else:
+        fault_configs = tuple(faults)
+    if not fault_configs:
+        raise ConfigurationError(
+            "campaign needs at least one fault configuration"
+        )
     for value in latencies:
         if value < 0:
             raise ConfigurationError(
@@ -474,6 +547,7 @@ def run_campaign(
         timebase,
         clock_configs,
         latencies,
+        fault_configs,
     )
 
     def out_of_time() -> bool:

@@ -55,14 +55,27 @@ The catalog (paper references in each oracle's ``reference``):
     deliberately absent: its phase table breaks under unsynchronized
     clocks (Section 3.1), which is the separation the clock study
     demonstrates.
+``fault-free-identity``
+    A case built with an explicitly *zero-rate* fault configuration is
+    byte-identical to the same case built with no fault plumbing at all
+    (the fault plane must be a strict no-op when nothing can fire).
+``rg-recovery-soundness``
+    Under signal faults with full recovery armed (ack/retransmit
+    watchdog plus duplicate suppression), the Release Guard run keeps
+    its precedence guarantee: zero chain-precedence violations and
+    zero unrecovered duplicate releases (the guard makes delivery
+    idempotent; the watchdog makes it reliable).
 
 Oracle *applicability* encodes the paper's stated assumptions: the
 identity and plain-soundness oracles demand ideal conditions (perfect
-clocks, zero latency); SA/DS soundness tolerates imperfect clocks (DS
-uses no timers) but not latency; the precedence oracle drops PM and MPM
-under imperfect clocks, where timer-based releases may legitimately
-outrun their predecessors -- that is a finding for the skew study, not
-a simulator bug.
+clocks, zero latency, no live faults); SA/DS soundness tolerates
+imperfect clocks (DS uses no timers) but not latency or faults; the
+precedence oracle drops PM and MPM under imperfect clocks, where
+timer-based releases may legitimately outrun their predecessors --
+that is a finding for the skew study, not a simulator bug -- and under
+live faults applies only when the fault environment is limited to
+signal faults with full recovery (anything harsher legitimately loses
+releases, which is the chaos study's finding).
 """
 
 from __future__ import annotations
@@ -338,6 +351,7 @@ def _check_clock_perfect_identity(case: FuzzCase) -> list[str]:
         case.system,
         horizon_periods=case.horizon_periods,
         latency=case.latency,
+        faults=case.faults,
         timebase=case.timebase,
     )
     issues = []
@@ -375,6 +389,87 @@ def _check_sa_pm_skew_soundness(case: FuzzCase) -> list[str]:
                     "SA/PM-skew",
                 )
             )
+    return issues
+
+
+# ---------------------------------------------------------------------------
+# Fault-subsystem oracles
+# ---------------------------------------------------------------------------
+
+
+def _check_fault_free_identity(case: FuzzCase) -> list[str]:
+    """A zero-rate fault configuration must be a strict no-op.
+
+    Rebuilds the case with *no* fault plumbing (``faults=None``) and
+    demands byte-identical release and completion maps -- no tolerance,
+    under either timebase.  Any drift here means arming the fault plane
+    leaks decisions (or arithmetic) into a run where nothing can fire.
+    """
+    from repro.fuzz.runner import build_case
+
+    reference = build_case(
+        case.system,
+        horizon_periods=case.horizon_periods,
+        clocks=case.clocks,
+        latency=case.latency,
+        timebase=case.timebase,
+    )
+    issues = []
+    if set(reference.results) != set(case.results):
+        issues.append(
+            f"protocols ran differ: {sorted(case.results)} with a zero-rate "
+            f"fault plane vs {sorted(reference.results)} without one"
+        )
+    for protocol in sorted(set(reference.results) & set(case.results)):
+        ours = case.results[protocol].trace
+        theirs = reference.results[protocol].trace
+        for kind in ("releases", "completions"):
+            if getattr(ours, kind) != getattr(theirs, kind):
+                issues.append(
+                    f"{protocol}: {kind} under a zero-rate fault "
+                    f"configuration differ from the fault-free build"
+                )
+    return issues
+
+
+def _rg_recovery_applies(case: FuzzCase) -> bool:
+    faults = case.faults
+    return (
+        faults is not None
+        and not faults.is_null
+        and faults.signal_faults_only
+        and faults.full_signal_recovery
+        and "RG" in case.results
+        and case.clocks_perfect
+    )
+
+
+def _check_rg_recovery_soundness(case: FuzzCase) -> list[str]:
+    """RG under recovered signal faults keeps its precedence guarantee.
+
+    With the watchdog retransmitting dropped signals and the guard
+    suppressing duplicate releases, every delivered release is governed
+    by the guard that rule 1/2 raised -- so the run must show zero
+    chain-precedence violations and zero unrecovered duplicate
+    releases.  Exhausted retransmits are *losses* (the chain stops),
+    never precedence breaks.
+    """
+    result = case.results["RG"]
+    issues = [
+        f"RG: {violation.sid}#{violation.instance} released at "
+        f"{fmt(violation.release_time)} before predecessor "
+        f"{violation.predecessor} completed despite full signal recovery"
+        for violation in result.trace.violations
+    ]
+    log = result.trace.faults
+    if log is not None:
+        for event in log.events_of("duplicate-release"):
+            if not event.recovered:
+                issues.append(
+                    f"RG: duplicate release of {event.sid}#{event.instance} "
+                    f"at {fmt(event.time)} not suppressed despite "
+                    f"suppress_duplicates"
+                )
     return issues
 
 
@@ -453,7 +548,14 @@ ORACLES: dict[str, Oracle] = {
             "Section 2 (precedence constraints)",
             "no successor released before its predecessor completed",
             _check_precedence,
-            _always,
+            # Live faults legitimately break precedence (that is the
+            # chaos study's finding) unless the environment is limited
+            # to signal faults with full recovery armed.
+            lambda case: case.faults_null
+            or (
+                case.faults.signal_faults_only
+                and case.faults.full_signal_recovery
+            ),
         ),
         Oracle(
             "sa-pm-soundness",
@@ -477,7 +579,8 @@ ORACLES: dict[str, Oracle] = {
             # latency adds unmodeled delay, so zero latency is required.
             lambda case: "DS" in case.results
             and not case.sa_ds.failed
-            and case.latency == 0,
+            and case.latency == 0
+            and case.faults_null,
         ),
         Oracle(
             "analysis-dominance",
@@ -512,7 +615,11 @@ ORACLES: dict[str, Oracle] = {
             # Trace times are *true* time; guards space releases on the
             # local clock, so the full-period claim needs perfect clocks
             # (drift compresses true-time separation by O(rho * p)).
-            lambda case: "RG" in case.results and case.clocks_perfect,
+            # Crash-restart replays deferred releases back to back at
+            # the restart instant, so crashes void the claim too.
+            lambda case: "RG" in case.results
+            and case.clocks_perfect
+            and (case.faults is None or not case.faults.crashes),
         ),
         Oracle(
             "clock-perfect-identity",
@@ -531,7 +638,24 @@ ORACLES: dict[str, Oracle] = {
             _check_sa_pm_skew_soundness,
             lambda case: case.sa_pm_skew is not None
             and case.latency == 0
+            and case.faults_null
             and any(p in case.results for p in ("MPM", "RG")),
+        ),
+        Oracle(
+            "fault-free-identity",
+            "fault-plane contract (docs/faults.md)",
+            "an explicitly zero-rate fault configuration is "
+            "byte-identical to no fault plumbing",
+            _check_fault_free_identity,
+            lambda case: case.faults is not None and case.faults.is_null,
+        ),
+        Oracle(
+            "rg-recovery-soundness",
+            "Section 3.2 + recovery layer (docs/faults.md)",
+            "RG keeps precedence (no violations, no unsuppressed "
+            "duplicates) under signal faults with full recovery",
+            _check_rg_recovery_soundness,
+            _rg_recovery_applies,
         ),
         Oracle(
             "exhaustive-vs-bounds",

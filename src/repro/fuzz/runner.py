@@ -30,6 +30,7 @@ from repro.core.protocols.modified_pm import ModifiedPhaseModification
 from repro.core.protocols.phase_modification import PhaseModification
 from repro.core.protocols.release_guard import ReleaseGuard
 from repro.errors import ConfigurationError
+from repro.faults import FaultConfig
 from repro.model.system import System
 from repro.model.task import SubtaskId
 from repro.sim.interfaces import ReleaseController
@@ -96,6 +97,8 @@ class FuzzCase:
     clocks: ClockConfig | None = None
     #: Cross-processor signal latency every simulation ran with.
     latency: float = 0.0
+    #: Fault environment every simulation ran under; None = no plane.
+    faults: FaultConfig | None = None
     #: Skew-inflated SA/PM bounds; present iff the clocks are imperfect.
     sa_pm_skew: AnalysisResult | None = None
     #: Protocol name -> simulation result (only protocols that ran).
@@ -111,11 +114,17 @@ class FuzzCase:
         return self.clocks is None or self.clocks.is_perfect
 
     @property
+    def faults_null(self) -> bool:
+        """True when no fault can fire (no plane, or a zero-rate one)."""
+        return self.faults is None or self.faults.is_null
+
+    @property
     def ideal(self) -> bool:
-        """Perfect clocks *and* zero signal latency -- the Section 3
-        assumptions the strictest oracles (PM/MPM identity, plain SA/PM
-        soundness, exhaustive search) are stated under."""
-        return self.clocks_perfect and self.latency == 0
+        """Perfect clocks, zero signal latency *and* no live faults --
+        the Section 3 assumptions the strictest oracles (PM/MPM
+        identity, plain SA/PM soundness, exhaustive search) are stated
+        under."""
+        return self.clocks_perfect and self.latency == 0 and self.faults_null
 
     @property
     def label(self) -> str:
@@ -128,6 +137,8 @@ class FuzzCase:
             parts.append(self.clocks.label)
         if self.latency:
             parts.append(f"latency={self.latency}")
+        if self.faults is not None and not self.faults.is_null:
+            parts.append(self.faults.label)
         return " ".join(parts)
 
 
@@ -149,6 +160,7 @@ def build_case(
     sa_ds_max_iterations: int = 120,
     clocks: ClockConfig | None = None,
     latency: float = 0.0,
+    faults: FaultConfig | None = None,
     timebase: Timebase | str = "float",
 ) -> FuzzCase:
     """Run all four protocols and both analyses over ``system``.
@@ -156,14 +168,18 @@ def build_case(
     Every simulation records segments (for the trace validator); the RG
     run additionally records idle points (for the release-separation
     oracle).  The result is deterministic: the simulator is a pure
-    function of the system, clock configuration and latency -- no
-    randomness enters after generation (:class:`ResyncClock` offsets are
-    derived from the config's seed).  ``clocks`` assigns per-processor
-    local clocks (imperfect clocks additionally produce the
-    skew-inflated SA/PM result on ``case.sa_pm_skew``); ``latency`` is a
-    uniform cross-processor signal delay.  ``timebase`` selects the
-    arithmetic backend for both the analyses and the simulations; under
-    ``"exact"`` the oracles judge with zero tolerance.
+    function of the system, clock configuration, latency and fault
+    environment -- no randomness enters after generation
+    (:class:`ResyncClock` offsets and fault decisions are derived from
+    their configs' seeds).  ``clocks`` assigns per-processor local
+    clocks (imperfect clocks additionally produce the skew-inflated
+    SA/PM result on ``case.sa_pm_skew``); ``latency`` is a uniform
+    cross-processor signal delay; ``faults`` arms the fault plane for
+    every protocol's run (each run gets its own plane from the same
+    config, so all four protocols face the same fault decisions).
+    ``timebase`` selects the arithmetic backend for both the analyses
+    and the simulations; under ``"exact"`` the oracles judge with zero
+    tolerance.
     """
     tb = get_timebase(timebase)
     if latency < 0 or not math.isfinite(latency):
@@ -187,6 +203,7 @@ def build_case(
         timebase=tb,
         clocks=clocks,
         latency=latency,
+        faults=faults,
         sa_pm_skew=sa_pm_skew,
     )
     clock_map = None if clocks is None else clocks.build(system.processors)
@@ -223,5 +240,6 @@ def build_case(
             latency_model=latency_model,
             clocks=clock_map,
             timebase=tb,
+            faults=faults,
         )
     return case

@@ -1,24 +1,35 @@
 """Batch admission: fan cache misses over a process pool.
 
 Mirrors the idiom of :mod:`repro.experiments.parallel`: jobs are pure
-functions of picklable inputs, ``ProcessPoolExecutor.map`` preserves
-submission order, and all randomness-free computation makes the result
-independent of the worker count.  On top of that, the batch layer
+functions of picklable inputs, and all randomness-free computation makes
+the result independent of the worker count.  On top of that, the batch
+layer
 
 * serves every request already in the cache without touching the pool,
 * deduplicates identical content *within* the batch (each distinct key
-  is computed exactly once, however often it recurs), and
+  is computed exactly once, however often it recurs),
+* polices the pool: a job may be bounded by a wall-clock ``job_timeout``
+  and is retried (with exponential backoff) when it times out, raises,
+  or loses its worker process -- after ``max_retries`` failed attempts
+  the batch *degrades* that one decision to a safe REJECT instead of
+  hanging or failing the whole batch, and
 * reassembles decisions in request order, so output is deterministic
   with caching on, off, or warm-started from disk.
+
+Degraded decisions are never cached: the next batch retries the
+computation from scratch.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.service.cache import DecisionCache
@@ -40,6 +51,199 @@ def _compute_job(
     return key, decision, time.perf_counter() - started
 
 
+def _degraded_decision(
+    request: AdmissionRequest, key: str, reason: str
+) -> AdmissionDecision:
+    """A safe REJECT standing in for a decision the pool never produced.
+
+    Admission control must fail *closed*: a system whose analysis could
+    not be completed is not certified, so it is not admitted.  The
+    rationale carries the failure so callers can distinguish a degraded
+    verdict from an analytical rejection and retry later.
+    """
+    return AdmissionDecision(
+        admitted=False,
+        protocol=None,
+        rationale=f"service degraded: {reason}",
+        schedulable={p: False for p in request.protocols},
+        task_bounds={},
+        worst_bound_ratio=math.inf,
+        key=key,
+        system_name=request.system.name,
+        request_id=request.request_id,
+    )
+
+
+def _compute_serial(
+    key: str,
+    request: AdmissionRequest,
+    *,
+    max_retries: int,
+    retry_backoff: float,
+    metrics: ServiceMetrics | None,
+) -> tuple[AdmissionDecision, float, bool]:
+    """In-process attempt ladder: (decision, seconds, degraded?).
+
+    No pool means no timeout enforcement (a thread cannot interrupt its
+    own computation); only the retry/degrade ladder applies.
+    """
+    attempt = 0
+    while True:
+        started = time.perf_counter()
+        try:
+            _key, decision, elapsed = _compute_job((key, request))
+            return decision, elapsed, False
+        except Exception as exc:  # noqa: BLE001 - degrade, don't crash
+            if attempt >= max_retries:
+                return (
+                    _degraded_decision(
+                        request,
+                        key,
+                        f"computation failed after {attempt + 1} "
+                        f"attempt(s): {exc}",
+                    ),
+                    time.perf_counter() - started,
+                    True,
+                )
+            attempt += 1
+            if metrics is not None:
+                metrics.record_retry()
+            if retry_backoff:
+                time.sleep(retry_backoff * (2 ** (attempt - 1)))
+
+
+def _compute_pooled(
+    jobs: Mapping[str, AdmissionRequest],
+    *,
+    worker_count: int,
+    job_timeout: float | None,
+    max_retries: int,
+    retry_backoff: float,
+    metrics: ServiceMetrics | None,
+) -> dict[str, tuple[AdmissionDecision, float, bool]]:
+    """Pool scheduler with per-job deadlines and a bounded retry queue.
+
+    Jobs are submitted at most ``worker_count`` at a time so a job's
+    submission instant approximates its start instant -- that is what
+    makes the wall-clock ``job_timeout`` meaningful.  A timed-out
+    future cannot be interrupted (the worker may be wedged in native
+    code); it is *abandoned*: dropped from tracking, its slot written
+    off, and the job resubmitted or degraded.  A broken pool (worker
+    process died) is rebuilt and its in-flight jobs retried.
+    """
+    outcomes: dict[str, tuple[AdmissionDecision, float, bool]] = {}
+    #: (key, attempt, earliest resubmission instant) awaiting a slot.
+    queue: deque[tuple[str, int, float]] = deque(
+        (key, 0, 0.0) for key in jobs
+    )
+    #: future -> (key, attempt, submission instant).
+    in_flight: dict = {}
+    abandoned = 0  # slots still occupied by timed-out computations
+
+    def resolve_failure(key: str, attempt: int, reason: str) -> None:
+        if attempt >= max_retries:
+            outcomes[key] = (
+                _degraded_decision(
+                    jobs[key],
+                    key,
+                    f"{reason} (after {attempt + 1} attempt(s))",
+                ),
+                0.0,
+                True,
+            )
+            return
+        if metrics is not None:
+            metrics.record_retry()
+        delay = retry_backoff * (2 ** attempt) if retry_backoff else 0.0
+        queue.append((key, attempt + 1, time.monotonic() + delay))
+
+    pool = ProcessPoolExecutor(max_workers=worker_count)
+    try:
+        while queue or in_flight:
+            # Keep the live part of the pool full; respect backoff.
+            window = max(1, worker_count - abandoned)
+            now = time.monotonic()
+            backing_off: deque[tuple[str, int, float]] = deque()
+            while queue and len(in_flight) < window:
+                key, attempt, not_before = queue.popleft()
+                if now < not_before:
+                    backing_off.append((key, attempt, not_before))
+                    continue
+                future = pool.submit(_compute_job, (key, jobs[key]))
+                in_flight[future] = (key, attempt, time.monotonic())
+            queue.extend(backing_off)
+
+            # Block until a completion, a deadline, or a backoff expiry.
+            now = time.monotonic()
+            wakeups = [nb for (_k, _a, nb) in queue if nb > now]
+            if job_timeout is not None:
+                wakeups.extend(
+                    sub + job_timeout for (_k, _a, sub) in in_flight.values()
+                )
+            timeout = (
+                max(0.0, min(wakeups) - now) if wakeups else None
+            )
+            if in_flight:
+                done, _ = wait(
+                    set(in_flight),
+                    timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+            else:
+                done = set()
+                if timeout:
+                    time.sleep(timeout)
+
+            broken = False
+            for future in done:
+                key, attempt, _sub = in_flight.pop(future)
+                try:
+                    _key, decision, elapsed = future.result()
+                except BrokenProcessPool as exc:
+                    broken = True
+                    resolve_failure(key, attempt, f"worker died: {exc}")
+                except Exception as exc:  # noqa: BLE001 - degrade
+                    resolve_failure(
+                        key, attempt, f"computation failed: {exc}"
+                    )
+                else:
+                    outcomes[key] = (decision, elapsed, False)
+
+            if job_timeout is not None:
+                now = time.monotonic()
+                overdue = [
+                    future
+                    for future, (_k, _a, sub) in in_flight.items()
+                    if now - sub >= job_timeout
+                ]
+                for future in overdue:
+                    key, attempt, _sub = in_flight.pop(future)
+                    if not future.cancel():
+                        # Already running: the worker stays busy until
+                        # (if ever) it finishes; write the slot off.
+                        abandoned += 1
+                    if metrics is not None:
+                        metrics.record_timeout()
+                    resolve_failure(
+                        key,
+                        attempt,
+                        f"timed out after {job_timeout:g} s",
+                    )
+
+            if broken:
+                # The pool is unusable; every remaining in-flight job
+                # failed with it.  Rebuild and resubmit via the queue.
+                for key, attempt, _sub in in_flight.values():
+                    resolve_failure(key, attempt, "worker pool broke")
+                in_flight.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=worker_count)
+                abandoned = 0
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return outcomes
+
+
 def admit_batch(
     requests: Sequence[AdmissionRequest] | Iterable[AdmissionRequest],
     *,
@@ -47,6 +251,9 @@ def admit_batch(
     metrics: ServiceMetrics | None = None,
     workers: int | None = None,
     progress: Callable[[str], None] | None = None,
+    job_timeout: float | None = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.05,
 ) -> list[AdmissionDecision]:
     """Decide a batch of requests; returns decisions in request order.
 
@@ -55,11 +262,36 @@ def admit_batch(
     request content inside the batch is computed once and accounted as
     cache hits for the duplicates.  ``progress`` (when given) receives
     one line per computed (non-cached) decision.
+
+    ``job_timeout`` bounds the wall-clock seconds any one decision may
+    take on the pool; a job that exceeds it is abandoned (the hung
+    worker is written off) and resubmitted.  Any failed attempt --
+    timeout, raised exception, dead worker -- is retried up to
+    ``max_retries`` times with exponential backoff starting at
+    ``retry_backoff`` seconds; a job that exhausts its ladder yields a
+    *degraded* REJECT decision (rationale prefixed
+    ``service degraded:``) rather than hanging or failing the batch.
+    Degraded decisions are never cached.  Timeout enforcement needs the
+    pool: with ``workers=1`` only the retry/degrade ladder applies.
     """
     request_list = list(requests)
     worker_count = workers if workers is not None else (os.cpu_count() or 1)
     if worker_count < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if job_timeout is not None and not (
+        job_timeout > 0 and math.isfinite(job_timeout)
+    ):
+        raise ConfigurationError(
+            f"job_timeout must be finite and > 0, got {job_timeout!r}"
+        )
+    if max_retries < 0:
+        raise ConfigurationError(
+            f"max_retries must be >= 0, got {max_retries}"
+        )
+    if retry_backoff < 0 or not math.isfinite(retry_backoff):
+        raise ConfigurationError(
+            f"retry_backoff must be finite and >= 0, got {retry_backoff!r}"
+        )
     if not request_list:
         return []
 
@@ -83,44 +315,58 @@ def admit_batch(
         else:
             pending.setdefault(key, []).append(index)
 
-    jobs = [
-        (key, request_list[indices[0]]) for key, indices in pending.items()
-    ]
-    if worker_count == 1 or len(jobs) == 1:
-        outcomes = map(_compute_job, jobs)
-    else:
-        pool = ProcessPoolExecutor(max_workers=worker_count)
-        outcomes = pool.map(
-            _compute_job,
+    jobs = {
+        key: request_list[indices[0]] for key, indices in pending.items()
+    }
+    if worker_count == 1 or (len(jobs) == 1 and job_timeout is None):
+        outcomes = {
+            key: _compute_serial(
+                key,
+                request,
+                max_retries=max_retries,
+                retry_backoff=retry_backoff,
+                metrics=metrics,
+            )
+            for key, request in jobs.items()
+        }
+    elif jobs:
+        outcomes = _compute_pooled(
             jobs,
-            chunksize=max(1, len(jobs) // (8 * worker_count)),
+            worker_count=worker_count,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            metrics=metrics,
         )
+    else:
+        outcomes = {}
 
     computed = 0
-    try:
-        for key, decision, elapsed in outcomes:
-            if cache is not None:
-                cache.put(key, decision)
-            for position, index in enumerate(pending[key]):
-                decisions[index] = replace(
-                    decision, request_id=request_list[index].request_id
+    for key in pending:
+        decision, elapsed, degraded = outcomes[key]
+        if cache is not None and not degraded:
+            cache.put(key, decision)
+        for position, index in enumerate(pending[key]):
+            decisions[index] = replace(
+                decision, request_id=request_list[index].request_id
+            )
+            if metrics is not None:
+                # The first occurrence paid the computation; batch
+                # duplicates ride along as (in-flight) hits.
+                metrics.record(
+                    admitted=decision.admitted,
+                    cache_hit=position > 0,
+                    latency=elapsed if position == 0 else 0.0,
                 )
-                if metrics is not None:
-                    # The first occurrence paid the computation; batch
-                    # duplicates ride along as (in-flight) hits.
-                    metrics.record(
-                        admitted=decision.admitted,
-                        cache_hit=position > 0,
-                        latency=elapsed if position == 0 else 0.0,
-                    )
-            computed += 1
-            if progress is not None:
-                progress(
-                    f"{computed}/{len(jobs)} admission decisions computed"
-                )
-    finally:
-        if worker_count > 1 and len(jobs) > 1:
-            pool.shutdown()
+        if metrics is not None and degraded:
+            metrics.record_degraded()
+        computed += 1
+        if progress is not None:
+            verdict = " (degraded)" if degraded else ""
+            progress(
+                f"{computed}/{len(jobs)} admission decisions "
+                f"computed{verdict}"
+            )
 
     missing = [i for i, d in enumerate(decisions) if d is None]
     if missing:  # pragma: no cover - guards the reassembly invariant

@@ -204,11 +204,15 @@ class AdmissionController:
         *,
         workers: int | None = None,
         progress=None,
+        job_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
     ) -> list[AdmissionDecision]:
         """Decide many requests, fanning misses over a process pool.
 
         See :func:`repro.service.batch.admit_batch`; this controller's
-        cache and metrics are shared with the batch.
+        cache and metrics are shared with the batch (so its timeout,
+        retry and degraded counters land here too).
         """
         from repro.service.batch import admit_batch
 
@@ -218,6 +222,9 @@ class AdmissionController:
             metrics=self.metrics,
             workers=workers,
             progress=progress,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
         )
 
     # ------------------------------------------------------------------

@@ -49,6 +49,9 @@ class ServiceMetrics:
         self._misses = 0
         self._admitted = 0
         self._rejected = 0
+        self._timeouts = 0
+        self._retries = 0
+        self._degraded = 0
 
     # ------------------------------------------------------------------
     # Recording (hot path)
@@ -75,6 +78,21 @@ class ServiceMetrics:
                 # sample by overwriting round-robin.
                 self._latencies[self._seen % self._reservoir] = latency
 
+    def record_timeout(self) -> None:
+        """Account one admission computation abandoned at its deadline."""
+        with self._lock:
+            self._timeouts += 1
+
+    def record_retry(self) -> None:
+        """Account one resubmission of a failed or timed-out job."""
+        with self._lock:
+            self._retries += 1
+
+    def record_degraded(self) -> None:
+        """Account one decision degraded to a REJECT after retries ran out."""
+        with self._lock:
+            self._degraded += 1
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -88,6 +106,9 @@ class ServiceMetrics:
                 "cache_misses": self._misses,
                 "admitted": self._admitted,
                 "rejected": self._rejected,
+                "timeouts": self._timeouts,
+                "retries": self._retries,
+                "degraded": self._degraded,
             }
         counters["hit_rate"] = (
             counters["cache_hits"] / counters["requests"]
@@ -125,4 +146,13 @@ class ServiceMetrics:
                     f"max {snap['latency_max'] * 1e3:.3f} ms"
                 ),
             ]
+            + (
+                [
+                    f"robustness: {snap['timeouts']} timeout(s), "
+                    f"{snap['retries']} retry(ies), "
+                    f"{snap['degraded']} degraded decision(s)"
+                ]
+                if snap["timeouts"] or snap["retries"] or snap["degraded"]
+                else []
+            )
         )

@@ -55,6 +55,9 @@ from typing import Callable
 
 from repro.clocks.models import ClockMap, ClockModel
 from repro.errors import SimulationError
+from repro.faults.channel import FaultyChannel
+from repro.faults.config import FaultConfig
+from repro.faults.plane import FaultEvent, FaultPlane
 from repro.model.system import System
 from repro.model.task import ProcessorId, SubtaskId
 from repro.sim.interfaces import ReleaseController
@@ -81,6 +84,14 @@ EVENT_SIGNAL = 3
 #: An event handle; ``handle[-1]`` is the active flag used for lazy
 #: cancellation.
 EventHandle = list
+
+
+def _dead_handle(time: float, callback: Callable[[float], None]) -> EventHandle:
+    """A pre-cancelled handle for a timer the fault plane swallowed.
+
+    Callers may still cancel it; it never fires.
+    """
+    return [time, EVENT_TIMER, -1, callback, False]
 
 
 class EventQueue:
@@ -148,6 +159,14 @@ class Kernel:
     timebase:
         Arithmetic backend for all timestamps (name or
         :class:`~repro.timebase.Timebase` instance; default ``"float"``).
+    faults:
+        Fault-injection and recovery configuration
+        (:class:`repro.faults.FaultConfig`).  The kernel builds one
+        :class:`~repro.faults.FaultPlane` per run from it, wraps the
+        latency model in a :class:`~repro.faults.FaultyChannel` and the
+        execution model in the overrun stream, and exposes the plane's
+        log on ``trace.faults``.  A null config (every rate zero, no
+        crash windows) leaves the run byte-identical to ``faults=None``.
     """
 
     def __init__(
@@ -165,6 +184,7 @@ class Kernel:
         max_events: int | None = None,
         clocks: ClockMap | None = None,
         timebase: Timebase | str = "float",
+        faults: FaultConfig | None = None,
     ) -> None:
         if horizon <= 0:
             raise SimulationError(f"horizon must be > 0, got {horizon!r}")
@@ -187,6 +207,43 @@ class Kernel:
             record_idle_points=record_idle_points,
             timebase=self.timebase,
         )
+        # Fault plane (see repro.faults): faults enter through exactly
+        # three seams -- the latency model (channel faults), the
+        # execution model (overrun injection) and the kernel services
+        # below (timer loss, crash windows, policing, recovery).
+        self.fault_config = faults
+        if faults is not None:
+            self.fault_plane: FaultPlane | None = FaultPlane(
+                faults, timebase=self.timebase
+            )
+            self.latency_model = FaultyChannel(
+                self.latency_model, self.fault_plane
+            )
+            self.execution_model = self.fault_plane.wrap_execution(
+                self.execution_model
+            )
+            self.trace.faults = self.fault_plane.log
+        else:
+            self.fault_plane = None
+        #: Processors currently inside a crash window.
+        self._crashed: set[ProcessorId] = set()
+        #: Work queued during a crash window, replayed FIFO at restart:
+        #: ("release"|"signal", sid, instance, crash-defer event).
+        self._deferred: dict[
+            ProcessorId, list[tuple[str, SubtaskId, int, FaultEvent]]
+        ] = {}
+        #: Live timers per processor (only tracked when crash windows
+        #: exist): (handle, sid, instance) so a crash can cancel and
+        #: document them.
+        self._processor_timers: dict[
+            ProcessorId, list[tuple[EventHandle, SubtaskId | None, int | None]]
+        ] = {}
+        #: Drop events per logical signal, awaiting a retransmitted copy.
+        self._undelivered_drops: dict[
+            tuple[SubtaskId, int], list[FaultEvent]
+        ] = {}
+        #: Instances the overrun "abort" policy kills at budget exhaustion.
+        self._doomed: set[tuple[SubtaskId, int]] = set()
         self.schedulers: dict[ProcessorId, ProcessorScheduler] = {
             processor: ProcessorScheduler(processor, self)
             for processor in system.processors
@@ -206,7 +263,13 @@ class Kernel:
     # Services used by controllers and schedulers
     # ------------------------------------------------------------------
     def schedule_timer(
-        self, time: float, callback: Callable[[float], None]
+        self,
+        time: float,
+        callback: Callable[[float], None],
+        *,
+        processor: ProcessorId | None = None,
+        sid: SubtaskId | None = None,
+        instance: int | None = None,
     ) -> EventHandle:
         """Run ``callback`` at ``time`` (timer event class).
 
@@ -215,6 +278,16 @@ class Kernel:
         inside the tolerance window below ``now`` is clamped to ``now``
         -- observably: the clamp is recorded on the trace.  Under the
         exact backend that window is empty, so any ``time < now`` raises.
+
+        ``processor`` names the processor whose scheduler hosts the
+        timer (protocol controllers pass it); with a fault plane armed,
+        a hosted timer may be randomly lost (never fires; recorded as a
+        ``timer-loss`` event) and dies with its processor's crash
+        window.  ``sid``/``instance`` give the loss event its context so
+        the fault-aware trace validator can excuse the exact releases
+        that went missing.  Timers without a processor (kernel-internal
+        machinery such as the retransmit watchdog and crash transitions)
+        are never faulted.
         """
         time = self.timebase.convert(time)
         if self.timebase.lt(time, self.now):
@@ -225,7 +298,38 @@ class Kernel:
         if time < self.now:
             self.trace.note_timer_clamp(time, self.now)
             time = self.now
-        return self.queue.push(time, EVENT_TIMER, callback)
+        plane = self.fault_plane
+        if plane is not None and processor is not None:
+            if processor in self._crashed:
+                plane.log.note(
+                    "crash-timer-loss",
+                    self.now,
+                    processor=processor,
+                    sid=sid,
+                    instance=instance,
+                    detail="timer installed during crash window",
+                )
+                return _dead_handle(time, callback)
+            if plane.lose_timer():
+                plane.log.note(
+                    "timer-loss",
+                    self.now,
+                    processor=processor,
+                    sid=sid,
+                    instance=instance,
+                    detail=f"timer for {fmt(time)} never fires",
+                )
+                return _dead_handle(time, callback)
+        handle = self.queue.push(time, EVENT_TIMER, callback)
+        if (
+            plane is not None
+            and plane.has_crashes
+            and processor is not None
+        ):
+            self._processor_timers.setdefault(processor, []).append(
+                (handle, sid, instance)
+            )
+        return handle
 
     # ------------------------------------------------------------------
     # Local-clock services (see the module docstring)
@@ -305,6 +409,12 @@ class Kernel:
         than delivered synchronously mid-event, so the deterministic
         class order at equal instants (completions, timers, environment
         releases, then signals) governs them like any other event.
+
+        With a fault plane armed the signal travels through a
+        :class:`~repro.faults.FaultyChannel` delivery plan: it may be
+        dropped (and, when the watchdog is on, retransmitted after the
+        ack timeout), duplicated, or reordered; copies arriving at a
+        crashed processor queue until restart.
         """
         predecessor = sid.predecessor
         source = (
@@ -313,16 +423,121 @@ class Kernel:
             else self.system.subtask(sid).processor
         )
         destination = self.system.subtask(sid).processor
-        delay = self.latency_model.delay_in(source, destination, self.timebase)
-        if delay < 0:
-            raise SimulationError(f"negative signal latency {delay!r}")
-        self.queue.push(
-            self.now + delay,
-            EVENT_SIGNAL,
-            lambda now, s=sid, m=instance: self.controller.on_signal(
-                s, m, now
-            ),
+        self._transmit_signal(sid, instance, source, destination, attempt=0)
+
+    def _transmit_signal(
+        self,
+        sid: SubtaskId,
+        instance: int,
+        source: ProcessorId,
+        destination: ProcessorId,
+        attempt: int,
+    ) -> None:
+        """One transmission attempt of a synchronization signal."""
+        plan = self.latency_model.plan_in(source, destination, self.timebase)
+        for delay in plan.delays:
+            if delay < 0:
+                raise SimulationError(f"negative signal latency {delay!r}")
+        plane = self.fault_plane
+        if plane is not None:
+            if plan.dropped:
+                event = plane.log.note(
+                    "signal-drop",
+                    self.now,
+                    sid=sid,
+                    instance=instance,
+                    detail=f"attempt {attempt}",
+                )
+                config = plane.config
+                if config.watchdog and attempt < config.max_retransmits:
+                    # The sender's watchdog: no ack by the timeout means
+                    # resend through the (still faulty) channel.  The
+                    # drop stays on the books until a copy delivers.
+                    self._undelivered_drops.setdefault(
+                        (sid, instance), []
+                    ).append(event)
+                    self.queue.push(
+                        self.now + plane.ack_timeout,
+                        EVENT_TIMER,
+                        lambda now, s=sid, m=instance, src=source,
+                        dst=destination, a=attempt: (
+                            self._retransmit_signal(s, m, src, dst, a)
+                        ),
+                    )
+                return
+            if plan.duplicated:
+                plane.log.note(
+                    "signal-duplicate", self.now, sid=sid, instance=instance
+                )
+            if plan.reordered:
+                plane.log.note(
+                    "signal-reorder",
+                    self.now,
+                    sid=sid,
+                    instance=instance,
+                    detail=f"delayed by {fmt(plane.reorder_delay)}",
+                )
+        for delay in plan.delays:
+            self.queue.push(
+                self.now + delay,
+                EVENT_SIGNAL,
+                lambda now, s=sid, m=instance: (
+                    self._signal_delivered(s, m, now)
+                ),
+            )
+
+    def _retransmit_signal(
+        self,
+        sid: SubtaskId,
+        instance: int,
+        source: ProcessorId,
+        destination: ProcessorId,
+        attempt: int,
+    ) -> None:
+        """Watchdog fired: resend a signal whose copies were all lost."""
+        plane = self.fault_plane
+        assert plane is not None
+        plane.log.note(
+            "signal-retransmit",
+            self.now,
+            sid=sid,
+            instance=instance,
+            detail=f"attempt {attempt + 1}",
         )
+        self._transmit_signal(sid, instance, source, destination, attempt + 1)
+
+    def _signal_delivered(
+        self, sid: SubtaskId, instance: int, now: float
+    ) -> None:
+        """A signal copy arrived at its destination scheduler."""
+        plane = self.fault_plane
+        if plane is not None:
+            # A delivered copy is the ack: every outstanding drop of
+            # this logical signal is recovered, with latency measured
+            # from the original send.
+            outstanding = self._undelivered_drops.pop((sid, instance), None)
+            if outstanding:
+                for event in outstanding:
+                    event.recovered = True
+                    event.recovery_time = now
+                    event.detail += "; recovered by retransmission"
+            destination = self.system.subtask(sid).processor
+            if destination in self._crashed:
+                # The destination scheduler is dark: the interrupt is
+                # masked and queued, to be handled at restart.
+                event = plane.log.note(
+                    "crash-defer",
+                    now,
+                    sid=sid,
+                    instance=instance,
+                    processor=destination,
+                    detail="signal held during crash window",
+                )
+                self._deferred[destination].append(
+                    ("signal", sid, instance, event)
+                )
+                return
+        self.controller.on_signal(sid, instance, now)
 
     def release(self, sid: SubtaskId, instance: int) -> None:
         """Release instance ``instance`` of subtask ``sid`` now.
@@ -332,8 +547,49 @@ class Kernel:
         instance ``m`` of ``T_i,j-1`` completed), fires the controller's
         ``on_release`` hook (RG rule 1, MPM timer installation), then hands
         the instance to the processor's scheduler, which may preempt.
+
+        With a fault plane armed, three things may intervene: a release
+        targeting a crashed processor queues until restart; a release of
+        an already-released instance is a double release (absorbed and
+        recorded as recovered when ``suppress_duplicates`` is on,
+        recorded as an unrecovered ``duplicate-release`` violation
+        otherwise -- the trace keeps the first release either way); and
+        a demand exceeding the WCET budget is policed per
+        ``overrun_policy``.
         """
         now = self.now
+        plane = self.fault_plane
+        if plane is not None:
+            target = self.system.subtask(sid).processor
+            if target in self._crashed:
+                event = plane.log.note(
+                    "crash-defer",
+                    now,
+                    sid=sid,
+                    instance=instance,
+                    processor=target,
+                    detail="release deferred to restart",
+                )
+                self._deferred[target].append(
+                    ("release", sid, instance, event)
+                )
+                return
+            if (sid, instance) in self.trace.releases:
+                suppressed = plane.config.suppress_duplicates
+                plane.log.note(
+                    "duplicate-release",
+                    now,
+                    sid=sid,
+                    instance=instance,
+                    detail=(
+                        "suppressed by the kernel"
+                        if suppressed
+                        else "double release stands unrecovered"
+                    ),
+                    recovered=suppressed,
+                    recovery_time=now if suppressed else None,
+                )
+                return
         predecessor = sid.predecessor
         if predecessor is not None:
             completed = (predecessor, instance) in self.trace.completions
@@ -370,13 +626,161 @@ class Kernel:
                 f"execution model produced non-positive demand {demand!r} "
                 f"for {sid}#{instance}"
             )
-        self.schedulers[subtask.processor].add(
-            sid, instance, self.timebase.convert(demand), now
+        demand = self.timebase.convert(demand)
+        if plane is not None:
+            demand = self._police_overrun(sid, instance, subtask, demand, now)
+        self.schedulers[subtask.processor].add(sid, instance, demand, now)
+
+    def _police_overrun(
+        self, sid: SubtaskId, instance: int, subtask, demand, now
+    ):
+        """Apply the overrun policy to one instance's demand.
+
+        Any demand above the WCET budget is an overrun, whether it came
+        from the fault plane's own injection stream or from a
+        user-supplied execution model.  ``"throttle"`` caps the demand
+        at the budget (the instance completes on time -- recovered);
+        ``"abort"`` also caps it but kills the instance when the budget
+        is exhausted (no completion, no signal downstream); ``"off"``
+        lets it run and records the unrecovered overrun.
+        """
+        plane = self.fault_plane
+        assert plane is not None
+        budget = self.timebase.convert(subtask.execution_time)
+        if not self.timebase.gt(demand, budget):
+            return demand
+        policy = plane.config.overrun_policy
+        if policy == "throttle":
+            plane.log.note(
+                "overrun",
+                now,
+                sid=sid,
+                instance=instance,
+                detail=(
+                    f"demand {fmt(demand)} throttled to budget {fmt(budget)}"
+                ),
+                recovered=True,
+                recovery_time=now,
+            )
+            return budget
+        if policy == "abort":
+            plane.log.note(
+                "overrun",
+                now,
+                sid=sid,
+                instance=instance,
+                detail=f"demand {fmt(demand)} will abort at budget "
+                f"{fmt(budget)}",
+                recovered=True,
+                recovery_time=now,
+            )
+            self._doomed.add((sid, instance))
+            return budget
+        plane.log.note(
+            "overrun",
+            now,
+            sid=sid,
+            instance=instance,
+            detail=f"demand {fmt(demand)} exceeds budget {fmt(budget)}, "
+            f"unpoliced",
         )
+        return demand
 
     def is_idle(self, processor: ProcessorId) -> bool:
         """True when ``processor`` has no released, uncompleted instance."""
         return self.schedulers[processor].is_idle
+
+    @property
+    def idle_points_lost(self) -> bool:
+        """True when the fault plane disabled idle-point detection.
+
+        Protocols that detect idle points themselves (RG's signal-path
+        check, Definition 1) must consult this and degrade -- for RG, to
+        rule-1-only operation.
+        """
+        return (
+            self.fault_plane is not None
+            and self.fault_plane.config.lose_idle_points
+        )
+
+    # ------------------------------------------------------------------
+    # Crash-restart machinery
+    # ------------------------------------------------------------------
+    def _schedule_crash_windows(self) -> None:
+        """Queue the crash/restart transitions of the fault config.
+
+        Scheduled before the controller starts, so at equal instants a
+        crash transition precedes same-instant protocol timers (FIFO
+        within the timer class).
+        """
+        plane = self.fault_plane
+        if plane is None:
+            return
+        for processor, start, end in plane.crash_windows(
+            list(self.system.processors), self.horizon
+        ):
+            self.queue.push(
+                start,
+                EVENT_TIMER,
+                lambda now, p=processor: self._crash(p, now),
+            )
+            self.queue.push(
+                end,
+                EVENT_TIMER,
+                lambda now, p=processor: self._restart(p, now),
+            )
+
+    def _crash(self, processor: ProcessorId, now: float) -> None:
+        """The processor goes dark: wipe its scheduler state and pending
+        timers; releases and signals targeting it queue until restart."""
+        plane = self.fault_plane
+        assert plane is not None
+        self._crashed.add(processor)
+        self._deferred.setdefault(processor, [])
+        plane.log.note("crash", now, processor=processor)
+        for sid, instance in self.schedulers[processor].crash(now):
+            plane.log.note(
+                "crash-loss",
+                now,
+                sid=sid,
+                instance=instance,
+                processor=processor,
+                detail="in-flight instance lost to crash",
+            )
+            self._doomed.discard((sid, instance))
+        for handle, sid, instance in self._processor_timers.pop(
+            processor, []
+        ):
+            if not handle[-1]:
+                continue  # already fired or cancelled
+            self.cancel(handle)
+            plane.log.note(
+                "crash-timer-loss",
+                now,
+                sid=sid,
+                instance=instance,
+                processor=processor,
+                detail="pending timer lost to crash",
+            )
+
+    def _restart(self, processor: ProcessorId, now: float) -> None:
+        """The processor comes back up: replay deferred work FIFO.
+
+        Deferred releases are performed (and recorded) at the restart
+        instant; deferred signals re-enter the protocol's signal hook,
+        so RG's guard logic still governs them.
+        """
+        plane = self.fault_plane
+        assert plane is not None
+        self._crashed.discard(processor)
+        plane.log.note("restart", now, processor=processor)
+        for kind, sid, instance, event in self._deferred.pop(processor, []):
+            event.recovered = True
+            event.recovery_time = now
+            if kind == "release":
+                self.release(sid, instance)
+            else:
+                self.controller.on_signal(sid, instance, now)
 
     def _completes_at_this_instant(
         self, sid: SubtaskId, instance: int, now: float
@@ -408,15 +812,52 @@ class Kernel:
         Order matters (see module docstring): record, then idle-point
         notification, then the protocol's completion hook, then let the
         scheduler dispatch the next ready instance.
+
+        An instance doomed by the ``"abort"`` overrun policy is killed
+        here instead: budget exhausted, no completion is recorded and no
+        completion hook fires (so no signal goes downstream), but the
+        processor is freed -- idle-point notification and dispatch
+        proceed as for a completion.
         """
-        self.trace.note_completion(sid, instance, now)
         processor = self.system.subtask(sid).processor
         scheduler = self.schedulers[processor]
-        if scheduler.is_idle:
-            self.trace.note_idle_point(processor, now)
-            self.controller.on_idle(processor, now)
+        plane = self.fault_plane
+        if plane is not None and (sid, instance) in self._doomed:
+            self._doomed.discard((sid, instance))
+            plane.log.note(
+                "overrun-abort",
+                now,
+                sid=sid,
+                instance=instance,
+                detail="killed at budget exhaustion",
+            )
+            self._notify_idle_point(scheduler, processor, now)
+            scheduler.dispatch_if_needed(now)
+            return
+        self.trace.note_completion(sid, instance, now)
+        self._notify_idle_point(scheduler, processor, now)
         self.controller.on_completion(sid, instance, now)
         scheduler.dispatch_if_needed(now)
+
+    def _notify_idle_point(
+        self, scheduler: ProcessorScheduler, processor: ProcessorId,
+        now: float,
+    ) -> None:
+        """Fire idle-point notification if the processor just emptied.
+
+        With ``lose_idle_points`` armed the detection mechanism is
+        broken: the idle point is recorded as an ``idle-loss`` event
+        instead of reaching the trace or the controller, degrading RG
+        to rule-1-only operation.
+        """
+        if not scheduler.is_idle:
+            return
+        plane = self.fault_plane
+        if plane is not None and plane.config.lose_idle_points:
+            plane.log.note("idle-loss", now, processor=processor)
+            return
+        self.trace.note_idle_point(processor, now)
+        self.controller.on_idle(processor, now)
 
     # ------------------------------------------------------------------
     # Environment releases
@@ -461,6 +902,7 @@ class Kernel:
     def run(self) -> Trace:
         """Execute the simulation up to the horizon; returns the trace."""
         self.controller.bind(self)
+        self._schedule_crash_windows()
         self.controller.start()
         for task_index in range(len(self.system.tasks)):
             self._schedule_env_release(task_index, 0)

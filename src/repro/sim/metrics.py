@@ -4,6 +4,13 @@ These realize the measurements of Section 5 of the paper: per-task average
 end-to-end response (EER) times (the basis of the PM/DS, RG/DS and PM/RG
 ratio figures), plus the output-jitter measure of Section 2 and the
 deadline-miss counts used in the worked examples.
+
+Runs under fault injection (:mod:`repro.faults`) additionally get a
+:class:`FaultSummary` -- per-kind injection counts, how many events a
+recovery mechanism absorbed, how many stand as lost guarantees, and the
+injection-to-recovery latency spread -- so chaos sweeps can compare
+protocols on one number (:attr:`TraceMetrics.unrecovered_violation_count`)
+without walking the raw fault log.
 """
 
 from __future__ import annotations
@@ -14,7 +21,13 @@ from repro.errors import SimulationError
 from repro.model.task import SubtaskId
 from repro.sim.tracing import Trace
 
-__all__ = ["TaskMetrics", "TraceMetrics", "compute_metrics", "output_jitter"]
+__all__ = [
+    "FaultSummary",
+    "TaskMetrics",
+    "TraceMetrics",
+    "compute_metrics",
+    "output_jitter",
+]
 
 
 @dataclass(frozen=True)
@@ -38,14 +51,62 @@ class TaskMetrics:
 
 
 @dataclass(frozen=True)
+class FaultSummary:
+    """Aggregated view of one run's fault log.
+
+    ``injected`` holds ``(kind, count)`` pairs in kind order -- a tuple
+    rather than a dict so the summary stays hashable with the rest of
+    the frozen metrics.  Latencies are ``nan`` when nothing recovered.
+    """
+
+    injected: tuple[tuple[str, int], ...]
+    recovered: int
+    unrecovered_violations: int
+    mean_recovery_latency: float
+    max_recovery_latency: float
+
+    @property
+    def total_injected(self) -> int:
+        return sum(count for _kind, count in self.injected)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """The injection counts as a plain dict."""
+        return dict(self.injected)
+
+    @classmethod
+    def from_log(cls, log) -> "FaultSummary":
+        """Summarize a :class:`repro.faults.FaultLog`."""
+        latencies = log.recovery_latencies()
+        return cls(
+            injected=tuple(sorted(log.counts().items())),
+            recovered=log.recovered_count(),
+            unrecovered_violations=log.unrecovered_violations(),
+            mean_recovery_latency=(
+                sum(latencies) / len(latencies) if latencies else float("nan")
+            ),
+            max_recovery_latency=(
+                max(latencies) if latencies else float("nan")
+            ),
+        )
+
+
+@dataclass(frozen=True)
 class TraceMetrics:
     """Whole-run summary: one :class:`TaskMetrics` per task."""
 
     tasks: tuple[TaskMetrics, ...]
     precedence_violations: int
+    #: Fault-log summary when the run had a fault plane, else None.
+    faults: FaultSummary | None = None
 
     def task(self, task_index: int) -> TaskMetrics:
         return self.tasks[task_index]
+
+    @property
+    def unrecovered_violation_count(self) -> int:
+        """Unrecovered fault violations; 0 for fault-free runs."""
+        return self.faults.unrecovered_violations if self.faults else 0
 
     @property
     def total_deadline_misses(self) -> int:
@@ -135,6 +196,11 @@ def compute_metrics(trace: Trace, *, warmup: float = 0.0) -> TraceMetrics:
     return TraceMetrics(
         tasks=tuple(summaries),
         precedence_violations=len(trace.violations),
+        faults=(
+            FaultSummary.from_log(trace.faults)
+            if trace.faults is not None
+            else None
+        ),
     )
 
 

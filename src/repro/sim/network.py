@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import abc
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,11 +22,30 @@ from repro.model.task import ProcessorId
 from repro.timebase import Timebase, TimeValue
 
 __all__ = [
+    "DeliveryPlan",
     "SignalLatencyModel",
     "ZeroLatency",
     "FixedLatency",
     "UniformLatency",
 ]
+
+
+@dataclass(frozen=True)
+class DeliveryPlan:
+    """How one synchronization signal traverses the channel.
+
+    A fault-free channel delivers exactly one copy after its model's
+    delay.  A faulty channel (:class:`repro.faults.FaultyChannel`) may
+    deliver zero copies (``dropped``), two (``duplicated``), or one
+    late copy overtaken by later traffic (``reordered``).  ``delays``
+    are already in the kernel's timebase, one entry per copy, in
+    delivery order.
+    """
+
+    delays: tuple[TimeValue, ...]
+    dropped: bool = False
+    duplicated: bool = False
+    reordered: bool = False
 
 
 class SignalLatencyModel(abc.ABC):
@@ -51,6 +71,22 @@ class SignalLatencyModel(abc.ABC):
         once override it.
         """
         return timebase.convert(self.delay(source, destination))
+
+    def plan_in(
+        self,
+        source: ProcessorId,
+        destination: ProcessorId,
+        timebase: Timebase,
+    ) -> DeliveryPlan:
+        """The full delivery plan of one signal.
+
+        Fault-free models deliver exactly one copy after
+        :meth:`delay_in`; the faulty channel wrapper overrides this with
+        drop/duplicate/reorder decisions.  The kernel always sends
+        through the plan, so wrapping a model never changes the
+        fault-free code path's behaviour.
+        """
+        return DeliveryPlan((self.delay_in(source, destination, timebase),))
 
 
 class ZeroLatency(SignalLatencyModel):

@@ -163,6 +163,40 @@ class ProcessorScheduler:
         self._running = None
         heapq.heappush(self._ready, (entry.sort_key(), entry))
 
+    def crash(self, now: float) -> list[tuple[SubtaskId, int]]:
+        """Wipe this processor's volatile state for a crash window.
+
+        The running instance's elapsed slice is recorded (the work
+        genuinely happened before the crash destroyed it), its pending
+        completion event is cancelled, and every released, uncompleted
+        instance is discarded.  Returns the ``(sid, instance)`` keys of
+        the lost instances so the kernel can document them on the fault
+        log; their releases stay on the trace -- the fault-aware
+        validator excuses the missing completions.
+        """
+        lost: list[tuple[SubtaskId, int]] = []
+        entry = self._running
+        if entry is not None:
+            if self._completion_handle is not None:
+                self.kernel.cancel(self._completion_handle)
+                self._completion_handle = None
+            if now > self._segment_start:
+                self.kernel.trace.note_segment(
+                    Segment(
+                        processor=self.processor,
+                        sid=entry.sid,
+                        instance=entry.instance,
+                        start=self._segment_start,
+                        end=now,
+                    )
+                )
+            self._running = None
+            lost.append((entry.sid, entry.instance))
+        while self._ready:
+            _key, waiting = heapq.heappop(self._ready)
+            lost.append((waiting.sid, waiting.instance))
+        return lost
+
     def _on_completion_event(self, now: float) -> None:
         """The running instance's remaining demand reached zero."""
         entry = self._running

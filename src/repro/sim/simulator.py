@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro.clocks.models import ClockMap
 from repro.errors import ConfigurationError
+from repro.faults.config import FaultConfig
 from repro.model.system import System
 from repro.sim.engine import Kernel
 from repro.sim.interfaces import ReleaseController
@@ -73,6 +74,7 @@ def simulate(
     max_events: int | None = None,
     clocks: ClockMap | None = None,
     timebase: Timebase | str = "float",
+    faults: FaultConfig | None = None,
 ) -> SimulationResult:
     """Simulate ``system`` under ``controller`` and summarize the run.
 
@@ -100,6 +102,7 @@ def simulate(
         max_events=max_events,
         clocks=clocks,
         timebase=timebase,
+        faults=faults,
     )
     trace = kernel.run()
     metrics = compute_metrics(trace, warmup=warmup)

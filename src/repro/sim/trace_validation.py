@@ -19,17 +19,36 @@ fixed-priority preemptive schedule satisfying the paper's model:
 The validator needs a trace recorded with ``record_segments=True``.  It
 is deliberately independent of the scheduler implementation: it reads
 only the trace, so a bug in the scheduler cannot hide itself.
+
+Fault awareness
+---------------
+Runs under fault injection (:mod:`repro.faults`) legitimately miss
+releases, skip completions, and deliver signals out of order.  The
+validator accepts the run's fault log as an *exclusion list*: each
+anomaly is excused only when a recorded fault event documents exactly
+that instance (a dropped signal addressed to it, a timer whose loss
+kills its release chain, a crash or abort that destroyed it).  Nothing
+is globally relaxed -- an anomaly with no documenting fault event is
+still reported, so the fault plane cannot hide scheduler bugs.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.sim.tracing import Trace
 from repro.timebase import REL_EPS, fmt
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultLog
+
 __all__ = ["validate_trace"]
 
 _TOL = REL_EPS
+
+#: Sentinel: "use the fault log the kernel attached to the trace".
+_TRACE_LOG = object()
 
 
 def validate_trace(
@@ -38,6 +57,7 @@ def validate_trace(
     allow_overruns: bool = False,
     tolerance: float | None = None,
     check_precedence: bool = True,
+    fault_log: "FaultLog | None | object" = _TRACE_LOG,
 ) -> list[str]:
     """Return a list of human-readable invariant violations (empty = ok).
 
@@ -49,6 +69,11 @@ def validate_trace(
     precedence-breaking run (PM or MPM on skewed local clocks, where
     timer releases legitimately outrun predecessors) still get the
     scheduling invariants, which hold under any clock assignment.
+
+    ``fault_log`` defaults to the log the kernel attached to the trace
+    (``trace.faults``); pass ``None`` to validate a faulty run with no
+    exclusions at all.  See *Fault awareness* in the module docstring
+    for the exact exclusion semantics.
     """
     if not trace.record_segments:
         raise SimulationError(
@@ -60,6 +85,65 @@ def validate_trace(
     exact = trace.timebase.exact
     issues: list[str] = []
     system = trace.system
+
+    # ------------------------------------------------------------------
+    # Exclusion sets from the fault log (all empty for fault-free runs).
+    # ------------------------------------------------------------------
+    if fault_log is _TRACE_LOG:
+        fault_log = trace.faults
+    #: Instance -> instant it was destroyed (crash or abort): treated as
+    #: an effective completion for priority compliance, and excuses
+    #: "had not completed by the horizon".
+    lost_times: dict = {}
+    #: Instances whose demand was deliberately inflated (policy "off"):
+    #: excuses the WCET-conservation check for exactly those instances.
+    overrun_excused: set = set()
+    #: Instances whose signal was reordered or recovered late by
+    #: retransmission: excuses release/completion ordering flips.
+    disordered: set = set()
+    #: Instances whose release is documented as lost outright.
+    missing_release_ok: set = set()
+    #: Instances documented as legitimately *late* (crash-deferred) or
+    #: *slow* (injected overrun): a timer-released successor racing
+    #: ahead of them is the documented fault, not a scheduler bug.
+    delayed: set = set()
+    #: Subtask -> first instance from which a lost self-rescheduling
+    #: timer kills every later release (PM chain semantics).
+    chain_lost_from: dict = {}
+    if fault_log is not None:
+        lost_times = fault_log.lost_instance_times()
+        overrun_excused = fault_log.overrun_instances()
+        chain_lost_from = fault_log.lost_release_chains()
+        delayed = set(overrun_excused)
+        for event in fault_log.events:
+            if event.sid is None or event.instance is None:
+                continue
+            key = (event.sid, event.instance)
+            if event.kind == "crash-defer":
+                delayed.add(key)
+            if event.kind == "signal-reorder" or (
+                event.kind == "signal-drop" and event.recovered
+            ):
+                disordered.add(key)
+            elif event.kind in ("signal-drop", "crash-defer") and (
+                not event.recovered
+            ):
+                # Signal never delivered, or deferred past the horizon:
+                # the addressed release never happens.
+                missing_release_ok.add(key)
+            if event.kind in ("timer-loss", "crash-timer-loss"):
+                # An MPM relay timer is tagged with the *releasing*
+                # subtask; its loss silences the successor's release of
+                # that one instance.
+                successor = system.successor_of(event.sid)
+                if successor is not None:
+                    missing_release_ok.add((successor, event.instance))
+
+    def release_documented_lost(sid, m) -> bool:
+        if (sid, m) in missing_release_ok:
+            return True
+        start = chain_lost_from.get(sid)
+        return start is not None and m >= start
 
     # ------------------------------------------------------------------
     # Exclusivity and priority compliance, per processor.
@@ -86,7 +170,11 @@ def validate_trace(
                 if system.subtask(sid).priority >= running_priority:
                     continue  # equal or lower priority may wait
                 release = trace.releases[(sid, m)]
-                completion = trace.completions.get((sid, m), float("inf"))
+                completion = trace.completions.get((sid, m))
+                if completion is None:
+                    # A crashed or aborted instance stops competing for
+                    # the processor the moment it is destroyed.
+                    completion = lost_times.get((sid, m), float("inf"))
                 overlap_start = max(release, segment.start)
                 overlap_end = min(completion, segment.end)
                 if overlap_end - overlap_start > tolerance:
@@ -114,7 +202,11 @@ def validate_trace(
         total = executed.get(key, 0)
         if total <= tolerance:
             issues.append(f"{sid}#{m} completed without executing")
-        elif total > wcet + tolerance and not allow_overruns:
+        elif (
+            total > wcet + tolerance
+            and not allow_overruns
+            and key not in overrun_excused
+        ):
             issues.append(
                 f"{sid}#{m} executed {fmt(total)} > WCET {fmt(wcet)}"
             )
@@ -131,7 +223,9 @@ def validate_trace(
     for sid, entries in by_subtask.items():
         entries.sort()
         for (m0, t0), (m1, t1) in zip(entries, entries[1:]):
-            if t1 < t0 - tolerance:
+            if t1 < t0 - tolerance and not (
+                (sid, m0) in disordered or (sid, m1) in disordered
+            ):
                 issues.append(
                     f"{sid}: instance {m1} released at {fmt(t1)} before "
                     f"instance {m0} at {fmt(t0)}"
@@ -142,7 +236,9 @@ def validate_trace(
             if s == sid
         )
         for (m0, t0), (m1, t1) in zip(completions, completions[1:]):
-            if t1 < t0 - tolerance:
+            if t1 < t0 - tolerance and not (
+                (sid, m0) in disordered or (sid, m1) in disordered
+            ):
                 issues.append(
                     f"{sid}: instance {m1} completed at {fmt(t1)} before "
                     f"instance {m0} at {fmt(t0)}"
@@ -161,13 +257,16 @@ def validate_trace(
         if completion is None:
             if (predecessor, m) in trace.releases:
                 pending = trace.releases[(predecessor, m)]
-                if release > pending - tolerance:
+                if release > pending - tolerance and (
+                    (predecessor, m) not in lost_times
+                    and (predecessor, m) not in delayed
+                ):
                     issues.append(
                         f"{sid}#{m} released at {fmt(release)} while "
                         f"{predecessor}#{m} (released {fmt(pending)}) had not "
                         f"completed by the horizon"
                     )
-            else:
+            elif not release_documented_lost(predecessor, m):
                 issues.append(
                     f"{sid}#{m} released at {fmt(release)} but {predecessor}#{m} "
                     f"was never released"
@@ -176,7 +275,7 @@ def validate_trace(
             tolerance
             if exact
             else max(tolerance, _TOL * max(1.0, abs(completion)))
-        ):
+        ) and (predecessor, m) not in delayed:
             issues.append(
                 f"{sid}#{m} released at {fmt(release)} before {predecessor}#{m} "
                 f"completed at {fmt(completion)}"

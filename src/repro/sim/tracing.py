@@ -86,6 +86,10 @@ class Trace:
     #: silently rewritten timestamp is a debugging dead end, and under
     #: the exact timebase the kernel raises instead of clamping.
     timer_clamps: list[tuple[float, float]] = field(default_factory=list)
+    #: The fault plane's log (:class:`repro.faults.FaultLog`) when the
+    #: run had one, else None.  Set by the kernel at construction; the
+    #: fault-aware validator and the metrics fault summary read it.
+    faults: object | None = None
 
     # ------------------------------------------------------------------
     # Recording (called by the kernel)

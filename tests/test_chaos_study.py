@@ -1,0 +1,84 @@
+"""Tests for the chaos study (protocol survival under injected faults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.chaos_study import (
+    CHAOS_SCENARIOS,
+    STUDY_PROTOCOLS,
+    run_chaos_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    # Small but real: every scenario, both recovery arms, one system.
+    return run_chaos_study(systems=1)
+
+
+class TestStructure:
+    def test_cell_grid_is_complete(self, study):
+        names = [name for name, _faults in CHAOS_SCENARIOS]
+        assert study.scenarios == tuple(names)
+        for protocol in STUDY_PROTOCOLS:
+            for name in names:
+                for recovery in (False, True):
+                    cell = study.cell(protocol, name, recovery=recovery)
+                    assert cell.cases == 1
+        assert study.cases == len(names) * len(STUDY_PROTOCOLS) * 2
+
+    def test_signal_scenarios_exclude_timer_and_crash(self, study):
+        signal = study.signal_scenarios
+        assert "drop-high" in signal and "duplicate" in signal
+        assert "timer-loss" not in signal
+        assert "crash" not in signal
+        assert "overrun" not in signal
+
+    def test_scenario_subset_and_validation(self):
+        subset = run_chaos_study(
+            systems=1, scenarios=("drop-high", "timer-loss")
+        )
+        assert subset.scenarios == ("drop-high", "timer-loss")
+        with pytest.raises(ConfigurationError):
+            run_chaos_study(systems=1, scenarios=("no-such-scenario",))
+        with pytest.raises(ConfigurationError):
+            run_chaos_study(systems=0)
+
+
+class TestFindings:
+    def test_gate_passes_on_the_default_sample(self, study):
+        assert study.fault_free_identity
+        assert study.separation_demonstrated
+        assert study.gate_passed
+
+    def test_pm_is_immune_to_channel_faults(self, study):
+        # PM ships no signals, so channel chaos cannot touch it.
+        for name in study.signal_scenarios:
+            cell = study.cell("PM", name, recovery=False)
+            assert cell.injected_total == 0
+
+    def test_ds_loses_guarantees_without_recovery(self, study):
+        hurt = sum(
+            study.cell("DS", name, recovery=False).unrecovered_violations
+            for name in study.signal_scenarios
+        )
+        assert hurt > 0
+
+    def test_rg_with_recovery_keeps_precedence(self, study):
+        for name in study.signal_scenarios:
+            cell = study.cell("RG", name, recovery=True)
+            assert cell.unrecovered_precedence == 0
+
+    def test_timer_loss_hurts_pm_and_mpm(self, study):
+        for protocol in ("PM", "MPM"):
+            cell = study.cell(protocol, "timer-loss", recovery=False)
+            assert cell.unrecovered_violations > 0
+
+    def test_render_reads_like_a_report(self, study):
+        text = study.render()
+        assert "separation demonstrated: yes" in text
+        assert "fault-free identity (both timebases): ok" in text
+        for name in study.scenarios:
+            assert name in text

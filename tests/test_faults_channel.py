@@ -1,0 +1,122 @@
+"""Unit tests for the faulty channel and its timebase discipline."""
+
+from __future__ import annotations
+
+from repro.faults import FaultConfig, FaultPlane, FaultyChannel
+from repro.sim.network import FixedLatency, UniformLatency, ZeroLatency
+from repro.timebase import get_timebase
+
+FLOAT = get_timebase("float")
+EXACT = get_timebase("exact")
+
+
+def _channel(timebase=FLOAT, **config) -> FaultyChannel:
+    plane = FaultPlane(FaultConfig(**config), timebase=timebase)
+    return FaultyChannel(FixedLatency(0.5), plane)
+
+
+class TestPlanSemantics:
+    def test_local_delivery_never_faulted(self):
+        channel = _channel(drop_rate=1.0)
+        plan = channel.plan_in("P1", "P1", FLOAT)
+        assert plan.delays == (0.0,)
+        assert not plan.dropped
+
+    def test_drop_yields_no_copies(self):
+        plan = _channel(drop_rate=1.0).plan_in("P1", "P2", FLOAT)
+        assert plan.delays == ()
+        assert plan.dropped and not plan.duplicated
+
+    def test_duplicate_yields_two_copies_same_delay(self):
+        plan = _channel(duplicate_rate=1.0).plan_in("P1", "P2", FLOAT)
+        assert plan.delays == (0.5, 0.5)
+        assert plan.duplicated and not plan.dropped
+
+    def test_reorder_adds_the_configured_delay(self):
+        plan = _channel(
+            reorder_rate=1.0, reorder_delay=3.0
+        ).plan_in("P1", "P2", FLOAT)
+        assert plan.delays == (3.5,)
+        assert plan.reordered
+
+    def test_clean_channel_is_transparent(self):
+        channel = _channel()
+        plan = channel.plan_in("P1", "P2", FLOAT)
+        assert plan.delays == (0.5,)
+        assert not (plan.dropped or plan.duplicated or plan.reordered)
+        # delay/delay_in pass straight through to the inner model.
+        assert channel.delay("P1", "P2") == 0.5
+        assert channel.delay_in("P1", "P2", FLOAT) == 0.5
+
+    def test_zero_rates_draw_nothing(self):
+        # A rate-0 category must never consume randomness: the plane
+        # holds no stream for it at all, so arming a null config cannot
+        # perturb any other category's decisions.
+        plane = FaultPlane(FaultConfig(), timebase=FLOAT)
+        assert plane._drop_rng is None
+        assert plane._duplicate_rng is None
+        assert plane._reorder_rng is None
+
+
+class TestExactTimebase:
+    """Faulty deliveries must not leak raw floats into exact runs.
+
+    Mirrors the ``FixedLatency.delay_in`` exactness tests: every delay a
+    channel hands the kernel must already be a timebase value.
+    """
+
+    def test_uniform_latency_delay_in_converts(self):
+        model = UniformLatency(0.1, 0.4, seed=2)
+        converted = model.delay_in("P1", "P2", EXACT)
+        assert not isinstance(converted, float)
+        assert model.delay_in("P1", "P1", EXACT) == EXACT.zero
+
+    def test_faulty_channel_reorder_stays_exact(self):
+        plane = FaultPlane(
+            FaultConfig(reorder_rate=1.0, reorder_delay=3.0),
+            timebase=EXACT,
+        )
+        channel = FaultyChannel(FixedLatency(0.5), plane)
+        plan = channel.plan_in("P1", "P2", EXACT)
+        assert len(plan.delays) == 1
+        assert not isinstance(plan.delays[0], float)
+        assert plan.delays[0] == EXACT.convert(3.5)
+
+    def test_faulty_channel_over_uniform_latency_stays_exact(self):
+        plane = FaultPlane(
+            FaultConfig(duplicate_rate=1.0), timebase=EXACT
+        )
+        channel = FaultyChannel(UniformLatency(0.1, 0.4, seed=2), plane)
+        plan = channel.plan_in("P1", "P2", EXACT)
+        assert plan.duplicated
+        for delay in plan.delays:
+            assert not isinstance(delay, float)
+
+    def test_ack_timeout_converted_once(self):
+        plane = FaultPlane(
+            FaultConfig(watchdog=True, ack_timeout=0.25), timebase=EXACT
+        )
+        assert not isinstance(plane.ack_timeout, float)
+        assert plane.ack_timeout == EXACT.convert(0.25)
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        def decisions(seed):
+            channel = _channel(
+                drop_rate=0.3, duplicate_rate=0.2, seed=seed
+            )
+            return [
+                (plan.dropped, plan.duplicated)
+                for plan in (
+                    channel.plan_in("P1", "P2", FLOAT) for _ in range(50)
+                )
+            ]
+
+        assert decisions(5) == decisions(5)
+        assert decisions(5) != decisions(6)
+
+    def test_channel_faults_ride_any_inner_model(self):
+        plane = FaultPlane(FaultConfig(drop_rate=1.0), timebase=FLOAT)
+        channel = FaultyChannel(ZeroLatency(), plane)
+        assert channel.plan_in("P1", "P2", FLOAT).dropped

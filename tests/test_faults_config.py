@@ -1,0 +1,134 @@
+"""Unit tests for fault-environment configurations and their codecs."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FAULT_KINDS,
+    OVERRUN_POLICIES,
+    FaultConfig,
+    fault_config_from_dict,
+    fault_config_to_dict,
+)
+
+
+class TestValidation:
+    def test_defaults_are_null(self):
+        config = FaultConfig()
+        assert config.is_null
+        assert not config.crashes
+        assert not config.signal_faults_only
+
+    @pytest.mark.parametrize(
+        "field", ["drop_rate", "duplicate_rate", "reorder_rate",
+                  "timer_loss_rate", "overrun_rate"]
+    )
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(**{field: 1.5})
+        with pytest.raises(ConfigurationError):
+            FaultConfig(**{field: -0.1})
+        with pytest.raises(ConfigurationError):
+            FaultConfig(**{field: float("nan")})
+
+    def test_reorder_delay_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(reorder_delay=0.0)
+
+    def test_ack_timeout_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(ack_timeout=-1.0)
+
+    def test_crash_needs_duration(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(crash_start=10.0, crash_duration=0.0)
+
+    def test_crash_period_must_exceed_duration(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(crash_start=10.0, crash_duration=5.0,
+                        crash_every=5.0)
+
+    def test_overrun_factor_must_overrun(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(overrun_factor=1.0)
+
+    def test_unknown_overrun_policy(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(overrun_policy="panic")
+
+    def test_negative_max_retransmits(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(max_retransmits=-1)
+
+    def test_catalog_constants(self):
+        assert "drop" in FAULT_KINDS
+        assert OVERRUN_POLICIES == ("off", "throttle", "abort")
+
+
+class TestClassification:
+    def test_recovery_knobs_do_not_affect_nullness(self):
+        config = FaultConfig(watchdog=True, suppress_duplicates=True,
+                             overrun_policy="throttle")
+        assert config.is_null
+
+    def test_idle_loss_is_a_fault(self):
+        assert not FaultConfig(lose_idle_points=True).is_null
+
+    def test_signal_faults_only(self):
+        assert FaultConfig(drop_rate=0.2, duplicate_rate=0.1).signal_faults_only
+        assert not FaultConfig(drop_rate=0.2,
+                               timer_loss_rate=0.1).signal_faults_only
+        assert not FaultConfig().signal_faults_only
+
+    def test_full_signal_recovery(self):
+        assert not FaultConfig(watchdog=True).full_signal_recovery
+        assert FaultConfig(
+            watchdog=True, suppress_duplicates=True
+        ).full_signal_recovery
+
+    def test_with_recovery_toggles_everything(self):
+        base = FaultConfig(drop_rate=0.2, overrun_rate=0.1)
+        armed = base.with_recovery(True)
+        assert armed.watchdog and armed.suppress_duplicates
+        assert armed.overrun_policy == "throttle"
+        disarmed = armed.with_recovery(False)
+        assert not disarmed.watchdog and not disarmed.suppress_duplicates
+        assert disarmed.overrun_policy == "off"
+        # Injection knobs are untouched by the toggle.
+        assert disarmed.drop_rate == base.drop_rate
+
+    def test_label_names_active_faults_and_recovery(self):
+        label = FaultConfig(
+            drop_rate=0.2, watchdog=True, suppress_duplicates=True
+        ).label
+        assert "drop(0.2)" in label
+        assert "wd" in label and "dedup" in label
+        assert FaultConfig().label == "faults=null"
+
+
+class TestCodecs:
+    def test_round_trip(self):
+        config = FaultConfig(
+            drop_rate=0.25,
+            reorder_rate=0.1,
+            reorder_delay=5.0,
+            crash_start=100.0,
+            crash_duration=20.0,
+            crash_every=400.0,
+            watchdog=True,
+            overrun_policy="abort",
+            seed=7,
+        )
+        assert fault_config_from_dict(fault_config_to_dict(config)) == config
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fault_config_from_dict({"format": "something-else"})
+
+    def test_picklable_for_pool_workers(self):
+        config = FaultConfig(drop_rate=0.3, watchdog=True)
+        assert pickle.loads(pickle.dumps(config)) == config

@@ -1,0 +1,308 @@
+"""Kernel-level fault injection and recovery, protocol by protocol.
+
+Every scenario uses rate-1.0 (or otherwise pinned) fault streams on the
+two-stage pipeline fixture, so the expected behaviour is deterministic
+and readable: stage 1 runs on P1, stage 2 on P2, and every stage-2
+release rides one cross-processor synchronization signal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_protocol
+from repro.faults import FaultConfig
+from repro.model.task import SubtaskId
+from repro.sim.trace_validation import validate_trace
+
+STAGE1 = SubtaskId(0, 0)
+STAGE2 = SubtaskId(0, 1)
+PERIODS = 10.0
+
+
+def _run(system, protocol, faults, **kwargs):
+    kwargs.setdefault("horizon_periods", PERIODS)
+    kwargs.setdefault("record_segments", True)
+    return run_protocol(system, protocol, faults=faults, **kwargs)
+
+
+def _released(trace, sid):
+    return sorted(m for (s, m) in trace.releases if s == sid)
+
+
+class TestSignalFaults:
+    def test_drop_starves_ds_successor(self, two_stage_pipeline):
+        result = _run(
+            two_stage_pipeline, "DS", FaultConfig(drop_rate=1.0)
+        )
+        assert _released(result.trace, STAGE2) == []
+        log = result.trace.faults
+        assert log.counts()["signal-drop"] == 10
+        assert log.recovered_count() == 0
+        assert log.unrecovered_violations() == 10
+        assert result.metrics.unrecovered_violation_count == 10
+
+    def test_watchdog_recovers_dropped_signals(self, two_stage_pipeline):
+        result = _run(
+            two_stage_pipeline,
+            "DS",
+            FaultConfig(
+                drop_rate=0.4,
+                watchdog=True,
+                ack_timeout=0.5,
+                max_retransmits=10,
+                seed=3,
+            ),
+        )
+        log = result.trace.faults
+        drops = log.events_of("signal-drop")
+        assert drops, "seed must actually drop something"
+        assert all(event.recovered for event in drops)
+        assert _released(result.trace, STAGE2) == list(range(10))
+        assert log.unrecovered_violations() == 0
+        # Recovery is not free: each recovered drop waited at least one
+        # ack timeout.
+        assert all(lat >= 0.5 for lat in log.recovery_latencies())
+
+    def test_duplicate_release_stands_without_suppression(
+        self, two_stage_pipeline
+    ):
+        result = _run(
+            two_stage_pipeline, "DS", FaultConfig(duplicate_rate=1.0)
+        )
+        doubles = result.trace.faults.events_of("duplicate-release")
+        assert len(doubles) == 10
+        assert not any(event.recovered for event in doubles)
+
+    def test_suppression_absorbs_duplicates(self, two_stage_pipeline):
+        result = _run(
+            two_stage_pipeline,
+            "DS",
+            FaultConfig(duplicate_rate=1.0, suppress_duplicates=True),
+        )
+        doubles = result.trace.faults.events_of("duplicate-release")
+        assert len(doubles) == 10
+        assert all(event.recovered for event in doubles)
+        assert result.trace.faults.unrecovered_violations() == 0
+        assert _released(result.trace, STAGE2) == list(range(10))
+
+    def test_rg_guard_makes_reordered_delivery_safe(
+        self, two_stage_pipeline
+    ):
+        result = _run(
+            two_stage_pipeline,
+            "RG",
+            FaultConfig(reorder_rate=1.0, reorder_delay=2.0),
+        )
+        assert _released(result.trace, STAGE2) == list(range(10))
+        assert not result.trace.violations
+
+
+class TestTimerFaults:
+    def test_timer_loss_kills_the_pm_release_chain(
+        self, two_stage_pipeline
+    ):
+        result = _run(
+            two_stage_pipeline, "PM", FaultConfig(timer_loss_rate=1.0)
+        )
+        assert _released(result.trace, STAGE2) == []
+        chains = result.trace.faults.lost_release_chains()
+        assert chains.get(STAGE2) == 0
+
+    def test_timer_loss_kills_mpm_relays_per_instance(
+        self, two_stage_pipeline
+    ):
+        result = _run(
+            two_stage_pipeline, "MPM", FaultConfig(timer_loss_rate=1.0)
+        )
+        assert _released(result.trace, STAGE2) == []
+        losses = result.trace.faults.events_of("timer-loss")
+        # One relay per released stage-1 instance (a final one may be
+        # armed for the instance straddling the horizon).
+        assert len(losses) >= 10
+        assert {event.sid for event in losses} == {STAGE1}
+
+    def test_rg_self_heals_lost_guard_timers(self, two_stage_pipeline):
+        result = _run(
+            two_stage_pipeline, "RG", FaultConfig(timer_loss_rate=1.0)
+        )
+        # Signals arriving at the idle successor processor release
+        # directly (rule 2), so RG never needed the lost wake-ups here.
+        assert _released(result.trace, STAGE2) == list(range(10))
+
+    def test_rg_survives_idle_point_loss(self, two_stage_pipeline):
+        result = _run(
+            two_stage_pipeline,
+            "RG",
+            FaultConfig(lose_idle_points=True),
+        )
+        # Rule-1-only degradation: releases ride guard timers instead of
+        # idle points, but nothing is lost.
+        assert _released(result.trace, STAGE2) == list(range(10))
+        assert not result.trace.violations
+
+
+class TestCrashRestart:
+    CONFIG = FaultConfig(
+        crash_start=13.0, crash_duration=8.0, crash_processor=1
+    )
+
+    @staticmethod
+    def _system():
+        # The pipeline plus a lower-priority competitor on P2: the
+        # crash destroys an in-flight stage-2 instance, after which the
+        # competitor runs while the corpse still looks "ready" -- the
+        # exact anomaly only the fault log can explain.
+        from repro.model.system import System
+        from repro.model.task import Subtask, Task
+
+        return System(
+            tasks=(
+                Task(
+                    period=10.0,
+                    subtasks=(
+                        Subtask(2.0, "P1", 0),
+                        Subtask(3.0, "P2", 0),
+                    ),
+                    name="pipe",
+                ),
+                Task(
+                    period=10.0,
+                    subtasks=(Subtask(2.0, "P2", 1),),
+                    name="background",
+                ),
+            ),
+            name="crashy",
+        )
+
+    def test_crash_window_loses_and_defers(self):
+        result = _run(self._system(), "DS", self.CONFIG)
+        log = result.trace.faults
+        assert log.counts()["crash"] == 1
+        assert log.counts().get("restart", 0) == 1
+        # The stage-2 instance in flight at 13.0 is destroyed; the
+        # signal arriving during the dark window is replayed at 21.0.
+        assert log.counts()["crash-loss"] == 1
+        assert log.counts()["crash-defer"] == 1
+
+    def test_validator_accepts_the_crash_with_its_log(self):
+        result = _run(self._system(), "DS", self.CONFIG)
+        assert validate_trace(result.trace) == []
+
+    def test_validator_rejects_the_crash_without_its_log(self):
+        # Without the log, the destroyed instance looks like a ready
+        # higher-priority job being starved by the competitor.
+        result = _run(self._system(), "DS", self.CONFIG)
+        bare = validate_trace(result.trace, fault_log=None)
+        assert bare
+        assert all("higher-priority" in issue for issue in bare)
+
+
+class TestOverrunPolicing:
+    FAULTS = dict(overrun_rate=1.0, overrun_factor=1.5)
+
+    def test_policy_off_records_unrecovered_overruns(
+        self, two_stage_pipeline
+    ):
+        result = _run(
+            two_stage_pipeline,
+            "DS",
+            FaultConfig(**self.FAULTS, overrun_policy="off"),
+        )
+        log = result.trace.faults
+        assert log.counts()["overrun"] > 0
+        assert log.unrecovered_violations() > 0
+        # Fault-aware validation excuses exactly the documented
+        # overruns; with no log the WCET-conservation check fires.
+        assert validate_trace(result.trace) == []
+        bare = validate_trace(result.trace, fault_log=None)
+        assert any("WCET" in issue for issue in bare)
+
+    def test_policy_throttle_caps_demand(self, two_stage_pipeline):
+        result = _run(
+            two_stage_pipeline,
+            "DS",
+            FaultConfig(**self.FAULTS, overrun_policy="throttle"),
+        )
+        log = result.trace.faults
+        assert log.events_of("overrun")
+        assert all(e.recovered for e in log.events_of("overrun"))
+        assert log.unrecovered_violations() == 0
+        # Throttled demand fits the budget: the plain validator (no
+        # exclusions) is already satisfied.
+        assert validate_trace(result.trace, fault_log=None) == []
+
+    def test_policy_abort_kills_the_instance(self, two_stage_pipeline):
+        result = _run(
+            two_stage_pipeline,
+            "DS",
+            FaultConfig(**self.FAULTS, overrun_policy="abort"),
+        )
+        # Every stage-1 instance overruns and is destroyed at its
+        # budget, so nothing ever completes or signals downstream.
+        assert result.trace.completions == {}
+        assert _released(result.trace, STAGE2) == []
+        assert result.trace.faults.events_of("overrun-abort")
+        assert validate_trace(result.trace) == []
+
+
+class TestDeterminismAndIdentity:
+    CHAOS = FaultConfig(
+        drop_rate=0.2,
+        duplicate_rate=0.2,
+        reorder_rate=0.1,
+        timer_loss_rate=0.1,
+        watchdog=True,
+        suppress_duplicates=True,
+        seed=11,
+    )
+
+    @pytest.mark.parametrize("timebase", ["float", "exact"])
+    def test_same_seed_same_trace(self, two_stage_pipeline, timebase):
+        first = _run(
+            two_stage_pipeline, "RG", self.CHAOS, timebase=timebase
+        )
+        second = _run(
+            two_stage_pipeline, "RG", self.CHAOS, timebase=timebase
+        )
+        assert first.trace.releases == second.trace.releases
+        assert first.trace.completions == second.trace.completions
+        assert first.trace.faults.counts() == second.trace.faults.counts()
+
+    def test_different_seed_different_decisions(self, two_stage_pipeline):
+        from dataclasses import replace
+
+        first = _run(two_stage_pipeline, "RG", self.CHAOS)
+        second = _run(
+            two_stage_pipeline, "RG", replace(self.CHAOS, seed=12)
+        )
+        assert (
+            first.trace.faults.counts() != second.trace.faults.counts()
+            or first.trace.releases != second.trace.releases
+        )
+
+    @pytest.mark.parametrize("timebase", ["float", "exact"])
+    def test_null_plane_is_byte_identical(
+        self, two_stage_pipeline, timebase
+    ):
+        armed = _run(
+            two_stage_pipeline, "DS", FaultConfig(), timebase=timebase
+        )
+        bare = _run(two_stage_pipeline, "DS", None, timebase=timebase)
+        assert armed.trace.releases == bare.trace.releases
+        assert armed.trace.completions == bare.trace.completions
+        assert armed.trace.faults is not None
+        assert armed.trace.faults.counts() == {}
+
+    def test_metrics_carry_the_fault_summary(self, two_stage_pipeline):
+        result = _run(
+            two_stage_pipeline, "DS", FaultConfig(drop_rate=1.0)
+        )
+        summary = result.metrics.faults
+        assert summary is not None
+        assert summary.total_injected == 10
+        assert summary.counts == {"signal-drop": 10}
+        assert summary.unrecovered_violations == 10
+        bare = _run(two_stage_pipeline, "DS", None)
+        assert bare.metrics.faults is None
+        assert bare.metrics.unrecovered_violation_count == 0

@@ -1,0 +1,114 @@
+"""Tests for the fuzzer's fault environment dimension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultConfig
+from repro.fuzz.campaign import FAULT_ROTATIONS, fuzz_one, run_campaign
+from repro.fuzz.oracles import check_case
+from repro.fuzz.runner import build_case
+from repro.fuzz.skew import DEFAULT_SKEW_CONFIG
+from repro.workload.generator import generate_system
+
+RECOVERED_SIGNALS = FaultConfig(
+    drop_rate=0.15,
+    duplicate_rate=0.1,
+    watchdog=True,
+    suppress_duplicates=True,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return generate_system(DEFAULT_SKEW_CONFIG, seed=1)
+
+
+class TestBuildCaseEnvironment:
+    def test_null_fault_config_case(self, system):
+        case = build_case(system, faults=FaultConfig())
+        assert case.faults_null
+        assert case.ideal  # recovery knobs alone leave the case ideal
+        failures, checked = check_case(case)
+        assert not failures
+        assert "fault-free-identity" in checked
+
+    def test_recovered_signal_faults_keep_precedence_checkable(
+        self, system
+    ):
+        case = build_case(system, faults=RECOVERED_SIGNALS)
+        assert not case.faults_null
+        assert not case.ideal
+        failures, checked = check_case(case)
+        assert not failures
+        assert "rg-recovery-soundness" in checked
+        assert "precedence" in checked
+        # Ideal-conditions analyses say nothing about a faulty run.
+        assert "sa-ds-soundness" not in checked
+        assert "pm-mpm-identity" not in checked
+        assert "fault-free-identity" not in checked
+
+    def test_unrecovered_faults_gate_precedence_out(self, system):
+        case = build_case(
+            system, faults=FaultConfig(drop_rate=0.3, seed=4)
+        )
+        failures, checked = check_case(case)
+        assert "precedence" not in checked
+        # Structural invariants still apply no matter the chaos.
+        assert "trace-invariants" in checked
+        assert not failures
+
+    def test_label_carries_the_fault_config(self, system):
+        case = build_case(system, faults=RECOVERED_SIGNALS)
+        assert "drop(0.15)" in case.label
+        assert "wd" in case.label
+
+
+class TestCampaignRotation:
+    def test_chaos_rotation_runs_clean(self):
+        report = run_campaign(
+            runs=5,
+            base_seed=0,
+            workers=1,
+            faults="chaos",
+            shrink=False,
+        )
+        assert report.ok
+        assert report.runs == 5
+
+    def test_unknown_rotation_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(runs=1, workers=1, faults="no-such-rotation")
+
+    def test_empty_rotation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(runs=1, workers=1, faults=())
+
+    def test_chaos_rotation_contents(self):
+        rotation = FAULT_ROTATIONS["chaos"]
+        # The rotation must include a no-plumbing case, an explicitly
+        # null config (the identity oracle's food), a signal-fault
+        # config with full recovery (the recovery oracle's food) and at
+        # least one timer fault.
+        assert None in rotation
+        assert any(f is not None and f.is_null for f in rotation)
+        assert any(
+            f is not None
+            and f.signal_faults_only
+            and f.full_signal_recovery
+            for f in rotation
+        )
+        assert any(
+            f is not None and f.timer_loss_rate > 0 for f in rotation
+        )
+
+    def test_fuzz_one_substitutes_the_case_seed(self):
+        outcome = fuzz_one(
+            DEFAULT_SKEW_CONFIG,
+            9,
+            faults=FaultConfig(drop_rate=0.2, seed=0),
+        )
+        assert outcome.faults is not None
+        assert outcome.faults.seed == 9
+        assert "drop(0.2)" in outcome.environment_label

@@ -1,0 +1,242 @@
+"""Batch admission under misbehaving workers: timeouts, retries, degrade.
+
+The worker body (``repro.service.batch._compute_job``) is monkeypatched
+in the parent process; with the fork start method the pool's children
+inherit the patched module, so hangs and crashes can be staged
+deterministically without real workload pathology.
+"""
+
+from __future__ import annotations
+
+import functools
+import multiprocessing
+import time
+
+import pytest
+
+import repro.service.batch as batch_module
+from repro.errors import ConfigurationError
+from repro.service.batch import admit_batch
+from repro.service.cache import DecisionCache
+from repro.service.engine import AdmissionController
+from repro.service.metrics import ServiceMetrics
+from repro.service.requests import AdmissionRequest
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+pytestmark = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="staged worker faults rely on fork inheriting the patch",
+)
+
+LIGHT = WorkloadConfig(
+    subtasks_per_task=2, utilization=0.5, tasks=3, processors=2
+)
+
+_real_compute_job = batch_module._compute_job
+
+
+def _requests(count: int) -> list[AdmissionRequest]:
+    return [
+        AdmissionRequest(
+            system=generate_system(LIGHT, seed), request_id=f"r{seed}"
+        )
+        for seed in range(count)
+    ]
+
+
+# Staged worker bodies must be module-level: the pool pickles the
+# callable by qualified name, so closures cannot cross into workers.
+def _hang_job(request_id, seconds, payload):
+    key, request = payload
+    if request.request_id == request_id:
+        time.sleep(seconds)
+    return _real_compute_job(payload)
+
+
+def _raise_job(request_id, payload):
+    key, request = payload
+    if request.request_id == request_id:
+        raise RuntimeError("staged pool crash")
+    return _real_compute_job(payload)
+
+
+def _hang_on(request_id: str, seconds: float = 5.0):
+    return functools.partial(_hang_job, request_id, seconds)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {"job_timeout": 0.0},
+            {"job_timeout": -1.0},
+            {"job_timeout": float("inf")},
+            {"max_retries": -1},
+            {"retry_backoff": -0.1},
+            {"retry_backoff": float("nan")},
+        ],
+    )
+    def test_bad_knobs_rejected(self, options):
+        with pytest.raises(ConfigurationError):
+            admit_batch(_requests(1), workers=2, **options)
+
+
+class TestTimeouts:
+    def test_hung_worker_degrades_only_its_decision(self, monkeypatch):
+        monkeypatch.setattr(
+            batch_module, "_compute_job", _hang_on("r1")
+        )
+        metrics = ServiceMetrics()
+        started = time.monotonic()
+        decisions = admit_batch(
+            _requests(4),
+            workers=2,
+            metrics=metrics,
+            job_timeout=0.4,
+            max_retries=1,
+            retry_backoff=0.0,
+        )
+        elapsed = time.monotonic() - started
+        assert elapsed < 4.0  # nobody waited for the 5 s sleeper
+        by_id = {d.request_id: d for d in decisions}
+        degraded = by_id["r1"]
+        assert not degraded.admitted
+        assert degraded.rationale.startswith("service degraded:")
+        assert "timed out" in degraded.rationale
+        assert degraded.worst_bound_ratio == float("inf")
+        # The other three requests got real verdicts.
+        for rid in ("r0", "r2", "r3"):
+            assert not by_id[rid].rationale.startswith(
+                "service degraded:"
+            )
+        snapshot = metrics.snapshot()
+        assert snapshot["timeouts"] == 2  # initial attempt + one retry
+        assert snapshot["retries"] == 1
+        assert snapshot["degraded"] == 1
+        assert "robustness:" in metrics.describe()
+
+    def test_degraded_decisions_are_not_cached(self, monkeypatch):
+        monkeypatch.setattr(
+            batch_module, "_compute_job", _hang_on("r0")
+        )
+        cache = DecisionCache()
+        requests = _requests(2)
+        decisions = admit_batch(
+            requests,
+            workers=2,
+            cache=cache,
+            job_timeout=0.3,
+            max_retries=0,
+        )
+        assert decisions[0].rationale.startswith("service degraded:")
+        assert cache.get(decisions[0].key) is None
+        # The healthy decision was cached as usual.
+        assert cache.get(decisions[1].key) is not None
+
+    def test_timeout_applies_per_job_not_per_batch(self, monkeypatch):
+        # Four healthy jobs, generous timeout: nothing degrades even
+        # though total batch time may exceed one job's budget.
+        metrics = ServiceMetrics()
+        decisions = admit_batch(
+            _requests(4), workers=2, metrics=metrics, job_timeout=30.0
+        )
+        assert all(
+            not d.rationale.startswith("service degraded:")
+            for d in decisions
+        )
+        assert metrics.snapshot()["timeouts"] == 0
+        assert metrics.snapshot()["degraded"] == 0
+
+
+class TestRetries:
+    def test_serial_flaky_job_degrades_after_the_ladder(
+        self, monkeypatch
+    ):
+        calls = []
+
+        def always_raises(payload):
+            calls.append(payload[0])
+            raise RuntimeError("staged analysis crash")
+
+        monkeypatch.setattr(batch_module, "_compute_job", always_raises)
+        metrics = ServiceMetrics()
+        cache = DecisionCache()
+        decisions = admit_batch(
+            _requests(1),
+            workers=1,
+            cache=cache,
+            metrics=metrics,
+            max_retries=2,
+            retry_backoff=0.0,
+        )
+        assert len(calls) == 3  # initial attempt + 2 retries
+        assert decisions[0].rationale.startswith("service degraded:")
+        assert "staged analysis crash" in decisions[0].rationale
+        assert metrics.snapshot()["retries"] == 2
+        assert metrics.snapshot()["degraded"] == 1
+        assert cache.get(decisions[0].key) is None
+
+    def test_serial_retry_then_success(self, monkeypatch):
+        attempts = []
+
+        def flaky(payload):
+            attempts.append(payload[0])
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            return _real_compute_job(payload)
+
+        monkeypatch.setattr(batch_module, "_compute_job", flaky)
+        metrics = ServiceMetrics()
+        decisions = admit_batch(
+            _requests(1),
+            workers=1,
+            metrics=metrics,
+            max_retries=2,
+            retry_backoff=0.0,
+        )
+        assert len(attempts) == 2
+        assert not decisions[0].rationale.startswith("service degraded:")
+        assert metrics.snapshot()["retries"] == 1
+        assert metrics.snapshot()["degraded"] == 0
+
+    def test_pooled_flaky_job_retries_across_the_pool(self, monkeypatch):
+        monkeypatch.setattr(
+            batch_module,
+            "_compute_job",
+            functools.partial(_raise_job, "r0"),
+        )
+        metrics = ServiceMetrics()
+        decisions = admit_batch(
+            _requests(3),
+            workers=2,
+            metrics=metrics,
+            job_timeout=30.0,
+            max_retries=1,
+            retry_backoff=0.0,
+        )
+        by_id = {d.request_id: d for d in decisions}
+        assert by_id["r0"].rationale.startswith("service degraded:")
+        assert "staged pool crash" in by_id["r0"].rationale
+        assert not by_id["r1"].rationale.startswith("service degraded:")
+        assert metrics.snapshot()["retries"] == 1
+        assert metrics.snapshot()["degraded"] == 1
+
+
+class TestControllerPassthrough:
+    def test_controller_batch_carries_the_knobs(self, monkeypatch):
+        monkeypatch.setattr(
+            batch_module, "_compute_job", _hang_on("r0")
+        )
+        controller = AdmissionController(enable_cache=False)
+        decisions = controller.admit_batch(
+            _requests(2),
+            workers=2,
+            job_timeout=0.3,
+            max_retries=0,
+        )
+        assert decisions[0].rationale.startswith("service degraded:")
+        snapshot = controller.metrics.snapshot()
+        assert snapshot["timeouts"] == 1
+        assert snapshot["degraded"] == 1
+        assert "robustness:" in controller.describe()
