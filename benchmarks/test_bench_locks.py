@@ -1,0 +1,90 @@
+"""Lock-subsystem overhead benchmarks.
+
+The subsystem's contract is "pay only for what you declare": a lock
+manager configured onto a system without critical sections installs no
+per-event hooks and must reproduce the bare trace byte-for-byte (the
+``lock-free-identity`` oracle).  These benchmarks pin the price of that
+configured-but-idle plumbing on the simulator hot path, plus the
+throughput of a genuinely resourceful run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.protocols.factory import make_controller
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.locks import (
+    LockingConfig,
+    analyze_sa_pm_blocking,
+    inject_critical_sections,
+)
+from repro.sim.simulator import simulate
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+from conftest import save_and_print
+
+_CONFIG = WorkloadConfig(
+    subtasks_per_task=4, utilization=0.6, tasks=4, processors=3
+)
+_HORIZON = 20.0
+
+
+def _build():
+    system = generate_system(_CONFIG, seed=0)
+    bounds = analyze_sa_pm(system).subtask_bounds
+    return system, bounds
+
+
+def _run(system, bounds, locking):
+    return simulate(
+        system,
+        make_controller("RG", system, bounds=bounds),
+        horizon_periods=_HORIZON,
+        locking=locking,
+    )
+
+
+def _best_of(repetitions, thunk):
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_simulate_with_sections_throughput(benchmark):
+    """RG simulation of a genuinely resourceful system under DPCP."""
+    system, _bounds = _build()
+    locked = inject_critical_sections(
+        system, ratio=0.15, resources=2, participation=0.5, seed=0
+    )
+    assert locked.has_critical_sections
+    bounds = analyze_sa_pm_blocking(
+        locked, locking=LockingConfig("DPCP")
+    ).subtask_bounds
+    result = benchmark(
+        lambda: _run(locked, bounds, LockingConfig("DPCP"))
+    )
+    assert result.trace.locks is not None
+
+
+def test_lock_free_manager_overhead_under_10_percent():
+    """The acceptance bound: an idle lock manager costs < 10%, best-of-7."""
+    system, bounds = _build()
+    bare_best = _best_of(7, lambda: _run(system, bounds, None))
+    idle_best = _best_of(
+        7, lambda: _run(system, bounds, LockingConfig("DPCP"))
+    )
+    ratio = idle_best / bare_best
+    save_and_print(
+        "lock_manager_overhead",
+        f"bare {bare_best * 1e3:.2f}ms  idle-manager {idle_best * 1e3:.2f}ms"
+        f"  ratio {ratio:.3f}x",
+    )
+    assert ratio < 1.10, (
+        f"section-free lock manager costs {ratio:.2f}x the bare simulator "
+        "(limit 1.10x)"
+    )

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.core.analysis.results import AnalysisResult
 from repro.core.analysis.sa_ds import analyze_sa_ds
 from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.locks import analyze_sa_ds_blocking, analyze_sa_pm_blocking
 from repro.model.system import System
 
 __all__ = ["Recommendation", "recommend_protocol"]
@@ -67,6 +68,7 @@ def recommend_protocol(
     clock_sync_available: bool = False,
     strictly_periodic_arrivals: bool = False,
     synchronized_clocks: bool | None = None,
+    shared_resources: bool = False,
     sa_pm: AnalysisResult | None = None,
     sa_ds: AnalysisResult | None = None,
 ) -> Recommendation:
@@ -86,18 +88,52 @@ def recommend_protocol(
     deadlines and violating precedence under clocks that are merely
     offset -- conditions MPM and RG absorb by construction.
 
+    ``shared_resources`` declares that subtasks contend on shared
+    resources (critical sections under DPCP/DPCP-p locking, see
+    :mod:`repro.locks`).  The evidence then comes from the
+    blocking-aware analyses, and the combination with untrusted WCETs
+    is vetoed down to RG: an overrun *inside* a critical section holds
+    the lock past its analyzed duration, so every blocking bound --
+    and with it DS's "cheap and close" argument -- becomes
+    uncertifiable, while RG at least confines releases to real
+    completions.
+
     Callers that already hold the analyses (e.g. the admission-control
     engine, which needs them for its own verdict) may pass them as
     ``sa_pm`` / ``sa_ds`` to avoid recomputing; both must describe
-    ``system`` itself.
+    ``system`` itself (blocking-aware variants when
+    ``shared_resources`` is set).
     """
     if synchronized_clocks is None:
         synchronized_clocks = clock_sync_available
     if sa_pm is None:
-        sa_pm = analyze_sa_pm(system)
+        sa_pm = (
+            analyze_sa_pm_blocking(system)
+            if shared_resources
+            else analyze_sa_pm(system)
+        )
     if sa_ds is None:
-        sa_ds = analyze_sa_ds(system)
+        sa_ds = (
+            analyze_sa_ds_blocking(system)
+            if shared_resources
+            else analyze_sa_ds(system)
+        )
     ratio = _worst_ratio(sa_pm, sa_ds)
+
+    if shared_resources and not wcets_trusted:
+        return Recommendation(
+            protocol="RG",
+            rationale=(
+                "WCETs are not trusted and subtasks share resources: an "
+                "overrun inside a critical section holds its lock past "
+                "the analyzed duration, so no blocking bound (and no "
+                "DS average-case argument) is certifiable -- RG confines "
+                "releases to real completions and degrades most gracefully"
+            ),
+            sa_pm=sa_pm,
+            sa_ds=sa_ds,
+            worst_bound_ratio=ratio,
+        )
 
     if jitter_sensitive and wcets_trusted:
         if synchronized_clocks and strictly_periodic_arrivals:

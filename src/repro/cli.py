@@ -38,6 +38,11 @@ Subcommands
     over every protocol with and without the recovery layer, and gate
     on the survival separation (RG + recovery stays clean under signal
     faults; DS without recovery does not; PM/MPM lose timer chains).
+``locks``
+    The shared-resource study: sweep critical-section ratios under
+    DPCP and DPCP-p, measure blocking-aware schedulability and lock
+    waiting, and gate on the lock-free identity, schedulability
+    monotonicity and the DPCP >= DPCP-p waiting separation.
 """
 
 from __future__ import annotations
@@ -282,6 +287,11 @@ def _add_admission_options(parser: argparse.ArgumentParser) -> None:
         help="the platform's clocks are not synchronized (excludes PM)",
     )
     parser.add_argument(
+        "--shared-resources", action="store_true",
+        help="subtasks contend on shared resources (critical sections "
+        "under DPCP locking); certifies with the blocking-aware analyses",
+    )
+    parser.add_argument(
         "--clock-rate-bound", type=float, default=0.0,
         help="max clock drift rate rho; nonzero certifies MPM/RG via the "
         "skew-inflated analysis and excludes PM",
@@ -334,6 +344,7 @@ def _admission_options(args: argparse.Namespace) -> dict:
         "clock_sync_available": args.clock_sync,
         "strictly_periodic_arrivals": args.periodic_arrivals,
         "synchronized_clocks": not args.unsynchronized_clocks,
+        "shared_resources": args.shared_resources,
         "clock_rate_bound": args.clock_rate_bound,
         "clock_jump_bound": args.clock_jump_bound,
         "sa_ds_max_iterations": args.sa_ds_max_iterations,
@@ -493,6 +504,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         clocks=args.clocks,
         latencies=tuple(args.latencies),
         faults=args.faults,
+        locks=args.locks,
     )
     if args.stats or not report.ok:
         print(report.describe())
@@ -546,6 +558,37 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         horizon_periods=args.horizon_periods,
         timebase=args.timebase,
         scenarios=tuple(args.scenarios) if args.scenarios else None,
+    )
+    print(result.render())
+    if args.require_gate and not result.gate_passed:
+        return 1
+    return 0
+
+
+def _cmd_locks(args: argparse.Namespace) -> int:
+    from repro.experiments.locks_study import run_locks_study
+
+    config = None
+    if args.n is not None or args.u is not None:
+        if args.n is None or args.u is None:
+            print(
+                "locks: --n and --u must be given together",
+                file=sys.stderr,
+            )
+            return 2
+        config = WorkloadConfig(
+            subtasks_per_task=args.n,
+            utilization=args.u,
+            tasks=args.tasks,
+            processors=args.processors,
+        )
+    result = run_locks_study(
+        config=config,
+        systems=args.systems,
+        base_seed=args.seed,
+        ratios=tuple(args.ratios),
+        horizon_periods=args.horizon_periods,
+        timebase=args.timebase,
     )
     print(result.render())
     if args.require_gate and not result.gate_passed:
@@ -728,6 +771,11 @@ def build_parser() -> argparse.ArgumentParser:
         "reorder and timer-loss environments through the cases",
     )
     p.add_argument(
+        "--locks", choices=("none", "locks"), default="none",
+        help="lock rotation: 'locks' cycles critical-section injections "
+        "under DPCP and DPCP-p through the cases",
+    )
+    p.add_argument(
         "--corpus", default=None,
         help="append shrunk counterexamples to this JSONL file/directory",
     )
@@ -837,6 +885,42 @@ def build_parser() -> argparse.ArgumentParser:
         "identity both hold on this sample",
     )
     p.set_defaults(handler=_cmd_chaos)
+
+    p = subparsers.add_parser(
+        "locks",
+        help="shared-resource study: DPCP vs DPCP-p over section ratios",
+    )
+    p.add_argument(
+        "--systems", type=int, default=5,
+        help="SA/PM-schedulable lock-free systems to sample (default: 5)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="base seed")
+    p.add_argument(
+        "--ratios", type=float, nargs="+",
+        default=[0.0, 0.1, 0.25, 0.4],
+        help="critical-section duration ratios to sweep; 0 = lock-free",
+    )
+    p.add_argument(
+        "--n", type=int, default=None,
+        help="subtasks per task (with --u; default: the study's workload)",
+    )
+    p.add_argument("--u", type=float, default=None, help="utilization")
+    p.add_argument("--tasks", type=int, default=4)
+    p.add_argument("--processors", type=int, default=3)
+    p.add_argument(
+        "--horizon-periods", type=float, default=4.0,
+        help="simulation horizon in multiples of the largest period",
+    )
+    p.add_argument(
+        "--timebase", choices=("float", "exact"), default="float",
+        help="arithmetic backend",
+    )
+    p.add_argument(
+        "--require-gate", action="store_true",
+        help="exit 1 unless the lock-free identity, schedulability "
+        "monotonicity and waiting separation all hold on this sample",
+    )
+    p.set_defaults(handler=_cmd_locks)
 
     return parser
 

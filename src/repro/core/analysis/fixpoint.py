@@ -82,7 +82,7 @@ def solve_fixed_point(
             if nxt == current:
                 return nxt
         else:
-            if nxt < current - REL_EPS:
+            if nxt < current - REL_EPS * max(1.0, abs(current)):
                 raise AnalysisError(
                     "demand function is not monotone: "
                     f"W({current:g}) = {nxt:g} < {current:g}"

@@ -84,6 +84,8 @@ def ieert_pass(
     *,
     failure_factor: float | None = FAILURE_FACTOR,
     timebase: Timebase | str = FLOAT,
+    blocking: Mapping[SubtaskId, float] | None = None,
+    extra_jitter: Mapping[SubtaskId, float] | None = None,
 ) -> dict[SubtaskId, float]:
     """One application of Algorithm IEERT: new bounds from old bounds.
 
@@ -92,17 +94,29 @@ def ieert_pass(
     With ``failure_factor`` set, the per-instance loop aborts early once
     an instance's bound exceeds ``failure_factor * p_i`` and reports the
     subtask bound as infinite (sound, since the true maximum is at least
-    as large).
+    as large).  ``blocking`` optionally charges a per-subtask blocking
+    term into every demand equation (remote-blocking under DPCP/DPCP-p
+    locking -- see :mod:`repro.locks.analysis`); an infinite blocking
+    term makes the subtask's bound infinite outright.  ``extra_jitter``
+    adds suspension-as-jitter deferral on top of the IEERT jitter of
+    *interfering* subtasks (lock holders defer their execution while
+    away on a synchronization processor); it is never applied to the
+    analyzed subtask's own jitter, whose blocking term already covers
+    its waits.
     """
     timebase = get_timebase(timebase)
     jitter = _jitter_view(system, bounds)
+    blocking = blocking or {}
+    extra = extra_jitter or {}
     new_bounds: dict[SubtaskId, float] = {}
     for sid in system.subtask_ids:
         period = timebase.convert(system.period_of(sid))
+        interferers = list(system.interference_set(sid))
         relevant = [jitter[sid]] + [
-            jitter[other] for other in system.interference_set(sid)
+            jitter[other] + extra.get(other, 0) for other in interferers
         ]
-        if any(math.isinf(j) for j in relevant):
+        own_blocking = blocking.get(sid, 0)
+        if any(math.isinf(j) for j in relevant) or math.isinf(own_blocking):
             new_bounds[sid] = math.inf
             continue
         cutoff = (
@@ -110,8 +124,17 @@ def ieert_pass(
             if failure_factor is not None
             else None
         )
+        adjusted = dict(jitter)
+        for other in interferers:
+            if other in extra:
+                adjusted[other] = jitter[other] + extra[other]
         record = analyze_subtask(
-            system, sid, jitter, abort_above=cutoff, timebase=timebase
+            system,
+            sid,
+            adjusted,
+            abort_above=cutoff,
+            blocking=own_blocking,
+            timebase=timebase,
         )
         new_bounds[sid] = math.inf if record.bound is None else record.bound
     return new_bounds
@@ -123,6 +146,8 @@ def analyze_sa_ds(
     failure_factor: float = FAILURE_FACTOR,
     max_iterations: int = 300,
     timebase: Timebase | str = FLOAT,
+    blocking: Mapping[SubtaskId, float] | None = None,
+    extra_jitter: Mapping[SubtaskId, float] | None = None,
 ) -> AnalysisResult:
     """Run Algorithm SA/DS over a system.
 
@@ -130,7 +155,9 @@ def analyze_sa_ds(
     bounds and whose ``task_bounds`` are the IEER bounds of last subtasks
     (= the EER bounds).  ``result.failed`` is True when some task's bound
     exceeded the failure cutoff (reported as infinity), reproducing the
-    paper's failure statistic for Figure 12.
+    paper's failure statistic for Figure 12.  ``blocking`` and
+    ``extra_jitter`` are handed to every IEERT pass (see
+    :func:`ieert_pass`); both default to the resource-free base case.
 
     Raises
     ------
@@ -157,7 +184,12 @@ def analyze_sa_ds(
     while True:
         iterations += 1
         new_bounds = ieert_pass(
-            system, bounds, failure_factor=failure_factor, timebase=timebase
+            system,
+            bounds,
+            failure_factor=failure_factor,
+            timebase=timebase,
+            blocking=blocking,
+            extra_jitter=extra_jitter,
         )
         # The paper's failure cutoff, checked at task level: a task whose
         # EER bound exceeds failure_factor periods is declared unbounded.

@@ -30,23 +30,49 @@ def sa_pm_subtask_details(
     system: System,
     blocking: Mapping[SubtaskId, float] | None = None,
     *,
+    jitter: Mapping[SubtaskId, float] | None = None,
     timebase: Timebase | str = FLOAT,
 ) -> dict[SubtaskId, SubtaskBusyPeriod]:
-    """Steps 1-4 for every subtask: full busy-period records, zero jitter."""
+    """Steps 1-4 for every subtask: full busy-period records.
+
+    ``jitter`` is *interference* jitter (suspension-as-jitter deferral
+    of lock-holding subtasks -- see :mod:`repro.locks.analysis`): it
+    widens the arrival windows of interfering subtasks but is never
+    applied to the analyzed subtask's own releases, which stay strictly
+    periodic under PM/MPM/RG.  An infinite blocking term short-circuits
+    to a diverged record (the exact backend cannot represent infinite
+    demand).
+    """
     blocking = blocking or {}
+    jitter = jitter or {}
     timebase = get_timebase(timebase)
-    return {
-        sid: analyze_subtask(
-            system, sid, blocking=blocking.get(sid, 0.0), timebase=timebase
+    details: dict[SubtaskId, SubtaskBusyPeriod] = {}
+    for sid in system.subtask_ids:
+        own_blocking = blocking.get(sid, 0.0)
+        if math.isinf(own_blocking):
+            details[sid] = SubtaskBusyPeriod(
+                sid=sid,
+                busy_period=None,
+                instance_count=0,
+                per_instance_bounds=(),
+                bound=None,
+            )
+            continue
+        details[sid] = analyze_subtask(
+            system,
+            sid,
+            {other: value for other, value in jitter.items() if other != sid},
+            blocking=own_blocking,
+            timebase=timebase,
         )
-        for sid in system.subtask_ids
-    }
+    return details
 
 
 def analyze_sa_pm(
     system: System,
     *,
     blocking: Mapping[SubtaskId, float] | None = None,
+    jitter: Mapping[SubtaskId, float] | None = None,
     timebase: Timebase | str = FLOAT,
 ) -> AnalysisResult:
     """Run Algorithm SA/PM over a system.
@@ -59,12 +85,17 @@ def analyze_sa_pm(
 
     ``blocking`` optionally charges a per-subtask blocking term ``B_i,j``
     into every demand equation (non-preemptive sections, dedicated
-    communication resources -- the Section 6 extension).  Under the
-    exact ``timebase`` the bounds come out as scaled integers/rationals
-    and the EER sums are exact.
+    communication resources -- the Section 6 extension); ``jitter``
+    charges interference jitter per *interfering* subtask
+    (suspension-as-jitter for lock-induced deferrals, see
+    :func:`sa_pm_subtask_details`).  Under the exact ``timebase`` the
+    bounds come out as scaled integers/rationals and the EER sums are
+    exact.
     """
     timebase = get_timebase(timebase)
-    details = sa_pm_subtask_details(system, blocking, timebase=timebase)
+    details = sa_pm_subtask_details(
+        system, blocking, jitter=jitter, timebase=timebase
+    )
     subtask_bounds = {
         sid: (math.inf if record.bound is None else record.bound)
         for sid, record in details.items()

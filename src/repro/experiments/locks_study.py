@@ -1,0 +1,384 @@
+"""The locks study: schedulability and blocking under DPCP vs DPCP-p.
+
+Section 2 of the paper assumes subtasks "do not contend for resources
+other than processors"; the shared-resource subsystem
+(:mod:`repro.locks`) lifts that assumption with critical sections and
+two distributed lock protocols.  This study measures what the lifting
+costs and how the two protocols differ:
+
+* **Schedulability vs. critical-section ratio.**  Sections inflate the
+  blocking-aware bounds (remote blocking, agent interference,
+  suspension-as-jitter deferrals), so the fraction of SA/PM+locking
+  schedulable systems must fall -- monotonically, on this sample -- as
+  the section ratio grows.
+
+* **DPCP vs DPCP-p ranking.**  DPCP funnels *every* resource onto one
+  synchronization processor; DPCP-p spreads resources over per-resource
+  hosts.  With more than one resource the centralized queue serializes
+  unrelated requests, so measured lock waiting under DPCP dominates
+  DPCP-p in aggregate.
+
+* **Lock-free identity.**  A zero-ratio injection returns the input
+  system itself, a lock manager configured onto a section-free system
+  must not perturb the schedule (byte-identical traces, no lock log,
+  under both arithmetic backends), and the blocking-aware analyses must
+  reproduce the base bounds exactly.
+
+The headline gate (:attr:`LocksStudyResult.gate_passed`) is the
+conjunction, mirroring the chaos study's CI contract.
+
+Run it from the CLI (``repro-rts locks``) or call
+:func:`run_locks_study` directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.core.protocols.factory import make_controller
+from repro.errors import ConfigurationError
+from repro.locks import (
+    LockingConfig,
+    analyze_sa_ds_blocking,
+    analyze_sa_pm_blocking,
+    inject_critical_sections,
+)
+from repro.model.system import System
+from repro.model.task import SubtaskId
+from repro.sim.simulator import simulate
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+__all__ = [
+    "DEFAULT_RATIOS",
+    "LocksCell",
+    "LocksStudyResult",
+    "run_locks_study",
+]
+
+#: Locking protocols under comparison.
+STUDY_PROTOCOLS = ("DPCP", "DPCP-p")
+
+#: Critical-section duration ratios to sweep (fraction of the owning
+#: subtask's execution time); 0 is the lock-free control arm.
+DEFAULT_RATIOS = (0.0, 0.1, 0.25, 0.4)
+
+#: Default workload: the chaos study's family at lighter utilization,
+#: so the blocking-aware analyses (deliberately conservative: blocking
+#: plus agent interference plus deferral jitter) still accept some
+#: systems at moderate ratios and the sweep shows a gradual fall,
+#: with several processors so DPCP-p actually spreads hosts.
+DEFAULT_CONFIG = WorkloadConfig(
+    subtasks_per_task=3,
+    utilization=0.35,
+    tasks=4,
+    processors=3,
+    period_min=100.0,
+    period_max=1000.0,
+    period_scale=300.0,
+)
+
+#: Resources drawn by the injection; > 1 so the protocols' placement
+#: rules (one central host vs per-resource hosts) can differ.
+STUDY_RESOURCES = 2
+
+#: Probability that a subtask participates in locking.
+STUDY_PARTICIPATION = 0.6
+
+
+def _pm_runnable(result, system: System) -> bool:
+    """The timer protocols need finite bounds for non-last subtasks."""
+    for task_index, task in enumerate(system.tasks):
+        for j in range(task.chain_length - 1):
+            if math.isinf(result.subtask_bounds[SubtaskId(task_index, j)]):
+                return False
+    return True
+
+
+@dataclass(frozen=True)
+class LocksCell:
+    """One (locking protocol, section ratio) aggregate."""
+
+    protocol: str
+    ratio: float
+    systems: int
+    #: Systems schedulable under blocking-aware SA/PM (all task bounds
+    #: within deadlines).
+    pm_schedulable: int
+    #: Systems schedulable under blocking-aware SA/DS.
+    ds_schedulable: int
+    #: Systems simulated (finite blocking-aware PM bounds under *both*
+    #: locking protocols, so the wait comparison is apples-to-apples).
+    simulated: int
+    #: Total measured acquire-minus-request waiting time across the
+    #: simulated systems.
+    measured_wait: float
+    #: Lock requests that reached acquire, across the simulated systems.
+    acquisitions: int
+
+
+@dataclass(frozen=True)
+class LocksStudyResult:
+    """The full sweep: cells over locking protocols x section ratios."""
+
+    ratios: tuple[float, ...]
+    config: WorkloadConfig
+    cells: dict[tuple[str, float], LocksCell]
+    sampled_systems: int
+    skipped_systems: int
+    #: True when ratio-0 injection returned the input object, a lock
+    #: manager on a section-free system reproduced the bare trace
+    #: byte-for-byte under both backends, and the blocking-aware
+    #: analyses matched the base bounds exactly.
+    lock_free_identity: bool
+
+    def cell(self, protocol: str, ratio: float) -> LocksCell:
+        return self.cells[(protocol, ratio)]
+
+    # ------------------------------------------------------------------
+    # Gates
+    # ------------------------------------------------------------------
+    @property
+    def schedulability_monotone(self) -> bool:
+        """Schedulable counts never rise with the section ratio."""
+        for protocol in STUDY_PROTOCOLS:
+            counts = [
+                self.cell(protocol, ratio).pm_schedulable
+                for ratio in self.ratios
+            ]
+            if any(b > a for a, b in zip(counts, counts[1:])):
+                return False
+        return True
+
+    @property
+    def ranking_demonstrated(self) -> bool:
+        """DPCP's centralized queue costs measurably more waiting.
+
+        Aggregated over every positive ratio: measured lock waits under
+        DPCP dominate DPCP-p, and contention actually occurred (the
+        comparison is vacuous on a sample where nobody ever waited).
+        """
+        positive = [ratio for ratio in self.ratios if ratio > 0]
+        if not positive:
+            return False
+        dpcp = sum(self.cell("DPCP", r).measured_wait for r in positive)
+        dpcp_p = sum(self.cell("DPCP-p", r).measured_wait for r in positive)
+        return dpcp > 0 and dpcp >= dpcp_p
+
+    @property
+    def gate_passed(self) -> bool:
+        """Everything CI cares about in one flag."""
+        return (
+            self.lock_free_identity
+            and self.schedulability_monotone
+            and self.ranking_demonstrated
+        )
+
+    def render(self) -> str:
+        """Text table: per ratio and locking protocol, schedulable
+        counts and measured waiting."""
+        header = "ratio   " + "".join(
+            f"{p:>26}" for p in STUDY_PROTOCOLS
+        )
+        lines = [
+            f"locks study: {self.sampled_systems} system(s) "
+            f"({self.skipped_systems} unschedulable lock-free seeds "
+            f"skipped); cells show SA/PM-schedulable / sampled, "
+            f"total measured wait",
+            header,
+        ]
+        for ratio in self.ratios:
+            row = f"{ratio:<8g}"
+            for protocol in STUDY_PROTOCOLS:
+                cell = self.cell(protocol, ratio)
+                row += (
+                    f"{cell.pm_schedulable:>8}/{cell.systems}"
+                    f"{cell.measured_wait:>14.2f}"
+                )
+            lines.append(row)
+        lines.append(
+            "lock-free identity (both timebases): "
+            + ("ok" if self.lock_free_identity else "BROKEN")
+        )
+        lines.append(
+            "schedulability monotone in ratio: "
+            + ("yes" if self.schedulability_monotone else "no")
+        )
+        lines.append(
+            "DPCP >= DPCP-p measured waiting: "
+            + ("yes" if self.ranking_demonstrated else "no")
+        )
+        return "\n".join(lines)
+
+
+def _lock_free_identity(
+    system: System, horizon_periods: float
+) -> bool:
+    """A lock manager on a section-free system must change nothing."""
+    if (
+        inject_critical_sections(system, ratio=0.0, seed=1) is not system
+    ):
+        return False
+    base_pm = analyze_sa_pm(system)
+    for protocol in STUDY_PROTOCOLS:
+        locking = LockingConfig(protocol)
+        aware = analyze_sa_pm_blocking(system, locking=locking)
+        if aware.subtask_bounds != base_pm.subtask_bounds:
+            return False
+        for backend in ("float", "exact"):
+            bare = simulate(
+                system,
+                make_controller("PM", system),
+                horizon_periods=horizon_periods,
+                timebase=backend,
+            )
+            locked = simulate(
+                system,
+                make_controller("PM", system),
+                horizon_periods=horizon_periods,
+                timebase=backend,
+                locking=locking,
+            )
+            if (
+                locked.trace.locks is not None
+                or bare.trace.releases != locked.trace.releases
+                or bare.trace.completions != locked.trace.completions
+            ):
+                return False
+    return True
+
+
+def run_locks_study(
+    *,
+    config: WorkloadConfig | None = None,
+    systems: int = 5,
+    base_seed: int = 0,
+    ratios: tuple[float, ...] = DEFAULT_RATIOS,
+    horizon_periods: float = 4.0,
+    timebase: str = "float",
+) -> LocksStudyResult:
+    """Sweep section ratios x locking protocols over sampled systems.
+
+    Samples ``systems`` SA/PM-schedulable lock-free systems (seeds
+    advance until enough accepted ones are found), injects critical
+    sections at each ratio, analyzes both blocking-aware algorithms
+    under both locking protocols, and simulates PM wherever the
+    blocking-aware bounds are finite under *both* protocols -- the wait
+    totals feeding the ranking gate therefore compare the same systems.
+    """
+    if systems < 1:
+        raise ConfigurationError(f"systems must be >= 1, got {systems}")
+    if not ratios:
+        raise ConfigurationError("need at least one section ratio")
+    config = config or DEFAULT_CONFIG
+
+    sampled: list[System] = []
+    skipped = 0
+    seed = base_seed
+    scan_limit = base_seed + 50 * systems
+    while len(sampled) < systems and seed < scan_limit:
+        system = generate_system(config, seed)
+        if analyze_sa_pm(system).schedulable:
+            sampled.append(system)
+        else:
+            skipped += 1
+        seed += 1
+    if len(sampled) < systems:
+        raise ConfigurationError(
+            f"found only {len(sampled)} SA/PM-schedulable system(s) in "
+            f"{scan_limit - base_seed} seed(s); lower the utilization"
+        )
+
+    cells: dict[tuple[str, float], LocksCell] = {}
+    for ratio in ratios:
+        # Inject once per (system, ratio): both locking protocols see
+        # the *same* sections and differ only in resource placement.
+        locked_systems = [
+            inject_critical_sections(
+                system,
+                ratio=ratio,
+                resources=STUDY_RESOURCES,
+                participation=STUDY_PARTICIPATION,
+                seed=base_seed + index,
+            )
+            for index, system in enumerate(sampled)
+        ]
+        analyses = {
+            protocol: [
+                (
+                    analyze_sa_pm_blocking(
+                        system,
+                        locking=LockingConfig(protocol),
+                        timebase=timebase,
+                    ),
+                    analyze_sa_ds_blocking(
+                        system,
+                        locking=LockingConfig(protocol),
+                        timebase=timebase,
+                    ),
+                )
+                for system in locked_systems
+            ]
+            for protocol in STUDY_PROTOCOLS
+        }
+        runnable = [
+            all(
+                _pm_runnable(analyses[protocol][index][0], system)
+                for protocol in STUDY_PROTOCOLS
+            )
+            for index, system in enumerate(locked_systems)
+        ]
+        for protocol in STUDY_PROTOCOLS:
+            measured_wait = 0.0
+            acquisitions = 0
+            simulated = 0
+            for index, system in enumerate(locked_systems):
+                if not runnable[index]:
+                    continue
+                simulated += 1
+                result = simulate(
+                    system,
+                    make_controller(
+                        "PM",
+                        system,
+                        bounds=analyses[protocol][index][0].subtask_bounds,
+                    ),
+                    horizon_periods=horizon_periods,
+                    timebase=timebase,
+                    locking=LockingConfig(protocol),
+                )
+                if result.trace.locks is not None:
+                    waits = result.trace.locks.waits()
+                    measured_wait += sum(waits.values())
+                    acquisitions += len(waits)
+            cells[(protocol, ratio)] = LocksCell(
+                protocol=protocol,
+                ratio=ratio,
+                systems=len(sampled),
+                pm_schedulable=sum(
+                    1
+                    for sa_pm, _sa_ds in analyses[protocol]
+                    if sa_pm.schedulable
+                ),
+                ds_schedulable=sum(
+                    1
+                    for _sa_pm, sa_ds in analyses[protocol]
+                    if sa_ds.schedulable
+                ),
+                simulated=simulated,
+                measured_wait=measured_wait,
+                acquisitions=acquisitions,
+            )
+
+    return LocksStudyResult(
+        ratios=tuple(ratios),
+        config=config,
+        cells=cells,
+        sampled_systems=len(sampled),
+        skipped_systems=skipped,
+        lock_free_identity=_lock_free_identity(
+            sampled[0], horizon_periods
+        ),
+    )

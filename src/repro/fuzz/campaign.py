@@ -32,6 +32,7 @@ from repro.fuzz.differential import DIFFERENTIAL_ORACLE, compare_backends
 from repro.fuzz.oracles import check_case, oracle_names
 from repro.fuzz.runner import build_case
 from repro.fuzz.shrink import shrink_system
+from repro.locks import LockingConfig, inject_critical_sections
 from repro.timebase import get_timebase
 from repro.workload.config import WorkloadConfig
 from repro.workload.generator import generate_system
@@ -40,6 +41,8 @@ __all__ = [
     "PROFILES",
     "CLOCK_ROTATIONS",
     "FAULT_ROTATIONS",
+    "LOCK_ROTATIONS",
+    "LockScenario",
     "CaseOutcome",
     "CampaignReport",
     "fuzz_one",
@@ -166,6 +169,62 @@ FAULT_ROTATIONS: Mapping[str, tuple[FaultConfig | None, ...]] = {
 
 
 @dataclass(frozen=True)
+class LockScenario:
+    """One locking rotation entry: injected sections plus a protocol.
+
+    ``ratio`` is the critical-section share of each participating
+    subtask's execution time (0 injects nothing, which pairs an
+    explicit :class:`LockingConfig` with a resource-free system -- the
+    ``lock-free-identity`` oracle's subject); the remaining fields are
+    passed to :func:`repro.locks.inject_critical_sections` with the
+    case's own seed, so the drawn sections vary across cases yet stay
+    reproducible from the case coordinates.
+    """
+
+    ratio: float
+    protocol: str = "DPCP"
+    resources: int = 2
+    participation: float = 0.5
+
+    @property
+    def config(self) -> LockingConfig:
+        return LockingConfig(self.protocol)
+
+    @property
+    def label(self) -> str:
+        return f"locks[{self.config.protocol} ratio={self.ratio}]"
+
+    def apply(self, system, seed: int):
+        """Inject this scenario's sections into ``system``."""
+        return inject_critical_sections(
+            system,
+            ratio=self.ratio,
+            resources=self.resources,
+            participation=self.participation,
+            seed=seed,
+        )
+
+
+#: Locking rotations, keyed by the ``--locks`` CLI name.  ``None``
+#: entries build cases with no lock plumbing at all; the zero-ratio
+#: entry exercises the ``lock-free-identity`` oracle; the remaining
+#: entries alternate DPCP's funnel with DPCP-p's spread at light and
+#: heavy contention.
+LOCK_ROTATIONS: Mapping[str, tuple[LockScenario | None, ...]] = {
+    "none": (None,),
+    "locks": (
+        None,
+        LockScenario(ratio=0.0, protocol="DPCP-p"),
+        LockScenario(ratio=0.1, protocol="DPCP"),
+        LockScenario(ratio=0.25, protocol="DPCP-p"),
+        LockScenario(
+            ratio=0.25, protocol="DPCP", resources=1, participation=0.8
+        ),
+    ),
+}
+
+
+@dataclass(frozen=True)
 class CaseOutcome:
     """Picklable result of one fuzz case."""
 
@@ -179,6 +238,7 @@ class CaseOutcome:
     clocks: ClockConfig | None = None
     latency: float = 0.0
     faults: FaultConfig | None = None
+    locks: LockScenario | None = None
 
     @property
     def failed(self) -> bool:
@@ -186,7 +246,8 @@ class CaseOutcome:
 
     @property
     def environment_label(self) -> str:
-        """Clock/latency/fault coordinates of this case, "" when ideal."""
+        """Clock/latency/fault/lock coordinates of this case, "" when
+        ideal."""
         parts = []
         if self.clocks is not None:
             parts.append(self.clocks.label)
@@ -194,6 +255,8 @@ class CaseOutcome:
             parts.append(f"latency={self.latency}")
         if self.faults is not None:
             parts.append(self.faults.label)
+        if self.locks is not None:
+            parts.append(self.locks.label)
         return " ".join(parts)
 
 
@@ -207,14 +270,17 @@ def fuzz_one(
     clocks: ClockConfig | None = None,
     latency: float = 0.0,
     faults: FaultConfig | None = None,
+    locks: LockScenario | None = None,
     timebase: str = "float",
 ) -> CaseOutcome:
     """Generate, simulate and judge one case; the campaign's unit of work.
 
-    ``clocks``/``latency``/``faults`` set the case's environment (skewed
-    local clocks, cross-processor signal delay, injected faults); the
-    oracle registry gates itself on them.  A fault config gets the
-    case's seed substituted in, so fault decisions vary across cases
+    ``clocks``/``latency``/``faults``/``locks`` set the case's
+    environment (skewed local clocks, cross-processor signal delay,
+    injected faults, injected critical sections under a locking
+    protocol); the oracle registry gates itself on them.  A fault
+    config gets the case's seed substituted in, and a lock scenario
+    draws its sections with the case's seed, so both vary across cases
     while staying reproducible from ``(config, seed)``.  With
     ``timebase="exact"`` the case is built and judged under exact
     arithmetic (tolerance-free oracles), *and* a second case is built
@@ -226,6 +292,10 @@ def fuzz_one(
     if faults is not None:
         faults = dataclasses.replace(faults, seed=seed)
     system = generate_system(config, seed)
+    locking = None
+    if locks is not None:
+        system = locks.apply(system, seed)
+        locking = locks.config
     case = build_case(
         system,
         seed=seed,
@@ -234,6 +304,7 @@ def fuzz_one(
         clocks=clocks,
         latency=latency,
         faults=faults,
+        locking=locking,
         timebase=timebase,
     )
     failures, checked = check_case(case, oracles)
@@ -246,6 +317,7 @@ def fuzz_one(
             clocks=clocks,
             latency=latency,
             faults=faults,
+            locking=locking,
             timebase="float",
         )
         checked = checked + (DIFFERENTIAL_ORACLE,)
@@ -263,6 +335,7 @@ def fuzz_one(
         clocks=clocks,
         latency=latency,
         faults=faults,
+        locks=locks,
     )
 
 
@@ -278,6 +351,7 @@ def _job(args: tuple) -> CaseOutcome:
         clocks,
         latency,
         faults,
+        locks,
     ) = args
     return fuzz_one(
         config,
@@ -288,6 +362,7 @@ def _job(args: tuple) -> CaseOutcome:
         clocks=clocks,
         latency=latency,
         faults=faults,
+        locks=locks,
         timebase=timebase,
     )
 
@@ -365,6 +440,12 @@ def _shrink_outcome(
     faults = outcome.faults
     if faults is not None:
         faults = dataclasses.replace(faults, seed=outcome.seed)
+    locking = None
+    if outcome.locks is not None:
+        # Shrink starts from the injected system; candidate edits carry
+        # (or drop) the drawn sections with their subtasks.
+        system = outcome.locks.apply(system, outcome.seed)
+        locking = outcome.locks.config
 
     def judge(candidate) -> list[str]:
         case = build_case(
@@ -373,6 +454,7 @@ def _shrink_outcome(
             clocks=outcome.clocks,
             latency=outcome.latency,
             faults=faults,
+            locking=locking,
             timebase=timebase,
         )
         if oracle == DIFFERENTIAL_ORACLE:
@@ -382,6 +464,7 @@ def _shrink_outcome(
                 clocks=outcome.clocks,
                 latency=outcome.latency,
                 faults=faults,
+                locking=locking,
                 timebase="float",
             )
             return compare_backends(float_case, case)
@@ -416,12 +499,14 @@ def _case_stream(
     clock_configs: Sequence[ClockConfig | None],
     latencies: Sequence[float],
     fault_configs: Sequence[FaultConfig | None],
+    lock_scenarios: Sequence[LockScenario | None],
 ) -> Iterator[tuple]:
-    # Clock, latency and fault rotations advance at different strides so
-    # a long campaign covers their full cross product, while short ones
-    # still see every clock configuration early.
+    # Clock, latency, fault and lock rotations advance at different
+    # strides so a long campaign covers their full cross product, while
+    # short ones still see every clock configuration early.
     index = 0
     fault_stride = len(clock_configs) * len(latencies)
+    lock_stride = fault_stride * len(fault_configs)
     while runs is None or index < runs:
         yield (
             index,
@@ -433,6 +518,7 @@ def _case_stream(
             clock_configs[index % len(clock_configs)],
             latencies[(index // len(clock_configs)) % len(latencies)],
             fault_configs[(index // fault_stride) % len(fault_configs)],
+            lock_scenarios[(index // lock_stride) % len(lock_scenarios)],
         )
         index += 1
 
@@ -455,6 +541,7 @@ def run_campaign(
     clocks: str | Sequence[ClockConfig | None] = "none",
     latencies: Sequence[float] = (0.0,),
     faults: str | Sequence[FaultConfig | None] = "none",
+    locks: str | Sequence[LockScenario | None] = "none",
     timebase: str = "float",
 ) -> CampaignReport:
     """Run a fuzzing campaign and return its report.
@@ -466,8 +553,11 @@ def run_campaign(
     configurations (``None`` entries mean no clock plumbing);
     ``latencies`` rotates cross-processor signal delays; ``faults`` is a
     :data:`FAULT_ROTATIONS` name or an explicit rotation of fault
-    configurations (each case substitutes its own seed).  Oracles gate
-    themselves on the environment each case ran in.  With
+    configurations (each case substitutes its own seed); ``locks`` is a
+    :data:`LOCK_ROTATIONS` name or an explicit rotation of lock
+    scenarios (each case draws its critical sections with its own
+    seed).  Oracles gate themselves on the environment each case ran
+    in.  With
     ``corpus_path`` set, every shrunk counterexample is appended there
     as JSONL.  With ``timebase="exact"`` every case runs under exact
     arithmetic with tolerance-free oracles and is differentially
@@ -510,6 +600,22 @@ def run_campaign(
         raise ConfigurationError(
             "campaign needs at least one fault configuration"
         )
+    if isinstance(locks, str):
+        try:
+            lock_scenarios: Sequence[LockScenario | None] = (
+                LOCK_ROTATIONS[locks]
+            )
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown lock rotation {locks!r}; "
+                f"known: {', '.join(LOCK_ROTATIONS)}"
+            ) from None
+    else:
+        lock_scenarios = tuple(locks)
+    if not lock_scenarios:
+        raise ConfigurationError(
+            "campaign needs at least one lock scenario"
+        )
     for value in latencies:
         if value < 0:
             raise ConfigurationError(
@@ -548,6 +654,7 @@ def run_campaign(
         clock_configs,
         latencies,
         fault_configs,
+        lock_scenarios,
     )
 
     def out_of_time() -> bool:

@@ -65,11 +65,32 @@ The catalog (paper references in each oracle's ``reference``):
     its precedence guarantee: zero chain-precedence violations and
     zero unrecovered duplicate releases (the guard makes delivery
     idempotent; the watchdog makes it reliable).
+``lock-free-identity``
+    A case built with an explicit locking configuration on a system
+    *without* critical sections is byte-identical to the same case
+    built with no lock plumbing at all (the locking subsystem must be
+    a strict no-op on a resource-free system).
+``blocking-term-soundness``
+    Under PM and MPM (whose timer releases are strictly periodic, the
+    arrival pattern the blocking fixpoint assumes), each instance's
+    measured lock-waiting time never exceeds the analyzed blocking
+    term ``B_i,j``, and simulated responses never exceed the
+    blocking-aware SA/PM bounds
+    (:func:`repro.locks.analysis.analyze_sa_pm_blocking`).
+``deadlock-freedom``
+    Replaying every protocol's lock log as a mutex state machine shows
+    mutual exclusion (one holder per resource at a time), grant
+    discipline (acquire only by a pending requester of a free
+    resource, release only by the holder), and progress (a free
+    resource never sits idle while requests wait -- waiters are either
+    granted at the release instant or cut off by the horizon).
 
 Oracle *applicability* encodes the paper's stated assumptions: the
 identity and plain-soundness oracles demand ideal conditions (perfect
-clocks, zero latency, no live faults); SA/DS soundness tolerates
-imperfect clocks (DS uses no timers) but not latency or faults; the
+clocks, zero latency, no live faults, no shared resources -- the
+blocking-aware oracles take over on locked cases); SA/DS soundness
+tolerates imperfect clocks (DS uses no timers) but not latency or
+faults; the
 precedence oracle drops PM and MPM under imperfect clocks, where
 timer-based releases may legitimately outrun their predecessors --
 that is a finding for the skew study, not a simulator bug -- and under
@@ -352,6 +373,7 @@ def _check_clock_perfect_identity(case: FuzzCase) -> list[str]:
         horizon_periods=case.horizon_periods,
         latency=case.latency,
         faults=case.faults,
+        locking=case.locking,
         timebase=case.timebase,
     )
     issues = []
@@ -412,6 +434,7 @@ def _check_fault_free_identity(case: FuzzCase) -> list[str]:
         horizon_periods=case.horizon_periods,
         clocks=case.clocks,
         latency=case.latency,
+        locking=case.locking,
         timebase=case.timebase,
     )
     issues = []
@@ -470,6 +493,192 @@ def _check_rg_recovery_soundness(case: FuzzCase) -> list[str]:
                     f"at {fmt(event.time)} not suppressed despite "
                     f"suppress_duplicates"
                 )
+    return issues
+
+
+# ---------------------------------------------------------------------------
+# Lock-subsystem oracles
+# ---------------------------------------------------------------------------
+
+
+def _check_lock_free_identity(case: FuzzCase) -> list[str]:
+    """A locking configuration on a resource-free system is a no-op.
+
+    Rebuilds the case with *no* lock plumbing (``locking=None`` on a
+    system without critical sections) and demands byte-identical
+    release and completion maps -- no tolerance, under either timebase.
+    Any drift here means selecting a locking protocol leaks decisions
+    (or arithmetic) into a run with nothing to lock.
+    """
+    from repro.fuzz.runner import build_case
+
+    reference = build_case(
+        case.system,
+        horizon_periods=case.horizon_periods,
+        clocks=case.clocks,
+        latency=case.latency,
+        faults=case.faults,
+        timebase=case.timebase,
+    )
+    issues = []
+    if set(reference.results) != set(case.results):
+        issues.append(
+            f"protocols ran differ: {sorted(case.results)} with a locking "
+            f"configuration vs {sorted(reference.results)} without lock "
+            f"plumbing"
+        )
+    for protocol in sorted(set(reference.results) & set(case.results)):
+        ours = case.results[protocol].trace
+        theirs = reference.results[protocol].trace
+        if ours.locks is not None:
+            issues.append(
+                f"{protocol}: a lock log was recorded on a resource-free "
+                f"system"
+            )
+        for kind in ("releases", "completions"):
+            if getattr(ours, kind) != getattr(theirs, kind):
+                issues.append(
+                    f"{protocol}: {kind} under an explicit locking "
+                    f"configuration differ from the lock-free build"
+                )
+    return issues
+
+
+def _blocking_term_applies(case: FuzzCase) -> bool:
+    # PM/MPM timer releases are strictly periodic -- the arrival
+    # pattern the blocking fixpoint's (floor(W/p) + 1) count assumes.
+    # DS/RG releases jitter with completions, so their requests can
+    # bunch beyond that count; they are covered by deadlock-freedom
+    # and the lock-aware trace validator instead.
+    return (
+        not case.locks_free
+        and case.clocks_perfect
+        and case.latency == 0
+        and case.faults_null
+        and any(p in case.results for p in ("PM", "MPM"))
+    )
+
+
+def _check_blocking_term_soundness(case: FuzzCase) -> list[str]:
+    """Measured lock waits and responses vs the blocking-aware bounds.
+
+    For PM and MPM: every instance's total acquire-minus-request
+    waiting time must stay within its analyzed blocking term
+    ``B_i,j``, and simulated response times within the blocking-aware
+    SA/PM bounds the controllers were built from.
+    """
+    from repro.locks.analysis import resolved_blocking_terms
+
+    assert case.locking is not None and case.sa_pm_blocking is not None
+    terms = resolved_blocking_terms(
+        case.system, case.locking, timebase=case.timebase
+    )
+    tol = _tol(case)
+    issues = []
+    for protocol in ("PM", "MPM"):
+        result = case.results.get(protocol)
+        if result is None or result.trace.locks is None:
+            continue
+        for (sid, instance), wait in result.trace.locks.waits().items():
+            bound = terms.get(sid, 0.0)
+            if math.isinf(bound):
+                continue
+            if wait > bound + tol * max(1.0, bound):
+                issues.append(
+                    f"{protocol}: {sid}#{instance} waited {fmt(wait)} for "
+                    f"its lock(s), above the blocking term {fmt(bound)}"
+                )
+        issues.extend(
+            _soundness_issues(
+                case,
+                protocol,
+                case.sa_pm_blocking.task_bounds,
+                case.sa_pm_blocking.subtask_bounds,
+                case.sa_pm_blocking.algorithm,
+            )
+        )
+    return issues
+
+
+#: Same-timestamp replay order: requests register first, then the
+#: release frees the resource, then the handoff acquire takes it.
+_LOCK_KIND_ORDER = {"request": 0, "release": 1, "acquire": 2}
+
+
+def _replay_mutex(log) -> list[str]:
+    """Replay one lock log as a per-resource mutex state machine."""
+    issues: list[str] = []
+    by_resource: dict[str, list[tuple[float, int, int, object]]] = {}
+    for position, event in enumerate(log):
+        by_resource.setdefault(event.resource, []).append(
+            (event.time, _LOCK_KIND_ORDER[event.kind], position, event)
+        )
+    for resource, entries in sorted(by_resource.items()):
+        entries.sort(key=lambda entry: entry[:3])
+        holder: tuple | None = None
+        waiting: list[tuple] = []
+        previous_time: float | None = None
+        for time_, _rank, _position, event in entries:
+            if (
+                previous_time is not None
+                and time_ > previous_time
+                and holder is None
+                and waiting
+            ):
+                sid, instance = waiting[0]
+                issues.append(
+                    f"{resource}: free at {fmt(previous_time)} while "
+                    f"{sid}#{instance} waited (granted only later, if ever)"
+                )
+                break
+            previous_time = time_
+            key = (event.sid, event.instance)
+            if event.kind == "request":
+                waiting.append(key)
+            elif event.kind == "acquire":
+                if holder is not None:
+                    issues.append(
+                        f"{resource}: {event.sid}#{event.instance} acquired "
+                        f"at {fmt(time_)} while "
+                        f"{holder[0]}#{holder[1]} still held it"
+                    )
+                    break
+                if key not in waiting:
+                    issues.append(
+                        f"{resource}: {event.sid}#{event.instance} acquired "
+                        f"at {fmt(time_)} without a pending request"
+                    )
+                    break
+                waiting.remove(key)
+                holder = key
+            else:  # release
+                if holder != key:
+                    issues.append(
+                        f"{resource}: {event.sid}#{event.instance} released "
+                        f"at {fmt(time_)} without holding it"
+                    )
+                    break
+                holder = None
+        else:
+            if holder is None and waiting:
+                sid, instance = waiting[0]
+                issues.append(
+                    f"{resource}: run ended with the resource free while "
+                    f"{sid}#{instance} still waited (grant lost at the "
+                    f"last release)"
+                )
+    return issues
+
+
+def _check_deadlock_freedom(case: FuzzCase) -> list[str]:
+    issues = []
+    for protocol, result in case.results.items():
+        log = result.trace.locks
+        if log is None:
+            continue
+        issues.extend(
+            f"{protocol}: {issue}" for issue in _replay_mutex(log)
+        )
     return issues
 
 
@@ -577,10 +786,13 @@ ORACLES: dict[str, Oracle] = {
             # are under-converged (monotone from below), hence unsound.
             # Clock skew is irrelevant (DS arms no timers), but signal
             # latency adds unmodeled delay, so zero latency is required.
+            # Shared resources add blocking the base bounds do not
+            # model (the blocking-aware oracles cover locked cases).
             lambda case: "DS" in case.results
             and not case.sa_ds.failed
             and case.latency == 0
-            and case.faults_null,
+            and case.faults_null
+            and case.locks_free,
         ),
         Oracle(
             "analysis-dominance",
@@ -639,6 +851,7 @@ ORACLES: dict[str, Oracle] = {
             lambda case: case.sa_pm_skew is not None
             and case.latency == 0
             and case.faults_null
+            and case.locks_free
             and any(p in case.results for p in ("MPM", "RG")),
         ),
         Oracle(
@@ -656,6 +869,34 @@ ORACLES: dict[str, Oracle] = {
             "duplicates) under signal faults with full recovery",
             _check_rg_recovery_soundness,
             _rg_recovery_applies,
+        ),
+        Oracle(
+            "lock-free-identity",
+            "locking-subsystem contract (docs/locking.md)",
+            "an explicit locking configuration on a resource-free "
+            "system is byte-identical to no lock plumbing",
+            _check_lock_free_identity,
+            lambda case: case.locking is not None and case.locks_free,
+        ),
+        Oracle(
+            "blocking-term-soundness",
+            "DPCP blocking bound (docs/locking.md)",
+            "PM/MPM measured lock waits stay within the blocking terms "
+            "and responses within the blocking-aware SA/PM bounds",
+            _check_blocking_term_soundness,
+            _blocking_term_applies,
+        ),
+        Oracle(
+            "deadlock-freedom",
+            "locking-subsystem contract (docs/locking.md)",
+            "every lock log replays as a correct mutex: one holder at a "
+            "time, grant discipline, no starved waiter on a free "
+            "resource",
+            _check_deadlock_freedom,
+            # Crash-restart abandons holders and waiters mid-request,
+            # which legitimately interrupts the request lifecycle.
+            lambda case: not case.locks_free
+            and (case.faults is None or not case.faults.crashes),
         ),
         Oracle(
             "exhaustive-vs-bounds",

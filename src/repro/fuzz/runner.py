@@ -31,6 +31,11 @@ from repro.core.protocols.phase_modification import PhaseModification
 from repro.core.protocols.release_guard import ReleaseGuard
 from repro.errors import ConfigurationError
 from repro.faults import FaultConfig
+from repro.locks.analysis import (
+    analyze_sa_ds_blocking,
+    analyze_sa_pm_blocking,
+)
+from repro.locks.config import LockingConfig
 from repro.model.system import System
 from repro.model.task import SubtaskId
 from repro.sim.interfaces import ReleaseController
@@ -99,8 +104,22 @@ class FuzzCase:
     latency: float = 0.0
     #: Fault environment every simulation ran under; None = no plane.
     faults: FaultConfig | None = None
+    #: Locking configuration every simulation ran with.  Always set when
+    #: the system declares critical sections (defaulting to DPCP); may
+    #: also be set on a resource-free system, where the kernel treats it
+    #: as a strict no-op (the lock-free-identity oracle's subject).
+    locking: LockingConfig | None = None
     #: Skew-inflated SA/PM bounds; present iff the clocks are imperfect.
     sa_pm_skew: AnalysisResult | None = None
+    #: Blocking-aware analyses.  On a resource-free system these are the
+    #: *same objects* as ``sa_pm``/``sa_ds`` (the exact-reduction
+    #: contract); with critical sections they carry the DPCP / DPCP-p
+    #: blocking terms and agent interference, and the PM/MPM timer
+    #: controllers are built from ``sa_pm_blocking`` -- blocking-unaware
+    #: timers would release successors before their blocked
+    #: predecessors complete.
+    sa_pm_blocking: AnalysisResult | None = None
+    sa_ds_blocking: AnalysisResult | None = None
     #: Protocol name -> simulation result (only protocols that ran).
     results: dict[str, SimulationResult] = field(default_factory=dict)
     #: Protocol name -> reason it was skipped.
@@ -119,12 +138,23 @@ class FuzzCase:
         return self.faults is None or self.faults.is_null
 
     @property
+    def locks_free(self) -> bool:
+        """True when the system declares no critical sections."""
+        return not self.system.has_critical_sections
+
+    @property
     def ideal(self) -> bool:
-        """Perfect clocks, zero signal latency *and* no live faults --
-        the Section 3 assumptions the strictest oracles (PM/MPM
-        identity, plain SA/PM soundness, exhaustive search) are stated
-        under."""
-        return self.clocks_perfect and self.latency == 0 and self.faults_null
+        """Perfect clocks, zero signal latency, no live faults *and* no
+        shared resources -- the Section 3 assumptions the strictest
+        oracles (PM/MPM identity, plain SA/PM soundness, exhaustive
+        search) are stated under.  Locked cases are judged by the
+        blocking-aware oracles instead."""
+        return (
+            self.clocks_perfect
+            and self.latency == 0
+            and self.faults_null
+            and self.locks_free
+        )
 
     @property
     def label(self) -> str:
@@ -139,6 +169,8 @@ class FuzzCase:
             parts.append(f"latency={self.latency}")
         if self.faults is not None and not self.faults.is_null:
             parts.append(self.faults.label)
+        if self.locking is not None and not self.locks_free:
+            parts.append(self.locking.label)
         return " ".join(parts)
 
 
@@ -161,6 +193,7 @@ def build_case(
     clocks: ClockConfig | None = None,
     latency: float = 0.0,
     faults: FaultConfig | None = None,
+    locking: LockingConfig | None = None,
     timebase: Timebase | str = "float",
 ) -> FuzzCase:
     """Run all four protocols and both analyses over ``system``.
@@ -177,6 +210,12 @@ def build_case(
     cross-processor signal delay; ``faults`` arms the fault plane for
     every protocol's run (each run gets its own plane from the same
     config, so all four protocols face the same fault decisions).
+    ``locking`` selects the locking protocol arbitrating any critical
+    sections the system declares (a system with sections defaults to
+    DPCP; on a resource-free system the config is a strict no-op).  On
+    a resourceful system the PM/MPM controllers take their timers from
+    the *blocking-aware* SA/PM bounds -- blocking-unaware timers would
+    release successors before their blocked predecessors complete.
     ``timebase`` selects the arithmetic backend for both the analyses
     and the simulations; under ``"exact"`` the oracles judge with zero
     tolerance.
@@ -186,10 +225,27 @@ def build_case(
         raise ConfigurationError(
             f"latency must be finite and >= 0, got {latency!r}"
         )
+    if locking is None and system.has_critical_sections:
+        locking = LockingConfig()
     sa_pm = analyze_sa_pm(system, timebase=tb)
     sa_ds = analyze_sa_ds(
         system, max_iterations=sa_ds_max_iterations, timebase=tb
     )
+    if system.has_critical_sections:
+        sa_pm_blocking = analyze_sa_pm_blocking(
+            system, locking=locking, timebase=tb
+        )
+        sa_ds_blocking = analyze_sa_ds_blocking(
+            system,
+            locking=locking,
+            max_iterations=sa_ds_max_iterations,
+            timebase=tb,
+        )
+    else:
+        # Exact reduction: the blocking-aware analyses *are* the base
+        # analyses on a resource-free system -- same objects.
+        sa_pm_blocking = sa_pm
+        sa_ds_blocking = sa_ds
     sa_pm_skew = None
     if clocks is not None and not clocks.is_perfect:
         sa_pm_skew = analyze_sa_pm_skewed(system, clocks=clocks, timebase=tb)
@@ -204,12 +260,15 @@ def build_case(
         clocks=clocks,
         latency=latency,
         faults=faults,
+        locking=locking,
         sa_pm_skew=sa_pm_skew,
+        sa_pm_blocking=sa_pm_blocking,
+        sa_ds_blocking=sa_ds_blocking,
     )
     clock_map = None if clocks is None else clocks.build(system.processors)
     latency_model = FixedLatency(latency) if latency > 0 else None
 
-    pm_runnable = _pm_bounds_ok(sa_pm, system)
+    pm_runnable = _pm_bounds_ok(sa_pm_blocking, system)
     for protocol in CASE_PROTOCOLS:
         record_idle = False
         if protocol == "DS":
@@ -219,12 +278,13 @@ def build_case(
             record_idle = True
         else:  # PM / MPM
             if not pm_runnable:
+                algorithm = sa_pm_blocking.algorithm
                 case.skipped[protocol] = (
-                    "SA/PM bound infinite for a non-last subtask; "
+                    f"{algorithm} bound infinite for a non-last subtask; "
                     "the timer protocols cannot place releases"
                 )
                 continue
-            bounds = dict(sa_pm.subtask_bounds)
+            bounds = dict(sa_pm_blocking.subtask_bounds)
             controller = (
                 PhaseModification(bounds)
                 if protocol == "PM"
@@ -241,5 +301,6 @@ def build_case(
             clocks=clock_map,
             timebase=tb,
             faults=faults,
+            locking=locking,
         )
     return case

@@ -17,7 +17,7 @@ from repro.core.analysis.results import AnalysisResult
 from repro.errors import ConfigurationError
 from repro.experiments.surface import Surface
 from repro.model.system import System
-from repro.model.task import Subtask, Task
+from repro.model.task import CriticalSection, Subtask, Task
 
 __all__ = [
     "encode_bound",
@@ -59,6 +59,27 @@ _decode_bound = decode_bound
 # ---------------------------------------------------------------------------
 
 
+def _subtask_to_dict(stage: Subtask) -> dict[str, Any]:
+    entry: dict[str, Any] = {
+        "name": stage.name,
+        "execution_time": stage.execution_time,
+        "processor": stage.processor,
+        "priority": stage.priority,
+    }
+    # Emitted only when present: resource-free systems keep the exact
+    # historical v1 document shape (and therefore their content hashes).
+    if stage.critical_sections:
+        entry["critical_sections"] = [
+            {
+                "resource": section.resource,
+                "start": section.start,
+                "duration": section.duration,
+            }
+            for section in stage.critical_sections
+        ]
+    return entry
+
+
 def system_to_dict(system: System) -> dict[str, Any]:
     """A JSON-ready description of a system (lossless)."""
     return {
@@ -71,13 +92,7 @@ def system_to_dict(system: System) -> dict[str, Any]:
                 "phase": task.phase,
                 "deadline": task.deadline,
                 "subtasks": [
-                    {
-                        "name": stage.name,
-                        "execution_time": stage.execution_time,
-                        "processor": stage.processor,
-                        "priority": stage.priority,
-                    }
-                    for stage in task.subtasks
+                    _subtask_to_dict(stage) for stage in task.subtasks
                 ],
             }
             for task in system.tasks
@@ -109,6 +124,16 @@ def system_from_dict(data: dict[str, Any]) -> System:
                         processor=str(stage["processor"]),
                         priority=int(stage.get("priority", 0)),
                         name=stage.get("name", ""),
+                        critical_sections=tuple(
+                            CriticalSection(
+                                resource=str(section["resource"]),
+                                start=float(section["start"]),
+                                duration=float(section["duration"]),
+                            )
+                            for section in stage.get(
+                                "critical_sections", ()
+                            )
+                        ),
                     )
                     for stage in entry["subtasks"]
                 ),

@@ -1,0 +1,124 @@
+"""Static lock placement: resources to processors, agents to priorities.
+
+Everything here is a pure function of the system and the
+:class:`~repro.locks.config.LockingConfig` -- the simulation runtime and
+the blocking-aware analyses consume the *same* assignment, which is what
+makes the blocking-term-soundness oracle a meaningful cross-check.
+
+Placement
+---------
+Under **DPCP** every resource is hosted by the single synchronization
+processor ``min(system.processors)``.  Under **DPCP-p** each resource is
+hosted by the home processor of its highest-priority accessor (ties
+broken by subtask id), so independent resources spread across the
+machine and their agents execute in parallel.
+
+Agent priorities
+----------------
+A critical section executes on its host processor as an *agent* whose
+priority is the requester's priority shifted below every normal
+priority in the system (numerically smaller = higher): with ``offset =
+max_priority - min_priority + 1``, agent priority is ``requester -
+offset``.  All agents therefore preempt all normal subtasks (the DPCP
+boost rule) while preserving the requesters' relative order among
+themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.locks.config import LockingConfig
+from repro.model.system import System
+from repro.model.task import ProcessorId, SubtaskId
+
+__all__ = ["LockAssignment", "build_assignment"]
+
+
+@dataclass(frozen=True)
+class LockAssignment:
+    """The static placement implied by (system, locking config).
+
+    Attributes
+    ----------
+    config:
+        The locking protocol this assignment realizes.
+    sync_processor:
+        Host processor per resource name.
+    ceiling:
+        Priority ceiling per resource: the highest (numerically
+        smallest) normal priority among its accessors.
+    agent_priority:
+        Boosted priority per requesting subtask, used for every agent
+        chunk that subtask executes on a synchronization processor.
+    """
+
+    config: LockingConfig
+    sync_processor: Mapping[str, ProcessorId]
+    ceiling: Mapping[str, int]
+    agent_priority: Mapping[SubtaskId, int]
+
+    def host_of(self, resource: str) -> ProcessorId:
+        """The synchronization processor hosting ``resource``."""
+        return self.sync_processor[resource]
+
+    def agent_work_on(
+        self, system: System, processor: ProcessorId
+    ) -> dict[SubtaskId, float]:
+        """Total agent execution each subtask places on ``processor``.
+
+        The per-subtask sum of section durations whose resource is
+        hosted there -- the ``c_{u,P}`` terms of the remote-blocking
+        fixpoint in :mod:`repro.locks.analysis`.
+        """
+        work: dict[SubtaskId, float] = {}
+        for sid in system.subtask_ids:
+            total = 0.0
+            for section in system.subtask(sid).critical_sections:
+                if self.sync_processor[section.resource] == processor:
+                    total += section.duration
+            if total > 0:
+                work[sid] = total
+        return work
+
+
+def build_assignment(
+    system: System, config: LockingConfig | None = None
+) -> LockAssignment:
+    """Compute the lock placement of ``system`` under ``config``.
+
+    Deterministic: equal inputs give equal assignments, on any machine.
+    A system without critical sections gets an empty assignment (no
+    resources, no agents).
+    """
+    config = config if config is not None else LockingConfig()
+    priorities = [
+        system.subtask(sid).priority for sid in system.subtask_ids
+    ]
+    offset = max(priorities) - min(priorities) + 1
+    sync_processor: dict[str, ProcessorId] = {}
+    ceiling: dict[str, int] = {}
+    agent_priority: dict[SubtaskId, int] = {}
+    for resource in system.resources:
+        accessors = system.accessors_of(resource)
+        ceiling[resource] = min(
+            system.subtask(sid).priority for sid in accessors
+        )
+        if config.parallel:
+            top = min(
+                accessors,
+                key=lambda sid: (system.subtask(sid).priority, sid),
+            )
+            sync_processor[resource] = system.subtask(top).processor
+        else:
+            sync_processor[resource] = min(system.processors)
+    for sid in system.subtask_ids:
+        if system.subtask(sid).critical_sections:
+            agent_priority[sid] = system.subtask(sid).priority - offset
+    return LockAssignment(
+        config=config,
+        sync_processor=sync_processor,
+        ceiling=ceiling,
+        agent_priority=agent_priority,
+    )

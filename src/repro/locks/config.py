@@ -1,0 +1,98 @@
+"""Serializable locking-protocol configuration.
+
+A :class:`LockingConfig` describes *how* the shared resources declared
+on a system's subtasks are arbitrated, exactly like
+:class:`repro.faults.FaultConfig` describes a fault environment: it is
+JSON-friendly, hashable and picklable, and the simulation kernel turns
+it into a stateful :class:`repro.locks.manager.LockManager` per run.
+
+Two protocols are modelled, following DPCP-p (Yang et al.) and
+Brandenburg's taxonomy of distributed (non-migratory) locking:
+
+``"DPCP"``
+    The Distributed Priority Ceiling Protocol shape: **every** resource
+    is hosted by one synchronization processor (the smallest processor
+    id, deterministically), requests wait in priority order, and
+    critical sections execute there as agents at boosted priority.
+    Simple and analyzable, but the single synchronization processor is
+    a funnel: all agent demand lands on one processor.
+
+``"DPCP-p"``
+    The parallel-request variant: each resource is hosted on the home
+    processor of its highest-priority accessor, and requests are served
+    FIFO.  Independent resources live on different processors, so their
+    agents execute in parallel -- the locking-study separation is
+    exactly this funnel-versus-spread difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "LOCKING_PROTOCOLS",
+    "LockingConfig",
+    "locking_config_to_dict",
+    "locking_config_from_dict",
+]
+
+#: Supported distributed locking protocols.
+LOCKING_PROTOCOLS: tuple[str, ...] = ("DPCP", "DPCP-p")
+
+_FORMAT = "repro-locking-config-v1"
+
+#: Case-insensitive spellings accepted for each protocol.
+_CANONICAL = {
+    "DPCP": "DPCP",
+    "DPCP-P": "DPCP-p",
+    "DPCPP": "DPCP-p",
+}
+
+
+@dataclass(frozen=True)
+class LockingConfig:
+    """One locking environment: which protocol arbitrates the resources.
+
+    Attributes
+    ----------
+    protocol:
+        ``"DPCP"`` or ``"DPCP-p"`` (case-insensitive on input).
+    """
+
+    protocol: str = "DPCP"
+
+    def __post_init__(self) -> None:
+        canonical = _CANONICAL.get(str(self.protocol).upper())
+        if canonical is None:
+            raise ConfigurationError(
+                f"unknown locking protocol {self.protocol!r}; expected one "
+                f"of {'/'.join(LOCKING_PROTOCOLS)}"
+            )
+        object.__setattr__(self, "protocol", canonical)
+
+    @property
+    def parallel(self) -> bool:
+        """True for DPCP-p's spread-and-FIFO request handling."""
+        return self.protocol == "DPCP-p"
+
+    @property
+    def label(self) -> str:
+        """Short display label for reports and case labels."""
+        return f"locks={self.protocol}"
+
+
+def locking_config_to_dict(config: LockingConfig) -> dict[str, Any]:
+    """A JSON-ready description of a locking config (lossless)."""
+    return {"format": _FORMAT, "protocol": config.protocol}
+
+
+def locking_config_from_dict(data: Mapping[str, Any]) -> LockingConfig:
+    """Rebuild a config from :func:`locking_config_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise ConfigurationError(
+            f"not a {_FORMAT} document (format={data.get('format')!r})"
+        )
+    return LockingConfig(protocol=str(data.get("protocol", "DPCP")))

@@ -1,0 +1,90 @@
+"""Seeded post-pass that adds critical sections to a generated system.
+
+The synthetic workload generator (:mod:`repro.workload.generator`) is
+byte-stable: system ``k`` of a configuration is identical across runs,
+machines and releases, and several oracles depend on that.  Critical
+sections therefore enter as a *separate* seeded pass over an existing
+system -- the generator's own draws are never touched, so a workload
+with ``ratio=0`` is the exact system the generator produced, and the
+same ``(system, seed, ratio)`` triple yields the same sections
+everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.model.system import System
+from repro.model.task import CriticalSection
+
+__all__ = ["inject_critical_sections"]
+
+#: Sub-stream tag separating this pass's draws from every other seeded
+#: consumer of the same base seed (generator, fuzz planner, ...).
+_STREAM = 0x10C5
+
+
+def inject_critical_sections(
+    system: System,
+    *,
+    ratio: float,
+    resources: int = 2,
+    participation: float = 0.5,
+    seed: int = 0,
+) -> System:
+    """Return ``system`` with critical sections drawn onto its subtasks.
+
+    Each subtask independently participates with probability
+    ``participation``; a participating subtask gets one critical section
+    on a uniformly drawn resource (``R1`` .. ``R<resources>``) of
+    duration ``ratio * execution_time``, placed uniformly within its
+    execution.  ``ratio=0`` returns the input system unchanged (the
+    identity contract the lock-free oracles rely on).
+    """
+    if not 0 <= ratio < 1:
+        raise ConfigurationError(
+            f"critical-section ratio must be in [0, 1), got {ratio!r}"
+        )
+    if resources < 1:
+        raise ConfigurationError(
+            f"resources must be >= 1, got {resources!r}"
+        )
+    if not 0 <= participation <= 1:
+        raise ConfigurationError(
+            f"participation must be in [0, 1], got {participation!r}"
+        )
+    if ratio == 0:
+        return system
+    rng = np.random.default_rng([seed, _STREAM])
+    names = [f"R{index + 1}" for index in range(resources)]
+    tasks = []
+    for task in system.tasks:
+        stages = []
+        for stage in task.subtasks:
+            # Fixed draw order per subtask (coin, resource, start) keeps
+            # the pass deterministic even across participation changes.
+            coin = rng.uniform()
+            resource = names[int(rng.integers(resources))]
+            offset = float(rng.uniform())
+            if coin >= participation:
+                stages.append(stage)
+                continue
+            duration = ratio * stage.execution_time
+            start = offset * (stage.execution_time - duration)
+            stages.append(
+                replace(
+                    stage,
+                    critical_sections=(
+                        CriticalSection(
+                            resource=resource,
+                            start=start,
+                            duration=duration,
+                        ),
+                    ),
+                )
+            )
+        tasks.append(replace(task, subtasks=tuple(stages)))
+    return System(tuple(tasks), name=f"{system.name}+locks")

@@ -1,0 +1,172 @@
+"""Observable lock history: request/acquire/release events.
+
+The :class:`LockManager` appends a :class:`LockEvent` for every state
+transition of every lock request.  The log is attached to the trace
+(``trace.locks``) so downstream consumers can reason about blocking
+without replaying the simulation:
+
+* the lock-aware trace validator excuses priority inversions that a
+  documented agent hold or requester suspension explains;
+* the blocking-term-soundness fuzz oracle compares each instance's
+  measured waiting time against the analyzed blocking bound;
+* the deadlock-freedom oracle replays the events as a mutex state
+  machine and checks mutual exclusion and grant discipline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.model.task import ProcessorId, SubtaskId
+
+__all__ = ["LockEvent", "LockLog"]
+
+#: Event kinds, in the lifecycle order of a single request.
+_KINDS = ("request", "acquire", "release")
+
+
+@dataclass(frozen=True)
+class LockEvent:
+    """One transition in the life of a lock request.
+
+    ``kind`` is ``"request"`` (the instance reached a critical section
+    and asked for the resource), ``"acquire"`` (the manager granted it
+    and scheduled the agent chunk) or ``"release"`` (the agent chunk
+    finished and the resource was freed).  ``processor`` is the
+    synchronization processor hosting the resource.
+    """
+
+    kind: str
+    time: float
+    sid: SubtaskId
+    instance: int
+    resource: str
+    processor: ProcessorId
+
+
+@dataclass
+class LockLog:
+    """Append-only record of lock traffic for one simulation run."""
+
+    events: list[LockEvent] = field(default_factory=list)
+
+    def note(
+        self,
+        kind: str,
+        time: float,
+        sid: SubtaskId,
+        instance: int,
+        resource: str,
+        processor: ProcessorId,
+    ) -> None:
+        """Record one event (kinds outside the lifecycle are rejected)."""
+        if kind not in _KINDS:
+            raise ValueError(f"unknown lock event kind {kind!r}")
+        self.events.append(
+            LockEvent(
+                kind=kind,
+                time=time,
+                sid=sid,
+                instance=instance,
+                resource=resource,
+                processor=processor,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[LockEvent]:
+        return iter(self.events)
+
+    # -- interval views ------------------------------------------------
+
+    def _paired_intervals(
+        self, start_kind: str, end_kind: str
+    ) -> dict[tuple[SubtaskId, int], list[tuple[float, float]]]:
+        """[start, end) interval per request, matched in event order.
+
+        A request still open at the end of the run (its section was cut
+        off by the horizon) yields an interval ending at ``inf`` -- the
+        conservative reading for every consumer: the validator keeps
+        excusing, the oracles treat the request as unresolved.
+        """
+        intervals: dict[
+            tuple[SubtaskId, int], list[tuple[float, float]]
+        ] = {}
+        open_starts: dict[tuple[SubtaskId, int, str], float] = {}
+        for event in self.events:
+            slot = (event.sid, event.instance, event.resource)
+            if event.kind == start_kind:
+                open_starts.setdefault(slot, event.time)
+            elif event.kind == end_kind and slot in open_starts:
+                start = open_starts.pop(slot)
+                intervals.setdefault((event.sid, event.instance), []).append(
+                    (start, event.time)
+                )
+        for (sid, instance, _resource), start in open_starts.items():
+            intervals.setdefault((sid, instance), []).append(
+                (start, math.inf)
+            )
+        return intervals
+
+    def hold_intervals(
+        self,
+    ) -> dict[tuple[SubtaskId, int], list[tuple[float, float]]]:
+        """Per instance: [acquire, release) spans of its agent chunks."""
+        return self._paired_intervals("acquire", "release")
+
+    def suspension_intervals(
+        self,
+    ) -> dict[tuple[SubtaskId, int], list[tuple[float, float]]]:
+        """Per instance: [request, release) spans -- the full window in
+        which the instance is away from its home processor for a lock
+        (waiting in the queue or executing the agent chunk)."""
+        return self._paired_intervals("request", "release")
+
+    def waits(self) -> dict[tuple[SubtaskId, int], float]:
+        """Total acquire-minus-request waiting time per instance.
+
+        Requests never acquired by the end of the run are *excluded*
+        (their wait is horizon-truncated, not protocol-induced); the
+        blocking-soundness oracle accounts for them separately.
+        """
+        waits: dict[tuple[SubtaskId, int], float] = {}
+        pending: dict[tuple[SubtaskId, int, str], float] = {}
+        for event in self.events:
+            slot = (event.sid, event.instance, event.resource)
+            if event.kind == "request":
+                pending.setdefault(slot, event.time)
+            elif event.kind == "acquire" and slot in pending:
+                requested = pending.pop(slot)
+                key = (event.sid, event.instance)
+                waits[key] = waits.get(key, 0.0) + (event.time - requested)
+        return waits
+
+    def unacquired(self) -> set[tuple[SubtaskId, int]]:
+        """Instances with a request that never reached acquire."""
+        pending: set[tuple[SubtaskId, int, str]] = set()
+        for event in self.events:
+            slot = (event.sid, event.instance, event.resource)
+            if event.kind == "request":
+                pending.add(slot)
+            elif event.kind == "acquire":
+                pending.discard(slot)
+        return {(sid, instance) for (sid, instance, _r) in pending}
+
+    def counts(self) -> Mapping[str, int]:
+        """Event tallies by kind (for summaries and quick sanity checks)."""
+        tally = {kind: 0 for kind in _KINDS}
+        for event in self.events:
+            tally[event.kind] += 1
+        return tally
+
+    def describe(self) -> str:
+        """One human line: ``requests=12 acquires=12 releases=11``."""
+        tally = self.counts()
+        return (
+            f"requests={tally['request']} acquires={tally['acquire']} "
+            f"releases={tally['release']}"
+        )

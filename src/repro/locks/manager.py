@@ -1,0 +1,362 @@
+"""The locking runtime: phase-splitting, suspension, agent scheduling.
+
+A subtask instance with critical sections does not execute as one block
+on its home processor.  The manager splits its demand into a *chunk
+plan* -- alternating non-critical execution chunks (home processor,
+normal priority) and critical-section *agent* chunks (the resource's
+synchronization processor, boosted agent priority) -- and walks the plan
+chunk by chunk:
+
+* an execution chunk is handed to the home scheduler like any release;
+* a section chunk first *requests* the resource: if free it is granted
+  immediately and the agent chunk is scheduled on the synchronization
+  processor; otherwise the instance suspends in the resource's waiter
+  queue (priority order under DPCP, FIFO under DPCP-p);
+* when an agent chunk completes, the resource is released and the next
+  waiter (if any) is granted.
+
+All chunks are recorded against the real ``(sid, instance)`` key, so the
+trace's conservation invariant (segments sum to demand) holds across the
+home and synchronization processors.  Instances that are *away* from
+their home processor -- suspended in a waiter queue or executing an agent
+chunk remotely -- still count against Definition 1's idle-point test
+there: the kernel consults :meth:`LockManager.has_away_on` before
+declaring a processor idle.
+
+Crash windows (fault plane): a crash on a processor abandons every plan
+currently located there (the scheduler wiped the chunk) and every plan
+homed there, freeing any lock the victim held and granting the next
+waiter.  This is deliberately coarse -- the fault campaigns never combine
+crash windows with locking, so the goal is merely to not wedge.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.locks.assignment import LockAssignment, build_assignment
+from repro.locks.config import LockingConfig
+from repro.locks.log import LockLog
+from repro.model.task import ProcessorId, SubtaskId
+from repro.timebase import fmt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Kernel
+
+__all__ = ["LockManager"]
+
+#: Instance key, as used by the trace.
+_Key = tuple[SubtaskId, int]
+
+
+@dataclass(frozen=True)
+class _Chunk:
+    """One contiguous piece of an instance's demand.
+
+    ``kind`` is ``"exec"`` (home processor, normal priority) or
+    ``"section"`` (agent chunk on ``resource``'s synchronization
+    processor at boosted priority).
+    """
+
+    kind: str
+    length: float
+    resource: str | None = None
+
+
+@dataclass
+class _Plan:
+    """Progress of one instance through its chunks."""
+
+    sid: SubtaskId
+    instance: int
+    home: ProcessorId
+    chunks: list[_Chunk]
+    index: int = 0
+
+    @property
+    def key(self) -> _Key:
+        return (self.sid, self.instance)
+
+    @property
+    def current(self) -> _Chunk:
+        return self.chunks[self.index]
+
+    @property
+    def on_last_chunk(self) -> bool:
+        return self.index == len(self.chunks) - 1
+
+
+@dataclass
+class _ResourceState:
+    """Holder and waiter queue of one resource."""
+
+    holder: _Key | None = None
+    #: Heap of (discipline key, plan key); lazily pruned on pop.
+    waiters: list[tuple[tuple, _Key]] = field(default_factory=list)
+
+
+class LockManager:
+    """Per-run lock state machine, owned by the simulation kernel.
+
+    Built only when the system has critical sections; a kernel without
+    one follows the exact historical code path, byte for byte.
+    """
+
+    def __init__(self, kernel: "Kernel", config: LockingConfig) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.assignment: LockAssignment = build_assignment(
+            kernel.system, config
+        )
+        self.log = LockLog()
+        self._plans: dict[_Key, _Plan] = {}
+        self._resources: dict[str, _ResourceState] = {
+            resource: _ResourceState()
+            for resource in kernel.system.resources
+        }
+        #: Instances away from their home processor (suspended in a
+        #: waiter queue or executing an agent chunk), keyed by home.
+        self._away: dict[ProcessorId, set[_Key]] = {}
+        #: Plans abandoned by a crash; their waiter entries are pruned
+        #: lazily when popped.
+        self._cancelled: set[_Key] = set()
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Queries used by the kernel
+    # ------------------------------------------------------------------
+    def manages(self, sid: SubtaskId, instance: int) -> bool:
+        """True while ``(sid, instance)`` has an active chunk plan."""
+        return (sid, instance) in self._plans
+
+    def has_away_on(self, processor: ProcessorId) -> bool:
+        """True when an instance homed on ``processor`` is released but
+        away (waiting for or holding a lock) -- it blocks Definition 1's
+        idle point there even though the home scheduler cannot see it."""
+        return bool(self._away.get(processor))
+
+    def completes_at(self, sid: SubtaskId, instance: int, now: float) -> bool:
+        """Lock-aware version of the kernel's completes-at-this-instant
+        grace check: True only when the instance is executing the *last*
+        chunk of its plan and that chunk finishes by ``now``."""
+        plan = self._plans.get((sid, instance))
+        if plan is None or not plan.on_last_chunk:
+            return False
+        chunk = plan.current
+        if chunk.kind == "section":
+            resource = self._resources[chunk.resource]
+            if resource.holder != plan.key:
+                return False  # still waiting -- cannot be completing
+            processor = self.assignment.host_of(chunk.resource)
+        else:
+            processor = plan.home
+        scheduler = self.kernel.schedulers[processor]
+        running = scheduler.running
+        if (
+            running is None
+            or running.sid != sid
+            or running.instance != instance
+        ):
+            return False
+        finish = scheduler.pending_completion_time()
+        assert finish is not None
+        return self.kernel.timebase.leq(finish, now)
+
+    # ------------------------------------------------------------------
+    # Admission (called from Kernel.release)
+    # ------------------------------------------------------------------
+    def admit(
+        self, sid: SubtaskId, instance: int, demand: float, now: float
+    ) -> None:
+        """Build the chunk plan for a released instance and start it."""
+        plan = _Plan(
+            sid=sid,
+            instance=instance,
+            home=self.kernel.system.subtask(sid).processor,
+            chunks=self._build_chunks(sid, instance, demand),
+        )
+        self._plans[plan.key] = plan
+        self._start_chunk(plan, now)
+
+    def _build_chunks(
+        self, sid: SubtaskId, instance: int, demand: float
+    ) -> list[_Chunk]:
+        """Split ``demand`` along the subtask's critical-section layout.
+
+        When the demand equals the nominal WCET the nominal chunk
+        lengths are used verbatim (no arithmetic, no float noise).  A
+        varied demand scales every chunk proportionally, with the last
+        chunk taking the exact remainder so the chunks sum to the
+        demand bit-for-bit.
+        """
+        tb = self.kernel.timebase
+        subtask = self.kernel.system.subtask(sid)
+        chunks: list[_Chunk] = []
+        cursor = tb.zero
+        for section in subtask.critical_sections:
+            start = tb.convert(section.start)
+            gap = start - cursor
+            if tb.is_positive(gap):
+                chunks.append(_Chunk("exec", gap))
+            duration = tb.convert(section.duration)
+            chunks.append(_Chunk("section", duration, section.resource))
+            cursor = start + duration
+        wcet = tb.convert(subtask.execution_time)
+        tail = wcet - cursor
+        if tb.is_positive(tail):
+            chunks.append(_Chunk("exec", tail))
+        if demand == wcet:
+            return chunks
+        scaled: list[_Chunk] = []
+        running_total = tb.zero
+        for chunk in chunks[:-1]:
+            length = chunk.length * demand / wcet
+            running_total += length
+            scaled.append(
+                _Chunk(chunk.kind, length, chunk.resource)
+            )
+        last = chunks[-1]
+        remainder = demand - running_total
+        scaled.append(_Chunk(last.kind, remainder, last.resource))
+        for chunk in scaled:
+            if not tb.is_positive(chunk.length):
+                raise SimulationError(
+                    f"demand {fmt(demand)} for {sid}#{instance} leaves a "
+                    f"non-positive {chunk.kind} chunk ({fmt(chunk.length)}); "
+                    f"demand variation cannot erase a critical section"
+                )
+        return scaled
+
+    # ------------------------------------------------------------------
+    # Chunk lifecycle
+    # ------------------------------------------------------------------
+    def _start_chunk(self, plan: _Plan, now: float) -> None:
+        chunk = plan.current
+        if chunk.kind == "exec":
+            self.kernel.schedulers[plan.home].add(
+                plan.sid, plan.instance, chunk.length, now
+            )
+            return
+        # Section chunk: the instance leaves its home processor (it is
+        # "away" from request to release) and asks for the resource.
+        host = self.assignment.host_of(chunk.resource)
+        self._away.setdefault(plan.home, set()).add(plan.key)
+        self.log.note(
+            "request", now, plan.sid, plan.instance, chunk.resource, host
+        )
+        state = self._resources[chunk.resource]
+        if state.holder is None:
+            self._grant(chunk.resource, plan, now)
+        else:
+            heapq.heappush(
+                state.waiters, (self._waiter_key(plan, now), plan.key)
+            )
+
+    def _waiter_key(self, plan: _Plan, now: float) -> tuple:
+        """Queue discipline: DPCP serves waiters in requester-priority
+        order; DPCP-p serves them FIFO.  The sequence number makes both
+        total orders (and runs deterministic)."""
+        if self.config.parallel:
+            return (now, next(self._seq))
+        priority = self.kernel.system.subtask(plan.sid).priority
+        return (priority, now, next(self._seq))
+
+    def _grant(self, resource: str, plan: _Plan, now: float) -> None:
+        """Give ``resource`` to ``plan`` and schedule its agent chunk."""
+        host = self.assignment.host_of(resource)
+        self._resources[resource].holder = plan.key
+        self.log.note(
+            "acquire", now, plan.sid, plan.instance, resource, host
+        )
+        self.kernel.schedulers[host].add(
+            plan.sid,
+            plan.instance,
+            plan.current.length,
+            now,
+            priority=self.assignment.agent_priority[plan.sid],
+        )
+
+    def on_chunk_complete(
+        self, sid: SubtaskId, instance: int, now: float
+    ) -> bool:
+        """A chunk of a managed instance finished executing.
+
+        Releases the lock (and grants the next waiter) if the chunk was
+        a section, then advances the plan.  Returns True when that was
+        the final chunk -- the kernel then runs its normal completion
+        path -- and False otherwise, after starting the next chunk.
+        """
+        plan = self._plans[(sid, instance)]
+        chunk = plan.current
+        if chunk.kind == "section":
+            self._release(chunk.resource, plan, now)
+        plan.index += 1
+        if plan.index == len(plan.chunks):
+            del self._plans[plan.key]
+            return True
+        self._start_chunk(plan, now)
+        return False
+
+    def _release(self, resource: str, plan: _Plan, now: float) -> None:
+        host = self.assignment.host_of(resource)
+        state = self._resources[resource]
+        if state.holder != plan.key:  # pragma: no cover - invariant
+            raise SimulationError(
+                f"{plan.sid}#{plan.instance} released {resource!r} "
+                f"without holding it"
+            )
+        state.holder = None
+        self._away.get(plan.home, set()).discard(plan.key)
+        self.log.note(
+            "release", now, plan.sid, plan.instance, resource, host
+        )
+        self._grant_next(resource, now)
+
+    def _grant_next(self, resource: str, now: float) -> None:
+        state = self._resources[resource]
+        while state.waiters:
+            _key, plan_key = heapq.heappop(state.waiters)
+            if plan_key in self._cancelled:
+                self._cancelled.discard(plan_key)
+                continue
+            self._grant(resource, self._plans[plan_key], now)
+            return
+
+    # ------------------------------------------------------------------
+    # Crash composition
+    # ------------------------------------------------------------------
+    def on_crash(self, processor: ProcessorId, now: float) -> None:
+        """Abandon plans stranded by a crash of ``processor``.
+
+        Covers plans whose current chunk lives there (the scheduler
+        just wiped it) and plans homed there (future chunks have no
+        processor to return to).  Held locks are freed and the next
+        waiter granted, so the rest of the system keeps making
+        progress; the fault log already documents the lost instances.
+        """
+        for key in list(self._plans):
+            plan = self._plans[key]
+            chunk = plan.current
+            location = (
+                self.assignment.host_of(chunk.resource)
+                if chunk.kind == "section"
+                else plan.home
+            )
+            if processor in (location, plan.home):
+                self._abandon(plan, now)
+
+    def _abandon(self, plan: _Plan, now: float) -> None:
+        chunk = plan.current
+        if chunk.kind == "section":
+            state = self._resources[chunk.resource]
+            if state.holder == plan.key:
+                state.holder = None
+                self._grant_next(chunk.resource, now)
+            else:
+                self._cancelled.add(plan.key)
+        self._away.get(plan.home, set()).discard(plan.key)
+        del self._plans[plan.key]

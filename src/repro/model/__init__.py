@@ -19,7 +19,13 @@ from repro.model.priority import (
     rate_monotonic,
 )
 from repro.model.system import System
-from repro.model.task import ProcessorId, Subtask, SubtaskId, Task
+from repro.model.task import (
+    CriticalSection,
+    ProcessorId,
+    Subtask,
+    SubtaskId,
+    Task,
+)
 from repro.model.validation import (
     ValidationReport,
     check_consecutive_placement,
@@ -35,6 +41,7 @@ __all__ = [
     "ultimate_deadline",
     "insert_link_stages",
     "uniform_link",
+    "CriticalSection",
     "ProcessorId",
     "Subtask",
     "SubtaskId",

@@ -12,7 +12,13 @@ from functools import cached_property
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import ModelError
-from repro.model.task import ProcessorId, Subtask, SubtaskId, Task
+from repro.model.task import (
+    CriticalSection,
+    ProcessorId,
+    Subtask,
+    SubtaskId,
+    Task,
+)
 
 __all__ = ["System"]
 
@@ -142,6 +148,53 @@ class System:
             for other in self.subtasks_on(me.processor)
             if other != sid and self.subtask(other).priority <= me.priority
         )
+
+    # ------------------------------------------------------------------
+    # Shared resources
+    # ------------------------------------------------------------------
+    @cached_property
+    def has_critical_sections(self) -> bool:
+        """True when any subtask declares a critical section.
+
+        The simulator's lock machinery and the blocking-aware analyses
+        gate on this: a system without critical sections takes the bare
+        (lock-free) paths byte-identically.
+        """
+        return any(
+            stage.critical_sections
+            for task in self.tasks
+            for stage in task.subtasks
+        )
+
+    @cached_property
+    def resources(self) -> tuple[str, ...]:
+        """All shared-resource names referenced by any section, sorted."""
+        seen: set[str] = set()
+        for task in self.tasks:
+            for stage in task.subtasks:
+                for section in stage.critical_sections:
+                    seen.add(section.resource)
+        return tuple(sorted(seen))
+
+    @cached_property
+    def _resource_accessors(self) -> Mapping[str, tuple[SubtaskId, ...]]:
+        table: dict[str, list[SubtaskId]] = {r: [] for r in self.resources}
+        for sid in self.subtask_ids:
+            for section in self.subtask(sid).critical_sections:
+                if sid not in table[section.resource]:
+                    table[section.resource].append(sid)
+        return {r: tuple(ids) for r, ids in table.items()}
+
+    def accessors_of(self, resource: str) -> tuple[SubtaskId, ...]:
+        """Subtask ids with at least one section on ``resource``."""
+        try:
+            return self._resource_accessors[resource]
+        except KeyError:
+            raise ModelError(f"unknown resource {resource!r}") from None
+
+    def sections_of(self, sid: SubtaskId) -> tuple[CriticalSection, ...]:
+        """The critical sections of one subtask, sorted by start offset."""
+        return self.subtask(sid).critical_sections
 
     # ------------------------------------------------------------------
     # Aggregates

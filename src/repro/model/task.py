@@ -34,6 +34,7 @@ from repro.errors import ModelError
 __all__ = [
     "ProcessorId",
     "SubtaskId",
+    "CriticalSection",
     "Subtask",
     "Task",
     "subtask_display_name",
@@ -88,6 +89,50 @@ def subtask_display_name(task_index: int, subtask_index: int) -> str:
 
 
 @dataclass(frozen=True)
+class CriticalSection:
+    """A shared-resource access inside one subtask's execution.
+
+    The section is an interval of the subtask's *own* execution: it
+    begins after ``start`` units of the subtask's work and holds
+    ``resource`` for ``duration`` units.  Section time is part of the
+    subtask's ``execution_time`` (so WCET conservation holds whether the
+    section runs on the home processor or, under DPCP, as a remote agent
+    on a synchronization processor).
+
+    Sections within one subtask must be disjoint -- the model rejects
+    nested or overlapping sections outright, which is what makes the
+    locking protocols deadlock-free by construction (a lock holder never
+    requests a second resource while holding the first).
+    """
+
+    resource: str
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.resource, str) or not self.resource:
+            raise ModelError(
+                f"critical-section resource must be a non-empty string, "
+                f"got {self.resource!r}"
+            )
+        if not math.isfinite(self.start) or self.start < 0:
+            raise ModelError(
+                f"critical-section start must be finite and >= 0, "
+                f"got {self.start!r}"
+            )
+        if not math.isfinite(self.duration) or self.duration <= 0:
+            raise ModelError(
+                f"critical-section duration must be positive and finite, "
+                f"got {self.duration!r}"
+            )
+
+    @property
+    def end(self) -> float:
+        """Offset into the subtask's execution at which the lock releases."""
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
 class Subtask:
     """One stage of an end-to-end task chain.
 
@@ -106,12 +151,19 @@ class Subtask:
         Optional human-readable label (``"sample"``, ``"transfer"`` ...).
         Defaults to the positional name once the subtask is embedded in a
         :class:`Task` inside a :class:`repro.model.system.System`.
+    critical_sections:
+        Shared-resource accesses inside this subtask's execution, as
+        disjoint :class:`CriticalSection` intervals of
+        ``[0, execution_time]``.  Stored sorted by start offset; nested
+        or overlapping sections are rejected (no lock holder may request
+        another resource).
     """
 
     execution_time: float
     processor: ProcessorId
     priority: int = 0
     name: str = ""
+    critical_sections: tuple[CriticalSection, ...] = ()
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.execution_time) or self.execution_time <= 0:
@@ -128,10 +180,42 @@ class Subtask:
             raise ModelError(
                 f"subtask priority must be an int, got {self.priority!r}"
             )
+        if not isinstance(self.critical_sections, tuple):
+            object.__setattr__(
+                self, "critical_sections", tuple(self.critical_sections)
+            )
+        for section in self.critical_sections:
+            if not isinstance(section, CriticalSection):
+                raise ModelError(
+                    f"critical_sections must contain CriticalSection "
+                    f"instances, got {section!r}"
+                )
+            if section.end > self.execution_time:
+                raise ModelError(
+                    f"critical section on {section.resource!r} ends at "
+                    f"offset {section.end!r}, beyond the subtask's "
+                    f"execution time {self.execution_time!r}"
+                )
+        ordered = tuple(
+            sorted(self.critical_sections, key=lambda s: (s.start, s.end))
+        )
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later.start < earlier.end:
+                raise ModelError(
+                    f"critical sections on {earlier.resource!r} and "
+                    f"{later.resource!r} overlap (nested resource holds "
+                    f"are not part of the model)"
+                )
+        object.__setattr__(self, "critical_sections", ordered)
 
     def with_priority(self, priority: int) -> "Subtask":
         """Return a copy of this subtask with a different priority."""
         return replace(self, priority=priority)
+
+    @property
+    def critical_time(self) -> float:
+        """Total execution time spent holding any resource."""
+        return sum(section.duration for section in self.critical_sections)
 
 
 @dataclass(frozen=True)

@@ -95,6 +95,37 @@ def _duplicate_priorities(system: System) -> list[str]:
     return messages
 
 
+def _resource_notes(system: System) -> list[str]:
+    """Warnings about shared-resource declarations.
+
+    Nested and overlapping sections are rejected by the
+    :class:`~repro.model.task.Subtask` constructor (they are
+    unrepresentable), so the checks here cover the representable-but-
+    suspicious shapes: a resource with a single accessor (the lock can
+    never block anything) and a subtask spending its entire WCET inside
+    critical sections (no preemptible work remains on its home
+    processor under DPCP).
+    """
+    messages: list[str] = []
+    for resource in system.resources:
+        accessors = system.accessors_of(resource)
+        if len(accessors) == 1:
+            messages.append(
+                f"resource {resource!r} is accessed only by {accessors[0]}; "
+                f"the lock can never block"
+            )
+    for sid in system.subtask_ids:
+        subtask = system.subtask(sid)
+        if subtask.critical_sections and (
+            subtask.critical_time >= subtask.execution_time
+        ):
+            messages.append(
+                f"{sid} spends its entire execution inside critical "
+                f"sections; no non-critical work remains"
+            )
+    return messages
+
+
 def validate_system(system: System) -> ValidationReport:
     """Run all checks, returning a :class:`ValidationReport`.
 
@@ -105,7 +136,9 @@ def validate_system(system: System) -> ValidationReport:
       * consecutive siblings sharing a processor;
       * duplicate priorities on one processor;
       * a task whose end-to-end deadline is below its total execution time
-        (trivially unschedulable).
+        (trivially unschedulable);
+      * suspicious shared-resource declarations (single-accessor
+        resources, fully-critical subtasks).
     """
     report = ValidationReport()
     for processor, utilization in system.utilizations().items():
@@ -119,6 +152,7 @@ def validate_system(system: System) -> ValidationReport:
             f"processor {system.subtask(sid).processor!r}"
         )
     report.warnings.extend(_duplicate_priorities(system))
+    report.warnings.extend(_resource_notes(system))
     for index, task in enumerate(system.tasks):
         if task.total_execution_time > task.relative_deadline:
             report.warnings.append(

@@ -1,8 +1,9 @@
 """The admission controller: analyses + advisor behind a cache.
 
 :func:`compute_decision` is the pure decision procedure -- one SA/PM
-run, one SA/DS run, a skew-inflated SA/PM run when the request declares
-a clock-quality envelope, the Section 6 advisor on top -- and
+run, one SA/DS run (the blocking-aware variants when the request
+declares shared resources), a skew-inflated SA/PM run when the request
+declares a clock-quality envelope, the Section 6 advisor on top -- and
 :class:`AdmissionController` wraps it with content-hash memoization
 (:mod:`repro.service.cache`) and observability
 (:mod:`repro.service.metrics`).  The controller is what a long-running
@@ -19,6 +20,7 @@ from repro.advisor import recommend_protocol
 from repro.core.analysis.sa_ds import analyze_sa_ds
 from repro.core.analysis.sa_pm import analyze_sa_pm
 from repro.core.analysis.skew import analyze_sa_pm_skewed
+from repro.locks import analyze_sa_ds_blocking, analyze_sa_pm_blocking
 from repro.model.system import System
 from repro.service.cache import CacheStats, DecisionCache
 from repro.service.hashing import request_key
@@ -42,16 +44,29 @@ def compute_decision(
     decision, which is what makes the content-hash cache sound.
     """
     system = request.system
-    sa_pm = analyze_sa_pm(system)
-    sa_ds = analyze_sa_ds(
-        system, max_iterations=request.sa_ds_max_iterations
-    )
+    if request.shared_resources:
+        # Blocking-aware variants: remote blocking, agent interference
+        # and suspension-as-jitter deferrals under DPCP.  On a
+        # section-free system they return the base results exactly, so
+        # a platform merely *declaring* contention decides identically.
+        sa_pm = analyze_sa_pm_blocking(system)
+        sa_ds = analyze_sa_ds_blocking(
+            system, max_iterations=request.sa_ds_max_iterations
+        )
+    else:
+        sa_pm = analyze_sa_pm(system)
+        sa_ds = analyze_sa_ds(
+            system, max_iterations=request.sa_ds_max_iterations
+        )
     per_analysis = {"SA/PM": sa_pm, "SA/DS": sa_ds}
     skewed_clocks = bool(
         request.clock_rate_bound or request.clock_jump_bound
     )
+    resourceful = (
+        request.shared_resources and system.has_critical_sections
+    )
     sa_pm_skew = None
-    if skewed_clocks:
+    if skewed_clocks and not resourceful:
         sa_pm_skew = analyze_sa_pm_skewed(
             system,
             rate=request.clock_rate_bound,
@@ -75,7 +90,12 @@ def compute_decision(
                 and not skewed_clocks
             )
         # MPM / RG measure durations: under a declared skew envelope
-        # the skew-inflated bounds certify them.
+        # the skew-inflated bounds certify them -- except on a system
+        # with critical sections, where no analysis composes the skew
+        # inflation with the blocking terms; that combination is
+        # uncertifiable outright.
+        if skewed_clocks and resourceful:
+            return False
         if sa_pm_skew is not None:
             return sa_pm_skew.schedulable
         return sa_pm.schedulable
@@ -97,6 +117,7 @@ def compute_decision(
             and request.synchronized_clocks
             and not skewed_clocks
         ),
+        shared_resources=request.shared_resources,
         sa_pm=sa_pm,
         sa_ds=sa_ds,
     )

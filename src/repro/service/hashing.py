@@ -37,7 +37,13 @@ from repro.model.system import System
 from repro.service.requests import AdmissionRequest
 from repro.timebase import canonical_number
 
-__all__ = ["KEY_FORMAT", "canonical_payload", "request_key", "system_key"]
+__all__ = [
+    "KEY_FORMAT",
+    "KEY_FORMAT_V3",
+    "canonical_payload",
+    "request_key",
+    "system_key",
+]
 
 #: Version tag baked into every key; bump when the payload shape changes
 #: so stale persisted caches miss instead of serving wrong answers.
@@ -45,11 +51,22 @@ __all__ = ["KEY_FORMAT", "canonical_payload", "request_key", "system_key"]
 #: clock_jump_bound) joined the decision content.
 KEY_FORMAT = "repro-admission-key-v2"
 
+#: Shared-resource requests key under v3: the payload gains the
+#: ``shared_resources`` flag (and the system document carries the
+#: critical sections), so a v2 cache entry -- computed by the base,
+#: blocking-unaware analyses -- can never be silently served for a
+#: resourceful task set.  Resource-free requests keep their exact v2
+#: payload, so every historical key stays byte-identical.
+KEY_FORMAT_V3 = "repro-admission-key-v3"
+
 
 def canonical_payload(request: AdmissionRequest) -> dict[str, Any]:
     """The exact dictionary that gets hashed (useful for debugging)."""
-    return {
-        "format": KEY_FORMAT,
+    resourceful = (
+        request.shared_resources or request.system.has_critical_sections
+    )
+    payload: dict[str, Any] = {
+        "format": KEY_FORMAT_V3 if resourceful else KEY_FORMAT,
         "system": system_to_dict(request.system),
         "protocols": list(request.protocols),
         "jitter_sensitive": request.jitter_sensitive,
@@ -61,6 +78,9 @@ def canonical_payload(request: AdmissionRequest) -> dict[str, Any]:
         "clock_jump_bound": request.clock_jump_bound,
         "sa_ds_max_iterations": request.sa_ds_max_iterations,
     }
+    if resourceful:
+        payload["shared_resources"] = request.shared_resources
+    return payload
 
 
 def _canonical_default(value: Any) -> Any:

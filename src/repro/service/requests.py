@@ -83,6 +83,14 @@ class AdmissionRequest:
         analysis (:func:`repro.core.analysis.skew.analyze_sa_pm_skewed`)
         and PM is excluded (epsilon-synchronized is not synchronized
         enough for an absolute phase table).
+    shared_resources:
+        Whether the deployment's tasks contend on shared resources
+        (critical sections under DPCP/DPCP-p locking).  Implied True
+        whenever the system itself declares critical sections;
+        declaring it on a section-free system marks a platform whose
+        workload *will* contend even though this description does not.
+        Certification then uses the blocking-aware analyses and the
+        advisor vetoes combinations they cannot cover.
     sa_ds_max_iterations:
         Iteration budget of the SA/DS fixed point (the paper's 300).
     request_id:
@@ -99,6 +107,7 @@ class AdmissionRequest:
     synchronized_clocks: bool = True
     clock_rate_bound: float = 0.0
     clock_jump_bound: float = 0.0
+    shared_resources: bool = False
     sa_ds_max_iterations: int = 300
     request_id: str = ""
 
@@ -140,6 +149,11 @@ class AdmissionRequest:
                 f"clock_jump_bound must be finite and >= 0, "
                 f"got {self.clock_jump_bound!r}"
             )
+        # A system that declares critical sections is a shared-resource
+        # deployment whether or not the caller said so; normalizing here
+        # keeps the cache key and the decision logic in agreement.
+        if self.system.has_critical_sections and not self.shared_resources:
+            object.__setattr__(self, "shared_resources", True)
 
     def with_request_id(self, request_id: str) -> "AdmissionRequest":
         """Copy of this request with only the caller tag replaced."""
@@ -220,6 +234,7 @@ def request_to_dict(request: AdmissionRequest) -> dict[str, Any]:
         "synchronized_clocks": request.synchronized_clocks,
         "clock_rate_bound": request.clock_rate_bound,
         "clock_jump_bound": request.clock_jump_bound,
+        "shared_resources": request.shared_resources,
         "sa_ds_max_iterations": request.sa_ds_max_iterations,
         "request_id": request.request_id,
     }
@@ -251,6 +266,7 @@ def request_from_dict(data: Mapping[str, Any]) -> AdmissionRequest:
         synchronized_clocks=bool(data.get("synchronized_clocks", True)),
         clock_rate_bound=float(data.get("clock_rate_bound", 0.0)),
         clock_jump_bound=float(data.get("clock_jump_bound", 0.0)),
+        shared_resources=bool(data.get("shared_resources", False)),
         sa_ds_max_iterations=int(data.get("sa_ds_max_iterations", 300)),
         request_id=str(data.get("request_id", "")),
     )

@@ -58,6 +58,8 @@ from repro.errors import SimulationError
 from repro.faults.channel import FaultyChannel
 from repro.faults.config import FaultConfig
 from repro.faults.plane import FaultEvent, FaultPlane
+from repro.locks.config import LockingConfig
+from repro.locks.manager import LockManager
 from repro.model.system import System
 from repro.model.task import ProcessorId, SubtaskId
 from repro.sim.interfaces import ReleaseController
@@ -167,6 +169,16 @@ class Kernel:
         execution model in the overrun stream, and exposes the plane's
         log on ``trace.faults``.  A null config (every rate zero, no
         crash windows) leaves the run byte-identical to ``faults=None``.
+    locking:
+        Locking-protocol configuration
+        (:class:`repro.locks.LockingConfig`) arbitrating the system's
+        critical sections.  Only consulted when the system actually
+        declares critical sections: the kernel then builds one
+        :class:`~repro.locks.LockManager` per run (default protocol
+        DPCP when ``locking`` is None) and exposes its event log on
+        ``trace.locks``.  For a system without critical sections the
+        argument is inert and the run is byte-identical to
+        ``locking=None`` -- no lock machinery is constructed at all.
     """
 
     def __init__(
@@ -185,6 +197,7 @@ class Kernel:
         clocks: ClockMap | None = None,
         timebase: Timebase | str = "float",
         faults: FaultConfig | None = None,
+        locking: LockingConfig | None = None,
     ) -> None:
         if horizon <= 0:
             raise SimulationError(f"horizon must be > 0, got {horizon!r}")
@@ -248,6 +261,17 @@ class Kernel:
             processor: ProcessorScheduler(processor, self)
             for processor in system.processors
         }
+        # Lock manager: built only for systems that declare critical
+        # sections, so resource-free runs take the exact historical code
+        # path regardless of the ``locking`` argument.
+        self.locking_config = locking
+        if system.has_critical_sections:
+            self.lock_manager: LockManager | None = LockManager(
+                self, locking if locking is not None else LockingConfig()
+            )
+            self.trace.locks = self.lock_manager.log
+        else:
+            self.lock_manager = None
         self._events_processed = 0
         self._last_env_release: dict[int, float] = {}
         # Task parameters, converted once into the timebase so the event
@@ -629,6 +653,12 @@ class Kernel:
         demand = self.timebase.convert(demand)
         if plane is not None:
             demand = self._police_overrun(sid, instance, subtask, demand, now)
+        if self.lock_manager is not None and subtask.critical_sections:
+            # Resourceful instances execute as a chunk plan (home
+            # execution chunks + remote agent chunks) under the lock
+            # manager instead of as one block on the home scheduler.
+            self.lock_manager.admit(sid, instance, demand, now)
+            return
         self.schedulers[subtask.processor].add(sid, instance, demand, now)
 
     def _police_overrun(
@@ -687,7 +717,17 @@ class Kernel:
         return demand
 
     def is_idle(self, processor: ProcessorId) -> bool:
-        """True when ``processor`` has no released, uncompleted instance."""
+        """True when ``processor`` has no released, uncompleted instance.
+
+        An instance away from its home processor for a lock (suspended
+        in a waiter queue or executing an agent chunk remotely) is
+        released and uncompleted there, even though the home scheduler
+        cannot see it -- Definition 1 counts it.
+        """
+        if self.lock_manager is not None and self.lock_manager.has_away_on(
+            processor
+        ):
+            return False
         return self.schedulers[processor].is_idle
 
     @property
@@ -748,6 +788,8 @@ class Kernel:
                 detail="in-flight instance lost to crash",
             )
             self._doomed.discard((sid, instance))
+        if self.lock_manager is not None:
+            self.lock_manager.on_crash(processor, now)
         for handle, sid, instance in self._processor_timers.pop(
             processor, []
         ):
@@ -789,6 +831,13 @@ class Kernel:
         at ``now`` (within tolerance under the float backend; exactly
         under the exact backend, where a same-instant completion event --
         class 0 -- pops before the release that asks)."""
+        if self.lock_manager is not None and self.lock_manager.manages(
+            sid, instance
+        ):
+            # A chunked instance completes only when its *last* chunk
+            # does, possibly on a synchronization processor; mid-plan
+            # chunk completions must not pass for instance completions.
+            return self.lock_manager.completes_at(sid, instance, now)
         scheduler = self.schedulers[self.system.subtask(sid).processor]
         running = scheduler.running
         if (
@@ -805,7 +854,11 @@ class Kernel:
     # Completion plumbing (called by schedulers)
     # ------------------------------------------------------------------
     def instance_completed(
-        self, sid: SubtaskId, instance: int, now: float
+        self,
+        sid: SubtaskId,
+        instance: int,
+        now: float,
+        processor: ProcessorId | None = None,
     ) -> None:
         """Scheduler callback: an instance finished executing.
 
@@ -813,14 +866,35 @@ class Kernel:
         notification, then the protocol's completion hook, then let the
         scheduler dispatch the next ready instance.
 
+        ``processor`` is where the execution actually finished (the
+        calling scheduler); it defaults to the subtask's home processor.
+        Under locking it can differ -- a critical-section agent chunk
+        completes on a synchronization processor -- and a *mid-plan*
+        chunk completion is not an instance completion at all: the lock
+        manager advances the plan and the kernel only frees the calling
+        processor.  When the final chunk of a lock-managed instance
+        completes away from home, the home processor (now possibly
+        empty of the instance that was "away" holding a lock) gets its
+        idle-point check too.
+
         An instance doomed by the ``"abort"`` overrun policy is killed
         here instead: budget exhausted, no completion is recorded and no
         completion hook fires (so no signal goes downstream), but the
         processor is freed -- idle-point notification and dispatch
         proceed as for a completion.
         """
-        processor = self.system.subtask(sid).processor
+        home = self.system.subtask(sid).processor
+        if processor is None:
+            processor = home
         scheduler = self.schedulers[processor]
+        if self.lock_manager is not None and self.lock_manager.manages(
+            sid, instance
+        ):
+            final = self.lock_manager.on_chunk_complete(sid, instance, now)
+            if not final:
+                self._notify_idle_point(scheduler, processor, now)
+                scheduler.dispatch_if_needed(now)
+                return
         plane = self.fault_plane
         if plane is not None and (sid, instance) in self._doomed:
             self._doomed.discard((sid, instance))
@@ -836,8 +910,12 @@ class Kernel:
             return
         self.trace.note_completion(sid, instance, now)
         self._notify_idle_point(scheduler, processor, now)
+        if processor != home:
+            self._notify_idle_point(self.schedulers[home], home, now)
         self.controller.on_completion(sid, instance, now)
         scheduler.dispatch_if_needed(now)
+        if processor != home:
+            self.schedulers[home].dispatch_if_needed(now)
 
     def _notify_idle_point(
         self, scheduler: ProcessorScheduler, processor: ProcessorId,
@@ -851,6 +929,12 @@ class Kernel:
         to rule-1-only operation.
         """
         if not scheduler.is_idle:
+            return
+        if self.lock_manager is not None and self.lock_manager.has_away_on(
+            processor
+        ):
+            # An instance homed here is suspended on (or holding) a lock
+            # elsewhere: released, not completed -- no idle point yet.
             return
         plane = self.fault_plane
         if plane is not None and plane.config.lose_idle_points:

@@ -102,10 +102,22 @@ class ProcessorScheduler:
     # Releases and dispatch
     # ------------------------------------------------------------------
     def add(
-        self, sid: SubtaskId, instance: int, demand: float, now: float
+        self,
+        sid: SubtaskId,
+        instance: int,
+        demand: float,
+        now: float,
+        priority: int | None = None,
     ) -> None:
-        """Admit a newly released instance; preempt if it wins."""
-        priority = self.kernel.system.subtask(sid).priority
+        """Admit a newly released instance; preempt if it wins.
+
+        ``priority`` overrides the subtask's static priority; the lock
+        manager uses it to run critical-section agent chunks at boosted
+        (numerically smaller) agent priority on a synchronization
+        processor.
+        """
+        if priority is None:
+            priority = self.kernel.system.subtask(sid).priority
         entry = ActiveInstance(sid, instance, priority, demand, now)
         if self._running is not None and priority < self._running.priority:
             # A running instance whose completion falls exactly at `now`
@@ -217,5 +229,10 @@ class ProcessorScheduler:
         )
         entry.remaining = 0.0
         # The kernel records the completion, handles idle points and the
-        # protocol hook, then calls back dispatch_if_needed.
-        self.kernel.instance_completed(entry.sid, entry.instance, now)
+        # protocol hook, then calls back dispatch_if_needed.  The
+        # processor is passed explicitly: under locking an instance's
+        # final chunk may complete on a synchronization processor, not
+        # its home.
+        self.kernel.instance_completed(
+            entry.sid, entry.instance, now, processor=self.processor
+        )

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from repro.clocks.models import ClockMap
 from repro.errors import ConfigurationError
 from repro.faults.config import FaultConfig
+from repro.locks.config import LockingConfig
 from repro.model.system import System
 from repro.sim.engine import Kernel
 from repro.sim.interfaces import ReleaseController
@@ -75,6 +76,7 @@ def simulate(
     clocks: ClockMap | None = None,
     timebase: Timebase | str = "float",
     faults: FaultConfig | None = None,
+    locking: LockingConfig | None = None,
 ) -> SimulationResult:
     """Simulate ``system`` under ``controller`` and summarize the run.
 
@@ -84,7 +86,9 @@ def simulate(
     because sweep experiments only need the metrics; turn it on to render
     Gantt charts from ``result.trace``.  ``timebase`` selects the
     arithmetic backend (``"float"`` or ``"exact"``); ``clocks`` assigns
-    per-processor local clock models (default: all perfect).
+    per-processor local clock models (default: all perfect).  ``locking``
+    selects the distributed locking protocol arbitrating any critical
+    sections the system declares (inert on a resource-free system).
     """
     effective_horizon = (
         horizon if horizon is not None else default_horizon(system, horizon_periods)
@@ -103,6 +107,7 @@ def simulate(
         clocks=clocks,
         timebase=timebase,
         faults=faults,
+        locking=locking,
     )
     trace = kernel.run()
     metrics = compute_metrics(trace, warmup=warmup)

@@ -30,6 +30,25 @@ that instance (a dropped signal addressed to it, a timer whose loss
 kills its release chain, a crash or abort that destroyed it).  Nothing
 is globally relaxed -- an anomaly with no documenting fault event is
 still reported, so the fault plane cannot hide scheduler bugs.
+
+Lock awareness
+--------------
+Runs with critical sections (:mod:`repro.locks`) legitimately invert
+priorities in exactly two documented ways, and the validator excuses
+each only against the run's lock log (``trace.locks``), mirroring the
+fault-log design:
+
+* an *agent* segment -- the running instance's own ``[acquire,
+  release)`` hold interval covers the overlap -- executes at boosted
+  agent priority on a synchronization processor, so locally
+  higher-priority normal instances legitimately wait;
+* a *suspended* instance -- the flagged ready instance's ``[request,
+  release)`` suspension interval covers the overlap -- is away from its
+  home processor waiting for (or holding) a lock, so it was not
+  actually ready to preempt.
+
+An inversion covered by neither interval is still reported: the lock
+log cannot hide scheduler bugs either.
 """
 
 from __future__ import annotations
@@ -42,12 +61,13 @@ from repro.timebase import REL_EPS, fmt
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults import FaultLog
+    from repro.locks import LockLog
 
 __all__ = ["validate_trace"]
 
 _TOL = REL_EPS
 
-#: Sentinel: "use the fault log the kernel attached to the trace".
+#: Sentinel: "use the fault/lock log the kernel attached to the trace".
 _TRACE_LOG = object()
 
 
@@ -58,6 +78,7 @@ def validate_trace(
     tolerance: float | None = None,
     check_precedence: bool = True,
     fault_log: "FaultLog | None | object" = _TRACE_LOG,
+    lock_log: "LockLog | None | object" = _TRACE_LOG,
 ) -> list[str]:
     """Return a list of human-readable invariant violations (empty = ok).
 
@@ -73,7 +94,9 @@ def validate_trace(
     ``fault_log`` defaults to the log the kernel attached to the trace
     (``trace.faults``); pass ``None`` to validate a faulty run with no
     exclusions at all.  See *Fault awareness* in the module docstring
-    for the exact exclusion semantics.
+    for the exact exclusion semantics.  ``lock_log`` works the same way
+    for runs with critical sections (defaults to ``trace.locks``; see
+    *Lock awareness*).
     """
     if not trace.record_segments:
         raise SimulationError(
@@ -146,6 +169,28 @@ def validate_trace(
         return start is not None and m >= start
 
     # ------------------------------------------------------------------
+    # Exclusion intervals from the lock log (empty for lock-free runs).
+    # ------------------------------------------------------------------
+    if lock_log is _TRACE_LOG:
+        lock_log = trace.locks
+    #: Instance -> [acquire, release) agent-hold spans: the instance ran
+    #: at boosted agent priority during these.
+    holds: dict = {}
+    #: Instance -> [request, release) suspension spans: the instance was
+    #: away from its home processor (not actually ready) during these.
+    suspensions: dict = {}
+    if lock_log is not None:
+        holds = lock_log.hold_intervals()
+        suspensions = lock_log.suspension_intervals()
+
+    def covered(intervals, start, end) -> bool:
+        """True when some documented interval contains [start, end]."""
+        return any(
+            s <= start + tolerance and end <= e + tolerance
+            for (s, e) in intervals
+        )
+
+    # ------------------------------------------------------------------
     # Exclusivity and priority compliance, per processor.
     # ------------------------------------------------------------------
     for processor in system.processors:
@@ -178,6 +223,23 @@ def validate_trace(
                 overlap_start = max(release, segment.start)
                 overlap_end = min(completion, segment.end)
                 if overlap_end - overlap_start > tolerance:
+                    if covered(
+                        holds.get((segment.sid, segment.instance), ()),
+                        overlap_start,
+                        overlap_end,
+                    ):
+                        # The running segment is a documented agent hold:
+                        # boosted agent priority legitimately outranks
+                        # the flagged instance's normal priority.
+                        continue
+                    if covered(
+                        suspensions.get((sid, m), ()),
+                        overlap_start,
+                        overlap_end,
+                    ):
+                        # The "ready" instance was documented away on a
+                        # lock for the whole overlap -- not preemptable.
+                        continue
                     issues.append(
                         f"{processor}: {segment.sid}#{segment.instance} ran "
                         f"during ({fmt(overlap_start)}, {fmt(overlap_end)}) while "

@@ -90,6 +90,11 @@ class Trace:
     #: run had one, else None.  Set by the kernel at construction; the
     #: fault-aware validator and the metrics fault summary read it.
     faults: object | None = None
+    #: The lock manager's log (:class:`repro.locks.LockLog`) when the
+    #: system had critical sections, else None.  Set by the kernel at
+    #: construction; the lock-aware validator and the blocking oracles
+    #: read it.
+    locks: object | None = None
 
     # ------------------------------------------------------------------
     # Recording (called by the kernel)

@@ -1,0 +1,139 @@
+"""Tests for the fuzzer's locking environment dimension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultConfig
+from repro.fuzz.campaign import LOCK_ROTATIONS, LockScenario, run_campaign
+from repro.fuzz.oracles import check_case
+from repro.fuzz.runner import build_case
+from repro.locks import LockingConfig
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+CONFIG = WorkloadConfig(
+    subtasks_per_task=3, utilization=0.5, tasks=4, processors=3
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return generate_system(CONFIG, seed=1)
+
+
+class TestLockScenario:
+    def test_label_and_config(self):
+        scenario = LockScenario(ratio=0.25, protocol="dpcpp")
+        assert scenario.config == LockingConfig("DPCP-p")
+        assert scenario.label == "locks[DPCP-p ratio=0.25]"
+
+    def test_apply_injects_with_the_case_seed(self, system):
+        scenario = LockScenario(ratio=0.2, participation=1.0)
+        assert scenario.apply(system, 3) == scenario.apply(system, 3)
+        assert scenario.apply(system, 3) != scenario.apply(system, 4)
+
+    def test_zero_ratio_apply_is_the_identity(self, system):
+        assert LockScenario(ratio=0.0).apply(system, 7) is system
+
+    def test_locks_rotation_contents(self):
+        rotation = LOCK_ROTATIONS["locks"]
+        # The rotation must include a no-plumbing case, a zero-ratio
+        # scenario (the lock-free-identity oracle's food) and both
+        # locking protocols under genuine contention.
+        assert None in rotation
+        assert any(s is not None and s.ratio == 0.0 for s in rotation)
+        contended = {
+            s.config.protocol
+            for s in rotation
+            if s is not None and s.ratio > 0
+        }
+        assert contended == {"DPCP", "DPCP-p"}
+
+
+class TestBuildCaseEnvironment:
+    def test_idle_locking_config_case(self, system):
+        case = build_case(system, locking=LockingConfig("DPCP"))
+        assert case.locks_free
+        assert case.ideal  # nothing to lock: still the ideal envelope
+        failures, checked = check_case(case)
+        assert not failures
+        assert "lock-free-identity" in checked
+        assert "blocking-term-soundness" not in checked
+
+    def test_resourceful_case_runs_the_lock_oracles(self, system):
+        scenario = LockScenario(ratio=0.2, participation=1.0)
+        case = build_case(scenario.apply(system, 1), locking=scenario.config)
+        assert not case.locks_free
+        assert not case.ideal
+        assert case.sa_pm_blocking is not None
+        assert case.sa_pm_blocking.algorithm == "SA/PM+DPCP"
+        failures, checked = check_case(case)
+        assert not failures
+        assert "deadlock-freedom" in checked
+        # Ideal-only identities stand down on resourceful cases.
+        assert "pm-mpm-identity" not in checked
+        assert "lock-free-identity" not in checked
+
+    def test_blocking_term_soundness_needs_a_timer_protocol_run(
+        self, system
+    ):
+        scenario = LockScenario(ratio=0.2, participation=1.0)
+        case = build_case(scenario.apply(system, 1), locking=scenario.config)
+        _, checked = check_case(case)
+        ran_timer_protocol = any(p in case.results for p in ("PM", "MPM"))
+        assert ("blocking-term-soundness" in checked) == ran_timer_protocol
+
+    def test_deadlock_freedom_stands_down_under_crash_faults(self, system):
+        scenario = LockScenario(ratio=0.2, participation=1.0)
+        case = build_case(
+            scenario.apply(system, 1),
+            locking=scenario.config,
+            faults=FaultConfig(
+                crash_start=5.0, crash_duration=2.0, seed=1
+            ),
+        )
+        _, checked = check_case(case)
+        assert "deadlock-freedom" not in checked
+
+    def test_label_carries_the_locking_protocol(self, system):
+        scenario = LockScenario(ratio=0.2, protocol="DPCP-p")
+        case = build_case(scenario.apply(system, 1), locking=scenario.config)
+        assert "locks=DPCP-p" in case.label
+
+    def test_idle_config_stays_out_of_the_label(self, system):
+        case = build_case(system, locking=LockingConfig("DPCP"))
+        assert "locks=" not in case.label
+
+
+class TestCampaignRotation:
+    def test_locks_rotation_runs_clean(self):
+        report = run_campaign(
+            runs=5,
+            base_seed=0,
+            workers=1,
+            locks="locks",
+            shrink=False,
+        )
+        assert report.ok
+        assert report.runs == 5
+
+    def test_exact_timebase_locks_rotation_runs_clean(self):
+        report = run_campaign(
+            runs=3,
+            base_seed=0,
+            workers=1,
+            locks="locks",
+            timebase="exact",
+            shrink=False,
+        )
+        assert report.ok
+
+    def test_unknown_rotation_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(runs=1, workers=1, locks="no-such-rotation")
+
+    def test_empty_rotation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(runs=1, workers=1, locks=())

@@ -1,0 +1,401 @@
+"""Unit tests for the shared-resource model layer and static lock tables.
+
+Covers the pieces below the simulator: critical sections on subtasks,
+the system's resource views, the locking configuration, the static
+placement (:func:`repro.locks.build_assignment`), the seeded section
+injector and the observable lock log.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, ModelError
+from repro.io import system_from_dict, system_to_dict
+from repro.locks import (
+    LOCKING_PROTOCOLS,
+    LockingConfig,
+    LockLog,
+    build_assignment,
+    inject_critical_sections,
+    locking_config_from_dict,
+    locking_config_to_dict,
+)
+from repro.model import CriticalSection, Subtask, SubtaskId, System, Task
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+CONFIG = WorkloadConfig(
+    subtasks_per_task=3, utilization=0.6, tasks=4, processors=3
+)
+
+
+def _toy() -> System:
+    """Two chains, three processors, two resources.
+
+    R1 is shared across processors (T1,1 on P1 and T2,1 on P2); R2 is
+    private to T2,1.  Priorities are globally unique: 0..3.
+    """
+    t1 = Task(
+        period=10.0,
+        subtasks=(
+            Subtask(
+                2.0,
+                "P1",
+                priority=0,
+                critical_sections=(CriticalSection("R1", 0.5, 1.0),),
+            ),
+            Subtask(2.0, "P2", priority=1),
+        ),
+    )
+    t2 = Task(
+        period=20.0,
+        subtasks=(
+            Subtask(
+                3.0,
+                "P2",
+                priority=2,
+                critical_sections=(
+                    CriticalSection("R1", 1.0, 0.5),
+                    CriticalSection("R2", 2.0, 0.5),
+                ),
+            ),
+            Subtask(2.0, "P3", priority=3),
+        ),
+    )
+    return System((t1, t2), name="toy")
+
+
+class TestCriticalSection:
+    def test_end_offset(self):
+        assert CriticalSection("R1", 0.5, 1.25).end == 1.75
+
+    def test_empty_resource_rejected(self):
+        with pytest.raises(ModelError):
+            CriticalSection("", 0.0, 1.0)
+
+    @pytest.mark.parametrize("bad", [-0.5, math.inf, math.nan])
+    def test_bad_start_rejected(self, bad):
+        with pytest.raises(ModelError):
+            CriticalSection("R1", bad, 1.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_nonpositive_duration_rejected(self, bad):
+        with pytest.raises(ModelError):
+            CriticalSection("R1", 0.0, bad)
+
+
+class TestSubtaskSections:
+    def test_section_beyond_wcet_rejected(self):
+        with pytest.raises(ModelError):
+            Subtask(
+                2.0,
+                "P1",
+                critical_sections=(CriticalSection("R1", 1.5, 1.0),),
+            )
+
+    def test_overlapping_sections_rejected(self):
+        with pytest.raises(ModelError):
+            Subtask(
+                4.0,
+                "P1",
+                critical_sections=(
+                    CriticalSection("R1", 0.0, 2.0),
+                    CriticalSection("R2", 1.0, 1.0),
+                ),
+            )
+
+    def test_nested_sections_rejected(self):
+        with pytest.raises(ModelError):
+            Subtask(
+                4.0,
+                "P1",
+                critical_sections=(
+                    CriticalSection("R1", 0.0, 3.0),
+                    CriticalSection("R2", 1.0, 1.0),
+                ),
+            )
+
+    def test_sections_stored_sorted_by_start(self):
+        sub = Subtask(
+            4.0,
+            "P1",
+            critical_sections=(
+                CriticalSection("R2", 2.0, 1.0),
+                CriticalSection("R1", 0.0, 1.0),
+            ),
+        )
+        assert [s.resource for s in sub.critical_sections] == ["R1", "R2"]
+
+    def test_back_to_back_sections_allowed(self):
+        sub = Subtask(
+            4.0,
+            "P1",
+            critical_sections=(
+                CriticalSection("R1", 0.0, 2.0),
+                CriticalSection("R2", 2.0, 2.0),
+            ),
+        )
+        assert sub.critical_time == 4.0
+
+    def test_critical_time_sums_durations(self):
+        assert _toy().subtask(SubtaskId(1, 0)).critical_time == 1.0
+
+    def test_sectionless_subtask_has_zero_critical_time(self):
+        assert Subtask(1.0, "P1").critical_time == 0.0
+
+
+class TestSystemResourceViews:
+    def test_has_critical_sections(self):
+        assert _toy().has_critical_sections
+        assert not generate_system(CONFIG, seed=0).has_critical_sections
+
+    def test_resources_and_accessors(self):
+        system = _toy()
+        assert set(system.resources) == {"R1", "R2"}
+        assert set(system.accessors_of("R1")) == {
+            SubtaskId(0, 0),
+            SubtaskId(1, 0),
+        }
+        assert system.accessors_of("R2") == (SubtaskId(1, 0),)
+
+    def test_sections_of(self):
+        system = _toy()
+        assert system.sections_of(SubtaskId(0, 1)) == ()
+        assert [
+            s.resource for s in system.sections_of(SubtaskId(1, 0))
+        ] == ["R1", "R2"]
+
+    def test_io_round_trip_preserves_sections(self):
+        system = _toy()
+        rebuilt = system_from_dict(system_to_dict(system))
+        assert rebuilt == system
+        assert rebuilt.sections_of(SubtaskId(1, 0)) == system.sections_of(
+            SubtaskId(1, 0)
+        )
+
+    def test_io_round_trip_of_sectionless_system_unchanged(self):
+        system = generate_system(CONFIG, seed=3)
+        assert system_from_dict(system_to_dict(system)) == system
+
+
+class TestLockingConfig:
+    def test_default_is_dpcp(self):
+        config = LockingConfig()
+        assert config.protocol == "DPCP"
+        assert not config.parallel
+
+    @pytest.mark.parametrize("spelling", ["dpcp-p", "DPCPP", "dpcpp"])
+    def test_parallel_spellings_canonicalized(self, spelling):
+        config = LockingConfig(spelling)
+        assert config.protocol == "DPCP-p"
+        assert config.parallel
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LockingConfig("MSRP")
+
+    def test_label(self):
+        assert LockingConfig("dpcp").label == "locks=DPCP"
+
+    @pytest.mark.parametrize("protocol", LOCKING_PROTOCOLS)
+    def test_dict_round_trip(self, protocol):
+        config = LockingConfig(protocol)
+        data = locking_config_to_dict(config)
+        assert data["format"] == "repro-locking-config-v1"
+        assert locking_config_from_dict(data) == config
+
+    def test_from_dict_rejects_foreign_documents(self):
+        with pytest.raises(ConfigurationError):
+            locking_config_from_dict({"protocol": "DPCP"})
+
+
+class TestBuildAssignment:
+    def test_dpcp_funnels_every_resource_to_min_processor(self):
+        assignment = build_assignment(_toy(), LockingConfig("DPCP"))
+        assert assignment.host_of("R1") == "P1"
+        assert assignment.host_of("R2") == "P1"
+
+    def test_dpcp_p_spreads_to_top_accessor_homes(self):
+        assignment = build_assignment(_toy(), LockingConfig("DPCP-p"))
+        # R1's highest-priority accessor is T1,1 (priority 0) on P1;
+        # R2's only accessor is T2,1 on P2.
+        assert assignment.host_of("R1") == "P1"
+        assert assignment.host_of("R2") == "P2"
+
+    def test_ceilings_are_min_accessor_priorities(self):
+        assignment = build_assignment(_toy())
+        assert assignment.ceiling["R1"] == 0
+        assert assignment.ceiling["R2"] == 2
+
+    def test_agent_priorities_sit_below_all_normal_priorities(self):
+        system = _toy()
+        assignment = build_assignment(system)
+        # offset = max - min + 1 = 4; only resourceful subtasks appear.
+        assert assignment.agent_priority == {
+            SubtaskId(0, 0): -4,
+            SubtaskId(1, 0): -2,
+        }
+        highest_normal = min(
+            system.subtask(sid).priority for sid in system.subtask_ids
+        )
+        assert all(
+            boosted < highest_normal
+            for boosted in assignment.agent_priority.values()
+        )
+
+    def test_agent_priorities_preserve_requester_order(self):
+        assignment = build_assignment(_toy())
+        assert (
+            assignment.agent_priority[SubtaskId(0, 0)]
+            < assignment.agent_priority[SubtaskId(1, 0)]
+        )
+
+    def test_agent_work_on_sums_hosted_durations(self):
+        system = _toy()
+        dpcp = build_assignment(system, LockingConfig("DPCP"))
+        assert dpcp.agent_work_on(system, "P1") == {
+            SubtaskId(0, 0): 1.0,
+            SubtaskId(1, 0): 1.0,
+        }
+        assert dpcp.agent_work_on(system, "P2") == {}
+        spread = build_assignment(system, LockingConfig("DPCP-p"))
+        assert spread.agent_work_on(system, "P2") == {SubtaskId(1, 0): 0.5}
+
+    def test_sectionless_system_gets_empty_assignment(self):
+        assignment = build_assignment(generate_system(CONFIG, seed=0))
+        assert assignment.sync_processor == {}
+        assert assignment.ceiling == {}
+        assert assignment.agent_priority == {}
+
+    def test_deterministic(self):
+        assert build_assignment(_toy()) == build_assignment(_toy())
+
+
+class TestInjectCriticalSections:
+    def test_zero_ratio_returns_the_same_object(self):
+        system = generate_system(CONFIG, seed=0)
+        assert inject_critical_sections(system, ratio=0.0) is system
+
+    def test_injection_is_deterministic(self):
+        system = generate_system(CONFIG, seed=0)
+        a = inject_critical_sections(system, ratio=0.2, seed=5)
+        b = inject_critical_sections(system, ratio=0.2, seed=5)
+        assert a == b
+
+    def test_different_seeds_draw_different_sections(self):
+        system = generate_system(CONFIG, seed=0)
+        a = inject_critical_sections(
+            system, ratio=0.3, participation=1.0, seed=1
+        )
+        b = inject_critical_sections(
+            system, ratio=0.3, participation=1.0, seed=2
+        )
+        assert a != b
+
+    def test_injected_system_is_valid_and_renamed(self):
+        system = generate_system(CONFIG, seed=0)
+        locked = inject_critical_sections(
+            system, ratio=0.25, resources=2, participation=1.0, seed=0
+        )
+        assert locked.has_critical_sections
+        assert locked.name == f"{system.name}+locks"
+        # Sections stay inside each subtask's execution time and use
+        # only the requested resource pool (model validation re-ran on
+        # construction; spot-check the invariants anyway).
+        for sid in locked.subtask_ids:
+            stage = locked.subtask(sid)
+            for section in stage.critical_sections:
+                assert section.end <= stage.execution_time
+        assert set(locked.resources) <= {"R1", "R2"}
+
+    def test_timing_parameters_unperturbed(self):
+        system = generate_system(CONFIG, seed=0)
+        locked = inject_critical_sections(
+            system, ratio=0.25, participation=1.0, seed=0
+        )
+        for original, injected in zip(system.tasks, locked.tasks):
+            assert injected.period == original.period
+            assert injected.phase == original.phase
+            for a, b in zip(original.subtasks, injected.subtasks):
+                assert b.execution_time == a.execution_time
+                assert b.processor == a.processor
+                assert b.priority == a.priority
+
+    @pytest.mark.parametrize("ratio", [-0.1, 1.0, 1.5])
+    def test_bad_ratio_rejected(self, ratio):
+        with pytest.raises(ConfigurationError):
+            inject_critical_sections(
+                generate_system(CONFIG, seed=0), ratio=ratio
+            )
+
+    def test_bad_resource_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            inject_critical_sections(
+                generate_system(CONFIG, seed=0), ratio=0.2, resources=0
+            )
+
+    @pytest.mark.parametrize("participation", [-0.1, 1.5])
+    def test_bad_participation_rejected(self, participation):
+        with pytest.raises(ConfigurationError):
+            inject_critical_sections(
+                generate_system(CONFIG, seed=0),
+                ratio=0.2,
+                participation=participation,
+            )
+
+
+class TestLockLog:
+    def _sid(self) -> SubtaskId:
+        return SubtaskId(0, 0)
+
+    def test_note_rejects_unknown_kind(self):
+        log = LockLog()
+        with pytest.raises(ValueError):
+            log.note("grant", 1.0, self._sid(), 0, "R1", "P1")
+
+    def test_waits_sum_acquire_minus_request(self):
+        log = LockLog()
+        sid = self._sid()
+        log.note("request", 1.0, sid, 0, "R1", "P1")
+        log.note("acquire", 3.0, sid, 0, "R1", "P1")
+        log.note("release", 4.0, sid, 0, "R1", "P1")
+        log.note("request", 10.0, sid, 1, "R1", "P1")
+        log.note("acquire", 10.0, sid, 1, "R1", "P1")
+        assert log.waits() == {(sid, 0): 2.0, (sid, 1): 0.0}
+
+    def test_unacquired_requests_excluded_from_waits(self):
+        log = LockLog()
+        sid = self._sid()
+        log.note("request", 5.0, sid, 2, "R1", "P1")
+        assert log.waits() == {}
+        assert log.unacquired() == {(sid, 2)}
+
+    def test_hold_and_suspension_intervals(self):
+        log = LockLog()
+        sid = self._sid()
+        log.note("request", 1.0, sid, 0, "R1", "P1")
+        log.note("acquire", 3.0, sid, 0, "R1", "P1")
+        log.note("release", 4.5, sid, 0, "R1", "P1")
+        assert log.hold_intervals() == {(sid, 0): [(3.0, 4.5)]}
+        assert log.suspension_intervals() == {(sid, 0): [(1.0, 4.5)]}
+
+    def test_open_interval_ends_at_infinity(self):
+        log = LockLog()
+        sid = self._sid()
+        log.note("request", 7.0, sid, 0, "R1", "P1")
+        log.note("acquire", 8.0, sid, 0, "R1", "P1")
+        [(start, end)] = log.hold_intervals()[(sid, 0)]
+        assert start == 8.0 and math.isinf(end)
+
+    def test_counts_and_describe(self):
+        log = LockLog()
+        sid = self._sid()
+        log.note("request", 1.0, sid, 0, "R1", "P1")
+        log.note("acquire", 2.0, sid, 0, "R1", "P1")
+        assert log.counts() == {"request": 1, "acquire": 1, "release": 0}
+        assert log.describe() == "requests=1 acquires=1 releases=0"
+        assert len(log) == 2
+        assert [event.kind for event in log] == ["request", "acquire"]

@@ -1,0 +1,177 @@
+"""Simulation tests for the distributed lock manager.
+
+Runs genuinely resourceful systems under DPCP and DPCP-p and checks the
+observable contract: mutual exclusion per resource, the
+request/acquire/release lifecycle, placement of agent chunks on the
+assignment's synchronization processors, determinism, and the
+configured-but-idle identity (a lock manager on a section-free system
+must change nothing and log nothing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.core.protocols.factory import make_controller
+from repro.locks import (
+    LockingConfig,
+    analyze_sa_pm_blocking,
+    build_assignment,
+    inject_critical_sections,
+)
+from repro.sim.simulator import simulate
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+CONFIG = WorkloadConfig(
+    subtasks_per_task=3,
+    utilization=0.5,
+    tasks=4,
+    processors=3,
+    period_min=100.0,
+    period_max=1000.0,
+    period_scale=300.0,
+)
+
+PROTOCOLS = ("DS", "PM", "MPM", "RG")
+
+
+@pytest.fixture(scope="module")
+def locked_system():
+    """A resourceful system whose blocking-aware SA/PM bounds are finite
+    under both locking protocols (so PM/MPM timers can be armed)."""
+    for seed in range(20):
+        system = generate_system(CONFIG, seed=seed)
+        locked = inject_critical_sections(
+            system, ratio=0.2, resources=2, participation=1.0, seed=seed
+        )
+        if all(
+            analyze_sa_pm_blocking(
+                locked, locking=LockingConfig(protocol)
+            ).all_finite
+            for protocol in ("DPCP", "DPCP-p")
+        ):
+            return locked
+    pytest.skip("no analyzable resourceful system in seeds 0..19")
+
+
+def _run(system, protocol, locking, *, horizon_periods=3.0, timebase="float"):
+    bounds = None
+    if locking is not None and system.has_critical_sections:
+        bounds = analyze_sa_pm_blocking(
+            system, locking=locking, timebase=timebase
+        ).subtask_bounds
+    controller = make_controller(protocol, system, bounds=bounds)
+    return simulate(
+        system,
+        controller,
+        horizon_periods=horizon_periods,
+        locking=locking,
+        timebase=timebase,
+    )
+
+
+class TestResourcefulRuns:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("locking", ["DPCP", "DPCP-p"])
+    def test_lock_log_recorded_and_trace_clean(
+        self, locked_system, protocol, locking
+    ):
+        result = _run(locked_system, protocol, LockingConfig(locking))
+        log = result.trace.locks
+        assert log is not None
+        counts = log.counts()
+        assert counts["acquire"] > 0
+        assert counts["request"] >= counts["acquire"] >= counts["release"]
+        assert not result.trace.violations
+
+    @pytest.mark.parametrize("locking", ["DPCP", "DPCP-p"])
+    def test_mutual_exclusion_per_resource(self, locked_system, locking):
+        log = _run(locked_system, "RG", LockingConfig(locking)).trace.locks
+        holds: dict[str, list[tuple[float, float]]] = {}
+        open_at: dict[str, float] = {}
+        for event in log:
+            if event.kind == "acquire":
+                assert event.resource not in open_at, (
+                    f"{event.resource} granted at {event.time} while held"
+                )
+                open_at[event.resource] = event.time
+            elif event.kind == "release":
+                start = open_at.pop(event.resource)
+                holds.setdefault(event.resource, []).append(
+                    (start, event.time)
+                )
+        for resource, intervals in holds.items():
+            ordered = sorted(intervals)
+            for (_, end), (start, _) in zip(ordered, ordered[1:]):
+                assert start >= end, f"{resource} holds overlap"
+
+    def test_request_lifecycle_order(self, locked_system):
+        log = _run(locked_system, "RG", LockingConfig("DPCP")).trace.locks
+        seen: dict[tuple, list[str]] = {}
+        times: dict[tuple, float] = {}
+        for event in log:
+            slot = (event.sid, event.instance, event.resource)
+            seen.setdefault(slot, []).append(event.kind)
+            assert event.time >= times.get(slot, 0.0)
+            times[slot] = event.time
+        for slot, kinds in seen.items():
+            # Every lifecycle is a prefix of request -> acquire -> release
+            # (suffixes are cut off by the horizon, never reordered).
+            assert kinds == ["request", "acquire", "release"][: len(kinds)]
+
+    @pytest.mark.parametrize("locking", ["DPCP", "DPCP-p"])
+    def test_events_land_on_the_assigned_host(self, locked_system, locking):
+        config = LockingConfig(locking)
+        assignment = build_assignment(locked_system, config)
+        log = _run(locked_system, "RG", config).trace.locks
+        assert all(
+            event.processor == assignment.host_of(event.resource)
+            for event in log
+        )
+
+    def test_dpcp_p_uses_more_than_one_host_when_spread(self, locked_system):
+        assignment = build_assignment(locked_system, LockingConfig("DPCP"))
+        assert len(set(assignment.sync_processor.values())) == 1
+
+    def test_runs_are_deterministic(self, locked_system):
+        first = _run(locked_system, "RG", LockingConfig("DPCP"))
+        second = _run(locked_system, "RG", LockingConfig("DPCP"))
+        assert first.trace.locks.events == second.trace.locks.events
+        assert first.trace.completions == second.trace.completions
+
+    def test_exact_timebase_runs_clean(self, locked_system):
+        result = _run(
+            locked_system, "RG", LockingConfig("DPCP"), timebase="exact"
+        )
+        assert result.trace.locks is not None
+        assert result.trace.locks.counts()["acquire"] > 0
+        assert not result.trace.violations
+
+
+class TestIdleManagerIdentity:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("timebase", ["float", "exact"])
+    def test_sectionless_system_identical_with_and_without_manager(
+        self, protocol, timebase
+    ):
+        system = generate_system(CONFIG, seed=1)
+        assert not system.has_critical_sections
+        bounds = analyze_sa_pm(system, timebase=timebase).subtask_bounds
+
+        def run(locking):
+            controller = make_controller(protocol, system, bounds=bounds)
+            return simulate(
+                system,
+                controller,
+                horizon_periods=3.0,
+                locking=locking,
+                timebase=timebase,
+            )
+
+        bare = run(None)
+        idle = run(LockingConfig("DPCP"))
+        assert idle.trace.locks is None
+        assert idle.trace.releases == bare.trace.releases
+        assert idle.trace.completions == bare.trace.completions

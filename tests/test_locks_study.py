@@ -1,0 +1,127 @@
+"""Tests for the DPCP vs DPCP-p study and its CLI surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.experiments.locks_study import (
+    DEFAULT_RATIOS,
+    STUDY_PROTOCOLS,
+    run_locks_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    # Two systems, one positive ratio: small enough for tier-1, large
+    # enough to exercise the identity baseline and a contended column.
+    return run_locks_study(systems=2, ratios=(0.0, 0.25))
+
+
+class TestSweepShape:
+    def test_protocols_and_default_ratios(self):
+        assert STUDY_PROTOCOLS == ("DPCP", "DPCP-p")
+        assert DEFAULT_RATIOS[0] == 0.0
+
+    def test_cells_cover_the_full_grid(self, study):
+        assert study.ratios == (0.0, 0.25)
+        assert set(study.cells) == {
+            (protocol, ratio)
+            for protocol in STUDY_PROTOCOLS
+            for ratio in study.ratios
+        }
+        assert study.sampled_systems == 2
+
+    def test_cell_accessor(self, study):
+        cell = study.cell("DPCP", 0.25)
+        assert cell.protocol == "DPCP"
+        assert cell.ratio == 0.25
+        assert cell.systems == 2
+
+    def test_zero_ratio_cells_see_no_lock_traffic(self, study):
+        for protocol in STUDY_PROTOCOLS:
+            cell = study.cell(protocol, 0.0)
+            assert cell.measured_wait == 0.0
+            assert cell.acquisitions == 0
+            # Ratio 0 is the lock-free baseline: every sampled system
+            # was SA/PM-schedulable, and blocking-aware == base there.
+            assert cell.pm_schedulable == cell.systems
+
+    def test_positive_ratio_cells_saw_contention(self, study):
+        assert any(
+            study.cell(protocol, 0.25).acquisitions > 0
+            for protocol in STUDY_PROTOCOLS
+        )
+
+
+class TestGates:
+    def test_lock_free_identity_holds(self, study):
+        assert study.lock_free_identity
+
+    def test_schedulability_monotone(self, study):
+        assert study.schedulability_monotone
+
+    def test_gate_is_the_conjunction(self, study):
+        assert study.gate_passed == (
+            study.lock_free_identity
+            and study.schedulability_monotone
+            and study.ranking_demonstrated
+        )
+
+    def test_render_reports_every_gate(self, study):
+        text = study.render()
+        assert "locks study: 2 system(s)" in text
+        assert "lock-free identity (both timebases):" in text
+        assert "schedulability monotone in ratio:" in text
+        assert "DPCP >= DPCP-p measured waiting:" in text
+
+
+class TestValidation:
+    def test_zero_systems_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_locks_study(systems=0)
+
+    def test_empty_ratios_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_locks_study(systems=1, ratios=())
+
+
+class TestCli:
+    COMMON = ["--systems", "1", "--ratios", "0", "0.25"]
+
+    def test_prints_the_study_table(self, capsys):
+        assert main(["locks", *self.COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "locks study" in out
+        assert "DPCP >= DPCP-p measured waiting:" in out
+
+    def test_require_gate_exit_code_matches_the_verdict(self, capsys):
+        code = main(["locks", *self.COMMON, "--require-gate"])
+        out = capsys.readouterr().out
+        verdicts = [
+            "lock-free identity (both timebases): ok" in out,
+            "schedulability monotone in ratio: yes" in out,
+            "DPCP >= DPCP-p measured waiting: yes" in out,
+        ]
+        assert code == (0 if all(verdicts) else 1)
+
+    def test_custom_workload(self, capsys):
+        assert main(
+            [
+                "locks",
+                "--systems", "1",
+                "--ratios", "0",
+                "--n", "2",
+                "--u", "0.3",
+                "--tasks", "3",
+                "--processors", "2",
+            ]
+        ) == 0
+        assert "1 system(s)" in capsys.readouterr().out
+
+    def test_fuzz_accepts_the_locks_dimension(self, capsys):
+        assert main(
+            ["fuzz", "--runs", "2", "--workers", "1", "--locks", "locks"]
+        ) == 0

@@ -1,0 +1,180 @@
+"""Shared-resource admission control: engine, advisor and cache keys."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor import recommend_protocol
+from repro.locks import (
+    LockingConfig,
+    analyze_sa_ds_blocking,
+    analyze_sa_pm_blocking,
+    inject_critical_sections,
+)
+from repro.service.engine import compute_decision
+from repro.service.hashing import (
+    KEY_FORMAT,
+    KEY_FORMAT_V3,
+    canonical_payload,
+    request_key,
+)
+from repro.service.requests import AdmissionRequest
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+CONFIG = WorkloadConfig(
+    subtasks_per_task=3, utilization=0.5, tasks=4, processors=3
+)
+
+
+@pytest.fixture(scope="module")
+def locked_system():
+    """A resourceful system the blocking-aware SA/PM still certifies."""
+    for seed in range(30):
+        locked = inject_critical_sections(
+            generate_system(CONFIG, seed=seed),
+            ratio=0.15,
+            resources=2,
+            participation=0.5,
+            seed=seed,
+        )
+        if (
+            locked.has_critical_sections
+            and analyze_sa_pm_blocking(locked).schedulable
+        ):
+            return locked
+    pytest.skip("no blocking-schedulable resourceful system in seeds 0..29")
+
+
+@pytest.fixture(scope="module")
+def bare_system():
+    return generate_system(CONFIG, seed=0)
+
+
+class TestRequestNormalization:
+    def test_sections_imply_shared_resources(self, locked_system):
+        request = AdmissionRequest(system=locked_system)
+        assert request.shared_resources
+
+    def test_section_free_systems_stay_unflagged_by_default(
+        self, bare_system
+    ):
+        assert not AdmissionRequest(system=bare_system).shared_resources
+
+
+class TestCacheKeys:
+    def test_resourceful_requests_key_under_v3(self, locked_system):
+        payload = canonical_payload(AdmissionRequest(system=locked_system))
+        assert payload["format"] == KEY_FORMAT_V3
+        assert payload["shared_resources"] is True
+
+    def test_declared_contention_keys_under_v3_too(self, bare_system):
+        payload = canonical_payload(
+            AdmissionRequest(system=bare_system, shared_resources=True)
+        )
+        assert payload["format"] == KEY_FORMAT_V3
+
+    def test_resource_free_requests_keep_the_v2_payload(self, bare_system):
+        payload = canonical_payload(AdmissionRequest(system=bare_system))
+        assert payload["format"] == KEY_FORMAT
+        assert "shared_resources" not in payload
+
+    def test_declaring_contention_changes_the_key(self, bare_system):
+        plain = request_key(AdmissionRequest(system=bare_system))
+        declared = request_key(
+            AdmissionRequest(system=bare_system, shared_resources=True)
+        )
+        assert plain != declared
+
+
+class TestBlockingAwareCertification:
+    def test_decision_embeds_the_blocking_aware_bounds(self, locked_system):
+        decision = compute_decision(AdmissionRequest(system=locked_system))
+        expected_pm = analyze_sa_pm_blocking(
+            locked_system, locking=LockingConfig("DPCP")
+        )
+        expected_ds = analyze_sa_ds_blocking(
+            locked_system, locking=LockingConfig("DPCP")
+        )
+        assert decision.task_bounds["SA/PM"] == tuple(expected_pm.task_bounds)
+        assert decision.task_bounds["SA/DS"] == tuple(expected_ds.task_bounds)
+
+    def test_certified_resourceful_system_is_admitted(self, locked_system):
+        decision = compute_decision(AdmissionRequest(system=locked_system))
+        assert decision.admitted
+        assert decision.protocol is not None
+
+    def test_declared_contention_decides_like_the_base_when_section_free(
+        self, bare_system
+    ):
+        # Exact reduction: the blocking-aware analyses ARE the base
+        # analyses on a section-free system, so declaring contention
+        # changes the cache key but never the verdict.
+        plain = compute_decision(AdmissionRequest(system=bare_system))
+        declared = compute_decision(
+            AdmissionRequest(system=bare_system, shared_resources=True)
+        )
+        assert declared.admitted == plain.admitted
+        assert declared.protocol == plain.protocol
+        assert dict(declared.schedulable) == dict(plain.schedulable)
+        assert dict(declared.task_bounds) == dict(plain.task_bounds)
+        assert declared.key != plain.key
+
+    def test_skew_envelope_plus_sections_uncertifies_the_timer_protocols(
+        self, locked_system
+    ):
+        decision = compute_decision(
+            AdmissionRequest(
+                system=locked_system,
+                synchronized_clocks=True,
+                clock_rate_bound=1e-4,
+            )
+        )
+        # No analysis composes skew inflation with blocking terms: the
+        # SA/PM-certified protocols all drop out; only DS may survive.
+        assert not decision.schedulable["PM"]
+        assert not decision.schedulable["MPM"]
+        assert not decision.schedulable["RG"]
+
+    def test_skewless_resourceful_decision_keeps_sa_pm_protocols(
+        self, locked_system
+    ):
+        decision = compute_decision(AdmissionRequest(system=locked_system))
+        assert decision.schedulable["RG"]
+        assert decision.schedulable["MPM"]
+
+
+class TestAdvisorComposition:
+    def test_shared_resources_use_the_blocking_aware_evidence(
+        self, locked_system
+    ):
+        recommendation = recommend_protocol(
+            locked_system, shared_resources=True
+        )
+        assert recommendation.sa_pm.algorithm == "SA/PM+DPCP"
+        assert recommendation.sa_ds.algorithm == "SA/DS+DPCP"
+
+    def test_untrusted_wcets_with_shared_resources_veto_to_rg(
+        self, locked_system
+    ):
+        recommendation = recommend_protocol(
+            locked_system, shared_resources=True, wcets_trusted=False
+        )
+        assert recommendation.protocol == "RG"
+        assert "critical section" in recommendation.rationale
+
+    def test_untrusted_wcets_alone_do_not_force_rg_rationale(
+        self, bare_system
+    ):
+        recommendation = recommend_protocol(
+            bare_system, wcets_trusted=False
+        )
+        assert "critical section" not in recommendation.rationale
+
+    def test_section_free_advice_unchanged_by_the_declaration(
+        self, bare_system
+    ):
+        plain = recommend_protocol(bare_system)
+        declared = recommend_protocol(bare_system, shared_resources=True)
+        assert declared.protocol == plain.protocol
+        assert declared.rationale == plain.rationale
