@@ -1,0 +1,154 @@
+"""Benchmark: batch engine vs reference kernel on the fig12-16 sweeps.
+
+For each sweep-grid corner -- light (2, 50%), middling (5, 70%) and
+heavy (8, 90%) paper-shaped systems -- every protocol is simulated on
+both engines over a long horizon (40 periods, so per-event cost
+dominates setup), timed best-of-3, and checked for *conformance on the
+spot*: equal event counts, equal metrics, and a byte-identical packed
+trace.  A speedup row is only trusted if the two runs provably did the
+same work.
+
+Honest numbers: the engine's acceptance target was >=10x, and a pure
+Python event loop does not reach it -- the per-event floor (heap ops,
+handler dispatch, float compares) lands the measured speedup at
+roughly 5.5-8.6x kernel-vs-kernel on these workloads (batch ~0.9-1.4
+us/event).  The gate below asserts >= ``MIN_SPEEDUP`` per case and
+>= ``MIN_GEOMEAN`` overall -- floors set well under the measured
+ratios so CI noise cannot flake the build, while a regression that
+costs the engine half its advantage still fails loudly.  The measured
+ratios are printed and persisted under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.core.protocols.direct import DirectSynchronization
+from repro.core.protocols.modified_pm import ModifiedPhaseModification
+from repro.core.protocols.phase_modification import PhaseModification
+from repro.core.protocols.release_guard import ReleaseGuard
+from repro.sim.batch import encode
+from repro.sim.simulator import simulate
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+from conftest import save_and_print
+
+#: (subtasks per task, utilization) -- the sweep sub-grid's corners.
+POINTS = ((2, 0.5), (5, 0.7), (8, 0.9))
+PROTOCOLS = ("DS", "PM", "MPM", "RG")
+HORIZON_PERIODS = 40.0
+ROUNDS = 3
+
+#: Per-case floor: no single (config, protocol) cell may fall below.
+MIN_SPEEDUP = 2.5
+#: Aggregate floor: the geometric mean across all cells.
+MIN_GEOMEAN = 3.5
+
+
+def _controller_factory(protocol: str, system):
+    if protocol == "DS":
+        return DirectSynchronization
+    if protocol == "RG":
+        return ReleaseGuard
+    bounds = dict(analyze_sa_pm(system).subtask_bounds)
+    if any(math.isinf(b) for b in bounds.values()):
+        return None  # timer protocols infeasible on this system
+    cls = PhaseModification if protocol == "PM" else ModifiedPhaseModification
+    return lambda: cls(dict(bounds))
+
+
+def _best_time(system, factory, engine: str):
+    """Best-of-``ROUNDS`` wall time; controller built outside the clock."""
+    best = math.inf
+    result = None
+    for _ in range(ROUNDS):
+        controller = factory()
+        start = time.perf_counter()
+        run = simulate(
+            system,
+            controller,
+            horizon_periods=HORIZON_PERIODS,
+            record_segments=True,
+            engine=engine,
+        )
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, result = elapsed, run
+    return best, result
+
+
+def test_batch_engine_speedup_and_conformance(benchmark):
+    rows = []
+    speedups = []
+    for n, u in POINTS:
+        config = WorkloadConfig(
+            subtasks_per_task=n,
+            utilization=u,
+            tasks=12,
+            processors=4,
+            random_phases=True,
+        )
+        system = generate_system(config, seed=1)
+        for protocol in PROTOCOLS:
+            factory = _controller_factory(protocol, system)
+            if factory is None:
+                continue
+            ref_time, ref = _best_time(system, factory, "reference")
+            batch_time, batch = _best_time(system, factory, "batch")
+            # Conformance first: a speedup over different work is noise.
+            assert batch.engine == "batch", batch.engine_fallback
+            assert batch.events_processed == ref.events_processed
+            assert batch.metrics == ref.metrics
+            expected = encode(ref.trace)
+            assert expected.identical(batch.packed_trace), (
+                expected.describe_diff(batch.packed_trace)
+            )
+            speedup = ref_time / batch_time
+            speedups.append(speedup)
+            rows.append(
+                f"({n},{int(u * 100)}%) {protocol:>3}: "
+                f"{ref.events_processed:>6} events  "
+                f"ref {ref_time * 1e3:7.1f} ms  "
+                f"batch {batch_time * 1e3:6.1f} ms  "
+                f"{speedup:4.1f}x"
+            )
+            assert speedup >= MIN_SPEEDUP, (
+                f"{protocol} on ({n},{u}): {speedup:.1f}x is below the "
+                f"{MIN_SPEEDUP}x per-case floor"
+            )
+    geomean = math.exp(sum(map(math.log, speedups)) / len(speedups))
+    rows.append(
+        f"geometric mean over {len(speedups)} cells: {geomean:.1f}x "
+        f"(floors: {MIN_SPEEDUP}x per case, {MIN_GEOMEAN}x aggregate; "
+        f"paper-target 10x not met -- see docs/batch-engine.md)"
+    )
+    save_and_print("batch_engine_speedup", "\n".join(rows))
+    assert geomean >= MIN_GEOMEAN, (
+        f"aggregate speedup {geomean:.1f}x fell below {MIN_GEOMEAN}x"
+    )
+    benchmark.extra_info["geomean_speedup"] = round(geomean, 2)
+    # One stable sample for the benchmark table itself: the heavy DS run.
+    system = generate_system(
+        WorkloadConfig(
+            subtasks_per_task=8,
+            utilization=0.9,
+            tasks=12,
+            processors=4,
+            random_phases=True,
+        ),
+        seed=1,
+    )
+    benchmark.pedantic(
+        lambda: simulate(
+            system,
+            DirectSynchronization(),
+            horizon_periods=HORIZON_PERIODS,
+            record_segments=True,
+            engine="batch",
+        ),
+        rounds=1,
+        iterations=1,
+    )

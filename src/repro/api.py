@@ -49,6 +49,7 @@ def run_protocol(
     clocks: ClockMap | ClockConfig | None = None,
     timebase: str = "float",
     faults: FaultConfig | None = None,
+    engine: str = "reference",
 ) -> SimulationResult:
     """Simulate ``system`` under the named protocol (DS/PM/MPM/RG).
 
@@ -59,8 +60,10 @@ def run_protocol(
     processors).  ``faults`` arms the fault-injection plane
     (:class:`~repro.faults.FaultConfig`); the run's fault log lands on
     ``result.trace.faults`` and its summary on
-    ``result.metrics.faults``.  See :func:`repro.sim.simulate` for the
-    remaining knobs.
+    ``result.metrics.faults``.  ``engine`` selects the simulation
+    backend (``"reference"`` or ``"batch"``; see
+    :mod:`repro.sim.simulator` for the fallback contract).  See
+    :func:`repro.sim.simulate` for the remaining knobs.
     """
     if isinstance(clocks, ClockConfig):
         clocks = clocks.build(system.processors)
@@ -79,6 +82,7 @@ def run_protocol(
         clocks=clocks,
         timebase=timebase,
         faults=faults,
+        engine=engine,
     )
 
 

@@ -117,6 +117,11 @@ def _add_grid_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--ci", action="store_true", help="show 90%% confidence intervals"
     )
+    parser.add_argument(
+        "--engine", choices=("reference", "batch"), default="reference",
+        help="simulation backend; 'batch' runs the flat-array kernel "
+        "(trace-identical on these workloads, several times faster)",
+    )
 
 
 def _cmd_example2(args: argparse.Namespace) -> int:
@@ -195,6 +200,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         progress=_progress,
         grid_overrides={"tasks": args.tasks, "processors": args.processors},
         workers=args.workers,
+        engine=args.engine,
     )
     print(result.render(show_ci=args.ci))
     if args.check:
@@ -243,6 +249,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         run_simulations=not analyses_only,
         run_analyses=analyses_only,
         horizon_periods=args.horizon_periods,
+        engine=args.engine,
     )
     if args.number == 12:
         surface = failure_rate_surface(evaluations)
@@ -505,6 +512,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         latencies=tuple(args.latencies),
         faults=args.faults,
         locks=args.locks,
+        engine=args.engine,
     )
     if args.stats or not report.ok:
         print(report.describe())
@@ -774,6 +782,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--locks", choices=("none", "locks"), default="none",
         help="lock rotation: 'locks' cycles critical-section injections "
         "under DPCP and DPCP-p through the cases",
+    )
+    p.add_argument(
+        "--engine", choices=("reference", "batch"), default="reference",
+        help="simulation backend for every case; out-of-domain cases "
+        "fall back to the reference kernel explicitly",
     )
     p.add_argument(
         "--corpus", default=None,

@@ -95,8 +95,15 @@ def evaluate_system(
     run_simulations: bool = True,
     horizon_periods: float = 10.0,
     sa_ds_max_iterations: int = 100,
+    engine: str = "reference",
 ) -> SystemEvaluation:
-    """Generate one system and measure everything the figures need."""
+    """Generate one system and measure everything the figures need.
+
+    ``engine`` selects the simulation backend; the fig12-16 workloads
+    are clock/fault/lock-free, so ``engine="batch"`` runs them on the
+    flat-array kernel with identical traces and metrics at a fraction of
+    the cost (see ``docs/batch-engine.md``).
+    """
     system = generate_system(config, seed)
     sa_pm_bounds: tuple[float, ...] = ()
     sa_ds_bounds: tuple[float, ...] = ()
@@ -118,7 +125,10 @@ def evaluate_system(
     if run_simulations:
         for protocol in protocols:
             result = run_protocol(
-                system, protocol, horizon_periods=horizon_periods
+                system,
+                protocol,
+                horizon_periods=horizon_periods,
+                engine=engine,
             )
             average_eer[protocol] = tuple(result.metrics.average_eer_vector())
             jitter[protocol] = tuple(

@@ -132,6 +132,7 @@ def run_suite(
     progress: Callable[[str], None] | None = None,
     grid_overrides: Mapping[str, object] | None = None,
     workers: int | None = None,
+    engine: str = "reference",
 ) -> SuiteResult:
     """Reproduce Figures 12-16 over the (N, U) grid.
 
@@ -142,6 +143,9 @@ def run_suite(
     systems themselves.  ``workers`` (when not 1) routes the sweep
     through :func:`repro.experiments.parallel.parallel_sweep_grid`;
     every number is identical to the serial sweep regardless.
+    ``engine="batch"`` runs the simulations on the flat-array kernel
+    (trace- and metric-identical on these workloads, several times
+    faster); the analyses are unaffected.
     """
     overrides = dict(grid_overrides or {})
     overrides.setdefault("random_phases", random_phases)
@@ -156,6 +160,7 @@ def run_suite(
         protocols=DEFAULT_PROTOCOLS,
         horizon_periods=horizon_periods,
         sa_ds_max_iterations=sa_ds_max_iterations,
+        engine=engine,
     )
     if workers is None or workers == 1:
         evaluations = sweep_grid(configs, systems, **sweep_kwargs)

@@ -272,6 +272,7 @@ def fuzz_one(
     faults: FaultConfig | None = None,
     locks: LockScenario | None = None,
     timebase: str = "float",
+    engine: str = "reference",
 ) -> CaseOutcome:
     """Generate, simulate and judge one case; the campaign's unit of work.
 
@@ -286,7 +287,9 @@ def fuzz_one(
     arithmetic (tolerance-free oracles), *and* a second case is built
     under the float backend -- same environment -- so the two can be
     cross-checked; any observable disagreement is reported under the
-    ``float-vs-exact`` pseudo-oracle.
+    ``float-vs-exact`` pseudo-oracle.  ``engine`` selects the
+    simulation backend every protocol runs on (cases outside the batch
+    domain fall back to the reference kernel explicitly).
     """
     started = time.perf_counter()
     if faults is not None:
@@ -306,6 +309,7 @@ def fuzz_one(
         faults=faults,
         locking=locking,
         timebase=timebase,
+        engine=engine,
     )
     failures, checked = check_case(case, oracles)
     if case.timebase.exact:
@@ -319,6 +323,7 @@ def fuzz_one(
             faults=faults,
             locking=locking,
             timebase="float",
+            engine=engine,
         )
         checked = checked + (DIFFERENTIAL_ORACLE,)
         disagreements = compare_backends(float_case, case)
@@ -352,6 +357,7 @@ def _job(args: tuple) -> CaseOutcome:
         latency,
         faults,
         locks,
+        engine,
     ) = args
     return fuzz_one(
         config,
@@ -364,6 +370,7 @@ def _job(args: tuple) -> CaseOutcome:
         faults=faults,
         locks=locks,
         timebase=timebase,
+        engine=engine,
     )
 
 
@@ -500,6 +507,7 @@ def _case_stream(
     latencies: Sequence[float],
     fault_configs: Sequence[FaultConfig | None],
     lock_scenarios: Sequence[LockScenario | None],
+    engine: str,
 ) -> Iterator[tuple]:
     # Clock, latency, fault and lock rotations advance at different
     # strides so a long campaign covers their full cross product, while
@@ -519,6 +527,7 @@ def _case_stream(
             latencies[(index // len(clock_configs)) % len(latencies)],
             fault_configs[(index // fault_stride) % len(fault_configs)],
             lock_scenarios[(index // lock_stride) % len(lock_scenarios)],
+            engine,
         )
         index += 1
 
@@ -543,6 +552,7 @@ def run_campaign(
     faults: str | Sequence[FaultConfig | None] = "none",
     locks: str | Sequence[LockScenario | None] = "none",
     timebase: str = "float",
+    engine: str = "reference",
 ) -> CampaignReport:
     """Run a fuzzing campaign and return its report.
 
@@ -562,9 +572,16 @@ def run_campaign(
     as JSONL.  With ``timebase="exact"`` every case runs under exact
     arithmetic with tolerance-free oracles and is differentially
     cross-checked against the float backend (the ``float-vs-exact``
-    pseudo-oracle).
+    pseudo-oracle).  ``engine`` selects the simulation backend for
+    every case (the batch-conformance CI campaign pins
+    ``engine="reference"`` and judges the ``batch-vs-reference-identity``
+    oracle, which re-simulates on the batch engine itself).
     """
     get_timebase(timebase)  # validate early, before spawning workers
+    if engine not in ("reference", "batch"):
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; known: reference, batch"
+        )
     if isinstance(clocks, str):
         try:
             clock_configs: Sequence[ClockConfig | None] = (
@@ -655,6 +672,7 @@ def run_campaign(
         latencies,
         fault_configs,
         lock_scenarios,
+        engine,
     )
 
     def out_of_time() -> bool:

@@ -84,6 +84,14 @@ The catalog (paper references in each oracle's ``reference``):
     resource, release only by the holder), and progress (a free
     resource never sits idle while requests wait -- waiters are either
     granted at the release instant or cut off by the horizon).
+``batch-vs-reference-identity``
+    On the batch engine's declared domain (float timebase, perfect
+    clocks, no fault plane, no latency, no critical sections), every
+    protocol re-simulated on the flat-array kernel produces a trace
+    byte-identical to the reference kernel's -- compared at the packed
+    column level, where ``0.0`` vs ``-0.0`` and dtype drift count as
+    differences -- and never falls back (an in-domain fallback is
+    itself a violation of the engine contract).
 
 Oracle *applicability* encodes the paper's stated assumptions: the
 identity and plain-soundness oracles demand ideal conditions (perfect
@@ -683,6 +691,102 @@ def _check_deadlock_freedom(case: FuzzCase) -> list[str]:
 
 
 # ---------------------------------------------------------------------------
+# Batch-engine conformance
+# ---------------------------------------------------------------------------
+
+
+def _batch_identity_applies(case: FuzzCase) -> bool:
+    # The batch engine's declared domain, exactly as
+    # repro.sim.batch.backend.batch_fallback_reason states it.  Note
+    # ``faults is None`` is stricter than ``faults_null``: even a
+    # zero-rate fault plane forces the reference kernel (the plane
+    # hooks the event loop).  The case itself must have run on the
+    # reference kernel -- comparing batch against batch proves nothing.
+    return (
+        bool(case.results)
+        and not case.timebase.exact
+        and case.clocks_perfect
+        and case.faults is None
+        and case.latency == 0
+        and case.locks_free
+        and all(r.engine == "reference" for r in case.results.values())
+    )
+
+
+def _check_batch_reference_identity(case: FuzzCase) -> list[str]:
+    """Re-simulate every protocol on the batch engine; demand identity.
+
+    Fresh controllers are built exactly as :func:`build_case` built the
+    originals (PM/MPM timers from the same SA/PM bounds), so the two
+    runs differ in *nothing but the engine*.  Traces are compared in
+    packed form -- :meth:`PackedTrace.identical` is byte-for-byte per
+    column -- which is the same contract the golden-trace corpus and
+    the conformance test layer enforce.
+    """
+    from repro.core.protocols.direct import DirectSynchronization
+    from repro.core.protocols.modified_pm import ModifiedPhaseModification
+    from repro.core.protocols.phase_modification import PhaseModification
+    from repro.core.protocols.release_guard import ReleaseGuard
+    from repro.sim.batch import encode
+    from repro.sim.simulator import simulate
+
+    clock_map = (
+        None
+        if case.clocks is None
+        else case.clocks.build(case.system.processors)
+    )
+    issues = []
+    for protocol in sorted(case.results):
+        reference = case.results[protocol]
+        record_idle = False
+        if protocol == "DS":
+            controller = DirectSynchronization()
+        elif protocol == "RG":
+            controller = ReleaseGuard()
+            record_idle = True
+        else:  # PM / MPM -- same bounds the original controllers used
+            bounds = dict(case.sa_pm_blocking.subtask_bounds)
+            controller = (
+                PhaseModification(bounds)
+                if protocol == "PM"
+                else ModifiedPhaseModification(bounds)
+            )
+        result = simulate(
+            case.system,
+            controller,
+            horizon_periods=case.horizon_periods,
+            record_segments=True,
+            record_idle_points=record_idle,
+            clocks=clock_map,
+            locking=case.locking,
+            timebase=case.timebase,
+            engine="batch",
+        )
+        if result.engine != "batch":
+            issues.append(
+                f"{protocol}: batch engine fell back to the reference "
+                f"kernel ({result.engine_fallback}) on a case inside its "
+                f"declared domain"
+            )
+            continue
+        if result.events_processed != reference.events_processed:
+            issues.append(
+                f"{protocol}: batch engine processed "
+                f"{result.events_processed} events, reference "
+                f"{reference.events_processed}"
+            )
+        packed = result.packed_trace
+        assert packed is not None
+        expected = encode(reference.trace)
+        if not expected.identical(packed):
+            issues.append(
+                f"{protocol}: batch trace differs from reference "
+                f"({expected.describe_diff(packed)})"
+            )
+    return issues
+
+
+# ---------------------------------------------------------------------------
 # Exhaustive search vs analysis (small systems only)
 # ---------------------------------------------------------------------------
 
@@ -897,6 +1001,14 @@ ORACLES: dict[str, Oracle] = {
             # which legitimately interrupts the request lifecycle.
             lambda case: not case.locks_free
             and (case.faults is None or not case.faults.crashes),
+        ),
+        Oracle(
+            "batch-vs-reference-identity",
+            "batch-engine contract (docs/batch-engine.md)",
+            "re-simulating on the batch engine reproduces the reference "
+            "trace byte-for-byte, with no in-domain fallback",
+            _check_batch_reference_identity,
+            _batch_identity_applies,
         ),
         Oracle(
             "exhaustive-vs-bounds",

@@ -58,7 +58,17 @@ class CheckedReleaseGuard(ReleaseGuard):
     still holds the guard that governed this release.  A correct RG
     implementation never releases early; anything recorded here is a
     protocol-conformance violation (Section 3.2, release rule).
+
+    The class opts into the batch engine (``batch_equivalent``): its
+    only addition over stock RG is the ``early_releases`` diagnostic,
+    which never alters a schedule and stays empty on the batch engine's
+    supported domain (the rg-guard-conformance oracle that reads it
+    judges reference runs).
     """
+
+    #: Explicit batch-engine opt-in (see repro.sim.batch.backend): the
+    #: subclass changes nothing observable about the schedule.
+    batch_equivalent = "RG"
 
     def __init__(self) -> None:
         super().__init__()
@@ -195,6 +205,7 @@ def build_case(
     faults: FaultConfig | None = None,
     locking: LockingConfig | None = None,
     timebase: Timebase | str = "float",
+    engine: str = "reference",
 ) -> FuzzCase:
     """Run all four protocols and both analyses over ``system``.
 
@@ -218,7 +229,11 @@ def build_case(
     release successors before their blocked predecessors complete.
     ``timebase`` selects the arithmetic backend for both the analyses
     and the simulations; under ``"exact"`` the oracles judge with zero
-    tolerance.
+    tolerance.  ``engine`` selects the simulation backend for every
+    protocol run; cases outside the batch engine's domain (clocks,
+    faults, locks, latency, non-float timebase) fall back to the
+    reference kernel explicitly, with the reason recorded on each
+    result's ``engine_fallback``.
     """
     tb = get_timebase(timebase)
     if latency < 0 or not math.isfinite(latency):
@@ -302,5 +317,6 @@ def build_case(
             timebase=tb,
             faults=faults,
             locking=locking,
+            engine=engine,
         )
     return case

@@ -1,0 +1,104 @@
+"""Monotone calendar queue for the batch engine.
+
+The reference kernel keeps one global binary heap and pays the ``log n``
+comparison chain on every push.  The batch engine's event population is
+different: almost every push is *strictly in the future* (the next
+periodic release, a completion at ``now + remaining``, an MPM relay
+timer at ``now + bound``) and simulation time only moves forward.  A
+monotone calendar queue exploits that: the ``[0, horizon]`` axis is cut
+into equal-width buckets, preallocated up front; a future event is an
+O(1) ``list.append`` into its bucket, and only the *active* bucket (the
+one the cursor is consuming) is kept heap-ordered.  When the cursor
+enters a bucket it is heapified once (O(k)); same-instant pushes that
+land in the active bucket go through ``heappush`` as before.
+
+Events are plain tuples ``(time, cls, seq, ...)``.  ``seq`` must be
+unique and globally increasing across pushes: it makes every key unique,
+so tuple comparison never reaches the payload and the pop order is the
+exact total order the reference :class:`~repro.sim.engine.EventQueue`
+produces -- time first, then the event-class order
+(completions < timers < environment releases < signals), then FIFO.
+That equivalence is what the hypothesis property test
+(``tests/test_batch_properties.py``) pins against ``heapq``.
+
+Events past the horizon are clamped into the last bucket: the run loop
+stops at the first popped event beyond the horizon, so their relative
+order only has to be correct, which the per-bucket heap guarantees.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+
+__all__ = ["CalendarQueue"]
+
+#: Upper bound on the bucket count.  Aiming at roughly one event per
+#: bucket keeps the active heap near-trivial (pop is a plain list pop,
+#: heapify a no-op); the preallocation cost of ~32k empty lists is
+#: amortized by any run large enough to want them, and small runs are
+#: capped by their ``expected_events`` hint anyway.
+_MAX_BUCKETS = 32768
+
+
+class CalendarQueue:
+    """A monotone bucket queue over ``[0, horizon]``.
+
+    Parameters
+    ----------
+    horizon:
+        Upper end of the time axis.  Events may be pushed past it (the
+        run loop terminates on them); they share the last bucket.
+    expected_events:
+        Sizing hint; the queue aims at O(1) events per bucket.
+    """
+
+    __slots__ = ("_buckets", "_active", "_cursor", "_nbuckets", "_scale")
+
+    def __init__(self, horizon: float, expected_events: int = 256) -> None:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon!r}")
+        nbuckets = max(1, min(_MAX_BUCKETS, expected_events))
+        self._nbuckets = nbuckets
+        # ``scale`` maps a timestamp to its bucket index; the last bucket
+        # absorbs everything at or past the horizon.
+        self._scale = nbuckets / horizon
+        self._buckets: list[list[tuple]] = [[] for _ in range(nbuckets)]
+        self._cursor = 0
+        self._active: list[tuple] = self._buckets[0]
+
+    def push(self, event: tuple) -> None:
+        """Insert ``event = (time, cls, seq, ...)``; ``seq`` unique."""
+        index = int(event[0] * self._scale)
+        if index <= self._cursor:
+            # Into the bucket being consumed (or, clamped up, an event
+            # whose nominal bucket the cursor already passed -- possible
+            # only for times >= now, which the kernel guarantees): keep
+            # the active heap ordered.
+            heappush(self._active, event)
+        else:
+            if index >= self._nbuckets:
+                index = self._nbuckets - 1
+                if index <= self._cursor:
+                    heappush(self._active, event)
+                    return
+            self._buckets[index].append(event)
+
+    def pop(self) -> tuple | None:
+        """Remove and return the earliest event, or None when empty."""
+        active = self._active
+        while not active:
+            cursor = self._cursor + 1
+            if cursor >= self._nbuckets:
+                return None
+            self._cursor = cursor
+            active = self._buckets[cursor]
+            if active:
+                heapify(active)
+                self._active = active
+        return heappop(active)
+
+    def __len__(self) -> int:
+        return len(self._active) + sum(
+            len(self._buckets[i])
+            for i in range(self._cursor + 1, self._nbuckets)
+        )

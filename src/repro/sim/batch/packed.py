@@ -1,0 +1,316 @@
+"""Packed (struct-of-arrays) trace format for the batch engine.
+
+The batch engine never touches :class:`~repro.sim.tracing.Trace` while
+running: recording a release is two integer appends and one float append
+into flat columns, not a :class:`~repro.model.task.SubtaskId`-keyed dict
+insert.  The columns become numpy arrays when the run finishes, and a
+:class:`PackedTrace` decodes *lazily* into a full ``Trace`` only when a
+caller actually wants one (metrics, validation, Gantt rendering).
+
+Identifier encoding
+-------------------
+Subtasks are column indices into ``system.subtask_ids`` (task order) and
+processors indices into ``system.processors`` (sorted order) -- both
+orders are deterministic properties of the immutable system, so encoding
+is stable across processes.  Instances keep their 0-based index.
+
+Canonical ordering
+------------------
+Rows appear in *recording order*, which for the reference kernel is dict
+insertion order -- the two engines record in identical order precisely
+when their schedules are identical, so conformance can be asserted
+byte-for-byte on the arrays (:meth:`PackedTrace.identical`) instead of
+comparing decoded object graphs.  The one exception is idle points: the
+reference trace groups them per processor, so the packed form stores
+them grouped by processor (in ``system.processors`` order, chronological
+within each processor) on both the encode and the engine path.
+
+The format round-trips: ``encode(trace).decode(system) == trace`` for
+any clock-free, fault-free, lock-free trace (a hypothesis property test
+pins this), and serializes to ``.npz`` for the golden-trace corpus under
+``tests/corpus/golden_traces/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.model.system import System
+from repro.sim.tracing import PrecedenceViolation, Segment, Trace
+from repro.timebase import FLOAT, Timebase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+__all__ = ["PackedTrace", "encode"]
+
+_I32 = np.int32
+_F64 = np.float64
+
+
+def _i(values) -> np.ndarray:
+    return np.asarray(values, dtype=_I32)
+
+
+def _f(values) -> np.ndarray:
+    return np.asarray(values, dtype=_F64)
+
+
+@dataclass(frozen=True)
+class PackedTrace:
+    """One simulation trace as parallel flat arrays.
+
+    Every ``*_slot`` column indexes ``system.subtask_ids``, every
+    ``*_proc`` column indexes ``system.processors``; parallel columns
+    have equal length and describe one record per row.
+    """
+
+    #: Simulation horizon the run used (float timebase).
+    horizon: float
+    #: Recording flags the run was made with; decode restores them.
+    record_segments: bool
+    record_idle_points: bool
+
+    #: Subtask releases, in recording order.
+    rel_slot: np.ndarray
+    rel_inst: np.ndarray
+    rel_time: np.ndarray
+    #: Subtask completions, in recording order.
+    comp_slot: np.ndarray
+    comp_inst: np.ndarray
+    comp_time: np.ndarray
+    #: Environment releases (``task_index`` keyed), in recording order.
+    env_task: np.ndarray
+    env_inst: np.ndarray
+    env_time: np.ndarray
+    #: Execution segments, in recording order.
+    seg_proc: np.ndarray
+    seg_slot: np.ndarray
+    seg_inst: np.ndarray
+    seg_start: np.ndarray
+    seg_end: np.ndarray
+    #: Idle points, grouped by processor index, chronological per group.
+    idle_proc: np.ndarray
+    idle_time: np.ndarray
+    #: Precedence violations, in recording order.
+    viol_slot: np.ndarray
+    viol_inst: np.ndarray
+    viol_time: np.ndarray
+    viol_pred: np.ndarray
+    #: Timer clamps ``(requested, clamped_to)``, in recording order.
+    clamp_req: np.ndarray
+    clamp_to: np.ndarray
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(
+        self, system: System, *, timebase: Timebase = FLOAT
+    ) -> Trace:
+        """Materialize the full :class:`Trace` this packing describes.
+
+        The result compares equal (``==``) to the trace the reference
+        kernel would have recorded, provided the packing came from an
+        identical schedule on the same ``system``.
+        """
+        trace = Trace(
+            system,
+            float(self.horizon),
+            record_segments=self.record_segments,
+            record_idle_points=self.record_idle_points,
+            timebase=timebase,
+        )
+        sids = system.subtask_ids
+        procs = system.processors
+        releases = trace.releases
+        for slot, inst, time in zip(
+            self.rel_slot.tolist(),
+            self.rel_inst.tolist(),
+            self.rel_time.tolist(),
+        ):
+            releases[(sids[slot], inst)] = time
+        completions = trace.completions
+        for slot, inst, time in zip(
+            self.comp_slot.tolist(),
+            self.comp_inst.tolist(),
+            self.comp_time.tolist(),
+        ):
+            completions[(sids[slot], inst)] = time
+        env = trace.env_releases
+        for task, inst, time in zip(
+            self.env_task.tolist(),
+            self.env_inst.tolist(),
+            self.env_time.tolist(),
+        ):
+            env[(task, inst)] = time
+        segments = trace.segments
+        for proc, slot, inst, start, end in zip(
+            self.seg_proc.tolist(),
+            self.seg_slot.tolist(),
+            self.seg_inst.tolist(),
+            self.seg_start.tolist(),
+            self.seg_end.tolist(),
+        ):
+            segments.append(
+                Segment(
+                    processor=procs[proc],
+                    sid=sids[slot],
+                    instance=inst,
+                    start=start,
+                    end=end,
+                )
+            )
+        idle = trace.idle_points
+        for proc, time in zip(
+            self.idle_proc.tolist(), self.idle_time.tolist()
+        ):
+            idle.setdefault(procs[proc], []).append(time)
+        violations = trace.violations
+        for slot, inst, time, pred in zip(
+            self.viol_slot.tolist(),
+            self.viol_inst.tolist(),
+            self.viol_time.tolist(),
+            self.viol_pred.tolist(),
+        ):
+            violations.append(
+                PrecedenceViolation(
+                    sid=sids[slot],
+                    instance=inst,
+                    release_time=time,
+                    predecessor=sids[pred],
+                )
+            )
+        clamps = trace.timer_clamps
+        for req, to in zip(self.clamp_req.tolist(), self.clamp_to.tolist()):
+            clamps.append((req, to))
+        return trace
+
+    # ------------------------------------------------------------------
+    # Comparison and serialization
+    # ------------------------------------------------------------------
+    def identical(self, other: "PackedTrace") -> bool:
+        """Byte-for-byte equality: every column's raw bytes must match.
+
+        Stricter than value equality -- ``0.0`` and ``-0.0`` differ, as
+        do equal values of different dtypes -- which is exactly the
+        contract the conformance layer asserts between engines.
+        """
+        if (
+            self.horizon != other.horizon
+            or self.record_segments != other.record_segments
+            or self.record_idle_points != other.record_idle_points
+        ):
+            return False
+        for name in _ARRAY_FIELDS:
+            mine = getattr(self, name)
+            theirs = getattr(other, name)
+            if mine.dtype != theirs.dtype or mine.tobytes() != theirs.tobytes():
+                return False
+        return True
+
+    def describe_diff(self, other: "PackedTrace") -> str:
+        """Name the first differing column (diagnostics for tests)."""
+        for scalar in ("horizon", "record_segments", "record_idle_points"):
+            if getattr(self, scalar) != getattr(other, scalar):
+                return (
+                    f"{scalar}: {getattr(self, scalar)!r} != "
+                    f"{getattr(other, scalar)!r}"
+                )
+        for name in _ARRAY_FIELDS:
+            mine = getattr(self, name)
+            theirs = getattr(other, name)
+            if mine.shape != theirs.shape:
+                return f"{name}: {len(mine)} rows != {len(theirs)} rows"
+            if mine.dtype != theirs.dtype or mine.tobytes() != theirs.tobytes():
+                where = np.nonzero(mine != theirs)[0]
+                first = int(where[0]) if len(where) else -1
+                return (
+                    f"{name}: first mismatch at row {first} "
+                    f"({mine[first]!r} != {theirs[first]!r})"
+                    if first >= 0
+                    else f"{name}: byte-level mismatch"
+                )
+        return "identical"
+
+    def save(self, path: "Path | str") -> None:
+        """Write the packing as a compressed ``.npz`` archive."""
+        arrays = {name: getattr(self, name) for name in _ARRAY_FIELDS}
+        np.savez_compressed(
+            path,
+            horizon=_f([self.horizon]),
+            flags=_i([int(self.record_segments), int(self.record_idle_points)]),
+            **arrays,
+        )
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "PackedTrace":
+        """Read a packing written by :meth:`save`."""
+        with np.load(path) as data:
+            flags = data["flags"]
+            return cls(
+                horizon=float(data["horizon"][0]),
+                record_segments=bool(flags[0]),
+                record_idle_points=bool(flags[1]),
+                **{name: data[name] for name in _ARRAY_FIELDS},
+            )
+
+
+_ARRAY_FIELDS = tuple(
+    f.name for f in fields(PackedTrace) if f.type == "np.ndarray"
+)
+
+
+def encode(trace: Trace) -> PackedTrace:
+    """Pack a reference-kernel :class:`Trace` into column arrays.
+
+    Only clock-free, fault-free, lock-free traces are encodable -- the
+    packed format has no columns for fault or lock logs, mirroring the
+    batch engine's supported domain.
+    """
+    if trace.faults is not None or trace.locks is not None:
+        raise ValueError(
+            "packed traces cannot carry fault or lock logs; "
+            "only the batch engine's supported domain is encodable"
+        )
+    system = trace.system
+    slot_of = {sid: i for i, sid in enumerate(system.subtask_ids)}
+    proc_of = {p: i for i, p in enumerate(system.processors)}
+    rel = list(trace.releases.items())
+    comp = list(trace.completions.items())
+    env = list(trace.env_releases.items())
+    idle_proc: list[int] = []
+    idle_time: list[float] = []
+    for proc in system.processors:
+        for time in trace.idle_points.get(proc, ()):  # grouped, per proc
+            idle_proc.append(proc_of[proc])
+            idle_time.append(time)
+    return PackedTrace(
+        horizon=float(trace.horizon),
+        record_segments=trace.record_segments,
+        record_idle_points=trace.record_idle_points,
+        rel_slot=_i([slot_of[sid] for (sid, _m), _t in rel]),
+        rel_inst=_i([m for (_sid, m), _t in rel]),
+        rel_time=_f([t for _key, t in rel]),
+        comp_slot=_i([slot_of[sid] for (sid, _m), _t in comp]),
+        comp_inst=_i([m for (_sid, m), _t in comp]),
+        comp_time=_f([t for _key, t in comp]),
+        env_task=_i([i for (i, _m), _t in env]),
+        env_inst=_i([m for (_i, m), _t in env]),
+        env_time=_f([t for _key, t in env]),
+        seg_proc=_i([proc_of[s.processor] for s in trace.segments]),
+        seg_slot=_i([slot_of[s.sid] for s in trace.segments]),
+        seg_inst=_i([s.instance for s in trace.segments]),
+        seg_start=_f([s.start for s in trace.segments]),
+        seg_end=_f([s.end for s in trace.segments]),
+        idle_proc=_i(idle_proc),
+        idle_time=_f(idle_time),
+        viol_slot=_i([slot_of[v.sid] for v in trace.violations]),
+        viol_inst=_i([v.instance for v in trace.violations]),
+        viol_time=_f([v.release_time for v in trace.violations]),
+        viol_pred=_i([slot_of[v.predecessor] for v in trace.violations]),
+        clamp_req=_f([req for req, _to in trace.timer_clamps]),
+        clamp_to=_f([to for _req, to in trace.timer_clamps]),
+    )

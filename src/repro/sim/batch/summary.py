@@ -1,0 +1,114 @@
+"""Metrics straight from a packed trace, bypassing Trace decoding.
+
+The sweep experiments consume only :class:`~repro.sim.metrics.TraceMetrics`
+-- the EER averages, jitter and miss counts -- and never touch the trace
+itself.  Decoding a :class:`~repro.sim.batch.packed.PackedTrace` into a
+:class:`~repro.sim.tracing.Trace` walks every event a second time just to
+build dictionaries that the metrics pass immediately reduces away; this
+module reduces the packed columns directly, in O(instances) instead of
+O(events).
+
+The contract is *bit identity* with
+:func:`repro.sim.metrics.compute_metrics` applied to the decoded trace:
+the same instances selected in the same (sorted) order, EER times from
+the same float subtraction, the average from the same left-fold
+``sum(...) / len(...)`` -- numpy's pairwise summation would round
+differently and is deliberately not used -- and deadline misses from the
+same ``timebase.gt``.  The batch-vs-reference conformance tests compare
+``SimulationResult.metrics`` across engines with ``==``, which holds
+only because of this.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.model.system import System
+from repro.sim.batch.packed import PackedTrace
+from repro.sim.metrics import TaskMetrics, TraceMetrics, output_jitter
+from repro.timebase import FLOAT, Timebase
+
+__all__ = ["metrics_from_packed"]
+
+
+def metrics_from_packed(
+    packed: PackedTrace,
+    system: System,
+    *,
+    warmup: float = 0.0,
+    timebase: Timebase = FLOAT,
+) -> TraceMetrics:
+    """Replicate ``compute_metrics(packed.decode(system))`` without the
+    decode.  See the module docstring for the bit-identity contract."""
+    if warmup < 0:
+        raise SimulationError(f"warmup must be >= 0, got {warmup!r}")
+    tasks = system.tasks
+    # Map each task's *last* slot to the task index, then bucket the
+    # relevant completion and environment-release columns per task.
+    last_slot_task: dict[int, int] = {}
+    slot = 0
+    for task_index, task in enumerate(tasks):
+        slot += task.chain_length
+        last_slot_task[slot - 1] = task_index
+    completions: list[dict[int, float]] = [{} for _ in tasks]
+    for s, m, t in zip(
+        packed.comp_slot.tolist(),
+        packed.comp_inst.tolist(),
+        packed.comp_time.tolist(),
+    ):
+        task_index = last_slot_task.get(s)
+        if task_index is not None:
+            completions[task_index][m] = t
+    env: list[dict[int, float]] = [{} for _ in tasks]
+    for i, m, t in zip(
+        packed.env_task.tolist(),
+        packed.env_inst.tolist(),
+        packed.env_time.tolist(),
+    ):
+        env[i][m] = t
+
+    summaries = []
+    for task_index, task in enumerate(tasks):
+        completed = completions[task_index]
+        released = env[task_index]
+        # Same selection and order as compute_metrics: completed task
+        # instances (sorted), kept only when the environment release
+        # exists and clears the warmup.
+        instances = [
+            m
+            for m in sorted(completed)
+            if m in released and released[m] >= warmup
+        ]
+        eer_times = [completed[m] - released[m] for m in instances]
+        deadline = timebase.convert(task.relative_deadline)
+        misses = sum(
+            1 for value in eer_times if timebase.gt(value, deadline)
+        )
+        if eer_times:
+            summaries.append(
+                TaskMetrics(
+                    task_index=task_index,
+                    completed_instances=len(eer_times),
+                    average_eer=sum(eer_times) / len(eer_times),
+                    max_eer=max(eer_times),
+                    min_eer=min(eer_times),
+                    output_jitter=output_jitter(eer_times),
+                    deadline_misses=misses,
+                )
+            )
+        else:
+            summaries.append(
+                TaskMetrics(
+                    task_index=task_index,
+                    completed_instances=0,
+                    average_eer=float("nan"),
+                    max_eer=float("nan"),
+                    min_eer=float("nan"),
+                    output_jitter=0.0,
+                    deadline_misses=0,
+                )
+            )
+    return TraceMetrics(
+        tasks=tuple(summaries),
+        precedence_violations=int(len(packed.viol_slot)),
+        faults=None,
+    )

@@ -3,37 +3,91 @@
 :func:`simulate` wraps kernel construction, horizon selection and metric
 computation into one call; :class:`SimulationResult` bundles the trace,
 the metrics and run diagnostics.
+
+Two engines sit behind the facade, selected by ``engine=`` the same way
+``timebase=`` selects the arithmetic backend: ``"reference"`` (default)
+is the object-graph kernel of :mod:`repro.sim.engine` and the oracle of
+record; ``"batch"`` is the flat-array kernel of :mod:`repro.sim.batch`,
+trace-identical on its supported domain (float timebase, perfect clocks,
+no faults/locks, stock protocols) and roughly an order of magnitude
+faster.  A batch request outside that domain falls back to the reference
+kernel *explicitly*: the result carries ``engine="reference"`` and the
+reason on ``engine_fallback`` -- never silently.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.clocks.models import ClockMap
 from repro.errors import ConfigurationError
 from repro.faults.config import FaultConfig
 from repro.locks.config import LockingConfig
 from repro.model.system import System
+from repro.sim.batch import batch_fallback_reason, batch_protocol_of, run_batch
+from repro.sim.batch.packed import PackedTrace
+from repro.sim.batch.summary import metrics_from_packed
 from repro.sim.engine import Kernel
 from repro.sim.interfaces import ReleaseController
 from repro.sim.metrics import TraceMetrics, compute_metrics
 from repro.sim.network import SignalLatencyModel
 from repro.sim.tracing import Trace
 from repro.sim.variation import ExecutionModel, ReleaseJitterModel
-from repro.timebase import Timebase
+from repro.timebase import Timebase, get_timebase
 
-__all__ = ["SimulationResult", "simulate", "default_horizon"]
+__all__ = ["ENGINES", "SimulationResult", "simulate", "default_horizon"]
+
+#: Selectable simulation engines.
+ENGINES = ("reference", "batch")
 
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Everything a caller needs from one run."""
+    """Everything a caller needs from one run.
+
+    ``trace`` is a property: the reference engine supplies the
+    :class:`Trace` eagerly, while the batch engine carries its
+    :class:`~repro.sim.batch.packed.PackedTrace` and decodes it on first
+    access (sweeps read only ``metrics`` and never pay the decode).  The
+    decoded object is cached, so repeated access is free and identity is
+    stable.
+    """
 
     protocol: str
-    trace: Trace
     metrics: TraceMetrics
     horizon: float
     events_processed: int
+    #: Engine that actually produced the trace ("reference" | "batch").
+    engine: str = "reference"
+    #: Why a ``engine="batch"`` request ran on the reference kernel
+    #: instead; None when no fallback happened.
+    engine_fallback: str | None = None
+    # Trace storage: exactly one of _trace (reference) or the
+    # (_packed, _system, _timebase) triple (batch) is set at construction.
+    _trace: Trace | None = field(default=None, repr=False, compare=False)
+    _packed: PackedTrace | None = field(default=None, repr=False, compare=False)
+    _system: System | None = field(default=None, repr=False, compare=False)
+    _timebase: Timebase | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def trace(self) -> Trace:
+        """The run's trace; lazily decoded for the batch engine."""
+        if self._trace is None:
+            if self._packed is None or self._system is None:
+                raise ConfigurationError(
+                    "SimulationResult carries neither a trace nor a "
+                    "packed trace"
+                )
+            decoded = self._packed.decode(
+                self._system, timebase=self._timebase or get_timebase("float")
+            )
+            object.__setattr__(self, "_trace", decoded)
+        return self._trace
+
+    @property
+    def packed_trace(self) -> PackedTrace | None:
+        """The batch engine's packed trace, None for reference runs."""
+        return self._packed
 
     def average_eer(self, task_index: int) -> float:
         """Average EER time of one task over the run."""
@@ -77,6 +131,7 @@ def simulate(
     timebase: Timebase | str = "float",
     faults: FaultConfig | None = None,
     locking: LockingConfig | None = None,
+    engine: str = "reference",
 ) -> SimulationResult:
     """Simulate ``system`` under ``controller`` and summarize the run.
 
@@ -89,10 +144,55 @@ def simulate(
     per-processor local clock models (default: all perfect).  ``locking``
     selects the distributed locking protocol arbitrating any critical
     sections the system declares (inert on a resource-free system).
+    ``engine`` selects the simulation backend (``"reference"`` or
+    ``"batch"``; see the module docstring for the fallback contract).
     """
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; known: {', '.join(ENGINES)}"
+        )
     effective_horizon = (
         horizon if horizon is not None else default_horizon(system, horizon_periods)
     )
+    fallback: str | None = None
+    if engine == "batch":
+        fallback = batch_fallback_reason(
+            system,
+            controller,
+            execution_model=execution_model,
+            jitter_model=jitter_model,
+            latency_model=latency_model,
+            clocks=clocks,
+            timebase=timebase,
+            faults=faults,
+            locking=locking,
+        )
+        if fallback is None:
+            protocol = batch_protocol_of(controller)
+            assert protocol is not None  # gated above
+            run = run_batch(
+                system,
+                protocol,
+                effective_horizon,
+                bounds=getattr(controller, "bounds", None),
+                record_segments=record_segments,
+                record_idle_points=record_idle_points,
+                strict_precedence=strict_precedence,
+                max_events=max_events,
+            )
+            tb = get_timebase(timebase)
+            return SimulationResult(
+                protocol=controller.name,
+                metrics=metrics_from_packed(
+                    run.packed, system, warmup=warmup, timebase=tb
+                ),
+                horizon=effective_horizon,
+                events_processed=run.events_processed,
+                engine="batch",
+                _packed=run.packed,
+                _system=system,
+                _timebase=tb,
+            )
     kernel = Kernel(
         system,
         controller,
@@ -113,8 +213,10 @@ def simulate(
     metrics = compute_metrics(trace, warmup=warmup)
     return SimulationResult(
         protocol=controller.name,
-        trace=trace,
         metrics=metrics,
         horizon=effective_horizon,
         events_processed=kernel.events_processed,
+        engine="reference",
+        engine_fallback=fallback,
+        _trace=trace,
     )

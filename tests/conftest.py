@@ -1,4 +1,25 @@
-"""Shared fixtures, hypothesis profiles and the ``slow`` marker gate."""
+"""Shared fixtures, hypothesis profiles and the test-tier gate.
+
+Test tiers
+----------
+**Tier 1 (default)** is everything ``pytest -q`` collects: unit and
+integration tests plus the scaled-down study and conformance suites,
+budgeted to stay around a minute on a laptop.  Simulation-heavy
+fixtures inside this tier (the paper-reproduction corners, the scaled
+expectation suite) run on the batch engine, whose metric identity with
+the reference kernel is itself enforced in the tier by
+``test_batch_conformance.py`` and ``test_batch_properties.py``.
+
+**Tier 2 (``--runslow``)** adds tests marked ``@pytest.mark.slow``:
+multi-minute fuzz campaigns, exhaustive phase-space searches and the
+full-size tightness study.  CI's fuzz job runs this tier (with
+``HYPOTHESIS_PROFILE=ci`` for a derandomized, replayable example
+stream) alongside the budgeted fuzz campaigns.
+
+**Benchmarks** live outside ``testpaths`` under ``benchmarks/`` and
+carry their own gates (figure shapes, batch-engine speedup floors);
+run them explicitly with ``pytest benchmarks/``.
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,192 @@
+"""Golden-trace conformance: both engines vs a frozen packed corpus.
+
+The corpus under ``tests/corpus/golden_traces/`` freezes the reference
+kernel's traces for a seeded slice of the fig12-16 workload grid --
+light (2, 50%), middling (5, 70%) and heavy (8, 90%) configurations at
+the paper's 12 tasks / 4 processors, all four protocols where feasible.
+Each ``.npz`` file is a :class:`~repro.sim.batch.PackedTrace` written by
+``PackedTrace.save``; the filename encodes the case
+(``n{N}_u{U}_seed{S}_{PROTOCOL}.npz``), so the corpus directory itself
+is the case matrix.
+
+Two directions are checked, byte-for-byte (``PackedTrace.identical``:
+``0.0`` vs ``-0.0`` and dtype drift count as differences):
+
+* the **batch engine** replays every case onto the frozen packing --
+  the tentpole trace-identity claim; and
+* the **reference kernel** replays every case onto the frozen packing
+  -- so a behavioural change in the oracle of record cannot hide as a
+  matching pair of drifts.
+
+Regenerate after an *intentional* schedule change with::
+
+    PYTHONPATH=src python tests/test_batch_conformance.py --regenerate
+
+and audit the resulting diff like any other golden-file update.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.core.protocols.factory import make_controller
+from repro.model.task import SubtaskId
+from repro.sim.batch import PackedTrace, encode
+from repro.sim.simulator import simulate
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+CORPUS_DIR = Path(__file__).parent / "corpus" / "golden_traces"
+
+#: The frozen case matrix: (subtasks per task, utilization %, seed).
+#: Paper-shaped systems (12 tasks on 4 processors, random phases), the
+#: suite's default 10-period horizon.
+CORPUS_POINTS = (
+    (2, 50, 1),
+    (2, 50, 2),
+    (5, 70, 1),
+    (5, 70, 2),
+    (8, 90, 1),
+    (8, 90, 2),
+)
+PROTOCOLS = ("DS", "PM", "MPM", "RG")
+HORIZON_PERIODS = 10.0
+
+
+def _corpus_system(n: int, u_pct: int, seed: int):
+    config = WorkloadConfig(
+        subtasks_per_task=n,
+        utilization=u_pct / 100.0,
+        tasks=12,
+        processors=4,
+        random_phases=True,
+    )
+    return generate_system(config, seed)
+
+
+def _pm_feasible(system) -> bool:
+    bounds = analyze_sa_pm(system).subtask_bounds
+    return not any(
+        math.isinf(bounds[SubtaskId(i, j)])
+        for i, task in enumerate(system.tasks)
+        for j in range(task.chain_length - 1)
+    )
+
+
+def _run(system, protocol: str, engine: str):
+    controller = make_controller(protocol, system)
+    return simulate(
+        system,
+        controller,
+        horizon_periods=HORIZON_PERIODS,
+        record_segments=True,
+        record_idle_points=(protocol == "RG"),
+        engine=engine,
+    )
+
+
+def _case_path(n: int, u_pct: int, seed: int, protocol: str) -> Path:
+    return CORPUS_DIR / f"n{n}_u{u_pct}_seed{seed}_{protocol}.npz"
+
+
+def corpus_cases() -> list[tuple[int, int, int, str]]:
+    """The cases frozen on disk, derived from the corpus filenames."""
+    cases = []
+    for path in sorted(CORPUS_DIR.glob("n*_u*_seed*_*.npz")):
+        n, u, seed, protocol = path.stem.split("_")
+        cases.append((int(n[1:]), int(u[1:]), int(seed[4:]), protocol))
+    return cases
+
+
+_CASES = corpus_cases()
+_IDS = [f"n{n}-u{u}-s{s}-{p}" for n, u, s, p in _CASES]
+
+
+def test_corpus_is_present_and_complete():
+    """Every feasible (point, protocol) pair must be frozen on disk.
+
+    Derives the expected matrix from the generators (PM/MPM drop out
+    where Algorithm SA/PM leaves an infinite non-last bound) and
+    demands exactly that file set -- a deleted or stray golden file
+    fails here rather than silently shrinking coverage.
+    """
+    expected = set()
+    for n, u_pct, seed in CORPUS_POINTS:
+        system = _corpus_system(n, u_pct, seed)
+        feasible = (
+            PROTOCOLS
+            if _pm_feasible(system)
+            else tuple(p for p in PROTOCOLS if p not in ("PM", "MPM"))
+        )
+        expected.update((n, u_pct, seed, p) for p in feasible)
+    assert set(_CASES) == expected, (
+        "corpus drifted from the frozen matrix; regenerate with "
+        "`PYTHONPATH=src python tests/test_batch_conformance.py "
+        "--regenerate` and audit the diff"
+    )
+
+
+@pytest.mark.parametrize("n,u_pct,seed,protocol", _CASES, ids=_IDS)
+def test_batch_engine_matches_golden(n, u_pct, seed, protocol):
+    """The batch engine reproduces every frozen trace byte-for-byte."""
+    golden = PackedTrace.load(_case_path(n, u_pct, seed, protocol))
+    result = _run(_corpus_system(n, u_pct, seed), protocol, "batch")
+    assert result.engine == "batch", result.engine_fallback
+    packed = result.packed_trace
+    assert golden.identical(packed), golden.describe_diff(packed)
+
+
+@pytest.mark.parametrize("n,u_pct,seed,protocol", _CASES, ids=_IDS)
+def test_reference_kernel_matches_golden(n, u_pct, seed, protocol):
+    """The reference kernel still produces the frozen traces.
+
+    Pins the oracle of record itself: if both engines drifted in
+    lockstep, the engine-vs-engine comparison would stay green while
+    the schedules silently changed.
+    """
+    golden = PackedTrace.load(_case_path(n, u_pct, seed, protocol))
+    result = _run(_corpus_system(n, u_pct, seed), protocol, "reference")
+    packed = encode(result.trace)
+    assert golden.identical(packed), golden.describe_diff(packed)
+
+
+def test_golden_metrics_agree_between_engines():
+    """Batch-side metrics (computed from the packing, never a decoded
+    trace) equal the reference pipeline's on one heavy corpus case."""
+    system = _corpus_system(8, 90, 1)
+    reference = _run(system, "DS", "reference")
+    batch = _run(system, "DS", "batch")
+    assert batch.engine == "batch"
+    assert batch.metrics == reference.metrics
+    assert batch.events_processed == reference.events_processed
+
+
+def _regenerate() -> None:
+    CORPUS_DIR.mkdir(parents=True, exist_ok=True)
+    for stale in CORPUS_DIR.glob("*.npz"):
+        stale.unlink()
+    for n, u_pct, seed in CORPUS_POINTS:
+        system = _corpus_system(n, u_pct, seed)
+        protocols = (
+            PROTOCOLS
+            if _pm_feasible(system)
+            else tuple(p for p in PROTOCOLS if p not in ("PM", "MPM"))
+        )
+        for protocol in protocols:
+            result = _run(system, protocol, "reference")
+            path = _case_path(n, u_pct, seed, protocol)
+            encode(result.trace).save(path)
+            print(f"wrote {path.name}: {result.events_processed} events")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

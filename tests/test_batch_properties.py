@@ -1,0 +1,163 @@
+"""Property tests (hypothesis) for the batch engine's building blocks.
+
+Two foundations carry the batch engine's trace-identity proof, and each
+gets pinned here independently of the engine:
+
+* the **calendar queue** must pop the exact total order the reference
+  kernel's binary heap produces -- time first, then event class
+  (completions < timers < environment releases < signals), then push
+  FIFO -- including under heavy timestamp ties and same-instant pushes
+  into the active bucket; and
+* the **packed trace codec** must round-trip: ``decode(encode(trace))``
+  equals the original trace for any reference run, and re-encoding the
+  decoded trace is byte-identical to the first packing.
+
+A third property closes the loop end to end on random workloads: the
+batch engine's packing equals the encoded reference trace bit for bit.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import run_protocol
+from repro.sim.batch import encode
+from repro.sim.batch.calendar import CalendarQueue
+from repro.timebase import get_timebase
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+configs = st.builds(
+    WorkloadConfig,
+    subtasks_per_task=st.integers(1, 3),
+    utilization=st.floats(0.3, 0.85),
+    tasks=st.integers(2, 5),
+    processors=st.integers(2, 3),
+    random_phases=st.booleans(),
+).filter(
+    # Random placement must be able to cover every processor comfortably.
+    lambda c: c.tasks * c.subtasks_per_task >= 2 * c.processors
+)
+
+seeds = st.integers(0, 10_000)
+protocols = st.sampled_from(["DS", "PM", "MPM", "RG"])
+
+SIM_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Event times are drawn from a coarse integer grid so collisions are
+#: the rule, not the exception -- ties are where the class-then-FIFO
+#: order can break.
+_HORIZON = 50.0
+_GRID = 25
+
+# A scripted queue workload: the initial event batch, then rounds of
+# (pops to perform, future-offset grid points for the next pushes).
+# Offsets of 0 land *at* the current time -- the same-instant pushes
+# that go through heappush into the active bucket.
+_event = st.tuples(st.integers(0, _GRID), st.integers(0, 3))
+_workload = st.tuples(
+    st.lists(_event, max_size=30),
+    st.lists(
+        st.tuples(
+            st.integers(1, 5),
+            st.lists(st.integers(0, _GRID), max_size=6),
+        ),
+        max_size=10,
+    ),
+    st.integers(1, 300),  # expected_events sizing hint (bucket density)
+)
+
+
+@given(workload=_workload)
+@settings(max_examples=300, deadline=None)
+def test_calendar_pop_order_matches_heapq(workload):
+    """The calendar queue is order-equivalent to the reference heap.
+
+    Pushes are monotone (every new event lands at or after the last
+    popped time -- the kernel's own discipline) but otherwise
+    adversarial: dense ties across all four event classes, same-instant
+    pushes into the active bucket, times clamped past the horizon, and
+    bucket counts from 1 (one big heap) to hundreds (one event each).
+    """
+    initial, rounds, expected = workload
+    calendar = CalendarQueue(_HORIZON, expected_events=expected)
+    heap: list[tuple] = []
+    seq = 0
+    scale = _HORIZON / _GRID
+
+    def push(time: float, cls: int) -> None:
+        nonlocal seq
+        event = (time, cls, seq)
+        seq += 1
+        calendar.push(event)
+        heappush(heap, event)
+
+    for grid_point, cls in initial:
+        push(grid_point * scale, cls)
+    now = 0.0
+    for pops, offsets in rounds:
+        for _ in range(pops):
+            expected_event = heappop(heap) if heap else None
+            got = calendar.pop()
+            assert got == expected_event
+            assert len(calendar) == len(heap)
+            if expected_event is not None:
+                now = expected_event[0]
+        for offset in offsets:
+            # cls reuses the offset modulo 4: correlated, but ordering
+            # only cares that all classes appear, which they do.
+            push(now + offset * scale, offset % 4)
+    while heap:
+        assert calendar.pop() == heappop(heap)
+    assert calendar.pop() is None
+
+
+@given(
+    config=configs,
+    seed=seeds,
+    protocol=protocols,
+    segments=st.booleans(),
+)
+@SIM_SETTINGS
+def test_packed_trace_round_trip(config, seed, protocol, segments):
+    """decode(encode(trace)) == trace, and re-encoding is byte-stable."""
+    system = generate_system(config, seed)
+    result = run_protocol(
+        system,
+        protocol,
+        horizon_periods=4.0,
+        record_segments=segments,
+    )
+    packed = encode(result.trace)
+    decoded = packed.decode(system, timebase=get_timebase("float"))
+    assert decoded == result.trace
+    assert encode(decoded).identical(packed)
+
+
+@given(config=configs, seed=seeds, protocol=protocols)
+@SIM_SETTINGS
+def test_batch_engine_trace_identical_on_random_workloads(
+    config, seed, protocol
+):
+    """End to end: the batch packing equals the encoded reference trace."""
+    system = generate_system(config, seed)
+    kwargs = dict(horizon_periods=4.0, record_segments=True)
+    reference = run_protocol(system, protocol, engine="reference", **kwargs)
+    batch = run_protocol(system, protocol, engine="batch", **kwargs)
+    assert batch.engine == "batch", batch.engine_fallback
+    assert batch.events_processed == reference.events_processed
+    expected = encode(reference.trace)
+    packed = batch.packed_trace
+    assert expected.identical(packed), expected.describe_diff(packed)
+    assert batch.metrics == reference.metrics

@@ -23,6 +23,7 @@ class TestMeasureTightness:
         # The searched worst case never exceeds a correct bound.
         assert all(ratio >= 1.0 - 1e-6 for ratio in study.ratios)
 
+    @pytest.mark.slow
     def test_paper_claim_bounds_are_pessimistic(self):
         """Section 3.2: bounds typically exceed the actual worst case.
 
