@@ -29,6 +29,7 @@ __all__ = [
     "compare_protocols",
     "admit",
     "admit_many",
+    "admit_service",
     "fuzz_once",
 ]
 
@@ -156,6 +157,38 @@ def admit_many(
         AdmissionRequest(system=system, **options) for system in systems
     ]
     return admit_batch(requests, cache=cache, workers=workers)
+
+
+def admit_service(
+    systems: Sequence[System] | Iterable[System],
+    *,
+    frontend_config=None,
+    **options,
+) -> list:
+    """Admit systems through the sharded async frontend, in one call.
+
+    Spins up an :class:`~repro.service.frontend.AdmissionFrontend`
+    (shape from ``frontend_config``, a
+    :class:`~repro.service.frontend.FrontendConfig`), drives every
+    request through its quota/queue/shard path, and tears it down.
+    ``options`` apply to every system.  Decisions come back in input
+    order; persistent deployments should hold the frontend (and its
+    cache) across calls instead.
+    """
+    import asyncio
+
+    from repro.service.frontend import AdmissionFrontend
+    from repro.service.requests import AdmissionRequest
+
+    requests = [
+        AdmissionRequest(system=system, **options) for system in systems
+    ]
+
+    async def run() -> list:
+        async with AdmissionFrontend(frontend_config) as frontend:
+            return [await frontend.admit(r) for r in requests]
+
+    return asyncio.run(run())
 
 
 def fuzz_once(

@@ -489,6 +489,151 @@ def _cmd_admit_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _frontend_config(args: argparse.Namespace):
+    from repro.service.frontend import FrontendConfig, TenantQuota
+
+    quota = None
+    if args.quota_rate is not None:
+        quota = TenantQuota(rate=args.quota_rate, burst=args.quota_burst)
+    return FrontendConfig(
+        shards=args.shards,
+        queue_capacity=args.queue_capacity,
+        executor=args.executor,
+        workers_per_shard=args.workers_per_shard,
+        cache_backend=None if args.no_cache else args.cache_backend,
+        cache_capacity=args.cache_size,
+        cache_path=args.cache_file,
+        default_quota=quota,
+        job_timeout=args.job_timeout,
+        max_retries=args.max_retries,
+    )
+
+
+def _add_frontend_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=2,
+        help="worker shards on the consistent-hash ring (default: 2)",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=256,
+        help="bounded queue depth per shard; overflow sheds (default: 256)",
+    )
+    parser.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="per-shard executor kind (default: thread)",
+    )
+    parser.add_argument(
+        "--workers-per-shard", type=int, default=1,
+        help="executor width per shard (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-backend", choices=("memory", "sqlite"), default="memory",
+        help="decision-cache backend (default: memory)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="decision-cache capacity (default: 4096)",
+    )
+    parser.add_argument(
+        "--cache-file", default=None,
+        help="cache path (JSONL for memory, database for sqlite)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="recompute every decision"
+    )
+    parser.add_argument(
+        "--quota-rate", type=float, default=None,
+        help="per-tenant token-bucket refill rate in req/s "
+        "(default: unlimited)",
+    )
+    parser.add_argument(
+        "--quota-burst", type=float, default=32,
+        help="per-tenant token-bucket depth (default: 32)",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="wall-clock seconds per decision before retry/degrade",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries per failed/timed-out decision (default: 2)",
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.frontend import AdmissionFrontend, serve_frontend
+
+    async def run() -> int:
+        async with AdmissionFrontend(_frontend_config(args)) as frontend:
+            server = await serve_frontend(
+                frontend, host=args.host, port=args.port
+            )
+            address = server.sockets[0].getsockname()
+            print(
+                f"admission frontend on {address[0]}:{address[1]} "
+                f"({args.shards} shard(s), {args.executor} executor, "
+                "JSONL over TCP; Ctrl-C to stop)",
+                file=sys.stderr,
+            )
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                server.close()
+                await server.wait_closed()
+                if args.stats:
+                    print(frontend.describe(), file=sys.stderr)
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.loadgen import LoadgenConfig, run_campaign
+    from repro.workload.config import WorkloadConfig as _WC
+
+    config = LoadgenConfig(
+        requests=args.requests,
+        systems=args.systems,
+        seed=args.seed,
+        mode=args.mode,
+        concurrency=args.concurrency,
+        arrival_rate=args.arrival_rate,
+        tenants=tuple(args.tenants),
+        workload=_WC(
+            subtasks_per_task=args.n,
+            utilization=args.u,
+            tasks=args.tasks,
+            processors=args.processors,
+        ),
+    )
+    report = run_campaign(config, _frontend_config(args))
+    print(report.render())
+    if args.stats:
+        frontend_snapshot = report.snapshot
+        for index, shard in enumerate(frontend_snapshot["shards"]):
+            print(
+                f"shard {index}: {shard['requests']} requests, "
+                f"{shard['cache_hits']} hits, {shard['shed']} shed, "
+                f"p99 {shard['latency_p99'] * 1e3:.3f} ms",
+                file=sys.stderr,
+            )
+    if args.rps_floor is not None and report.rps < args.rps_floor:
+        print(
+            f"loadgen: sustained {report.rps:,.0f} req/s is below the "
+            f"floor of {args.rps_floor:,.0f} req/s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz.campaign import run_campaign
 
@@ -728,6 +873,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="base seed")
     _add_admission_options(p)
     p.set_defaults(handler=_cmd_admit_bench)
+
+    p = subparsers.add_parser(
+        "serve",
+        help="run the sharded async admission frontend (JSONL over TCP)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8787,
+        help="TCP port (default: 8787; 0 picks a free port)",
+    )
+    _add_frontend_options(p)
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print frontend metrics to stderr on shutdown",
+    )
+    p.set_defaults(handler=_cmd_serve)
+
+    p = subparsers.add_parser(
+        "loadgen",
+        help="seeded open/closed-loop load campaign against the frontend",
+    )
+    p.add_argument(
+        "--requests", type=int, default=1000,
+        help="total requests to issue (default: 1000)",
+    )
+    p.add_argument(
+        "--systems", type=int, default=32,
+        help="distinct request contents sampled with replacement "
+        "(default: 32)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p.add_argument(
+        "--mode", choices=("closed", "open", "mixed"), default="closed",
+        help="arrival archetype (default: closed)",
+    )
+    p.add_argument(
+        "--concurrency", type=int, default=8,
+        help="closed-loop virtual users (default: 8)",
+    )
+    p.add_argument(
+        "--arrival-rate", type=float, default=0.0,
+        help="open-loop Poisson arrival rate in req/s "
+        "(0 = back-to-back)",
+    )
+    p.add_argument(
+        "--tenants", nargs="+", default=[""],
+        help="tenant names to round-robin requests across",
+    )
+    p.add_argument("--n", type=int, default=2, help="subtasks per task")
+    p.add_argument("--u", type=float, default=0.5, help="utilization")
+    p.add_argument("--tasks", type=int, default=3)
+    p.add_argument("--processors", type=int, default=2)
+    p.add_argument(
+        "--rps-floor", type=float, default=None,
+        help="exit 1 if sustained req/s lands below this floor "
+        "(CI regression gate)",
+    )
+    _add_frontend_options(p)
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print per-shard metrics to stderr",
+    )
+    p.set_defaults(handler=_cmd_loadgen)
 
     p = subparsers.add_parser(
         "fuzz",

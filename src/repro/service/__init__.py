@@ -10,11 +10,21 @@ procedure:
 * :mod:`repro.service.hashing` -- canonical, process-stable content
   keys (SHA-256 over canonical JSON);
 * :mod:`repro.service.cache` -- a thread-safe LRU decision cache with
-  stats and JSONL persistence for warm restarts;
+  stats, JSONL persistence for warm restarts, and a single-flight
+  table that collapses concurrent misses on one key;
+* :mod:`repro.service.backends` -- pluggable cache backends behind the
+  same interface (in-proc LRU, sqlite/WAL) via :func:`make_cache`;
 * :mod:`repro.service.engine` -- the :class:`AdmissionController`
   (analyses + Section 6 advisor behind the cache);
 * :mod:`repro.service.batch` -- batch admission over a process pool
   with deterministic output order;
+* :mod:`repro.service.sharding` -- the consistent-hash ring that maps
+  content keys to worker shards;
+* :mod:`repro.service.frontend` -- the sharded asyncio frontend:
+  bounded queues, tenant quotas, explicit shedding, retry-ladder
+  degradation, and a JSONL-over-TCP server;
+* :mod:`repro.service.loadgen` -- seeded open/closed-loop load
+  generation with latency percentiles and a decision digest;
 * :mod:`repro.service.metrics` -- counters and latency percentiles.
 
 Quickstart::
@@ -27,11 +37,20 @@ Quickstart::
         deploy(my_system, protocol=decision.protocol)
 """
 
+from repro.service.backends import SqliteDecisionCache, make_cache
 from repro.service.batch import admit_batch
-from repro.service.cache import CacheStats, DecisionCache
+from repro.service.cache import CacheStats, DecisionCache, SingleFlight
 from repro.service.engine import AdmissionController, compute_decision
+from repro.service.frontend import (
+    AdmissionFrontend,
+    FrontendConfig,
+    TenantQuota,
+    serve_frontend,
+)
 from repro.service.hashing import request_key, system_key
+from repro.service.loadgen import LoadgenConfig, LoadReport, run_campaign, run_load
 from repro.service.metrics import ServiceMetrics
+from repro.service.sharding import ShardRing
 from repro.service.requests import (
     ALL_PROTOCOLS,
     AdmissionDecision,
@@ -49,19 +68,31 @@ __all__ = [
     "ALL_PROTOCOLS",
     "AdmissionController",
     "AdmissionDecision",
+    "AdmissionFrontend",
     "AdmissionRequest",
     "CacheStats",
     "DecisionCache",
+    "FrontendConfig",
+    "LoadReport",
+    "LoadgenConfig",
     "ServiceMetrics",
+    "ShardRing",
+    "SingleFlight",
+    "SqliteDecisionCache",
+    "TenantQuota",
     "admit_batch",
     "compute_decision",
     "decision_from_dict",
     "decision_to_dict",
     "load_decisions_jsonl",
     "load_requests_jsonl",
+    "make_cache",
     "request_from_dict",
     "request_key",
     "request_to_dict",
+    "run_campaign",
+    "run_load",
     "save_decisions_jsonl",
+    "serve_frontend",
     "system_key",
 ]

@@ -1,0 +1,247 @@
+"""Pluggable decision-cache backends behind one interface.
+
+The in-process :class:`~repro.service.cache.DecisionCache` is the
+fastest backend but its contents die with the process and cannot be
+shared between frontends.  :class:`SqliteDecisionCache` keeps the exact
+same interface (``get``/``put``/``stats``/``save``/``load``/
+``flights``/...) on top of a sqlite file in WAL mode, so
+
+* a restarted service starts warm without replaying a JSONL file,
+* several frontend processes on one host share one decision store, and
+* the store survives crashes (WAL journalling, synchronous=NORMAL).
+
+Recency is a monotonically increasing ``seq`` column bumped on every
+hit, so eviction is LRU like the in-process backend.  Hit/miss/eviction
+counters are process-local (counters are observability, not state).
+
+:func:`make_cache` is the config-driven factory the frontend and the
+CLI use: ``backend="memory"`` or ``backend="sqlite"``; anything else is
+a configuration error, never a silent default.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.service.cache import (
+    _PERSIST_FORMAT,
+    CacheStats,
+    DecisionCache,
+    SingleFlight,
+)
+from repro.service.requests import (
+    AdmissionDecision,
+    decision_from_dict,
+    decision_to_dict,
+)
+
+__all__ = ["CACHE_BACKENDS", "SqliteDecisionCache", "make_cache"]
+
+#: Recognized ``make_cache`` backend names.
+CACHE_BACKENDS: tuple[str, ...] = ("memory", "sqlite")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS decisions (
+    key TEXT PRIMARY KEY,
+    decision TEXT NOT NULL,
+    seq INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS decisions_seq ON decisions (seq);
+"""
+
+
+class SqliteDecisionCache:
+    """LRU decision cache on sqlite/WAL; same interface as DecisionCache.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of decisions retained (LRU eviction by ``seq``).
+    db_path:
+        The sqlite file.  ``":memory:"`` gives a private in-memory
+        database (useful in tests); a real path is durable and shared.
+    """
+
+    def __init__(
+        self, capacity: int = 4096, *, db_path: str | Path = ":memory:"
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self._capacity = capacity
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self.flights = SingleFlight()
+        self._db_path = str(db_path)
+        self._conn = sqlite3.connect(
+            self._db_path, check_same_thread=False
+        )
+        with self._lock:
+            if self._db_path != ":memory:":
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Core map operations (DecisionCache interface)
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        row = self._conn.execute(
+            "SELECT COALESCE(MAX(seq), 0) + 1 FROM decisions"
+        ).fetchone()
+        return int(row[0])
+
+    def get(self, key: str) -> AdmissionDecision | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT decision FROM decisions WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                self._misses += 1
+                return None
+            self._conn.execute(
+                "UPDATE decisions SET seq = ? WHERE key = ?",
+                (self._next_seq(), key),
+            )
+            self._conn.commit()
+            self._hits += 1
+            return decision_from_dict(json.loads(row[0]))
+
+    def put(self, key: str, decision: AdmissionDecision) -> None:
+        encoded = json.dumps(decision_to_dict(decision), sort_keys=True)
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO decisions (key, decision, seq) "
+                "VALUES (?, ?, ?) ON CONFLICT(key) DO UPDATE SET "
+                "decision = excluded.decision, seq = excluded.seq",
+                (key, encoded, self._next_seq()),
+            )
+            over = len(self) - self._capacity
+            if over > 0:
+                self._conn.execute(
+                    "DELETE FROM decisions WHERE key IN ("
+                    "SELECT key FROM decisions ORDER BY seq LIMIT ?)",
+                    (over,),
+                )
+                self._evictions += over
+            self._conn.commit()
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM decisions WHERE key = ?", (key,)
+            ).fetchone()
+            return row is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM decisions"
+            ).fetchone()
+            return int(row[0])
+
+    def keys(self) -> tuple[str, ...]:
+        """Current keys, least recently used first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key FROM decisions ORDER BY seq"
+            ).fetchall()
+            return tuple(row[0] for row in rows)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM decisions")
+            self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self),
+                capacity=self._capacity,
+                coalesced=self.flights.coalesced,
+            )
+
+    # ------------------------------------------------------------------
+    # Persistence interop (JSONL, compatible with DecisionCache files)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Export to the DecisionCache JSONL format (LRU first)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key, decision FROM decisions ORDER BY seq"
+            ).fetchall()
+        lines = [
+            json.dumps(
+                {
+                    "format": _PERSIST_FORMAT,
+                    "key": key,
+                    "decision": json.loads(encoded),
+                },
+                sort_keys=True,
+            )
+            for key, encoded in rows
+        ]
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return target
+
+    def load(self, path: str | Path) -> int:
+        """Merge a DecisionCache JSONL file; returns entries loaded."""
+        # Reuse the reference implementation's strict line validation
+        # by staging through an in-process cache, then bulk-insert.
+        staging = DecisionCache(capacity=max(1, self._capacity))
+        loaded = staging.load(path)
+        for key in staging.keys():
+            decision = staging.get(key)
+            assert decision is not None
+            self.put(key, decision)
+        return loaded
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+def make_cache(
+    backend: str = "memory",
+    *,
+    capacity: int = 4096,
+    path: str | Path | None = None,
+) -> DecisionCache | SqliteDecisionCache:
+    """Build a decision cache from configuration.
+
+    ``backend="memory"`` gives the in-process LRU (``path`` is its JSONL
+    warm-start/persistence file); ``backend="sqlite"`` gives the shared
+    WAL-backed store (``path`` is the database file, default private
+    in-memory).
+    """
+    if backend == "memory":
+        return DecisionCache(capacity=capacity, path=path)
+    if backend == "sqlite":
+        return SqliteDecisionCache(
+            capacity=capacity,
+            db_path=":memory:" if path is None else path,
+        )
+    raise ConfigurationError(
+        f"unknown cache backend {backend!r}; expected one of "
+        f"{'/'.join(CACHE_BACKENDS)}"
+    )

@@ -8,11 +8,22 @@ layer
 * serves every request already in the cache without touching the pool,
 * deduplicates identical content *within* the batch (each distinct key
   is computed exactly once, however often it recurs),
+* deduplicates identical content *across* concurrent batches through
+  the cache's single-flight table
+  (:class:`repro.service.cache.SingleFlight`): the first batch to claim
+  a key computes it, later batches wait for the published decision
+  instead of recomputing -- and fall back to computing for themselves
+  if the leader could not publish, so coalescing can never wedge,
 * polices the pool: a job may be bounded by a wall-clock ``job_timeout``
   and is retried (with exponential backoff) when it times out, raises,
   or loses its worker process -- after ``max_retries`` failed attempts
   the batch *degrades* that one decision to a safe REJECT instead of
-  hanging or failing the whole batch, and
+  hanging or failing the whole batch.  A *broken pool* (a worker
+  process died) is rebuilt once per break and the jobs stranded on it
+  are resubmitted **without** consuming their retry budget -- the break
+  is the pool's failure, not theirs; only a job that rides the pool
+  down repeatedly (more than ``max_retries + 1`` breaks) is treated as
+  the culprit and failed closed, and
 * reassembles decisions in request order, so output is deterministic
   with caching on, off, or warm-started from disk.
 
@@ -32,7 +43,7 @@ from dataclasses import replace
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
-from repro.service.cache import DecisionCache
+from repro.service.cache import DecisionCache, SingleFlight
 from repro.service.engine import compute_decision
 from repro.service.hashing import request_key
 from repro.service.metrics import ServiceMetrics
@@ -112,6 +123,46 @@ def _compute_serial(
                 time.sleep(retry_backoff * (2 ** (attempt - 1)))
 
 
+def _next_wakeup(
+    queue: deque[tuple[str, int, float]],
+    in_flight: Mapping,
+    job_timeout: float | None,
+    now: float,
+    *,
+    capacity: int,
+) -> float | None:
+    """Seconds until the earliest scheduler deadline, or None when idle.
+
+    Two deadline families feed the wakeup:
+
+    * queued jobs' resubmission instants -- but only when ``capacity``
+      slots are free to actually submit into (with a full window an
+      expired backoff deadline is unactionable, and honouring it would
+      busy-spin ``wait(timeout=0)`` until a worker finished), and
+    * in-flight jobs' ``job_timeout`` expiries.
+
+    Expired instants count, clamping the result to 0.0 (wake *now*).
+    The pre-fix code instead filtered expired instants out of the
+    wakeup set, so when the clock ticked past a backoff deadline
+    between the submission scan and this computation, the scheduler
+    slept until the *next* deadline -- oversleeping the expired one by
+    an arbitrary margin.
+    """
+    deadlines = (
+        [not_before for (_key, _attempt, not_before) in queue]
+        if capacity > 0
+        else []
+    )
+    if job_timeout is not None:
+        deadlines.extend(
+            submitted + job_timeout
+            for (_key, _attempt, submitted) in in_flight.values()
+        )
+    if not deadlines:
+        return None
+    return max(0.0, min(deadlines) - now)
+
+
 def _compute_pooled(
     jobs: Mapping[str, AdmissionRequest],
     *,
@@ -128,8 +179,15 @@ def _compute_pooled(
     makes the wall-clock ``job_timeout`` meaningful.  A timed-out
     future cannot be interrupted (the worker may be wedged in native
     code); it is *abandoned*: dropped from tracking, its slot written
-    off, and the job resubmitted or degraded.  A broken pool (worker
-    process died) is rebuilt and its in-flight jobs retried.
+    off, and the job resubmitted or degraded.
+
+    A broken pool (worker process died) is rebuilt once per break and
+    every job stranded on it -- in flight or mid-submission -- is
+    resubmitted at its *current* attempt count: a pool break is the
+    pool's failure, not the job's, so it never consumes retry budget.
+    Only a job present at more than ``max_retries + 1`` consecutive
+    breaks is treated as the likely culprit (it keeps killing its
+    worker) and failed closed.
     """
     outcomes: dict[str, tuple[AdmissionDecision, float, bool]] = {}
     #: (key, attempt, earliest resubmission instant) awaiting a slot.
@@ -139,6 +197,7 @@ def _compute_pooled(
     #: future -> (key, attempt, submission instant).
     in_flight: dict = {}
     abandoned = 0  # slots still occupied by timed-out computations
+    breaks: dict[str, int] = {}  # pool breaks each key has ridden down
 
     def resolve_failure(key: str, attempt: int, reason: str) -> None:
         if attempt >= max_retries:
@@ -160,6 +219,10 @@ def _compute_pooled(
     pool = ProcessPoolExecutor(max_workers=worker_count)
     try:
         while queue or in_flight:
+            broken = False
+            #: jobs whose future died with the pool, not on their own.
+            stranded: list[tuple[str, int]] = []
+
             # Keep the live part of the pool full; respect backoff.
             window = max(1, worker_count - abandoned)
             now = time.monotonic()
@@ -169,76 +232,112 @@ def _compute_pooled(
                 if now < not_before:
                     backing_off.append((key, attempt, not_before))
                     continue
-                future = pool.submit(_compute_job, (key, jobs[key]))
+                try:
+                    future = pool.submit(_compute_job, (key, jobs[key]))
+                except BrokenProcessPool:
+                    # Submitting against a dead pool is not the job's
+                    # failure: keep it queued untouched and rebuild.
+                    backing_off.append((key, attempt, not_before))
+                    broken = True
+                    break
                 in_flight[future] = (key, attempt, time.monotonic())
             queue.extend(backing_off)
 
-            # Block until a completion, a deadline, or a backoff expiry.
-            now = time.monotonic()
-            wakeups = [nb for (_k, _a, nb) in queue if nb > now]
-            if job_timeout is not None:
-                wakeups.extend(
-                    sub + job_timeout for (_k, _a, sub) in in_flight.values()
+            if not broken:
+                # Block until a completion, a deadline, or a backoff
+                # expiry -- whichever comes first.
+                now = time.monotonic()
+                timeout = _next_wakeup(
+                    queue,
+                    in_flight,
+                    job_timeout,
+                    now,
+                    capacity=window - len(in_flight),
                 )
-            timeout = (
-                max(0.0, min(wakeups) - now) if wakeups else None
-            )
-            if in_flight:
-                done, _ = wait(
-                    set(in_flight),
-                    timeout=timeout,
-                    return_when=FIRST_COMPLETED,
-                )
-            else:
-                done = set()
-                if timeout:
-                    time.sleep(timeout)
-
-            broken = False
-            for future in done:
-                key, attempt, _sub = in_flight.pop(future)
-                try:
-                    _key, decision, elapsed = future.result()
-                except BrokenProcessPool as exc:
-                    broken = True
-                    resolve_failure(key, attempt, f"worker died: {exc}")
-                except Exception as exc:  # noqa: BLE001 - degrade
-                    resolve_failure(
-                        key, attempt, f"computation failed: {exc}"
+                if in_flight:
+                    done, _ = wait(
+                        set(in_flight),
+                        timeout=timeout,
+                        return_when=FIRST_COMPLETED,
                     )
                 else:
-                    outcomes[key] = (decision, elapsed, False)
+                    done = set()
+                    if timeout is not None and timeout > 0.0:
+                        time.sleep(timeout)
 
-            if job_timeout is not None:
-                now = time.monotonic()
-                overdue = [
-                    future
-                    for future, (_k, _a, sub) in in_flight.items()
-                    if now - sub >= job_timeout
-                ]
-                for future in overdue:
+                for future in done:
                     key, attempt, _sub = in_flight.pop(future)
-                    if not future.cancel():
-                        # Already running: the worker stays busy until
-                        # (if ever) it finishes; write the slot off.
-                        abandoned += 1
-                    if metrics is not None:
-                        metrics.record_timeout()
-                    resolve_failure(
-                        key,
-                        attempt,
-                        f"timed out after {job_timeout:g} s",
-                    )
+                    try:
+                        _key, decision, elapsed = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        stranded.append((key, attempt))
+                    except Exception as exc:  # noqa: BLE001 - degrade
+                        resolve_failure(
+                            key, attempt, f"computation failed: {exc}"
+                        )
+                    else:
+                        outcomes[key] = (decision, elapsed, False)
+
+                if not broken and job_timeout is not None:
+                    now = time.monotonic()
+                    overdue = [
+                        future
+                        for future, (_k, _a, sub) in in_flight.items()
+                        if now - sub >= job_timeout
+                    ]
+                    for future in overdue:
+                        key, attempt, _sub = in_flight.pop(future)
+                        if not future.cancel():
+                            # Already running: the worker stays busy
+                            # until (if ever) it finishes; write the
+                            # slot off.
+                            abandoned += 1
+                        if metrics is not None:
+                            metrics.record_timeout()
+                        resolve_failure(
+                            key,
+                            attempt,
+                            f"timed out after {job_timeout:g} s",
+                        )
 
             if broken:
-                # The pool is unusable; every remaining in-flight job
-                # failed with it.  Rebuild and resubmit via the queue.
-                for key, attempt, _sub in in_flight.values():
-                    resolve_failure(key, attempt, "worker pool broke")
+                # Rebuild once, resubmit every stranded job at its
+                # current attempt -- the break consumed no retry budget.
+                # Results that finished before the break are still good.
+                for future, (key, attempt, _sub) in in_flight.items():
+                    if future.done():
+                        try:
+                            _key, decision, elapsed = future.result()
+                        except Exception:  # noqa: BLE001 - died with pool
+                            stranded.append((key, attempt))
+                        else:
+                            outcomes[key] = (decision, elapsed, False)
+                            continue
+                    else:
+                        stranded.append((key, attempt))
                 in_flight.clear()
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = ProcessPoolExecutor(max_workers=worker_count)
                 abandoned = 0
+                if metrics is not None:
+                    metrics.record_pool_rebuild()
+                for key, attempt in stranded:
+                    count = breaks.get(key, 0) + 1
+                    breaks[key] = count
+                    if count > max_retries + 1:
+                        outcomes[key] = (
+                            _degraded_decision(
+                                jobs[key],
+                                key,
+                                f"worker pool broke {count} time(s) "
+                                "under this job",
+                            ),
+                            0.0,
+                            True,
+                        )
+                    else:
+                        queue.append((key, attempt, 0.0))
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
     return outcomes
@@ -260,8 +359,11 @@ def admit_batch(
     ``workers`` defaults to the CPU count; ``workers=1`` computes in
     process (no pool), which is fastest for small batches.  Duplicate
     request content inside the batch is computed once and accounted as
-    cache hits for the duplicates.  ``progress`` (when given) receives
-    one line per computed (non-cached) decision.
+    cache hits for the duplicates; duplicate content across
+    *concurrent* batches sharing one cache is computed once too, via
+    the cache's single-flight table (waiters are accounted as hits and
+    counted on ``ServiceMetrics.coalesced``).  ``progress`` (when
+    given) receives one line per computed (non-cached) decision.
 
     ``job_timeout`` bounds the wall-clock seconds any one decision may
     take on the pool; a job that exceeds it is abandoned (the hung
@@ -318,33 +420,91 @@ def admit_batch(
     jobs = {
         key: request_list[indices[0]] for key, indices in pending.items()
     }
-    if worker_count == 1 or (len(jobs) == 1 and job_timeout is None):
-        outcomes = {
-            key: _compute_serial(
+
+    # Cross-batch single-flight: claim every distinct key at the cache's
+    # in-flight table.  Keys another batch (or shard, or thread) is
+    # already computing are *awaited* instead of recomputed; the rest
+    # are *owned* and computed here.  Without a cache there is no
+    # shared layer for concurrent batches to meet at, so every key is
+    # owned.
+    flights = cache.flights if cache is not None else None
+    owned: dict[str, AdmissionRequest] = {}
+    awaited: dict[str, object] = {}
+    if flights is None:
+        owned = dict(jobs)
+    else:
+        for key, request in jobs.items():
+            leader, flight = flights.begin(key)
+            if leader:
+                owned[key] = request
+            else:
+                awaited[key] = flight
+
+    outcomes: dict[str, tuple[AdmissionDecision, float, bool]] = {}
+    if owned:
+        try:
+            if worker_count == 1 or (
+                len(owned) == 1 and job_timeout is None
+            ):
+                for key, request in owned.items():
+                    outcomes[key] = _compute_serial(
+                        key,
+                        request,
+                        max_retries=max_retries,
+                        retry_backoff=retry_backoff,
+                        metrics=metrics,
+                    )
+            else:
+                outcomes = _compute_pooled(
+                    owned,
+                    worker_count=worker_count,
+                    job_timeout=job_timeout,
+                    max_retries=max_retries,
+                    retry_backoff=retry_backoff,
+                    metrics=metrics,
+                )
+        finally:
+            # The leader MUST publish every claimed key, decisions and
+            # failures alike, or waiters would block forever.
+            if flights is not None:
+                for key in owned:
+                    outcome = outcomes.get(key)
+                    if outcome is None:
+                        flights.finish(key, None)
+                    else:
+                        flights.finish(
+                            key, outcome[0], degraded=outcome[2]
+                        )
+
+    coalesced: set[str] = set()
+    for key, flight in awaited.items():
+        started = time.perf_counter()
+        decision, degraded = SingleFlight.wait(flight)
+        if decision is None:
+            # The leader finished without publishing a decision (its
+            # batch died mid-compute); fall back to computing locally
+            # rather than failing or waiting forever.
+            outcomes[key] = _compute_serial(
                 key,
-                request,
+                jobs[key],
                 max_retries=max_retries,
                 retry_backoff=retry_backoff,
                 metrics=metrics,
             )
-            for key, request in jobs.items()
-        }
-    elif jobs:
-        outcomes = _compute_pooled(
-            jobs,
-            worker_count=worker_count,
-            job_timeout=job_timeout,
-            max_retries=max_retries,
-            retry_backoff=retry_backoff,
-            metrics=metrics,
-        )
-    else:
-        outcomes = {}
+        else:
+            outcomes[key] = (
+                decision,
+                time.perf_counter() - started,
+                degraded,
+            )
+            coalesced.add(key)
+            if metrics is not None:
+                metrics.record_coalesced()
 
     computed = 0
     for key in pending:
         decision, elapsed, degraded = outcomes[key]
-        if cache is not None and not degraded:
+        if cache is not None and not degraded and key not in coalesced:
             cache.put(key, decision)
         for position, index in enumerate(pending[key]):
             decisions[index] = replace(
@@ -352,10 +512,11 @@ def admit_batch(
             )
             if metrics is not None:
                 # The first occurrence paid the computation; batch
-                # duplicates ride along as (in-flight) hits.
+                # duplicates (and coalesced keys, computed by another
+                # batch) ride along as in-flight hits.
                 metrics.record(
                     admitted=decision.admitted,
-                    cache_hit=position > 0,
+                    cache_hit=position > 0 or key in coalesced,
                     latency=elapsed if position == 0 else 0.0,
                 )
         if metrics is not None and degraded:
@@ -363,6 +524,8 @@ def admit_batch(
         computed += 1
         if progress is not None:
             verdict = " (degraded)" if degraded else ""
+            if key in coalesced:
+                verdict = " (coalesced)"
             progress(
                 f"{computed}/{len(jobs)} admission decisions "
                 f"computed{verdict}"

@@ -12,6 +12,20 @@ eviction counters are kept for capacity planning.  The cache can
 persist itself to a JSONL file (one ``{"key": ..., "decision": ...}``
 object per line) and warm-start from it, so a restarted service reaches
 its steady-state hit rate immediately.
+
+The cache also owns the service's *single-flight* table
+(:class:`SingleFlight`, exposed as ``cache.flights``): when several
+concurrent callers -- two batches, two shards, two threads -- miss on
+the same key at the same time, exactly one of them (the *leader*)
+computes while the rest wait for the published result instead of
+recomputing it.  In-flight tracking lives at the cache layer because
+that is the only place all concurrent misses for one key meet,
+whatever path (batch, frontend shard, direct admit) produced them.
+
+Alternative backends (sqlite/WAL) live in
+:mod:`repro.service.backends`; they expose this same interface, which
+is what makes them drop-in behind :class:`AdmissionController` and the
+sharded frontend.
 """
 
 from __future__ import annotations
@@ -29,20 +43,26 @@ from repro.service.requests import (
     decision_to_dict,
 )
 
-__all__ = ["CacheStats", "DecisionCache"]
+__all__ = ["CacheStats", "DecisionCache", "SingleFlight"]
 
 _PERSIST_FORMAT = "repro-admission-cache-v1"
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """A point-in-time snapshot of the cache's counters."""
+    """A point-in-time snapshot of the cache's counters.
+
+    ``coalesced`` counts lookups that found the key *in flight* rather
+    than resident: the caller waited for the leader's computation
+    instead of starting its own (see :class:`SingleFlight`).
+    """
 
     hits: int
     misses: int
     evictions: int
     size: int
     capacity: int
+    coalesced: int = 0
 
     @property
     def lookups(self) -> int:
@@ -54,11 +74,107 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def describe(self) -> str:
+        extra = (
+            f", {self.coalesced} coalesced" if self.coalesced else ""
+        )
         return (
             f"cache: {self.size}/{self.capacity} entries, "
             f"{self.hits} hits / {self.misses} misses "
             f"(rate {self.hit_rate:.1%}), {self.evictions} evictions"
+            f"{extra}"
         )
+
+
+class _Flight:
+    """One in-flight computation: an event plus its published outcome."""
+
+    __slots__ = ("event", "decision", "degraded")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.decision: AdmissionDecision | None = None
+        self.degraded = False
+
+
+class SingleFlight:
+    """Per-key in-flight tracking: one computation, many waiters.
+
+    Two concurrent batches (or shards, or threads) that miss on the
+    same key used to recompute it independently -- the within-batch
+    deduplication of :func:`repro.service.batch.admit_batch` never saw
+    across batch boundaries.  This table closes that hole:
+
+    * :meth:`begin` claims a key.  The first claimant becomes the
+      *leader* and must eventually call :meth:`finish` (use
+      ``try/finally``); later claimants get the leader's flight to
+      :meth:`wait` on.
+    * :meth:`finish` publishes the outcome and wakes every waiter.  A
+      leader that could not produce a cacheable decision publishes
+      ``decision=None`` (or ``degraded=True``); waiters then fall back
+      to computing for themselves, so a crashed or degraded leader can
+      never wedge its followers.
+
+    The table holds no decision history: a finished flight is removed,
+    and the *cache* is what remembers the result.  Waiting is
+    event-based (no polling); the leader's ``finally`` guarantees
+    every waiter wakes.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self._coalesced = 0
+
+    def begin(self, key: str) -> tuple[bool, _Flight]:
+        """Claim ``key``: (True, flight) for the leader, else
+        (False, the leader's flight) to :meth:`wait` on."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                self._coalesced += 1
+                return False, flight
+            flight = _Flight()
+            self._flights[key] = flight
+            return True, flight
+
+    def finish(
+        self,
+        key: str,
+        decision: AdmissionDecision | None,
+        *,
+        degraded: bool = False,
+    ) -> None:
+        """Publish the leader's outcome and wake every waiter."""
+        with self._lock:
+            flight = self._flights.pop(key, None)
+        if flight is not None:
+            flight.decision = decision
+            flight.degraded = degraded
+            flight.event.set()
+
+    @staticmethod
+    def wait(
+        flight: _Flight, timeout: float | None = None
+    ) -> tuple[AdmissionDecision | None, bool]:
+        """Block until the flight publishes; (decision, degraded?).
+
+        ``(None, False)`` means the leader finished without a usable
+        decision (or ``timeout`` expired); the caller should compute
+        for itself.
+        """
+        flight.event.wait(timeout)
+        return flight.decision, flight.degraded
+
+    def in_flight(self) -> int:
+        """Number of keys currently being computed somewhere."""
+        with self._lock:
+            return len(self._flights)
+
+    @property
+    def coalesced(self) -> int:
+        """Total lookups that joined an existing flight."""
+        with self._lock:
+            return self._coalesced
 
 
 class DecisionCache:
@@ -72,6 +188,10 @@ class DecisionCache:
     path:
         Optional persistence file.  When given and present, the cache
         warm-starts from it on construction; :meth:`save` rewrites it.
+
+    Every cache carries a :class:`SingleFlight` table as ``flights``,
+    which the batch layer and the sharded frontend use to collapse
+    concurrent misses on one key into a single computation.
     """
 
     def __init__(
@@ -87,6 +207,7 @@ class DecisionCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self.flights = SingleFlight()
         self._path = None if path is None else Path(path)
         if self._path is not None and self._path.exists():
             self.load(self._path)
@@ -149,6 +270,7 @@ class DecisionCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self._capacity,
+                coalesced=self.flights.coalesced,
             )
 
     # ------------------------------------------------------------------

@@ -166,11 +166,16 @@ class AdmissionController:
     ----------
     cache:
         A :class:`DecisionCache` to memoize through.  Omit for a fresh
-        default-capacity cache; pass ``enable_cache=False`` to always
-        recompute (the decisions are identical either way).
+        cache built from ``cache_backend``; pass ``enable_cache=False``
+        to always recompute (the decisions are identical either way).
     metrics:
         A :class:`ServiceMetrics` to account into; a fresh one is made
         when omitted.
+    cache_backend / cache_capacity / cache_path:
+        When no ``cache`` is given, the backend to build: ``"memory"``
+        (in-process LRU) or ``"sqlite"`` (WAL-mode store at
+        ``cache_path``, shareable across controllers).  See
+        :func:`repro.service.backends.make_cache`.
     """
 
     def __init__(
@@ -179,9 +184,18 @@ class AdmissionController:
         *,
         metrics: ServiceMetrics | None = None,
         enable_cache: bool = True,
+        cache_backend: str = "memory",
+        cache_capacity: int = 4096,
+        cache_path=None,
     ) -> None:
         if cache is None and enable_cache:
-            cache = DecisionCache()
+            from repro.service.backends import make_cache
+
+            cache = make_cache(
+                cache_backend,
+                capacity=cache_capacity,
+                path=cache_path,
+            )
         self.cache = cache if enable_cache else None
         self.metrics = metrics if metrics is not None else ServiceMetrics()
 

@@ -1,0 +1,656 @@
+"""The sharded asyncio admission frontend: socket to decision.
+
+This is the production shape of the admission service.  One process
+runs one event loop; inside it,
+
+* an :class:`AdmissionFrontend` accepts requests (from code, or from
+  the JSONL-over-TCP server of :func:`serve_frontend`),
+* per-tenant **token-bucket quotas** and per-shard **bounded queues**
+  shed overload *explicitly* -- a shed is a first-class
+  :class:`~repro.service.requests.AdmissionDecision` with rationale
+  prefixed ``service shed:`` (the HTTP-429 of this API), never a
+  silent drop, and never cached,
+* N **worker shards** own disjoint slices of the keyspace via the
+  consistent-hash ring of :mod:`repro.service.sharding`, routed on the
+  request's content hash -- identical content always lands on the same
+  shard, which keeps that shard's slice of the cache hot and lets the
+  cache's single-flight table collapse concurrent duplicates,
+* each shard computes misses on its own executor (``"thread"`` or
+  ``"process"``; processes sidestep the GIL for CPU-bound analysis,
+  threads are cheaper and overlap stall-bound work), policed by the
+  same **retry-ladder / degraded-REJECT machinery** as the batch path:
+  per-job timeout, ``max_retries`` with exponential backoff, a broken
+  process pool rebuilt without charging the stranded job's budget, and
+  a final fail-closed degraded REJECT,
+* a shared :class:`~repro.service.metrics.ServiceMetrics` aggregate
+  plus one per shard expose p50/p99/p999 latency, queue depth,
+  shed/degraded/coalesced/cache-hit counters.
+
+Decisions remain pure functions of request content, so the same
+requests produce the same decisions for *any* shard count, executor
+width, or cache backend -- the property tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.service.backends import CACHE_BACKENDS, make_cache
+from repro.service.batch import _compute_job, _degraded_decision
+from repro.service.cache import SingleFlight
+from repro.service.hashing import request_key
+from repro.service.metrics import ServiceMetrics
+from repro.service.requests import (
+    AdmissionDecision,
+    AdmissionRequest,
+    decision_to_dict,
+    request_from_dict,
+)
+from repro.service.sharding import ShardRing
+
+__all__ = [
+    "AdmissionFrontend",
+    "FrontendConfig",
+    "TenantQuota",
+    "serve_frontend",
+]
+
+#: Recognized shard executor kinds.
+EXECUTORS: tuple[str, ...] = ("thread", "process")
+
+
+def _shard_compute(job):
+    """Shard worker body; module-level so process pools can pickle it.
+
+    Indirection point: tests and benchmarks patch this to stage slow,
+    crashing, or stall-bound decision computations.
+    """
+    return _compute_job(job)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """A token bucket: sustained ``rate`` requests/s, ``burst`` depth."""
+
+    rate: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or not math.isfinite(self.rate):
+            raise ConfigurationError(
+                f"quota rate must be finite and > 0, got {self.rate!r}"
+            )
+        if self.burst < 1 or not math.isfinite(self.burst):
+            raise ConfigurationError(
+                f"quota burst must be finite and >= 1, got {self.burst!r}"
+            )
+
+
+class _TokenBucket:
+    """Classic leaky-bucket admission meter (clock injectable)."""
+
+    __slots__ = ("quota", "tokens", "last", "_clock")
+
+    def __init__(
+        self, quota: TenantQuota, clock: Callable[[], float]
+    ) -> None:
+        self.quota = quota
+        self.tokens = quota.burst
+        self._clock = clock
+        self.last = clock()
+
+    def try_take(self) -> bool:
+        now = self._clock()
+        self.tokens = min(
+            self.quota.burst,
+            self.tokens + (now - self.last) * self.quota.rate,
+        )
+        self.last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Deployment shape of one :class:`AdmissionFrontend`.
+
+    ``shards`` workers each own a bounded queue of ``queue_capacity``
+    and an executor of ``workers_per_shard`` threads or processes.
+    ``cache_backend`` selects the shared decision store
+    (``"memory"``/``"sqlite"``/``None`` for uncached).  ``default_quota``
+    applies to tenants without an entry in ``tenant_quotas``; ``None``
+    means unlimited.  The timeout/retry knobs mirror
+    :func:`repro.service.batch.admit_batch`.
+    """
+
+    shards: int = 1
+    queue_capacity: int = 256
+    executor: str = "thread"
+    workers_per_shard: int = 1
+    cache_backend: str | None = "memory"
+    cache_capacity: int = 4096
+    cache_path: str | Path | None = None
+    default_quota: TenantQuota | None = None
+    tenant_quotas: Mapping[str, TenantQuota] = field(default_factory=dict)
+    job_timeout: float | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    ring_replicas: int = 64
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {self.shards}"
+            )
+        if self.queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"unknown executor {self.executor!r}; expected one of "
+                f"{'/'.join(EXECUTORS)}"
+            )
+        if self.workers_per_shard < 1:
+            raise ConfigurationError(
+                f"workers_per_shard must be >= 1, "
+                f"got {self.workers_per_shard}"
+            )
+        if self.cache_backend is not None and (
+            self.cache_backend not in CACHE_BACKENDS
+        ):
+            raise ConfigurationError(
+                f"unknown cache backend {self.cache_backend!r}; "
+                f"expected one of {'/'.join(CACHE_BACKENDS)} or None"
+            )
+        if self.job_timeout is not None and not (
+            self.job_timeout > 0 and math.isfinite(self.job_timeout)
+        ):
+            raise ConfigurationError(
+                f"job_timeout must be finite and > 0, "
+                f"got {self.job_timeout!r}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff < 0 or not math.isfinite(
+            self.retry_backoff
+        ):
+            raise ConfigurationError(
+                f"retry_backoff must be finite and >= 0, "
+                f"got {self.retry_backoff!r}"
+            )
+
+
+def _shed_decision(
+    request: AdmissionRequest, key: str, reason: str
+) -> AdmissionDecision:
+    """An explicit 429-style refusal: not admitted, not analyzed.
+
+    Sheds fail closed like degraded decisions but carry their own
+    rationale prefix (``service shed:``) so callers can tell "try
+    again later, you were rate-limited" from "the analysis could not
+    be completed".  Never cached.
+    """
+    return AdmissionDecision(
+        admitted=False,
+        protocol=None,
+        rationale=f"service shed: {reason}",
+        schedulable={p: False for p in request.protocols},
+        task_bounds={},
+        worst_bound_ratio=math.inf,
+        key=key,
+        system_name=request.system.name,
+        request_id=request.request_id,
+    )
+
+
+class _Shard:
+    """One worker shard: bounded queue + executor + metrics."""
+
+    def __init__(self, index: int, config: FrontendConfig) -> None:
+        self.index = index
+        self.config = config
+        self.queue: asyncio.Queue = asyncio.Queue(
+            maxsize=config.queue_capacity
+        )
+        self.metrics = ServiceMetrics()
+        self.executor = self._make_executor()
+        self.workers: list[asyncio.Task] = []
+
+    def _make_executor(self):
+        if self.config.executor == "process":
+            return ProcessPoolExecutor(
+                max_workers=self.config.workers_per_shard
+            )
+        return ThreadPoolExecutor(
+            max_workers=self.config.workers_per_shard,
+            thread_name_prefix=f"repro-shard-{self.index}",
+        )
+
+    def rebuild_executor(self) -> None:
+        """Replace a broken process pool (thread pools cannot break)."""
+        self.executor.shutdown(wait=False, cancel_futures=True)
+        self.executor = self._make_executor()
+
+    def shutdown(self) -> None:
+        self.executor.shutdown(wait=False, cancel_futures=True)
+
+
+class AdmissionFrontend:
+    """Sharded async admission service (see module docstring).
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`stop` explicitly::
+
+        async with AdmissionFrontend(FrontendConfig(shards=4)) as fe:
+            decision = await fe.admit(request)
+
+    Parameters
+    ----------
+    config:
+        The deployment shape.
+    cache:
+        Override the config-built cache with a ready instance (any
+        object with the :class:`~repro.service.cache.DecisionCache`
+        interface, including a shared
+        :class:`~repro.service.backends.SqliteDecisionCache`).
+    clock:
+        Monotonic clock for the quota buckets (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        config: FrontendConfig | None = None,
+        *,
+        cache=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else FrontendConfig()
+        if cache is not None:
+            self.cache = cache
+        elif self.config.cache_backend is None:
+            self.cache = None
+        else:
+            self.cache = make_cache(
+                self.config.cache_backend,
+                capacity=self.config.cache_capacity,
+                path=self.config.cache_path,
+            )
+        self.metrics = ServiceMetrics()  # fleet-wide aggregate
+        self.ring = ShardRing(
+            self.config.shards, replicas=self.config.ring_replicas
+        )
+        self._clock = clock
+        self._buckets: dict[str, _TokenBucket] = {}
+        self._shards: list[_Shard] = []
+        self._wait_pool: ThreadPoolExecutor | None = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "AdmissionFrontend":
+        if self._started:
+            raise ConfigurationError("frontend already started")
+        self._shards = [
+            _Shard(index, self.config)
+            for index in range(self.config.shards)
+        ]
+        self._wait_pool = ThreadPoolExecutor(
+            max_workers=max(4, self.config.shards),
+            thread_name_prefix="repro-flight-wait",
+        )
+        for shard in self._shards:
+            shard.workers = [
+                asyncio.create_task(self._run_worker(shard))
+                for _ in range(self.config.workers_per_shard)
+            ]
+        self._started = True
+        return self
+
+    async def stop(self) -> None:
+        """Drain every queue, then tear the shards down.
+
+        Requests enqueued before ``stop`` are still served (the
+        shutdown sentinels queue behind them); an ``admit`` arriving
+        after ``stop`` began raises instead of waiting forever on a
+        queue nobody drains.
+        """
+        if not self._started:
+            return
+        self._started = False  # late admits fail fast, never hang
+        for shard in self._shards:
+            for _ in shard.workers:
+                await shard.queue.put(None)  # one sentinel per worker
+        for shard in self._shards:
+            for worker in shard.workers:
+                await worker
+            shard.shutdown()
+        if self._wait_pool is not None:
+            self._wait_pool.shutdown(wait=False, cancel_futures=True)
+
+    async def __aenter__(self) -> "AdmissionFrontend":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # The request path
+    # ------------------------------------------------------------------
+    def _take_token(self, tenant: str) -> bool:
+        quota = self.config.tenant_quotas.get(
+            tenant, self.config.default_quota
+        )
+        if quota is None:
+            return True
+        bucket = self._buckets.get(tenant)
+        if bucket is None or bucket.quota is not quota:
+            bucket = self._buckets[tenant] = _TokenBucket(
+                quota, self._clock
+            )
+        return bucket.try_take()
+
+    async def admit(
+        self, request: AdmissionRequest
+    ) -> AdmissionDecision:
+        """Decide one request through quotas, cache, and its shard.
+
+        Always returns a decision: a real verdict, a degraded REJECT
+        (ladder exhausted), or an explicit shed (quota or queue full).
+        """
+        if not self._started:
+            raise ConfigurationError(
+                "frontend not started (use 'async with' or await start())"
+            )
+        started = time.perf_counter()
+        if not self._take_token(request.tenant):
+            self.metrics.record_shed()
+            return _shed_decision(
+                request,
+                "",
+                f"tenant {request.tenant or 'default'!r} quota "
+                "exceeded (429, retry later)",
+            )
+        key = request_key(request)
+        shard = self._shards[self.ring.shard_for(key)]
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                latency = time.perf_counter() - started
+                for sink in (self.metrics, shard.metrics):
+                    sink.record(
+                        admitted=cached.admitted,
+                        cache_hit=True,
+                        latency=latency,
+                    )
+                return replace(cached, request_id=request.request_id)
+        future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+        try:
+            shard.queue.put_nowait((request, key, future, started))
+        except asyncio.QueueFull:
+            self.metrics.record_shed()
+            shard.metrics.record_shed()
+            return _shed_decision(
+                request,
+                key,
+                f"shard {shard.index} queue full "
+                f"({self.config.queue_capacity} deep) -- backpressure",
+            )
+        return await future
+
+    # ------------------------------------------------------------------
+    # Shard workers
+    # ------------------------------------------------------------------
+    async def _run_worker(self, shard: _Shard) -> None:
+        while True:
+            item = await shard.queue.get()
+            if item is None:  # shutdown sentinel
+                return
+            request, key, future, started = item
+            try:
+                decision, degraded, hit = await self._decide(
+                    shard, request, key
+                )
+            except Exception as exc:  # noqa: BLE001 - fail closed
+                decision = _degraded_decision(
+                    request, key, f"shard worker error: {exc}"
+                )
+                degraded, hit = True, False
+            latency = time.perf_counter() - started
+            for sink in (self.metrics, shard.metrics):
+                sink.record(
+                    admitted=decision.admitted,
+                    cache_hit=hit,
+                    latency=latency,
+                )
+                if degraded:
+                    sink.record_degraded()
+            if not future.done():
+                future.set_result(
+                    replace(decision, request_id=request.request_id)
+                )
+
+    async def _decide(
+        self, shard: _Shard, request: AdmissionRequest, key: str
+    ) -> tuple[AdmissionDecision, bool, bool]:
+        """(decision, degraded?, served-as-hit?) for one queued miss."""
+        cache = self.cache
+        flights = cache.flights if cache is not None else None
+        leader_flight = None
+        if flights is not None:
+            # Re-check: the decision may have landed while we queued.
+            cached = cache.get(key)
+            if cached is not None:
+                return cached, False, True
+            leader, flight = flights.begin(key)
+            if leader:
+                leader_flight = flight
+            else:
+                loop = asyncio.get_running_loop()
+                decision, degraded = await loop.run_in_executor(
+                    self._wait_pool, SingleFlight.wait, flight
+                )
+                if decision is not None:
+                    for sink in (self.metrics, shard.metrics):
+                        sink.record_coalesced()
+                    return decision, degraded, True
+                # The leader vanished without publishing: compute for
+                # ourselves (unclaimed -- no flight to finish).
+        published = False
+        try:
+            decision, degraded = await self._compute_with_ladder(
+                shard, request, key
+            )
+            if cache is not None and not degraded:
+                cache.put(key, decision)
+            if leader_flight is not None:
+                flights.finish(key, decision, degraded=degraded)
+                published = True
+            return decision, degraded, False
+        finally:
+            if leader_flight is not None and not published:
+                flights.finish(key, None)
+
+    async def _compute_with_ladder(
+        self, shard: _Shard, request: AdmissionRequest, key: str
+    ) -> tuple[AdmissionDecision, bool]:
+        """The batch path's retry ladder, asyncio-shaped.
+
+        Timeouts abandon the executor slot (the thread/process may
+        still be busy; the executor absorbs it), failures retry with
+        exponential backoff, a broken process pool is rebuilt without
+        charging the job's budget, and an exhausted ladder degrades to
+        the same fail-closed REJECT as the batch path.
+        """
+        config = self.config
+        loop = asyncio.get_running_loop()
+        attempt = 0
+        breaks = 0
+        while True:
+            try:
+                computation = loop.run_in_executor(
+                    shard.executor, _shard_compute, (key, request)
+                )
+                if config.job_timeout is not None:
+                    _key, decision, _elapsed = await asyncio.wait_for(
+                        computation, timeout=config.job_timeout
+                    )
+                else:
+                    _key, decision, _elapsed = await computation
+                return decision, False
+            except asyncio.TimeoutError:
+                shard.metrics.record_timeout()
+                self.metrics.record_timeout()
+                reason = f"timed out after {config.job_timeout:g} s"
+            except BrokenProcessPool:
+                # The pool died under us; rebuild and resubmit without
+                # consuming this job's retry budget (bounded: a job
+                # that keeps riding pools down is the likely culprit).
+                shard.rebuild_executor()
+                shard.metrics.record_pool_rebuild()
+                self.metrics.record_pool_rebuild()
+                breaks += 1
+                if breaks <= config.max_retries + 1:
+                    continue
+                return (
+                    _degraded_decision(
+                        request,
+                        key,
+                        f"worker pool broke {breaks} time(s) under "
+                        "this job",
+                    ),
+                    True,
+                )
+            except Exception as exc:  # noqa: BLE001 - ladder
+                reason = f"computation failed: {exc}"
+            if attempt >= config.max_retries:
+                return (
+                    _degraded_decision(
+                        request,
+                        key,
+                        f"{reason} (after {attempt + 1} attempt(s))",
+                    ),
+                    True,
+                )
+            attempt += 1
+            shard.metrics.record_retry()
+            self.metrics.record_retry()
+            if config.retry_backoff:
+                await asyncio.sleep(
+                    config.retry_backoff * (2 ** (attempt - 1))
+                )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def queue_depths(self) -> list[int]:
+        """Current queue depth per shard."""
+        return [shard.queue.qsize() for shard in self._shards]
+
+    def snapshot(self) -> dict:
+        """Aggregate + per-shard metrics, queue depths, cache stats."""
+        result = {
+            "aggregate": self.metrics.snapshot(),
+            "shards": [
+                shard.metrics.snapshot() for shard in self._shards
+            ],
+            "queue_depths": self.queue_depths(),
+        }
+        if self.cache is not None:
+            stats = self.cache.stats()
+            result["cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "size": stats.size,
+                "capacity": stats.capacity,
+                "coalesced": stats.coalesced,
+            }
+        return result
+
+    def describe(self) -> str:
+        """Aggregate metrics, one line per shard, cache counters."""
+        lines = [self.metrics.describe()]
+        for shard, depth in zip(self._shards, self.queue_depths()):
+            snap = shard.metrics.snapshot()
+            lines.append(
+                f"shard {shard.index}: {snap['requests']} requests, "
+                f"{snap['cache_hits']} hits, "
+                f"{snap['shed']} shed, {snap['degraded']} degraded, "
+                f"queue depth {depth}, "
+                f"p99 {snap['latency_p99'] * 1e3:.3f} ms"
+            )
+        if self.cache is not None:
+            lines.append(self.cache.stats().describe())
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# JSONL-over-TCP server: the socket in "socket to decision"
+# ---------------------------------------------------------------------------
+
+
+async def serve_frontend(
+    frontend: AdmissionFrontend,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.AbstractServer:
+    """Expose a started frontend over newline-delimited JSON on TCP.
+
+    Each request line is a ``repro-admission-request-v1`` (or bare
+    ``repro-system-v1``) document; each response line is the decision
+    document, in request order per connection.  Malformed lines get an
+    ``{"error": ...}`` line instead of killing the connection.  The
+    returned server is started; callers own its lifetime
+    (``server.close()`` / ``await server.wait_closed()``).
+    """
+
+    async def handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8").strip()
+                if not text:
+                    continue
+                try:
+                    request = request_from_dict(json.loads(text))
+                except (
+                    ConfigurationError,
+                    ValueError,
+                    KeyError,
+                    TypeError,
+                ) as exc:
+                    payload: dict = {"error": f"bad request line: {exc}"}
+                else:
+                    decision = await frontend.admit(request)
+                    payload = decision_to_dict(decision)
+                writer.write(
+                    (json.dumps(payload, sort_keys=True) + "\n").encode(
+                        "utf-8"
+                    )
+                )
+                await writer.drain()
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(handle, host, port)

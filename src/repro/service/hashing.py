@@ -22,8 +22,10 @@ keys here are SHA-256 digests of a canonical JSON encoding:
   path (``default=`` fires only for non-JSON types), keeping every
   historical float key byte-identical.
 
-``request_id`` is deliberately excluded: it is correlation metadata,
-not content.
+``request_id`` and ``tenant`` are deliberately excluded: they are
+caller metadata (correlation tag, quota principal), not decision
+content -- two tenants submitting identical systems share one cached
+decision, and the sharded frontend routes them to the same shard.
 """
 
 from __future__ import annotations

@@ -1,0 +1,316 @@
+"""Seeded open/closed-loop load generation against the frontend.
+
+A load generator is only useful if its numbers are comparable across
+runs, so everything here is deterministic given
+:class:`LoadgenConfig.seed`:
+
+* the request population (systems drawn from the workload generator,
+  tenants assigned round-robin by the same RNG),
+* closed-loop issue order (workers pull from one shared sequence),
+* open-loop arrival times (Poisson: exponential inter-arrival gaps
+  from a seeded RNG -- the classic ``expovariate(rate)`` process).
+
+Two archetypes, plus their mix:
+
+``closed``
+    ``concurrency`` virtual users each issue a request, await the
+    decision, and immediately issue the next -- throughput is bounded
+    by service latency (the feedback loop of a benchmark harness).
+``open``
+    requests arrive on a Poisson schedule at ``arrival_rate``/s
+    regardless of completions -- the arrival process of real traffic,
+    and the one that actually exercises queues and shedding.
+``mixed``
+    even-indexed requests arrive open-loop while closed-loop workers
+    drain the odd-indexed remainder concurrently.
+
+The :class:`LoadReport` carries per-request latency percentiles
+measured *from the caller's side* (queue wait included), sustained
+RPS over served decisions, shed/degraded/coalesced counters, and a
+**decision digest**: a SHA-256 over the sorted (request, decision)
+pairs of every non-shed decision.  Because decisions are pure
+functions of request content, the digest is invariant under shard
+count, worker count, executor kind, and cache backend -- the
+determinism property tests pin exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.service.frontend import AdmissionFrontend, FrontendConfig
+from repro.service.metrics import percentile
+from repro.service.requests import AdmissionDecision, AdmissionRequest
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+__all__ = [
+    "LoadReport",
+    "LoadgenConfig",
+    "build_requests",
+    "decision_digest",
+    "run_campaign",
+    "run_load",
+]
+
+#: Load-generation archetypes (see module docstring).
+MODES: tuple[str, ...] = ("closed", "open", "mixed")
+
+#: Default request population: small systems so the generator can
+#: sustain high rates without the workload dominating the benchmark.
+_DEFAULT_WORKLOAD = WorkloadConfig(
+    subtasks_per_task=2, utilization=0.5, tasks=3, processors=2
+)
+
+_SHED_PREFIX = "service shed:"
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One reproducible load campaign.
+
+    ``systems`` distinct request contents are generated once and then
+    sampled with replacement for ``requests`` total issues, so the
+    cache-hit fraction is controlled by the ``systems``/``requests``
+    ratio (``systems >= requests`` approximates an all-miss run).
+    """
+
+    requests: int = 1000
+    systems: int = 32
+    seed: int = 0
+    mode: str = "closed"
+    concurrency: int = 8
+    arrival_rate: float = 0.0
+    tenants: tuple[str, ...] = ("",)
+    workload: WorkloadConfig = field(default_factory=lambda: _DEFAULT_WORKLOAD)
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ConfigurationError(
+                f"requests must be >= 1, got {self.requests}"
+            )
+        if self.systems < 1:
+            raise ConfigurationError(
+                f"systems must be >= 1, got {self.systems}"
+            )
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"unknown mode {self.mode!r}; expected one of "
+                f"{'/'.join(MODES)}"
+            )
+        if self.concurrency < 1:
+            raise ConfigurationError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
+        if self.arrival_rate < 0:
+            raise ConfigurationError(
+                f"arrival_rate must be >= 0, got {self.arrival_rate}"
+            )
+        if not self.tenants:
+            raise ConfigurationError("tenants must be non-empty")
+
+
+def build_requests(config: LoadgenConfig) -> list[AdmissionRequest]:
+    """The deterministic request population for one campaign."""
+    rng = random.Random(config.seed)
+    systems = [
+        generate_system(config.workload, rng.randrange(2**32))
+        for _ in range(config.systems)
+    ]
+    return [
+        AdmissionRequest(
+            system=systems[rng.randrange(config.systems)],
+            request_id=f"load-{index:06d}",
+            tenant=config.tenants[rng.randrange(len(config.tenants))],
+        )
+        for index in range(config.requests)
+    ]
+
+
+def decision_digest(decisions: list[AdmissionDecision | None]) -> str:
+    """SHA-256 over every non-shed decision, sorted by request id.
+
+    Shed decisions are timing-dependent (they depend on queue depth
+    and bucket state at arrival), so they are excluded; everything
+    else is a pure function of request content and must reproduce.
+    """
+    digest = hashlib.sha256()
+    served = [
+        d
+        for d in decisions
+        if d is not None and not d.rationale.startswith(_SHED_PREFIX)
+    ]
+    for decision in sorted(served, key=lambda d: d.request_id):
+        digest.update(
+            (
+                f"{decision.request_id}|{decision.key}|"
+                f"{decision.admitted}|{decision.protocol}|"
+                f"{decision.worst_bound_ratio!r}\n"
+            ).encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What one campaign measured (latencies in seconds)."""
+
+    issued: int
+    served: int
+    shed: int
+    degraded: int
+    admitted: int
+    rejected: int
+    wall: float
+    rps: float
+    latency_p50: float
+    latency_p99: float
+    latency_p999: float
+    latency_max: float
+    latency_mean: float
+    digest: str
+    snapshot: dict
+
+    def render(self) -> str:
+        """A compact multi-line report for CLI output."""
+        lines = [
+            (
+                f"load: {self.issued} issued, {self.served} served, "
+                f"{self.shed} shed, {self.degraded} degraded"
+            ),
+            (
+                f"decisions: {self.admitted} admitted, "
+                f"{self.rejected} rejected"
+            ),
+            (
+                f"throughput: {self.rps:,.0f} req/s sustained over "
+                f"{self.wall:.3f} s"
+            ),
+            (
+                f"latency: p50 {self.latency_p50 * 1e3:.3f} ms, "
+                f"p99 {self.latency_p99 * 1e3:.3f} ms, "
+                f"p999 {self.latency_p999 * 1e3:.3f} ms, "
+                f"max {self.latency_max * 1e3:.3f} ms"
+            ),
+            f"digest: {self.digest[:16]}",
+        ]
+        cache = self.snapshot.get("cache")
+        if cache is not None:
+            lines.insert(
+                2,
+                (
+                    f"cache: {cache['hits']} hits, "
+                    f"{cache['misses']} misses, "
+                    f"{cache['coalesced']} coalesced"
+                ),
+            )
+        return "\n".join(lines)
+
+
+async def run_load(
+    frontend: AdmissionFrontend, config: LoadgenConfig
+) -> LoadReport:
+    """Drive one campaign against a **started** frontend."""
+    requests = build_requests(config)
+    decisions: list[AdmissionDecision | None] = [None] * len(requests)
+    latencies: list[float] = [0.0] * len(requests)
+
+    async def issue(index: int) -> None:
+        begun = time.perf_counter()
+        decisions[index] = await frontend.admit(requests[index])
+        latencies[index] = time.perf_counter() - begun
+
+    async def closed_loop(indices: list[int]) -> None:
+        cursor = iter(indices)
+
+        async def worker() -> None:
+            for index in cursor:  # single loop: no racing iterators
+                await issue(index)
+
+        await asyncio.gather(
+            *(worker() for _ in range(config.concurrency))
+        )
+
+    async def open_loop(indices: list[int]) -> None:
+        rng = random.Random(config.seed + 1)
+        inflight = []
+        for index in indices:
+            if config.arrival_rate > 0:
+                await asyncio.sleep(
+                    rng.expovariate(config.arrival_rate)
+                )
+            inflight.append(asyncio.ensure_future(issue(index)))
+        await asyncio.gather(*inflight)
+
+    started = time.perf_counter()
+    if config.mode == "closed":
+        await closed_loop(list(range(len(requests))))
+    elif config.mode == "open":
+        await open_loop(list(range(len(requests))))
+    else:  # mixed
+        await asyncio.gather(
+            open_loop(list(range(0, len(requests), 2))),
+            closed_loop(list(range(1, len(requests), 2))),
+        )
+    wall = time.perf_counter() - started
+
+    shed = sum(
+        1
+        for d in decisions
+        if d is not None and d.rationale.startswith(_SHED_PREFIX)
+    )
+    served = [
+        d
+        for d in decisions
+        if d is not None and not d.rationale.startswith(_SHED_PREFIX)
+    ]
+    served_latencies = [
+        latency
+        for latency, decision in zip(latencies, decisions)
+        if decision is not None
+        and not decision.rationale.startswith(_SHED_PREFIX)
+    ]
+    aggregate = frontend.metrics.snapshot()
+    return LoadReport(
+        issued=len(requests),
+        served=len(served),
+        shed=shed,
+        degraded=aggregate["degraded"],
+        admitted=sum(1 for d in served if d.admitted),
+        rejected=sum(1 for d in served if not d.admitted),
+        wall=wall,
+        rps=len(served) / wall if wall > 0 else 0.0,
+        latency_p50=percentile(served_latencies, 0.50),
+        latency_p99=percentile(served_latencies, 0.99),
+        latency_p999=percentile(served_latencies, 0.999),
+        latency_max=max(served_latencies) if served_latencies else 0.0,
+        latency_mean=(
+            sum(served_latencies) / len(served_latencies)
+            if served_latencies
+            else 0.0
+        ),
+        digest=decision_digest(decisions),
+        snapshot=frontend.snapshot(),
+    )
+
+
+def run_campaign(
+    config: LoadgenConfig,
+    frontend_config: FrontendConfig | None = None,
+    *,
+    cache=None,
+) -> LoadReport:
+    """Build a frontend, run one campaign, tear it down (sync shell)."""
+
+    async def campaign() -> LoadReport:
+        async with AdmissionFrontend(
+            frontend_config, cache=cache
+        ) as frontend:
+            return await run_load(frontend, config)
+
+    return asyncio.run(campaign())

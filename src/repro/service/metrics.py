@@ -52,6 +52,9 @@ class ServiceMetrics:
         self._timeouts = 0
         self._retries = 0
         self._degraded = 0
+        self._shed = 0
+        self._coalesced = 0
+        self._pool_rebuilds = 0
 
     # ------------------------------------------------------------------
     # Recording (hot path)
@@ -93,6 +96,25 @@ class ServiceMetrics:
         with self._lock:
             self._degraded += 1
 
+    def record_shed(self) -> None:
+        """Account one request shed by backpressure or quota (never served).
+
+        Shed requests do *not* count into ``requests``: throughput is
+        decisions actually served, and sheds are the explicit remainder.
+        """
+        with self._lock:
+            self._shed += 1
+
+    def record_coalesced(self) -> None:
+        """Account one request served by another caller's in-flight compute."""
+        with self._lock:
+            self._coalesced += 1
+
+    def record_pool_rebuild(self) -> None:
+        """Account one worker-pool rebuild after a broken-pool event."""
+        with self._lock:
+            self._pool_rebuilds += 1
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -109,6 +131,9 @@ class ServiceMetrics:
                 "timeouts": self._timeouts,
                 "retries": self._retries,
                 "degraded": self._degraded,
+                "shed": self._shed,
+                "coalesced": self._coalesced,
+                "pool_rebuilds": self._pool_rebuilds,
             }
         counters["hit_rate"] = (
             counters["cache_hits"] / counters["requests"]
@@ -118,6 +143,7 @@ class ServiceMetrics:
         counters["latency_p50"] = percentile(latencies, 0.50)
         counters["latency_p90"] = percentile(latencies, 0.90)
         counters["latency_p99"] = percentile(latencies, 0.99)
+        counters["latency_p999"] = percentile(latencies, 0.999)
         counters["latency_max"] = max(latencies) if latencies else 0.0
         counters["latency_mean"] = (
             sum(latencies) / len(latencies) if latencies else 0.0
@@ -143,6 +169,7 @@ class ServiceMetrics:
                     f"latency: p50 {snap['latency_p50'] * 1e3:.3f} ms, "
                     f"p90 {snap['latency_p90'] * 1e3:.3f} ms, "
                     f"p99 {snap['latency_p99'] * 1e3:.3f} ms, "
+                    f"p999 {snap['latency_p999'] * 1e3:.3f} ms, "
                     f"max {snap['latency_max'] * 1e3:.3f} ms"
                 ),
             ]
@@ -150,9 +177,21 @@ class ServiceMetrics:
                 [
                     f"robustness: {snap['timeouts']} timeout(s), "
                     f"{snap['retries']} retry(ies), "
-                    f"{snap['degraded']} degraded decision(s)"
+                    f"{snap['degraded']} degraded decision(s), "
+                    f"{snap['pool_rebuilds']} pool rebuild(s)"
                 ]
-                if snap["timeouts"] or snap["retries"] or snap["degraded"]
+                if snap["timeouts"]
+                or snap["retries"]
+                or snap["degraded"]
+                or snap["pool_rebuilds"]
+                else []
+            )
+            + (
+                [
+                    f"backpressure: {snap['shed']} shed, "
+                    f"{snap['coalesced']} coalesced"
+                ]
+                if snap["shed"] or snap["coalesced"]
                 else []
             )
         )

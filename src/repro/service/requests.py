@@ -96,6 +96,12 @@ class AdmissionRequest:
     request_id:
         Free-form caller tag.  Echoed on the decision, excluded from
         the cache key.
+    tenant:
+        The submitting tenant, for the frontend's per-tenant quotas
+        (empty = the anonymous default tenant).  Like ``request_id`` it
+        is caller metadata, not decision content: it is excluded from
+        the cache key, so two tenants submitting identical systems
+        share one cached decision.
     """
 
     system: System
@@ -110,6 +116,7 @@ class AdmissionRequest:
     shared_resources: bool = False
     sa_ds_max_iterations: int = 300
     request_id: str = ""
+    tenant: str = ""
 
     def __post_init__(self) -> None:
         canonical = tuple(p.upper() for p in self.protocols)
@@ -237,6 +244,7 @@ def request_to_dict(request: AdmissionRequest) -> dict[str, Any]:
         "shared_resources": request.shared_resources,
         "sa_ds_max_iterations": request.sa_ds_max_iterations,
         "request_id": request.request_id,
+        "tenant": request.tenant,
     }
 
 
@@ -269,6 +277,7 @@ def request_from_dict(data: Mapping[str, Any]) -> AdmissionRequest:
         shared_resources=bool(data.get("shared_resources", False)),
         sa_ds_max_iterations=int(data.get("sa_ds_max_iterations", 300)),
         request_id=str(data.get("request_id", "")),
+        tenant=str(data.get("tenant", "")),
     )
 
 

@@ -1,0 +1,104 @@
+"""Consistent-hash routing of admission keys onto worker shards.
+
+The sharded frontend routes every request by its *content hash* (the
+same :func:`repro.service.hashing.request_key` the decision cache keys
+on), so identical content always lands on the same shard -- that is
+what lets a shard coalesce concurrent duplicates locally and keeps its
+share of the cache hot.
+
+Routing is a classic consistent-hash ring with virtual nodes:
+
+* each shard owns ``replicas`` points on a 64-bit ring, placed by
+  SHA-256 of a stable label (``"shard-<i>/<r>"``) -- no process salt,
+  no randomness, so every frontend in a fleet routes identically;
+* a key maps to the first ring point at or after its own 64-bit
+  position (wrapping);
+* growing the ring from N to N+1 shards moves only ~1/(N+1) of the
+  keyspace (tested), so a resize mostly preserves shard-local cache
+  residency -- the property a plain ``hash(key) % N`` lacks.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ShardRing"]
+
+#: Ring positions and key positions are 64-bit: the leading 16 hex
+#: digits of a SHA-256 digest.
+_POSITION_BITS = 64
+
+
+def _position(label: str) -> int:
+    digest = hashlib.sha256(label.encode("utf-8")).hexdigest()
+    return int(digest[: _POSITION_BITS // 4], 16)
+
+
+class ShardRing:
+    """Deterministic consistent-hash ring over ``shards`` workers.
+
+    Parameters
+    ----------
+    shards:
+        Number of shards (>= 1).
+    replicas:
+        Virtual nodes per shard.  More replicas smooth the load split
+        (at 64 the max/min shard share stays within a few tens of
+        percent); the default is plenty for single-digit shard counts.
+    """
+
+    def __init__(self, shards: int, *, replicas: int = 64) -> None:
+        if shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {shards}"
+            )
+        if replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be >= 1, got {replicas}"
+            )
+        self.shards = shards
+        self.replicas = replicas
+        points = [
+            (_position(f"shard-{shard}/{replica}"), shard)
+            for shard in range(shards)
+            for replica in range(replicas)
+        ]
+        points.sort()
+        self._positions = [position for position, _shard in points]
+        self._owners = [shard for _position, shard in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key`` (a request-key hex digest)."""
+        position = int(key[: _POSITION_BITS // 4], 16)
+        index = bisect.bisect_right(self._positions, position)
+        if index == len(self._positions):  # wrap past the last point
+            index = 0
+        return self._owners[index]
+
+    def distribution(
+        self, keys: Iterable[str]
+    ) -> dict[int, int]:
+        """How many of ``keys`` each shard owns (all shards present)."""
+        counts: Counter[int] = Counter(
+            self.shard_for(key) for key in keys
+        )
+        return {shard: counts.get(shard, 0) for shard in range(self.shards)}
+
+    @staticmethod
+    def moved_fraction(
+        before: "ShardRing", after: "ShardRing", keys: Sequence[str]
+    ) -> float:
+        """Fraction of ``keys`` whose owner differs between two rings."""
+        if not keys:
+            return 0.0
+        moved = sum(
+            1
+            for key in keys
+            if before.shard_for(key) != after.shard_for(key)
+        )
+        return moved / len(keys)

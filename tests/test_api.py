@@ -75,3 +75,41 @@ class TestPublicSurface:
         assert not verdict.is_task_schedulable(2)
         result = repro.run_protocol(system, "RG", horizon=60.0)
         assert result.metrics.task(2).deadline_misses == 0
+
+
+class TestAdmitService:
+    def test_decisions_match_admit_many(self):
+        from repro.api import admit_many, admit_service
+        from repro.workload.config import WorkloadConfig
+        from repro.workload.generator import generate_system
+
+        config = WorkloadConfig(
+            subtasks_per_task=2, utilization=0.5, tasks=3, processors=2
+        )
+        systems = [generate_system(config, seed) for seed in range(3)]
+        via_batch = admit_many(systems, workers=1)
+        via_frontend = admit_service(systems)
+        assert [d.admitted for d in via_frontend] == [
+            d.admitted for d in via_batch
+        ]
+        assert [d.key for d in via_frontend] == [
+            d.key for d in via_batch
+        ]
+
+    def test_frontend_config_is_honoured(self):
+        from repro.api import admit_service
+        from repro.service.frontend import FrontendConfig
+        from repro.workload.config import WorkloadConfig
+        from repro.workload.generator import generate_system
+
+        config = WorkloadConfig(
+            subtasks_per_task=2, utilization=0.5, tasks=3, processors=2
+        )
+        systems = [generate_system(config, 1)]
+        decisions = admit_service(
+            systems,
+            frontend_config=FrontendConfig(
+                shards=3, cache_backend="sqlite"
+            ),
+        )
+        assert len(decisions) == 1

@@ -190,3 +190,62 @@ class TestClockStudy:
             ]
         ) == 0
         assert "1 system(s)" in capsys.readouterr().out
+
+
+class TestLoadgenCommand:
+    ARGS = [
+        "loadgen",
+        "--requests", "60",
+        "--systems", "8",
+        "--seed", "4",
+        "--shards", "2",
+    ]
+
+    def test_reports_the_campaign(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "60 issued" in out
+        assert "req/s" in out
+        assert "digest:" in out
+
+    def test_rps_floor_gate_passes_when_met(self, capsys):
+        assert main(self.ARGS + ["--rps-floor", "1"]) == 0
+
+    def test_rps_floor_gate_fails_when_missed(self, capsys):
+        # No service on this machine sustains 1e12 req/s.
+        assert main(self.ARGS + ["--rps-floor", "1e12"]) == 1
+        assert "below the floor" in capsys.readouterr().err
+
+    def test_seed_reproduces_the_digest(self, capsys):
+        assert main(self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS) == 0
+        second = capsys.readouterr().out
+        digest = [l for l in first.splitlines() if "digest" in l]
+        assert digest == [
+            l for l in second.splitlines() if "digest" in l
+        ]
+
+    def test_open_mode_with_quotas(self, capsys):
+        assert main(
+            self.ARGS
+            + [
+                "--mode", "open",
+                "--arrival-rate", "5000",
+                "--quota-rate", "100",
+                "--quota-burst", "5",
+                "--stats",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shed" in out
+
+    def test_sqlite_backend(self, tmp_path, capsys):
+        assert main(
+            self.ARGS
+            + [
+                "--cache-backend", "sqlite",
+                "--cache-file", str(tmp_path / "cache.db"),
+            ]
+        ) == 0
+        assert (tmp_path / "cache.db").exists()

@@ -1,0 +1,207 @@
+"""Batch-engine fallback through the service-shaped workloads.
+
+The batch simulation engine only handles the deterministic float-clock
+fault-free resource-free core; anything else must *explicitly* fall
+back to the reference kernel, recording why on
+``SimulationResult.engine_fallback`` -- and, because the fallback runs
+the oracle of record, certify identically to an ``engine="reference"``
+run.  These tests pin that contract for exactly the request features
+the admission service models: armed fault planes, declared critical
+sections, and the exact (rational-arithmetic) timebase.
+
+The admission side is covered too: a resourceful system admitted
+through the batch path and through the async frontend must produce the
+same decision as a direct ``compute_decision`` -- the engines backing
+the service may differ in speed, never in verdicts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import run_protocol
+from repro.faults import FaultConfig
+from repro.locks import inject_critical_sections
+from repro.service.batch import admit_batch
+from repro.service.engine import compute_decision
+from repro.service.frontend import AdmissionFrontend, FrontendConfig
+from repro.service.requests import AdmissionRequest
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+LIGHT = WorkloadConfig(
+    subtasks_per_task=2, utilization=0.5, tasks=3, processors=2
+)
+
+HORIZON_PERIODS = 5.0
+
+
+def _system(seed: int):
+    return generate_system(LIGHT, seed)
+
+
+def _resourceful(seed: int):
+    return inject_critical_sections(
+        _system(seed), ratio=0.2, resources=2, seed=seed
+    )
+
+
+class TestFallbackReasons:
+    """engine="batch" on unsupported features: explicit, recorded."""
+
+    def test_armed_fault_plane_falls_back(self):
+        faults = FaultConfig(drop_rate=0.1)
+        result = run_protocol(
+            _system(1),
+            "DS",
+            horizon_periods=HORIZON_PERIODS,
+            faults=faults,
+            engine="batch",
+        )
+        assert result.engine == "reference"
+        assert result.engine_fallback == "fault plane armed"
+
+    def test_critical_sections_fall_back(self):
+        result = run_protocol(
+            _resourceful(1),
+            "DS",
+            horizon_periods=HORIZON_PERIODS,
+            engine="batch",
+        )
+        assert result.engine == "reference"
+        assert (
+            result.engine_fallback
+            == "system declares critical sections"
+        )
+
+    def test_exact_timebase_falls_back(self):
+        result = run_protocol(
+            _system(1),
+            "DS",
+            horizon_periods=HORIZON_PERIODS,
+            timebase="exact",
+            engine="batch",
+        )
+        assert result.engine == "reference"
+        assert result.engine_fallback == "non-float timebase"
+
+    def test_supported_core_does_not_fall_back(self):
+        result = run_protocol(
+            _system(1),
+            "DS",
+            horizon_periods=HORIZON_PERIODS,
+            engine="batch",
+        )
+        assert result.engine == "batch"
+        assert result.engine_fallback is None
+
+
+class TestFallbackCertifiesIdentically:
+    """The fallback is the oracle of record: results must match it."""
+
+    @pytest.mark.parametrize("protocol", ["DS", "RG"])
+    def test_fault_run_matches_reference(self, protocol):
+        faults = FaultConfig(drop_rate=0.25, seed=7)
+        via_batch = run_protocol(
+            _system(2),
+            protocol,
+            horizon_periods=HORIZON_PERIODS,
+            faults=faults,
+            engine="batch",
+        )
+        direct = run_protocol(
+            _system(2),
+            protocol,
+            horizon_periods=HORIZON_PERIODS,
+            faults=faults,
+            engine="reference",
+        )
+        # repr-compare: unrecovered faults leave NaN latency summaries,
+        # and NaN breaks dataclass ==; identical runs repr identically.
+        assert repr(via_batch.metrics) == repr(direct.metrics)
+        assert via_batch.events_processed == direct.events_processed
+
+    @pytest.mark.parametrize("protocol", ["DS", "RG"])
+    def test_locked_run_matches_reference(self, protocol):
+        via_batch = run_protocol(
+            _resourceful(2),
+            protocol,
+            horizon_periods=HORIZON_PERIODS,
+            engine="batch",
+        )
+        direct = run_protocol(
+            _resourceful(2),
+            protocol,
+            horizon_periods=HORIZON_PERIODS,
+            engine="reference",
+        )
+        assert via_batch.metrics == direct.metrics
+
+    def test_exact_timebase_run_matches_reference(self):
+        via_batch = run_protocol(
+            _system(3),
+            "DS",
+            horizon_periods=HORIZON_PERIODS,
+            timebase="exact",
+            engine="batch",
+        )
+        direct = run_protocol(
+            _system(3),
+            "DS",
+            horizon_periods=HORIZON_PERIODS,
+            timebase="exact",
+            engine="reference",
+        )
+        assert via_batch.metrics == direct.metrics
+
+
+class TestServicePathParity:
+    """Resourceful/exact requests decide identically on every path."""
+
+    def _requests(self):
+        return [
+            AdmissionRequest(
+                system=_resourceful(seed),
+                request_id=f"r{seed}",
+                shared_resources=True,
+            )
+            for seed in range(3)
+        ]
+
+    def test_batch_path_matches_direct(self):
+        requests = self._requests()
+        batch = admit_batch(requests, workers=1)
+        assert batch == [compute_decision(r) for r in requests]
+        # The blocking-aware analyses actually engaged: a resourceful
+        # request keys differently from its resource-free twin.
+        bare = AdmissionRequest(
+            system=_system(0), request_id="r0"
+        )
+        assert batch[0].key != compute_decision(bare).key
+
+    def test_frontend_path_matches_direct(self):
+        requests = self._requests()
+
+        async def run():
+            async with AdmissionFrontend(
+                FrontendConfig(shards=2)
+            ) as frontend:
+                return [await frontend.admit(r) for r in requests]
+
+        decisions = asyncio.run(run())
+        assert decisions == [compute_decision(r) for r in requests]
+
+    def test_paths_agree_with_each_other(self):
+        requests = self._requests()
+        via_batch = admit_batch(requests, workers=1)
+
+        async def run():
+            async with AdmissionFrontend(
+                FrontendConfig(shards=1)
+            ) as frontend:
+                return [await frontend.admit(r) for r in requests]
+
+        via_frontend = asyncio.run(run())
+        assert via_batch == via_frontend

@@ -1,0 +1,421 @@
+"""The sharded asyncio frontend: routing, backpressure, degradation.
+
+No pytest-asyncio in the toolchain: each test drives its own event
+loop with ``asyncio.run``.  Slow/failing computations are staged by
+patching ``repro.service.frontend._shard_compute`` (resolved by module
+global at call time, so thread executors see the patch).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+import repro.service.frontend as frontend_module
+from repro.errors import ConfigurationError
+from repro.service.backends import SqliteDecisionCache
+from repro.service.engine import compute_decision
+from repro.service.frontend import (
+    AdmissionFrontend,
+    FrontendConfig,
+    TenantQuota,
+    serve_frontend,
+)
+from repro.service.requests import (
+    AdmissionRequest,
+    request_to_dict,
+)
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+LIGHT = WorkloadConfig(
+    subtasks_per_task=2, utilization=0.5, tasks=3, processors=2
+)
+
+_real_shard_compute = frontend_module._shard_compute
+
+
+def _request(seed: int, request_id: str = "", tenant: str = "") -> AdmissionRequest:
+    return AdmissionRequest(
+        system=generate_system(LIGHT, seed),
+        request_id=request_id or f"r{seed}",
+        tenant=tenant,
+    )
+
+
+def _admit_all(config: FrontendConfig, requests, **frontend_kwargs):
+    async def run():
+        async with AdmissionFrontend(config, **frontend_kwargs) as fe:
+            return [await fe.admit(r) for r in requests], fe.snapshot()
+
+    return asyncio.run(run())
+
+
+class TestDecisions:
+    def test_matches_direct_computation(self):
+        requests = [_request(seed) for seed in range(4)]
+        decisions, _ = _admit_all(FrontendConfig(shards=2), requests)
+        assert decisions == [compute_decision(r) for r in requests]
+
+    def test_request_id_is_restored_on_hits(self):
+        requests = [_request(1, "a"), _request(1, "b")]
+        decisions, snapshot = _admit_all(
+            FrontendConfig(shards=1), requests
+        )
+        assert decisions[0].request_id == "a"
+        assert decisions[1].request_id == "b"
+        assert decisions[0].key == decisions[1].key
+        assert snapshot["aggregate"]["cache_hits"] == 1
+
+    def test_identical_content_lands_on_one_shard(self):
+        requests = [_request(3, f"dup{i}") for i in range(6)]
+        _, snapshot = _admit_all(
+            FrontendConfig(shards=4, cache_backend=None), requests
+        )
+        active = [
+            s for s in snapshot["shards"] if s["requests"] > 0
+        ]
+        assert len(active) == 1
+        assert active[0]["requests"] == 6
+
+    def test_uncached_frontend_still_decides(self):
+        requests = [_request(seed) for seed in range(3)]
+        decisions, snapshot = _admit_all(
+            FrontendConfig(shards=2, cache_backend=None), requests
+        )
+        assert decisions == [compute_decision(r) for r in requests]
+        assert "cache" not in snapshot
+
+    def test_sqlite_backend_through_config(self, tmp_path):
+        config = FrontendConfig(
+            shards=2,
+            cache_backend="sqlite",
+            cache_path=tmp_path / "fe.db",
+        )
+        requests = [_request(1, "a"), _request(1, "b")]
+        decisions, snapshot = _admit_all(config, requests)
+        assert decisions[0].admitted == decisions[1].admitted
+        assert snapshot["cache"]["hits"] >= 1
+
+    def test_shared_cache_instance_warms_across_frontends(self):
+        shared = SqliteDecisionCache(capacity=64)
+        requests = [_request(seed) for seed in range(3)]
+        _admit_all(FrontendConfig(shards=1), requests, cache=shared)
+        _, snapshot = _admit_all(
+            FrontendConfig(shards=3), requests, cache=shared
+        )
+        assert snapshot["aggregate"]["cache_hits"] == 3
+        shared.close()
+
+
+class TestBackpressure:
+    def test_quota_exhaustion_sheds_explicitly(self):
+        config = FrontendConfig(
+            shards=1,
+            default_quota=TenantQuota(rate=0.001, burst=2),
+        )
+        requests = [_request(seed) for seed in range(5)]
+        decisions, snapshot = _admit_all(config, requests)
+        sheds = [
+            d
+            for d in decisions
+            if d.rationale.startswith("service shed:")
+        ]
+        assert len(sheds) == 3  # burst of 2, negligible refill
+        assert all(not d.admitted for d in sheds)
+        assert "quota exceeded" in sheds[0].rationale
+        assert snapshot["aggregate"]["shed"] == 3
+        # Sheds are not served requests.
+        assert snapshot["aggregate"]["requests"] == 2
+
+    def test_named_tenant_quota_only_limits_that_tenant(self):
+        config = FrontendConfig(
+            shards=1,
+            tenant_quotas={
+                "limited": TenantQuota(rate=0.001, burst=1)
+            },
+        )
+        requests = [
+            _request(seed, f"lim{seed}", tenant="limited")
+            for seed in range(3)
+        ] + [
+            _request(seed, f"free{seed}", tenant="other")
+            for seed in range(3)
+        ]
+        decisions, _ = _admit_all(config, requests)
+        limited = [d for d in decisions if d.request_id.startswith("lim")]
+        free = [d for d in decisions if d.request_id.startswith("free")]
+        assert (
+            sum(
+                1
+                for d in limited
+                if d.rationale.startswith("service shed:")
+            )
+            == 2
+        )
+        assert all(
+            not d.rationale.startswith("service shed:") for d in free
+        )
+
+    def test_full_queue_sheds_with_shard_attribution(self, monkeypatch):
+        release = None
+
+        def stalling(payload):
+            release.wait()
+            return _real_shard_compute(payload)
+
+        monkeypatch.setattr(
+            frontend_module, "_shard_compute", stalling
+        )
+
+        async def run():
+            nonlocal release
+            import threading
+
+            release = threading.Event()
+            config = FrontendConfig(
+                shards=1, queue_capacity=2, cache_backend=None
+            )
+            async with AdmissionFrontend(config) as fe:
+                # Stall the worker on one request, then fill the queue
+                # to capacity; the next arrival must shed.
+                first = asyncio.ensure_future(fe.admit(_request(0)))
+                for _ in range(200):  # until the worker dequeued it
+                    await asyncio.sleep(0.005)
+                    if fe.queue_depths() == [0]:
+                        break
+                fillers = [
+                    asyncio.ensure_future(fe.admit(_request(seed)))
+                    for seed in (1, 2)
+                ]
+                await asyncio.sleep(0.05)
+                assert fe.queue_depths() == [2]
+                shed = await fe.admit(_request(99))
+                release.set()
+                served = await asyncio.gather(first, *fillers)
+                return shed, served, fe.metrics.snapshot()
+
+        shed, served, snapshot = asyncio.run(run())
+        assert shed.rationale.startswith("service shed:")
+        assert "shard 0 queue full" in shed.rationale
+        assert all(
+            not d.rationale.startswith("service shed:") for d in served
+        )
+        assert snapshot["shed"] == 1
+
+    def test_sheds_are_never_cached(self):
+        config = FrontendConfig(
+            shards=1, default_quota=TenantQuota(rate=0.001, burst=1)
+        )
+
+        async def run():
+            async with AdmissionFrontend(config) as fe:
+                first = await fe.admit(_request(1, "a"))
+                shed = await fe.admit(_request(2, "b"))
+                return first, shed, len(fe.cache)
+
+        first, shed, cached = asyncio.run(run())
+        assert not first.rationale.startswith("service shed:")
+        assert shed.rationale.startswith("service shed:")
+        assert cached == 1  # only the served decision
+
+
+class TestDegradation:
+    def test_failing_compute_degrades_after_ladder(self, monkeypatch):
+        calls = []
+
+        def always_raises(payload):
+            calls.append(payload[0])
+            raise RuntimeError("staged analysis crash")
+
+        monkeypatch.setattr(
+            frontend_module, "_shard_compute", always_raises
+        )
+        config = FrontendConfig(
+            shards=1, max_retries=2, retry_backoff=0.0
+        )
+        decisions, snapshot = _admit_all(config, [_request(1)])
+        assert decisions[0].rationale.startswith("service degraded:")
+        assert "staged analysis crash" in decisions[0].rationale
+        assert len(calls) == 3  # initial + 2 retries
+        assert snapshot["aggregate"]["retries"] == 2
+        assert snapshot["aggregate"]["degraded"] == 1
+
+    def test_degraded_decisions_are_not_cached(self, monkeypatch):
+        def always_raises(payload):
+            raise RuntimeError("nope")
+
+        monkeypatch.setattr(
+            frontend_module, "_shard_compute", always_raises
+        )
+
+        async def run():
+            config = FrontendConfig(
+                shards=1, max_retries=0, retry_backoff=0.0
+            )
+            async with AdmissionFrontend(config) as fe:
+                decision = await fe.admit(_request(1))
+                return decision, len(fe.cache)
+
+        decision, cached = asyncio.run(run())
+        assert decision.rationale.startswith("service degraded:")
+        assert cached == 0
+
+    def test_timeout_degrades_that_request_only(self, monkeypatch):
+        def slow_for_r0(payload):
+            key, request = payload
+            if request.request_id == "r0":
+                time.sleep(2.0)
+            return _real_shard_compute(payload)
+
+        monkeypatch.setattr(
+            frontend_module, "_shard_compute", slow_for_r0
+        )
+        config = FrontendConfig(
+            shards=1,
+            workers_per_shard=2,
+            job_timeout=0.3,
+            max_retries=0,
+        )
+        decisions, snapshot = _admit_all(
+            config, [_request(seed) for seed in range(3)]
+        )
+        by_id = {d.request_id: d for d in decisions}
+        assert by_id["r0"].rationale.startswith("service degraded:")
+        assert "timed out" in by_id["r0"].rationale
+        for rid in ("r1", "r2"):
+            assert not by_id[rid].rationale.startswith(
+                "service degraded:"
+            )
+        assert snapshot["aggregate"]["timeouts"] == 1
+
+
+class TestLifecycleAndValidation:
+    def test_admit_before_start_is_an_error(self):
+        frontend = AdmissionFrontend(FrontendConfig())
+        with pytest.raises(ConfigurationError):
+            asyncio.run(frontend.admit(_request(1)))
+
+    def test_double_start_is_an_error(self):
+        async def run():
+            frontend = AdmissionFrontend(FrontendConfig())
+            await frontend.start()
+            try:
+                with pytest.raises(ConfigurationError):
+                    await frontend.start()
+            finally:
+                await frontend.stop()
+
+        asyncio.run(run())
+
+    def test_stop_drains_pending_work(self):
+        async def run():
+            config = FrontendConfig(shards=2)
+            frontend = AdmissionFrontend(config)
+            await frontend.start()
+            pending = [
+                asyncio.ensure_future(frontend.admit(_request(seed)))
+                for seed in range(6)
+            ]
+            await asyncio.sleep(0)  # let every admit reach its queue
+            await frontend.stop()
+            return await asyncio.gather(*pending)
+
+        decisions = asyncio.run(run())
+        assert len(decisions) == 6
+        assert all(d is not None for d in decisions)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"queue_capacity": 0},
+            {"executor": "fiber"},
+            {"workers_per_shard": 0},
+            {"cache_backend": "redis"},
+            {"job_timeout": 0.0},
+            {"max_retries": -1},
+            {"retry_backoff": -0.1},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FrontendConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"rate": 0.0}, {"rate": -1.0}, {"rate": 1.0, "burst": 0.0}],
+    )
+    def test_bad_quota_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TenantQuota(**{"burst": 8.0, **kwargs})
+
+
+class TestObservability:
+    def test_describe_includes_every_shard(self):
+        requests = [_request(seed) for seed in range(4)]
+
+        async def run():
+            async with AdmissionFrontend(
+                FrontendConfig(shards=3)
+            ) as fe:
+                for request in requests:
+                    await fe.admit(request)
+                return fe.describe(), fe.queue_depths()
+
+        description, depths = asyncio.run(run())
+        for index in range(3):
+            assert f"shard {index}:" in description
+        assert depths == [0, 0, 0]
+
+    def test_snapshot_shape(self):
+        decisions, snapshot = _admit_all(
+            FrontendConfig(shards=2), [_request(1)]
+        )
+        assert set(snapshot) == {
+            "aggregate",
+            "shards",
+            "queue_depths",
+            "cache",
+        }
+        assert len(snapshot["shards"]) == 2
+        assert "latency_p999" in snapshot["aggregate"]
+
+
+class TestTcpServer:
+    def test_round_trip_and_error_lines(self):
+        async def run():
+            async with AdmissionFrontend(
+                FrontendConfig(shards=2)
+            ) as fe:
+                server = await serve_frontend(fe, port=0)
+                port = server.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                request = _request(1, "tcp-1")
+                writer.write(
+                    (json.dumps(request_to_dict(request)) + "\n").encode()
+                )
+                writer.write(b"this is not json\n")
+                writer.write(b"\n")  # blank lines are skipped
+                writer.write(
+                    (json.dumps(request_to_dict(request)) + "\n").encode()
+                )
+                await writer.drain()
+                lines = [await reader.readline() for _ in range(3)]
+                writer.close()
+                server.close()
+                await server.wait_closed()
+                return [json.loads(line) for line in lines]
+
+        decision_doc, error_doc, second_doc = asyncio.run(run())
+        assert decision_doc["request_id"] == "tcp-1"
+        assert decision_doc["admitted"] == compute_decision(
+            _request(1, "tcp-1")
+        ).admitted
+        assert "error" in error_doc
+        assert second_doc["key"] == decision_doc["key"]

@@ -1,0 +1,202 @@
+"""The load generator: reproducibility, modes, and the determinism
+property -- the same seeded campaign produces the same decisions no
+matter how the service is deployed (shards, workers, executor, cache
+backend)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.service.frontend import FrontendConfig, TenantQuota
+from repro.service.loadgen import (
+    LoadgenConfig,
+    build_requests,
+    decision_digest,
+    run_campaign,
+)
+
+#: One small campaign reused across the deployment-shape property: big
+#: enough to exercise hits, misses and cross-shard routing, small
+#: enough to run many deployment shapes in seconds.
+SMALL = LoadgenConfig(requests=30, systems=6, seed=11, concurrency=4)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"requests": 0},
+            {"systems": 0},
+            {"mode": "warp"},
+            {"concurrency": 0},
+            {"arrival_rate": -1.0},
+            {"tenants": ()},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LoadgenConfig(**kwargs)
+
+
+class TestRequestPopulation:
+    def test_same_seed_same_population(self):
+        a = build_requests(SMALL)
+        b = build_requests(SMALL)
+        assert [r.request_id for r in a] == [r.request_id for r in b]
+        assert [r.system.name for r in a] == [r.system.name for r in b]
+
+    def test_different_seed_different_population(self):
+        a = build_requests(SMALL)
+        b = build_requests(
+            LoadgenConfig(requests=30, systems=6, seed=12)
+        )
+        assert [r.system.name for r in a] != [
+            r.system.name for r in b
+        ]
+
+    def test_population_size_and_distinct_contents(self):
+        requests = build_requests(SMALL)
+        assert len(requests) == 30
+        assert len({r.system.name for r in requests}) <= 6
+
+    def test_tenants_are_assigned(self):
+        config = LoadgenConfig(
+            requests=40, systems=4, seed=0, tenants=("a", "b")
+        )
+        tenants = {r.tenant for r in build_requests(config)}
+        assert tenants == {"a", "b"}
+
+
+class TestCampaigns:
+    def test_closed_loop_serves_everything(self):
+        report = run_campaign(SMALL, FrontendConfig(shards=2))
+        assert report.issued == 30
+        assert report.served == 30
+        assert report.shed == 0
+        assert report.rps > 0
+        assert report.latency_p50 <= report.latency_p999
+        assert report.admitted + report.rejected == 30
+
+    def test_open_loop_poisson(self):
+        config = LoadgenConfig(
+            requests=20,
+            systems=5,
+            seed=3,
+            mode="open",
+            arrival_rate=5000.0,
+        )
+        report = run_campaign(config, FrontendConfig(shards=2))
+        assert report.served + report.shed == 20
+
+    def test_mixed_mode(self):
+        config = LoadgenConfig(
+            requests=20,
+            systems=5,
+            seed=3,
+            mode="mixed",
+            concurrency=2,
+            arrival_rate=5000.0,
+        )
+        report = run_campaign(config, FrontendConfig(shards=2))
+        assert report.served == 20
+
+    def test_quota_sheds_show_up_in_report(self):
+        config = LoadgenConfig(
+            requests=10, systems=5, seed=0, concurrency=1
+        )
+        report = run_campaign(
+            config,
+            FrontendConfig(
+                shards=1,
+                default_quota=TenantQuota(rate=0.001, burst=3),
+            ),
+        )
+        assert report.shed == 7
+        assert report.served == 3
+
+    def test_render_mentions_the_essentials(self):
+        report = run_campaign(SMALL, FrontendConfig(shards=1))
+        text = report.render()
+        assert "issued" in text
+        assert "p999" in text
+        assert "digest:" in text
+        assert "req/s" in text
+
+
+class TestDeterminismProperty:
+    """Same seed + requests => identical decisions, any deployment."""
+
+    REFERENCE = None  # computed once, lazily
+
+    @classmethod
+    def _reference_digest(cls) -> str:
+        if cls.REFERENCE is None:
+            cls.REFERENCE = run_campaign(
+                SMALL, FrontendConfig(shards=1)
+            ).digest
+        return cls.REFERENCE
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        shards=st.integers(min_value=1, max_value=5),
+        workers=st.integers(min_value=1, max_value=3),
+        backend=st.sampled_from(["memory", "sqlite", None]),
+        mode=st.sampled_from(["closed", "mixed"]),
+    )
+    def test_digest_is_deployment_invariant(
+        self, shards, workers, backend, mode
+    ):
+        campaign = LoadgenConfig(
+            requests=30,
+            systems=6,
+            seed=11,
+            concurrency=4,
+            mode=mode,
+            arrival_rate=50000.0,
+        )
+        report = run_campaign(
+            campaign,
+            FrontendConfig(
+                shards=shards,
+                workers_per_shard=workers,
+                cache_backend=backend,
+            ),
+        )
+        assert report.shed == 0  # precondition: nothing timing-shed
+        assert report.digest == self._reference_digest()
+
+    def test_digest_differs_for_different_campaign(self):
+        other = LoadgenConfig(
+            requests=30, systems=6, seed=999, concurrency=4
+        )
+        report = run_campaign(other, FrontendConfig(shards=1))
+        assert report.digest != self._reference_digest()
+
+    def test_digest_excludes_sheds(self):
+        # A shedding deployment still digests only the served subset;
+        # served decisions are the deterministic part.
+        config = LoadgenConfig(
+            requests=10, systems=5, seed=0, concurrency=1
+        )
+        quota = run_campaign(
+            config,
+            FrontendConfig(
+                shards=1,
+                default_quota=TenantQuota(rate=0.001, burst=3),
+            ),
+        )
+        assert quota.shed > 0
+        # Recomputing the digest from the report's own notion matches.
+        assert len(quota.digest) == 64
+
+    def test_decision_digest_orders_by_request_id(self):
+        requests = build_requests(SMALL)
+        from repro.service.engine import compute_decision
+
+        decisions = [compute_decision(r) for r in requests]
+        forward = decision_digest(list(decisions))
+        backward = decision_digest(list(reversed(decisions)))
+        assert forward == backward

@@ -95,3 +95,52 @@ class TestServiceMetrics:
         metrics = ServiceMetrics()
         metrics.record(admitted=True, cache_hit=False, latency=0.002)
         assert "ms" in metrics.describe()
+
+
+class TestServiceCounters:
+    """The frontend-era counters: shed, coalesced, pool rebuilds, p999."""
+
+    def test_shed_is_not_a_served_request(self):
+        metrics = ServiceMetrics()
+        metrics.record(admitted=True, cache_hit=False, latency=0.001)
+        metrics.record_shed()
+        metrics.record_shed()
+        snap = metrics.snapshot()
+        assert snap["requests"] == 1
+        assert snap["shed"] == 2
+
+    def test_coalesced_and_pool_rebuild_counters(self):
+        metrics = ServiceMetrics()
+        metrics.record_coalesced()
+        metrics.record_pool_rebuild()
+        snap = metrics.snapshot()
+        assert snap["coalesced"] == 1
+        assert snap["pool_rebuilds"] == 1
+
+    def test_p999_present_and_ordered(self):
+        metrics = ServiceMetrics()
+        for i in range(1000):
+            metrics.record(
+                admitted=True, cache_hit=False, latency=i / 1000.0
+            )
+        snap = metrics.snapshot()
+        assert (
+            snap["latency_p50"]
+            <= snap["latency_p99"]
+            <= snap["latency_p999"]
+            <= snap["latency_max"]
+        )
+        assert "p999" in metrics.describe()
+
+    def test_describe_backpressure_line_only_when_active(self):
+        quiet = ServiceMetrics()
+        quiet.record(admitted=True, cache_hit=False, latency=0.001)
+        assert "backpressure" not in quiet.describe()
+        busy = ServiceMetrics()
+        busy.record_shed()
+        assert "backpressure: 1 shed" in busy.describe()
+
+    def test_describe_robustness_line_includes_rebuilds(self):
+        metrics = ServiceMetrics()
+        metrics.record_pool_rebuild()
+        assert "1 pool rebuild(s)" in metrics.describe()

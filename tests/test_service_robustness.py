@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import functools
 import multiprocessing
+import os
 import time
 
 import pytest
@@ -63,6 +64,42 @@ def _raise_job(request_id, payload):
 
 def _hang_on(request_id: str, seconds: float = 5.0):
     return functools.partial(_hang_job, request_id, seconds)
+
+
+def _crash_once_job(flag_path, request_id, payload):
+    """Kill the worker process the first time ``request_id`` is seen.
+
+    The flag file is the cross-process "already crashed" bit: the
+    first worker to run the job dies with ``os._exit`` (taking the
+    whole pool with it -- ``BrokenProcessPool``); the retry, on the
+    rebuilt pool, finds the flag and computes normally.
+    """
+    key, request = payload
+    if request.request_id == request_id and not os.path.exists(flag_path):
+        with open(flag_path, "w"):
+            pass
+        os._exit(1)
+    return _real_compute_job(payload)
+
+
+def _always_crash_job(request_id, payload):
+    key, request = payload
+    if request.request_id == request_id:
+        os._exit(1)
+    return _real_compute_job(payload)
+
+
+def _flaky_once_then_hang(flag_path, request_id, seconds, payload):
+    """``request_id`` raises on first sight; everyone else naps."""
+    key, request = payload
+    if request.request_id == request_id:
+        if not os.path.exists(flag_path):
+            with open(flag_path, "w"):
+                pass
+            raise RuntimeError("staged transient failure")
+        return _real_compute_job(payload)
+    time.sleep(seconds)
+    return _real_compute_job(payload)
 
 
 class TestValidation:
@@ -221,6 +258,136 @@ class TestRetries:
         assert not by_id["r1"].rationale.startswith("service degraded:")
         assert metrics.snapshot()["retries"] == 1
         assert metrics.snapshot()["degraded"] == 1
+
+
+class TestBrokenPool:
+    """Regression: a pool break must not bill the stranded jobs.
+
+    Pre-fix, ``BrokenProcessPool`` surfaced as an ordinary job failure
+    for *every* job queued or in flight on the dead pool, burning one
+    retry attempt each -- with ``max_retries=0`` a single worker crash
+    degraded the whole batch.  Post-fix the pool is rebuilt once per
+    break and the stranded jobs resubmit at their current attempt.
+    """
+
+    def test_one_crash_degrades_nothing(self, monkeypatch, tmp_path):
+        flag = tmp_path / "crashed"
+        monkeypatch.setattr(
+            batch_module,
+            "_compute_job",
+            functools.partial(_crash_once_job, str(flag), "r0"),
+        )
+        metrics = ServiceMetrics()
+        decisions = admit_batch(
+            _requests(4),
+            workers=2,
+            metrics=metrics,
+            max_retries=0,  # pre-fix: any break means degradation
+            retry_backoff=0.0,
+        )
+        assert flag.exists()  # the crash really happened
+        assert all(
+            not d.rationale.startswith("service degraded:")
+            for d in decisions
+        )
+        snapshot = metrics.snapshot()
+        assert snapshot["pool_rebuilds"] >= 1
+        assert snapshot["degraded"] == 0
+        assert "pool rebuild" in metrics.describe()
+
+    def test_pool_killer_eventually_fails_closed(self, monkeypatch):
+        # A job that kills every pool it rides must not rebuild forever:
+        # after max_retries + 1 breaks it is treated as the culprit.
+        monkeypatch.setattr(
+            batch_module,
+            "_compute_job",
+            functools.partial(_always_crash_job, "r0"),
+        )
+        metrics = ServiceMetrics()
+        decisions = admit_batch(
+            _requests(3),
+            workers=2,
+            metrics=metrics,
+            max_retries=0,
+            retry_backoff=0.0,
+        )
+        by_id = {d.request_id: d for d in decisions}
+        assert by_id["r0"].rationale.startswith("service degraded:")
+        assert "worker pool broke" in by_id["r0"].rationale
+        # Innocent bystanders still got real verdicts.
+        for rid in ("r1", "r2"):
+            assert not by_id[rid].rationale.startswith(
+                "service degraded:"
+            )
+        assert metrics.snapshot()["pool_rebuilds"] >= 2
+
+    def test_crash_survivors_are_cached_and_deterministic(
+        self, monkeypatch, tmp_path
+    ):
+        flag = tmp_path / "crashed"
+        monkeypatch.setattr(
+            batch_module,
+            "_compute_job",
+            functools.partial(_crash_once_job, str(flag), "r1"),
+        )
+        cache = DecisionCache()
+        requests = _requests(3)
+        survived = admit_batch(
+            requests, workers=2, cache=cache, max_retries=0
+        )
+        monkeypatch.setattr(
+            batch_module, "_compute_job", _real_compute_job
+        )
+        healthy = admit_batch(requests, workers=2)
+        assert survived == healthy
+        assert all(cache.get(d.key) is not None for d in survived)
+
+
+class TestSchedulerWakeup:
+    """Regression: no oversleep past a backoff deadline, no busy-wait."""
+
+    def test_retry_under_load_stays_bounded_without_spinning(
+        self, monkeypatch, tmp_path
+    ):
+        # r0 fails once and backs off 0.2 s while r1/r2 occupy both
+        # workers for ~0.6 s.  The scheduler must neither oversleep
+        # (pre-fix: an expired backoff instant was dropped from the
+        # wakeup set, so the retry waited for the *next* event) nor
+        # busy-spin wait(timeout=0) while the window is full.
+        monkeypatch.setattr(
+            batch_module,
+            "_compute_job",
+            functools.partial(
+                _flaky_once_then_hang,
+                str(tmp_path / "failed"),
+                "r0",
+                0.6,
+            ),
+        )
+        real_wait = batch_module.wait
+        wait_calls: list = []
+
+        def counting_wait(futures, timeout=None, return_when=None):
+            wait_calls.append(timeout)
+            return real_wait(
+                futures, timeout=timeout, return_when=return_when
+            )
+
+        monkeypatch.setattr(batch_module, "wait", counting_wait)
+        started = time.monotonic()
+        decisions = admit_batch(
+            _requests(3),
+            workers=2,
+            max_retries=1,
+            retry_backoff=0.2,
+        )
+        elapsed = time.monotonic() - started
+        by_id = {d.request_id: d for d in decisions}
+        assert not by_id["r0"].rationale.startswith("service degraded:")
+        assert elapsed < 5.0  # no oversleep into the pool teardown
+        # A handful of scheduler turns, not a zero-timeout spin loop.
+        assert len(wait_calls) < 25
+        assert sum(1 for t in wait_calls if t == 0.0) <= 2
 
 
 class TestControllerPassthrough:

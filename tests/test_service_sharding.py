@@ -1,0 +1,95 @@
+"""The consistent-hash ring: determinism, balance, minimal movement."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.hashing import request_key
+from repro.service.requests import AdmissionRequest
+from repro.service.sharding import ShardRing
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+
+def _keys(count: int) -> list[str]:
+    # Shape-realistic keys: hex digests, like request_key produces.
+    return [
+        hashlib.sha256(f"key-{i}".encode()).hexdigest()
+        for i in range(count)
+    ]
+
+
+class TestRouting:
+    def test_routing_is_deterministic_across_instances(self):
+        keys = _keys(200)
+        a, b = ShardRing(4), ShardRing(4)
+        assert [a.shard_for(k) for k in keys] == [
+            b.shard_for(k) for k in keys
+        ]
+
+    def test_single_shard_owns_everything(self):
+        ring = ShardRing(1)
+        assert all(ring.shard_for(k) == 0 for k in _keys(50))
+
+    def test_every_shard_gets_a_share(self):
+        ring = ShardRing(4)
+        distribution = ring.distribution(_keys(2000))
+        assert set(distribution) == {0, 1, 2, 3}
+        assert all(count > 0 for count in distribution.values())
+        # Virtual nodes keep the split reasonably even.
+        assert max(distribution.values()) < 3 * min(
+            distribution.values()
+        )
+
+    def test_real_request_keys_route(self):
+        config = WorkloadConfig(
+            subtasks_per_task=2, utilization=0.5, tasks=3, processors=2
+        )
+        ring = ShardRing(3)
+        for seed in range(8):
+            key = request_key(
+                AdmissionRequest(system=generate_system(config, seed))
+            )
+            assert 0 <= ring.shard_for(key) < 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardRing(0)
+        with pytest.raises(ConfigurationError):
+            ShardRing(2, replicas=0)
+
+
+class TestResizeStability:
+    def test_growing_by_one_moves_about_its_share(self):
+        keys = _keys(4000)
+        moved = ShardRing.moved_fraction(
+            ShardRing(4), ShardRing(5), keys
+        )
+        # Ideal is 1/5; consistent hashing should stay in the same
+        # ballpark, nowhere near the ~4/5 of hash(key) % N.
+        assert moved < 0.40
+
+    def test_modulo_routing_would_fail_this(self):
+        keys = _keys(4000)
+        moved = sum(
+            1
+            for k in keys
+            if int(k[:16], 16) % 4 != int(k[:16], 16) % 5
+        ) / len(keys)
+        assert moved > 0.70  # the baseline the ring exists to beat
+
+    def test_same_size_rings_move_nothing(self):
+        keys = _keys(500)
+        assert (
+            ShardRing.moved_fraction(ShardRing(3), ShardRing(3), keys)
+            == 0.0
+        )
+
+    def test_moved_fraction_empty_keys(self):
+        assert (
+            ShardRing.moved_fraction(ShardRing(2), ShardRing(3), [])
+            == 0.0
+        )
