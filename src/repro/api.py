@@ -30,6 +30,8 @@ __all__ = [
     "admit",
     "admit_many",
     "admit_service",
+    "sensitivity",
+    "region",
     "fuzz_once",
 ]
 
@@ -189,6 +191,80 @@ def admit_service(
             return [await frontend.admit(r) for r in requests]
 
     return asyncio.run(run())
+
+
+def sensitivity(
+    system: System,
+    analyses: tuple[str, ...] = ("SA/PM", "SA/DS"),
+    *,
+    tolerance: float = 1e-3,
+    max_factor: float = 16.0,
+    sa_ds_max_iterations: int = 60,
+) -> dict[str, float]:
+    """Breakdown execution-time scaling per analysis, in one call.
+
+    Returns ``{analysis: factor}`` where ``factor`` is the largest
+    uniform execution-time scaling keeping the system certifiable under
+    that analysis (see
+    :func:`repro.core.analysis.sensitivity.breakdown_scaling`).  A
+    factor above 1 is headroom, below 1 relative overload; the SA/PM
+    versus SA/DS gap prices the protocol choice in processor-capacity
+    terms.  Systems with critical sections are priced with the
+    blocking-aware analyses automatically.
+    """
+    from repro.core.analysis.sensitivity import breakdown_scaling
+
+    return {
+        analysis: breakdown_scaling(
+            system,
+            analysis,
+            tolerance=tolerance,
+            max_factor=max_factor,
+            sa_ds_max_iterations=sa_ds_max_iterations,
+        )
+        for analysis in analyses
+    }
+
+
+def region(
+    system: System,
+    *,
+    timebase: str | None = None,
+    tolerance=None,
+    max_factor=None,
+    ascent_rounds: int = 1,
+    **options,
+):
+    """Compute the system's feasibility region, in one call.
+
+    ``options`` are :class:`~repro.service.requests.AdmissionRequest`
+    fields (``protocols``, ``shared_resources``, ...); they decide which
+    analyses the region must cover.  Returns a
+    :class:`~repro.regions.region.FeasibilityRegion` whose per-analysis
+    corners span the verified inner box: any execution vector
+    componentwise below a corner is certifiably schedulable under that
+    analysis (see :mod:`repro.regions`).  Repeated admission against one
+    shape should enable the region tier on an
+    :class:`~repro.service.engine.AdmissionController` instead
+    (``region_backend=``), which serves in-box requests analysis-free
+    and attaches per-dimension sensitivity ``margins`` to decisions.
+    """
+    from repro.regions.compute import (
+        DEFAULT_MAX_FACTOR,
+        DEFAULT_TOLERANCE,
+        compute_region,
+    )
+    from repro.service.requests import AdmissionRequest
+
+    return compute_region(
+        AdmissionRequest(system=system, **options),
+        timebase=timebase,
+        tolerance=tolerance if tolerance is not None else DEFAULT_TOLERANCE,
+        max_factor=(
+            max_factor if max_factor is not None else DEFAULT_MAX_FACTOR
+        ),
+        ascent_rounds=ascent_rounds,
+    )
 
 
 def fuzz_once(

@@ -20,6 +20,14 @@ Subcommands
 ``admit-bench``
     Self-benchmark of the admission service: cold vs warm cache
     throughput on a synthetic batch.
+``sensitivity``
+    Breakdown execution-time scaling: the largest uniform factor by
+    which all execution times can grow (or must shrink) while the
+    system stays certifiable, per analysis.
+``regions``
+    Compute and print a system's parametric feasibility region: one
+    verified per-subtask inner box per analysis (the structure the
+    service's ``--region-backend`` tier serves O(1) admissions from).
 ``fuzz``
     Differential conformance fuzzing: seeded random systems through all
     four protocols, judged by the paper-derived oracle registry, with
@@ -341,6 +349,29 @@ def _add_admission_options(parser: argparse.ArgumentParser) -> None:
         "--stats", action="store_true",
         help="print service metrics and cache stats to stderr",
     )
+    _add_region_options(parser)
+
+
+def _add_region_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--region-backend", choices=("memory", "sqlite"), default=None,
+        help="enable the feasibility-region tier above the decision "
+        "cache: repeat-shape admissions are served analysis-free from "
+        "precomputed regions (default: off)",
+    )
+    parser.add_argument(
+        "--region-capacity", type=int, default=1024,
+        help="region-store capacity in shapes (default: 1024)",
+    )
+    parser.add_argument(
+        "--region-file", default=None,
+        help="region-store path (JSONL for memory, database for sqlite)",
+    )
+    parser.add_argument(
+        "--region-build-threshold", type=int, default=2,
+        help="direct computations of one shape before its region is "
+        "built (default: 2)",
+    )
 
 
 def _admission_options(args: argparse.Namespace) -> dict:
@@ -359,10 +390,41 @@ def _admission_options(args: argparse.Namespace) -> dict:
 
 
 def _make_controller(args: argparse.Namespace) -> AdmissionController:
+    region_kwargs = {
+        "region_backend": args.region_backend,
+        "region_capacity": args.region_capacity,
+        "region_path": args.region_file,
+        "region_build_threshold": args.region_build_threshold,
+    }
     if args.no_cache:
-        return AdmissionController(enable_cache=False)
+        return AdmissionController(enable_cache=False, **region_kwargs)
     cache = DecisionCache(capacity=args.cache_size, path=args.cache_file)
-    return AdmissionController(cache=cache)
+    return AdmissionController(cache=cache, **region_kwargs)
+
+
+def _run_admissions(
+    controller: AdmissionController,
+    requests: list[AdmissionRequest],
+    args: argparse.Namespace,
+    *,
+    progress=None,
+) -> list:
+    """Batch over the pool, or in-process when the region tier is on.
+
+    The region tier lives in the controller's process; the batch path
+    computes misses in pool workers that cannot observe or consult it,
+    so enabling ``--region-backend`` switches to sequential in-process
+    admission (where shape reuse, not parallelism, is the speedup).
+    """
+    if controller.regions is None:
+        return controller.admit_batch(
+            requests,
+            workers=args.workers,
+            progress=progress,
+            job_timeout=args.job_timeout,
+            max_retries=args.max_retries,
+        )
+    return [controller.admit(request) for request in requests]
 
 
 def _load_admit_requests(
@@ -417,12 +479,11 @@ def _cmd_admit(args: argparse.Namespace) -> int:
         ]
     else:
         requests = _load_admit_requests(args.jsonl, options)
-    decisions = controller.admit_batch(
+    decisions = _run_admissions(
+        controller,
         requests,
-        workers=args.workers,
+        args,
         progress=_progress if args.jsonl is not None else None,
-        job_timeout=args.job_timeout,
-        max_retries=args.max_retries,
     )
     if args.out is not None:
         save_decisions_jsonl(decisions, args.out)
@@ -460,10 +521,10 @@ def _cmd_admit_bench(args: argparse.Namespace) -> int:
     ]
     controller = _make_controller(args)
     started = time.perf_counter()
-    cold = controller.admit_batch(requests, workers=args.workers)
+    cold = _run_admissions(controller, requests, args)
     cold_seconds = time.perf_counter() - started
     started = time.perf_counter()
-    warm = controller.admit_batch(requests, workers=args.workers)
+    warm = _run_admissions(controller, requests, args)
     warm_seconds = time.perf_counter() - started
     if [d.protocol for d in cold] != [d.protocol for d in warm]:
         print("admit-bench: warm decisions diverged!", file=sys.stderr)
@@ -489,6 +550,100 @@ def _cmd_admit_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _system_from_args(args: argparse.Namespace, command: str):
+    """The ``--load FILE`` / ``--n --u`` system-source convention."""
+    if args.load is not None:
+        return load_system(args.load)
+    if args.n is None or args.u is None:
+        print(
+            f"{command}: need --n and --u (or --load FILE)",
+            file=sys.stderr,
+        )
+        return None
+    config = WorkloadConfig(
+        subtasks_per_task=args.n,
+        utilization=args.u,
+        tasks=args.tasks,
+        processors=args.processors,
+    )
+    return generate_system(config, args.seed)
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.api import sensitivity
+
+    system = _system_from_args(args, "sensitivity")
+    if system is None:
+        return 2
+    factors = sensitivity(
+        system,
+        analyses=tuple(args.analyses),
+        tolerance=args.tolerance,
+        max_factor=args.max_factor,
+        sa_ds_max_iterations=args.sa_ds_max_iterations,
+    )
+    print(f"breakdown scaling for {system.name}:")
+    for analysis, factor in factors.items():
+        if factor <= 0:
+            verdict = "unschedulable at any resolvable scale"
+        elif factor >= 1:
+            verdict = f"{(factor - 1) * 100:.1f}% execution-time headroom"
+        else:
+            verdict = (
+                f"needs executions scaled below {factor * 100:.1f}% "
+                "to certify"
+            )
+        print(f"  {analysis}: factor {factor:.4g} ({verdict})")
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(factors, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote factors JSON to {args.json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_regions(args: argparse.Namespace) -> int:
+    from repro.regions import compute_region, execution_vector, region_to_dict
+
+    system = _system_from_args(args, "regions")
+    if system is None:
+        return 2
+    request = AdmissionRequest(
+        system=system,
+        protocols=tuple(args.protocols),
+        synchronized_clocks=not args.unsynchronized_clocks,
+        shared_resources=args.shared_resources,
+        clock_rate_bound=args.clock_rate_bound,
+        clock_jump_bound=args.clock_jump_bound,
+        sa_ds_max_iterations=args.sa_ds_max_iterations,
+    )
+    region = compute_region(
+        request,
+        timebase=args.timebase,
+        tolerance=args.tolerance,
+        max_factor=args.max_factor,
+        ascent_rounds=args.ascent_rounds,
+    )
+    print(region.describe())
+    point = tuple(float(e) for e in execution_vector(system))
+    for analysis in region.analyses:
+        margins = region.margins(analysis, point)
+        if margins is None:
+            continue
+        rendered = ", ".join(
+            f"{name}+{margin:g}"
+            for name, margin in zip(region.dimensions, margins)
+        )
+        print(f"  {analysis} margins at the request point: {rendered}")
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(region_to_dict(region), indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"wrote region JSON to {args.json}", file=sys.stderr)
+    return 0
+
+
 def _frontend_config(args: argparse.Namespace):
     from repro.service.frontend import FrontendConfig, TenantQuota
 
@@ -506,6 +661,10 @@ def _frontend_config(args: argparse.Namespace):
         default_quota=quota,
         job_timeout=args.job_timeout,
         max_retries=args.max_retries,
+        region_backend=args.region_backend,
+        region_capacity=args.region_capacity,
+        region_path=args.region_file,
+        region_build_threshold=args.region_build_threshold,
     )
 
 
@@ -558,6 +717,7 @@ def _add_frontend_options(parser: argparse.ArgumentParser) -> None:
         "--max-retries", type=int, default=2,
         help="retries per failed/timed-out decision (default: 2)",
     )
+    _add_region_options(parser)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -873,6 +1033,102 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="base seed")
     _add_admission_options(p)
     p.set_defaults(handler=_cmd_admit_bench)
+
+    p = subparsers.add_parser(
+        "sensitivity",
+        help="breakdown execution-time scaling per analysis",
+    )
+    p.add_argument(
+        "--load", default=None, help="analyze a saved system JSON"
+    )
+    p.add_argument("--n", type=int, default=None, help="subtasks per task")
+    p.add_argument("--u", type=float, default=None, help="utilization")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tasks", type=int, default=12)
+    p.add_argument("--processors", type=int, default=4)
+    p.add_argument(
+        "--analyses", nargs="+", choices=("SA/PM", "SA/DS"),
+        default=["SA/PM", "SA/DS"],
+        help="analyses to price (default: both)",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=1e-3,
+        help="bisection resolution on the factor (default: 1e-3)",
+    )
+    p.add_argument(
+        "--max-factor", type=float, default=16.0,
+        help="upper cap on the searched factor (default: 16)",
+    )
+    p.add_argument(
+        "--sa-ds-max-iterations", type=int, default=60,
+        help="SA/DS fixed-point iteration budget per probe (default: 60)",
+    )
+    p.add_argument(
+        "--json", default=None, help="write the factors as JSON"
+    )
+    p.set_defaults(handler=_cmd_sensitivity)
+
+    p = subparsers.add_parser(
+        "regions",
+        help="compute a system's parametric feasibility region",
+    )
+    p.add_argument(
+        "--load", default=None, help="use a saved system JSON"
+    )
+    p.add_argument("--n", type=int, default=None, help="subtasks per task")
+    p.add_argument("--u", type=float, default=None, help="utilization")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tasks", type=int, default=12)
+    p.add_argument("--processors", type=int, default=4)
+    p.add_argument(
+        "--protocols", nargs="+", choices=("DS", "PM", "MPM", "RG"),
+        default=["DS", "PM", "MPM", "RG"],
+        help="protocols the region must cover (default: all four)",
+    )
+    p.add_argument(
+        "--unsynchronized-clocks", action="store_true",
+        help="the platform's clocks are not synchronized (excludes PM)",
+    )
+    p.add_argument(
+        "--shared-resources", action="store_true",
+        help="probe with the blocking-aware analyses",
+    )
+    p.add_argument(
+        "--clock-rate-bound", type=float, default=0.0,
+        help="max clock drift rate; probes with the skew-inflated "
+        "analysis",
+    )
+    p.add_argument(
+        "--clock-jump-bound", type=float, default=0.0,
+        help="max clock resynchronization step",
+    )
+    p.add_argument(
+        "--sa-ds-max-iterations", type=int, default=300,
+        help="SA/DS fixed-point iteration budget per probe (paper: 300)",
+    )
+    p.add_argument(
+        "--timebase", choices=("float", "exact"), default="float",
+        help="arithmetic backend; 'exact' yields exact rational "
+        "boundaries",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=1 / 64,
+        help="relative boundary resolution (default: 1/64)",
+    )
+    p.add_argument(
+        "--max-factor", type=float, default=16.0,
+        help="per-dimension growth cap as a multiple of the request's "
+        "execution times (default: 16)",
+    )
+    p.add_argument(
+        "--ascent-rounds", type=int, default=1,
+        help="coordinate-ascent sweeps after the uniform seed "
+        "(0 = uniform box only; default: 1)",
+    )
+    p.add_argument(
+        "--json", default=None, help="write the region as JSON"
+    )
+    p.set_defaults(handler=_cmd_regions)
 
     p = subparsers.add_parser(
         "serve",

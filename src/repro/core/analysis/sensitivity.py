@@ -28,16 +28,45 @@ from repro.timebase import ABS_EPS
 __all__ = ["scale_execution_times", "breakdown_scaling"]
 
 
+def _scale_subtask(stage, factor):
+    """One subtask with execution time *and* critical sections scaled.
+
+    Critical sections are intervals of the subtask's own execution, so
+    they must scale with it: leaving them fixed would reject any
+    downscaling outright (a section ending beyond the shrunken
+    execution time is a model error) and silently under-scale the
+    blocking terms on upscaling, breaking the proportionality the
+    breakdown search relies on.  The end offset is clamped against the
+    scaled execution time to absorb the one-ulp float rounding of
+    ``start*f + duration*f`` versus ``end*f``.
+    """
+    execution_time = stage.execution_time * factor
+    sections = []
+    for section in stage.critical_sections:
+        start = section.start * factor
+        duration = section.duration * factor
+        if start + duration > execution_time:
+            duration = execution_time - start
+        sections.append(replace(section, start=start, duration=duration))
+    return replace(
+        stage,
+        execution_time=execution_time,
+        critical_sections=tuple(sections),
+    )
+
+
 def scale_execution_times(system: System, factor: float) -> System:
-    """A copy of ``system`` with every execution time multiplied."""
+    """A copy of ``system`` with every execution time multiplied.
+
+    Critical sections scale proportionally with their subtask, so a
+    lock-aware system stays a valid model at every factor and the
+    blocking-aware analyses see consistently scaled contention.
+    """
     if factor <= 0:
         raise ConfigurationError(f"factor must be > 0, got {factor!r}")
     return system.with_tasks(
         task.with_subtasks(
-            tuple(
-                replace(stage, execution_time=stage.execution_time * factor)
-                for stage in task.subtasks
-            )
+            tuple(_scale_subtask(stage, factor) for stage in task.subtasks)
         )
         for task in system.tasks
     )
@@ -46,6 +75,18 @@ def scale_execution_times(system: System, factor: float) -> System:
 def _schedulable(system: System, analysis: str, sa_ds_max_iterations: int) -> bool:
     if system.max_utilization >= 1.0 - ABS_EPS:
         return False
+    if system.has_critical_sections:
+        # Sectioned systems are certified by the blocking-aware
+        # variants (exactly the base analyses on section-free input),
+        # so the breakdown factor prices the same verdict the
+        # admission service actually uses.
+        from repro.locks import analyze_sa_ds_blocking, analyze_sa_pm_blocking
+
+        if analysis == "SA/DS":
+            return analyze_sa_ds_blocking(
+                system, max_iterations=sa_ds_max_iterations
+            ).schedulable
+        return analyze_sa_pm_blocking(system).schedulable
     if analysis == "SA/DS":
         return analyze_sa_ds(
             system, max_iterations=sa_ds_max_iterations

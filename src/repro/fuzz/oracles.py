@@ -84,6 +84,13 @@ The catalog (paper references in each oracle's ``reference``):
     resource, release only by the holder), and progress (a free
     resource never sits idle while requests wait -- waiters are either
     granted at the release instant or cut off by the horizon).
+``region-soundness``
+    The parametric feasibility region (:mod:`repro.regions`) is an
+    *inner* approximation: every point the region tier would serve --
+    the verified corner, interior points, the request's own execution
+    vector -- is confirmed schedulable by the direct analysis the
+    admission service runs; exact-timebase corners are exact rationals
+    and the JSON round-trip is lossless.
 ``batch-vs-reference-identity``
     On the batch engine's declared domain (float timebase, perfect
     clocks, no fault plane, no latency, no critical sections), every
@@ -787,6 +794,100 @@ def _check_batch_reference_identity(case: FuzzCase) -> list[str]:
 
 
 # ---------------------------------------------------------------------------
+# Region-subsystem conformance
+# ---------------------------------------------------------------------------
+
+#: Size gate for the region oracle: the coordinate ascent bisects once
+#: per dimension, so cap the dimensionality to keep per-case cost flat.
+REGION_MAX_DIMENSIONS = 24
+
+
+def _region_applies(case: FuzzCase) -> bool:
+    return len(case.system.subtask_ids) <= REGION_MAX_DIMENSIONS
+
+
+def _check_region_soundness(case: FuzzCase) -> list[str]:
+    """Feasibility-region claims vs the direct analyses (inner box).
+
+    Builds the case's region under the case's timebase with a coarse
+    search (the soundness claim is resolution-independent) and demands
+    that every point the region tier would serve analysis-free agrees
+    with the direct analysis dispatch the admission service runs: the
+    verified corner itself, its half-scale interior point, and -- when
+    covered -- the request's own execution vector.  Needs no simulation
+    results, so it applies to every case within the size gate.
+    """
+    from fractions import Fraction
+
+    from repro.regions import (
+        compute_region,
+        execution_vector,
+        probe_point,
+        region_from_dict,
+        region_to_dict,
+        system_at,
+    )
+    from repro.service.requests import AdmissionRequest
+
+    request = AdmissionRequest(
+        system=case.system,
+        shared_resources=not case.locks_free,
+    )
+    region = compute_region(
+        request,
+        timebase=case.timebase,
+        tolerance=1 / 8,
+        max_factor=4.0,
+        ascent_rounds=1,
+    )
+    issues = []
+    exact = case.timebase.exact
+    if exact:
+        for analysis, corner in region.corners.items():
+            for name, value in zip(
+                region.dimensions, corner or ()
+            ):
+                if isinstance(value, float):
+                    issues.append(
+                        f"{analysis}: exact-timebase corner component "
+                        f"{name}={value!r} is a float, not a rational"
+                    )
+    if region_from_dict(region_to_dict(region)) != region:
+        issues.append("region JSON round-trip is not lossless")
+    e0 = tuple(
+        case.timebase.convert(e)
+        for e in execution_vector(case.system)
+    )
+    half = Fraction(1, 2) if exact else 0.5
+    for analysis, corner in region.corners.items():
+        if corner is None:
+            continue
+        points = [
+            ("corner", corner),
+            ("half-scale interior point", tuple(u * half for u in corner)),
+        ]
+        if region.covers(analysis, e0):
+            points.append(("request execution vector", e0))
+        for label, point in points:
+            if not region.covers(analysis, point):
+                issues.append(
+                    f"{analysis}: {label} not covered by its own box"
+                )
+            elif not probe_point(
+                request,
+                analysis,
+                system_at(case.system, point),
+                case.timebase,
+            ):
+                issues.append(
+                    f"{analysis}: {label} is inside the verified box but "
+                    f"direct analysis judges it unschedulable -- the "
+                    f"region would serve an unsound ACCEPT"
+                )
+    return issues
+
+
+# ---------------------------------------------------------------------------
 # Exhaustive search vs analysis (small systems only)
 # ---------------------------------------------------------------------------
 
@@ -1001,6 +1102,14 @@ ORACLES: dict[str, Oracle] = {
             # which legitimately interrupts the request lifecycle.
             lambda case: not case.locks_free
             and (case.faults is None or not case.faults.crashes),
+        ),
+        Oracle(
+            "region-soundness",
+            "region-subsystem contract (docs/regions.md)",
+            "every point the feasibility region would serve "
+            "analysis-free is confirmed schedulable by direct analysis",
+            _check_region_soundness,
+            _region_applies,
         ),
         Oracle(
             "batch-vs-reference-identity",

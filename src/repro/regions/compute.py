@@ -1,0 +1,297 @@
+"""Region construction: monotone boundary search per dimension.
+
+This generalizes :func:`repro.core.analysis.sensitivity.breakdown_scaling`
+from one global scaling factor to a per-subtask box.  The search has
+two stages, both built on the same primitive -- *probe a concrete
+execution vector with the real analysis* (the exact analysis the
+admission service runs, blocking-aware when the request declares shared
+resources, skew-inflated when it declares a clock envelope):
+
+1. **Uniform bisection.**  Find the largest verified factor
+   ``lambda*`` such that ``lambda* * e0`` (the request's execution
+   vector scaled uniformly, critical sections included) is schedulable.
+   This is exactly the breakdown search, and seeds a verified corner.
+
+2. **Coordinate ascent.**  Grow one dimension at a time by bisection,
+   keeping every other dimension at its current corner value, and
+   accept a growth only when the *full* grown corner re-verifies
+   jointly.  Growing dimensions independently and combining the
+   per-face maxima would be unsound -- schedulability is monotone but
+   not separable (two subtasks on one processor can each grow alone but
+   not together); sequential joint verification keeps the invariant
+   that the current corner is always a directly verified point.
+
+Every probe is counted; the total lands in
+:attr:`~repro.regions.region.FeasibilityRegion.probes` so callers can
+report the build cost the region must amortize.
+
+Under the exact timebase the search bisects with ``Fraction``
+midpoints, so every boundary is an exact rational -- no float drift --
+and the default tolerance/cap are powers of two to keep denominators
+small.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.analysis.sa_ds import analyze_sa_ds
+from repro.core.analysis.sa_pm import analyze_sa_pm
+from repro.core.analysis.skew import analyze_sa_pm_skewed
+from repro.errors import ConfigurationError
+from repro.locks import analyze_sa_ds_blocking, analyze_sa_pm_blocking
+from repro.model.system import System
+from repro.regions.region import FeasibilityRegion
+from repro.regions.shape import (
+    dimension_names,
+    execution_vector,
+    shape_key,
+    system_at,
+)
+from repro.service.requests import AdmissionRequest
+from repro.timebase import ABS_EPS, Timebase, get_timebase
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_MAX_FACTOR",
+    "required_analyses",
+    "probe_point",
+    "compute_region",
+]
+
+#: Default relative resolution of the boundary search.  A power of two:
+#: exact in floats, and exact-timebase midpoints keep power-of-two
+#: denominators instead of growing arbitrary rationals.
+DEFAULT_TOLERANCE = 1 / 64
+
+#: Default cap on per-dimension growth, as a multiple of the request's
+#: own execution times (the breakdown search's historical ceiling).
+DEFAULT_MAX_FACTOR = 16.0
+
+
+def required_analyses(request: AdmissionRequest) -> tuple[str, ...]:
+    """The analyses the shape's protocol verdicts actually depend on.
+
+    Mirrors the certification gates of
+    :func:`repro.service.engine.compute_decision` at the shape level:
+    protocols whose verdict is already determined by the shape alone
+    (PM under unsynchronized or skewed clocks; MPM/RG under a skew
+    envelope on a sectioned system -- both always False) need no
+    analysis, so a shape requesting only such protocols yields an
+    *empty* requirement and a region that decides with zero probes.
+    """
+    skewed = bool(request.clock_rate_bound or request.clock_jump_bound)
+    resourceful = (
+        request.shared_resources and request.system.has_critical_sections
+    )
+    needed: list[str] = []
+    for protocol in request.protocols:
+        if protocol == "DS":
+            name = "SA/DS"
+        elif protocol == "PM":
+            if not request.synchronized_clocks or skewed:
+                continue
+            name = "SA/PM"
+        else:  # MPM / RG
+            if skewed and resourceful:
+                continue
+            name = "SA/PM-skew" if skewed else "SA/PM"
+        if name not in needed:
+            needed.append(name)
+    return tuple(needed)
+
+
+def probe_point(
+    request: AdmissionRequest,
+    analysis: str,
+    system: System,
+    timebase: Timebase,
+) -> bool:
+    """Run one direct analysis at a concrete point; True = schedulable.
+
+    This is the region's ground truth: the same analysis dispatch the
+    admission service uses, on the same timebase.  The utilization
+    screen is conservative in the sound direction (claiming
+    unschedulable only shrinks the region).
+    """
+    utilization = system.max_utilization
+    if timebase.exact:
+        if utilization >= 1:
+            return False
+    elif utilization >= 1.0 - ABS_EPS:
+        return False
+    if analysis == "SA/DS":
+        if request.shared_resources:
+            return analyze_sa_ds_blocking(
+                system,
+                max_iterations=request.sa_ds_max_iterations,
+                timebase=timebase,
+            ).schedulable
+        return analyze_sa_ds(
+            system,
+            max_iterations=request.sa_ds_max_iterations,
+            timebase=timebase,
+        ).schedulable
+    if analysis == "SA/PM":
+        if request.shared_resources:
+            return analyze_sa_pm_blocking(system, timebase=timebase).schedulable
+        return analyze_sa_pm(system, timebase=timebase).schedulable
+    if analysis == "SA/PM-skew":
+        return analyze_sa_pm_skewed(
+            system,
+            rate=request.clock_rate_bound,
+            jump=request.clock_jump_bound,
+            timebase=timebase,
+        ).schedulable
+    raise ConfigurationError(f"unknown region analysis {analysis!r}")
+
+
+class _Prober:
+    """Counted probes of one request's parameter space."""
+
+    def __init__(
+        self, request: AdmissionRequest, timebase: Timebase
+    ) -> None:
+        self.request = request
+        self.timebase = timebase
+        self.count = 0
+
+    def __call__(self, analysis: str, vector) -> bool:
+        self.count += 1
+        return probe_point(
+            self.request,
+            analysis,
+            system_at(self.request.system, vector),
+            self.timebase,
+        )
+
+
+def _as_scalar(value: float, exact: bool):
+    """A search scalar: a small exact rational or a float."""
+    return Fraction(value).limit_denominator(1 << 20) if exact else value
+
+
+def _largest_uniform(ok, e0, max_factor, tolerance, exact: bool):
+    """Largest verified uniform factor in ``(0, max_factor]``; 0 = none.
+
+    ``ok(vector) -> bool`` probes a concrete vector.  Identical
+    structure to ``breakdown_scaling``: seed the bracket at 1, bisect,
+    return the verified low endpoint.
+    """
+    one = Fraction(1) if exact else 1.0
+    zero = Fraction(0) if exact else 0.0
+
+    def at(factor):
+        return tuple(e * factor for e in e0)
+
+    if ok(at(max_factor)):
+        return max_factor
+    low, high = zero, max_factor
+    if ok(at(one)):
+        low = one
+    else:
+        high = one
+    while high - low > tolerance:
+        mid = (low + high) / 2
+        if mid <= 0:
+            break
+        if ok(at(mid)):
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def _ascend(ok, corner, e0, max_factor, tolerance, rounds: int, *, dimensions=None):
+    """Grow the verified corner one dimension at a time.
+
+    Precondition: ``corner`` was directly verified.  Every accepted
+    growth re-verifies the whole corner jointly, so the precondition is
+    an invariant and the returned corner is a certified point.
+    ``dimensions`` restricts the sweep (the incremental layer passes
+    only the touched dimensions); default is all of them.
+    """
+    corner = list(corner)
+    sweep = range(len(corner)) if dimensions is None else tuple(dimensions)
+    for _ in range(rounds):
+        for k in sweep:
+            cap = e0[k] * max_factor
+            step = e0[k] * tolerance
+            low, high = corner[k], cap
+            if not low < high:
+                continue
+
+            def at(value):
+                probe = list(corner)
+                probe[k] = value
+                return tuple(probe)
+
+            if ok(at(high)):
+                corner[k] = high
+                continue
+            while high - low > step:
+                mid = (low + high) / 2
+                if ok(at(mid)):
+                    low = mid
+                else:
+                    high = mid
+            corner[k] = low
+    return tuple(corner)
+
+
+def compute_region(
+    request: AdmissionRequest,
+    *,
+    timebase=None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_factor: float = DEFAULT_MAX_FACTOR,
+    ascent_rounds: int = 1,
+) -> FeasibilityRegion:
+    """Build the feasibility region of one request's shape.
+
+    The returned region holds, for every analysis the shape's verdicts
+    depend on (see :func:`required_analyses`), a corner vector that was
+    *directly verified schedulable* -- or ``None`` when even the
+    smallest resolvable uniform scaling fails.  ``tolerance`` is the
+    relative resolution of every boundary; ``max_factor`` caps growth
+    at a multiple of the request's own execution times;
+    ``ascent_rounds`` is how many sweeps over the dimensions the
+    coordinate ascent makes after the uniform seed (0 = uniform box
+    only).
+    """
+    if tolerance <= 0:
+        raise ConfigurationError(f"tolerance must be > 0, got {tolerance!r}")
+    if max_factor <= 0:
+        raise ConfigurationError(
+            f"max_factor must be > 0, got {max_factor!r}"
+        )
+    if ascent_rounds < 0:
+        raise ConfigurationError(
+            f"ascent_rounds must be >= 0, got {ascent_rounds!r}"
+        )
+    tb = get_timebase(timebase)
+    system = request.system
+    e0 = tuple(tb.convert(e) for e in execution_vector(system))
+    tol = _as_scalar(tolerance, tb.exact)
+    cap = _as_scalar(max_factor, tb.exact)
+    prober = _Prober(request, tb)
+    corners: dict[str, tuple | None] = {}
+    for analysis in required_analyses(request):
+        def ok(vector, _analysis=analysis):
+            return prober(_analysis, vector)
+
+        factor = _largest_uniform(ok, e0, cap, tol, tb.exact)
+        if factor <= 0:
+            corners[analysis] = None
+            continue
+        corner = tuple(e * factor for e in e0)
+        if ascent_rounds and factor < cap:
+            corner = _ascend(ok, corner, e0, cap, tol, ascent_rounds)
+        corners[analysis] = corner
+    return FeasibilityRegion(
+        shape_key=shape_key(request),
+        timebase=tb.name,
+        dimensions=dimension_names(system),
+        corners=corners,
+        probes=prober.count,
+    )

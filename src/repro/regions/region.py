@@ -1,0 +1,224 @@
+"""The feasibility region: a verified inner box per analysis.
+
+A :class:`FeasibilityRegion` stores, for one request *shape* (see
+:mod:`repro.regions.shape`) and one arithmetic timebase, an axis-aligned
+box in execution-time space per analysis: a *corner vector* ``U`` such
+that the concrete system with execution times exactly ``U`` was
+directly verified schedulable by that analysis during region
+construction.
+
+The inner-box soundness argument
+--------------------------------
+
+Every analysis the region covers -- SA/PM, SA/DS, their blocking-aware
+variants and the skew-inflated SA/PM -- is *monotone in execution
+times*: increasing any ``e_i,j`` (with its critical sections scaled
+proportionally) never shrinks any response-time/IEER bound, so it can
+never turn an unschedulable verdict schedulable.  Contrapositively, if
+the corner ``U`` is schedulable, then so is every point ``e`` with
+``e <= U`` componentwise.  :meth:`FeasibilityRegion.covers` therefore
+answers with a plain componentwise ``<=`` -- no tolerance windows --
+and a covered point is *certifiably* schedulable: the certificate is
+the direct analysis run at the corner.
+
+Nothing is claimed about points outside the box.  The region is an
+inner approximation; callers (the service's region tier) must fall back
+to direct analysis for uncovered points, so the region can produce
+false fallbacks but never an unsound ACCEPT.
+
+Under the exact timebase every corner component is an ``int`` or a
+``Fraction`` (the boundary search bisects with rational midpoints), so
+regions serialize losslessly through :func:`repro.timebase.canonical_number`
+tokens and a reloaded region certifies the exact same set of points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.timebase import canonical_number
+
+__all__ = [
+    "REGION_ANALYSES",
+    "FeasibilityRegion",
+    "region_to_dict",
+    "region_from_dict",
+]
+
+#: Analyses a region may hold corners for.  ``"SA/PM"`` and ``"SA/DS"``
+#: mean the blocking-aware variants whenever the shape declares shared
+#: resources (matching :func:`repro.service.engine.compute_decision`);
+#: ``"SA/PM-skew"`` is the skew-inflated analysis under the shape's
+#: declared clock envelope.
+REGION_ANALYSES: tuple[str, ...] = ("SA/PM", "SA/DS", "SA/PM-skew")
+
+_REGION_FORMAT = "repro-feasibility-region-v1"
+
+
+def _encode_value(value) -> Any:
+    """A JSON-stable token for one corner component."""
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    return canonical_number(value)
+
+
+def _decode_value(value) -> Any:
+    """Inverse of :func:`_encode_value`."""
+    if value == "inf":
+        return math.inf
+    if isinstance(value, str):
+        return Fraction(value)
+    return value
+
+
+@dataclass(frozen=True)
+class FeasibilityRegion:
+    """One shape's verified inner boxes, one corner per analysis.
+
+    Attributes
+    ----------
+    shape_key:
+        The :func:`repro.regions.shape.shape_key` this region belongs
+        to.  A region must never be consulted for any other shape.
+    timebase:
+        Name of the arithmetic backend the corners were verified under
+        (``"float"`` / ``"exact"``).  Verification under one backend
+        says nothing about the other, so the tier only serves matching
+        lookups.
+    dimensions:
+        Display names of the region's axes, in the canonical subtask
+        order (``"T1,1"``, ``"T1,2"``, ...).
+    corners:
+        Per analysis: the verified corner vector, or ``None`` when the
+        shape admitted no schedulable box at all (every probed point
+        failed).  An analysis absent from the mapping was not required
+        by the shape and was never probed.
+    probes:
+        Number of direct analysis runs spent constructing the region --
+        the build cost the region amortizes.
+    """
+
+    shape_key: str
+    timebase: str
+    dimensions: tuple[str, ...]
+    corners: Mapping[str, tuple | None] = field(default_factory=dict)
+    probes: int = 0
+
+    def __post_init__(self) -> None:
+        for analysis, corner in self.corners.items():
+            if corner is not None and len(corner) != len(self.dimensions):
+                raise ConfigurationError(
+                    f"corner for {analysis!r} has {len(corner)} components, "
+                    f"region has {len(self.dimensions)} dimensions"
+                )
+
+    @property
+    def analyses(self) -> tuple[str, ...]:
+        """The analyses this region was built against."""
+        return tuple(self.corners)
+
+    def corner(self, analysis: str) -> tuple | None:
+        """The verified corner for one analysis (None = nothing found)."""
+        return self.corners.get(analysis)
+
+    def covers(self, analysis: str, vector) -> bool:
+        """True when ``vector`` is inside the analysis' verified box.
+
+        Componentwise ``e <= U`` against the verified corner: inside
+        means certifiably schedulable by monotonicity (see the module
+        docstring).  A missing or empty corner covers nothing (except
+        the zero-dimensional shape, whose only point is the corner).
+        """
+        corner = self.corners.get(analysis)
+        if corner is None:
+            return False
+        values = tuple(vector)
+        if len(values) != len(corner):
+            raise ConfigurationError(
+                f"point has {len(values)} components, region has "
+                f"{len(corner)}"
+            )
+        return all(e <= u for e, u in zip(values, corner))
+
+    def margins(self, analysis: str, vector) -> tuple[float, ...] | None:
+        """Per-dimension growth headroom ``U - e`` at ``vector``.
+
+        How much each execution time can grow -- all else fixed --
+        before the point leaves this analysis' verified box and
+        admission falls back to direct analysis.  Floats for reporting;
+        ``None`` when the region holds no box for ``analysis``.
+        """
+        corner = self.corners.get(analysis)
+        if corner is None:
+            return None
+        values = tuple(vector)
+        if len(values) != len(corner):
+            raise ConfigurationError(
+                f"point has {len(values)} components, region has "
+                f"{len(corner)}"
+            )
+        return tuple(float(u) - float(e) for e, u in zip(values, corner))
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary for CLI output."""
+        lines = [
+            f"region {self.shape_key[:12]}… ({self.timebase} timebase, "
+            f"{len(self.dimensions)} dimension(s), {self.probes} probe(s)):"
+        ]
+        for analysis in self.corners:
+            corner = self.corners[analysis]
+            if corner is None:
+                lines.append(f"  {analysis}: no schedulable box")
+                continue
+            rendered = ", ".join(
+                f"{name}<={float(value):g}"
+                for name, value in zip(self.dimensions, corner)
+            )
+            lines.append(f"  {analysis}: {rendered or '(zero-dimensional)'}")
+        return "\n".join(lines)
+
+
+def region_to_dict(region: FeasibilityRegion) -> dict[str, Any]:
+    """A JSON-ready description of a region (lossless)."""
+    return {
+        "format": _REGION_FORMAT,
+        "shape_key": region.shape_key,
+        "timebase": region.timebase,
+        "dimensions": list(region.dimensions),
+        "corners": {
+            analysis: (
+                None
+                if corner is None
+                else [_encode_value(value) for value in corner]
+            )
+            for analysis, corner in region.corners.items()
+        },
+        "probes": region.probes,
+    }
+
+
+def region_from_dict(data: Mapping[str, Any]) -> FeasibilityRegion:
+    """Rebuild a region from :func:`region_to_dict` output."""
+    if data.get("format") != _REGION_FORMAT:
+        raise ConfigurationError(
+            f"not a {_REGION_FORMAT} document "
+            f"(format={data.get('format')!r})"
+        )
+    return FeasibilityRegion(
+        shape_key=str(data["shape_key"]),
+        timebase=str(data["timebase"]),
+        dimensions=tuple(str(name) for name in data["dimensions"]),
+        corners={
+            str(analysis): (
+                None
+                if corner is None
+                else tuple(_decode_value(value) for value in corner)
+            )
+            for analysis, corner in data["corners"].items()
+        },
+        probes=int(data.get("probes", 0)),
+    )

@@ -1,0 +1,378 @@
+"""Region stores: ``shape_key -> FeasibilityRegion``, memory or sqlite.
+
+The region cache is the tier *above* the decision cache: a decision
+cache entry answers one exact request; a region answers every request
+of one shape whose execution vector lands inside the verified box.
+The stores here deliberately mirror the decision-cache contract of
+:mod:`repro.service.cache` / :mod:`repro.service.backends` --
+``get``/``put``/``stats``/``save``/``load``, LRU eviction, process-local
+counters, a config-driven factory -- so everything operators learned
+about the decision tier (capacity planning, persistence, the sqlite/WAL
+sharing model) transfers unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.regions.region import (
+    FeasibilityRegion,
+    region_from_dict,
+    region_to_dict,
+)
+from repro.service.cache import CacheStats
+
+__all__ = [
+    "REGION_BACKENDS",
+    "MemoryRegionStore",
+    "SqliteRegionStore",
+    "make_region_store",
+]
+
+#: Recognized ``make_region_store`` backend names.
+REGION_BACKENDS: tuple[str, ...] = ("memory", "sqlite")
+
+_PERSIST_FORMAT = "repro-region-store-v1"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS regions (
+    shape_key TEXT PRIMARY KEY,
+    region TEXT NOT NULL,
+    seq INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS regions_seq ON regions (seq);
+"""
+
+
+class MemoryRegionStore:
+    """LRU-bounded, thread-safe map from shape key to region.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of regions retained; least recently used first
+        out.  Regions are a few hundred bytes each but *expensive to
+        rebuild*, so capacities err large by default.
+    path:
+        Optional JSONL persistence file (one ``{"shape_key": ...,
+        "region": ...}`` object per line).  When given and present the
+        store warm-starts from it; :meth:`save` rewrites it.
+    """
+
+    def __init__(
+        self, capacity: int = 1024, *, path: str | Path | None = None
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"region store capacity must be >= 1, got {capacity}"
+            )
+        self._capacity = capacity
+        self._entries: OrderedDict[str, FeasibilityRegion] = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._path = None if path is None else Path(path)
+        if self._path is not None and self._path.exists():
+            self.load(self._path)
+
+    # ------------------------------------------------------------------
+    # Core map operations
+    # ------------------------------------------------------------------
+    def get(self, shape_key: str) -> FeasibilityRegion | None:
+        """The stored region for a shape, or None; counts hit/miss."""
+        with self._lock:
+            region = self._entries.get(shape_key)
+            if region is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(shape_key)
+            self._hits += 1
+            return region
+
+    def put(self, shape_key: str, region: FeasibilityRegion) -> None:
+        """Store (or refresh) a region, evicting LRU entries if full."""
+        with self._lock:
+            if shape_key in self._entries:
+                self._entries.move_to_end(shape_key)
+            self._entries[shape_key] = region
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __contains__(self, shape_key: str) -> bool:
+        """Membership without touching recency or the counters."""
+        with self._lock:
+            return shape_key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> tuple[str, ...]:
+        """Current shape keys, least recently used first."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self._capacity,
+            )
+
+    # ------------------------------------------------------------------
+    # Persistence (warm restarts)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write every region as JSONL, LRU first.  Returns the path."""
+        target = Path(path) if path is not None else self._path
+        if target is None:
+            raise ConfigurationError(
+                "no persistence path: pass one to save() or the constructor"
+            )
+        with self._lock:
+            lines = [
+                json.dumps(
+                    {
+                        "format": _PERSIST_FORMAT,
+                        "shape_key": shape_key,
+                        "region": region_to_dict(region),
+                    },
+                    sort_keys=True,
+                )
+                for shape_key, region in self._entries.items()
+            ]
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return target
+
+    def load(self, path: str | Path) -> int:
+        """Merge entries from a :meth:`save` file; returns the count.
+
+        Corrupt or foreign lines raise :class:`ConfigurationError` --
+        silently dropped regions would hide persistence bugs.
+        """
+        loaded = 0
+        for number, line in enumerate(
+            Path(path).read_text().splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                if entry.get("format") != _PERSIST_FORMAT:
+                    raise ConfigurationError(
+                        f"not a {_PERSIST_FORMAT} line "
+                        f"(format={entry.get('format')!r})"
+                    )
+                self.put(
+                    entry["shape_key"], region_from_dict(entry["region"])
+                )
+            except ConfigurationError:
+                raise
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise ConfigurationError(
+                    f"{path}:{number}: bad region line: {exc}"
+                ) from exc
+            loaded += 1
+        return loaded
+
+
+class SqliteRegionStore:
+    """LRU region store on sqlite/WAL; same interface as the memory one.
+
+    Like :class:`repro.service.backends.SqliteDecisionCache`: a real
+    path is durable and shareable between frontend processes on one
+    host, ``":memory:"`` is private; recency is a monotone ``seq``
+    column bumped on every hit; counters are process-local.
+    """
+
+    def __init__(
+        self, capacity: int = 1024, *, db_path: str | Path = ":memory:"
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"region store capacity must be >= 1, got {capacity}"
+            )
+        self._capacity = capacity
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._db_path = str(db_path)
+        self._conn = sqlite3.connect(self._db_path, check_same_thread=False)
+        with self._lock:
+            if self._db_path != ":memory:":
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    def _next_seq(self) -> int:
+        row = self._conn.execute(
+            "SELECT COALESCE(MAX(seq), 0) + 1 FROM regions"
+        ).fetchone()
+        return int(row[0])
+
+    def get(self, shape_key: str) -> FeasibilityRegion | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT region FROM regions WHERE shape_key = ?",
+                (shape_key,),
+            ).fetchone()
+            if row is None:
+                self._misses += 1
+                return None
+            self._conn.execute(
+                "UPDATE regions SET seq = ? WHERE shape_key = ?",
+                (self._next_seq(), shape_key),
+            )
+            self._conn.commit()
+            self._hits += 1
+            return region_from_dict(json.loads(row[0]))
+
+    def put(self, shape_key: str, region: FeasibilityRegion) -> None:
+        encoded = json.dumps(region_to_dict(region), sort_keys=True)
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO regions (shape_key, region, seq) "
+                "VALUES (?, ?, ?) ON CONFLICT(shape_key) DO UPDATE SET "
+                "region = excluded.region, seq = excluded.seq",
+                (shape_key, encoded, self._next_seq()),
+            )
+            over = len(self) - self._capacity
+            if over > 0:
+                self._conn.execute(
+                    "DELETE FROM regions WHERE shape_key IN ("
+                    "SELECT shape_key FROM regions ORDER BY seq LIMIT ?)",
+                    (over,),
+                )
+                self._evictions += over
+            self._conn.commit()
+
+    def __contains__(self, shape_key: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM regions WHERE shape_key = ?", (shape_key,)
+            ).fetchone()
+            return row is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM regions"
+            ).fetchone()
+            return int(row[0])
+
+    def keys(self) -> tuple[str, ...]:
+        """Current shape keys, least recently used first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT shape_key FROM regions ORDER BY seq"
+            ).fetchall()
+            return tuple(row[0] for row in rows)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM regions")
+            self._conn.commit()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self),
+                capacity=self._capacity,
+            )
+
+    # ------------------------------------------------------------------
+    # Persistence interop (JSONL, compatible with MemoryRegionStore)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Export to the memory store's JSONL format (LRU first)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT shape_key, region FROM regions ORDER BY seq"
+            ).fetchall()
+        lines = [
+            json.dumps(
+                {
+                    "format": _PERSIST_FORMAT,
+                    "shape_key": shape_key,
+                    "region": json.loads(encoded),
+                },
+                sort_keys=True,
+            )
+            for shape_key, encoded in rows
+        ]
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return target
+
+    def load(self, path: str | Path) -> int:
+        """Merge a memory-store JSONL file; returns entries loaded."""
+        staging = MemoryRegionStore(capacity=max(1, self._capacity))
+        loaded = staging.load(path)
+        for shape_key in staging.keys():
+            region = staging.get(shape_key)
+            assert region is not None
+            self.put(shape_key, region)
+        return loaded
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+def make_region_store(
+    backend: str = "memory",
+    *,
+    capacity: int = 1024,
+    path: str | Path | None = None,
+):
+    """Build a region store from configuration.
+
+    ``backend="memory"`` gives the in-process LRU (``path`` is its
+    JSONL warm-start/persistence file); ``backend="sqlite"`` gives the
+    shared WAL-backed store (``path`` is the database file, default
+    private in-memory).
+    """
+    if backend == "memory":
+        return MemoryRegionStore(capacity=capacity, path=path)
+    if backend == "sqlite":
+        return SqliteRegionStore(
+            capacity=capacity,
+            db_path=":memory:" if path is None else path,
+        )
+    raise ConfigurationError(
+        f"unknown region store backend {backend!r}; expected one of "
+        f"{'/'.join(REGION_BACKENDS)}"
+    )

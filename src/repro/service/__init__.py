@@ -27,6 +27,13 @@ procedure:
   generation with latency percentiles and a decision digest;
 * :mod:`repro.service.metrics` -- counters and latency percentiles.
 
+The optional **region tier** (:mod:`repro.regions`, re-exported here as
+:class:`RegionTier`) sits above the decision cache: it maps request
+*shapes* to precomputed feasibility regions and serves repeat-shape
+admissions analysis-free.  Enable with ``region_backend=`` on
+:class:`AdmissionController` / :class:`FrontendConfig`; it is off by
+default.
+
 Quickstart::
 
     from repro.service import AdmissionController, AdmissionRequest
@@ -75,6 +82,7 @@ __all__ = [
     "FrontendConfig",
     "LoadReport",
     "LoadgenConfig",
+    "RegionTier",
     "ServiceMetrics",
     "ShardRing",
     "SingleFlight",
@@ -96,3 +104,15 @@ __all__ = [
     "serve_frontend",
     "system_key",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: repro.regions.tier imports repro.service submodules, so a
+    # top-level import here would be circular.
+    if name == "RegionTier":
+        from repro.regions.tier import RegionTier
+
+        return RegionTier
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -176,6 +176,15 @@ class AdmissionController:
         (in-process LRU) or ``"sqlite"`` (WAL-mode store at
         ``cache_path``, shareable across controllers).  See
         :func:`repro.service.backends.make_cache`.
+    region_backend / region_capacity / region_path /
+    region_build_threshold:
+        The optional region tier (:class:`repro.regions.tier.RegionTier`)
+        *above* the decision cache: a ``shape_hash -> feasibility
+        region`` store that serves repeat-shape admissions analysis-free
+        (see :mod:`repro.regions`).  ``region_backend=None`` (the
+        default) disables the tier entirely, preserving historical
+        behavior byte for byte; ``"memory"``/``"sqlite"`` enable it.
+        A prebuilt tier can be passed as ``region_tier`` instead.
     """
 
     def __init__(
@@ -187,6 +196,11 @@ class AdmissionController:
         cache_backend: str = "memory",
         cache_capacity: int = 4096,
         cache_path=None,
+        region_tier=None,
+        region_backend: str | None = None,
+        region_capacity: int = 1024,
+        region_path=None,
+        region_build_threshold: int = 2,
     ) -> None:
         if cache is None and enable_cache:
             from repro.service.backends import make_cache
@@ -198,12 +212,35 @@ class AdmissionController:
             )
         self.cache = cache if enable_cache else None
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        if region_tier is None and region_backend is not None:
+            from repro.regions.tier import RegionTier
+
+            region_tier = RegionTier(
+                backend=region_backend,
+                capacity=region_capacity,
+                path=region_path,
+                build_threshold=region_build_threshold,
+                metrics=self.metrics,
+            )
+        elif region_tier is not None and region_tier.metrics is None:
+            region_tier.metrics = self.metrics
+        self.regions = region_tier
 
     # ------------------------------------------------------------------
     # Single admissions
     # ------------------------------------------------------------------
     def admit(self, request: AdmissionRequest) -> AdmissionDecision:
-        """Decide one request, through the cache."""
+        """Decide one request: decision cache, region tier, then compute.
+
+        The decision cache is consulted first (exact-request hits are
+        the cheapest), the region tier second (a shape hit answers
+        analysis-free for any execution vector inside the verified
+        box), and only then does the full analysis run -- after which
+        the region tier *observes* the shape so repeating shapes earn
+        a region.  Region-backed decisions are never inserted into the
+        decision cache (they carry no bounds and a tier-specific
+        rationale).
+        """
         started = time.perf_counter()
         key = request_key(request)
         if self.cache is not None:
@@ -216,9 +253,21 @@ class AdmissionController:
                     latency=time.perf_counter() - started,
                 )
                 return decision
+        if self.regions is not None:
+            regional = self.regions.lookup(request, key=key)
+            if regional is not None:
+                self.metrics.record(
+                    admitted=regional.admitted,
+                    cache_hit=False,
+                    region_hit=True,
+                    latency=time.perf_counter() - started,
+                )
+                return regional
         decision = compute_decision(request, key=key)
         if self.cache is not None:
             self.cache.put(key, decision)
+        if self.regions is not None:
+            self.regions.observe(request)
         self.metrics.record(
             admitted=decision.admitted,
             cache_hit=False,
@@ -276,4 +325,6 @@ class AdmissionController:
         lines.append(
             stats.describe() if stats is not None else "cache: disabled"
         )
+        if self.regions is not None:
+            lines.append(self.regions.describe())
         return "\n".join(lines)

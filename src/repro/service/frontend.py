@@ -132,6 +132,13 @@ class FrontendConfig:
     applies to tenants without an entry in ``tenant_quotas``; ``None``
     means unlimited.  The timeout/retry knobs mirror
     :func:`repro.service.batch.admit_batch`.
+
+    ``region_backend`` enables the feasibility-region tier above the
+    decision cache (see :mod:`repro.regions`): ``None`` (default) keeps
+    it off -- and every historical decision, metric and load-generator
+    digest byte-identical -- while ``"memory"``/``"sqlite"`` serve
+    repeat-shape admissions analysis-free once a shape has been
+    computed ``region_build_threshold`` times.
     """
 
     shards: int = 1
@@ -147,6 +154,10 @@ class FrontendConfig:
     max_retries: int = 2
     retry_backoff: float = 0.05
     ring_replicas: int = 64
+    region_backend: str | None = None
+    region_capacity: int = 1024
+    region_path: str | Path | None = None
+    region_build_threshold: int = 2
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -191,6 +202,19 @@ class FrontendConfig:
             raise ConfigurationError(
                 f"retry_backoff must be finite and >= 0, "
                 f"got {self.retry_backoff!r}"
+            )
+        if self.region_backend is not None:
+            from repro.regions.store import REGION_BACKENDS
+
+            if self.region_backend not in REGION_BACKENDS:
+                raise ConfigurationError(
+                    f"unknown region backend {self.region_backend!r}; "
+                    f"expected one of {'/'.join(REGION_BACKENDS)} or None"
+                )
+        if self.region_build_threshold < 1:
+            raise ConfigurationError(
+                f"region_build_threshold must be >= 1, "
+                f"got {self.region_build_threshold}"
             )
 
 
@@ -276,6 +300,7 @@ class AdmissionFrontend:
         config: FrontendConfig | None = None,
         *,
         cache=None,
+        region_tier=None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.config = config if config is not None else FrontendConfig()
@@ -290,6 +315,22 @@ class AdmissionFrontend:
                 path=self.config.cache_path,
             )
         self.metrics = ServiceMetrics()  # fleet-wide aggregate
+        if region_tier is not None:
+            self.regions = region_tier
+            if self.regions.metrics is None:
+                self.regions.metrics = self.metrics
+        elif self.config.region_backend is None:
+            self.regions = None
+        else:
+            from repro.regions.tier import RegionTier
+
+            self.regions = RegionTier(
+                backend=self.config.region_backend,
+                capacity=self.config.region_capacity,
+                path=self.config.region_path,
+                build_threshold=self.config.region_build_threshold,
+                metrics=self.metrics,
+            )
         self.ring = ShardRing(
             self.config.shards, replicas=self.config.ring_replicas
         )
@@ -424,19 +465,20 @@ class AdmissionFrontend:
                 return
             request, key, future, started = item
             try:
-                decision, degraded, hit = await self._decide(
+                decision, degraded, source = await self._decide(
                     shard, request, key
                 )
             except Exception as exc:  # noqa: BLE001 - fail closed
                 decision = _degraded_decision(
                     request, key, f"shard worker error: {exc}"
                 )
-                degraded, hit = True, False
+                degraded, source = True, "computed"
             latency = time.perf_counter() - started
             for sink in (self.metrics, shard.metrics):
                 sink.record(
                     admitted=decision.admitted,
-                    cache_hit=hit,
+                    cache_hit=source == "cache",
+                    region_hit=source == "region",
                     latency=latency,
                 )
                 if degraded:
@@ -448,16 +490,28 @@ class AdmissionFrontend:
 
     async def _decide(
         self, shard: _Shard, request: AdmissionRequest, key: str
-    ) -> tuple[AdmissionDecision, bool, bool]:
-        """(decision, degraded?, served-as-hit?) for one queued miss."""
+    ) -> tuple[AdmissionDecision, bool, str]:
+        """(decision, degraded?, source) for one queued miss.
+
+        ``source`` is ``"cache"`` (exact-request hit on the re-check or
+        via a coalesced flight), ``"region"`` (served analysis-free by
+        the region tier) or ``"computed"``.
+        """
         cache = self.cache
         flights = cache.flights if cache is not None else None
         leader_flight = None
-        if flights is not None:
+        if cache is not None:
             # Re-check: the decision may have landed while we queued.
             cached = cache.get(key)
             if cached is not None:
-                return cached, False, True
+                return cached, False, "cache"
+        if self.regions is not None:
+            # The region tier sits between the exact-request cache and
+            # the analysis: a shape hit needs no executor, no flight.
+            regional = self.regions.lookup(request, key=key)
+            if regional is not None:
+                return regional, False, "region"
+        if flights is not None:
             leader, flight = flights.begin(key)
             if leader:
                 leader_flight = flight
@@ -469,7 +523,7 @@ class AdmissionFrontend:
                 if decision is not None:
                     for sink in (self.metrics, shard.metrics):
                         sink.record_coalesced()
-                    return decision, degraded, True
+                    return decision, degraded, "cache"
                 # The leader vanished without publishing: compute for
                 # ourselves (unclaimed -- no flight to finish).
         published = False
@@ -482,7 +536,16 @@ class AdmissionFrontend:
             if leader_flight is not None:
                 flights.finish(key, decision, degraded=degraded)
                 published = True
-            return decision, degraded, False
+            if self.regions is not None and not degraded:
+                # Region building can cost hundreds of probes; keep it
+                # off the event loop.  Awaited, so the build (when the
+                # threshold trips) lands before this decision returns
+                # -- deterministic and simple; the cost is counted and
+                # amortized by every later shape hit.
+                await asyncio.get_running_loop().run_in_executor(
+                    self._wait_pool, self.regions.observe, request
+                )
+            return decision, degraded, "computed"
         finally:
             if leader_flight is not None and not published:
                 flights.finish(key, None)
@@ -582,6 +645,15 @@ class AdmissionFrontend:
                 "capacity": stats.capacity,
                 "coalesced": stats.coalesced,
             }
+        if self.regions is not None:
+            stats = self.regions.stats()
+            result["regions"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "size": stats.size,
+                "capacity": stats.capacity,
+            }
         return result
 
     def describe(self) -> str:
@@ -598,6 +670,8 @@ class AdmissionFrontend:
             )
         if self.cache is not None:
             lines.append(self.cache.stats().describe())
+        if self.regions is not None:
+            lines.append(self.regions.describe())
         return "\n".join(lines)
 
 

@@ -55,17 +55,35 @@ class ServiceMetrics:
         self._shed = 0
         self._coalesced = 0
         self._pool_rebuilds = 0
+        self._region_hits = 0
+        self._region_misses = 0
+        self._region_fallbacks = 0
+        self._region_builds = 0
+        self._region_probes = 0
 
     # ------------------------------------------------------------------
     # Recording (hot path)
     # ------------------------------------------------------------------
     def record(
-        self, *, admitted: bool, cache_hit: bool, latency: float
+        self,
+        *,
+        admitted: bool,
+        cache_hit: bool,
+        latency: float,
+        region_hit: bool = False,
     ) -> None:
-        """Account one served admission."""
+        """Account one served admission.
+
+        A ``region_hit`` admission was served by the region tier: it
+        counts as a request (and into ``region_hits`` via
+        :meth:`record_region_hit`) but as neither a decision-cache hit
+        nor miss, so the decision-cache hit rate keeps its meaning.
+        """
         with self._lock:
             self._requests += 1
-            if cache_hit:
+            if region_hit:
+                pass
+            elif cache_hit:
                 self._hits += 1
             else:
                 self._misses += 1
@@ -115,6 +133,29 @@ class ServiceMetrics:
         with self._lock:
             self._pool_rebuilds += 1
 
+    def record_region_hit(self) -> None:
+        """Account one admission served analysis-free by the region tier."""
+        with self._lock:
+            self._region_hits += 1
+
+    def record_region_miss(self) -> None:
+        """Account one lookup whose shape had no cached region."""
+        with self._lock:
+            self._region_misses += 1
+
+    def record_region_fallback(self) -> None:
+        """Account one lookup that found a region but fell back anyway
+        (point outside a verified box, undetermined verdict, or a
+        timebase mismatch) -- the explicit never-an-unsound-ACCEPT path."""
+        with self._lock:
+            self._region_fallbacks += 1
+
+    def record_region_build(self, *, probes: int = 0) -> None:
+        """Account one feasibility-region construction (and its probes)."""
+        with self._lock:
+            self._region_builds += 1
+            self._region_probes += probes
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -134,6 +175,11 @@ class ServiceMetrics:
                 "shed": self._shed,
                 "coalesced": self._coalesced,
                 "pool_rebuilds": self._pool_rebuilds,
+                "region_hits": self._region_hits,
+                "region_misses": self._region_misses,
+                "region_fallbacks": self._region_fallbacks,
+                "region_builds": self._region_builds,
+                "region_probes": self._region_probes,
             }
         counters["hit_rate"] = (
             counters["cache_hits"] / counters["requests"]
@@ -192,6 +238,20 @@ class ServiceMetrics:
                     f"{snap['coalesced']} coalesced"
                 ]
                 if snap["shed"] or snap["coalesced"]
+                else []
+            )
+            + (
+                [
+                    f"regions: {snap['region_hits']} hits, "
+                    f"{snap['region_misses']} misses, "
+                    f"{snap['region_fallbacks']} fallbacks, "
+                    f"{snap['region_builds']} builds "
+                    f"({snap['region_probes']} probes)"
+                ]
+                if snap["region_hits"]
+                or snap["region_misses"]
+                or snap["region_fallbacks"]
+                or snap["region_builds"]
                 else []
             )
         )

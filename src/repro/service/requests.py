@@ -189,11 +189,21 @@ class AdmissionDecision:
         End-to-end bounds per algorithm (``"SA/PM"``, ``"SA/DS"``),
         ``math.inf`` for diverged bounds.
     worst_bound_ratio:
-        The advisor's worst SA-DS/SA-PM task-bound ratio.
+        The advisor's worst SA-DS/SA-PM task-bound ratio (``inf`` on
+        region-tier decisions, which run no analysis).
     key:
         The content hash the decision was computed (and cached) under.
     system_name / request_id:
         Echoes of the request, for correlation.
+    margins:
+        Sensitivity output, present only on region-tier decisions
+        (:mod:`repro.regions.tier`): per analysis, per subtask, how
+        much that execution time can grow -- all else fixed -- before
+        the request leaves the verified feasibility region and
+        admission falls back to direct analysis.  ``None`` on computed
+        decisions, and omitted from the JSON codecs when ``None`` so
+        every historical decision document (and the load generator's
+        deployment-invariant digest) stays byte-identical.
     """
 
     admitted: bool
@@ -205,6 +215,7 @@ class AdmissionDecision:
     key: str
     system_name: str = "system"
     request_id: str = ""
+    margins: Mapping[str, Mapping[str, float]] | None = None
 
     def describe(self) -> str:
         """One-paragraph human-readable summary for CLI output."""
@@ -283,7 +294,7 @@ def request_from_dict(data: Mapping[str, Any]) -> AdmissionRequest:
 
 def decision_to_dict(decision: AdmissionDecision) -> dict[str, Any]:
     """A JSON-ready description of a decision (lossless)."""
-    return {
+    document = {
         "format": _DECISION_FORMAT,
         "admitted": decision.admitted,
         "protocol": decision.protocol,
@@ -298,6 +309,12 @@ def decision_to_dict(decision: AdmissionDecision) -> dict[str, Any]:
         "system_name": decision.system_name,
         "request_id": decision.request_id,
     }
+    if decision.margins is not None:
+        document["margins"] = {
+            analysis: dict(per_dim)
+            for analysis, per_dim in decision.margins.items()
+        }
+    return document
 
 
 def decision_from_dict(data: Mapping[str, Any]) -> AdmissionDecision:
@@ -328,6 +345,17 @@ def decision_from_dict(data: Mapping[str, Any]) -> AdmissionDecision:
         key=str(data["key"]),
         system_name=str(data.get("system_name", "system")),
         request_id=str(data.get("request_id", "")),
+        margins=(
+            None
+            if data.get("margins") is None
+            else {
+                str(analysis): {
+                    str(name): float(value)
+                    for name, value in per_dim.items()
+                }
+                for analysis, per_dim in data["margins"].items()
+            }
+        ),
     )
 
 

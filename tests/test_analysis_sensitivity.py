@@ -102,3 +102,95 @@ class TestBreakdownScaling:
             assert analyze_sa_pm(
                 scale_execution_times(system, factor)
             ).schedulable
+
+class TestSectionedScaling:
+    """Regression: lock-aware systems must scale their critical sections.
+
+    ``scale_execution_times`` used to shrink only the execution times,
+    leaving sections at their original offsets -- a downscale could
+    leave a section poking past its subtask's new execution time
+    (invalid model) and an upscale silently under-priced blocking.
+    """
+
+    def _sectioned(self) -> System:
+        from repro.model.task import CriticalSection
+
+        return System(
+            (
+                Task(
+                    period=20.0,
+                    subtasks=(
+                        Subtask(
+                            4.0,
+                            "P1",
+                            priority=0,
+                            critical_sections=(
+                                CriticalSection("R1", 1.0, 2.0),
+                            ),
+                        ),
+                    ),
+                ),
+                Task(
+                    period=40.0,
+                    subtasks=(
+                        Subtask(
+                            8.0,
+                            "P1",
+                            priority=1,
+                            critical_sections=(
+                                CriticalSection("R1", 6.0, 2.0),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            name="sectioned-scaling",
+        )
+
+    def test_downscale_keeps_sections_inside_execution(self):
+        scaled = scale_execution_times(self._sectioned(), 0.25)
+        for sid in scaled.subtask_ids:
+            stage = scaled.subtask(sid)
+            for section in stage.critical_sections:
+                assert (
+                    section.start + section.duration
+                    <= stage.execution_time + 1e-12
+                )
+
+    def test_sections_scale_proportionally(self):
+        scaled = scale_execution_times(self._sectioned(), 0.5)
+        section = scaled.subtask(SubtaskId(0, 0)).critical_sections[0]
+        assert section.start == pytest.approx(0.5)
+        assert section.duration == pytest.approx(1.0)
+
+    def test_breakdown_uses_blocking_aware_analyses(self):
+        """The sectioned breakdown must price blocking: a lock-free
+        twin of the same system scales strictly further."""
+        system = self._sectioned()
+        lock_free = system.with_tasks(
+            task.with_subtasks(
+                tuple(
+                    Subtask(
+                        stage.execution_time,
+                        stage.processor,
+                        priority=stage.priority,
+                        name=stage.name,
+                    )
+                    for stage in task.subtasks
+                )
+            )
+            for task in system.tasks
+        )
+        sectioned_factor = breakdown_scaling(system, "SA/PM")
+        free_factor = breakdown_scaling(lock_free, "SA/PM")
+        assert 0 < sectioned_factor <= free_factor
+
+    def test_breakdown_factor_is_verified_for_sectioned_system(self):
+        from repro.locks import analyze_sa_pm_blocking
+
+        system = self._sectioned()
+        factor = breakdown_scaling(system, "SA/PM", tolerance=1e-3)
+        assert factor > 0
+        assert analyze_sa_pm_blocking(
+            scale_execution_times(system, factor)
+        ).schedulable

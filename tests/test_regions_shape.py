@@ -1,0 +1,250 @@
+"""Shape canonicalization: what a shape keeps, drops and re-materializes.
+
+The region cache is only as good as its key: two requests must share a
+shape key exactly when they differ only in execution times (with
+critical sections scaled along), and must *not* share one when anything
+verdict-relevant differs.  These tests pin both directions, plus the
+``system_at`` re-materialization the region search probes through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.system import System
+from repro.model.task import CriticalSection, Subtask, Task
+from repro.regions.shape import (
+    SHAPE_FORMAT,
+    dimension_names,
+    execution_vector,
+    shape_key,
+    shape_payload,
+    system_at,
+    task_shape_token,
+)
+from repro.service.requests import AdmissionRequest
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_system
+
+
+def _system(names: tuple[str, str] = ("a", "b")) -> System:
+    return System(
+        (
+            Task(
+                period=10.0,
+                subtasks=(
+                    Subtask(2.0, "P1", priority=0, name=names[0]),
+                    Subtask(3.0, "P2", priority=1, name=names[1]),
+                ),
+                name="T_first",
+            ),
+            Task(
+                period=20.0,
+                subtasks=(Subtask(4.0, "P2", priority=0),),
+                name="T_second",
+            ),
+        ),
+        name="shape-fixture",
+    )
+
+
+def _sectioned(e1: float = 2.0, e2: float = 4.0) -> System:
+    return System(
+        (
+            Task(
+                period=12.0,
+                subtasks=(
+                    Subtask(
+                        e1,
+                        "P1",
+                        priority=0,
+                        critical_sections=(
+                            CriticalSection("R1", e1 / 4, e1 / 2),
+                        ),
+                    ),
+                ),
+            ),
+            Task(
+                period=24.0,
+                subtasks=(
+                    Subtask(
+                        e2,
+                        "P1",
+                        priority=1,
+                        critical_sections=(
+                            CriticalSection("R1", 0.0, e2 / 4),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        name="sectioned",
+    )
+
+
+class TestShapeKey:
+    def test_stable_across_calls(self):
+        request = AdmissionRequest(system=_system())
+        assert shape_key(request) == shape_key(request)
+
+    def test_names_are_not_decision_content(self):
+        plain = AdmissionRequest(system=_system(("a", "b")))
+        renamed = AdmissionRequest(
+            system=replace(_system(("x", "y")), name="other-label")
+        )
+        assert shape_key(plain) == shape_key(renamed)
+
+    def test_execution_times_are_stripped(self):
+        base = _system()
+        doubled = system_at(
+            base, tuple(2 * e for e in execution_vector(base))
+        )
+        assert shape_key(AdmissionRequest(system=base)) == shape_key(
+            AdmissionRequest(system=doubled)
+        )
+
+    def test_proportionally_scaled_sections_share_a_shape(self):
+        small = AdmissionRequest(system=_sectioned(2.0, 4.0))
+        large = AdmissionRequest(system=_sectioned(4.0, 8.0))
+        assert shape_key(small) == shape_key(large)
+
+    def test_different_section_layout_differs(self):
+        base = AdmissionRequest(system=_sectioned())
+        moved = _sectioned()
+        tasks = list(moved.tasks)
+        stage = tasks[0].subtasks[0]
+        tasks[0] = tasks[0].with_subtasks(
+            (
+                replace(
+                    stage,
+                    critical_sections=(
+                        CriticalSection("R1", 0.0, 0.5),
+                    ),
+                ),
+            )
+        )
+        assert shape_key(base) != shape_key(
+            AdmissionRequest(system=moved.with_tasks(tasks))
+        )
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {"protocols": ("DS",)},
+            {"synchronized_clocks": False},
+            {"clock_rate_bound": 1e-4},
+            {"clock_jump_bound": 0.01},
+            {"shared_resources": True},
+            {"sa_ds_max_iterations": 17},
+        ],
+    )
+    def test_verdict_relevant_options_fragment_the_shape(self, options):
+        base = AdmissionRequest(system=_system())
+        varied = AdmissionRequest(system=_system(), **options)
+        assert shape_key(base) != shape_key(varied)
+
+    def test_advisor_only_options_do_not_fragment(self):
+        base = AdmissionRequest(system=_system())
+        advisory = AdmissionRequest(system=_system(), jitter_sensitive=True)
+        assert shape_key(base) == shape_key(advisory)
+
+    def test_period_change_differs(self):
+        base = AdmissionRequest(system=_system())
+        slowed = _system()
+        tasks = list(slowed.tasks)
+        tasks[0] = replace(tasks[0], period=11.0)
+        assert shape_key(base) != shape_key(
+            AdmissionRequest(system=slowed.with_tasks(tasks))
+        )
+
+    def test_payload_carries_format_tag(self):
+        payload = shape_payload(AdmissionRequest(system=_system()))
+        assert payload["format"] == SHAPE_FORMAT
+
+    @given(
+        seed=st.integers(min_value=0, max_value=30),
+        factors=st.lists(
+            st.sampled_from([0.25, 0.5, 1.0, 1.5, 2.0, 4.0]),
+            min_size=6,
+            max_size=6,
+        ),
+    )
+    def test_property_shape_invariant_under_execution_scaling(
+        self, seed, factors
+    ):
+        """Per-dimension rescaling never moves a section-free shape key."""
+        config = WorkloadConfig(
+            subtasks_per_task=2, utilization=0.5, tasks=3, processors=2
+        )
+        system = generate_system(config, seed)
+        e0 = execution_vector(system)
+        scaled = system_at(
+            system, tuple(e * f for e, f in zip(e0, factors))
+        )
+        assert shape_key(AdmissionRequest(system=system)) == shape_key(
+            AdmissionRequest(system=scaled)
+        )
+
+
+class TestTaskToken:
+    def test_equal_tasks_share_a_token(self):
+        a = _system().tasks[0]
+        b = replace(_system().tasks[0], name="renamed")
+        assert task_shape_token(a) == task_shape_token(b)
+
+    def test_placement_differs(self):
+        a = _system().tasks[0]
+        moved = a.with_subtasks(
+            (a.subtasks[0], replace(a.subtasks[1], processor="P3"))
+        )
+        assert task_shape_token(a) != task_shape_token(moved)
+
+
+class TestVectors:
+    def test_execution_vector_follows_canonical_order(self):
+        system = _system()
+        assert execution_vector(system) == (2.0, 3.0, 4.0)
+        assert dimension_names(system) == ("T1,1", "T1,2", "T2,1")
+
+    def test_system_at_round_trips_identity(self):
+        system = _sectioned()
+        assert system_at(system, execution_vector(system)) == system
+
+    def test_system_at_scales_sections_proportionally(self):
+        system = _sectioned(2.0, 4.0)
+        grown = system_at(system, (4.0, 4.0))
+        section = grown.tasks[0].subtasks[0].critical_sections[0]
+        assert section.start == pytest.approx(1.0)
+        assert section.duration == pytest.approx(2.0)
+        # Untouched dimension keeps its stage object verbatim.
+        assert grown.tasks[1] == system.tasks[1]
+
+    def test_system_at_exact_targets_stay_rational(self):
+        system = _sectioned(2.0, 4.0)
+        grown = system_at(system, (Fraction(3), Fraction(4)))
+        section = grown.tasks[0].subtasks[0].critical_sections[0]
+        assert isinstance(section.start, Fraction)
+        assert section.start == Fraction(3, 4)
+        assert section.duration == Fraction(3, 2)
+
+    def test_system_at_clamps_section_end(self):
+        stage = Subtask(
+            4.0,
+            "P1",
+            critical_sections=(CriticalSection("R1", 3.0, 1.0),),
+        )
+        system = System((Task(period=10.0, subtasks=(stage,)),))
+        # A shrink that would leave the scaled section poking past the
+        # new execution time must clamp, not raise in Subtask validation.
+        shrunk = system_at(system, (2.0,))
+        section = shrunk.tasks[0].subtasks[0].critical_sections[0]
+        assert section.start + section.duration <= 2.0 + 1e-12
+
+    def test_system_at_rejects_wrong_arity(self):
+        with pytest.raises(ValueError, match="components"):
+            system_at(_system(), (1.0, 2.0))
