@@ -32,6 +32,7 @@ __all__ = [
     "admit_service",
     "sensitivity",
     "region",
+    "service_chaos",
     "fuzz_once",
 ]
 
@@ -191,6 +192,20 @@ def admit_service(
             return [await frontend.admit(r) for r in requests]
 
     return asyncio.run(run())
+
+
+def service_chaos(**options):
+    """Run the service-plane chaos harness, in one call.
+
+    ``options`` are :func:`repro.service.chaos.run_service_chaos`
+    keywords (``requests``, ``systems``, ``seed``, ``scenarios``,
+    ``workdir``, ...).  Returns a
+    :class:`~repro.service.chaos.ServiceChaosReport`; check
+    ``report.gate_passed`` or print ``report.render()``.
+    """
+    from repro.service.chaos import run_service_chaos
+
+    return run_service_chaos(**options)
 
 
 def sensitivity(

@@ -665,6 +665,10 @@ def _frontend_config(args: argparse.Namespace):
         region_capacity=args.region_capacity,
         region_path=args.region_file,
         region_build_threshold=args.region_build_threshold,
+        breaker_failures=args.breaker_failures,
+        breaker_recovery=args.breaker_recovery,
+        drain=args.drain,
+        fsync=args.fsync,
     )
 
 
@@ -716,6 +720,26 @@ def _add_frontend_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-retries", type=int, default=2,
         help="retries per failed/timed-out decision (default: 2)",
+    )
+    parser.add_argument(
+        "--breaker-failures", type=int, default=5,
+        help="consecutive compute failures that open a shard's circuit "
+        "breaker; 0 disables supervision (default: 5)",
+    )
+    parser.add_argument(
+        "--breaker-recovery", type=float, default=1.0,
+        help="seconds an open breaker waits before half-open probes "
+        "(default: 1.0)",
+    )
+    parser.add_argument(
+        "--drain", choices=("flush", "shed"), default="flush",
+        help="what stop() does with queued jobs: serve them (flush) or "
+        "resolve them as explicit sheds (default: flush)",
+    )
+    parser.add_argument(
+        "--fsync", choices=("always", "data", "never"), default="data",
+        help="fsync policy for file-backed store snapshots "
+        "(default: data)",
     )
     _add_region_options(parser)
 
@@ -874,6 +898,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     print(result.render())
     if args.require_gate and not result.gate_passed:
+        return 1
+    return 0
+
+
+def _cmd_service_chaos(args: argparse.Namespace) -> int:
+    from repro.service.chaos import run_service_chaos
+
+    report = run_service_chaos(
+        requests=args.requests,
+        systems=args.systems,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        scenarios=tuple(args.scenarios) if args.scenarios else None,
+        workdir=args.workdir,
+    )
+    print(report.render())
+    if args.stats:
+        for result in report.results:
+            for note in result.notes:
+                print(f"{result.name}: {note}", file=sys.stderr)
+    if args.require_gate and not report.gate_passed:
         return 1
     return 0
 
@@ -1362,6 +1407,45 @@ def build_parser() -> argparse.ArgumentParser:
         "identity both hold on this sample",
     )
     p.set_defaults(handler=_cmd_chaos)
+
+    p = subparsers.add_parser(
+        "service-chaos",
+        help="service-plane chaos: storage damage and shard failure "
+        "with recovery oracles",
+    )
+    p.add_argument(
+        "--requests", type=int, default=120,
+        help="requests per scenario campaign (default: 120)",
+    )
+    p.add_argument(
+        "--systems", type=int, default=24,
+        help="distinct request contents (default: 24)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p.add_argument(
+        "--concurrency", type=int, default=8,
+        help="closed-loop virtual users per campaign (default: 8)",
+    )
+    p.add_argument(
+        "--scenarios", nargs="+", default=None,
+        help="subset of scenario names to run (default: all)",
+    )
+    p.add_argument(
+        "--workdir", default=None,
+        help="keep damaged/quarantined artifacts here instead of a "
+        "temporary directory",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print per-scenario recovery notes to stderr",
+    )
+    p.add_argument(
+        "--require-gate", action="store_true",
+        help="exit 1 unless every recovery oracle holds "
+        "(salvage reported, no unsound ACCEPT, digest match, "
+        "conservation exact, breaker reroute + restore)",
+    )
+    p.set_defaults(handler=_cmd_service_chaos)
 
     p = subparsers.add_parser(
         "locks",

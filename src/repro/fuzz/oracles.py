@@ -99,6 +99,13 @@ The catalog (paper references in each oracle's ``reference``):
     column level, where ``0.0`` vs ``-0.0`` and dtype drift count as
     differences -- and never falls back (an in-domain fallback is
     itself a violation of the engine contract).
+``durable-decision-identity``
+    The admission service's durability layer
+    (:mod:`repro.service.durability`) is a faithful codec: a freshly
+    computed decision survives the checksummed persistence frame and
+    the decision JSON round-trip byte-identically, and a single flipped
+    byte inside the framed record is always detected (no silent
+    corruption can reach a salvaged cache).
 
 Oracle *applicability* encodes the paper's stated assumptions: the
 identity and plain-soundness oracles demand ideal conditions (perfect
@@ -888,6 +895,78 @@ def _check_region_soundness(case: FuzzCase) -> list[str]:
 
 
 # ---------------------------------------------------------------------------
+# Service durability-layer conformance
+# ---------------------------------------------------------------------------
+
+
+def _check_durable_decision_identity(case: FuzzCase) -> list[str]:
+    """The durability frame is lossless for healthy records, loud for torn.
+
+    Computes the case's admission decision from scratch, pushes it
+    through the exact pipeline the decision cache persists with
+    (``decision_to_dict`` -> JSON -> ``frame_line``) and back
+    (``unframe_line`` -> JSON -> ``decision_from_dict``), and demands
+    identity at every layer.  Then flips one byte inside the framed
+    record's body and demands the checksum rejects it: salvage-on-load
+    is only sound if corruption can never masquerade as a valid record.
+    Needs no simulation results.
+    """
+    import json
+
+    from repro.service.durability import (
+        FrameError,
+        frame_line,
+        unframe_line,
+    )
+    from repro.service.engine import compute_decision
+    from repro.service.requests import (
+        AdmissionRequest,
+        decision_from_dict,
+        decision_to_dict,
+    )
+
+    request = AdmissionRequest(
+        system=case.system,
+        shared_resources=not case.locks_free,
+    )
+    decision = compute_decision(request)
+    body = json.dumps(decision_to_dict(decision), sort_keys=True)
+    framed = frame_line(body)
+    issues: list[str] = []
+    recovered_body, was_framed = unframe_line(framed)
+    if not was_framed:
+        issues.append(
+            "frame_line output was not recognized as a framed record"
+        )
+    if recovered_body != body:
+        issues.append("the frame round-trip altered the record body")
+    try:
+        recovered = decision_from_dict(json.loads(recovered_body))
+    except Exception as exc:  # noqa: BLE001 -- any decode failure is the finding
+        issues.append(f"framed decision failed to decode: {exc}")
+        return issues
+    if recovered != decision:
+        issues.append(
+            "the decision JSON round-trip through the durability frame "
+            "is not lossless"
+        )
+    # One flipped byte mid-body must trip the checksum.
+    mid = len(framed) - len(body) // 2 - 1
+    flipped = "x" if framed[mid] != "x" else "y"
+    torn = framed[:mid] + flipped + framed[mid + 1 :]
+    try:
+        unframe_line(torn)
+    except FrameError:
+        pass
+    else:
+        issues.append(
+            "a flipped byte inside the framed record went undetected -- "
+            "corruption could masquerade as a valid cache entry"
+        )
+    return issues
+
+
+# ---------------------------------------------------------------------------
 # Exhaustive search vs analysis (small systems only)
 # ---------------------------------------------------------------------------
 
@@ -1118,6 +1197,16 @@ ORACLES: dict[str, Oracle] = {
             "trace byte-for-byte, with no in-domain fallback",
             _check_batch_reference_identity,
             _batch_identity_applies,
+        ),
+        Oracle(
+            "durable-decision-identity",
+            "durability-layer contract (docs/service.md)",
+            "a computed decision survives the checksummed persistence "
+            "frame byte-identically, and a flipped byte is detected",
+            _check_durable_decision_identity,
+            # Same size gate as the region oracle: the check pays one
+            # extra analysis dispatch per case.
+            _region_applies,
         ),
         Oracle(
             "exhaustive-vs-bounds",

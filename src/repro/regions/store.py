@@ -14,7 +14,6 @@ sharing model) transfers unchanged.
 from __future__ import annotations
 
 import json
-import sqlite3
 import threading
 from collections import OrderedDict
 from pathlib import Path
@@ -26,6 +25,14 @@ from repro.regions.region import (
     region_to_dict,
 )
 from repro.service.cache import CacheStats
+from repro.service.durability import (
+    FSYNC_POLICIES,
+    RecoveryReport,
+    atomic_write_text,
+    frame_line,
+    load_jsonl_salvaging,
+    open_sqlite_checked,
+)
 
 __all__ = [
     "REGION_BACKENDS",
@@ -61,15 +68,27 @@ class MemoryRegionStore:
     path:
         Optional JSONL persistence file (one ``{"shape_key": ...,
         "region": ...}`` object per line).  When given and present the
-        store warm-starts from it; :meth:`save` rewrites it.
+        store warm-starts from it; :meth:`save` rewrites it atomically.
+    fsync:
+        Snapshot fsync policy, one of
+        :data:`repro.service.durability.FSYNC_POLICIES`.
     """
 
     def __init__(
-        self, capacity: int = 1024, *, path: str | Path | None = None
+        self,
+        capacity: int = 1024,
+        *,
+        path: str | Path | None = None,
+        fsync: str = "data",
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(
                 f"region store capacity must be >= 1, got {capacity}"
+            )
+        if fsync not in FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"unknown fsync policy {fsync!r}; expected one of "
+                f"{'/'.join(FSYNC_POLICIES)}"
             )
         self._capacity = capacity
         self._entries: OrderedDict[str, FeasibilityRegion] = OrderedDict()
@@ -77,6 +96,9 @@ class MemoryRegionStore:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._fsync = fsync
+        self.last_recovery: RecoveryReport | None = None
+        self.integrity_failures = 0  # uniform backend-health surface
         self._path = None if path is None else Path(path)
         if self._path is not None and self._path.exists():
             self.load(self._path)
@@ -145,7 +167,12 @@ class MemoryRegionStore:
     # Persistence (warm restarts)
     # ------------------------------------------------------------------
     def save(self, path: str | Path | None = None) -> Path:
-        """Write every region as JSONL, LRU first.  Returns the path."""
+        """Snapshot every region as CRC-framed JSONL, LRU first.
+
+        Atomic (temp file + rename under the constructor's fsync
+        policy); a crash mid-save leaves the previous complete
+        snapshot.  Returns the path written.
+        """
         target = Path(path) if path is not None else self._path
         if target is None:
             raise ConfigurationError(
@@ -153,50 +180,62 @@ class MemoryRegionStore:
             )
         with self._lock:
             lines = [
-                json.dumps(
-                    {
-                        "format": _PERSIST_FORMAT,
-                        "shape_key": shape_key,
-                        "region": region_to_dict(region),
-                    },
-                    sort_keys=True,
+                frame_line(
+                    json.dumps(
+                        {
+                            "format": _PERSIST_FORMAT,
+                            "shape_key": shape_key,
+                            "region": region_to_dict(region),
+                        },
+                        sort_keys=True,
+                    )
                 )
                 for shape_key, region in self._entries.items()
             ]
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text("\n".join(lines) + ("\n" if lines else ""))
-        return target
+        return atomic_write_text(
+            target,
+            "\n".join(lines) + ("\n" if lines else ""),
+            fsync=self._fsync,
+        )
 
     def load(self, path: str | Path) -> int:
         """Merge entries from a :meth:`save` file; returns the count.
 
-        Corrupt or foreign lines raise :class:`ConfigurationError` --
-        silently dropped regions would hide persistence bugs.
+        A torn or truncated tail (crash mid-append) is salvaged: the
+        valid prefix loads, the damage is logged and reported in
+        ``last_recovery``.  Foreign-format lines and well-formed
+        records that fail to apply still raise
+        :class:`ConfigurationError` (wrong file / writer bug, not
+        storage damage).  Legacy unframed files load too.
         """
-        loaded = 0
-        for number, line in enumerate(
-            Path(path).read_text().splitlines(), start=1
-        ):
-            if not line.strip():
-                continue
-            try:
-                entry = json.loads(line)
-                if entry.get("format") != _PERSIST_FORMAT:
-                    raise ConfigurationError(
-                        f"not a {_PERSIST_FORMAT} line "
-                        f"(format={entry.get('format')!r})"
-                    )
-                self.put(
-                    entry["shape_key"], region_from_dict(entry["region"])
-                )
-            except ConfigurationError:
-                raise
-            except (json.JSONDecodeError, KeyError, TypeError) as exc:
-                raise ConfigurationError(
-                    f"{path}:{number}: bad region line: {exc}"
-                ) from exc
-            loaded += 1
-        return loaded
+
+        def apply(entry: dict) -> None:
+            self.put(
+                entry["shape_key"], region_from_dict(entry["region"])
+            )
+
+        report = load_jsonl_salvaging(
+            path,
+            expected_format=_PERSIST_FORMAT,
+            apply=apply,
+            label="region",
+        )
+        self.last_recovery = report
+        return report.loaded
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush to the constructor's persistence path, if any."""
+        if self._path is not None:
+            self.save()
+
+    def __enter__(self) -> "MemoryRegionStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class SqliteRegionStore:
@@ -209,7 +248,11 @@ class SqliteRegionStore:
     """
 
     def __init__(
-        self, capacity: int = 1024, *, db_path: str | Path = ":memory:"
+        self,
+        capacity: int = 1024,
+        *,
+        db_path: str | Path = ":memory:",
+        rebuild_from: str | Path | None = None,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(
@@ -221,13 +264,29 @@ class SqliteRegionStore:
         self._misses = 0
         self._evictions = 0
         self._db_path = str(db_path)
-        self._conn = sqlite3.connect(self._db_path, check_same_thread=False)
-        with self._lock:
-            if self._db_path != ":memory:":
-                self._conn.execute("PRAGMA journal_mode=WAL")
-                self._conn.execute("PRAGMA synchronous=NORMAL")
-            self._conn.executescript(_SCHEMA)
-            self._conn.commit()
+        self._closed = False
+        self.last_recovery: RecoveryReport | None = None
+        self.integrity_failures = 0
+        self._conn, quarantined = open_sqlite_checked(
+            self._db_path, _SCHEMA
+        )
+        if quarantined is not None:
+            self.integrity_failures += 1
+            loaded = 0
+            if (
+                rebuild_from is not None
+                and Path(rebuild_from).exists()
+            ):
+                loaded = self.load(rebuild_from)
+            self.last_recovery = RecoveryReport(
+                path=self._db_path,
+                kind="sqlite",
+                loaded=loaded,
+                reason="integrity check failed; rebuilt from snapshot"
+                if loaded
+                else "integrity check failed; no snapshot to rebuild from",
+                quarantined=quarantined,
+            )
 
     def _next_seq(self) -> int:
         row = self._conn.execute(
@@ -315,41 +374,64 @@ class SqliteRegionStore:
     # ------------------------------------------------------------------
     # Persistence interop (JSONL, compatible with MemoryRegionStore)
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> Path:
-        """Export to the memory store's JSONL format (LRU first)."""
+    def save(self, path: str | Path, *, fsync: str = "data") -> Path:
+        """Export to the memory store's JSONL format (LRU first).
+
+        CRC-framed and atomic, like the memory store -- this snapshot
+        is also what a corrupt database rebuilds from.
+        """
         with self._lock:
             rows = self._conn.execute(
                 "SELECT shape_key, region FROM regions ORDER BY seq"
             ).fetchall()
         lines = [
-            json.dumps(
-                {
-                    "format": _PERSIST_FORMAT,
-                    "shape_key": shape_key,
-                    "region": json.loads(encoded),
-                },
-                sort_keys=True,
+            frame_line(
+                json.dumps(
+                    {
+                        "format": _PERSIST_FORMAT,
+                        "shape_key": shape_key,
+                        "region": json.loads(encoded),
+                    },
+                    sort_keys=True,
+                )
             )
             for shape_key, encoded in rows
         ]
-        target = Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text("\n".join(lines) + ("\n" if lines else ""))
-        return target
+        return atomic_write_text(
+            path, "\n".join(lines) + ("\n" if lines else ""), fsync=fsync
+        )
 
     def load(self, path: str | Path) -> int:
-        """Merge a memory-store JSONL file; returns entries loaded."""
+        """Merge a memory-store JSONL file; returns entries loaded.
+
+        Salvage semantics match the memory store (the staging store
+        does the framing/validation); its :class:`RecoveryReport`
+        surfaces as ``last_recovery``.
+        """
         staging = MemoryRegionStore(capacity=max(1, self._capacity))
         loaded = staging.load(path)
         for shape_key in staging.keys():
             region = staging.get(shape_key)
             assert region is not None
             self.put(shape_key, region)
+        self.last_recovery = staging.last_recovery
         return loaded
 
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
     def close(self) -> None:
+        """Close the connection (idempotent; safe on error paths)."""
         with self._lock:
-            self._conn.close()
+            if not self._closed:
+                self._conn.close()
+                self._closed = True
+
+    def __enter__(self) -> "SqliteRegionStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def make_region_store(
@@ -357,20 +439,24 @@ def make_region_store(
     *,
     capacity: int = 1024,
     path: str | Path | None = None,
+    fsync: str = "data",
+    rebuild_from: str | Path | None = None,
 ):
     """Build a region store from configuration.
 
     ``backend="memory"`` gives the in-process LRU (``path`` is its
-    JSONL warm-start/persistence file); ``backend="sqlite"`` gives the
-    shared WAL-backed store (``path`` is the database file, default
-    private in-memory).
+    JSONL warm-start/persistence file, ``fsync`` its snapshot policy);
+    ``backend="sqlite"`` gives the shared WAL-backed store (``path`` is
+    the database file, default private in-memory; ``rebuild_from`` an
+    optional JSONL snapshot restored after quarantining corruption).
     """
     if backend == "memory":
-        return MemoryRegionStore(capacity=capacity, path=path)
+        return MemoryRegionStore(capacity=capacity, path=path, fsync=fsync)
     if backend == "sqlite":
         return SqliteRegionStore(
             capacity=capacity,
             db_path=":memory:" if path is None else path,
+            rebuild_from=rebuild_from,
         )
     raise ConfigurationError(
         f"unknown region store backend {backend!r}; expected one of "

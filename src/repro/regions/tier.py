@@ -90,6 +90,7 @@ class RegionTier:
         backend: str = "memory",
         capacity: int = 1024,
         path=None,
+        fsync: str = "data",
         build_threshold: int = 2,
         tolerance: float = DEFAULT_TOLERANCE,
         max_factor: float = DEFAULT_MAX_FACTOR,
@@ -106,7 +107,9 @@ class RegionTier:
         self.store = (
             store
             if store is not None
-            else make_region_store(backend, capacity=capacity, path=path)
+            else make_region_store(
+                backend, capacity=capacity, path=path, fsync=fsync
+            )
         )
         self.build_threshold = build_threshold
         self.tolerance = tolerance
@@ -264,6 +267,21 @@ class RegionTier:
         if self.metrics is not None:
             self.metrics.record_region_build(probes=region.probes)
         return region
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying store (flushes file-backed stores)."""
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "RegionTier":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Observability

@@ -25,7 +25,14 @@ procedure:
   degradation, and a JSONL-over-TCP server;
 * :mod:`repro.service.loadgen` -- seeded open/closed-loop load
   generation with latency percentiles and a decision digest;
-* :mod:`repro.service.metrics` -- counters and latency percentiles.
+* :mod:`repro.service.metrics` -- counters and latency percentiles;
+* :mod:`repro.service.durability` -- checksummed record framing,
+  atomic snapshot writes, valid-prefix salvage and sqlite
+  integrity-check/quarantine for every persistence path;
+* :mod:`repro.service.supervision` -- per-shard circuit breakers
+  (closed/open/half-open) that route traffic around failing shards;
+* :mod:`repro.service.chaos` -- the service-plane chaos harness:
+  seeded storage damage and shard failure with recovery oracles.
 
 The optional **region tier** (:mod:`repro.regions`, re-exported here as
 :class:`RegionTier`) sits above the decision cache: it maps request
@@ -47,6 +54,7 @@ Quickstart::
 from repro.service.backends import SqliteDecisionCache, make_cache
 from repro.service.batch import admit_batch
 from repro.service.cache import CacheStats, DecisionCache, SingleFlight
+from repro.service.durability import RecoveryReport
 from repro.service.engine import AdmissionController, compute_decision
 from repro.service.frontend import (
     AdmissionFrontend,
@@ -58,6 +66,7 @@ from repro.service.hashing import request_key, system_key
 from repro.service.loadgen import LoadgenConfig, LoadReport, run_campaign, run_load
 from repro.service.metrics import ServiceMetrics
 from repro.service.sharding import ShardRing
+from repro.service.supervision import BreakerConfig, CircuitBreaker
 from repro.service.requests import (
     ALL_PROTOCOLS,
     AdmissionDecision,
@@ -77,12 +86,16 @@ __all__ = [
     "AdmissionDecision",
     "AdmissionFrontend",
     "AdmissionRequest",
+    "BreakerConfig",
     "CacheStats",
+    "CircuitBreaker",
     "DecisionCache",
     "FrontendConfig",
     "LoadReport",
     "LoadgenConfig",
+    "RecoveryReport",
     "RegionTier",
+    "ServiceChaosReport",
     "ServiceMetrics",
     "ShardRing",
     "SingleFlight",
@@ -100,6 +113,7 @@ __all__ = [
     "request_to_dict",
     "run_campaign",
     "run_load",
+    "run_service_chaos",
     "save_decisions_jsonl",
     "serve_frontend",
     "system_key",
@@ -108,11 +122,16 @@ __all__ = [
 
 def __getattr__(name: str):
     # Lazy: repro.regions.tier imports repro.service submodules, so a
-    # top-level import here would be circular.
+    # top-level import here would be circular.  The chaos harness is
+    # lazy too -- it pulls in the region tier.
     if name == "RegionTier":
         from repro.regions.tier import RegionTier
 
         return RegionTier
+    if name in ("ServiceChaosReport", "run_service_chaos"):
+        from repro.service import chaos
+
+        return getattr(chaos, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )

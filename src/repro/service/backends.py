@@ -22,7 +22,6 @@ a configuration error, never a silent default.
 from __future__ import annotations
 
 import json
-import sqlite3
 import threading
 from pathlib import Path
 
@@ -32,6 +31,12 @@ from repro.service.cache import (
     CacheStats,
     DecisionCache,
     SingleFlight,
+)
+from repro.service.durability import (
+    RecoveryReport,
+    atomic_write_text,
+    frame_line,
+    open_sqlite_checked,
 )
 from repro.service.requests import (
     AdmissionDecision,
@@ -64,10 +69,21 @@ class SqliteDecisionCache:
     db_path:
         The sqlite file.  ``":memory:"`` gives a private in-memory
         database (useful in tests); a real path is durable and shared.
+    rebuild_from:
+        Optional JSONL snapshot (a :meth:`save` file from any cache
+        backend).  When opening ``db_path`` finds corruption (``PRAGMA
+        integrity_check`` fails), the damaged file is quarantined, a
+        fresh database is started, and -- if this snapshot exists --
+        the cache rebuilds from it; ``last_recovery`` reports all of
+        it and ``integrity_failures`` counts the corruption events.
     """
 
     def __init__(
-        self, capacity: int = 4096, *, db_path: str | Path = ":memory:"
+        self,
+        capacity: int = 4096,
+        *,
+        db_path: str | Path = ":memory:",
+        rebuild_from: str | Path | None = None,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(
@@ -80,15 +96,29 @@ class SqliteDecisionCache:
         self._evictions = 0
         self.flights = SingleFlight()
         self._db_path = str(db_path)
-        self._conn = sqlite3.connect(
-            self._db_path, check_same_thread=False
+        self._closed = False
+        self.last_recovery: RecoveryReport | None = None
+        self.integrity_failures = 0
+        self._conn, quarantined = open_sqlite_checked(
+            self._db_path, _SCHEMA
         )
-        with self._lock:
-            if self._db_path != ":memory:":
-                self._conn.execute("PRAGMA journal_mode=WAL")
-                self._conn.execute("PRAGMA synchronous=NORMAL")
-            self._conn.executescript(_SCHEMA)
-            self._conn.commit()
+        if quarantined is not None:
+            self.integrity_failures += 1
+            loaded = 0
+            if (
+                rebuild_from is not None
+                and Path(rebuild_from).exists()
+            ):
+                loaded = self.load(rebuild_from)
+            self.last_recovery = RecoveryReport(
+                path=self._db_path,
+                kind="sqlite",
+                loaded=loaded,
+                reason="integrity check failed; rebuilt from snapshot"
+                if loaded
+                else "integrity check failed; no snapshot to rebuild from",
+                quarantined=quarantined,
+            )
 
     # ------------------------------------------------------------------
     # Core map operations (DecisionCache interface)
@@ -182,43 +212,68 @@ class SqliteDecisionCache:
     # ------------------------------------------------------------------
     # Persistence interop (JSONL, compatible with DecisionCache files)
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> Path:
-        """Export to the DecisionCache JSONL format (LRU first)."""
+    def save(self, path: str | Path, *, fsync: str = "data") -> Path:
+        """Export to the DecisionCache JSONL format (LRU first).
+
+        CRC-framed and written atomically, like
+        :meth:`repro.service.cache.DecisionCache.save` -- the snapshot
+        is also what :class:`SqliteDecisionCache` rebuilds from after
+        quarantining a corrupt database.
+        """
         with self._lock:
             rows = self._conn.execute(
                 "SELECT key, decision FROM decisions ORDER BY seq"
             ).fetchall()
         lines = [
-            json.dumps(
-                {
-                    "format": _PERSIST_FORMAT,
-                    "key": key,
-                    "decision": json.loads(encoded),
-                },
-                sort_keys=True,
+            frame_line(
+                json.dumps(
+                    {
+                        "format": _PERSIST_FORMAT,
+                        "key": key,
+                        "decision": json.loads(encoded),
+                    },
+                    sort_keys=True,
+                )
             )
             for key, encoded in rows
         ]
-        target = Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text("\n".join(lines) + ("\n" if lines else ""))
-        return target
+        return atomic_write_text(
+            path, "\n".join(lines) + ("\n" if lines else ""), fsync=fsync
+        )
 
     def load(self, path: str | Path) -> int:
-        """Merge a DecisionCache JSONL file; returns entries loaded."""
-        # Reuse the reference implementation's strict line validation
-        # by staging through an in-process cache, then bulk-insert.
+        """Merge a DecisionCache JSONL file; returns entries loaded.
+
+        Same salvage semantics as the in-process cache (the staging
+        cache does the framing/validation work); the staging load's
+        :class:`RecoveryReport` is surfaced as ``last_recovery``.
+        """
+        # Reuse the reference implementation's line validation by
+        # staging through an in-process cache, then bulk-insert.
         staging = DecisionCache(capacity=max(1, self._capacity))
         loaded = staging.load(path)
         for key in staging.keys():
             decision = staging.get(key)
             assert decision is not None
             self.put(key, decision)
+        self.last_recovery = staging.last_recovery
         return loaded
 
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
     def close(self) -> None:
+        """Close the connection (idempotent; safe on error paths)."""
         with self._lock:
-            self._conn.close()
+            if not self._closed:
+                self._conn.close()
+                self._closed = True
+
+    def __enter__(self) -> "SqliteDecisionCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def make_cache(
@@ -226,20 +281,25 @@ def make_cache(
     *,
     capacity: int = 4096,
     path: str | Path | None = None,
+    fsync: str = "data",
+    rebuild_from: str | Path | None = None,
 ) -> DecisionCache | SqliteDecisionCache:
     """Build a decision cache from configuration.
 
     ``backend="memory"`` gives the in-process LRU (``path`` is its JSONL
-    warm-start/persistence file); ``backend="sqlite"`` gives the shared
-    WAL-backed store (``path`` is the database file, default private
-    in-memory).
+    warm-start/persistence file, ``fsync`` its snapshot policy);
+    ``backend="sqlite"`` gives the shared WAL-backed store (``path`` is
+    the database file, default private in-memory; ``rebuild_from`` an
+    optional JSONL snapshot to rebuild from after quarantining a
+    corrupt database).
     """
     if backend == "memory":
-        return DecisionCache(capacity=capacity, path=path)
+        return DecisionCache(capacity=capacity, path=path, fsync=fsync)
     if backend == "sqlite":
         return SqliteDecisionCache(
             capacity=capacity,
             db_path=":memory:" if path is None else path,
+            rebuild_from=rebuild_from,
         )
     raise ConfigurationError(
         f"unknown cache backend {backend!r}; expected one of "

@@ -37,6 +37,13 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ConfigurationError
+from repro.service.durability import (
+    FSYNC_POLICIES,
+    RecoveryReport,
+    atomic_write_text,
+    frame_line,
+    load_jsonl_salvaging,
+)
 from repro.service.requests import (
     AdmissionDecision,
     decision_from_dict,
@@ -187,19 +194,35 @@ class DecisionCache:
         (looked up or stored) entry is evicted first.
     path:
         Optional persistence file.  When given and present, the cache
-        warm-starts from it on construction; :meth:`save` rewrites it.
+        warm-starts from it on construction; :meth:`save` rewrites it
+        (atomically; see :mod:`repro.service.durability`).
+    fsync:
+        Snapshot fsync policy, one of
+        :data:`repro.service.durability.FSYNC_POLICIES`.
 
     Every cache carries a :class:`SingleFlight` table as ``flights``,
     which the batch layer and the sharded frontend use to collapse
-    concurrent misses on one key into a single computation.
+    concurrent misses on one key into a single computation.  After a
+    warm start, ``last_recovery`` holds the load's
+    :class:`~repro.service.durability.RecoveryReport` (salvage counts
+    for a torn file, or a clean report).
     """
 
     def __init__(
-        self, capacity: int = 4096, *, path: str | Path | None = None
+        self,
+        capacity: int = 4096,
+        *,
+        path: str | Path | None = None,
+        fsync: str = "data",
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(
                 f"cache capacity must be >= 1, got {capacity}"
+            )
+        if fsync not in FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"unknown fsync policy {fsync!r}; expected one of "
+                f"{'/'.join(FSYNC_POLICIES)}"
             )
         self._capacity = capacity
         self._entries: OrderedDict[str, AdmissionDecision] = OrderedDict()
@@ -208,6 +231,9 @@ class DecisionCache:
         self._misses = 0
         self._evictions = 0
         self.flights = SingleFlight()
+        self._fsync = fsync
+        self.last_recovery: RecoveryReport | None = None
+        self.integrity_failures = 0  # uniform backend-health surface
         self._path = None if path is None else Path(path)
         if self._path is not None and self._path.exists():
             self.load(self._path)
@@ -277,8 +303,13 @@ class DecisionCache:
     # Persistence (warm restarts)
     # ------------------------------------------------------------------
     def save(self, path: str | Path | None = None) -> Path:
-        """Write every entry as JSONL, LRU first (so a smaller-capacity
-        reload keeps the hottest entries).  Returns the path written."""
+        """Snapshot every entry as CRC-framed JSONL, LRU first (so a
+        smaller-capacity reload keeps the hottest entries).
+
+        The write is atomic (temp file + rename under the constructor's
+        fsync policy): a crash mid-save leaves the previous complete
+        snapshot, never a torn file.  Returns the path written.
+        """
         target = Path(path) if path is not None else self._path
         if target is None:
             raise ConfigurationError(
@@ -286,47 +317,64 @@ class DecisionCache:
             )
         with self._lock:
             lines = [
-                json.dumps(
-                    {
-                        "format": _PERSIST_FORMAT,
-                        "key": key,
-                        "decision": decision_to_dict(decision),
-                    },
-                    sort_keys=True,
+                frame_line(
+                    json.dumps(
+                        {
+                            "format": _PERSIST_FORMAT,
+                            "key": key,
+                            "decision": decision_to_dict(decision),
+                        },
+                        sort_keys=True,
+                    )
                 )
                 for key, decision in self._entries.items()
             ]
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text("\n".join(lines) + ("\n" if lines else ""))
-        return target
+        return atomic_write_text(
+            target,
+            "\n".join(lines) + ("\n" if lines else ""),
+            fsync=self._fsync,
+        )
 
     def load(self, path: str | Path) -> int:
         """Merge entries from a :meth:`save` file; returns the count.
 
         Lines are applied in file order, so the file's most recently
-        used entries end up most recently used here too.  Unknown or
-        corrupt lines raise :class:`ConfigurationError` -- a cache that
-        silently drops entries would hide real persistence bugs.
+        used entries end up most recently used here too.  A torn or
+        truncated tail (crash mid-append) is *salvaged*: the valid
+        prefix loads, the damage is logged and reported in
+        ``last_recovery``.  A parseable line of a foreign format, or a
+        well-formed record this cache cannot apply, still raises
+        :class:`ConfigurationError` -- those are configuration/writer
+        bugs, not storage damage.  Legacy unframed files load too.
         """
-        loaded = 0
-        for number, line in enumerate(
-            Path(path).read_text().splitlines(), start=1
-        ):
-            if not line.strip():
-                continue
-            try:
-                entry = json.loads(line)
-                if entry.get("format") != _PERSIST_FORMAT:
-                    raise ConfigurationError(
-                        f"not a {_PERSIST_FORMAT} line "
-                        f"(format={entry.get('format')!r})"
-                    )
-                self.put(entry["key"], decision_from_dict(entry["decision"]))
-            except ConfigurationError:
-                raise
-            except (json.JSONDecodeError, KeyError, TypeError) as exc:
-                raise ConfigurationError(
-                    f"{path}:{number}: bad cache line: {exc}"
-                ) from exc
-            loaded += 1
-        return loaded
+
+        def apply(entry: dict) -> None:
+            self.put(entry["key"], decision_from_dict(entry["decision"]))
+
+        report = load_jsonl_salvaging(
+            path,
+            expected_format=_PERSIST_FORMAT,
+            apply=apply,
+            label="cache",
+        )
+        self.last_recovery = report
+        return report.loaded
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush to the constructor's persistence path, if any.
+
+        Idempotent; a path-less cache has nothing to do.  This is what
+        makes ``with DecisionCache(path=...) as cache:`` crash-restart
+        friendly: normal teardown leaves a complete snapshot behind.
+        """
+        if self._path is not None:
+            self.save()
+
+    def __enter__(self) -> "DecisionCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -196,12 +196,15 @@ class AdmissionController:
         cache_backend: str = "memory",
         cache_capacity: int = 4096,
         cache_path=None,
+        fsync: str = "data",
         region_tier=None,
         region_backend: str | None = None,
         region_capacity: int = 1024,
         region_path=None,
         region_build_threshold: int = 2,
     ) -> None:
+        self._owns_cache = False
+        self._owns_regions = False
         if cache is None and enable_cache:
             from repro.service.backends import make_cache
 
@@ -209,7 +212,9 @@ class AdmissionController:
                 cache_backend,
                 capacity=cache_capacity,
                 path=cache_path,
+                fsync=fsync,
             )
+            self._owns_cache = True
         self.cache = cache if enable_cache else None
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         if region_tier is None and region_backend is not None:
@@ -219,12 +224,54 @@ class AdmissionController:
                 backend=region_backend,
                 capacity=region_capacity,
                 path=region_path,
+                fsync=fsync,
                 build_threshold=region_build_threshold,
                 metrics=self.metrics,
             )
+            self._owns_regions = True
         elif region_tier is not None and region_tier.metrics is None:
             region_tier.metrics = self.metrics
         self.regions = region_tier
+        # Surface warm-start damage (salvage/quarantine) in metrics.
+        for store in (
+            self.cache,
+            self.regions.store if self.regions is not None else None,
+        ):
+            if store is None:
+                continue
+            report = getattr(store, "last_recovery", None)
+            if report is not None and not report.clean:
+                self.metrics.record_recovery(
+                    salvaged=report.salvaged, dropped=report.dropped
+                )
+            failures = getattr(store, "integrity_failures", 0)
+            if failures:
+                self.metrics.record_integrity_failure(failures)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close backends this controller built (idempotent).
+
+        File-backed stores flush their snapshots; ``try/finally`` so a
+        cache-close failure cannot leak the region store's connection.
+        Caller-passed backends are the caller's to close.
+        """
+        try:
+            if self._owns_cache and self.cache is not None:
+                close = getattr(self.cache, "close", None)
+                if close is not None:
+                    close()
+        finally:
+            if self._owns_regions and self.regions is not None:
+                self.regions.close()
+
+    def __enter__(self) -> "AdmissionController":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Single admissions

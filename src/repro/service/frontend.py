@@ -47,8 +47,10 @@ from repro.errors import ConfigurationError
 from repro.service.backends import CACHE_BACKENDS, make_cache
 from repro.service.batch import _compute_job, _degraded_decision
 from repro.service.cache import SingleFlight
+from repro.service.durability import FSYNC_POLICIES
 from repro.service.hashing import request_key
 from repro.service.metrics import ServiceMetrics
+from repro.service.supervision import BreakerConfig, CircuitBreaker
 from repro.service.requests import (
     AdmissionDecision,
     AdmissionRequest,
@@ -59,6 +61,7 @@ from repro.service.sharding import ShardRing
 
 __all__ = [
     "AdmissionFrontend",
+    "DRAIN_MODES",
     "FrontendConfig",
     "TenantQuota",
     "serve_frontend",
@@ -66,6 +69,11 @@ __all__ = [
 
 #: Recognized shard executor kinds.
 EXECUTORS: tuple[str, ...] = ("thread", "process")
+
+#: What :meth:`AdmissionFrontend.stop` does with queued jobs:
+#: ``"flush"`` serves them before teardown, ``"shed"`` resolves them
+#: as explicit shed decisions immediately (fast stop, never silent).
+DRAIN_MODES: tuple[str, ...] = ("flush", "shed")
 
 
 def _shard_compute(job):
@@ -139,6 +147,15 @@ class FrontendConfig:
     digest byte-identical -- while ``"memory"``/``"sqlite"`` serve
     repeat-shape admissions analysis-free once a shape has been
     computed ``region_build_threshold`` times.
+
+    Supervision (see :mod:`repro.service.supervision`):
+    ``breaker_failures`` consecutive compute failures open a shard's
+    circuit breaker (``0`` disables supervision), after which its
+    keyspace is routed to ring neighbors until, ``breaker_recovery``
+    seconds later, half-open probes restore it.  ``drain`` is what
+    :meth:`AdmissionFrontend.stop` does with queued jobs
+    (``"flush"``/``"shed"``), and ``fsync`` the snapshot policy for
+    file-backed stores (see :mod:`repro.service.durability`).
     """
 
     shards: int = 1
@@ -158,6 +175,11 @@ class FrontendConfig:
     region_capacity: int = 1024
     region_path: str | Path | None = None
     region_build_threshold: int = 2
+    breaker_failures: int = 5
+    breaker_recovery: float = 1.0
+    breaker_probes: int = 1
+    drain: str = "flush"
+    fsync: str = "data"
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -216,6 +238,28 @@ class FrontendConfig:
                 f"region_build_threshold must be >= 1, "
                 f"got {self.region_build_threshold}"
             )
+        if self.breaker_failures > 0:
+            # Validates recovery/probes too (same rules as the breaker).
+            BreakerConfig(
+                failure_threshold=self.breaker_failures,
+                recovery_time=self.breaker_recovery,
+                probe_budget=self.breaker_probes,
+            )
+        elif self.breaker_failures < 0:
+            raise ConfigurationError(
+                f"breaker_failures must be >= 0 (0 disables "
+                f"supervision), got {self.breaker_failures}"
+            )
+        if self.drain not in DRAIN_MODES:
+            raise ConfigurationError(
+                f"unknown drain mode {self.drain!r}; expected one of "
+                f"{'/'.join(DRAIN_MODES)}"
+            )
+        if self.fsync not in FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"unknown fsync policy {self.fsync!r}; expected one of "
+                f"{'/'.join(FSYNC_POLICIES)}"
+            )
 
 
 def _shed_decision(
@@ -242,7 +286,7 @@ def _shed_decision(
 
 
 class _Shard:
-    """One worker shard: bounded queue + executor + metrics."""
+    """One worker shard: bounded queue + executor + metrics + breaker."""
 
     def __init__(self, index: int, config: FrontendConfig) -> None:
         self.index = index
@@ -253,6 +297,7 @@ class _Shard:
         self.metrics = ServiceMetrics()
         self.executor = self._make_executor()
         self.workers: list[asyncio.Task] = []
+        self.breaker: CircuitBreaker | None = None  # set by the frontend
 
     def _make_executor(self):
         if self.config.executor == "process":
@@ -304,6 +349,8 @@ class AdmissionFrontend:
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.config = config if config is not None else FrontendConfig()
+        self._owns_cache = False
+        self._owns_regions = False
         if cache is not None:
             self.cache = cache
         elif self.config.cache_backend is None:
@@ -313,7 +360,9 @@ class AdmissionFrontend:
                 self.config.cache_backend,
                 capacity=self.config.cache_capacity,
                 path=self.config.cache_path,
+                fsync=self.config.fsync,
             )
+            self._owns_cache = True
         self.metrics = ServiceMetrics()  # fleet-wide aggregate
         if region_tier is not None:
             self.regions = region_tier
@@ -330,7 +379,9 @@ class AdmissionFrontend:
                 path=self.config.region_path,
                 build_threshold=self.config.region_build_threshold,
                 metrics=self.metrics,
+                fsync=self.config.fsync,
             )
+            self._owns_regions = True
         self.ring = ShardRing(
             self.config.shards, replicas=self.config.ring_replicas
         )
@@ -339,6 +390,50 @@ class AdmissionFrontend:
         self._shards: list[_Shard] = []
         self._wait_pool: ThreadPoolExecutor | None = None
         self._started = False
+        # Surface warm-start damage (salvage/quarantine) in metrics so
+        # --stats shows it even when recovery succeeded silently.
+        self._absorb_store_health(self.cache)
+        self._absorb_store_health(
+            self.regions.store if self.regions is not None else None
+        )
+
+    def _absorb_store_health(self, store) -> None:
+        """Fold a backend's recovery/integrity state into the metrics."""
+        if store is None:
+            return
+        report = getattr(store, "last_recovery", None)
+        if report is not None and not report.clean:
+            self.metrics.record_recovery(
+                salvaged=report.salvaged, dropped=report.dropped
+            )
+        failures = getattr(store, "integrity_failures", 0)
+        if failures:
+            self.metrics.record_integrity_failure(failures)
+
+    def _make_breaker(self, shard: _Shard) -> CircuitBreaker | None:
+        if self.config.breaker_failures <= 0:
+            return None
+
+        def on_transition(
+            old: str, new: str, shard: _Shard = shard
+        ) -> None:
+            for sink in (self.metrics, shard.metrics):
+                if new == "open":
+                    sink.record_breaker_open()
+                elif new == "half_open":
+                    sink.record_breaker_half_open()
+                elif new == "closed":
+                    sink.record_breaker_restore()
+
+        return CircuitBreaker(
+            BreakerConfig(
+                failure_threshold=self.config.breaker_failures,
+                recovery_time=self.config.breaker_recovery,
+                probe_budget=self.config.breaker_probes,
+            ),
+            clock=self._clock,
+            on_transition=on_transition,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -350,6 +445,8 @@ class AdmissionFrontend:
             _Shard(index, self.config)
             for index in range(self.config.shards)
         ]
+        for shard in self._shards:
+            shard.breaker = self._make_breaker(shard)
         self._wait_pool = ThreadPoolExecutor(
             max_workers=max(4, self.config.shards),
             thread_name_prefix="repro-flight-wait",
@@ -362,26 +459,90 @@ class AdmissionFrontend:
         self._started = True
         return self
 
-    async def stop(self) -> None:
-        """Drain every queue, then tear the shards down.
+    async def stop(self, *, drain: str | None = None) -> None:
+        """Graceful teardown: stop intake, drain, close every backend.
 
-        Requests enqueued before ``stop`` are still served (the
-        shutdown sentinels queue behind them); an ``admit`` arriving
-        after ``stop`` began raises instead of waiting forever on a
-        queue nobody drains.
+        ``drain`` overrides the config's mode: ``"flush"`` serves every
+        queued job before teardown (the shutdown sentinels queue behind
+        them); ``"shed"`` resolves queued jobs as explicit shed
+        decisions immediately -- a fast stop that still never drops a
+        request silently.  Either way, an ``admit`` arriving after
+        ``stop`` began raises instead of waiting forever on a queue
+        nobody drains, executors are shut down, and backends the
+        frontend built are closed (flushing file-backed stores) even if
+        a worker fails mid-drain.
         """
         if not self._started:
             return
         self._started = False  # late admits fail fast, never hang
-        for shard in self._shards:
-            for _ in shard.workers:
-                await shard.queue.put(None)  # one sentinel per worker
-        for shard in self._shards:
-            for worker in shard.workers:
-                await worker
-            shard.shutdown()
-        if self._wait_pool is not None:
-            self._wait_pool.shutdown(wait=False, cancel_futures=True)
+        mode = drain if drain is not None else self.config.drain
+        if mode not in DRAIN_MODES:
+            raise ConfigurationError(
+                f"unknown drain mode {mode!r}; expected one of "
+                f"{'/'.join(DRAIN_MODES)}"
+            )
+        try:
+            for shard in self._shards:
+                if mode == "shed":
+                    self._shed_queue(shard)
+                else:
+                    depth = shard.queue.qsize()
+                    if depth:
+                        self.metrics.record_drain(flushed=depth)
+                        shard.metrics.record_drain(flushed=depth)
+                for _ in shard.workers:
+                    await shard.queue.put(None)  # one sentinel per worker
+            for shard in self._shards:
+                for worker in shard.workers:
+                    await worker
+        finally:
+            try:
+                for shard in self._shards:
+                    shard.shutdown()
+            finally:
+                if self._wait_pool is not None:
+                    self._wait_pool.shutdown(
+                        wait=False, cancel_futures=True
+                    )
+                self._close_backends()
+
+    def _shed_queue(self, shard: _Shard) -> None:
+        """Resolve everything queued on ``shard`` as explicit sheds."""
+        while True:
+            try:
+                item = shard.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if item is None:
+                continue
+            request, key, future, _started_at = item
+            for sink in (self.metrics, shard.metrics):
+                sink.record_shed()
+                sink.record_drain(shed=1)
+            if shard.breaker is not None:
+                shard.breaker.record_void()
+            if not future.done():
+                future.set_result(
+                    _shed_decision(
+                        request,
+                        key,
+                        "frontend stopping -- queued request shed "
+                        "at drain",
+                    )
+                )
+
+    def _close_backends(self) -> None:
+        """Close stores this frontend built (caller-passed ones are
+        the caller's to close); ``try/finally`` so one failure cannot
+        leak the other backend."""
+        try:
+            if self._owns_cache and self.cache is not None:
+                close = getattr(self.cache, "close", None)
+                if close is not None:
+                    close()
+        finally:
+            if self._owns_regions and self.regions is not None:
+                self.regions.close()
 
     async def __aenter__(self) -> "AdmissionFrontend":
         return await self.start()
@@ -405,6 +566,29 @@ class AdmissionFrontend:
             )
         return bucket.try_take()
 
+    def _route(self, key: str) -> _Shard:
+        """The healthiest shard for ``key``: its ring owner when that
+        shard's breaker admits traffic, else the first ring neighbor
+        whose breaker does.
+
+        Supervision is advisory, never load-bearing for liveness: if
+        *every* breaker refuses, the primary gets the request anyway --
+        turning an all-unhealthy detector verdict into a total outage
+        would be worse than trying.
+        """
+        primary = self.ring.shard_for(key)
+        shard = self._shards[primary]
+        if shard.breaker is None or shard.breaker.allow():
+            return shard
+        count = len(self._shards)
+        for offset in range(1, count):
+            candidate = self._shards[(primary + offset) % count]
+            if candidate.breaker is None or candidate.breaker.allow():
+                self.metrics.record_reroute()
+                candidate.metrics.record_reroute()
+                return candidate
+        return shard
+
     async def admit(
         self, request: AdmissionRequest
     ) -> AdmissionDecision:
@@ -427,10 +611,14 @@ class AdmissionFrontend:
                 "exceeded (429, retry later)",
             )
         key = request_key(request)
-        shard = self._shards[self.ring.shard_for(key)]
+        shard = self._route(key)
         if self.cache is not None:
             cached = self.cache.get(key)
             if cached is not None:
+                if shard.breaker is not None:
+                    # A cache hit never touches the executor: return
+                    # any half-open probe permit unspent.
+                    shard.breaker.record_void()
                 latency = time.perf_counter() - started
                 for sink in (self.metrics, shard.metrics):
                     sink.record(
@@ -445,6 +633,8 @@ class AdmissionFrontend:
         try:
             shard.queue.put_nowait((request, key, future, started))
         except asyncio.QueueFull:
+            if shard.breaker is not None:
+                shard.breaker.record_void()
             self.metrics.record_shed()
             shard.metrics.record_shed()
             return _shed_decision(
@@ -473,6 +663,18 @@ class AdmissionFrontend:
                     request, key, f"shard worker error: {exc}"
                 )
                 degraded, source = True, "computed"
+            if shard.breaker is not None:
+                # Only *computed* outcomes prove anything about this
+                # shard's executor; cache/region/coalesced resolutions
+                # must neither reset the failure streak nor count as
+                # half-open probes.
+                if source == "computed":
+                    if degraded:
+                        shard.breaker.record_failure()
+                    else:
+                        shard.breaker.record_success()
+                else:
+                    shard.breaker.record_void()
             latency = time.perf_counter() - started
             for sink in (self.metrics, shard.metrics):
                 sink.record(
@@ -634,6 +836,10 @@ class AdmissionFrontend:
                 shard.metrics.snapshot() for shard in self._shards
             ],
             "queue_depths": self.queue_depths(),
+            "breakers": [
+                None if shard.breaker is None else shard.breaker.snapshot()
+                for shard in self._shards
+            ],
         }
         if self.cache is not None:
             stats = self.cache.stats()
@@ -661,12 +867,18 @@ class AdmissionFrontend:
         lines = [self.metrics.describe()]
         for shard, depth in zip(self._shards, self.queue_depths()):
             snap = shard.metrics.snapshot()
+            breaker = (
+                ""
+                if shard.breaker is None
+                else f", {shard.breaker.describe()}"
+            )
             lines.append(
                 f"shard {shard.index}: {snap['requests']} requests, "
                 f"{snap['cache_hits']} hits, "
                 f"{snap['shed']} shed, {snap['degraded']} degraded, "
                 f"queue depth {depth}, "
                 f"p99 {snap['latency_p99'] * 1e3:.3f} ms"
+                f"{breaker}"
             )
         if self.cache is not None:
             lines.append(self.cache.stats().describe())

@@ -176,6 +176,20 @@ class LoadReport:
     digest: str
     snapshot: dict
 
+    @property
+    def conservation_exact(self) -> bool:
+        """Every issued request is accounted for, exactly once.
+
+        ``issued == served + shed`` and ``served == admitted +
+        rejected`` (degraded decisions are REJECTs, so they are inside
+        ``rejected``).  The chaos harness gates on this: a frontend
+        that loses a request under faults would break it.
+        """
+        return (
+            self.issued == self.served + self.shed
+            and self.served == self.admitted + self.rejected
+        )
+
     def render(self) -> str:
         """A compact multi-line report for CLI output."""
         lines = [
@@ -199,6 +213,11 @@ class LoadReport:
             ),
             f"digest: {self.digest[:16]}",
         ]
+        if not self.conservation_exact:
+            lines.append(
+                "conservation: BROKEN (issued != served + shed) -- "
+                "requests were lost"
+            )
         cache = self.snapshot.get("cache")
         if cache is not None:
             lines.insert(

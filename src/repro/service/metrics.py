@@ -60,6 +60,15 @@ class ServiceMetrics:
         self._region_fallbacks = 0
         self._region_builds = 0
         self._region_probes = 0
+        self._records_salvaged = 0
+        self._records_dropped = 0
+        self._integrity_failures = 0
+        self._breaker_opens = 0
+        self._breaker_half_opens = 0
+        self._breaker_restores = 0
+        self._rerouted = 0
+        self._drain_flushed = 0
+        self._drain_shed = 0
 
     # ------------------------------------------------------------------
     # Recording (hot path)
@@ -156,6 +165,43 @@ class ServiceMetrics:
             self._region_builds += 1
             self._region_probes += probes
 
+    def record_recovery(self, *, salvaged: int = 0, dropped: int = 0) -> None:
+        """Account one damaged-store load: records kept vs. discarded."""
+        with self._lock:
+            self._records_salvaged += salvaged
+            self._records_dropped += dropped
+
+    def record_integrity_failure(self, count: int = 1) -> None:
+        """Account sqlite integrity-check failures (quarantine events)."""
+        with self._lock:
+            self._integrity_failures += count
+
+    def record_breaker_open(self) -> None:
+        """Account one shard breaker tripping open."""
+        with self._lock:
+            self._breaker_opens += 1
+
+    def record_breaker_half_open(self) -> None:
+        """Account one breaker entering its half-open probe window."""
+        with self._lock:
+            self._breaker_half_opens += 1
+
+    def record_breaker_restore(self) -> None:
+        """Account one breaker closing again after successful probes."""
+        with self._lock:
+            self._breaker_restores += 1
+
+    def record_reroute(self) -> None:
+        """Account one request routed around its open-breaker shard."""
+        with self._lock:
+            self._rerouted += 1
+
+    def record_drain(self, *, flushed: int = 0, shed: int = 0) -> None:
+        """Account queued jobs handled at shutdown: served vs. shed."""
+        with self._lock:
+            self._drain_flushed += flushed
+            self._drain_shed += shed
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -180,6 +226,15 @@ class ServiceMetrics:
                 "region_fallbacks": self._region_fallbacks,
                 "region_builds": self._region_builds,
                 "region_probes": self._region_probes,
+                "records_salvaged": self._records_salvaged,
+                "records_dropped": self._records_dropped,
+                "integrity_failures": self._integrity_failures,
+                "breaker_opens": self._breaker_opens,
+                "breaker_half_opens": self._breaker_half_opens,
+                "breaker_restores": self._breaker_restores,
+                "rerouted": self._rerouted,
+                "drain_flushed": self._drain_flushed,
+                "drain_shed": self._drain_shed,
             }
         counters["hit_rate"] = (
             counters["cache_hits"] / counters["requests"]
@@ -252,6 +307,38 @@ class ServiceMetrics:
                 or snap["region_misses"]
                 or snap["region_fallbacks"]
                 or snap["region_builds"]
+                else []
+            )
+            + (
+                [
+                    f"durability: {snap['records_salvaged']} record(s) "
+                    f"salvaged, {snap['records_dropped']} dropped, "
+                    f"{snap['integrity_failures']} integrity failure(s)"
+                ]
+                if snap["records_salvaged"]
+                or snap["records_dropped"]
+                or snap["integrity_failures"]
+                else []
+            )
+            + (
+                [
+                    f"supervision: {snap['breaker_opens']} breaker "
+                    f"open(s), {snap['breaker_half_opens']} half-open "
+                    f"probe window(s), {snap['breaker_restores']} "
+                    f"restore(s), {snap['rerouted']} rerouted"
+                ]
+                if snap["breaker_opens"]
+                or snap["breaker_half_opens"]
+                or snap["breaker_restores"]
+                or snap["rerouted"]
+                else []
+            )
+            + (
+                [
+                    f"drain: {snap['drain_flushed']} flushed, "
+                    f"{snap['drain_shed']} shed"
+                ]
+                if snap["drain_flushed"] or snap["drain_shed"]
                 else []
             )
         )

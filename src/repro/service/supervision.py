@@ -1,0 +1,225 @@
+"""Per-shard supervision: consecutive-failure circuit breakers.
+
+A shard whose executor is crashing, wedged, or pathologically slow
+turns every request routed to it into a degraded REJECT after the full
+retry ladder -- paying the ladder's latency each time.  The breaker
+pattern bounds that damage: after ``failure_threshold`` *consecutive*
+compute failures the breaker **opens**, and the frontend routes the
+shard's keyspace to its ring neighbors instead.  After
+``recovery_time`` seconds the breaker admits up to ``probe_budget``
+**half-open** probe requests; if a probe's computation succeeds the
+breaker **closes** and the shard takes its keyspace back, if it fails
+the breaker re-opens for another cooldown.
+
+Only *computed* outcomes drive the state machine: a cache or region
+hit never touches the executor, so it proves nothing about the shard's
+health and must neither reset the failure streak nor count as a probe
+(:meth:`CircuitBreaker.record_void` returns a half-open probe permit
+that ended up not exercising the executor).
+
+The breaker is advisory, never load-bearing for liveness: when *every*
+shard's breaker is open the frontend falls back to the primary shard
+anyway -- refusing all service because supervision says everything is
+unhealthy would turn a detector into an outage.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "BREAKER_STATES"]
+
+#: The three classic breaker states.
+BREAKER_STATES: tuple[str, ...] = ("closed", "open", "half_open")
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Shape of one shard's circuit breaker.
+
+    ``failure_threshold`` consecutive compute failures open the
+    breaker; ``0`` disables supervision entirely (no breaker is built).
+    ``recovery_time`` is the open-state cooldown in seconds before
+    half-open probes are admitted, ``probe_budget`` how many probes may
+    be in flight at once while half-open.
+    """
+
+    failure_threshold: int = 5
+    recovery_time: float = 1.0
+    probe_budget: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 0:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 0, "
+                f"got {self.failure_threshold}"
+            )
+        if self.recovery_time <= 0 or not math.isfinite(
+            self.recovery_time
+        ):
+            raise ConfigurationError(
+                f"recovery_time must be finite and > 0, "
+                f"got {self.recovery_time!r}"
+            )
+        if self.probe_budget < 1:
+            raise ConfigurationError(
+                f"probe_budget must be >= 1, got {self.probe_budget}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.failure_threshold > 0
+
+
+class CircuitBreaker:
+    """One shard's health gate (thread-safe, clock injectable).
+
+    ``on_transition(old_state, new_state)`` fires inside the lock on
+    every state change -- keep it O(1) (the frontend uses it to bump
+    metrics counters).
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
+    ) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        if not self.config.enabled:
+            raise ConfigurationError(
+                "failure_threshold=0 disables supervision; "
+                "do not construct a breaker for it"
+            )
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = 0
+        self._probe_successes = 0
+        # Lifetime transition counters (for metrics and oracles).
+        self.opens = 0
+        self.half_opens = 0
+        self.closes = 0
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def _transition(self, new_state: str) -> None:
+        old = self._state
+        self._state = new_state
+        if new_state == "open":
+            self.opens += 1
+            self._opened_at = self._clock()
+            self._probe_inflight = 0
+            self._probe_successes = 0
+        elif new_state == "half_open":
+            self.half_opens += 1
+            self._probe_successes = 0
+        elif new_state == "closed":
+            self.closes += 1
+            self._consecutive_failures = 0
+            self._probe_inflight = 0
+            self._probe_successes = 0
+        if self._on_transition is not None:
+            self._on_transition(old, new_state)
+
+    def allow(self) -> bool:
+        """May a request be routed to this shard right now?
+
+        Closed: always.  Open: no, until ``recovery_time`` has elapsed
+        -- then the breaker half-opens and this call consumes one probe
+        permit.  Half-open: yes while probe permits remain.  A granted
+        permit must be resolved by exactly one of
+        :meth:`record_success` / :meth:`record_failure` /
+        :meth:`record_void`.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if (
+                    self._clock() - self._opened_at
+                    >= self.config.recovery_time
+                ):
+                    self._transition("half_open")
+                    self._probe_inflight = 1
+                    return True
+                return False
+            # half_open
+            if self._probe_inflight < self.config.probe_budget:
+                self._probe_inflight += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """One computed decision on this shard succeeded."""
+        with self._lock:
+            if self._state == "closed":
+                self._consecutive_failures = 0
+            elif self._state == "half_open":
+                self._probe_inflight = max(0, self._probe_inflight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.config.probe_budget:
+                    self._transition("closed")
+            # open: a straggler finishing after the trip proves nothing.
+
+    def record_failure(self) -> None:
+        """One computed decision on this shard degraded/failed."""
+        with self._lock:
+            if self._state == "closed":
+                self._consecutive_failures += 1
+                if (
+                    self._consecutive_failures
+                    >= self.config.failure_threshold
+                ):
+                    self._transition("open")
+            elif self._state == "half_open":
+                # The probe failed: straight back to cooldown.
+                self._transition("open")
+            # open: already tripped.
+
+    def record_void(self) -> None:
+        """A routed request resolved without exercising the executor.
+
+        Cache hits, region hits, coalesced waits and sheds say nothing
+        about shard health; in half-open state they return the probe
+        permit so a *computed* request can take it.
+        """
+        with self._lock:
+            if self._state == "half_open":
+                self._probe_inflight = max(0, self._probe_inflight - 1)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "opens": self.opens,
+                "half_opens": self.half_opens,
+                "closes": self.closes,
+            }
+
+    def describe(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"breaker {snap['state']}"
+            f" ({snap['opens']} open(s), {snap['closes']} restore(s))"
+        )

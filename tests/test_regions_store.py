@@ -132,11 +132,14 @@ class TestMemoryPersistence:
         with pytest.raises(ConfigurationError, match="persistence path"):
             MemoryRegionStore(capacity=2).save()
 
-    def test_load_rejects_corrupt_lines(self, tmp_path):
+    def test_load_salvages_around_corrupt_lines(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text("{not json\n")
-        with pytest.raises(ConfigurationError, match="bad region line"):
-            MemoryRegionStore(capacity=2).load(path)
+        store = MemoryRegionStore(capacity=2)
+        assert store.load(path) == 0
+        assert store.last_recovery is not None
+        assert store.last_recovery.dropped == 1
+        assert not store.last_recovery.clean
 
     def test_load_rejects_foreign_format(self, tmp_path):
         path = tmp_path / "foreign.jsonl"

@@ -1,0 +1,112 @@
+"""The service-plane chaos harness: scenarios, oracles, gate, CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.chaos import (
+    SERVICE_CHAOS_SCENARIOS,
+    ScenarioResult,
+    ServiceChaosReport,
+    run_service_chaos,
+)
+
+
+class TestValidation:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            run_service_chaos(scenarios=("exorcism",))
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ConfigurationError, match="no scenarios"):
+            run_service_chaos(scenarios=())
+
+    def test_scenario_names_are_stable(self):
+        assert SERVICE_CHAOS_SCENARIOS == (
+            "torn-cache-tail",
+            "truncated-cache-file",
+            "region-store-salvage",
+            "sqlite-corruption",
+            "shard-crash",
+            "slow-backend",
+        )
+
+
+class TestReport:
+    def test_empty_results_fail_the_gate(self):
+        report = ServiceChaosReport(seed=0, requests=0, results=())
+        assert not report.gate_passed
+
+    def test_failures_fail_the_gate_and_render(self):
+        report = ServiceChaosReport(
+            seed=0,
+            requests=10,
+            results=(
+                ScenarioResult("a", ()),
+                ScenarioResult("b", ("oracle broke",), ("context",)),
+            ),
+        )
+        assert not report.gate_passed
+        text = report.render()
+        assert "a: PASS" in text
+        assert "b: FAIL" in text
+        assert "! oracle broke" in text
+        assert "gate: FAILED" in text
+
+
+class TestScenarios:
+    """One storage scenario and one shard scenario, kept small."""
+
+    def test_torn_cache_tail_salvages_and_matches(self, tmp_path):
+        report = run_service_chaos(
+            requests=24,
+            systems=8,
+            seed=3,
+            scenarios=("torn-cache-tail",),
+            workdir=tmp_path,
+        )
+        assert report.gate_passed, report.render()
+        (result,) = report.results
+        assert any("salvaged" in note for note in result.notes)
+        # The damaged artifact was kept for inspection in workdir.
+        assert (tmp_path / "torn-cache-tail-cache.jsonl").exists()
+
+    def test_shard_crash_opens_reroutes_restores(self):
+        report = run_service_chaos(
+            requests=36, systems=12, seed=0, scenarios=("shard-crash",)
+        )
+        assert report.gate_passed, report.render()
+        (result,) = report.results
+        assert any("rerouted" in note for note in result.notes)
+
+    def test_sqlite_corruption_quarantines_and_rebuilds(self, tmp_path):
+        report = run_service_chaos(
+            requests=24,
+            systems=8,
+            seed=1,
+            scenarios=("sqlite-corruption",),
+            workdir=tmp_path,
+        )
+        assert report.gate_passed, report.render()
+        assert (tmp_path / "cache.sqlite.quarantined-0").exists()
+
+
+class TestCli:
+    def test_gate_and_stats(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "service-chaos",
+                "--requests", "24",
+                "--systems", "8",
+                "--scenarios", "torn-cache-tail",
+                "--require-gate",
+                "--stats",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "gate: PASSED" in captured.out
+        assert "salvaged" in captured.err

@@ -9,8 +9,11 @@ global at call time, so thread executors see the patch).
 from __future__ import annotations
 
 import asyncio
+import gc
 import json
+import threading
 import time
+import warnings
 
 import pytest
 
@@ -354,6 +357,261 @@ class TestLifecycleAndValidation:
             TenantQuota(**{"burst": 8.0, **kwargs})
 
 
+class TestSupervision:
+    def test_breaker_opens_and_reroutes(self, monkeypatch):
+        def crash_on_shard_zero(payload):
+            if threading.current_thread().name.startswith(
+                "repro-shard-0_"
+            ):
+                raise RuntimeError("injected shard fault")
+            return _real_shard_compute(payload)
+
+        monkeypatch.setattr(
+            frontend_module, "_shard_compute", crash_on_shard_zero
+        )
+        config = FrontendConfig(
+            shards=3,
+            cache_backend=None,
+            max_retries=0,
+            breaker_failures=2,
+            breaker_recovery=60.0,  # stays open for the whole test
+        )
+        requests = [_request(seed, f"s{seed}") for seed in range(24)]
+        decisions, snapshot = _admit_all(config, requests)
+        aggregate = snapshot["aggregate"]
+        assert aggregate["breaker_opens"] >= 1
+        assert aggregate["rerouted"] >= 1
+        # Exactly the pre-trip shard-0 computations degraded; every
+        # rerouted request was served normally by a healthy shard.
+        degraded = [
+            d
+            for d in decisions
+            if d.rationale.startswith("service degraded:")
+        ]
+        assert len(degraded) == config.breaker_failures
+        assert (
+            snapshot["breakers"][0]["state"] == "open"
+        )
+
+    def test_half_open_probe_restores_the_shard(self, monkeypatch):
+        armed = {"on": True}
+
+        def crash_while_armed(payload):
+            if armed["on"] and threading.current_thread().name.startswith(
+                "repro-shard-0_"
+            ):
+                raise RuntimeError("injected shard fault")
+            return _real_shard_compute(payload)
+
+        monkeypatch.setattr(
+            frontend_module, "_shard_compute", crash_while_armed
+        )
+        config = FrontendConfig(
+            shards=2,
+            cache_backend=None,
+            max_retries=0,
+            breaker_failures=1,
+            breaker_recovery=0.05,
+        )
+
+        async def run():
+            async with AdmissionFrontend(config) as fe:
+                ring = fe.ring
+                shard0 = [
+                    r
+                    for r in (
+                        _request(seed, f"p{seed}") for seed in range(40)
+                    )
+                    if ring.shard_for(
+                        frontend_module.request_key(r)
+                    ) == 0
+                ]
+                assert len(shard0) >= 2
+                await fe.admit(shard0[0])  # degrades, opens breaker
+                assert fe._shards[0].breaker.state == "open"
+                armed["on"] = False
+                await asyncio.sleep(0.08)  # past the cooldown
+                probe = await fe.admit(shard0[1])
+                assert not probe.rationale.startswith(
+                    "service degraded:"
+                )
+                return (
+                    fe._shards[0].breaker.state,
+                    fe.metrics.snapshot(),
+                )
+
+        state, aggregate = asyncio.run(run())
+        assert state == "closed"
+        assert aggregate["breaker_half_opens"] >= 1
+        assert aggregate["breaker_restores"] >= 1
+
+    def test_all_open_falls_back_to_primary(self):
+        # Liveness: supervision is advisory -- with every breaker open
+        # the primary still takes the request rather than refusing all.
+        config = FrontendConfig(
+            shards=2,
+            cache_backend=None,
+            breaker_failures=1,
+            breaker_recovery=60.0,
+        )
+
+        async def run():
+            async with AdmissionFrontend(config) as fe:
+                for shard in fe._shards:
+                    shard.breaker.record_failure()
+                assert all(
+                    s.breaker.state == "open" for s in fe._shards
+                )
+                return await fe.admit(_request(5))
+
+        decision = asyncio.run(run())
+        assert decision == compute_decision(_request(5))
+
+    def test_supervision_disabled_with_zero_failures(self):
+        _, snapshot = _admit_all(
+            FrontendConfig(shards=2, breaker_failures=0), [_request(1)]
+        )
+        assert snapshot["breakers"] == [None, None]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"breaker_failures": -1},
+            {"breaker_recovery": 0.0},
+            {"breaker_probes": 0},
+            {"drain": "hang-up"},
+            {"fsync": "sometimes"},
+        ],
+    )
+    def test_bad_supervision_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FrontendConfig(**kwargs)
+
+
+class TestDrainAndTeardown:
+    def test_shed_drain_resolves_queued_jobs(self):
+        async def run():
+            config = FrontendConfig(shards=1, drain="shed")
+            frontend = AdmissionFrontend(config)
+            await frontend.start()
+            pending = [
+                asyncio.ensure_future(frontend.admit(_request(seed)))
+                for seed in range(6)
+            ]
+            await asyncio.sleep(0)  # let every admit reach its queue
+            await frontend.stop()
+            decisions = await asyncio.gather(*pending)
+            return decisions, frontend.metrics.snapshot()
+
+        decisions, aggregate = asyncio.run(run())
+        assert len(decisions) == 6
+        shed = [
+            d
+            for d in decisions
+            if d.rationale.startswith("service shed:")
+        ]
+        # At least the never-dequeued tail was shed, and explicitly so.
+        assert shed
+        assert all("drain" in d.rationale for d in shed)
+        assert aggregate["drain_shed"] == len(shed)
+        assert aggregate["shed"] == len(shed)
+
+    def test_flush_drain_counts_flushed_jobs(self):
+        async def run():
+            frontend = AdmissionFrontend(FrontendConfig(shards=1))
+            await frontend.start()
+            pending = [
+                asyncio.ensure_future(frontend.admit(_request(seed)))
+                for seed in range(4)
+            ]
+            await asyncio.sleep(0)
+            await frontend.stop(drain="flush")
+            decisions = await asyncio.gather(*pending)
+            return decisions, frontend.metrics.snapshot()
+
+        decisions, aggregate = asyncio.run(run())
+        assert all(
+            not d.rationale.startswith("service shed:")
+            for d in decisions
+        )
+        assert aggregate["drain_flushed"] >= 1
+        assert aggregate["drain_shed"] == 0
+
+    def test_stop_rejects_unknown_drain_mode(self):
+        async def run():
+            frontend = AdmissionFrontend(FrontendConfig())
+            await frontend.start()
+            try:
+                with pytest.raises(ConfigurationError, match="drain"):
+                    await frontend.stop(drain="hang-up")
+            finally:
+                await frontend.stop()
+
+        asyncio.run(run())
+
+    def test_owned_sqlite_backend_closed_after_exception(self, tmp_path):
+        """Satellite regression: no locked WAL, no leaked handle,
+        even when the context body raises."""
+        db = tmp_path / "cache.sqlite"
+        config = FrontendConfig(
+            shards=1, cache_backend="sqlite", cache_path=db
+        )
+
+        async def run():
+            async with AdmissionFrontend(config) as fe:
+                await fe.admit(_request(1))
+                raise RuntimeError("boom")
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            with pytest.raises(RuntimeError, match="boom"):
+                asyncio.run(run())
+            gc.collect()
+        # The database is immediately writable by a fresh connection:
+        # a still-open WAL handle would block this.
+        fresh = SqliteDecisionCache(capacity=8, db_path=db)
+        try:
+            assert len(fresh) == 1  # the decision survived the crash
+            decision = compute_decision(_request(2))
+            fresh.put(decision.key, decision)
+            assert len(fresh) == 2
+        finally:
+            fresh.close()
+
+    def test_owned_memory_cache_flushed_on_stop(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        config = FrontendConfig(
+            shards=1, cache_backend="memory", cache_path=path
+        )
+        _admit_all(config, [_request(1)])
+        assert path.exists()  # stop() snapshotted the owned cache
+
+    def test_caller_passed_cache_is_not_closed(self, tmp_path):
+        db = tmp_path / "shared.sqlite"
+        shared = SqliteDecisionCache(capacity=8, db_path=db)
+        try:
+            _admit_all(
+                FrontendConfig(shards=1), [_request(1)], cache=shared
+            )
+            # Still usable: the frontend must not close what it was
+            # handed (the caller owns its lifetime).
+            decision = compute_decision(_request(2))
+            shared.put(decision.key, decision)
+            assert len(shared) == 2
+        finally:
+            shared.close()
+
+    def test_admit_after_stop_raises(self):
+        async def run():
+            frontend = AdmissionFrontend(FrontendConfig())
+            await frontend.start()
+            await frontend.stop()
+            with pytest.raises(ConfigurationError, match="not started"):
+                await frontend.admit(_request(1))
+
+        asyncio.run(run())
+
+
 class TestObservability:
     def test_describe_includes_every_shard(self):
         requests = [_request(seed) for seed in range(4)]
@@ -380,8 +638,10 @@ class TestObservability:
             "shards",
             "queue_depths",
             "cache",
+            "breakers",
         }
         assert len(snapshot["shards"]) == 2
+        assert len(snapshot["breakers"]) == 2
         assert "latency_p999" in snapshot["aggregate"]
 
 

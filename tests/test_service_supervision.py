@@ -1,0 +1,178 @@
+"""The circuit-breaker state machine, on an injectable clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.supervision import (
+    BREAKER_STATES,
+    BreakerConfig,
+    CircuitBreaker,
+)
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _breaker(threshold=2, recovery=1.0, probes=1, transitions=None):
+    clock = _Clock()
+    breaker = CircuitBreaker(
+        BreakerConfig(
+            failure_threshold=threshold,
+            recovery_time=recovery,
+            probe_budget=probes,
+        ),
+        clock=clock,
+        on_transition=(
+            (lambda old, new: transitions.append((old, new)))
+            if transitions is not None
+            else None
+        ),
+    )
+    return breaker, clock
+
+
+class TestConfig:
+    def test_zero_threshold_means_disabled(self):
+        assert not BreakerConfig(failure_threshold=0).enabled
+        assert BreakerConfig(failure_threshold=1).enabled
+
+    def test_disabled_config_refuses_breaker(self):
+        with pytest.raises(ConfigurationError, match="disables"):
+            CircuitBreaker(BreakerConfig(failure_threshold=0))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(failure_threshold=-1)
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(recovery_time=0.0)
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(recovery_time=float("inf"))
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(probe_budget=0)
+
+
+class TestStateMachine:
+    def test_states_enumerated(self):
+        assert BREAKER_STATES == ("closed", "open", "half_open")
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = _breaker(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_streak(self):
+        breaker, _ = _breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_void_does_not_reset_the_streak(self):
+        # Interleaved cache hits must not mask a failing executor.
+        breaker, _ = _breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_void()
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_cooldown_gates_half_open(self):
+        breaker, clock = _breaker(threshold=1, recovery=2.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+        assert breaker.state == "half_open"
+
+    def test_successful_probe_closes(self):
+        breaker, clock = _breaker(threshold=1)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.closes == 1
+
+    def test_failed_probe_reopens(self):
+        breaker, clock = _breaker(threshold=1)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        # The new cooldown starts from the re-open.
+        assert not breaker.allow()
+        clock.advance(1.5)
+        assert breaker.allow()
+
+    def test_probe_budget_bounds_inflight(self):
+        breaker, clock = _breaker(threshold=1, probes=2)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()  # consumes permit 1 (open -> half_open)
+        assert breaker.allow()  # consumes permit 2
+        assert not breaker.allow()  # budget exhausted
+        breaker.record_success()
+        assert breaker.state == "half_open"  # needs budget successes
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_void_returns_the_probe_permit(self):
+        breaker, clock = _breaker(threshold=1, probes=1)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.record_void()  # the probe turned out to be a cache hit
+        assert breaker.allow()  # permit is available again
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_straggler_success_while_open_is_ignored(self):
+        breaker, _ = _breaker(threshold=1)
+        breaker.record_failure()
+        breaker.record_success()  # finished after the trip
+        assert breaker.state == "open"
+
+
+class TestObservability:
+    def test_transition_hook_sees_every_change(self):
+        transitions: list[tuple[str, str]] = []
+        breaker, clock = _breaker(threshold=1, transitions=transitions)
+        breaker.record_failure()
+        clock.advance(1.5)
+        breaker.allow()
+        breaker.record_success()
+        assert transitions == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_snapshot_and_describe(self):
+        breaker, clock = _breaker(threshold=1)
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["opens"] == 1
+        assert "breaker open" in breaker.describe()
+        clock.advance(1.5)
+        breaker.allow()
+        breaker.record_success()
+        assert "1 restore(s)" in breaker.describe()
